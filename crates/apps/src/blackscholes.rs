@@ -1,0 +1,254 @@
+//! Black-Scholes Monte-Carlo pricing — the Single-reducer-aggregation
+//! class (§4.7, §6.1.6).
+//!
+//! Every mapper runs many iterations of the Black-Scholes Monte-Carlo
+//! simulation, emitting one `(value, value²)` pair per iteration to a
+//! *single* reducer, which maintains running sums and reports the mean
+//! and standard deviation using the paper's algebraic identity
+//! `σ = sqrt(E[x²] − E[x]²)`. Partial-result memory is O(1).
+//!
+//! Like the genetic algorithm, "the only change required was that a flag
+//! for barrier-less execution be turned on" (Table 2: 0% increase) — one
+//! source file serves both engines.
+
+use mr_core::{Application, Emit};
+use mr_workloads::pricing::MonteCarloTask;
+use mr_workloads::Normal;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Monte-Carlo European-call pricer.
+#[derive(Debug, Clone, Default)]
+pub struct BlackScholes;
+
+/// Running sums for mean / stddev: `(Σx, Σx², n)`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RunningSums {
+    /// Σ value.
+    pub sum: f64,
+    /// Σ value².
+    pub sum_sq: f64,
+    /// Number of samples.
+    pub n: u64,
+}
+
+impl RunningSums {
+    /// Mean and standard deviation via the paper's one-pass identity.
+    pub fn mean_std(&self) -> (f64, f64) {
+        if self.n == 0 {
+            return (0.0, 0.0);
+        }
+        let mean = self.sum / self.n as f64;
+        let var = (self.sum_sq / self.n as f64 - mean * mean).max(0.0);
+        (mean, var.sqrt())
+    }
+}
+
+impl BlackScholes {
+    /// One discounted-payoff sample of a European call under GBM:
+    /// `S_T = S·exp((r − σ²/2)T + σ√T·Z)`, payoff `e^{-rT}·max(S_T − K, 0)`.
+    pub fn sample_payoff(task: &MonteCarloTask, z: f64) -> f64 {
+        let drift = (task.rate - 0.5 * task.volatility * task.volatility) * task.maturity;
+        let diffusion = task.volatility * task.maturity.sqrt() * z;
+        let terminal = task.spot * (drift + diffusion).exp();
+        (-task.rate * task.maturity).exp() * (terminal - task.strike).max(0.0)
+    }
+
+    /// Closed-form Black-Scholes call price, for validating the Monte-
+    /// Carlo estimate in tests (Abramowitz–Stegun normal CDF).
+    pub fn analytic_price(task: &MonteCarloTask) -> f64 {
+        fn phi(x: f64) -> f64 {
+            // Abramowitz & Stegun 7.1.26 via erf.
+            let t = 1.0 / (1.0 + 0.3275911 * x.abs() / std::f64::consts::SQRT_2);
+            let poly = t
+                * (0.254829592
+                    + t * (-0.284496736 + t * (1.421413741 + t * (-1.453152027 + t * 1.061405429))));
+            let erf = 1.0 - poly * (-x * x / 2.0).exp();
+            if x >= 0.0 {
+                0.5 * (1.0 + erf)
+            } else {
+                0.5 * (1.0 - erf)
+            }
+        }
+        let (s, k, r, v, t) = (
+            task.spot,
+            task.strike,
+            task.rate,
+            task.volatility,
+            task.maturity,
+        );
+        let d1 = ((s / k).ln() + (r + v * v / 2.0) * t) / (v * t.sqrt());
+        let d2 = d1 - v * t.sqrt();
+        s * phi(d1) - k * (-r * t).exp() * phi(d2)
+    }
+}
+
+impl Application for BlackScholes {
+    type InKey = u64;
+    type InValue = MonteCarloTask;
+    /// Single constant key: everything funnels to one reducer group.
+    type MapKey = u8;
+    /// "The mapper emits the square of the value along with the value."
+    type MapValue = (f64, f64);
+    type OutKey = u8;
+    /// `(mean, stddev, samples)`.
+    type OutValue = (f64, f64, u64);
+    type State = ();
+    type Shared = RunningSums;
+
+    fn map(&self, _id: &u64, task: &MonteCarloTask, out: &mut dyn Emit<u8, (f64, f64)>) {
+        let mut rng = StdRng::seed_from_u64(task.seed);
+        let normal = Normal::new(0.0, 1.0);
+        for _ in 0..task.iterations {
+            let payoff = Self::sample_payoff(task, normal.sample(&mut rng));
+            out.emit(0, (payoff, payoff * payoff));
+        }
+    }
+
+    fn new_shared(&self) -> RunningSums {
+        RunningSums::default()
+    }
+
+    fn reduce_grouped(
+        &self,
+        _key: &u8,
+        values: Vec<(f64, f64)>,
+        sums: &mut RunningSums,
+        _out: &mut dyn Emit<u8, (f64, f64, u64)>,
+    ) {
+        for (v, v2) in values {
+            sums.sum += v;
+            sums.sum_sq += v2;
+            sums.n += 1;
+        }
+    }
+
+    /// O(1) running sums only — no per-key store (Table 1).
+    fn uses_keyed_state(&self) -> bool {
+        false
+    }
+
+    fn init(&self, _key: &u8) {}
+
+    fn absorb(
+        &self,
+        _key: &u8,
+        _state: &mut (),
+        value: (f64, f64),
+        sums: &mut RunningSums,
+        _out: &mut dyn Emit<u8, (f64, f64, u64)>,
+    ) {
+        sums.sum += value.0;
+        sums.sum_sq += value.1;
+        sums.n += 1;
+    }
+
+    fn merge(&self, _key: &u8, _a: (), _b: ()) {}
+
+    fn finalize(
+        &self,
+        _key: u8,
+        _state: (),
+        _sums: &mut RunningSums,
+        _out: &mut dyn Emit<u8, (f64, f64, u64)>,
+    ) {
+    }
+
+    fn flush_shared(&self, sums: RunningSums, out: &mut dyn Emit<u8, (f64, f64, u64)>) {
+        if sums.n > 0 {
+            let (mean, std) = sums.mean_std();
+            out.emit(0, (mean, std, sums.n));
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "black-scholes"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mr_core::local::LocalRunner;
+    use mr_core::{Engine, JobConfig};
+    use mr_workloads::PricingWorkload;
+
+    fn splits(mappers: u64, iters: u64) -> Vec<Vec<(u64, MonteCarloTask)>> {
+        let w = PricingWorkload::new(77, iters);
+        (0..mappers).map(|c| w.chunk(c)).collect()
+    }
+
+    #[test]
+    fn monte_carlo_approaches_analytic_price() {
+        let input = splits(8, 20_000);
+        let analytic = BlackScholes::analytic_price(&input[0][0].1);
+        let out = LocalRunner::new(4)
+            .run(
+                &BlackScholes,
+                input,
+                &JobConfig::new(1).engine(Engine::barrierless()),
+            )
+            .unwrap();
+        let (_, (mean, std, n)) = out.partitions[0][0];
+        assert_eq!(n, 8 * 20_000);
+        // Standard error ~ std/sqrt(n); allow 4 sigma.
+        let stderr = std / (n as f64).sqrt();
+        assert!(
+            (mean - analytic).abs() < 4.0 * stderr + 0.05,
+            "MC {mean:.4} vs analytic {analytic:.4} (stderr {stderr:.4})"
+        );
+    }
+
+    #[test]
+    fn engines_agree_bitwise_on_the_sums() {
+        // Addition order differs between engines, but with one reducer and
+        // deterministic map output, results must agree to tight tolerance.
+        let input = splits(4, 5_000);
+        let barrier = LocalRunner::new(2)
+            .run(&BlackScholes, input.clone(), &JobConfig::new(1))
+            .unwrap();
+        let pipelined = LocalRunner::new(2)
+            .run(
+                &BlackScholes,
+                input,
+                &JobConfig::new(1).engine(Engine::barrierless()),
+            )
+            .unwrap();
+        let (_, (bm, bs, bn)) = barrier.partitions[0][0];
+        let (_, (pm, ps, pn)) = pipelined.partitions[0][0];
+        assert_eq!(bn, pn);
+        assert!((bm - pm).abs() < 1e-9, "{bm} vs {pm}");
+        assert!((bs - ps).abs() < 1e-9);
+    }
+
+    #[test]
+    fn memory_is_constant_in_input_size() {
+        for mappers in [2u64, 8] {
+            let out = LocalRunner::new(2)
+                .run(
+                    &BlackScholes,
+                    splits(mappers, 2_000),
+                    &JobConfig::new(1).engine(Engine::barrierless()),
+                )
+                .unwrap();
+            assert_eq!(out.reports[0].store.peak_entries, 0);
+            assert_eq!(out.reports[0].store.peak_bytes, 0);
+        }
+    }
+
+    #[test]
+    fn running_sums_identity_matches_two_pass() {
+        let samples = [1.0f64, 2.0, 3.5, 0.25, 9.0];
+        let mut sums = RunningSums::default();
+        for &x in &samples {
+            sums.sum += x;
+            sums.sum_sq += x * x;
+            sums.n += 1;
+        }
+        let (mean, std) = sums.mean_std();
+        let m2 = samples.iter().sum::<f64>() / 5.0;
+        let v2 = samples.iter().map(|x| (x - m2).powi(2)).sum::<f64>() / 5.0;
+        assert!((mean - m2).abs() < 1e-12);
+        assert!((std - v2.sqrt()).abs() < 1e-12);
+    }
+}

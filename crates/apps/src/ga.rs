@@ -1,0 +1,215 @@
+//! Genetic algorithm — the Cross-key-operations class (§4.6, §6.1.5).
+//!
+//! The Reduce side keeps a *window* of previously seen individuals; when
+//! the window fills it performs selection and crossover and emits the
+//! offspring. The window is shared *across keys*, so per-key state is
+//! never kept and memory is O(window_size) — Table 1's Cross-key row.
+//!
+//! "The genetic algorithm required no change to perform barrier-less
+//! calculation" (§6.1.5) — accordingly this is a single source file and
+//! Table 2 reports a 0% line increase: the same window logic serves both
+//! the grouped and the incremental form.
+
+use mr_core::{Application, Emit};
+use mr_workloads::{mix, GaWorkload};
+
+/// Windowed selection + crossover over a stream of scored individuals.
+#[derive(Debug, Clone)]
+pub struct GeneticAlgorithm {
+    /// Individuals collected before an evolution step runs.
+    pub window_size: usize,
+}
+
+impl Default for GeneticAlgorithm {
+    fn default() -> Self {
+        GeneticAlgorithm { window_size: 16 }
+    }
+}
+
+/// The cross-key window: one per reduce task.
+#[derive(Debug, Default)]
+pub struct Window {
+    members: Vec<(u64, u32)>,
+}
+
+impl GeneticAlgorithm {
+    /// Admits `(genome, fitness)` to the window, running an evolution
+    /// step when it fills.
+    fn admit(&self, window: &mut Window, genome: u64, fitness: u32, out: &mut dyn Emit<u64, u32>) {
+        window.members.push((genome, fitness));
+        if window.members.len() >= self.window_size {
+            Self::evolve(&mut window.members, out);
+        }
+    }
+
+    /// Selection (rank by fitness) + single-point crossover of adjacent
+    /// pairs. Crossover conserves total bit count, so the summed OneMax
+    /// fitness of the offspring equals that of the parents — a checked
+    /// invariant in the tests.
+    fn evolve(members: &mut Vec<(u64, u32)>, out: &mut dyn Emit<u64, u32>) {
+        members.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        let mut pairs = members.chunks_exact(2);
+        for pair in &mut pairs {
+            let (a, b) = (pair[0].0, pair[1].0);
+            // Deterministic crossover point derived from the genomes
+            // themselves: no RNG state to thread through the reducer.
+            let point = (mix(a, b) % 63 + 1) as u32;
+            let (c, d) = GaWorkload::crossover(a, b, point);
+            out.emit(c, GaWorkload::fitness(c));
+            out.emit(d, GaWorkload::fitness(d));
+        }
+        if let [(genome, fitness)] = pairs.remainder() {
+            out.emit(*genome, *fitness);
+        }
+        members.clear();
+    }
+}
+
+impl Application for GeneticAlgorithm {
+    type InKey = u64;
+    type InValue = u64;
+    /// "Each individual is represented as a key."
+    type MapKey = u64;
+    type MapValue = u32;
+    type OutKey = u64;
+    type OutValue = u32;
+    type State = ();
+    type Shared = Window;
+
+    /// "The map computes the fitness of each individual and emits the
+    /// tuple (individual, fitness)."
+    fn map(&self, _id: &u64, genome: &u64, out: &mut dyn Emit<u64, u32>) {
+        out.emit(*genome, GaWorkload::fitness(*genome));
+    }
+
+    fn new_shared(&self) -> Window {
+        Window::default()
+    }
+
+    fn reduce_grouped(
+        &self,
+        key: &u64,
+        values: Vec<u32>,
+        window: &mut Window,
+        out: &mut dyn Emit<u64, u32>,
+    ) {
+        for fitness in values {
+            self.admit(window, *key, fitness, out);
+        }
+    }
+
+    /// Cross-key state only: no per-key partial results (Table 1).
+    fn uses_keyed_state(&self) -> bool {
+        false
+    }
+
+    fn init(&self, _key: &u64) {}
+
+    fn absorb(
+        &self,
+        key: &u64,
+        _state: &mut (),
+        fitness: u32,
+        window: &mut Window,
+        out: &mut dyn Emit<u64, u32>,
+    ) {
+        self.admit(window, *key, fitness, out);
+    }
+
+    fn merge(&self, _key: &u64, _a: (), _b: ()) {}
+
+    fn finalize(&self, _key: u64, _state: (), _window: &mut Window, _out: &mut dyn Emit<u64, u32>) {}
+
+    /// "When a partial result is removed from the window, it is written as
+    /// a final result" — stragglers left in a non-full window pass through.
+    fn flush_shared(&self, window: Window, out: &mut dyn Emit<u64, u32>) {
+        for (genome, fitness) in window.members {
+            out.emit(genome, fitness);
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "genetic-algorithm"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mr_core::local::LocalRunner;
+    use mr_core::{Engine, JobConfig};
+    use mr_workloads::GaWorkload as Gen;
+
+    fn splits(chunks: u64, per_chunk: usize) -> Vec<Vec<(u64, u64)>> {
+        let w = Gen::new(31, per_chunk);
+        (0..chunks).map(|c| w.chunk(c)).collect()
+    }
+
+    #[test]
+    fn population_size_is_preserved() {
+        let input = splits(4, 64);
+        for engine in [Engine::Barrier, Engine::barrierless()] {
+            let out = LocalRunner::new(2)
+                .run(
+                    &GeneticAlgorithm::default(),
+                    input.clone(),
+                    &JobConfig::new(2).engine(engine),
+                )
+                .unwrap();
+            assert_eq!(out.record_count(), 4 * 64);
+        }
+    }
+
+    #[test]
+    fn crossover_conserves_total_fitness() {
+        // OneMax fitness = popcount; single-point crossover conserves set
+        // bits, so total fitness in == total fitness out.
+        let input = splits(3, 50);
+        let total_in: u64 = input
+            .iter()
+            .flatten()
+            .map(|(_, g)| Gen::fitness(*g) as u64)
+            .sum();
+        let out = LocalRunner::new(1)
+            .run(
+                &GeneticAlgorithm::default(),
+                input,
+                &JobConfig::new(1).engine(Engine::barrierless()),
+            )
+            .unwrap();
+        let total_out: u64 = out
+            .partitions
+            .iter()
+            .flatten()
+            .map(|(_, f)| *f as u64)
+            .sum();
+        assert_eq!(total_in, total_out);
+    }
+
+    #[test]
+    fn emitted_fitness_matches_genome() {
+        let input = splits(2, 40);
+        let out = LocalRunner::new(2)
+            .run(
+                &GeneticAlgorithm::default(),
+                input,
+                &JobConfig::new(2).engine(Engine::barrierless()),
+            )
+            .unwrap();
+        for (genome, fitness) in out.partitions.iter().flatten() {
+            assert_eq!(*fitness, Gen::fitness(*genome));
+        }
+    }
+
+    #[test]
+    fn no_keyed_state_is_kept() {
+        let out = LocalRunner::new(1)
+            .run(
+                &GeneticAlgorithm::default(),
+                splits(2, 64),
+                &JobConfig::new(1).engine(Engine::barrierless()),
+            )
+            .unwrap();
+        assert_eq!(out.reports[0].store.peak_entries, 0);
+    }
+}

@@ -1,0 +1,58 @@
+//! Barrier-less kNN: running size-k selection (§4.4).
+//!
+//! "The barrier-less version maintains a k-value-per-key context …
+//! for each key, the Reducer maintains a size-k ordered linked list, and
+//! decides if the most recently received (train_value, distance) tuple
+//! belongs in the list … evicting the tuple with the largest distance if
+//! the linked list size exceeds k."
+
+use mr_core::Emit;
+
+/// Emits `(exp, (train, |exp - train|))` — plain keys, tuple values.
+pub fn map(experimental: &[i64], train: i64, out: &mut dyn Emit<i64, (i64, i64)>) {
+    for &exp in experimental {
+        out.emit(exp, (train, (exp - train).abs()));
+    }
+}
+
+/// A fresh, empty candidate list for a newly seen experimental value.
+pub fn init(_key: i64) -> Vec<(i64, i64)> {
+    Vec::new()
+}
+
+/// Ordered insert of `(dist, train)`, keeping only the k smallest.
+pub fn insert_bounded(list: &mut Vec<(i64, i64)>, k: usize, dist: i64, train: i64) {
+    let pos = list.partition_point(|&(d, _)| d <= dist);
+    if pos < k {
+        list.insert(pos, (dist, train));
+        list.truncate(k);
+    }
+}
+
+/// One record's reduce(): consider the candidate for the running top-k.
+pub fn absorb(
+    k: usize,
+    _key: i64,
+    list: &mut Vec<(i64, i64)>,
+    value: (i64, i64),
+    _out: &mut dyn Emit<i64, i64>,
+) {
+    let (train, dist) = value;
+    insert_bounded(list, k, dist, train);
+}
+
+/// Two spilled candidate lists combine by sorted merge + re-truncation.
+pub fn merge(k: usize, _key: i64, a: Vec<(i64, i64)>, b: Vec<(i64, i64)>) -> Vec<(i64, i64)> {
+    let mut all = a;
+    for (dist, train) in b {
+        insert_bounded(&mut all, k, dist, train);
+    }
+    all
+}
+
+/// All values seen: "the contents of the linked list are emitted".
+pub fn finalize(key: i64, list: Vec<(i64, i64)>, out: &mut dyn Emit<i64, i64>) {
+    for (_dist, train) in list {
+        out.emit(key, train);
+    }
+}

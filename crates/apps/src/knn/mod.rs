@@ -1,0 +1,307 @@
+//! k-Nearest Neighbours — the Selection class (§4.4, §6.1.3).
+//!
+//! The one application where the paper's original and barrier-less
+//! versions have *different map output types*, so they are two separate
+//! programs here, exactly as a Hadoop programmer would have written them:
+//!
+//! * [`KnnBarrier`] ([`original`]) — composite `(exp_value, distance)`
+//!   keys with a secondary sort; the Reducer takes the first k values of
+//!   each group. Only meaningful under the barrier engine.
+//! * [`KnnBarrierless`] ([`barrierless`]) — plain `exp_value` keys; a
+//!   size-k ordered list per key is maintained on a running basis.
+
+pub mod barrierless;
+pub mod original;
+
+use mr_core::{Application, Emit};
+use std::cmp::Ordering;
+
+/// Original formulation: secondary sort on distance (barrier engine only).
+#[derive(Debug, Clone)]
+pub struct KnnBarrier {
+    /// Neighbours to keep per experimental value.
+    pub k: usize,
+    /// The broadcast experimental (query) set.
+    pub experimental: Vec<i64>,
+}
+
+/// Barrier-less formulation: running size-k selection per key.
+#[derive(Debug, Clone)]
+pub struct KnnBarrierless {
+    /// Neighbours to keep per experimental value.
+    pub k: usize,
+    /// The broadcast experimental (query) set.
+    pub experimental: Vec<i64>,
+}
+
+impl Application for KnnBarrier {
+    type InKey = u64;
+    type InValue = i64;
+    /// Composite key: `(exp_value, distance)` — the secondary-sort trick.
+    type MapKey = (i64, i64);
+    type MapValue = i64;
+    type OutKey = i64;
+    type OutValue = i64;
+    type State = ();
+    type Shared = usize; // values already emitted for the current group
+
+    fn map(&self, _id: &u64, train: &i64, out: &mut dyn Emit<(i64, i64), i64>) {
+        original::map(&self.experimental, *train, out);
+    }
+
+    fn new_shared(&self) -> usize {
+        0
+    }
+
+    fn reduce_grouped(
+        &self,
+        key: &(i64, i64),
+        values: Vec<i64>,
+        _shared: &mut usize,
+        out: &mut dyn Emit<i64, i64>,
+    ) {
+        original::reduce(self.k, key, &values, out);
+    }
+
+    /// Secondary sort: by experimental value, then by distance ascending.
+    fn sort_cmp(&self, a: &((i64, i64), i64), b: &((i64, i64), i64)) -> Ordering {
+        a.0.cmp(&b.0)
+    }
+
+    /// Group by experimental value only, ignoring the distance component.
+    fn group_eq(&self, a: &(i64, i64), b: &(i64, i64)) -> bool {
+        a.0 == b.0
+    }
+
+    fn init(&self, _key: &(i64, i64)) {}
+
+    fn absorb(
+        &self,
+        _key: &(i64, i64),
+        _state: &mut (),
+        _value: i64,
+        _shared: &mut usize,
+        _out: &mut dyn Emit<i64, i64>,
+    ) {
+        unimplemented!(
+            "KnnBarrier relies on the framework's secondary sort; \
+             run it under Engine::Barrier or use KnnBarrierless"
+        );
+    }
+
+    fn merge(&self, _key: &(i64, i64), _a: (), _b: ()) {}
+
+    fn finalize(&self, _key: (i64, i64), _state: (), _shared: &mut usize, _out: &mut dyn Emit<i64, i64>) {}
+
+    fn name(&self) -> &'static str {
+        "knn-original"
+    }
+}
+
+impl Application for KnnBarrierless {
+    type InKey = u64;
+    type InValue = i64;
+    /// Plain key: "the Mapper emits an integer exp_value as the key and a
+    /// tuple (train_value, distance) as the value … because no secondary
+    /// sort is being performed".
+    type MapKey = i64;
+    type MapValue = (i64, i64);
+    type OutKey = i64;
+    type OutValue = i64;
+    /// The "size-k ordered linked list": (distance, train) ascending.
+    type State = Vec<(i64, i64)>;
+    type Shared = ();
+
+    fn map(&self, _id: &u64, train: &i64, out: &mut dyn Emit<i64, (i64, i64)>) {
+        barrierless::map(&self.experimental, *train, out);
+    }
+
+    fn new_shared(&self) {}
+
+    /// Grouped fallback so the rewritten app still runs under the barrier
+    /// engine (all values at once, select k smallest).
+    fn reduce_grouped(
+        &self,
+        key: &i64,
+        values: Vec<(i64, i64)>,
+        _shared: &mut (),
+        out: &mut dyn Emit<i64, i64>,
+    ) {
+        let mut list: Vec<(i64, i64)> = Vec::new();
+        for (train, dist) in values {
+            barrierless::insert_bounded(&mut list, self.k, dist, train);
+        }
+        for (_, train) in list {
+            out.emit(*key, train);
+        }
+    }
+
+    fn init(&self, key: &i64) -> Vec<(i64, i64)> {
+        barrierless::init(*key)
+    }
+
+    fn absorb(
+        &self,
+        key: &i64,
+        state: &mut Vec<(i64, i64)>,
+        value: (i64, i64),
+        _shared: &mut (),
+        out: &mut dyn Emit<i64, i64>,
+    ) {
+        barrierless::absorb(self.k, *key, state, value, out);
+    }
+
+    fn merge(&self, key: &i64, a: Vec<(i64, i64)>, b: Vec<(i64, i64)>) -> Vec<(i64, i64)> {
+        barrierless::merge(self.k, *key, a, b)
+    }
+
+    fn finalize(
+        &self,
+        key: i64,
+        state: Vec<(i64, i64)>,
+        _shared: &mut (),
+        out: &mut dyn Emit<i64, i64>,
+    ) {
+        barrierless::finalize(key, state, out);
+    }
+
+    fn name(&self) -> &'static str {
+        "knn-barrierless"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mr_core::local::LocalRunner;
+    use mr_core::{Engine, JobConfig};
+    use mr_workloads::KnnWorkload;
+    use std::collections::BTreeMap;
+
+    fn setup() -> (Vec<i64>, Vec<Vec<(u64, i64)>>) {
+        let w = KnnWorkload {
+            seed: 21,
+            experimental: 20,
+            train_per_chunk: 150,
+            value_range: 1_000_000,
+        };
+        let exp = w.experimental_set();
+        let splits = (0..4).map(|c| w.chunk(c)).collect();
+        (exp, splits)
+    }
+
+    /// Reference top-k distances per experimental value.
+    fn reference(exp: &[i64], splits: &[Vec<(u64, i64)>], k: usize) -> BTreeMap<i64, Vec<i64>> {
+        let mut out = BTreeMap::new();
+        for &e in exp {
+            let mut dists: Vec<i64> = splits
+                .iter()
+                .flatten()
+                .map(|(_, t)| (e - t).abs())
+                .collect();
+            dists.sort();
+            dists.truncate(k);
+            out.insert(e, dists);
+        }
+        out
+    }
+
+    fn distances_of(exp: i64, trains: &[i64]) -> Vec<i64> {
+        let mut d: Vec<i64> = trains.iter().map(|t| (exp - t).abs()).collect();
+        d.sort();
+        d
+    }
+
+    #[test]
+    fn original_under_barrier_matches_reference() {
+        let (exp, splits) = setup();
+        let app = KnnBarrier {
+            k: 10,
+            experimental: exp.clone(),
+        };
+        let out = LocalRunner::new(4)
+            .run_with_partitioner(
+                &app,
+                splits.clone(),
+                &JobConfig::new(3),
+                &original::ExpPartitioner,
+            )
+            .unwrap();
+        let mut got: BTreeMap<i64, Vec<i64>> = BTreeMap::new();
+        for (e, train) in out.into_sorted_output() {
+            got.entry(e).or_default().push(train);
+        }
+        let reference = reference(&exp, &splits, 10);
+        assert_eq!(got.len(), reference.len());
+        for (e, trains) in &got {
+            assert_eq!(
+                distances_of(*e, trains),
+                reference[e],
+                "wrong neighbours for exp {e}"
+            );
+        }
+    }
+
+    #[test]
+    fn barrierless_matches_original() {
+        let (exp, splits) = setup();
+        let k = 10;
+        let reference = reference(&exp, &splits, k);
+        let app = KnnBarrierless {
+            k,
+            experimental: exp,
+        };
+        let out = LocalRunner::new(4)
+            .run(
+                &app,
+                splits,
+                &JobConfig::new(3).engine(Engine::barrierless()),
+            )
+            .unwrap();
+        let mut got: BTreeMap<i64, Vec<i64>> = BTreeMap::new();
+        for (e, train) in out.into_sorted_output() {
+            got.entry(e).or_default().push(train);
+        }
+        assert_eq!(got.len(), reference.len());
+        for (e, trains) in &got {
+            assert_eq!(distances_of(*e, trains), reference[e]);
+        }
+    }
+
+    #[test]
+    fn partial_state_is_bounded_by_k_per_key() {
+        let (exp, splits) = setup();
+        let n_exp = exp.len();
+        let app = KnnBarrierless {
+            k: 5,
+            experimental: exp,
+        };
+        let out = LocalRunner::new(2)
+            .run(
+                &app,
+                splits,
+                &JobConfig::new(1).engine(Engine::barrierless()),
+            )
+            .unwrap();
+        // Table 1: O(k * keys).
+        assert!(out.reports[0].store.peak_entries <= n_exp);
+        assert_eq!(out.record_count(), n_exp * 5);
+    }
+
+    #[test]
+    fn fewer_trains_than_k_emits_what_exists() {
+        let app = KnnBarrierless {
+            k: 10,
+            experimental: vec![100],
+        };
+        let splits = vec![vec![(0u64, 90i64), (1, 105)]];
+        let out = LocalRunner::new(1)
+            .run(
+                &app,
+                splits,
+                &JobConfig::new(1).engine(Engine::barrierless()),
+            )
+            .unwrap();
+        assert_eq!(out.record_count(), 2);
+    }
+}

@@ -1,0 +1,37 @@
+//! Original (barrier) kNN: secondary sort does the selection (§4.4).
+//!
+//! "The barrier version's Map function emits a tuple (exp_value, distance)
+//! for the key, and an integer train_value for the value. A secondary
+//! sort is performed, sorting by the distance value in the key, but
+//! grouping by exp_value. Then, in the Reducer, the first k values are
+//! emitted."
+
+use mr_core::{Emit, HashPartitioner, Partitioner};
+
+/// The third leg of Hadoop's secondary-sort pattern: partition composite
+/// `(exp, distance)` keys by `exp` alone, so all of an experimental
+/// value's records meet at one reducer.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ExpPartitioner;
+
+impl Partitioner<(i64, i64)> for ExpPartitioner {
+    fn partition(&self, key: &(i64, i64), partitions: usize) -> usize {
+        HashPartitioner.partition(&key.0, partitions)
+    }
+}
+
+/// Emits `((exp, |exp - train|), train)` for every experimental value —
+/// each training record is compared against the whole broadcast set.
+pub fn map(experimental: &[i64], train: i64, out: &mut dyn Emit<(i64, i64), i64>) {
+    for &exp in experimental {
+        out.emit((exp, (exp - train).abs()), train);
+    }
+}
+
+/// After the secondary sort, the group's values arrive distance-ascending;
+/// the first k are the k nearest neighbours.
+pub fn reduce(k: usize, key: &(i64, i64), values: &[i64], out: &mut dyn Emit<i64, i64>) {
+    for &train in values.iter().take(k) {
+        out.emit(key.0, train);
+    }
+}

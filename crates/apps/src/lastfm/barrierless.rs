@@ -1,0 +1,32 @@
+//! Barrier-less unique-listens reduce (§4.5).
+//!
+//! Records for a track trickle in interleaved with other tracks, so the
+//! deduplicating set itself becomes the per-key partial result — "the
+//! temporary data structure for each key must be maintained … the total
+//! amount of partial results can grow to O(records)", Table 1's worst
+//! case alongside Sort.
+
+use mr_core::Emit;
+use std::collections::HashSet;
+
+/// A fresh user set for a newly seen track.
+pub fn init(_track: u32) -> HashSet<u32> {
+    HashSet::new()
+}
+
+/// One listen event: add the user to the track's set (duplicates vanish).
+pub fn absorb(_track: u32, users: &mut HashSet<u32>, user: u32) {
+    users.insert(user);
+}
+
+/// Spilled user sets for the same track combine by union — set union is
+/// idempotent, so a user spilled into two runs still counts once.
+pub fn merge(_track: u32, mut a: HashSet<u32>, b: HashSet<u32>) -> HashSet<u32> {
+    a.extend(b);
+    a
+}
+
+/// All events seen: the post-processing step — count the set.
+pub fn finalize(track: u32, users: HashSet<u32>, out: &mut dyn Emit<u32, u64>) {
+    out.emit(track, users.len() as u64);
+}

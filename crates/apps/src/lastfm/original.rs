@@ -1,0 +1,18 @@
+//! Original (barrier) unique-listens reduce (§4.5).
+//!
+//! With all of a track's records delivered at once, the Reducer inserts
+//! each userId into a deduplicating set (the *processing* step) and then
+//! counts it (the *post-processing* step) — the structure lives only for
+//! the duration of one reduce() call.
+
+use mr_core::Emit;
+use std::collections::HashSet;
+
+/// Deduplicate users, then count.
+pub fn reduce(track: u32, users: &[u32], out: &mut dyn Emit<u32, u64>) {
+    let mut unique: HashSet<u32> = HashSet::new();
+    for &user in users {
+        unique.insert(user);
+    }
+    out.emit(track, unique.len() as u64);
+}

@@ -1,0 +1,33 @@
+//! `mr-apps` — the paper's seven classes of MapReduce applications (§4).
+//!
+//! | Class | App | Key sort needed | Partial results |
+//! |---|---|---|---|
+//! | Identity | [`grep`] | no | O(1) |
+//! | Sorting | [`sort`] | **yes** | O(records) |
+//! | Aggregation | [`wordcount`] | no | O(keys) |
+//! | Selection | [`knn`] | no | O(k·keys) |
+//! | Post-reduction processing | [`lastfm`] | no | O(records) |
+//! | Cross-key operations | [`ga`] | no | O(window) |
+//! | Single-reducer aggregation | [`blackscholes`] | no | O(1) |
+//!
+//! Each multi-file app keeps its original (barrier) reduce logic in
+//! `original.rs` and its barrier-less rewrite in `barrierless.rs`; the
+//! Table 2 programmer-effort comparison counts those files directly.
+//! `ga` and `blackscholes` are single files because the paper found they
+//! need **zero** code changes — only a flag flip.
+
+pub mod blackscholes;
+pub mod ga;
+pub mod grep;
+pub mod knn;
+pub mod lastfm;
+pub mod sort;
+pub mod wordcount;
+
+pub use blackscholes::BlackScholes;
+pub use ga::GeneticAlgorithm;
+pub use grep::Grep;
+pub use knn::{KnnBarrier, KnnBarrierless};
+pub use lastfm::UniqueListens;
+pub use sort::Sort;
+pub use wordcount::WordCount;

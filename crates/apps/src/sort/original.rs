@@ -1,0 +1,14 @@
+//! Original (barrier) Sort reduce logic.
+//!
+//! With the framework sorting by key at the barrier, the Reducer is the
+//! Identity function — it writes each key as many times as it has values.
+//! This is the paper's 28-line "IdentityMapper + IdentityReducer" program.
+
+use mr_core::Emit;
+
+/// Emits `key` once per duplicate; input arrives already key-sorted.
+pub fn reduce(key: u64, duplicates: u64, out: &mut dyn Emit<u64, ()>) {
+    for _ in 0..duplicates {
+        out.emit(key, ());
+    }
+}

@@ -1,0 +1,30 @@
+//! Barrier-less WordCount reduce — Algorithm 2 of the paper.
+//!
+//! Records arrive one at a time, in shuffle order, so a running count per
+//! word must be kept in the partial-result store (the paper's TreeMap).
+//! The final counts are written only "after all the reduce invocations
+//! are done". The per-key memory is O(keys) — Table 1's Aggregation row.
+
+use mr_core::Emit;
+
+/// `TreeMap does not contain key ⇒ insert (key, 0)` — Algorithm 2's run().
+pub fn init(_key: &str) -> u64 {
+    0
+}
+
+/// One record's worth of Algorithm 2's reduce(): add the incoming count
+/// to the stored partial result.
+pub fn absorb(_key: &str, partial: &mut u64, value: u64) {
+    *partial += value;
+}
+
+/// Spilled partial counts for the same word combine additively — the same
+/// function a combiner would use (§5.1).
+pub fn merge(_key: &str, a: u64, b: u64) -> u64 {
+    a + b
+}
+
+/// End of input: `for each (key, value) in TreeMap: write (key, value)`.
+pub fn finalize(key: String, count: u64, out: &mut dyn Emit<String, u64>) {
+    out.emit(key, count);
+}

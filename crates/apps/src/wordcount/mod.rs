@@ -1,0 +1,163 @@
+//! WordCount — the Aggregation class (§3.2, §4.3, §6.1.2).
+//!
+//! The paper's running example: Algorithms 1 and 2, and the appendix
+//! listing. Original reduce logic in [`original`], barrier-less rewrite in
+//! [`barrierless`] (the +20% LoC row of Table 2).
+
+pub mod barrierless;
+pub mod original;
+
+use mr_core::{Application, Emit};
+
+/// Counts occurrences of each whitespace-separated word.
+#[derive(Debug, Clone, Default)]
+pub struct WordCount;
+
+impl Application for WordCount {
+    type InKey = u64;
+    type InValue = String;
+    type MapKey = String;
+    type MapValue = u64;
+    type OutKey = String;
+    type OutValue = u64;
+    type State = u64;
+    type Shared = ();
+
+    /// Algorithm 1's map: "for each word in value, emit (word, 1)".
+    fn map(&self, _doc: &u64, text: &String, out: &mut dyn Emit<String, u64>) {
+        for word in text.split_whitespace() {
+            out.emit(word.to_string(), 1);
+        }
+    }
+
+    fn new_shared(&self) {}
+
+    fn reduce_grouped(
+        &self,
+        key: &String,
+        values: Vec<u64>,
+        _shared: &mut (),
+        out: &mut dyn Emit<String, u64>,
+    ) {
+        original::reduce(key, &values, out);
+    }
+
+    fn init(&self, key: &String) -> u64 {
+        barrierless::init(key)
+    }
+
+    fn absorb(
+        &self,
+        key: &String,
+        state: &mut u64,
+        value: u64,
+        _shared: &mut (),
+        _out: &mut dyn Emit<String, u64>,
+    ) {
+        barrierless::absorb(key, state, value);
+    }
+
+    fn merge(&self, key: &String, a: u64, b: u64) -> u64 {
+        barrierless::merge(key, a, b)
+    }
+
+    fn finalize(&self, key: String, state: u64, _shared: &mut (), out: &mut dyn Emit<String, u64>) {
+        barrierless::finalize(key, state, out);
+    }
+
+    fn name(&self) -> &'static str {
+        "wordcount"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mr_core::local::LocalRunner;
+    use mr_core::{Engine, JobConfig, MemoryPolicy};
+    use mr_workloads::TextWorkload;
+    use std::collections::BTreeMap;
+
+    fn splits(chunks: u64) -> Vec<Vec<(u64, String)>> {
+        let w = TextWorkload {
+            seed: 42,
+            vocab: 500,
+            zipf_s: 1.0,
+            lines_per_chunk: 100,
+            words_per_line: 8,
+        };
+        (0..chunks).map(|c| w.chunk(c)).collect()
+    }
+
+    fn reference_counts(splits: &[Vec<(u64, String)>]) -> BTreeMap<String, u64> {
+        let mut m = BTreeMap::new();
+        for (_, line) in splits.iter().flatten() {
+            for word in line.split_whitespace() {
+                *m.entry(word.to_string()).or_insert(0) += 1;
+            }
+        }
+        m
+    }
+
+    #[test]
+    fn engines_agree_with_reference_counts() {
+        let input = splits(4);
+        let expect = reference_counts(&input);
+        for engine in [Engine::Barrier, Engine::barrierless()] {
+            let cfg = JobConfig::new(4).engine(engine.clone());
+            let out = LocalRunner::new(4)
+                .run(&WordCount, input.clone(), &cfg)
+                .unwrap();
+            let got: BTreeMap<String, u64> = out.into_sorted_output().into_iter().collect();
+            assert_eq!(got, expect, "engine {engine:?} wrong");
+        }
+    }
+
+    #[test]
+    fn all_memory_policies_agree() {
+        let input = splits(4);
+        let expect = reference_counts(&input);
+        for memory in [
+            MemoryPolicy::InMemory,
+            MemoryPolicy::SpillMerge {
+                threshold_bytes: 4 << 10,
+            },
+            MemoryPolicy::KvStore { cache_bytes: 8 << 10 },
+        ] {
+            let cfg = JobConfig::new(2)
+                .engine(Engine::BarrierLess { memory })
+                .scratch_dir(std::env::temp_dir().join("mr-apps-wc"));
+            let out = LocalRunner::new(4)
+                .run(&WordCount, input.clone(), &cfg)
+                .unwrap();
+            let got: BTreeMap<String, u64> = out.into_sorted_output().into_iter().collect();
+            assert_eq!(got, expect);
+        }
+    }
+
+    #[test]
+    fn partial_results_scale_with_keys_not_records() {
+        // Table 1: aggregation keeps O(keys) state. Doubling the records
+        // over a fixed vocabulary must not double peak entries.
+        let small = {
+            let cfg = JobConfig::new(1).engine(Engine::barrierless());
+            LocalRunner::new(2)
+                .run(&WordCount, splits(2), &cfg)
+                .unwrap()
+                .total_peak_entries()
+        };
+        let large = {
+            let cfg = JobConfig::new(1).engine(Engine::barrierless());
+            LocalRunner::new(2)
+                .run(&WordCount, splits(8), &cfg)
+                .unwrap()
+                .total_peak_entries()
+        };
+        // 4x the records, same 500-word vocabulary: peaks stay ~vocab.
+        assert!(large <= 500 && small <= 500);
+        assert!(
+            (large as f64) < (small as f64) * 2.0,
+            "entries grew with records: {small} -> {large}"
+        );
+    }
+}

@@ -1,0 +1,16 @@
+//! Original (barrier) WordCount reduce — Algorithm 1 of the paper.
+//!
+//! The framework hands the Reducer a key and *all* of its counts at once;
+//! it sums them and writes the result immediately. Nothing is retained
+//! across invocations.
+
+use mr_core::Emit;
+
+/// `result ← Σ values; write (key, result)`.
+pub fn reduce(key: &str, values: &[u64], out: &mut dyn Emit<String, u64>) {
+    let mut result = 0u64;
+    for v in values {
+        result += v;
+    }
+    out.emit(key.to_string(), result);
+}

@@ -1,0 +1,103 @@
+//! Raw `mr-kvstore` operation throughput — the paper observed "about
+//! 30,000 inserts per second" from BerkeleyDB JE and concluded that was
+//! "not enough throughput to keep up with the millions of small records"
+//! (§6.3). This bench measures our stand-in's puts, cached gets, and the
+//! read-modify-update cycle the barrier-less reducer performs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mr_kvstore::{Store, StoreConfig};
+use std::hint::black_box;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static SERIAL: AtomicU64 = AtomicU64::new(0);
+
+fn open(cache: usize) -> (Store, std::path::PathBuf) {
+    let dir = std::env::temp_dir().join(format!(
+        "mr-bench-kv-{}-{}",
+        std::process::id(),
+        SERIAL.fetch_add(1, Ordering::Relaxed)
+    ));
+    std::fs::remove_dir_all(&dir).ok();
+    let store = Store::open(StoreConfig::new(&dir).cache_bytes(cache)).unwrap();
+    (store, dir)
+}
+
+fn bench_kv(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kvstore");
+    let n: u64 = 10_000;
+    group.throughput(Throughput::Elements(n));
+
+    group.bench_function(BenchmarkId::new("put", n), |b| {
+        b.iter_with_setup(
+            || open(16 << 20),
+            |(mut kv, dir)| {
+                for i in 0..n {
+                    kv.put(&i.to_le_bytes(), &(i * 3).to_le_bytes()).unwrap();
+                }
+                black_box(kv.len());
+                drop(kv);
+                std::fs::remove_dir_all(dir).ok();
+            },
+        );
+    });
+
+    group.bench_function(BenchmarkId::new("get_hot", n), |b| {
+        let (mut kv, dir) = open(16 << 20);
+        for i in 0..n {
+            kv.put(&i.to_le_bytes(), &(i * 3).to_le_bytes()).unwrap();
+        }
+        b.iter(|| {
+            let mut acc = 0u64;
+            for i in 0..n {
+                acc ^= kv.get(&i.to_le_bytes()).unwrap().unwrap()[0] as u64;
+            }
+            black_box(acc)
+        });
+        drop(kv);
+        std::fs::remove_dir_all(dir).ok();
+    });
+
+    group.bench_function(BenchmarkId::new("get_cold_cache", n), |b| {
+        // Cache holds ~5% of the working set: most gets hit the log file.
+        let (mut kv, dir) = open(40 << 10);
+        for i in 0..n {
+            kv.put(&i.to_le_bytes(), &(i * 3).to_le_bytes()).unwrap();
+        }
+        kv.flush().unwrap();
+        b.iter(|| {
+            let mut acc = 0u64;
+            for i in 0..n {
+                acc ^= kv.get(&i.to_le_bytes()).unwrap().unwrap()[0] as u64;
+            }
+            black_box(acc)
+        });
+        drop(kv);
+        std::fs::remove_dir_all(dir).ok();
+    });
+
+    group.bench_function(BenchmarkId::new("read_modify_update", n), |b| {
+        // The barrier-less absorb cycle of §5.2.
+        b.iter_with_setup(
+            || open(1 << 20),
+            |(mut kv, dir)| {
+                for i in 0..n {
+                    let key = (i % 500).to_le_bytes();
+                    let prev = kv
+                        .get(&key)
+                        .unwrap()
+                        .map(|v| u64::from_le_bytes(v.try_into().unwrap()))
+                        .unwrap_or(0);
+                    kv.put(&key, &(prev + 1).to_le_bytes()).unwrap();
+                }
+                black_box(kv.len());
+                drop(kv);
+                std::fs::remove_dir_all(dir).ok();
+            },
+        );
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_kv);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Wall-clock comparison of the two *real* (threaded) engines on
+//! multicore: the local analogue of the paper's headline claim, with
+//! genuine map→reduce pipelining instead of a simulated clock.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mr_apps::wordcount::WordCount;
+use mr_core::local::LocalRunner;
+use mr_core::{Engine, JobConfig};
+use mr_workloads::TextWorkload;
+use std::hint::black_box;
+
+fn splits(chunks: u64) -> Vec<Vec<(u64, String)>> {
+    let w = TextWorkload {
+        seed: 9,
+        vocab: 5_000,
+        zipf_s: 1.0,
+        lines_per_chunk: 400,
+        words_per_line: 10,
+    };
+    (0..chunks).map(|c| w.chunk(c)).collect()
+}
+
+fn bench_engines(c: &mut Criterion) {
+    let mut group = c.benchmark_group("local_executor");
+    group.sample_size(10);
+    let input = splits(16);
+    for (name, engine) in [
+        ("barrier", Engine::Barrier),
+        ("barrierless", Engine::barrierless()),
+    ] {
+        group.bench_with_input(BenchmarkId::new(name, "wc-16chunks"), &input, |b, input| {
+            let engine = engine.clone();
+            b.iter(|| {
+                let cfg = JobConfig::new(4).engine(engine.clone());
+                let out = LocalRunner::new(4)
+                    .run(&WordCount, input.clone(), &cfg)
+                    .expect("job");
+                black_box(out.record_count())
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_engines);
+criterion_main!(benches);

@@ -1,0 +1,120 @@
+//! Per-operation throughput of the three partial-result stores (§5.3's
+//! qualitative comparison, quantified): in-memory, spill-and-merge, and
+//! the KV-backed store, driving the same WordCount absorb stream.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mr_core::engine::pipeline::reduce_partition_barrierless;
+use mr_core::{Counters, Engine, JobConfig, MemoryPolicy};
+use std::hint::black_box;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static SERIAL: AtomicU64 = AtomicU64::new(0);
+
+fn records(n: usize, distinct: u64) -> Vec<(String, u64)> {
+    (0..n as u64)
+        .map(|i| (format!("key-{:06}", (i * 7919) % distinct), 1u64))
+        .collect()
+}
+
+fn scratch() -> std::path::PathBuf {
+    std::env::temp_dir().join(format!(
+        "mr-bench-memstore-{}-{}",
+        std::process::id(),
+        SERIAL.fetch_add(1, Ordering::Relaxed)
+    ))
+}
+
+fn bench_stores(c: &mut Criterion) {
+    let mut group = c.benchmark_group("memstore");
+    group.sample_size(10);
+    let n = 20_000;
+    let data = records(n, 4_000);
+    let policies: Vec<(&str, MemoryPolicy)> = vec![
+        ("inmemory", MemoryPolicy::InMemory),
+        (
+            "spill_merge",
+            MemoryPolicy::SpillMerge {
+                threshold_bytes: 64 << 10,
+            },
+        ),
+        (
+            "kvstore",
+            MemoryPolicy::KvStore {
+                cache_bytes: 128 << 10,
+            },
+        ),
+    ];
+    for (name, policy) in policies {
+        group.bench_with_input(BenchmarkId::new(name, n), &data, |b, data| {
+            let policy = policy.clone();
+            b.iter(|| {
+                let cfg = JobConfig::new(1)
+                    .engine(Engine::BarrierLess {
+                        memory: policy.clone(),
+                    })
+                    .scratch_dir(scratch());
+                let (out, _) = reduce_partition_barrierless(
+                    &BenchWordCount,
+                    &cfg,
+                    0,
+                    data.clone(),
+                    &mut Counters::new(),
+                )
+                .expect("store run");
+                black_box(out.len())
+            });
+        });
+    }
+    group.finish();
+}
+
+/// Minimal WordCount for the store benches (kept local so the bench does
+/// not depend on app-crate internals).
+struct BenchWordCount;
+
+impl mr_core::Application for BenchWordCount {
+    type InKey = u64;
+    type InValue = String;
+    type MapKey = String;
+    type MapValue = u64;
+    type OutKey = String;
+    type OutValue = u64;
+    type State = u64;
+    type Shared = ();
+
+    fn map(&self, _k: &u64, v: &String, out: &mut dyn mr_core::Emit<String, u64>) {
+        out.emit(v.clone(), 1);
+    }
+    fn new_shared(&self) {}
+    fn reduce_grouped(
+        &self,
+        key: &String,
+        values: Vec<u64>,
+        _s: &mut (),
+        out: &mut dyn mr_core::Emit<String, u64>,
+    ) {
+        out.emit(key.clone(), values.iter().sum());
+    }
+    fn init(&self, _key: &String) -> u64 {
+        0
+    }
+    fn absorb(
+        &self,
+        _key: &String,
+        state: &mut u64,
+        value: u64,
+        _s: &mut (),
+        _out: &mut dyn mr_core::Emit<String, u64>,
+    ) {
+        *state += value;
+    }
+    fn merge(&self, _key: &String, a: u64, b: u64) -> u64 {
+        a + b
+    }
+    fn finalize(&self, key: String, state: u64, _s: &mut (), out: &mut dyn mr_core::Emit<String, u64>) {
+        out.emit(key, state);
+    }
+}
+
+criterion_group!(benches, bench_stores);
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! The Figure 6(a) mechanism, isolated: the framework's merge sort vs
+//! barrier-less ordered-map insertion, over the same record stream.
+//!
+//! The paper: "the original merge sort is faster than performing
+//! insertions into a Red-Black Tree" — this bench shows the per-record
+//! gap that makes Sort the one class where the barrier wins.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::collections::BTreeMap;
+use std::hint::black_box;
+
+fn keys(n: usize) -> Vec<u64> {
+    // Deterministic pseudo-random keys (splitmix-style), many duplicates.
+    (0..n as u64)
+        .map(|i| {
+            let mut z = i.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z % (n as u64 / 2 + 1)
+        })
+        .collect()
+}
+
+fn bench_sorting(c: &mut Criterion) {
+    let mut group = c.benchmark_group("shuffle_sort");
+    for n in [1_000usize, 10_000, 100_000] {
+        let data = keys(n);
+        group.bench_with_input(BenchmarkId::new("merge_sort", n), &data, |b, data| {
+            b.iter(|| {
+                // The barrier engine: buffer all, then one stable sort.
+                let mut buf = data.clone();
+                buf.sort();
+                black_box(buf.len())
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("btree_counting", n), &data, |b, data| {
+            b.iter(|| {
+                // The barrier-less Sort app: per-record ordered-map upsert
+                // (duplicates counted), then an ordered emission walk.
+                let mut tree: BTreeMap<u64, u64> = BTreeMap::new();
+                for &k in data {
+                    *tree.entry(k).or_insert(0) += 1;
+                }
+                let mut emitted = 0usize;
+                for (_k, count) in tree {
+                    emitted += count as usize;
+                }
+                black_box(emitted)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sorting);
+criterion_main!(benches);

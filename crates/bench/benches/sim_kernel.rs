@@ -1,0 +1,55 @@
+//! Simulation-kernel throughput: event queue ops and processor-sharing
+//! link updates — the substrate costs behind every figure regeneration.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mr_sim::{EventQueue, PsResource, SimTime};
+use std::hint::black_box;
+
+fn bench_event_queue(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim_event_queue");
+    for n in [1_000u64, 100_000] {
+        group.throughput(Throughput::Elements(n));
+        group.bench_with_input(BenchmarkId::new("schedule_pop", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut q = EventQueue::new();
+                for i in 0..n {
+                    // Scatter times with a cheap hash so heap order is real.
+                    let t = (i.wrapping_mul(2654435761)) % 1_000_000;
+                    q.schedule(SimTime::from_micros(t), i);
+                }
+                let mut acc = 0u64;
+                while let Some((_, e)) = q.pop() {
+                    acc ^= e;
+                }
+                black_box(acc)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_ps_resource(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim_ps_link");
+    for flows in [100u64, 10_000] {
+        group.throughput(Throughput::Elements(flows));
+        group.bench_with_input(BenchmarkId::new("add_drain", flows), &flows, |b, &flows| {
+            b.iter(|| {
+                let mut link = PsResource::new(1e9);
+                for i in 0..flows {
+                    let at = SimTime::from_micros(i * 3);
+                    link.advance_to(at);
+                    link.add_flow(at, 1_000 + (i % 977) * 17);
+                }
+                let mut done = 0usize;
+                while let Some(t) = link.next_completion() {
+                    done += link.advance_to(t).len();
+                }
+                black_box(done)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_event_queue, bench_ps_resource);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Figure 10: WordCount under the four memory-management techniques with
+//! increasing dataset size (10 reducers).
+//!
+//! Paper shapes: spill-and-merge and in-memory both beat the barrier as
+//! data grows; the in-memory technique stops completing at large sizes
+//! (heap exhaustion); the KV store cannot keep up at any size.
+
+use mr_bench::appcfg::{run_wc_technique, MemTechnique};
+use mr_bench::chart::{line_chart, table};
+
+fn main() {
+    let reducers = 10;
+    println!("== Figure 10: WordCount memory techniques vs dataset size ({reducers} reducers) ==\n");
+    let sizes = [2.0f64, 4.0, 8.0, 12.0, 16.0, 20.0, 25.0];
+    let mut series: Vec<(&str, Vec<(f64, f64)>)> = MemTechnique::ALL
+        .iter()
+        .map(|t| (t.label(), Vec::new()))
+        .collect();
+    let mut rows = Vec::new();
+    for &gb in &sizes {
+        let mut row = vec![format!("{gb:.0}")];
+        for (i, &t) in MemTechnique::ALL.iter().enumerate() {
+            let s = run_wc_technique(gb, reducers, t);
+            if s.failed {
+                row.push("FAIL (OOM)".to_string());
+            } else {
+                row.push(format!("{:.1}", s.secs));
+                series[i].1.push((gb, s.secs));
+            }
+        }
+        rows.push(row);
+    }
+    let headers: Vec<&str> = std::iter::once("GB")
+        .chain(MemTechnique::ALL.iter().map(|t| t.label()))
+        .collect();
+    print!("{}", table(&headers, &rows));
+    println!();
+    print!(
+        "{}",
+        line_chart(
+            "WordCount completion (s) vs input size (GB)",
+            "input (GB)",
+            "time (s)",
+            &series,
+            64,
+            16,
+        )
+    );
+}

@@ -1,0 +1,51 @@
+//! Figure 9: WordCount (16 GB) under the four memory-management
+//! techniques, with the number of reducers varying.
+//!
+//! The paper's observations to reproduce: the KV store is the slowest
+//! everywhere (it "can not keep up with the high frequency of record
+//! accesses"); spill-and-merge runs slightly behind in-memory but keeps
+//! working where in-memory reducers run out of heap (below ~25 reducers,
+//! marked `FAIL`); both barrier-less techniques beat the barrier.
+
+use mr_bench::appcfg::{run_wc_technique, MemTechnique};
+use mr_bench::chart::{line_chart, table};
+
+fn main() {
+    let gb = 16.0;
+    println!("== Figure 9: WordCount {gb} GB — memory techniques vs reducer count ==\n");
+    let reducer_counts = [5usize, 10, 15, 20, 25, 35, 50, 70];
+    let mut series: Vec<(&str, Vec<(f64, f64)>)> = MemTechnique::ALL
+        .iter()
+        .map(|t| (t.label(), Vec::new()))
+        .collect();
+    let mut rows = Vec::new();
+    for &r in &reducer_counts {
+        let mut row = vec![r.to_string()];
+        for (i, &t) in MemTechnique::ALL.iter().enumerate() {
+            let s = run_wc_technique(gb, r, t);
+            if s.failed {
+                row.push("FAIL (OOM)".to_string());
+            } else {
+                row.push(format!("{:.1}", s.secs));
+                series[i].1.push((r as f64, s.secs));
+            }
+        }
+        rows.push(row);
+    }
+    let headers: Vec<&str> = std::iter::once("reducers")
+        .chain(MemTechnique::ALL.iter().map(|t| t.label()))
+        .collect();
+    print!("{}", table(&headers, &rows));
+    println!();
+    print!(
+        "{}",
+        line_chart(
+            "WordCount completion (s) vs number of reducers",
+            "reducers",
+            "time (s)",
+            &series,
+            64,
+            16,
+        )
+    );
+}

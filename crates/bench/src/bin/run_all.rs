@@ -1,0 +1,33 @@
+//! Runs every table/figure regenerator in paper order and streams their
+//! combined output — the one-command reproduction of the evaluation
+//! section (§6).
+
+use std::process::Command;
+
+fn main() {
+    let me = std::env::current_exe().expect("current exe path");
+    let dir = me.parent().expect("exe dir").to_path_buf();
+    let bins = [
+        "fig4_progress",
+        "fig5_heap",
+        "fig6_apps",
+        "fig7_boxplot",
+        "fig8_reducers",
+        "fig9_memmgmt_reducers",
+        "fig10_memmgmt_size",
+        "table1_memreq",
+        "table2_loc",
+    ];
+    for bin in bins {
+        let path = dir.join(bin);
+        println!("\n{}\n# {}\n{}\n", "#".repeat(72), bin, "#".repeat(72));
+        let status = Command::new(&path)
+            .status()
+            .unwrap_or_else(|e| panic!("failed to launch {}: {e}", path.display()));
+        if !status.success() {
+            eprintln!("[run_all] {bin} exited with {status}");
+            std::process::exit(1);
+        }
+    }
+    println!("\n[run_all] all experiments completed");
+}

@@ -1,0 +1,86 @@
+//! Table 2: programmer effort — lines of code of the original vs the
+//! barrier-less reduce-side logic, counted from this repository's actual
+//! application sources.
+//!
+//! Each multi-file app keeps its original reduce logic in `original.rs`
+//! and the barrier-less rewrite in `barrierless.rs`; the genetic
+//! algorithm and Black-Scholes are single files because the paper found
+//! they require **no** code change (0%).
+
+use mr_bench::chart::table;
+
+/// Code lines: non-empty, non-comment.
+fn loc(src: &str) -> usize {
+    src.lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty() && !l.starts_with("//") && !l.starts_with("//!"))
+        .count()
+}
+
+fn main() {
+    println!("== Table 2: programmer effort (reduce-side lines of code) ==\n");
+    let apps: Vec<(&str, usize, usize, &str)> = vec![
+        (
+            "Sort",
+            loc(include_str!("../../../apps/src/sort/original.rs")),
+            loc(include_str!("../../../apps/src/sort/barrierless.rs")),
+            "+240%",
+        ),
+        (
+            "WordCount",
+            loc(include_str!("../../../apps/src/wordcount/original.rs")),
+            loc(include_str!("../../../apps/src/wordcount/barrierless.rs")),
+            "+20%",
+        ),
+        (
+            "k-Nearest Neighbors",
+            loc(include_str!("../../../apps/src/knn/original.rs")),
+            loc(include_str!("../../../apps/src/knn/barrierless.rs")),
+            "+10%",
+        ),
+        (
+            "Post Processing",
+            loc(include_str!("../../../apps/src/lastfm/original.rs")),
+            loc(include_str!("../../../apps/src/lastfm/barrierless.rs")),
+            "+25%",
+        ),
+        (
+            "Genetic Algorithm",
+            loc(include_str!("../../../apps/src/ga.rs")),
+            loc(include_str!("../../../apps/src/ga.rs")),
+            "0%",
+        ),
+        (
+            "Black-Scholes",
+            loc(include_str!("../../../apps/src/blackscholes.rs")),
+            loc(include_str!("../../../apps/src/blackscholes.rs")),
+            "0%",
+        ),
+    ];
+    let rows: Vec<Vec<String>> = apps
+        .iter()
+        .map(|(name, orig, bl, paper)| {
+            let increase = if orig == bl {
+                "0%".to_string()
+            } else {
+                format!("{:+.0}%", (*bl as f64 - *orig as f64) / *orig as f64 * 100.0)
+            };
+            vec![
+                name.to_string(),
+                orig.to_string(),
+                bl.to_string(),
+                increase,
+                paper.to_string(),
+            ]
+        })
+        .collect();
+    print!(
+        "{}",
+        table(
+            &["Application", "original LoC", "barrier-less LoC", "increase", "paper"],
+            &rows
+        )
+    );
+    println!("\n(the GA and Black-Scholes rows are single shared files: converting them");
+    println!(" really is just flipping the engine flag, as the paper reports)");
+}

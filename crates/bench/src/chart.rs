@@ -1,0 +1,197 @@
+//! Terminal chart rendering for the figure regenerators.
+
+/// Renders a multi-series line chart as ASCII art.
+///
+/// Each series is `(label, points)`; points need not share x positions.
+/// The chart scales both axes to the data and marks series with distinct
+/// glyphs, mirroring the paper's "with barrier" / "without barrier"
+/// two-line plots.
+pub fn line_chart(
+    title: &str,
+    x_label: &str,
+    y_label: &str,
+    series: &[(&str, Vec<(f64, f64)>)],
+    width: usize,
+    height: usize,
+) -> String {
+    const GLYPHS: [char; 6] = ['*', '+', 'o', 'x', '#', '@'];
+    let all: Vec<(f64, f64)> = series.iter().flat_map(|(_, pts)| pts.iter().copied()).collect();
+    if all.is_empty() {
+        return format!("{title}\n  (no data)\n");
+    }
+    let (mut x_min, mut x_max) = (f64::MAX, f64::MIN);
+    let (y_min, mut y_max) = (0.0f64, f64::MIN);
+    for &(x, y) in &all {
+        x_min = x_min.min(x);
+        x_max = x_max.max(x);
+        y_max = y_max.max(y);
+    }
+    if (x_max - x_min).abs() < 1e-12 {
+        x_max = x_min + 1.0;
+    }
+    if y_max <= y_min {
+        y_max = y_min + 1.0;
+    }
+    let mut grid = vec![vec![' '; width]; height];
+    for (si, (_, pts)) in series.iter().enumerate() {
+        let glyph = GLYPHS[si % GLYPHS.len()];
+        for &(x, y) in pts {
+            let cx = ((x - x_min) / (x_max - x_min) * (width - 1) as f64).round() as usize;
+            let cy = ((y - y_min) / (y_max - y_min) * (height - 1) as f64).round() as usize;
+            let row = height - 1 - cy.min(height - 1);
+            grid[row][cx.min(width - 1)] = glyph;
+        }
+    }
+    let mut out = String::new();
+    out.push_str(&format!("  {title}\n"));
+    for (si, (label, _)) in series.iter().enumerate() {
+        out.push_str(&format!("    {} {label}\n", GLYPHS[si % GLYPHS.len()]));
+    }
+    out.push_str(&format!("  {y_label}\n"));
+    for (i, row) in grid.iter().enumerate() {
+        let y_here = y_max - (y_max - y_min) * i as f64 / (height - 1) as f64;
+        let lab = if i % 4 == 0 {
+            format!("{y_here:>8.0}")
+        } else {
+            " ".repeat(8)
+        };
+        out.push_str(&format!("  {lab} |{}\n", row.iter().collect::<String>()));
+    }
+    out.push_str(&format!("  {:>8} +{}\n", "", "-".repeat(width)));
+    out.push_str(&format!(
+        "  {:>8}  {:<12}{:^}{:>12}\n",
+        "",
+        format!("{x_min:.0}"),
+        x_label,
+        format!("{x_max:.0}")
+    ));
+    out
+}
+
+/// Renders a labelled table row-by-row with aligned columns.
+pub fn table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let mut out = String::new();
+    let fmt_row = |cells: Vec<String>, widths: &[usize]| -> String {
+        let mut line = String::from("  ");
+        for (i, cell) in cells.iter().enumerate() {
+            line.push_str(&format!("{:<w$}  ", cell, w = widths[i]));
+        }
+        line.trim_end().to_string() + "\n"
+    };
+    out.push_str(&fmt_row(
+        headers.iter().map(|s| s.to_string()).collect(),
+        &widths,
+    ));
+    out.push_str(&fmt_row(
+        widths.iter().map(|w| "-".repeat(*w)).collect(),
+        &widths,
+    ));
+    for row in rows {
+        out.push_str(&fmt_row(row.clone(), &widths));
+    }
+    out
+}
+
+/// Renders a box plot (one box per label) as ASCII, matching Figure 7.
+pub fn box_plot(title: &str, boxes: &[(&str, crate::stats::BoxStats)], width: usize) -> String {
+    let mut out = format!("  {title}\n");
+    let lo = boxes
+        .iter()
+        .map(|(_, b)| b.min)
+        .fold(f64::MAX, f64::min)
+        .min(0.0);
+    let hi = boxes.iter().map(|(_, b)| b.max).fold(f64::MIN, f64::max);
+    let span = (hi - lo).max(1e-9);
+    let scale = |v: f64| (((v - lo) / span) * (width - 1) as f64).round() as usize;
+    for (label, b) in boxes {
+        let mut row = vec![' '; width];
+        for cell in row[scale(b.min)..=scale(b.max)].iter_mut() {
+            *cell = '-';
+        }
+        for cell in row[scale(b.q1)..=scale(b.q3)].iter_mut() {
+            *cell = '=';
+        }
+        row[scale(b.median)] = '|';
+        row[scale(b.min)] = '[';
+        row[scale(b.max)] = ']';
+        out.push_str(&format!(
+            "  {:>6} {}  (med {:+.1}%)\n",
+            label,
+            row.iter().collect::<String>(),
+            b.median
+        ));
+    }
+    let zero = scale(0.0);
+    let mut axis = vec![' '; width];
+    axis[zero] = '0';
+    out.push_str(&format!("  {:>6} {}\n", "", axis.iter().collect::<String>()));
+    out.push_str(&format!(
+        "  {:>6} {:<10}{:>w$}\n",
+        "",
+        format!("{lo:.0}%"),
+        format!("{hi:.0}%"),
+        w = width - 10
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::BoxStats;
+
+    #[test]
+    fn line_chart_renders_without_panicking() {
+        let s = line_chart(
+            "test",
+            "x",
+            "y",
+            &[
+                ("a", vec![(0.0, 0.0), (10.0, 100.0)]),
+                ("b", vec![(0.0, 50.0), (10.0, 50.0)]),
+            ],
+            40,
+            10,
+        );
+        assert!(s.contains("test"));
+        assert!(s.contains('*'));
+        assert!(s.contains('+'));
+    }
+
+    #[test]
+    fn line_chart_handles_empty_and_degenerate() {
+        assert!(line_chart("e", "x", "y", &[], 10, 5).contains("no data"));
+        let s = line_chart("one", "x", "y", &[("a", vec![(1.0, 1.0)])], 10, 5);
+        assert!(s.contains('*'));
+    }
+
+    #[test]
+    fn table_aligns_columns() {
+        let s = table(
+            &["app", "secs"],
+            &[
+                vec!["wordcount".into(), "12.5".into()],
+                vec!["bs".into(), "3".into()],
+            ],
+        );
+        assert!(s.contains("wordcount"));
+        assert!(s.lines().count() == 4);
+    }
+
+    #[test]
+    fn box_plot_marks_quartiles() {
+        let b = BoxStats::from_values(&mut [1.0, 2.0, 3.0, 4.0, 10.0]);
+        let s = box_plot("t", &[("x", b)], 40);
+        assert!(s.contains('['));
+        assert!(s.contains(']'));
+        assert!(s.contains('|'));
+    }
+}

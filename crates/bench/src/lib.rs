@@ -1,0 +1,11 @@
+//! `mr-bench` — the experiment harness.
+//!
+//! One binary per table/figure of the paper (see `src/bin/`), plus
+//! criterion microbenches (see `benches/`). This library holds what they
+//! share: per-application experiment configurations calibrated to the
+//! paper's testbed ([`appcfg`]), ASCII chart rendering ([`chart`]), and
+//! box-plot statistics ([`stats`]).
+
+pub mod appcfg;
+pub mod chart;
+pub mod stats;

@@ -1,0 +1,85 @@
+//! Five-number summaries for Figure 7's box plot.
+
+/// Min / first quartile / median / third quartile / max.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BoxStats {
+    /// Smallest observation (lower whisker).
+    pub min: f64,
+    /// 25th percentile.
+    pub q1: f64,
+    /// 50th percentile.
+    pub median: f64,
+    /// 75th percentile.
+    pub q3: f64,
+    /// Largest observation (upper whisker).
+    pub max: f64,
+}
+
+impl BoxStats {
+    /// Computes the summary, sorting `values` in place.
+    ///
+    /// Quartiles use linear interpolation between order statistics (R-7,
+    /// the default of R and NumPy).
+    pub fn from_values(values: &mut [f64]) -> BoxStats {
+        assert!(!values.is_empty(), "need at least one observation");
+        values.sort_by(|a, b| a.partial_cmp(b).expect("no NaNs in stats"));
+        let q = |p: f64| -> f64 {
+            let h = p * (values.len() - 1) as f64;
+            let lo = h.floor() as usize;
+            let hi = h.ceil() as usize;
+            values[lo] + (h - lo as f64) * (values[hi] - values[lo])
+        };
+        BoxStats {
+            min: values[0],
+            q1: q(0.25),
+            median: q(0.5),
+            q3: q(0.75),
+            max: values[values.len() - 1],
+        }
+    }
+}
+
+/// Percentage improvement of `new` over `old` (positive = faster).
+pub fn improvement_pct(old_secs: f64, new_secs: f64) -> f64 {
+    (old_secs - new_secs) / old_secs * 100.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn five_numbers_of_a_known_set() {
+        let mut v = [2.0, 4.0, 6.0, 8.0, 10.0];
+        let b = BoxStats::from_values(&mut v);
+        assert_eq!(b.min, 2.0);
+        assert_eq!(b.q1, 4.0);
+        assert_eq!(b.median, 6.0);
+        assert_eq!(b.q3, 8.0);
+        assert_eq!(b.max, 10.0);
+    }
+
+    #[test]
+    fn interpolated_quartiles() {
+        let mut v = [1.0, 2.0, 3.0, 4.0];
+        let b = BoxStats::from_values(&mut v);
+        assert_eq!(b.median, 2.5);
+        assert_eq!(b.q1, 1.75);
+        assert_eq!(b.q3, 3.25);
+    }
+
+    #[test]
+    fn single_observation() {
+        let mut v = [7.0];
+        let b = BoxStats::from_values(&mut v);
+        assert_eq!(b.min, 7.0);
+        assert_eq!(b.max, 7.0);
+        assert_eq!(b.median, 7.0);
+    }
+
+    #[test]
+    fn improvement_signs() {
+        assert_eq!(improvement_pct(100.0, 75.0), 25.0);
+        assert!(improvement_pct(100.0, 109.0) < 0.0);
+    }
+}

@@ -1,0 +1,956 @@
+//! The event-driven cluster executor.
+//!
+//! One `Sim` instance owns all mutable state for a run: task tables,
+//! per-node disks, the network, the event queue. Map and reduce functions
+//! execute for real on generated records; the clock is virtual.
+
+use crate::costs::CostModel;
+use crate::input::SimInput;
+use crate::params::ClusterParams;
+use crate::report::{Outcome, SimReport};
+use crate::timeline::{SpanKind, Timeline};
+use mr_core::counters::names;
+use mr_core::engine::barrier::reduce_partition_barrier;
+use mr_core::engine::pipeline::IncrementalDriver;
+use mr_core::engine::DriverReport;
+use mr_core::{
+    Application, Counters, Engine, JobConfig, JobOutput, MemoryPolicy, MrError, Partitioner,
+};
+use mr_dfs::{ChunkId, Dfs, DfsConfig};
+use mr_net::{Network, NetworkConfig, NodeId};
+use mr_sim::{EventQueue, FifoResource, SimDuration, SimTime};
+use mr_workloads::dist::hetero_factor;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::VecDeque;
+
+/// Public entry point: runs jobs on a simulated cluster.
+pub struct SimExecutor {
+    params: ClusterParams,
+}
+
+/// A scheduled node failure: `(seconds, node index)`.
+pub type Fault = (f64, usize);
+
+impl SimExecutor {
+    /// An executor for the given cluster.
+    pub fn new(params: ClusterParams) -> Self {
+        params.validate();
+        SimExecutor { params }
+    }
+
+    /// Simulates `app` over `chunks` input chunks.
+    pub fn run<A, I, P>(
+        &self,
+        app: &A,
+        input: &I,
+        chunks: u64,
+        cfg: &JobConfig,
+        costs: &CostModel,
+        partitioner: &P,
+    ) -> SimReport<A>
+    where
+        A: Application,
+        I: SimInput<A>,
+        P: Partitioner<A::MapKey>,
+    {
+        self.run_with_faults(app, input, chunks, cfg, costs, partitioner, &[])
+    }
+
+    /// Simulates with node failures injected at the given times.
+    #[allow(clippy::too_many_arguments)]
+    pub fn run_with_faults<A, I, P>(
+        &self,
+        app: &A,
+        input: &I,
+        chunks: u64,
+        cfg: &JobConfig,
+        costs: &CostModel,
+        partitioner: &P,
+        faults: &[Fault],
+    ) -> SimReport<A>
+    where
+        A: Application,
+        I: SimInput<A>,
+        P: Partitioner<A::MapKey>,
+    {
+        costs.validate();
+        assert!(chunks >= 1, "need at least one input chunk");
+        assert!(cfg.reducers >= 1, "need at least one reducer");
+        let mut sim = Sim::new(&self.params, app, input, chunks, cfg, costs, partitioner);
+        for &(secs, node) in faults {
+            sim.queue
+                .schedule(SimTime::from_secs_f64(secs), Ev::NodeFail(node));
+        }
+        sim.run()
+    }
+}
+
+/// Events in the simulation. Task events carry an attempt stamp so events
+/// addressed to a killed attempt are ignored.
+#[derive(Debug, Clone, Copy)]
+enum Ev {
+    Schedule,
+    MapFetched(usize, u32),
+    MapComputed(usize, u32),
+    MapWritten(usize, u32),
+    Batch(usize, u32),
+    SortDone(usize, u32),
+    GroupedDone(usize, u32),
+    FinalizeDone(usize, u32),
+    OutputPartDone(usize, u32),
+    NodeFail(usize),
+}
+
+/// Network flow tags.
+#[derive(Debug, Clone, Copy)]
+enum Tag {
+    /// Remote chunk fetch for map task `m`.
+    Fetch(usize, u32),
+    /// Shuffle of map `m`'s partition for reducer `r`.
+    Shuffle {
+        map: usize,
+        map_attempt: u32,
+        red: usize,
+        red_attempt: u32,
+    },
+    /// Output replica write for reducer `r`.
+    Output(usize, u32, NodeId),
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum MapState {
+    Pending,
+    Fetching,
+    Computing,
+    Writing,
+    Done,
+}
+
+struct MapTask<A: Application> {
+    chunk: ChunkId,
+    state: MapState,
+    node: usize,
+    attempt: u32,
+    started: SimTime,
+    /// Per-reducer record batches, produced by really running map().
+    #[allow(clippy::type_complexity)]
+    output: Option<Vec<Vec<(A::MapKey, A::MapValue)>>>,
+    /// Nominal map-output bytes (chunk bytes × shuffle selectivity).
+    out_bytes: u64,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum RedState {
+    Pending,
+    Running,
+    Finalizing,
+    Writing,
+    Done,
+}
+
+struct ReduceTask<A: Application> {
+    state: RedState,
+    node: usize,
+    attempt: u32,
+    started: SimTime,
+    /// Map tasks whose batch has been *delivered*.
+    fetched_from: Vec<bool>,
+    /// Map tasks we have an in-flight or delivered flow from.
+    flow_from: Vec<bool>,
+    /// Barrier mode: buffered records awaiting the sort.
+    buffer: Vec<(A::MapKey, A::MapValue)>,
+    /// Pipelined mode: the live incremental driver.
+    driver: Option<IncrementalDriver<A>>,
+    /// Batches delivered but not yet charged/absorbed.
+    batches: VecDeque<Vec<(A::MapKey, A::MapValue)>>,
+    /// When the reducer's CPU drains everything scheduled on it.
+    cpu_free: SimTime,
+    /// Store I/O bytes already charged to the disk.
+    io_charged: u64,
+    shuffle_done_at: Option<SimTime>,
+    reduce_phase_started: Option<SimTime>,
+    finalize_done_at: Option<SimTime>,
+    /// Nominal bytes received through the shuffle.
+    input_bytes: u64,
+    out: Vec<(A::OutKey, A::OutValue)>,
+    counters: Counters,
+    report: Option<DriverReport>,
+    /// Output pieces (local disk + remote replicas) still outstanding.
+    write_parts_left: usize,
+}
+
+struct Sim<'a, A: Application, I, P> {
+    p: &'a ClusterParams,
+    app: &'a A,
+    input: &'a I,
+    cfg: &'a JobConfig,
+    costs: &'a CostModel,
+    partitioner: &'a P,
+    queue: EventQueue<Ev>,
+    net: Network<Tag>,
+    disks: Vec<FifoResource>,
+    dfs: Dfs,
+    node_alive: Vec<bool>,
+    node_factor: Vec<f64>,
+    map_slots_used: Vec<usize>,
+    red_slots_used: Vec<usize>,
+    maps: Vec<MapTask<A>>,
+    reds: Vec<ReduceTask<A>>,
+    maps_done: usize,
+    reds_done: usize,
+    timeline: Timeline,
+    first_map_done: Option<SimTime>,
+    last_map_done: SimTime,
+    shuffle_done: SimTime,
+    shuffle_bytes: u64,
+    map_tasks_run: usize,
+    reduce_tasks_run: usize,
+    map_counters: Counters,
+    noise_rng: StdRng,
+    failure: Option<(SimTime, String)>,
+    now: SimTime,
+}
+
+impl<'a, A, I, P> Sim<'a, A, I, P>
+where
+    A: Application,
+    I: SimInput<A>,
+    P: Partitioner<A::MapKey>,
+{
+    fn new(
+        p: &'a ClusterParams,
+        app: &'a A,
+        input: &'a I,
+        chunks: u64,
+        cfg: &'a JobConfig,
+        costs: &'a CostModel,
+        partitioner: &'a P,
+    ) -> Self {
+        let mut rng = StdRng::seed_from_u64(p.seed ^ 0xC1A5_7E12);
+        let node_factor: Vec<f64> = (0..p.nodes)
+            .map(|_| hetero_factor(&mut rng, p.hetero_sigma))
+            .collect();
+        let mut dfs = Dfs::new(
+            DfsConfig {
+                nodes: p.nodes,
+                chunk_bytes: p.chunk_bytes,
+                replication: p.replication,
+            },
+            p.seed,
+        );
+        let file = dfs.create_file("job-input", chunks * p.chunk_bytes);
+        let chunk_ids: Vec<ChunkId> = dfs.file_chunks(file).to_vec();
+        let maps = chunk_ids
+            .into_iter()
+            .map(|chunk| MapTask {
+                chunk,
+                state: MapState::Pending,
+                node: usize::MAX,
+                attempt: 0,
+                started: SimTime::ZERO,
+                output: None,
+                out_bytes: (p.chunk_bytes as f64 * costs.shuffle_selectivity) as u64,
+            })
+            .collect();
+        let reds = (0..cfg.reducers)
+            .map(|_| ReduceTask {
+                state: RedState::Pending,
+                node: usize::MAX,
+                attempt: 0,
+                started: SimTime::ZERO,
+                fetched_from: Vec::new(),
+                flow_from: Vec::new(),
+                buffer: Vec::new(),
+                driver: None,
+                batches: VecDeque::new(),
+                cpu_free: SimTime::ZERO,
+                io_charged: 0,
+                shuffle_done_at: None,
+                reduce_phase_started: None,
+                finalize_done_at: None,
+                input_bytes: 0,
+                out: Vec::new(),
+                counters: Counters::new(),
+                report: None,
+                write_parts_left: 0,
+            })
+            .collect();
+        let mut queue = EventQueue::new();
+        queue.schedule(SimTime::ZERO, Ev::Schedule);
+        Sim {
+            net: Network::new(NetworkConfig {
+                nodes: p.nodes,
+                link_bytes_per_sec: p.link_bytes_per_sec,
+                oversubscription: p.oversubscription,
+            }),
+            disks: (0..p.nodes)
+                .map(|_| FifoResource::new(p.disk_bytes_per_sec))
+                .collect(),
+            node_alive: vec![true; p.nodes],
+            map_slots_used: vec![0; p.nodes],
+            red_slots_used: vec![0; p.nodes],
+            noise_rng: StdRng::seed_from_u64(p.seed ^ 0x5EED_0F0F),
+            p,
+            app,
+            input,
+            cfg,
+            costs,
+            partitioner,
+            queue,
+            dfs,
+            node_factor,
+            maps,
+            reds,
+            maps_done: 0,
+            reds_done: 0,
+            timeline: Timeline::default(),
+            first_map_done: None,
+            last_map_done: SimTime::ZERO,
+            shuffle_done: SimTime::ZERO,
+            shuffle_bytes: 0,
+            map_tasks_run: 0,
+            reduce_tasks_run: 0,
+            map_counters: Counters::new(),
+            failure: None,
+            now: SimTime::ZERO,
+        }
+    }
+
+    fn pipelined(&self) -> bool {
+        matches!(self.cfg.engine, Engine::BarrierLess { .. })
+    }
+
+    fn absorb_cost_per_record(&self) -> f64 {
+        match &self.cfg.engine {
+            Engine::BarrierLess {
+                memory: MemoryPolicy::KvStore { .. },
+            } => self.costs.kv_cpu_per_record,
+            Engine::BarrierLess { .. } => {
+                self.costs.reduce_cpu_per_record + self.costs.absorb_extra_per_record
+            }
+            Engine::Barrier => self.costs.reduce_cpu_per_record,
+        }
+    }
+
+    fn noise(&mut self) -> f64 {
+        hetero_factor(&mut self.noise_rng, self.p.task_noise_sigma)
+    }
+
+    // ---------------------------------------------------------------- run
+
+    fn run(mut self) -> SimReport<A> {
+        loop {
+            if self.failure.is_some() {
+                break;
+            }
+            let tq = self.queue.peek_time();
+            let tn = self.net.next_event_time();
+            match (tq, tn) {
+                (None, None) => break,
+                (Some(tq_at), tn_opt) if tn_opt.is_none_or(|tn_at| tq_at <= tn_at) => {
+                    let (at, ev) = self.queue.pop().expect("peeked");
+                    self.now = at;
+                    self.handle_event(at, ev);
+                }
+                (_, Some(tn_at)) => {
+                    self.now = tn_at;
+                    for (_, tag) in self.net.advance_to(tn_at) {
+                        self.handle_flow(tn_at, tag);
+                    }
+                }
+                (Some(_), None) => unreachable!("guard above covers this"),
+            }
+            if self.maps_done == self.maps.len() && self.reds_done == self.reds.len() {
+                break;
+            }
+        }
+        self.finish_report()
+    }
+
+    fn finish_report(mut self) -> SimReport<A> {
+        let outcome = match self.failure.take() {
+            Some((at, reason)) => Outcome::Failed { at, reason },
+            None => Outcome::Completed {
+                at: self.timeline.last_end(),
+            },
+        };
+        let output = if outcome.is_completed() {
+            let mut counters = std::mem::take(&mut self.map_counters);
+            let mut partitions = Vec::with_capacity(self.reds.len());
+            let mut reports = Vec::new();
+            for r in &mut self.reds {
+                counters.merge(&r.counters);
+                partitions.push(std::mem::take(&mut r.out));
+                if let Some(rep) = r.report.take() {
+                    reports.push(rep);
+                }
+            }
+            Some(JobOutput {
+                partitions,
+                counters,
+                reports,
+            })
+        } else {
+            None
+        };
+        SimReport {
+            outcome,
+            output,
+            timeline: self.timeline,
+            first_map_done: self.first_map_done.unwrap_or(SimTime::ZERO),
+            last_map_done: self.last_map_done,
+            shuffle_done: self.shuffle_done,
+            shuffle_bytes: self.shuffle_bytes,
+            map_tasks_run: self.map_tasks_run,
+            reduce_tasks_run: self.reduce_tasks_run,
+        }
+    }
+
+    // ---------------------------------------------------------- scheduler
+
+    fn handle_event(&mut self, at: SimTime, ev: Ev) {
+        match ev {
+            Ev::Schedule => self.schedule_tasks(at),
+            Ev::MapFetched(m, a) => {
+                if self.maps[m].attempt == a && self.maps[m].state == MapState::Fetching {
+                    self.map_compute(at, m);
+                }
+            }
+            Ev::MapComputed(m, a) => {
+                if self.maps[m].attempt == a && self.maps[m].state == MapState::Computing {
+                    self.map_write(at, m);
+                }
+            }
+            Ev::MapWritten(m, a) => {
+                if self.maps[m].attempt == a && self.maps[m].state == MapState::Writing {
+                    self.map_done(at, m);
+                }
+            }
+            Ev::Batch(r, a) => {
+                if self.reds[r].attempt == a && self.reds[r].state == RedState::Running {
+                    self.reduce_batch(at, r);
+                }
+            }
+            Ev::SortDone(r, a) => {
+                if self.reds[r].attempt == a {
+                    self.grouped_reduce_start(at, r);
+                }
+            }
+            Ev::GroupedDone(r, a) => {
+                if self.reds[r].attempt == a {
+                    self.grouped_reduce_done(at, r);
+                }
+            }
+            Ev::FinalizeDone(r, a) => {
+                if self.reds[r].attempt == a && self.reds[r].state == RedState::Finalizing {
+                    self.finalize_done(at, r);
+                }
+            }
+            Ev::OutputPartDone(r, a) => {
+                if self.reds[r].attempt == a && self.reds[r].state == RedState::Writing {
+                    self.output_part_done(at, r);
+                }
+            }
+            Ev::NodeFail(n) => self.fail_node(at, n),
+        }
+    }
+
+    fn schedule_tasks(&mut self, at: SimTime) {
+        // Map tasks: prefer chunk-local placement, like Hadoop's scheduler.
+        while let Some(node) = (0..self.p.nodes)
+            .find(|&n| self.node_alive[n] && self.map_slots_used[n] < self.p.map_slots)
+        {
+            // First pass: a pending map with a replica on this node.
+            let local = self.maps.iter().position(|m| {
+                m.state == MapState::Pending && self.dfs.is_local(m.chunk, NodeId(node as u32))
+            });
+            let pick = local.or_else(|| {
+                self.maps
+                    .iter()
+                    .position(|m| m.state == MapState::Pending)
+            });
+            let Some(m) = pick else { break };
+            self.start_map(at, m, node);
+        }
+        // Reduce tasks: id order onto free reduce slots.
+        while let Some(r) = self
+            .reds
+            .iter()
+            .position(|r| r.state == RedState::Pending)
+        {
+            let Some(node) = (0..self.p.nodes)
+                .filter(|&n| self.node_alive[n] && self.red_slots_used[n] < self.p.reduce_slots)
+                .min_by_key(|&n| self.red_slots_used[n])
+            else {
+                break;
+            };
+            self.start_reduce(at, r, node);
+        }
+    }
+
+    // ---------------------------------------------------------- map side
+
+    fn start_map(&mut self, at: SimTime, m: usize, node: usize) {
+        self.map_slots_used[node] += 1;
+        self.map_tasks_run += 1;
+        let task = &mut self.maps[m];
+        task.state = MapState::Fetching;
+        task.node = node;
+        task.started = at;
+        let chunk = task.chunk;
+        let bytes = self.dfs.chunk(chunk).bytes;
+        let src = self.dfs.read_source(chunk, NodeId(node as u32));
+        if src.local {
+            let done = self.disks[node].submit(at, bytes);
+            self.queue.schedule(done, Ev::MapFetched(m, task.attempt));
+        } else {
+            // Remote read: source disk + a network flow; the flow completes
+            // last on a loaded link, the disk first on an idle one.
+            self.disks[src.node.0 as usize].submit(at, bytes);
+            let attempt = task.attempt;
+            self.net
+                .start_flow(at, src.node, NodeId(node as u32), bytes, Tag::Fetch(m, attempt));
+        }
+    }
+
+    fn map_compute(&mut self, at: SimTime, m: usize) {
+        let node = self.maps[m].node;
+        self.maps[m].state = MapState::Computing;
+        let dur = SimDuration::from_secs_f64(
+            self.costs.map_cpu_per_chunk * self.node_factor[node] * self.noise(),
+        );
+        self.queue
+            .schedule(at + dur, Ev::MapComputed(m, self.maps[m].attempt));
+    }
+
+    fn map_write(&mut self, at: SimTime, m: usize) {
+        // The compute time is charged; now actually run the map function.
+        let chunk_index = self.dfs.chunk(self.maps[m].chunk).index as u64;
+        let records = self.input.records(chunk_index);
+        let reducers = self.cfg.reducers;
+        let mut parts: Vec<Vec<(A::MapKey, A::MapValue)>> =
+            (0..reducers).map(|_| Vec::new()).collect();
+        let mut emitted = 0u64;
+        {
+            let mut emit = mr_core::FnEmit(|k: A::MapKey, v: A::MapValue| {
+                emitted += 1;
+                let p = self.partitioner.partition(&k, reducers);
+                parts[p].push((k, v));
+            });
+            for (k, v) in &records {
+                self.app.map(k, v, &mut emit);
+            }
+        }
+        self.map_counters.add(names::MAP_OUTPUT_RECORDS, emitted);
+        let task = &mut self.maps[m];
+        task.output = Some(parts);
+        task.state = MapState::Writing;
+        let node = task.node;
+        let out_bytes = task.out_bytes;
+        let done = self.disks[node].submit(at, out_bytes);
+        self.queue.schedule(done, Ev::MapWritten(m, task.attempt));
+    }
+
+    fn map_done(&mut self, at: SimTime, m: usize) {
+        let node = self.maps[m].node;
+        self.maps[m].state = MapState::Done;
+        self.maps_done += 1;
+        self.map_slots_used[node] -= 1;
+        self.timeline
+            .span(SpanKind::Map, m, self.maps[m].started, at);
+        if self.first_map_done.is_none() {
+            self.first_map_done = Some(at);
+        }
+        self.last_map_done = self.last_map_done.max(at);
+        // Feed every running reducer that lacks this map's output.
+        for r in 0..self.reds.len() {
+            if self.reds[r].state == RedState::Running && !self.reds[r].flow_from[m] {
+                self.start_shuffle_flow(at, m, r);
+            }
+        }
+        self.queue.schedule(at, Ev::Schedule);
+    }
+
+    // -------------------------------------------------------- reduce side
+
+    fn start_reduce(&mut self, at: SimTime, r: usize, node: usize) {
+        self.red_slots_used[node] += 1;
+        self.reduce_tasks_run += 1;
+        let n_maps = self.maps.len();
+        let task = &mut self.reds[r];
+        task.state = RedState::Running;
+        task.node = node;
+        task.started = at;
+        task.fetched_from = vec![false; n_maps];
+        task.flow_from = vec![false; n_maps];
+        task.cpu_free = at;
+        if self.pipelined() {
+            match IncrementalDriver::new(self.app, self.cfg, r) {
+                Ok(driver) => self.reds[r].driver = Some(driver),
+                Err(e) => {
+                    self.failure = Some((at, format!("driver init failed: {e}")));
+                    return;
+                }
+            }
+        }
+        // Pull from every already-finished map.
+        for m in 0..n_maps {
+            if self.maps[m].state == MapState::Done {
+                self.start_shuffle_flow(at, m, r);
+            }
+        }
+    }
+
+    fn start_shuffle_flow(&mut self, at: SimTime, m: usize, r: usize) {
+        let total_records: usize = self.maps[m]
+            .output
+            .as_ref()
+            .expect("done map has output")
+            .iter()
+            .map(Vec::len)
+            .sum();
+        let part_records = self.maps[m].output.as_ref().unwrap()[r].len();
+        // Nominal bytes proportional to the partition's record share;
+        // uniform share when the map produced nothing (pure cost model).
+        let bytes = if total_records > 0 {
+            (self.maps[m].out_bytes as f64 * part_records as f64 / total_records as f64) as u64
+        } else {
+            self.maps[m].out_bytes / self.cfg.reducers as u64
+        };
+        self.reds[r].flow_from[m] = true;
+        self.shuffle_bytes += bytes;
+        let src = NodeId(self.maps[m].node as u32);
+        let dst = NodeId(self.reds[r].node as u32);
+        self.net.start_flow(
+            at,
+            src,
+            dst,
+            bytes,
+            Tag::Shuffle {
+                map: m,
+                map_attempt: self.maps[m].attempt,
+                red: r,
+                red_attempt: self.reds[r].attempt,
+            },
+        );
+    }
+
+    fn handle_flow(&mut self, at: SimTime, tag: Tag) {
+        match tag {
+            Tag::Fetch(m, a) => {
+                if self.maps[m].attempt == a && self.maps[m].state == MapState::Fetching {
+                    self.map_compute(at, m);
+                }
+            }
+            Tag::Shuffle {
+                map,
+                map_attempt,
+                red,
+                red_attempt,
+            } => {
+                if self.maps[map].attempt != map_attempt
+                    || self.reds[red].attempt != red_attempt
+                    || self.reds[red].state != RedState::Running
+                {
+                    return;
+                }
+                self.shuffle_delivery(at, map, red);
+            }
+            Tag::Output(r, a, replica) => {
+                if self.reds[r].attempt == a && self.reds[r].state == RedState::Writing {
+                    // Replica received: write it to the replica's disk.
+                    let bytes = (self.reds[r].input_bytes as f64 * self.costs.output_selectivity)
+                        as u64;
+                    let done = self.disks[replica.0 as usize].submit(at, bytes);
+                    self.queue
+                        .schedule(done, Ev::OutputPartDone(r, self.reds[r].attempt));
+                }
+            }
+        }
+    }
+
+    fn shuffle_delivery(&mut self, at: SimTime, m: usize, r: usize) {
+        let batch = self.maps[m].output.as_ref().expect("done map")[r].clone();
+        let total_records: usize = self.maps[m].output.as_ref().unwrap().iter().map(Vec::len).sum();
+        let bytes = if total_records > 0 {
+            (self.maps[m].out_bytes as f64 * batch.len() as f64 / total_records as f64) as u64
+        } else {
+            self.maps[m].out_bytes / self.cfg.reducers as u64
+        };
+        let pipelined = self.pipelined();
+        let absorb_cost = self.absorb_cost_per_record();
+        let task = &mut self.reds[r];
+        task.fetched_from[m] = true;
+        task.input_bytes += bytes;
+
+        if pipelined {
+            // Charge the absorb CPU as one batch on the reducer's core.
+            let cost = absorb_cost * batch.len() as f64;
+            let dur =
+                SimDuration::from_secs_f64(cost * self.node_factor[task.node]);
+            let start = task.cpu_free.max(at);
+            task.cpu_free = start + dur;
+            task.batches.push_back(batch);
+            self.queue
+                .schedule(task.cpu_free, Ev::Batch(r, task.attempt));
+        } else {
+            task.buffer.extend(batch);
+        }
+        self.check_shuffle_complete(at, r);
+    }
+
+    fn check_shuffle_complete(&mut self, at: SimTime, r: usize) {
+        let all = self.reds[r].fetched_from.iter().all(|&f| f)
+            && self.reds[r].fetched_from.len() == self.maps.len()
+            && self.maps_done == self.maps.len();
+        if !all || self.reds[r].shuffle_done_at.is_some() {
+            return;
+        }
+        self.reds[r].shuffle_done_at = Some(at);
+        self.shuffle_done = self.shuffle_done.max(at);
+        if self.pipelined() {
+            // Finalize once the CPU drains the queued batches.
+            let when = self.reds[r].cpu_free.max(at);
+            self.queue
+                .schedule(when, Ev::Batch(r, self.reds[r].attempt));
+        } else {
+            // Barrier reached: sort, then reduce.
+            self.timeline
+                .span(SpanKind::Shuffle, r, self.reds[r].started, at);
+            let n = self.reds[r].buffer.len() as f64;
+            let sort = self.costs.sort_cpu_coeff * n * n.max(2.0).log2()
+                * self.node_factor[self.reds[r].node];
+            self.queue.schedule(
+                at + SimDuration::from_secs_f64(sort),
+                Ev::SortDone(r, self.reds[r].attempt),
+            );
+        }
+    }
+
+    /// Pipelined: one delivered batch's absorb work completes.
+    fn reduce_batch(&mut self, at: SimTime, r: usize) {
+        if let Some(batch) = self.reds[r].batches.pop_front() {
+            let node = self.reds[r].node;
+            let task = &mut self.reds[r];
+            let driver = task.driver.as_mut().expect("pipelined reducer");
+            for (k, v) in batch {
+                if let Err(e) = driver.push(self.app, k, v, &mut task.out) {
+                    self.fail_job(at, r, e);
+                    return;
+                }
+            }
+            // Sample the heap and charge new store I/O to the local disk.
+            let bytes = driver.modelled_bytes();
+            self.timeline.heap_sample(at, r, bytes);
+            let io = driver.io_bytes();
+            let delta = io - task.io_charged;
+            if delta > 0 {
+                task.io_charged = io;
+                self.disks[node].submit(at, delta);
+            }
+        }
+        // All shuffled + all absorbed => finalize.
+        let task = &self.reds[r];
+        if task.shuffle_done_at.is_some() && task.batches.is_empty() && task.cpu_free <= at {
+            self.start_finalize(at, r);
+        }
+    }
+
+    fn fail_job(&mut self, at: SimTime, r: usize, e: MrError) {
+        let reason = match e {
+            MrError::OutOfMemory {
+                used_bytes,
+                cap_bytes,
+                ..
+            } => {
+                self.timeline.heap_sample(at, r, used_bytes);
+                format!(
+                    "reducer {r} exceeded heap: {} MB > cap {} MB",
+                    used_bytes >> 20,
+                    cap_bytes >> 20
+                )
+            }
+            other => format!("reducer {r} failed: {other}"),
+        };
+        self.failure = Some((at, reason));
+    }
+
+    fn start_finalize(&mut self, at: SimTime, r: usize) {
+        let task = &mut self.reds[r];
+        task.state = RedState::Finalizing;
+        let entries = task.driver.as_ref().map_or(0, |d| d.entries());
+        let dur = SimDuration::from_secs_f64(
+            self.costs.finalize_cpu_per_entry * entries as f64 * self.node_factor[task.node],
+        );
+        self.queue
+            .schedule(at + dur, Ev::FinalizeDone(r, task.attempt));
+    }
+
+    fn finalize_done(&mut self, at: SimTime, r: usize) {
+        // Run the real merge+finalize.
+        let driver = self.reds[r].driver.take().expect("pipelined reducer");
+        let mut out = std::mem::take(&mut self.reds[r].out);
+        let mut counters = std::mem::take(&mut self.reds[r].counters);
+        match driver.finish(self.app, &mut counters, &mut out) {
+            Ok(report) => {
+                // Spill-merge reads its runs back during the merge.
+                let merge_read = report.store.spill_bytes;
+                if merge_read > 0 {
+                    self.disks[self.reds[r].node].submit(at, merge_read);
+                }
+                counters.add(names::REDUCE_OUTPUT_RECORDS, out.len() as u64);
+                self.reds[r].report = Some(report);
+                self.reds[r].out = out;
+                self.reds[r].counters = counters;
+            }
+            Err(e) => {
+                self.fail_job(at, r, e);
+                return;
+            }
+        }
+        self.reds[r].finalize_done_at = Some(at);
+        self.timeline
+            .span(SpanKind::ShuffleReduce, r, self.reds[r].started, at);
+        self.start_output_write(at, r);
+    }
+
+    /// Barrier: sort finished; charge the grouped reduce pass.
+    fn grouped_reduce_start(&mut self, at: SimTime, r: usize) {
+        let task = &self.reds[r];
+        let n = task.buffer.len() as f64;
+        let dur = SimDuration::from_secs_f64(
+            self.costs.reduce_cpu_per_record * n * self.node_factor[task.node],
+        );
+        self.queue
+            .schedule(at + dur, Ev::GroupedDone(r, task.attempt));
+    }
+
+    fn grouped_reduce_done(&mut self, at: SimTime, r: usize) {
+        // Run the real sort+group+reduce.
+        let records = std::mem::take(&mut self.reds[r].buffer);
+        let mut counters = std::mem::take(&mut self.reds[r].counters);
+        match reduce_partition_barrier(self.app, records, &mut counters) {
+            Ok(out) => {
+                self.reds[r].out = out;
+                self.reds[r].counters = counters;
+            }
+            Err(e) => {
+                self.fail_job(at, r, e);
+                return;
+            }
+        }
+        let start = self.reds[r]
+            .shuffle_done_at
+            .expect("sorted after shuffle");
+        self.timeline.span(SpanKind::SortReduce, r, start, at);
+        self.start_output_write(at, r);
+    }
+
+    fn start_output_write(&mut self, at: SimTime, r: usize) {
+        let task = &mut self.reds[r];
+        task.state = RedState::Writing;
+        task.reduce_phase_started = Some(at);
+        let bytes = (task.input_bytes as f64 * self.costs.output_selectivity) as u64;
+        let node = task.node;
+        let attempt = task.attempt;
+        // Replication pipeline: local disk + (replication-1) remote copies.
+        let targets = self.dfs.write_targets(NodeId(node as u32));
+        task.write_parts_left = targets.len();
+        let local_done = self.disks[node].submit(at, bytes);
+        self.queue.schedule(local_done, Ev::OutputPartDone(r, attempt));
+        for &replica in targets.iter().skip(1) {
+            self.net
+                .start_flow(at, NodeId(node as u32), replica, bytes, Tag::Output(r, attempt, replica));
+        }
+    }
+
+    fn output_part_done(&mut self, at: SimTime, r: usize) {
+        self.reds[r].write_parts_left -= 1;
+        if self.reds[r].write_parts_left > 0 {
+            return;
+        }
+        let task = &mut self.reds[r];
+        task.state = RedState::Done;
+        self.reds_done += 1;
+        self.red_slots_used[task.node] -= 1;
+        let wrote_from = task.reduce_phase_started.expect("write started");
+        self.timeline.span(SpanKind::Output, r, wrote_from, at);
+        self.queue.schedule(at, Ev::Schedule);
+    }
+
+    // ------------------------------------------------------------- faults
+
+    fn fail_node(&mut self, at: SimTime, n: usize) {
+        if !self.node_alive[n] {
+            return;
+        }
+        self.node_alive[n] = false;
+        self.map_slots_used[n] = 0;
+        self.red_slots_used[n] = 0;
+        self.net.fail_node(at, NodeId(n as u32));
+        let lost = self.dfs.fail_node(NodeId(n as u32));
+        assert!(
+            lost.is_empty(),
+            "input chunks lost all replicas — unrecoverable, as in HDFS"
+        );
+        // Maps on the dead node: running ones restart; completed ones lose
+        // their locally stored output and must re-run for any reducer that
+        // has not fetched it yet.
+        for m in 0..self.maps.len() {
+            let needs_rerun = match self.maps[m].state {
+                MapState::Fetching | MapState::Computing | MapState::Writing => {
+                    self.maps[m].node == n
+                }
+                MapState::Done => {
+                    self.maps[m].node == n
+                        && self.reds.iter().any(|r| {
+                            r.state != RedState::Done
+                                && (r.fetched_from.len() <= m || !r.fetched_from[m])
+                        })
+                }
+                _ => false,
+            };
+            if needs_rerun {
+                if self.maps[m].state == MapState::Done {
+                    self.maps_done -= 1;
+                }
+                let task = &mut self.maps[m];
+                task.state = MapState::Pending;
+                task.attempt += 1;
+                task.output = None;
+                task.node = usize::MAX;
+                // Reducers with an in-flight (now cancelled) flow from this
+                // map must be allowed to re-request it.
+                for r in &mut self.reds {
+                    if !r.flow_from.is_empty() && !r.fetched_from[m] {
+                        r.flow_from[m] = false;
+                    }
+                }
+            }
+        }
+        // Reducers on the dead node restart from scratch elsewhere.
+        for r in 0..self.reds.len() {
+            if self.reds[r].node == n && self.reds[r].state != RedState::Done
+                && self.reds[r].state != RedState::Pending
+            {
+                let task = &mut self.reds[r];
+                task.state = RedState::Pending;
+                task.attempt += 1;
+                task.node = usize::MAX;
+                task.fetched_from.clear();
+                task.flow_from.clear();
+                task.buffer.clear();
+                task.driver = None;
+                task.batches.clear();
+                task.shuffle_done_at = None;
+                task.reduce_phase_started = None;
+                task.out.clear();
+                task.counters = Counters::new();
+                task.io_charged = 0;
+                task.input_bytes = 0;
+            }
+        }
+        self.queue.schedule(at, Ev::Schedule);
+    }
+}

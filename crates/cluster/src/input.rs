@@ -1,0 +1,25 @@
+//! Input sources for simulated jobs.
+
+use mr_core::Application;
+
+/// Supplies the records of each input chunk on demand.
+///
+/// Implementations are usually thin adapters over `mr-workloads`
+/// generators: deterministic functions of the chunk index.
+pub trait SimInput<A: Application>: Sync {
+    /// The records stored in chunk `chunk`.
+    fn records(&self, chunk: u64) -> Vec<(A::InKey, A::InValue)>;
+}
+
+/// Adapts a closure into a [`SimInput`].
+pub struct FnInput<F>(pub F);
+
+impl<A, F> SimInput<A> for FnInput<F>
+where
+    A: Application,
+    F: Fn(u64) -> Vec<(A::InKey, A::InValue)> + Sync,
+{
+    fn records(&self, chunk: u64) -> Vec<(A::InKey, A::InValue)> {
+        (self.0)(chunk)
+    }
+}

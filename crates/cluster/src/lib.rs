@@ -1,0 +1,38 @@
+//! `mr-cluster` — execution-driven discrete-event simulation of the
+//! paper's 16-node testbed.
+//!
+//! The simulator runs *real application code* on *real (scaled) record
+//! streams*: map functions produce actual records, barrier-less reducers
+//! absorb them through the actual partial-result stores (including real
+//! spill files and the real KV store), and outputs are checked for
+//! correctness. Only the clock is virtual — task durations, disk
+//! transfers and network flows are charged against `mr-sim` resources
+//! calibrated to the paper's hardware (§6: 15 slaves, 4+4 slots each,
+//! GbE, 64 MB chunks, replication 3).
+//!
+//! What the model captures — because the figures depend on it:
+//!
+//! * **Mapper slack** (§3.2, §6.2): heterogeneous map finish times leave a
+//!   window in which barrier reducers idle but barrier-less reducers work.
+//! * **Shuffle contention**: per-NIC processor sharing; many mappers
+//!   feeding one reducer stretch flows.
+//! * **Reducer waves** (Figure 8): reduce slots are held until output is
+//!   written, so 70 reducers on 60 slots run in two waves.
+//! * **Memory behaviour** (Figures 5, 9, 10): heap sampling of the real
+//!   stores, OOM kills, spill and KV disk traffic charged to the disks.
+//! * **Fault tolerance** (§3.1): nodes can be killed mid-run; lost map
+//!   output and dead reducers are re-executed, as in Hadoop.
+
+mod costs;
+mod executor;
+mod input;
+mod params;
+mod report;
+mod timeline;
+
+pub use costs::CostModel;
+pub use executor::SimExecutor;
+pub use input::{FnInput, SimInput};
+pub use params::ClusterParams;
+pub use report::{Outcome, SimReport};
+pub use timeline::{HeapSample, SpanKind, TaskSpan, Timeline};

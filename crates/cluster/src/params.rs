@@ -1,0 +1,97 @@
+//! Static description of the simulated cluster.
+
+/// Cluster hardware and scheduling parameters.
+///
+/// Defaults mirror §6 of the paper: 15 worker nodes (the 16th ran the
+/// JobTracker/NameNode and no tasks), 4 map + 4 reduce slots per node to
+/// fill dual quad-cores, Gigabit Ethernet, 64 MB chunks, replication 3.
+#[derive(Debug, Clone)]
+pub struct ClusterParams {
+    /// Worker (slave) node count.
+    pub nodes: usize,
+    /// Concurrent map tasks per node.
+    pub map_slots: usize,
+    /// Concurrent reduce tasks per node.
+    pub reduce_slots: usize,
+    /// Raw NIC capacity in bytes/second.
+    pub link_bytes_per_sec: f64,
+    /// Access-link derating (the paper blames oversubscribed links for
+    /// extra mapper slack).
+    pub oversubscription: f64,
+    /// Sequential disk bandwidth in bytes/second.
+    pub disk_bytes_per_sec: f64,
+    /// DFS chunk size in bytes.
+    pub chunk_bytes: u64,
+    /// DFS replication factor.
+    pub replication: usize,
+    /// Per-node speed spread: node factors are `exp(N(0, hetero_sigma))`.
+    /// "Datacenters with commodity hardware often show differences in
+    /// performance between machines" (§2).
+    pub hetero_sigma: f64,
+    /// Per-task duration noise: `exp(N(0, task_noise_sigma))`.
+    pub task_noise_sigma: f64,
+    /// Master seed for placement, heterogeneity and noise.
+    pub seed: u64,
+}
+
+impl ClusterParams {
+    /// The paper's testbed (§6) with the given seed.
+    pub fn paper_testbed(seed: u64) -> Self {
+        ClusterParams {
+            nodes: 15,
+            map_slots: 4,
+            reduce_slots: 4,
+            link_bytes_per_sec: 125.0 * 1024.0 * 1024.0,
+            oversubscription: 2.0,
+            disk_bytes_per_sec: 80.0 * 1024.0 * 1024.0,
+            chunk_bytes: 64 << 20,
+            replication: 3,
+            hetero_sigma: 0.25,
+            task_noise_sigma: 0.12,
+            seed,
+        }
+    }
+
+    /// Total map slots across the cluster.
+    pub fn total_map_slots(&self) -> usize {
+        self.nodes * self.map_slots
+    }
+
+    /// Total reduce slots across the cluster.
+    pub fn total_reduce_slots(&self) -> usize {
+        self.nodes * self.reduce_slots
+    }
+
+    /// Validates internal consistency (panics on nonsense).
+    pub fn validate(&self) {
+        assert!(self.nodes >= 1);
+        assert!(self.map_slots >= 1 && self.reduce_slots >= 1);
+        assert!(self.link_bytes_per_sec > 0.0 && self.disk_bytes_per_sec > 0.0);
+        assert!(self.oversubscription >= 1.0);
+        assert!(self.chunk_bytes > 0);
+        assert!(self.replication >= 1 && self.replication <= self.nodes);
+        assert!(self.hetero_sigma >= 0.0 && self.task_noise_sigma >= 0.0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_testbed_shape() {
+        let p = ClusterParams::paper_testbed(1);
+        p.validate();
+        assert_eq!(p.total_map_slots(), 60);
+        assert_eq!(p.total_reduce_slots(), 60);
+        assert_eq!(p.chunk_bytes, 64 << 20);
+    }
+
+    #[test]
+    #[should_panic]
+    fn replication_beyond_nodes_rejected() {
+        let mut p = ClusterParams::paper_testbed(1);
+        p.nodes = 2;
+        p.validate();
+    }
+}

@@ -1,0 +1,75 @@
+//! Results of a simulated run.
+
+use crate::timeline::Timeline;
+use mr_core::{Application, JobOutput};
+use mr_sim::SimTime;
+
+/// How a simulated job ended.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Outcome {
+    /// Ran to completion at the given instant.
+    Completed {
+        /// Job completion time.
+        at: SimTime,
+    },
+    /// Died (e.g. reducer OOM under the in-memory policy), Figure 5(a).
+    Failed {
+        /// Time of death.
+        at: SimTime,
+        /// Human-readable cause.
+        reason: String,
+    },
+}
+
+impl Outcome {
+    /// Completion time, if the job completed.
+    pub fn completion_secs(&self) -> Option<f64> {
+        match self {
+            Outcome::Completed { at } => Some(at.as_secs_f64()),
+            Outcome::Failed { .. } => None,
+        }
+    }
+
+    /// Whether the job completed.
+    pub fn is_completed(&self) -> bool {
+        matches!(self, Outcome::Completed { .. })
+    }
+}
+
+/// Everything a simulated run reports.
+pub struct SimReport<A: Application> {
+    /// Completion or failure.
+    pub outcome: Outcome,
+    /// The job's actual output (present only on completion).
+    pub output: Option<JobOutput<A>>,
+    /// Recorded task spans and heap samples.
+    pub timeline: Timeline,
+    /// First map-task completion — the start of mapper slack (§3.2).
+    pub first_map_done: SimTime,
+    /// Last map-task completion.
+    pub last_map_done: SimTime,
+    /// When the last reducer finished fetching map output.
+    pub shuffle_done: SimTime,
+    /// Nominal bytes moved through the shuffle.
+    pub shuffle_bytes: u64,
+    /// Map tasks executed (including re-executions after faults).
+    pub map_tasks_run: usize,
+    /// Reduce tasks executed (including re-executions).
+    pub reduce_tasks_run: usize,
+}
+
+impl<A: Application> SimReport<A> {
+    /// Mapper slack as defined in §3.2: "the time gap between when the
+    /// first mappers complete and when the shuffle stage completes".
+    pub fn mapper_slack_secs(&self) -> f64 {
+        (self.shuffle_done.as_secs_f64() - self.first_map_done.as_secs_f64()).max(0.0)
+    }
+
+    /// Convenience: completion time in seconds, panicking on failed runs
+    /// (bench harnesses use this after checking the outcome).
+    pub fn completion_secs(&self) -> f64 {
+        self.outcome
+            .completion_secs()
+            .expect("job did not complete")
+    }
+}

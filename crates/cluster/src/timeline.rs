@@ -1,0 +1,166 @@
+//! Task-span and heap-sample recording — the raw material for Figures 4
+//! and 5.
+
+use mr_sim::SimTime;
+
+/// What a recorded span represents.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SpanKind {
+    /// A map task from schedule to output written.
+    Map,
+    /// A barrier reducer's fetch window (start → last flow received).
+    Shuffle,
+    /// A barrier reducer's sort + grouped reduce.
+    SortReduce,
+    /// A barrier-less reducer's combined shuffle+reduce window.
+    ShuffleReduce,
+    /// Final output being written to the DFS.
+    Output,
+}
+
+/// One task's activity interval.
+#[derive(Debug, Clone, Copy)]
+pub struct TaskSpan {
+    /// Span category.
+    pub kind: SpanKind,
+    /// Task index within its category.
+    pub task: usize,
+    /// Interval start.
+    pub start: SimTime,
+    /// Interval end.
+    pub end: SimTime,
+}
+
+/// A point sample of one reducer's partial-result heap.
+#[derive(Debug, Clone, Copy)]
+pub struct HeapSample {
+    /// Sample instant.
+    pub at: SimTime,
+    /// Reduce partition.
+    pub reducer: usize,
+    /// Modelled heap bytes at `at`.
+    pub bytes: u64,
+}
+
+/// Everything recorded during a simulated run.
+#[derive(Debug, Clone, Default)]
+pub struct Timeline {
+    /// Completed task spans.
+    pub spans: Vec<TaskSpan>,
+    /// Reducer heap samples in time order.
+    pub heap: Vec<HeapSample>,
+}
+
+impl Timeline {
+    /// Records a finished span.
+    pub fn span(&mut self, kind: SpanKind, task: usize, start: SimTime, end: SimTime) {
+        self.spans.push(TaskSpan {
+            kind,
+            task,
+            start,
+            end,
+        });
+    }
+
+    /// Records a heap sample.
+    pub fn heap_sample(&mut self, at: SimTime, reducer: usize, bytes: u64) {
+        self.heap.push(HeapSample { at, reducer, bytes });
+    }
+
+    /// Number of spans of `kind` active at time `t` — one point of a
+    /// Figure 4 progress curve.
+    pub fn active_at(&self, kind: SpanKind, t: SimTime) -> usize {
+        self.spans
+            .iter()
+            .filter(|s| s.kind == kind && s.start <= t && t < s.end)
+            .count()
+    }
+
+    /// The full progress series for `kind`, sampled every `step_secs`
+    /// from zero through `horizon`: `(seconds, active tasks)` pairs.
+    pub fn series(&self, kind: SpanKind, step_secs: f64, horizon: SimTime) -> Vec<(f64, usize)> {
+        let mut out = Vec::new();
+        let mut t = 0.0f64;
+        let end = horizon.as_secs_f64();
+        while t <= end + step_secs {
+            out.push((t, self.active_at(kind, SimTime::from_secs_f64(t))));
+            t += step_secs;
+        }
+        out
+    }
+
+    /// Latest end time across all spans (job completion from the record).
+    pub fn last_end(&self) -> SimTime {
+        self.spans
+            .iter()
+            .map(|s| s.end)
+            .max()
+            .unwrap_or(SimTime::ZERO)
+    }
+
+    /// Heap series of one reducer: `(seconds, bytes)`.
+    pub fn heap_series(&self, reducer: usize) -> Vec<(f64, u64)> {
+        self.heap
+            .iter()
+            .filter(|h| h.reducer == reducer)
+            .map(|h| (h.at.as_secs_f64(), h.bytes))
+            .collect()
+    }
+
+    /// First and last end of `kind` spans, if any exist.
+    pub fn kind_window(&self, kind: SpanKind) -> Option<(SimTime, SimTime)> {
+        let mut first: Option<SimTime> = None;
+        let mut last: Option<SimTime> = None;
+        for s in self.spans.iter().filter(|s| s.kind == kind) {
+            first = Some(first.map_or(s.start, |f| f.min(s.start)));
+            last = Some(last.map_or(s.end, |l| l.max(s.end)));
+        }
+        Some((first?, last?))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn secs(s: f64) -> SimTime {
+        SimTime::from_secs_f64(s)
+    }
+
+    #[test]
+    fn active_counts_overlapping_spans() {
+        let mut t = Timeline::default();
+        t.span(SpanKind::Map, 0, secs(0.0), secs(10.0));
+        t.span(SpanKind::Map, 1, secs(5.0), secs(15.0));
+        t.span(SpanKind::Shuffle, 0, secs(2.0), secs(20.0));
+        assert_eq!(t.active_at(SpanKind::Map, secs(1.0)), 1);
+        assert_eq!(t.active_at(SpanKind::Map, secs(7.0)), 2);
+        assert_eq!(t.active_at(SpanKind::Map, secs(12.0)), 1);
+        assert_eq!(t.active_at(SpanKind::Map, secs(15.0)), 0, "end exclusive");
+        assert_eq!(t.active_at(SpanKind::Shuffle, secs(7.0)), 1);
+    }
+
+    #[test]
+    fn series_covers_horizon() {
+        let mut t = Timeline::default();
+        t.span(SpanKind::Map, 0, secs(0.0), secs(4.0));
+        let s = t.series(SpanKind::Map, 1.0, secs(5.0));
+        assert!(s.len() >= 6);
+        assert_eq!(s[0], (0.0, 1));
+        assert_eq!(s[5].1, 0);
+    }
+
+    #[test]
+    fn windows_and_heap() {
+        let mut t = Timeline::default();
+        t.span(SpanKind::Output, 3, secs(8.0), secs(9.0));
+        t.span(SpanKind::Output, 4, secs(2.0), secs(5.0));
+        assert_eq!(t.kind_window(SpanKind::Output), Some((secs(2.0), secs(9.0))));
+        assert_eq!(t.kind_window(SpanKind::Map), None);
+        assert_eq!(t.last_end(), secs(9.0));
+        t.heap_sample(secs(1.0), 2, 100);
+        t.heap_sample(secs(2.0), 2, 200);
+        t.heap_sample(secs(2.0), 3, 999);
+        assert_eq!(t.heap_series(2), vec![(1.0, 100), (2.0, 200)]);
+    }
+}

@@ -1,0 +1,119 @@
+//! Fault-tolerance torture: multiple node failures at different phases
+//! must never corrupt output — the paper claims the barrier-less model
+//! "preserves the fault tolerance of the original MapReduce model" (§8).
+
+use mr_apps::wordcount::WordCount;
+use mr_cluster::{ClusterParams, CostModel, FnInput, SimExecutor};
+use mr_core::{Engine, HashPartitioner, JobConfig};
+use mr_workloads::TextWorkload;
+use std::collections::BTreeMap;
+
+fn cluster(seed: u64) -> ClusterParams {
+    let mut p = ClusterParams::paper_testbed(seed);
+    p.nodes = 6;
+    p.map_slots = 2;
+    p.reduce_slots = 2;
+    p
+}
+
+fn workload(seed: u64) -> TextWorkload {
+    TextWorkload {
+        seed,
+        vocab: 250,
+        zipf_s: 1.0,
+        lines_per_chunk: 40,
+        words_per_line: 5,
+    }
+}
+
+fn reference(chunks: u64, seed: u64) -> BTreeMap<String, u64> {
+    let w = workload(seed);
+    let mut m = BTreeMap::new();
+    for c in 0..chunks {
+        for (_, line) in w.chunk(c) {
+            for word in line.split_whitespace() {
+                *m.entry(word.to_string()).or_insert(0) += 1;
+            }
+        }
+    }
+    m
+}
+
+fn run_with(
+    engine: Engine,
+    seed: u64,
+    chunks: u64,
+    faults: &[(f64, usize)],
+) -> (bool, Option<BTreeMap<String, u64>>, usize, usize) {
+    let w = workload(seed);
+    let cfg = JobConfig::new(4)
+        .engine(engine)
+        .scratch_dir(std::env::temp_dir().join(format!(
+            "mr-fault-torture-{}-{seed}",
+            std::process::id()
+        )));
+    let report = SimExecutor::new(cluster(seed)).run_with_faults(
+        &WordCount,
+        &FnInput(move |c| w.chunk(c)),
+        chunks,
+        &cfg,
+        &CostModel::default_for_tests(),
+        &HashPartitioner,
+        faults,
+    );
+    let completed = report.outcome.is_completed();
+    let output = report.output.map(|o| {
+        o.into_sorted_output().into_iter().collect::<BTreeMap<_, _>>()
+    });
+    (completed, output, report.map_tasks_run, report.reduce_tasks_run)
+}
+
+#[test]
+fn two_failures_in_different_phases_are_survived() {
+    let chunks = 14u64;
+    let expect = reference(chunks, 21);
+    for engine in [Engine::Barrier, Engine::barrierless()] {
+        // One failure early in the map stage, one late (during reduces).
+        let (completed, output, maps_run, reds_run) =
+            run_with(engine.clone(), 21, chunks, &[(20.0, 0), (120.0, 3)]);
+        assert!(completed, "two-failure run died under {engine:?}");
+        assert_eq!(output.unwrap(), expect, "corrupt output under {engine:?}");
+        assert!(
+            maps_run as u64 > chunks || reds_run > 4,
+            "no re-execution recorded"
+        );
+    }
+}
+
+#[test]
+fn failure_during_every_phase_window() {
+    // Sweep the failure instant across the whole job duration; output
+    // must be exact every time.
+    let chunks = 10u64;
+    let expect = reference(chunks, 33);
+    for fail_at in [5.0, 40.0, 80.0, 150.0, 250.0] {
+        let (completed, output, _, _) =
+            run_with(Engine::barrierless(), 33, chunks, &[(fail_at, 2)]);
+        assert!(completed, "failure at {fail_at}s killed the job");
+        assert_eq!(
+            output.unwrap(),
+            expect,
+            "failure at {fail_at}s corrupted output"
+        );
+    }
+}
+
+#[test]
+fn losing_half_the_cluster_still_completes() {
+    let chunks = 8u64;
+    let expect = reference(chunks, 55);
+    let (completed, output, maps_run, _) = run_with(
+        Engine::barrierless(),
+        55,
+        chunks,
+        &[(15.0, 0), (30.0, 1), (45.0, 2)],
+    );
+    assert!(completed, "triple failure killed the job");
+    assert_eq!(output.unwrap(), expect);
+    assert!(maps_run as u64 >= chunks);
+}

@@ -1,0 +1,324 @@
+//! Behavioural tests of the simulated cluster: the qualitative claims the
+//! paper's figures rest on must hold before any figure is regenerated.
+
+use mr_apps::wordcount::WordCount;
+use mr_cluster::{ClusterParams, CostModel, FnInput, SimExecutor, SpanKind};
+use mr_core::{Engine, HashPartitioner, JobConfig, MemoryPolicy};
+use mr_workloads::TextWorkload;
+use std::collections::BTreeMap;
+
+fn small_cluster(seed: u64) -> ClusterParams {
+    let mut p = ClusterParams::paper_testbed(seed);
+    p.nodes = 4;
+    p.map_slots = 2;
+    p.reduce_slots = 2;
+    p
+}
+
+fn wc_input(seed: u64) -> impl Fn(u64) -> Vec<(u64, String)> + Sync {
+    let w = TextWorkload {
+        seed,
+        vocab: 400,
+        zipf_s: 1.0,
+        lines_per_chunk: 60,
+        words_per_line: 6,
+    };
+    move |chunk| w.chunk(chunk)
+}
+
+fn costs() -> CostModel {
+    CostModel::default_for_tests()
+}
+
+fn scratch(tag: &str) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!("mr-cluster-test-{tag}-{}", std::process::id()))
+}
+
+fn reference_counts(chunks: u64, seed: u64) -> BTreeMap<String, u64> {
+    let gen = wc_input(seed);
+    let mut m = BTreeMap::new();
+    for c in 0..chunks {
+        for (_, line) in gen(c) {
+            for w in line.split_whitespace() {
+                *m.entry(w.to_string()).or_insert(0) += 1;
+            }
+        }
+    }
+    m
+}
+
+#[test]
+fn both_engines_complete_with_correct_output() {
+    let chunks = 12;
+    let expect = reference_counts(chunks, 5);
+    for engine in [Engine::Barrier, Engine::barrierless()] {
+        let exec = SimExecutor::new(small_cluster(5));
+        let cfg = JobConfig::new(6)
+            .engine(engine.clone())
+            .scratch_dir(scratch("correct"));
+        let report = exec.run(
+            &WordCount,
+            &FnInput(wc_input(5)),
+            chunks,
+            &cfg,
+            &costs(),
+            &HashPartitioner,
+        );
+        assert!(report.outcome.is_completed(), "engine {engine:?} failed");
+        let got: BTreeMap<String, u64> = report
+            .output
+            .unwrap()
+            .into_sorted_output()
+            .into_iter()
+            .collect();
+        assert_eq!(got, expect, "engine {engine:?} output wrong");
+    }
+}
+
+#[test]
+fn barrierless_beats_barrier_on_aggregation() {
+    let chunks = 24;
+    let run = |engine: Engine| {
+        let exec = SimExecutor::new(small_cluster(9));
+        let cfg = JobConfig::new(8)
+            .engine(engine)
+            .scratch_dir(scratch("faster"));
+        exec.run(
+            &WordCount,
+            &FnInput(wc_input(9)),
+            chunks,
+            &cfg,
+            &costs(),
+            &HashPartitioner,
+        )
+    };
+    let barrier = run(Engine::Barrier);
+    let pipelined = run(Engine::barrierless());
+    let tb = barrier.completion_secs();
+    let tp = pipelined.completion_secs();
+    assert!(
+        tp < tb,
+        "barrier-less ({tp:.1}s) should beat barrier ({tb:.1}s)"
+    );
+}
+
+#[test]
+fn barrier_reduce_waits_for_all_maps() {
+    let exec = SimExecutor::new(small_cluster(3));
+    let cfg = JobConfig::new(4).scratch_dir(scratch("wait"));
+    let report = exec.run(
+        &WordCount,
+        &FnInput(wc_input(3)),
+        16,
+        &cfg,
+        &costs(),
+        &HashPartitioner,
+    );
+    // The defining property of the barrier (Figure 4a): no sort/reduce
+    // span can start before the last map finished.
+    let (sort_start, _) = report
+        .timeline
+        .kind_window(SpanKind::SortReduce)
+        .expect("sort spans exist");
+    assert!(
+        sort_start >= report.last_map_done,
+        "sort started {sort_start} before last map {}",
+        report.last_map_done
+    );
+    // And mapper slack is non-trivial: shuffling continued past the first
+    // map completion.
+    assert!(report.mapper_slack_secs() > 0.0);
+}
+
+#[test]
+fn barrierless_reduce_overlaps_the_map_stage() {
+    let exec = SimExecutor::new(small_cluster(3));
+    let cfg = JobConfig::new(4)
+        .engine(Engine::barrierless())
+        .scratch_dir(scratch("overlap"));
+    let report = exec.run(
+        &WordCount,
+        &FnInput(wc_input(3)),
+        16,
+        &cfg,
+        &costs(),
+        &HashPartitioner,
+    );
+    // Figure 4b: the combined shuffle+reduce stage begins when the first
+    // mappers complete, far before the last one.
+    let (sr_start, _) = report
+        .timeline
+        .kind_window(SpanKind::ShuffleReduce)
+        .expect("shuffle+reduce spans exist");
+    assert!(
+        sr_start < report.last_map_done,
+        "pipelined reduce did not overlap maps"
+    );
+    // Heap samples were taken while maps were still running.
+    assert!(report
+        .timeline
+        .heap
+        .iter()
+        .any(|h| h.at < report.last_map_done));
+}
+
+#[test]
+fn inmemory_cap_kills_job_but_spill_survives() {
+    let chunks = 16;
+    let heap_cap = 8_000; // far below the working set at 2 reducers
+    let exec = SimExecutor::new(small_cluster(7));
+    let cfg = JobConfig::new(2)
+        .engine(Engine::barrierless())
+        .heap_cap(heap_cap)
+        .scratch_dir(scratch("oom"));
+    let report = exec.run(
+        &WordCount,
+        &FnInput(wc_input(7)),
+        chunks,
+        &cfg,
+        &costs(),
+        &HashPartitioner,
+    );
+    match &report.outcome {
+        mr_cluster::Outcome::Failed { reason, .. } => {
+            assert!(reason.contains("heap"), "unexpected reason: {reason}");
+        }
+        other => panic!("expected OOM failure, got {other:?}"),
+    }
+    assert!(report.output.is_none());
+
+    // Same job, same cap mentality, spill-and-merge policy: completes.
+    let exec = SimExecutor::new(small_cluster(7));
+    let cfg = JobConfig::new(2)
+        .engine(Engine::BarrierLess {
+            memory: MemoryPolicy::SpillMerge {
+                threshold_bytes: heap_cap / 2,
+            },
+        })
+        .scratch_dir(scratch("oom-spill"));
+    let report = exec.run(
+        &WordCount,
+        &FnInput(wc_input(7)),
+        chunks,
+        &cfg,
+        &costs(),
+        &HashPartitioner,
+    );
+    assert!(report.outcome.is_completed());
+    let expect = reference_counts(chunks, 7);
+    let got: BTreeMap<String, u64> = report
+        .output
+        .unwrap()
+        .into_sorted_output()
+        .into_iter()
+        .collect();
+    assert_eq!(got, expect);
+}
+
+#[test]
+fn node_failure_is_survived_with_correct_output() {
+    let chunks = 16;
+    let expect = reference_counts(chunks, 11);
+    for engine in [Engine::Barrier, Engine::barrierless()] {
+        let exec = SimExecutor::new(small_cluster(11));
+        let cfg = JobConfig::new(4)
+            .engine(engine.clone())
+            .scratch_dir(scratch("fault"));
+        let baseline = SimExecutor::new(small_cluster(11)).run(
+            &WordCount,
+            &FnInput(wc_input(11)),
+            chunks,
+            &cfg,
+            &costs(),
+            &HashPartitioner,
+        );
+        // Kill node 1 mid-map-stage.
+        let fault_at = baseline.first_map_done.as_secs_f64() + 1.0;
+        let report = exec.run_with_faults(
+            &WordCount,
+            &FnInput(wc_input(11)),
+            chunks,
+            &cfg,
+            &costs(),
+            &HashPartitioner,
+            &[(fault_at, 1)],
+        );
+        assert!(
+            report.outcome.is_completed(),
+            "job with fault did not complete under {engine:?}"
+        );
+        // Re-execution happened.
+        assert!(
+            report.map_tasks_run > chunks as usize
+                || report.reduce_tasks_run > 4,
+            "no task was re-executed"
+        );
+        // And it cost time.
+        assert!(report.completion_secs() >= baseline.completion_secs());
+        let got: BTreeMap<String, u64> = report
+            .output
+            .unwrap()
+            .into_sorted_output()
+            .into_iter()
+            .collect();
+        assert_eq!(got, expect, "fault corrupted output under {engine:?}");
+    }
+}
+
+#[test]
+fn same_seed_same_result() {
+    let run = || {
+        let exec = SimExecutor::new(small_cluster(13));
+        let cfg = JobConfig::new(4)
+            .engine(Engine::barrierless())
+            .scratch_dir(scratch("det"));
+        exec.run(
+            &WordCount,
+            &FnInput(wc_input(13)),
+            10,
+            &cfg,
+            &costs(),
+            &HashPartitioner,
+        )
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.completion_secs(), b.completion_secs());
+    assert_eq!(a.shuffle_bytes, b.shuffle_bytes);
+    assert_eq!(
+        a.output.unwrap().into_sorted_output(),
+        b.output.unwrap().into_sorted_output()
+    );
+}
+
+#[test]
+fn reducer_waves_when_oversubscribed() {
+    // More reducers than slots: a second wave must start after the first
+    // wave releases slots — the Figure 8 mechanism at 70 reducers.
+    let mut p = small_cluster(17);
+    p.reduce_slots = 1; // 4 slots total
+    let exec = SimExecutor::new(p);
+    let cfg = JobConfig::new(6)
+        .engine(Engine::barrierless())
+        .scratch_dir(scratch("waves"));
+    let report = exec.run(
+        &WordCount,
+        &FnInput(wc_input(17)),
+        8,
+        &cfg,
+        &costs(),
+        &HashPartitioner,
+    );
+    assert!(report.outcome.is_completed());
+    let mut starts: Vec<_> = report
+        .timeline
+        .spans
+        .iter()
+        .filter(|s| s.kind == SpanKind::ShuffleReduce)
+        .map(|s| s.start)
+        .collect();
+    starts.sort();
+    assert_eq!(starts.len(), 6);
+    // The 5th and 6th reducers start strictly later than the first four.
+    assert!(starts[4] > starts[3], "no second wave observed: {starts:?}");
+}

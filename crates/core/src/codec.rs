@@ -1,0 +1,349 @@
+//! Hand-rolled binary codec for keys and partial-result states.
+//!
+//! Spill files and the KV-backed store need a stable, compact, dependency-
+//! free byte format. All integers are little-endian; lengths are `u32`;
+//! floats are stored as their IEEE-754 bit patterns so round-trips are
+//! exact (including NaN payloads).
+
+use std::collections::{BTreeMap, HashSet};
+
+/// Errors produced while decoding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodecError {
+    /// Input ended before the value was complete.
+    UnexpectedEof,
+    /// A length or discriminant made no sense.
+    Corrupt(&'static str),
+}
+
+impl std::fmt::Display for CodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CodecError::UnexpectedEof => write!(f, "unexpected end of input"),
+            CodecError::Corrupt(what) => write!(f, "corrupt encoding: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// Binary encode/decode for spillable types.
+pub trait Codec: Sized {
+    /// Appends the encoding of `self` to `buf`.
+    fn encode(&self, buf: &mut Vec<u8>);
+    /// Reads one value from the front of `input`, advancing it.
+    fn decode(input: &mut &[u8]) -> Result<Self, CodecError>;
+
+    /// Convenience: encode into a fresh buffer.
+    fn to_bytes(&self) -> Vec<u8> {
+        let mut buf = Vec::new();
+        self.encode(&mut buf);
+        buf
+    }
+
+    /// Convenience: decode a complete buffer, requiring full consumption.
+    fn from_bytes(mut input: &[u8]) -> Result<Self, CodecError> {
+        let v = Self::decode(&mut input)?;
+        if input.is_empty() {
+            Ok(v)
+        } else {
+            Err(CodecError::Corrupt("trailing bytes"))
+        }
+    }
+}
+
+fn take<'a>(input: &mut &'a [u8], n: usize) -> Result<&'a [u8], CodecError> {
+    if input.len() < n {
+        return Err(CodecError::UnexpectedEof);
+    }
+    let (head, tail) = input.split_at(n);
+    *input = tail;
+    Ok(head)
+}
+
+macro_rules! int_codec {
+    ($($t:ty),*) => {$(
+        impl Codec for $t {
+            fn encode(&self, buf: &mut Vec<u8>) {
+                buf.extend_from_slice(&self.to_le_bytes());
+            }
+            fn decode(input: &mut &[u8]) -> Result<Self, CodecError> {
+                let bytes = take(input, std::mem::size_of::<$t>())?;
+                Ok(<$t>::from_le_bytes(bytes.try_into().unwrap()))
+            }
+        }
+    )*};
+}
+
+int_codec!(u8, u16, u32, u64, i8, i16, i32, i64);
+
+impl Codec for usize {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        (*self as u64).encode(buf);
+    }
+    fn decode(input: &mut &[u8]) -> Result<Self, CodecError> {
+        Ok(u64::decode(input)? as usize)
+    }
+}
+
+impl Codec for f32 {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.to_bits().encode(buf);
+    }
+    fn decode(input: &mut &[u8]) -> Result<Self, CodecError> {
+        Ok(f32::from_bits(u32::decode(input)?))
+    }
+}
+
+impl Codec for f64 {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.to_bits().encode(buf);
+    }
+    fn decode(input: &mut &[u8]) -> Result<Self, CodecError> {
+        Ok(f64::from_bits(u64::decode(input)?))
+    }
+}
+
+impl Codec for bool {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        buf.push(*self as u8);
+    }
+    fn decode(input: &mut &[u8]) -> Result<Self, CodecError> {
+        match take(input, 1)?[0] {
+            0 => Ok(false),
+            1 => Ok(true),
+            _ => Err(CodecError::Corrupt("bool")),
+        }
+    }
+}
+
+impl Codec for () {
+    fn encode(&self, _buf: &mut Vec<u8>) {}
+    fn decode(_input: &mut &[u8]) -> Result<Self, CodecError> {
+        Ok(())
+    }
+}
+
+impl Codec for String {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        (self.len() as u32).encode(buf);
+        buf.extend_from_slice(self.as_bytes());
+    }
+    fn decode(input: &mut &[u8]) -> Result<Self, CodecError> {
+        let len = u32::decode(input)? as usize;
+        let bytes = take(input, len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| CodecError::Corrupt("utf8"))
+    }
+}
+
+impl<T: Codec> Codec for Vec<T> {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        (self.len() as u32).encode(buf);
+        for item in self {
+            item.encode(buf);
+        }
+    }
+    fn decode(input: &mut &[u8]) -> Result<Self, CodecError> {
+        let len = u32::decode(input)? as usize;
+        let mut out = Vec::with_capacity(len.min(1 << 16));
+        for _ in 0..len {
+            out.push(T::decode(input)?);
+        }
+        Ok(out)
+    }
+}
+
+impl<T: Codec> Codec for Option<T> {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        match self {
+            None => buf.push(0),
+            Some(v) => {
+                buf.push(1);
+                v.encode(buf);
+            }
+        }
+    }
+    fn decode(input: &mut &[u8]) -> Result<Self, CodecError> {
+        match take(input, 1)?[0] {
+            0 => Ok(None),
+            1 => Ok(Some(T::decode(input)?)),
+            _ => Err(CodecError::Corrupt("option tag")),
+        }
+    }
+}
+
+impl<K: Codec + Ord, V: Codec> Codec for BTreeMap<K, V> {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        (self.len() as u32).encode(buf);
+        for (k, v) in self {
+            k.encode(buf);
+            v.encode(buf);
+        }
+    }
+    fn decode(input: &mut &[u8]) -> Result<Self, CodecError> {
+        let len = u32::decode(input)? as usize;
+        let mut out = BTreeMap::new();
+        for _ in 0..len {
+            let k = K::decode(input)?;
+            let v = V::decode(input)?;
+            out.insert(k, v);
+        }
+        Ok(out)
+    }
+}
+
+impl<T: Codec + Ord + std::hash::Hash + Clone> Codec for HashSet<T> {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        // Sorted for deterministic bytes (spill files are diffable).
+        let mut items: Vec<&T> = self.iter().collect();
+        items.sort();
+        (items.len() as u32).encode(buf);
+        for item in items {
+            item.encode(buf);
+        }
+    }
+    fn decode(input: &mut &[u8]) -> Result<Self, CodecError> {
+        let len = u32::decode(input)? as usize;
+        let mut out = HashSet::with_capacity(len.min(1 << 16));
+        for _ in 0..len {
+            out.insert(T::decode(input)?);
+        }
+        Ok(out)
+    }
+}
+
+macro_rules! tuple_codec {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Codec),+> Codec for ($($name,)+) {
+            fn encode(&self, buf: &mut Vec<u8>) {
+                $(self.$idx.encode(buf);)+
+            }
+            fn decode(input: &mut &[u8]) -> Result<Self, CodecError> {
+                Ok(($($name::decode(input)?,)+))
+            }
+        }
+    )*};
+}
+
+tuple_codec! {
+    (A:0)
+    (A:0, B:1)
+    (A:0, B:1, C:2)
+    (A:0, B:1, C:2, D:3)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip<T: Codec + PartialEq + std::fmt::Debug>(v: T) {
+        let bytes = v.to_bytes();
+        let back = T::from_bytes(&bytes).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn primitives_roundtrip() {
+        roundtrip(0u8);
+        roundtrip(255u8);
+        roundtrip(u16::MAX);
+        roundtrip(123456789u32);
+        roundtrip(u64::MAX);
+        roundtrip(-42i8);
+        roundtrip(i16::MIN);
+        roundtrip(-1i32);
+        roundtrip(i64::MIN);
+        roundtrip(usize::MAX);
+        roundtrip(true);
+        roundtrip(false);
+        roundtrip(());
+    }
+
+    #[test]
+    fn floats_roundtrip_bit_exactly() {
+        roundtrip(0.0f64);
+        roundtrip(-0.0f64);
+        roundtrip(std::f64::consts::PI);
+        roundtrip(f64::INFINITY);
+        roundtrip(1.5f32);
+        let nan_bits = f64::NAN.to_bits() | 0xDEAD;
+        let bytes = f64::from_bits(nan_bits).to_bytes();
+        let back = f64::from_bytes(&bytes).unwrap();
+        assert_eq!(back.to_bits(), nan_bits, "NaN payload preserved");
+    }
+
+    #[test]
+    fn strings_and_collections() {
+        roundtrip(String::from("héllo wörld"));
+        roundtrip(String::new());
+        roundtrip(vec![1u32, 2, 3]);
+        roundtrip(Vec::<u64>::new());
+        roundtrip(Some(7u8));
+        roundtrip(Option::<u8>::None);
+        roundtrip(vec![Some("a".to_string()), None]);
+        let mut m = BTreeMap::new();
+        m.insert("k".to_string(), 9u64);
+        roundtrip(m);
+        let mut s = HashSet::new();
+        s.insert(3u32);
+        s.insert(1u32);
+        roundtrip(s);
+    }
+
+    #[test]
+    fn tuples_roundtrip() {
+        roundtrip((1u8,));
+        roundtrip((1u32, "two".to_string()));
+        roundtrip((1u8, 2u16, 3u32));
+        roundtrip((1u8, 2u16, 3u32, 4u64));
+    }
+
+    #[test]
+    fn hashset_encoding_is_deterministic() {
+        let mut a = HashSet::new();
+        let mut b = HashSet::new();
+        for i in 0..100u32 {
+            a.insert(i);
+        }
+        for i in (0..100u32).rev() {
+            b.insert(i);
+        }
+        assert_eq!(a.to_bytes(), b.to_bytes());
+    }
+
+    #[test]
+    fn eof_and_trailing_are_errors() {
+        assert_eq!(u32::from_bytes(&[1, 2]), Err(CodecError::UnexpectedEof));
+        assert_eq!(
+            u8::from_bytes(&[1, 2]),
+            Err(CodecError::Corrupt("trailing bytes"))
+        );
+        assert_eq!(bool::from_bytes(&[9]), Err(CodecError::Corrupt("bool")));
+        // Truncated string payload.
+        let mut buf = Vec::new();
+        10u32.encode(&mut buf);
+        buf.extend_from_slice(b"abc");
+        assert_eq!(String::from_bytes(&buf), Err(CodecError::UnexpectedEof));
+    }
+
+    #[test]
+    fn invalid_utf8_rejected() {
+        let mut buf = Vec::new();
+        2u32.encode(&mut buf);
+        buf.extend_from_slice(&[0xFF, 0xFE]);
+        assert_eq!(String::from_bytes(&buf), Err(CodecError::Corrupt("utf8")));
+    }
+
+    #[test]
+    fn sequential_decode_advances_input() {
+        let mut buf = Vec::new();
+        1u32.encode(&mut buf);
+        "x".to_string().encode(&mut buf);
+        2u64.encode(&mut buf);
+        let mut slice = buf.as_slice();
+        assert_eq!(u32::decode(&mut slice).unwrap(), 1);
+        assert_eq!(String::decode(&mut slice).unwrap(), "x");
+        assert_eq!(u64::decode(&mut slice).unwrap(), 2);
+        assert!(slice.is_empty());
+    }
+}

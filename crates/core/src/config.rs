@@ -1,0 +1,143 @@
+//! Job configuration: which engine, how many reducers, how partial
+//! results are stored.
+
+use std::path::PathBuf;
+
+/// How the barrier-less engine stores partial results (§5).
+#[derive(Debug, Clone, PartialEq)]
+pub enum MemoryPolicy {
+    /// Keep everything in an in-memory ordered map (the paper's TreeMap).
+    /// Fails with an out-of-memory error when `heap_cap_bytes` (if set)
+    /// is exceeded — reproducing Figure 5(a).
+    InMemory,
+    /// Disk spill and merge (§5.1): spill the sorted store to a run file
+    /// when it reaches `threshold_bytes`; k-way merge runs at finalize.
+    SpillMerge {
+        /// Spill trigger, in *modelled* heap bytes.
+        threshold_bytes: u64,
+    },
+    /// Disk-spilling key/value store (§5.2, BerkeleyDB stand-in): every
+    /// absorb is a read-modify-update against `mr-kvstore`.
+    KvStore {
+        /// Record-cache budget for the store.
+        cache_bytes: usize,
+    },
+}
+
+/// Which execution engine runs the Reduce side.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Engine {
+    /// Classic MapReduce: full shuffle barrier, sort, grouped reduce.
+    Barrier,
+    /// The paper's contribution: pipelined shuffle + per-record reduce.
+    BarrierLess {
+        /// Partial-result storage strategy.
+        memory: MemoryPolicy,
+    },
+}
+
+impl Engine {
+    /// Convenience: barrier-less with unbounded in-memory storage.
+    pub fn barrierless() -> Engine {
+        Engine::BarrierLess {
+            memory: MemoryPolicy::InMemory,
+        }
+    }
+}
+
+/// Everything the runner needs besides the application itself.
+#[derive(Debug, Clone)]
+pub struct JobConfig {
+    /// Number of reduce tasks (partitions).
+    pub reducers: usize,
+    /// Engine selection.
+    pub engine: Engine,
+    /// Per-reduce-task heap cap in modelled bytes; `None` = unbounded.
+    /// Exceeding it under `MemoryPolicy::InMemory` kills the job, exactly
+    /// like the paper's JVM heap exhaustion.
+    pub heap_cap_bytes: Option<u64>,
+    /// Multiplier from real store bytes to modelled heap bytes. The
+    /// simulator scales record volume down; this scales accounting back
+    /// up so thresholds like "240 MB" stay meaningful. 1.0 for real runs.
+    pub heap_scale: f64,
+    /// Directory for spill files and KV-store segments.
+    pub scratch_dir: PathBuf,
+    /// Seed for anything stochastic inside the engines (none today, but
+    /// carried so runs stay reproducible end to end).
+    pub seed: u64,
+}
+
+impl JobConfig {
+    /// A barrier-engine config with `reducers` partitions and defaults
+    /// suitable for tests and examples.
+    pub fn new(reducers: usize) -> Self {
+        JobConfig {
+            reducers,
+            engine: Engine::Barrier,
+            heap_cap_bytes: None,
+            heap_scale: 1.0,
+            scratch_dir: std::env::temp_dir().join("mr-scratch"),
+            seed: 0,
+        }
+    }
+
+    /// Sets the engine.
+    pub fn engine(mut self, engine: Engine) -> Self {
+        self.engine = engine;
+        self
+    }
+
+    /// Sets the per-reduce-task heap cap.
+    pub fn heap_cap(mut self, bytes: u64) -> Self {
+        self.heap_cap_bytes = Some(bytes);
+        self
+    }
+
+    /// Sets the real-to-modelled heap scaling factor.
+    pub fn heap_scale(mut self, scale: f64) -> Self {
+        assert!(scale > 0.0);
+        self.heap_scale = scale;
+        self
+    }
+
+    /// Sets the scratch directory.
+    pub fn scratch_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.scratch_dir = dir.into();
+        self
+    }
+
+    /// Sets the seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_chains() {
+        let cfg = JobConfig::new(4)
+            .engine(Engine::barrierless())
+            .heap_cap(1 << 30)
+            .heap_scale(2.0)
+            .seed(9);
+        assert_eq!(cfg.reducers, 4);
+        assert_eq!(
+            cfg.engine,
+            Engine::BarrierLess {
+                memory: MemoryPolicy::InMemory
+            }
+        );
+        assert_eq!(cfg.heap_cap_bytes, Some(1 << 30));
+        assert_eq!(cfg.heap_scale, 2.0);
+        assert_eq!(cfg.seed, 9);
+    }
+
+    #[test]
+    fn default_is_barrier() {
+        assert_eq!(JobConfig::new(1).engine, Engine::Barrier);
+    }
+}

@@ -1,0 +1,105 @@
+//! Named job counters, Hadoop-style.
+
+use std::collections::BTreeMap;
+
+/// A set of named monotonically increasing counters.
+///
+/// Engines create one per task and merge them into the job result, so no
+/// locking is needed on the hot path.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Counters {
+    values: BTreeMap<&'static str, u64>,
+}
+
+/// Well-known counter names used by the engines.
+pub mod names {
+    /// Records produced by map functions.
+    pub const MAP_OUTPUT_RECORDS: &str = "map.output.records";
+    /// Records consumed by the reduce side.
+    pub const REDUCE_INPUT_RECORDS: &str = "reduce.input.records";
+    /// Records written to job output.
+    pub const REDUCE_OUTPUT_RECORDS: &str = "reduce.output.records";
+    /// Distinct key groups reduced (barrier engine).
+    pub const REDUCE_GROUPS: &str = "reduce.groups";
+    /// Spill files written by the spill-and-merge store.
+    pub const SPILL_FILES: &str = "spill.files";
+    /// Bytes written to spill files.
+    pub const SPILL_BYTES: &str = "spill.bytes";
+    /// Partial results merged during the merge phase.
+    pub const SPILL_MERGED_STATES: &str = "spill.merged.states";
+    /// KV-store cache hits during absorb.
+    pub const KV_CACHE_HITS: &str = "kv.cache.hits";
+    /// KV-store cache misses during absorb.
+    pub const KV_CACHE_MISSES: &str = "kv.cache.misses";
+}
+
+impl Counters {
+    /// An empty counter set.
+    pub fn new() -> Self {
+        Counters::default()
+    }
+
+    /// Adds `delta` to `name`.
+    pub fn add(&mut self, name: &'static str, delta: u64) {
+        *self.values.entry(name).or_insert(0) += delta;
+    }
+
+    /// Increments `name` by one.
+    pub fn incr(&mut self, name: &'static str) {
+        self.add(name, 1);
+    }
+
+    /// Current value of `name` (zero if never touched).
+    pub fn get(&self, name: &str) -> u64 {
+        self.values.get(name).copied().unwrap_or(0)
+    }
+
+    /// Folds another counter set into this one.
+    pub fn merge(&mut self, other: &Counters) {
+        for (name, v) in &other.values {
+            *self.values.entry(name).or_insert(0) += v;
+        }
+    }
+
+    /// Iterates `(name, value)` in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
+        self.values.iter().map(|(k, v)| (*k, *v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_and_get() {
+        let mut c = Counters::new();
+        c.incr(names::MAP_OUTPUT_RECORDS);
+        c.add(names::MAP_OUTPUT_RECORDS, 9);
+        assert_eq!(c.get(names::MAP_OUTPUT_RECORDS), 10);
+        assert_eq!(c.get("never"), 0);
+    }
+
+    #[test]
+    fn merge_sums_by_name() {
+        let mut a = Counters::new();
+        a.add("x", 1);
+        a.add("y", 2);
+        let mut b = Counters::new();
+        b.add("y", 3);
+        b.add("z", 4);
+        a.merge(&b);
+        assert_eq!(a.get("x"), 1);
+        assert_eq!(a.get("y"), 5);
+        assert_eq!(a.get("z"), 4);
+    }
+
+    #[test]
+    fn iteration_is_name_ordered() {
+        let mut c = Counters::new();
+        c.add("b", 2);
+        c.add("a", 1);
+        let items: Vec<_> = c.iter().collect();
+        assert_eq!(items, vec![("a", 1), ("b", 2)]);
+    }
+}

@@ -1,0 +1,105 @@
+//! Barrier-mode reduce: sort, group, reduce (Figure 2 of the paper).
+
+use crate::counters::{names, Counters};
+use crate::error::MrResult;
+use crate::traits::Application;
+
+/// Runs one reduce partition the classic way.
+///
+/// `records` is everything the shuffle delivered for this partition, in
+/// arbitrary arrival order. The engine sorts it with the application's
+/// [`sort_cmp`](Application::sort_cmp) (stable, like Hadoop's merge sort —
+/// this is what secondary sort relies on), walks key groups using
+/// [`group_eq`](Application::group_eq), and hands each group to
+/// `reduce_grouped`.
+pub fn reduce_partition_barrier<A: Application>(
+    app: &A,
+    mut records: Vec<(A::MapKey, A::MapValue)>,
+    counters: &mut Counters,
+) -> MrResult<Vec<(A::OutKey, A::OutValue)>> {
+    counters.add(names::REDUCE_INPUT_RECORDS, records.len() as u64);
+    // Hadoop merge-sorts the fetched map outputs at the barrier; a stable
+    // sort keeps equal sort-keys in fetch order, which secondary-sort
+    // applications depend on.
+    records.sort_by(|a, b| app.sort_cmp(a, b));
+
+    let mut out: Vec<(A::OutKey, A::OutValue)> = Vec::new();
+    let mut shared = app.new_shared();
+    let mut iter = records.into_iter().peekable();
+    while let Some((key, value)) = iter.next() {
+        let mut values = vec![value];
+        while let Some((next_key, _)) = iter.peek() {
+            if app.group_eq(&key, next_key) {
+                let (_, v) = iter.next().expect("peeked");
+                values.push(v);
+            } else {
+                break;
+            }
+        }
+        counters.incr(names::REDUCE_GROUPS);
+        app.reduce_grouped(&key, values, &mut shared, &mut out);
+    }
+    app.flush_shared(shared, &mut out);
+    counters.add(names::REDUCE_OUTPUT_RECORDS, out.len() as u64);
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::{SecondaryMax, WordCountApp};
+
+    #[test]
+    fn groups_all_values_per_key() {
+        let app = WordCountApp;
+        let records = vec![
+            ("b".to_string(), 1u64),
+            ("a".to_string(), 1),
+            ("b".to_string(), 1),
+            ("a".to_string(), 1),
+            ("a".to_string(), 1),
+        ];
+        let mut counters = Counters::new();
+        let out = reduce_partition_barrier(&app, records, &mut counters).unwrap();
+        assert_eq!(out, vec![("a".to_string(), 3), ("b".to_string(), 2)]);
+        assert_eq!(counters.get(names::REDUCE_GROUPS), 2);
+        assert_eq!(counters.get(names::REDUCE_INPUT_RECORDS), 5);
+        assert_eq!(counters.get(names::REDUCE_OUTPUT_RECORDS), 2);
+    }
+
+    #[test]
+    fn output_is_key_sorted_for_free() {
+        let app = WordCountApp;
+        let records: Vec<(String, u64)> = ["zeta", "alpha", "mid", "alpha"]
+            .iter()
+            .map(|w| (w.to_string(), 1))
+            .collect();
+        let out = reduce_partition_barrier(&app, records, &mut Counters::new()).unwrap();
+        let keys: Vec<&str> = out.iter().map(|(k, _)| k.as_str()).collect();
+        assert_eq!(keys, vec!["alpha", "mid", "zeta"]);
+    }
+
+    #[test]
+    fn empty_partition_produces_nothing() {
+        let app = WordCountApp;
+        let out = reduce_partition_barrier(&app, Vec::new(), &mut Counters::new()).unwrap();
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn secondary_sort_orders_within_group() {
+        // SecondaryMax uses composite (group, metric) keys sorted by
+        // metric descending within a group; the reducer takes the first
+        // value per group — Hadoop's classic top-1 selection pattern.
+        let app = SecondaryMax;
+        let records = vec![
+            ((1u64, 5i64), 50i64),
+            ((2u64, 9i64), 90),
+            ((1u64, 8i64), 80),
+            ((1u64, 2i64), 20),
+            ((2u64, 1i64), 10),
+        ];
+        let out = reduce_partition_barrier(&app, records, &mut Counters::new()).unwrap();
+        assert_eq!(out, vec![(1, 80), (2, 90)]);
+    }
+}

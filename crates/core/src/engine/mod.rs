@@ -1,0 +1,17 @@
+//! The two reduce-side engines.
+//!
+//! * [`barrier`] — classic MapReduce: wait for all map output, merge-sort
+//!   it, call `reduce_grouped` once per key group (Figure 2 of the paper).
+//! * [`pipeline`] — barrier-less: records are reduced one by one, in
+//!   arrival order, against a partial-result store (Figure 3).
+//!
+//! Both are *per-partition* building blocks: executors (the threaded
+//! [`local`](crate::local) runner, the simulated cluster in `mr-cluster`)
+//! decide where and when partitions run; the engines define what a reduce
+//! task does with its records.
+
+pub mod barrier;
+pub mod pipeline;
+
+pub use barrier::reduce_partition_barrier;
+pub use pipeline::{DriverReport, IncrementalDriver};

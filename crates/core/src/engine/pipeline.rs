@@ -1,0 +1,279 @@
+//! Barrier-less reduce: record-at-a-time with a partial-result store
+//! (Figure 3 of the paper).
+
+use crate::config::{Engine, JobConfig, MemoryPolicy};
+use crate::counters::{names, Counters};
+use crate::error::MrResult;
+use crate::store::{make_store, PartialStore, StoreReport};
+use crate::traits::{Application, Emit};
+
+/// What a finished driver reports to the executor.
+#[derive(Debug, Clone, Default)]
+pub struct DriverReport {
+    /// Records absorbed.
+    pub records: u64,
+    /// Store statistics (zeroed for unkeyed applications).
+    pub store: StoreReport,
+}
+
+/// Drives one barrier-less reduce partition.
+///
+/// The executor feeds records in shuffle-arrival order via
+/// [`push`](IncrementalDriver::push); each becomes a `reduce` invocation on
+/// a single record, as in the paper's modified `run()` (Algorithm 2). When
+/// the shuffle is drained, [`finish`](IncrementalDriver::finish) replays
+/// the paper's end-of-input phase: merge spills if any, finalize every key
+/// in key order, then flush cross-key shared state.
+pub struct IncrementalDriver<A: Application> {
+    /// `None` for applications that keep no per-key state (Identity,
+    /// cross-key, single-reducer aggregation — Table 1's O(1)/O(window)).
+    store: Option<Box<dyn PartialStore<A>>>,
+    shared: A::Shared,
+    records: u64,
+}
+
+impl<A: Application> IncrementalDriver<A> {
+    /// Builds the driver for reduce partition `reducer` under `cfg`.
+    ///
+    /// # Panics
+    /// If `cfg.engine` is not `Engine::BarrierLess` — the executor picked
+    /// the wrong engine module.
+    pub fn new(app: &A, cfg: &JobConfig, reducer: usize) -> MrResult<Self> {
+        let Engine::BarrierLess { memory } = &cfg.engine else {
+            panic!("IncrementalDriver requires the barrier-less engine");
+        };
+        let store = if app.uses_keyed_state() {
+            Some(make_store::<A>(memory, cfg, reducer)?)
+        } else {
+            None
+        };
+        Ok(IncrementalDriver {
+            store,
+            shared: app.new_shared(),
+            records: 0,
+        })
+    }
+
+    /// Absorbs one record, in arrival order.
+    pub fn push(
+        &mut self,
+        app: &A,
+        key: A::MapKey,
+        value: A::MapValue,
+        out: &mut dyn Emit<A::OutKey, A::OutValue>,
+    ) -> MrResult<()> {
+        self.records += 1;
+        match &mut self.store {
+            Some(store) => store.absorb(app, key, value, &mut self.shared, out),
+            None => {
+                // No keyed state: absorb against a throwaway state; the
+                // application works through `shared` and `out`.
+                let mut scratch = app.init(&key);
+                app.absorb(&key, &mut scratch, value, &mut self.shared, out);
+                Ok(())
+            }
+        }
+    }
+
+    /// Current modelled heap footprint (for Figure 5 sampling).
+    pub fn modelled_bytes(&self) -> u64 {
+        self.store.as_ref().map_or(0, |s| s.modelled_bytes())
+    }
+
+    /// Live partial results right now.
+    pub fn entries(&self) -> usize {
+        self.store.as_ref().map_or(0, |s| s.entries())
+    }
+
+    /// Cumulative store disk traffic so far (spills, KV log I/O).
+    pub fn io_bytes(&self) -> u64 {
+        self.store.as_ref().map_or(0, |s| s.io_bytes())
+    }
+
+    /// Ends the task: merge + finalize + flush shared state.
+    pub fn finish(
+        self,
+        app: &A,
+        counters: &mut Counters,
+        out: &mut dyn Emit<A::OutKey, A::OutValue>,
+    ) -> MrResult<DriverReport> {
+        let mut shared = self.shared;
+        let store_report = match self.store {
+            Some(store) => store.finalize_into(app, &mut shared, out)?,
+            None => StoreReport::default(),
+        };
+        app.flush_shared(shared, out);
+        counters.add(names::REDUCE_INPUT_RECORDS, self.records);
+        counters.add(names::SPILL_FILES, store_report.spill_files);
+        counters.add(names::SPILL_BYTES, store_report.spill_bytes);
+        counters.add(names::SPILL_MERGED_STATES, store_report.merged_states);
+        if let Some(kv) = &store_report.kv_stats {
+            counters.add(names::KV_CACHE_HITS, kv.cache_hits);
+            counters.add(names::KV_CACHE_MISSES, kv.cache_misses);
+        }
+        Ok(DriverReport {
+            records: self.records,
+            store: store_report,
+        })
+    }
+}
+
+/// Convenience used by tests and the simulator: run a whole partition's
+/// records through a fresh driver in one call.
+#[allow(clippy::type_complexity)]
+pub fn reduce_partition_barrierless<A: Application>(
+    app: &A,
+    cfg: &JobConfig,
+    reducer: usize,
+    records: Vec<(A::MapKey, A::MapValue)>,
+    counters: &mut Counters,
+) -> MrResult<(Vec<(A::OutKey, A::OutValue)>, DriverReport)> {
+    let mut driver = IncrementalDriver::new(app, cfg, reducer)?;
+    let mut out = Vec::new();
+    for (key, value) in records {
+        driver.push(app, key, value, &mut out)?;
+    }
+    let report = driver.finish(app, counters, &mut out)?;
+    counters.add(names::REDUCE_OUTPUT_RECORDS, out.len() as u64);
+    Ok((out, report))
+}
+
+/// Re-exported policy helper: the three §5 policies with sane test sizes.
+pub fn all_policies(spill_threshold: u64, kv_cache: usize) -> Vec<MemoryPolicy> {
+    vec![
+        MemoryPolicy::InMemory,
+        MemoryPolicy::SpillMerge {
+            threshold_bytes: spill_threshold,
+        },
+        MemoryPolicy::KvStore {
+            cache_bytes: kv_cache,
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::{scratch_dir, WordCountApp};
+
+    fn barrierless_cfg(policy: MemoryPolicy) -> JobConfig {
+        JobConfig::new(1)
+            .engine(Engine::BarrierLess { memory: policy })
+            .scratch_dir(scratch_dir("pipeline"))
+    }
+
+    /// `rounds` records over `rounds / 2 + 1` distinct keys, interleaved so
+    /// most keys repeat: a realistic aggregation working set.
+    fn wc_records(rounds: u64) -> Vec<(String, u64)> {
+        let distinct = rounds / 2 + 1;
+        (0..rounds)
+            .map(|i| (format!("word-{:06}", (i * 7919) % distinct), 1u64))
+            .collect()
+    }
+
+    fn expected_counts(records: &[(String, u64)]) -> Vec<(String, u64)> {
+        let mut m = std::collections::BTreeMap::new();
+        for (k, v) in records {
+            *m.entry(k.clone()).or_insert(0) += v;
+        }
+        m.into_iter().collect()
+    }
+
+    #[test]
+    fn all_three_policies_agree_with_each_other() {
+        let records = wc_records(50);
+        let expect = expected_counts(&records);
+        for policy in all_policies(2_000, 512) {
+            let cfg = barrierless_cfg(policy.clone());
+            let mut counters = Counters::new();
+            let (out, report) = reduce_partition_barrierless(
+                &WordCountApp,
+                &cfg,
+                0,
+                records.clone(),
+                &mut counters,
+            )
+            .unwrap();
+            assert_eq!(out, expect, "policy {policy:?} diverged");
+            assert_eq!(report.records, records.len() as u64);
+            assert_eq!(
+                counters.get(names::REDUCE_INPUT_RECORDS),
+                records.len() as u64
+            );
+        }
+    }
+
+    #[test]
+    fn spill_policy_actually_spills_and_merges() {
+        let records = wc_records(200);
+        let expect = expected_counts(&records);
+        // Threshold far below the working set forces many runs.
+        let cfg = barrierless_cfg(MemoryPolicy::SpillMerge {
+            threshold_bytes: 600,
+        });
+        let mut counters = Counters::new();
+        let (out, report) =
+            reduce_partition_barrierless(&WordCountApp, &cfg, 0, records, &mut counters).unwrap();
+        assert_eq!(out, expect);
+        assert!(report.store.spill_files > 1, "expected multiple spills");
+        assert!(counters.get(names::SPILL_MERGED_STATES) > 0);
+        assert!(counters.get(names::SPILL_BYTES) > 0);
+    }
+
+    #[test]
+    fn oom_kills_the_task_under_inmemory_cap() {
+        let records = wc_records(500);
+        let mut cfg = barrierless_cfg(MemoryPolicy::InMemory);
+        cfg.heap_cap_bytes = Some(400);
+        let result =
+            reduce_partition_barrierless(&WordCountApp, &cfg, 3, records, &mut Counters::new());
+        match result {
+            Err(crate::error::MrError::OutOfMemory { reducer, .. }) => assert_eq!(reducer, 3),
+            other => panic!("expected OOM, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn spill_survives_where_inmemory_dies() {
+        // Same data, same cap mindset: the spill policy must complete.
+        let records = wc_records(500);
+        let expect = expected_counts(&records);
+        let cfg = barrierless_cfg(MemoryPolicy::SpillMerge {
+            threshold_bytes: 400,
+        });
+        let (out, _) =
+            reduce_partition_barrierless(&WordCountApp, &cfg, 0, records, &mut Counters::new())
+                .unwrap();
+        assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn kv_policy_reports_cache_stats() {
+        let records = wc_records(100);
+        let cfg = barrierless_cfg(MemoryPolicy::KvStore { cache_bytes: 4096 });
+        let mut counters = Counters::new();
+        let (_, report) =
+            reduce_partition_barrierless(&WordCountApp, &cfg, 0, records, &mut counters).unwrap();
+        let kv = report.store.kv_stats.expect("kv stats present");
+        assert!(kv.puts > 0);
+        assert!(kv.gets > 0);
+        assert!(counters.get(names::KV_CACHE_HITS) + counters.get(names::KV_CACHE_MISSES) > 0);
+    }
+
+    #[test]
+    fn heap_tracking_is_visible_mid_stream() {
+        let cfg = barrierless_cfg(MemoryPolicy::InMemory);
+        let mut driver = IncrementalDriver::new(&WordCountApp, &cfg, 0).unwrap();
+        let mut out = Vec::new();
+        assert_eq!(driver.modelled_bytes(), 0);
+        for i in 0..100u64 {
+            driver
+                .push(&WordCountApp, format!("key-{i}"), 1, &mut out)
+                .unwrap();
+        }
+        assert!(driver.modelled_bytes() > 0);
+        assert_eq!(driver.entries(), 100);
+        let report = driver.finish(&WordCountApp, &mut Counters::new(), &mut out).unwrap();
+        assert_eq!(report.store.peak_entries, 100);
+    }
+}

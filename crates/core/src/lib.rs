@@ -1,0 +1,46 @@
+//! `mr-core` — the barrier-less MapReduce framework.
+//!
+//! This is the reproduction's primary contribution, corresponding to the
+//! modified Hadoop 0.20 of *Breaking the MapReduce Stage Barrier* (Verma
+//! et al., CLUSTER 2010). One [`Application`] definition runs under two
+//! engines:
+//!
+//! * **Barrier** ([`engine::barrier`]) — the classic contract: the reduce
+//!   side waits for all map output, merge-sorts it, and calls the grouped
+//!   Reduce once per key (paper Figure 2).
+//! * **Barrier-less** ([`engine::pipeline`]) — the paper's contribution:
+//!   records are reduced one at a time in shuffle-arrival order against a
+//!   per-key *partial result*, eliminating the sort and the wait (Figure 3).
+//!
+//! Removing the barrier makes partial-result memory the central problem
+//! (§5); the three [`store`] policies answer it: in-memory ordered map,
+//! disk spill-and-merge, and a disk-spilling key/value store.
+//!
+//! [`local::LocalRunner`] executes jobs for real on OS threads with true
+//! map→reduce pipelining; the `mr-cluster` crate executes the same
+//! [`Application`]s on a simulated 16-node cluster to regenerate the
+//! paper's figures.
+
+pub mod codec;
+pub mod config;
+pub mod counters;
+pub mod engine;
+pub mod error;
+pub mod local;
+pub mod output;
+pub mod partition;
+pub mod size;
+pub mod store;
+pub mod traits;
+
+#[cfg(test)]
+pub(crate) mod testutil;
+
+pub use codec::{Codec, CodecError};
+pub use config::{Engine, JobConfig, MemoryPolicy};
+pub use counters::Counters;
+pub use error::{MrError, MrResult};
+pub use output::JobOutput;
+pub use partition::{HashPartitioner, Partitioner};
+pub use size::SizeEstimate;
+pub use traits::{Application, Emit, FnEmit, Key, Value};

@@ -1,0 +1,132 @@
+//! Map-output memoization — the paper's §8 future-work item:
+//! "Memoization, an optimization similar to DryadInc, becomes feasible in
+//! the barrier-less model."
+//!
+//! Iterative jobs (the genetic algorithm's generations, incremental log
+//! processing) re-run maps over mostly unchanged input. A [`MemoCache`]
+//! remembers each split's partitioned map output keyed by a caller-
+//! supplied fingerprint; on the next run, fingerprint hits skip the map
+//! function entirely and feed the cached partitions straight into the
+//! (pipelined or barrier) reduce side.
+//!
+//! The cache is keyed by `(fingerprint, reducers)` because partitioning
+//! depends on the reducer count.
+
+use crate::traits::Application;
+use std::collections::HashMap;
+
+/// Caller-supplied identity of one input split's *contents*.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Fingerprint(pub u64);
+
+/// Cached, partitioned map output for reuse across runs.
+pub struct MemoCache<A: Application> {
+    #[allow(clippy::type_complexity)]
+    entries: HashMap<(Fingerprint, usize), Vec<Vec<(A::MapKey, A::MapValue)>>>,
+    hits: u64,
+    misses: u64,
+}
+
+impl<A: Application> MemoCache<A> {
+    /// An empty cache.
+    pub fn new() -> Self {
+        MemoCache {
+            entries: HashMap::new(),
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Looks up a split's cached partitions, counting hit/miss.
+    #[allow(clippy::type_complexity)]
+    pub fn lookup(
+        &mut self,
+        fp: Fingerprint,
+        reducers: usize,
+    ) -> Option<&Vec<Vec<(A::MapKey, A::MapValue)>>> {
+        if self.entries.contains_key(&(fp, reducers)) {
+            self.hits += 1;
+            self.entries.get(&(fp, reducers))
+        } else {
+            self.misses += 1;
+            None
+        }
+    }
+
+    /// Stores a freshly computed split result.
+    pub fn insert(
+        &mut self,
+        fp: Fingerprint,
+        reducers: usize,
+        parts: Vec<Vec<(A::MapKey, A::MapValue)>>,
+    ) {
+        self.entries.insert((fp, reducers), parts);
+    }
+
+    /// Cache hits so far.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Cache misses so far.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Number of cached splits.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Drops everything (e.g. when the map function itself changes).
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+}
+
+impl<A: Application> Default for MemoCache<A> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::WordCountApp;
+
+    #[test]
+    fn lookup_miss_then_hit() {
+        let mut cache: MemoCache<WordCountApp> = MemoCache::new();
+        let fp = Fingerprint(42);
+        assert!(cache.lookup(fp, 2).is_none());
+        cache.insert(fp, 2, vec![vec![("a".into(), 1)], vec![]]);
+        assert_eq!(cache.lookup(fp, 2).unwrap()[0].len(), 1);
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(cache.misses(), 1);
+    }
+
+    #[test]
+    fn reducer_count_is_part_of_the_key() {
+        let mut cache: MemoCache<WordCountApp> = MemoCache::new();
+        let fp = Fingerprint(7);
+        cache.insert(fp, 2, vec![vec![], vec![]]);
+        assert!(cache.lookup(fp, 3).is_none(), "different partitioning");
+        assert!(cache.lookup(fp, 2).is_some());
+    }
+
+    #[test]
+    fn clear_empties() {
+        let mut cache: MemoCache<WordCountApp> = MemoCache::new();
+        cache.insert(Fingerprint(1), 1, vec![vec![]]);
+        assert!(!cache.is_empty());
+        cache.clear();
+        assert!(cache.is_empty());
+        assert_eq!(cache.len(), 0);
+    }
+}

@@ -1,0 +1,515 @@
+//! The real multi-threaded local executor.
+//!
+//! Runs a job for real on OS threads — not a simulation. Under the
+//! barrier engine, the map phase completes, per-partition record vectors
+//! are handed to parallel reduce tasks, and each reduce sorts-then-groups.
+//! Under the barrier-less engine, mappers *stream* records into bounded
+//! per-reducer channels while reducer threads absorb them concurrently —
+//! genuine map/reduce pipelining on multicore, the local analogue of the
+//! paper's overlapped shuffle.
+
+pub mod memo;
+
+use crate::config::{Engine, JobConfig};
+use crate::counters::{names, Counters};
+use crate::engine::barrier::reduce_partition_barrier;
+use crate::engine::pipeline::{reduce_partition_barrierless, IncrementalDriver};
+use crate::engine::DriverReport;
+use crate::error::{MrError, MrResult};
+use crate::output::JobOutput;
+use crate::partition::{HashPartitioner, Partitioner};
+use crate::traits::{Application, FnEmit};
+use crossbeam::channel::{bounded, Receiver, Sender};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Bounded shuffle-channel depth per reducer (records). Deep enough to
+/// decouple bursts, shallow enough to exert back-pressure like a real
+/// shuffle buffer.
+const CHANNEL_DEPTH: usize = 8192;
+
+/// Executes jobs on local OS threads.
+#[derive(Debug, Clone)]
+pub struct LocalRunner {
+    /// Concurrent map workers.
+    pub map_threads: usize,
+}
+
+impl LocalRunner {
+    /// A runner with `map_threads` map workers. Reduce-side parallelism
+    /// equals the partition count.
+    pub fn new(map_threads: usize) -> Self {
+        assert!(map_threads >= 1);
+        LocalRunner { map_threads }
+    }
+
+    /// Runs `app` over `splits` with the default hash partitioner.
+    pub fn run<A: Application>(
+        &self,
+        app: &A,
+        splits: Vec<Vec<(A::InKey, A::InValue)>>,
+        cfg: &JobConfig,
+    ) -> MrResult<JobOutput<A>> {
+        self.run_with_partitioner(app, splits, cfg, &HashPartitioner)
+    }
+
+    /// Runs `app` over `splits` with a custom partitioner.
+    pub fn run_with_partitioner<A: Application, P: Partitioner<A::MapKey>>(
+        &self,
+        app: &A,
+        splits: Vec<Vec<(A::InKey, A::InValue)>>,
+        cfg: &JobConfig,
+        partitioner: &P,
+    ) -> MrResult<JobOutput<A>> {
+        assert!(cfg.reducers >= 1, "need at least one reducer");
+        match &cfg.engine {
+            Engine::Barrier => self.run_barrier(app, splits, cfg, partitioner),
+            Engine::BarrierLess { .. } => self.run_pipelined(app, splits, cfg, partitioner),
+        }
+    }
+
+    /// Runs `app` with DryadInc-style map-output memoization (§8 of the
+    /// paper): splits whose [`memo::Fingerprint`] is already cached skip
+    /// the map function entirely. Pass the same `cache` across runs of an
+    /// iterative job; clear it when the map function changes.
+    ///
+    /// The reduce side runs the configured engine as usual (the cached
+    /// map output feeds it all at once, so this path favours iterative
+    /// re-runs over first-run pipelining).
+    #[allow(clippy::type_complexity)]
+    pub fn run_memoized<A: Application, P: Partitioner<A::MapKey>>(
+        &self,
+        app: &A,
+        splits: Vec<(memo::Fingerprint, Vec<(A::InKey, A::InValue)>)>,
+        cfg: &JobConfig,
+        partitioner: &P,
+        cache: &mut memo::MemoCache<A>,
+    ) -> MrResult<JobOutput<A>> {
+        assert!(cfg.reducers >= 1, "need at least one reducer");
+        let reducers = cfg.reducers;
+        let mut counters = Counters::new();
+        let mut partitions: Vec<Vec<(A::MapKey, A::MapValue)>> =
+            (0..reducers).map(|_| Vec::new()).collect();
+        for (fp, split) in &splits {
+            if let Some(cached) = cache.lookup(*fp, reducers) {
+                for (p, records) in cached.iter().enumerate() {
+                    partitions[p].extend(records.iter().cloned());
+                }
+                continue;
+            }
+            let mut parts: Vec<Vec<(A::MapKey, A::MapValue)>> =
+                (0..reducers).map(|_| Vec::new()).collect();
+            {
+                let mut emit = FnEmit(|k: A::MapKey, v: A::MapValue| {
+                    counters.incr(names::MAP_OUTPUT_RECORDS);
+                    let p = partitioner.partition(&k, reducers);
+                    parts[p].push((k, v));
+                });
+                for (k, v) in split {
+                    app.map(k, v, &mut emit);
+                }
+            }
+            for (p, records) in parts.iter().enumerate() {
+                partitions[p].extend(records.iter().cloned());
+            }
+            cache.insert(*fp, reducers, parts);
+        }
+
+        let mut outputs = Vec::with_capacity(reducers);
+        let mut reports = Vec::new();
+        for (r, records) in partitions.into_iter().enumerate() {
+            match &cfg.engine {
+                Engine::Barrier => {
+                    outputs.push(reduce_partition_barrier(app, records, &mut counters)?);
+                }
+                Engine::BarrierLess { .. } => {
+                    let (out, report) =
+                        reduce_partition_barrierless(app, cfg, r, records, &mut counters)?;
+                    outputs.push(out);
+                    reports.push(report);
+                }
+            }
+        }
+        Ok(JobOutput {
+            partitions: outputs,
+            counters,
+            reports,
+        })
+    }
+
+    fn run_barrier<A: Application, P: Partitioner<A::MapKey>>(
+        &self,
+        app: &A,
+        splits: Vec<Vec<(A::InKey, A::InValue)>>,
+        cfg: &JobConfig,
+        partitioner: &P,
+    ) -> MrResult<JobOutput<A>> {
+        let reducers = cfg.reducers;
+        let n_splits = splits.len();
+        // Map phase: workers claim splits by index so per-split output
+        // lands in a deterministic slot regardless of scheduling.
+        type MapSlot<A> = Option<Vec<Vec<(<A as Application>::MapKey, <A as Application>::MapValue)>>>;
+        let slots: Vec<Mutex<MapSlot<A>>> = (0..n_splits).map(|_| Mutex::new(None)).collect();
+        let next = AtomicUsize::new(0);
+        let map_counters = Mutex::new(Counters::new());
+
+        std::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for _ in 0..self.map_threads.min(n_splits.max(1)) {
+                let splits = &splits;
+                let slots = &slots;
+                let next = &next;
+                let map_counters = &map_counters;
+                handles.push(scope.spawn(move || {
+                    let mut local_counters = Counters::new();
+                    loop {
+                        let idx = next.fetch_add(1, Ordering::Relaxed);
+                        if idx >= n_splits {
+                            break;
+                        }
+                        let mut parts: Vec<Vec<(A::MapKey, A::MapValue)>> =
+                            (0..reducers).map(|_| Vec::new()).collect();
+                        {
+                            let mut emit = FnEmit(|k: A::MapKey, v: A::MapValue| {
+                                local_counters.incr(names::MAP_OUTPUT_RECORDS);
+                                let p = partitioner.partition(&k, reducers);
+                                parts[p].push((k, v));
+                            });
+                            for (k, v) in &splits[idx] {
+                                app.map(k, v, &mut emit);
+                            }
+                        }
+                        *slots[idx].lock().unwrap() = Some(parts);
+                    }
+                    map_counters.lock().unwrap().merge(&local_counters);
+                }));
+            }
+            for h in handles {
+                h.join().map_err(|_| {
+                    MrError::WorkerPanic("map worker panicked".to_string())
+                })?;
+            }
+            Ok::<(), MrError>(())
+        })?;
+
+        // Concatenate per-split partitions in split order (determinism).
+        let mut partitions: Vec<Vec<(A::MapKey, A::MapValue)>> =
+            (0..reducers).map(|_| Vec::new()).collect();
+        for slot in slots {
+            let parts = slot
+                .into_inner()
+                .unwrap()
+                .expect("every split was mapped");
+            for (p, mut records) in parts.into_iter().enumerate() {
+                partitions[p].append(&mut records);
+            }
+        }
+
+        // Reduce phase: one task per partition, run in parallel.
+        type ReduceSlot<A> = Mutex<
+            Option<MrResult<(Vec<(<A as Application>::OutKey, <A as Application>::OutValue)>, Counters)>>,
+        >;
+        type PartitionSlot<A> =
+            Mutex<Option<Vec<(<A as Application>::MapKey, <A as Application>::MapValue)>>>;
+        let results: Vec<ReduceSlot<A>> = (0..reducers).map(|_| Mutex::new(None)).collect();
+        let partitions: Vec<PartitionSlot<A>> =
+            partitions.into_iter().map(|p| Mutex::new(Some(p))).collect();
+        let next_part = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for _ in 0..self.map_threads.min(reducers) {
+                let partitions = &partitions;
+                let results = &results;
+                let next_part = &next_part;
+                handles.push(scope.spawn(move || loop {
+                    let idx = next_part.fetch_add(1, Ordering::Relaxed);
+                    if idx >= reducers {
+                        break;
+                    }
+                    let records = partitions[idx].lock().unwrap().take().expect("one taker");
+                    let mut counters = Counters::new();
+                    let out = reduce_partition_barrier(app, records, &mut counters)
+                        .map(|o| (o, counters));
+                    *results[idx].lock().unwrap() = Some(out);
+                }));
+            }
+            for h in handles {
+                h.join()
+                    .map_err(|_| MrError::WorkerPanic("reduce worker panicked".to_string()))?;
+            }
+            Ok::<(), MrError>(())
+        })?;
+
+        let mut counters = map_counters.into_inner().unwrap();
+        let mut outputs = Vec::with_capacity(reducers);
+        for slot in results {
+            let (out, task_counters) = slot
+                .into_inner()
+                .unwrap()
+                .expect("every partition was reduced")?;
+            counters.merge(&task_counters);
+            outputs.push(out);
+        }
+        Ok(JobOutput {
+            partitions: outputs,
+            counters,
+            reports: Vec::new(),
+        })
+    }
+
+    fn run_pipelined<A: Application, P: Partitioner<A::MapKey>>(
+        &self,
+        app: &A,
+        splits: Vec<Vec<(A::InKey, A::InValue)>>,
+        cfg: &JobConfig,
+        partitioner: &P,
+    ) -> MrResult<JobOutput<A>> {
+        let reducers = cfg.reducers;
+        let n_splits = splits.len();
+        let mut senders: Vec<Sender<(A::MapKey, A::MapValue)>> = Vec::with_capacity(reducers);
+        let mut receivers: Vec<Receiver<(A::MapKey, A::MapValue)>> = Vec::with_capacity(reducers);
+        for _ in 0..reducers {
+            let (tx, rx) = bounded(CHANNEL_DEPTH);
+            senders.push(tx);
+            receivers.push(rx);
+        }
+
+        let next = AtomicUsize::new(0);
+        let map_counters = Mutex::new(Counters::new());
+        type ReduceResult<A> = MrResult<(
+            Vec<(<A as Application>::OutKey, <A as Application>::OutValue)>,
+            DriverReport,
+            Counters,
+        )>;
+        let reduce_slots: Vec<Mutex<Option<ReduceResult<A>>>> =
+            (0..reducers).map(|_| Mutex::new(None)).collect();
+
+        std::thread::scope(|scope| {
+            // Reducers first: they consume as mappers produce (pipelining).
+            let mut reduce_handles = Vec::new();
+            for (r, rx) in receivers.into_iter().enumerate() {
+                let reduce_slots = &reduce_slots;
+                let cfg_ref = cfg;
+                reduce_handles.push(scope.spawn(move || {
+                    let run = || -> ReduceResult<A> {
+                        let mut driver = IncrementalDriver::new(app, cfg_ref, r)?;
+                        let mut out = Vec::new();
+                        let mut counters = Counters::new();
+                        for (k, v) in rx.iter() {
+                            driver.push(app, k, v, &mut out)?;
+                        }
+                        let report = driver.finish(app, &mut counters, &mut out)?;
+                        counters.add(names::REDUCE_OUTPUT_RECORDS, out.len() as u64);
+                        Ok((out, report, counters))
+                    };
+                    let result = run();
+                    // On failure, drain the channel so mappers never block
+                    // on a full buffer with no consumer.
+                    *reduce_slots[r].lock().unwrap() = Some(result);
+                }));
+            }
+
+            // Mappers stream records straight into reducer channels.
+            let mut map_handles = Vec::new();
+            for _ in 0..self.map_threads.min(n_splits.max(1)) {
+                let splits = &splits;
+                let senders = senders.clone();
+                let next = &next;
+                let map_counters = &map_counters;
+                map_handles.push(scope.spawn(move || {
+                    let mut local_counters = Counters::new();
+                    'outer: loop {
+                        let idx = next.fetch_add(1, Ordering::Relaxed);
+                        if idx >= n_splits {
+                            break;
+                        }
+                        let mut dead = false;
+                        {
+                            let mut emit = FnEmit(|k: A::MapKey, v: A::MapValue| {
+                                if dead {
+                                    return;
+                                }
+                                local_counters.incr(names::MAP_OUTPUT_RECORDS);
+                                let p = partitioner.partition(&k, reducers);
+                                // A send error means the reducer died (e.g.
+                                // OOM): the job is failing, stop producing.
+                                if senders[p].send((k, v)).is_err() {
+                                    dead = true;
+                                }
+                            });
+                            for (k, v) in &splits[idx] {
+                                app.map(k, v, &mut emit);
+                            }
+                        }
+                        if dead {
+                            break 'outer;
+                        }
+                    }
+                    map_counters.lock().unwrap().merge(&local_counters);
+                }));
+            }
+            drop(senders); // reducers see EOF once all mappers finish
+
+            for h in map_handles {
+                h.join()
+                    .map_err(|_| MrError::WorkerPanic("map worker panicked".to_string()))?;
+            }
+            for h in reduce_handles {
+                h.join()
+                    .map_err(|_| MrError::WorkerPanic("reduce worker panicked".to_string()))?;
+            }
+            Ok::<(), MrError>(())
+        })?;
+
+        let mut counters = map_counters.into_inner().unwrap();
+        let mut outputs = Vec::with_capacity(reducers);
+        let mut reports = Vec::with_capacity(reducers);
+        for slot in reduce_slots {
+            let (out, report, task_counters) = slot
+                .into_inner()
+                .unwrap()
+                .expect("every reducer ran")?;
+            counters.merge(&task_counters);
+            outputs.push(out);
+            reports.push(report);
+        }
+        Ok(JobOutput {
+            partitions: outputs,
+            counters,
+            reports,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::MemoryPolicy;
+    use crate::testutil::{scratch_dir, GlobalSum, WordCountApp};
+    use std::collections::BTreeMap;
+
+    fn text_splits(n_splits: usize, lines_per_split: usize) -> Vec<Vec<(u64, String)>> {
+        let vocab = [
+            "the", "quick", "brown", "fox", "jumps", "over", "lazy", "dog", "barrier", "less",
+        ];
+        let mut splits = Vec::new();
+        let mut counter = 0u64;
+        for s in 0..n_splits {
+            let mut split = Vec::new();
+            for l in 0..lines_per_split {
+                let a = vocab[(s * 7 + l) % vocab.len()];
+                let b = vocab[(s + l * 3) % vocab.len()];
+                let c = vocab[(s * 2 + l * 5) % vocab.len()];
+                split.push((counter, format!("{a} {b} {c}")));
+                counter += 1;
+            }
+            splits.push(split);
+        }
+        splits
+    }
+
+    fn expected_counts(splits: &[Vec<(u64, String)>]) -> BTreeMap<String, u64> {
+        let mut m = BTreeMap::new();
+        for split in splits {
+            for (_, line) in split {
+                for w in line.split_whitespace() {
+                    *m.entry(w.to_string()).or_insert(0) += 1;
+                }
+            }
+        }
+        m
+    }
+
+    #[test]
+    fn barrier_engine_counts_words() {
+        let splits = text_splits(6, 40);
+        let expect = expected_counts(&splits);
+        let cfg = JobConfig::new(4);
+        let out = LocalRunner::new(4).run(&WordCountApp, splits, &cfg).unwrap();
+        assert_eq!(out.counters.get(names::MAP_OUTPUT_RECORDS), 6 * 40 * 3);
+        let got: BTreeMap<String, u64> = out.into_sorted_output().into_iter().collect();
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn pipelined_engine_matches_barrier_engine() {
+        let splits = text_splits(8, 50);
+        let expect = expected_counts(&splits);
+        for policy in [
+            MemoryPolicy::InMemory,
+            MemoryPolicy::SpillMerge { threshold_bytes: 512 },
+            MemoryPolicy::KvStore { cache_bytes: 1024 },
+        ] {
+            let cfg = JobConfig::new(3)
+                .engine(Engine::BarrierLess { memory: policy.clone() })
+                .scratch_dir(scratch_dir("local-eq"));
+            let out = LocalRunner::new(4)
+                .run(&WordCountApp, splits.clone(), &cfg)
+                .unwrap();
+            let got: BTreeMap<String, u64> = out.into_sorted_output().into_iter().collect();
+            assert_eq!(got, expect, "policy {policy:?} diverged from barrier");
+        }
+    }
+
+    #[test]
+    fn unkeyed_app_runs_through_shared_state() {
+        let splits: Vec<Vec<(u64, u64)>> = (0..4)
+            .map(|s| (0..100).map(|i| (i, s * 100 + i)).collect())
+            .collect();
+        let total: u64 = (0..400u64).sum();
+        let cfg = JobConfig::new(1).engine(Engine::barrierless());
+        let out = LocalRunner::new(2).run(&GlobalSum, splits, &cfg).unwrap();
+        assert_eq!(out.partitions[0], vec![(0u8, total)]);
+        // No keyed state: the store never held entries.
+        assert_eq!(out.reports[0].store.peak_entries, 0);
+    }
+
+    #[test]
+    fn oom_propagates_from_reducer_to_job() {
+        let splits = text_splits(4, 100);
+        let cfg = JobConfig::new(2)
+            .engine(Engine::barrierless())
+            .heap_cap(200)
+            .scratch_dir(scratch_dir("local-oom"));
+        let err = LocalRunner::new(4).run(&WordCountApp, splits, &cfg);
+        assert!(
+            matches!(err, Err(MrError::OutOfMemory { .. })),
+            "expected OOM, got {:?}",
+            err.err().map(|e| e.to_string())
+        );
+    }
+
+    #[test]
+    fn single_split_single_reducer() {
+        let splits = vec![vec![(0u64, "a a b".to_string())]];
+        let cfg = JobConfig::new(1).engine(Engine::barrierless());
+        let out = LocalRunner::new(1).run(&WordCountApp, splits, &cfg).unwrap();
+        assert_eq!(
+            out.into_sorted_output(),
+            vec![("a".to_string(), 2), ("b".to_string(), 1)]
+        );
+    }
+
+    #[test]
+    fn empty_input_produces_empty_output() {
+        let cfg = JobConfig::new(2);
+        let out = LocalRunner::new(2)
+            .run(&WordCountApp, Vec::new(), &cfg)
+            .unwrap();
+        assert_eq!(out.record_count(), 0);
+        let cfg = JobConfig::new(2).engine(Engine::barrierless());
+        let out = LocalRunner::new(2)
+            .run(&WordCountApp, Vec::new(), &cfg)
+            .unwrap();
+        assert_eq!(out.record_count(), 0);
+    }
+
+    #[test]
+    fn many_reducers_more_than_keys() {
+        let splits = vec![vec![(0u64, "only two".to_string())]];
+        let cfg = JobConfig::new(16).engine(Engine::barrierless());
+        let out = LocalRunner::new(2).run(&WordCountApp, splits, &cfg).unwrap();
+        assert_eq!(out.record_count(), 2);
+        assert_eq!(out.partitions.len(), 16);
+    }
+}

@@ -1,0 +1,49 @@
+//! Job results returned by executors.
+
+use crate::counters::Counters;
+use crate::engine::DriverReport;
+use crate::traits::Application;
+
+/// Everything a finished job hands back: per-partition output plus
+/// counters and per-reducer store reports.
+pub struct JobOutput<A: Application> {
+    /// Output records per reduce partition, in the order each reducer
+    /// emitted them.
+    pub partitions: Vec<Vec<(A::OutKey, A::OutValue)>>,
+    /// Merged counters from every task.
+    pub counters: Counters,
+    /// One report per reduce partition (empty under the barrier engine,
+    /// which has no partial-result store).
+    pub reports: Vec<DriverReport>,
+}
+
+impl<A: Application> JobOutput<A> {
+    /// Total output records across partitions.
+    pub fn record_count(&self) -> usize {
+        self.partitions.iter().map(Vec::len).sum()
+    }
+
+    /// Flattens all partitions and sorts by output key (stable), giving a
+    /// canonical view for comparing engines against each other.
+    pub fn into_sorted_output(self) -> Vec<(A::OutKey, A::OutValue)> {
+        let mut all: Vec<(A::OutKey, A::OutValue)> =
+            self.partitions.into_iter().flatten().collect();
+        all.sort_by(|a, b| a.0.cmp(&b.0));
+        all
+    }
+
+    /// Largest modelled heap footprint any reducer reached.
+    pub fn max_peak_bytes(&self) -> u64 {
+        self.reports
+            .iter()
+            .map(|r| r.store.peak_bytes)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Sum of peak partial-result entries across reducers — the empirical
+    /// "size of partial results" column of Table 1.
+    pub fn total_peak_entries(&self) -> usize {
+        self.reports.iter().map(|r| r.store.peak_entries).sum()
+    }
+}

@@ -1,0 +1,119 @@
+//! In-memory partial-result store — the paper's Java `TreeMap` (§3.2).
+
+use super::{PartialStore, StoreReport};
+use crate::error::{MrError, MrResult};
+use crate::size::{SizeEstimate, ENTRY_OVERHEAD};
+use crate::traits::{Application, Emit};
+use std::collections::BTreeMap;
+
+/// A red-black-tree-equivalent ordered map of partial results, with byte
+/// accounting and an optional hard heap cap.
+///
+/// The accounting models what the paper measured on the JVM: key bytes +
+/// state bytes + a per-node overhead, scaled by `heap_scale` so that
+/// scaled-down simulated workloads report full-size heap numbers.
+pub struct InMemoryStore<A: Application> {
+    map: BTreeMap<A::MapKey, A::State>,
+    /// Unscaled live bytes (keys + states + node overhead).
+    raw_bytes: u64,
+    heap_scale: f64,
+    heap_cap: Option<u64>,
+    reducer: usize,
+    peak_entries: usize,
+    peak_bytes: u64,
+}
+
+impl<A: Application> InMemoryStore<A> {
+    /// An empty store for reduce partition `reducer`.
+    pub fn new(heap_cap: Option<u64>, heap_scale: f64, reducer: usize) -> Self {
+        InMemoryStore {
+            map: BTreeMap::new(),
+            raw_bytes: 0,
+            heap_scale,
+            heap_cap,
+            reducer,
+            peak_entries: 0,
+            peak_bytes: 0,
+        }
+    }
+
+    fn scaled(&self) -> u64 {
+        (self.raw_bytes as f64 * self.heap_scale) as u64
+    }
+
+    fn track_peaks(&mut self) {
+        self.peak_entries = self.peak_entries.max(self.map.len());
+        self.peak_bytes = self.peak_bytes.max(self.scaled());
+    }
+
+    fn check_cap(&self) -> MrResult<()> {
+        if let Some(cap) = self.heap_cap {
+            let used = self.scaled();
+            if used > cap {
+                return Err(MrError::OutOfMemory {
+                    reducer: self.reducer,
+                    used_bytes: used,
+                    cap_bytes: cap,
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+impl<A: Application> PartialStore<A> for InMemoryStore<A> {
+    fn absorb(
+        &mut self,
+        app: &A,
+        key: A::MapKey,
+        value: A::MapValue,
+        shared: &mut A::Shared,
+        out: &mut dyn Emit<A::OutKey, A::OutValue>,
+    ) -> MrResult<()> {
+        let state = match self.map.get_mut(&key) {
+            Some(state) => state,
+            None => {
+                let fresh = app.init(&key);
+                self.raw_bytes += (key.estimated_bytes()
+                    + fresh.estimated_bytes()
+                    + ENTRY_OVERHEAD) as u64;
+                self.map.entry(key.clone()).or_insert(fresh)
+            }
+        };
+        let before = state.estimated_bytes() as u64;
+        app.absorb(&key, state, value, shared, out);
+        let after = state.estimated_bytes() as u64;
+        // States can shrink (e.g. a selection evicting values), so the
+        // delta is applied saturating rather than assumed non-negative.
+        self.raw_bytes = (self.raw_bytes + after).saturating_sub(before);
+        self.track_peaks();
+        self.check_cap()
+    }
+
+    fn finalize_into(
+        self: Box<Self>,
+        app: &A,
+        shared: &mut A::Shared,
+        out: &mut dyn Emit<A::OutKey, A::OutValue>,
+    ) -> MrResult<StoreReport> {
+        let this = *self;
+        let report = StoreReport {
+            entries: this.map.len(),
+            peak_entries: this.peak_entries,
+            peak_bytes: this.peak_bytes,
+            ..StoreReport::default()
+        };
+        for (key, state) in this.map {
+            app.finalize(key, state, shared, out);
+        }
+        Ok(report)
+    }
+
+    fn modelled_bytes(&self) -> u64 {
+        self.scaled()
+    }
+
+    fn entries(&self) -> usize {
+        self.map.len()
+    }
+}

@@ -1,0 +1,109 @@
+//! Partial-result stores for the barrier-less engine (§5 of the paper).
+//!
+//! Every record a barrier-less reducer receives updates a *partial result*
+//! for its key. Where those partial results live is the paper's memory-
+//! management question, with three answers:
+//!
+//! | Policy | Paper section | Type |
+//! |---|---|---|
+//! | In-memory ordered map (TreeMap) | §3.2 | [`InMemoryStore`] |
+//! | Disk spill and merge | §5.1 | [`SpillMergeStore`] |
+//! | Disk-spilling key/value store (BerkeleyDB) | §5.2 | [`KvBackedStore`] |
+
+mod inmem;
+mod kv;
+mod spill;
+
+pub use inmem::InMemoryStore;
+pub use kv::KvBackedStore;
+pub use spill::SpillMergeStore;
+
+use crate::config::{JobConfig, MemoryPolicy};
+use crate::error::MrResult;
+use crate::traits::{Application, Emit};
+
+/// Statistics a store reports after finishing.
+#[derive(Debug, Clone, Default)]
+pub struct StoreReport {
+    /// Live entries at the end (before finalize drained them).
+    pub entries: usize,
+    /// Largest number of simultaneously live in-memory entries.
+    pub peak_entries: usize,
+    /// Largest modelled heap footprint reached, in bytes.
+    pub peak_bytes: u64,
+    /// Spill run files written (spill-and-merge only).
+    pub spill_files: u64,
+    /// Bytes written to spill runs.
+    pub spill_bytes: u64,
+    /// Partial results combined by `Application::merge` during the merge
+    /// phase (spill-and-merge only).
+    pub merged_states: u64,
+    /// KV-store statistics (KV policy only).
+    pub kv_stats: Option<mr_kvstore::StoreStats>,
+}
+
+/// Storage for per-key partial results during a barrier-less reduce task.
+///
+/// The engine calls [`absorb`](PartialStore::absorb) once per record, in
+/// arrival order, then [`finalize_into`](PartialStore::finalize_into) once
+/// the shuffle is drained.
+pub trait PartialStore<A: Application>: Send {
+    /// Folds one record into its key's partial result.
+    fn absorb(
+        &mut self,
+        app: &A,
+        key: A::MapKey,
+        value: A::MapValue,
+        shared: &mut A::Shared,
+        out: &mut dyn Emit<A::OutKey, A::OutValue>,
+    ) -> MrResult<()>;
+
+    /// Drains the store: merges any spilled runs and calls
+    /// `Application::finalize` for every key, in key order.
+    fn finalize_into(
+        self: Box<Self>,
+        app: &A,
+        shared: &mut A::Shared,
+        out: &mut dyn Emit<A::OutKey, A::OutValue>,
+    ) -> MrResult<StoreReport>;
+
+    /// Current modelled heap footprint in bytes (drives Figure 5 sampling).
+    fn modelled_bytes(&self) -> u64;
+
+    /// Live in-memory entries right now.
+    fn entries(&self) -> usize;
+
+    /// Cumulative bytes of disk traffic this store has generated so far
+    /// (spill runs written, KV log writes + miss reads). The cluster
+    /// simulator polls this to charge disk time as it happens.
+    fn io_bytes(&self) -> u64 {
+        0
+    }
+}
+
+/// Builds the store that `cfg.engine`'s memory policy asks for.
+pub fn make_store<A: Application>(
+    policy: &MemoryPolicy,
+    cfg: &JobConfig,
+    reducer: usize,
+) -> MrResult<Box<dyn PartialStore<A>>> {
+    Ok(match policy {
+        MemoryPolicy::InMemory => Box::new(InMemoryStore::new(
+            cfg.heap_cap_bytes,
+            cfg.heap_scale,
+            reducer,
+        )),
+        MemoryPolicy::SpillMerge { threshold_bytes } => Box::new(SpillMergeStore::new(
+            &cfg.scratch_dir,
+            *threshold_bytes,
+            cfg.heap_scale,
+            reducer,
+        )?),
+        MemoryPolicy::KvStore { cache_bytes } => Box::new(KvBackedStore::new(
+            &cfg.scratch_dir,
+            *cache_bytes,
+            cfg.heap_scale,
+            reducer,
+        )?),
+    })
+}

@@ -1,0 +1,247 @@
+//! Disk spill-and-merge partial-result store (§5.1 of the paper).
+//!
+//! Partial results accumulate in an ordered in-memory map; when the
+//! modelled footprint reaches the threshold, the whole map is written out
+//! as a key-sorted *run file* and the map is cleared. A key's partial
+//! results may end up scattered across several runs, so the finalize phase
+//! performs a k-way merge over all runs (plus the residual in-memory map),
+//! combining same-key states with `Application::merge` — "this merge
+//! function is often functionally the same as the combiner" — and then
+//! finalizing each key exactly once, in key order.
+
+use super::{PartialStore, StoreReport};
+use crate::codec::Codec;
+use crate::error::MrResult;
+use crate::size::{SizeEstimate, ENTRY_OVERHEAD};
+use crate::traits::{Application, Emit};
+use std::collections::BTreeMap;
+use std::fs::File;
+use std::io::{BufReader, BufWriter, Read, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Distinguishes spill directories across tasks and tests in one process.
+static SPILL_SERIAL: AtomicU64 = AtomicU64::new(0);
+
+/// The spill-and-merge store.
+pub struct SpillMergeStore<A: Application> {
+    map: BTreeMap<A::MapKey, A::State>,
+    raw_bytes: u64,
+    threshold_bytes: u64,
+    heap_scale: f64,
+    dir: PathBuf,
+    runs: Vec<PathBuf>,
+    reducer: usize,
+    peak_entries: usize,
+    peak_bytes: u64,
+    spill_bytes: u64,
+}
+
+impl<A: Application> SpillMergeStore<A> {
+    /// A store spilling into `scratch_dir` when the *modelled* footprint
+    /// reaches `threshold_bytes`.
+    pub fn new(
+        scratch_dir: &Path,
+        threshold_bytes: u64,
+        heap_scale: f64,
+        reducer: usize,
+    ) -> MrResult<Self> {
+        let serial = SPILL_SERIAL.fetch_add(1, Ordering::Relaxed);
+        let dir = scratch_dir.join(format!(
+            "spill-{}-r{reducer}-{serial}",
+            std::process::id()
+        ));
+        std::fs::create_dir_all(&dir)?;
+        Ok(SpillMergeStore {
+            map: BTreeMap::new(),
+            raw_bytes: 0,
+            threshold_bytes,
+            heap_scale,
+            dir,
+            runs: Vec::new(),
+            reducer,
+            peak_entries: 0,
+            peak_bytes: 0,
+            spill_bytes: 0,
+        })
+    }
+
+    fn scaled(&self) -> u64 {
+        (self.raw_bytes as f64 * self.heap_scale) as u64
+    }
+
+    /// Writes the current map as a sorted run and clears it.
+    fn spill(&mut self) -> MrResult<()> {
+        if self.map.is_empty() {
+            return Ok(());
+        }
+        let path = self.dir.join(format!("run-{:04}.spill", self.runs.len()));
+        let mut out = BufWriter::new(File::create(&path)?);
+        let map = std::mem::take(&mut self.map);
+        out.write_all(&(map.len() as u64).to_le_bytes())?;
+        let mut buf = Vec::new();
+        let mut written = 0u64;
+        for (key, state) in map {
+            buf.clear();
+            key.encode(&mut buf);
+            state.encode(&mut buf);
+            out.write_all(&(buf.len() as u32).to_le_bytes())?;
+            out.write_all(&buf)?;
+            written += 4 + buf.len() as u64;
+        }
+        out.flush()?;
+        self.spill_bytes += written + 8;
+        self.runs.push(path);
+        self.raw_bytes = 0;
+        Ok(())
+    }
+}
+
+/// Sequential reader over one sorted run.
+struct RunReader<A: Application> {
+    input: BufReader<File>,
+    remaining: u64,
+    _marker: std::marker::PhantomData<fn() -> A>,
+}
+
+impl<A: Application> RunReader<A> {
+    fn open(path: &Path) -> MrResult<Self> {
+        let mut input = BufReader::with_capacity(128 << 10, File::open(path)?);
+        let mut header = [0u8; 8];
+        input.read_exact(&mut header)?;
+        Ok(RunReader {
+            input,
+            remaining: u64::from_le_bytes(header),
+            _marker: std::marker::PhantomData,
+        })
+    }
+
+    fn next_entry(&mut self) -> MrResult<Option<(A::MapKey, A::State)>> {
+        if self.remaining == 0 {
+            return Ok(None);
+        }
+        self.remaining -= 1;
+        let mut len_bytes = [0u8; 4];
+        self.input.read_exact(&mut len_bytes)?;
+        let len = u32::from_le_bytes(len_bytes) as usize;
+        let mut payload = vec![0u8; len];
+        self.input.read_exact(&mut payload)?;
+        let mut slice = payload.as_slice();
+        let key = A::MapKey::decode(&mut slice)?;
+        let state = A::State::decode(&mut slice)?;
+        Ok(Some((key, state)))
+    }
+}
+
+impl<A: Application> PartialStore<A> for SpillMergeStore<A> {
+    fn absorb(
+        &mut self,
+        app: &A,
+        key: A::MapKey,
+        value: A::MapValue,
+        shared: &mut A::Shared,
+        out: &mut dyn Emit<A::OutKey, A::OutValue>,
+    ) -> MrResult<()> {
+        let state = match self.map.get_mut(&key) {
+            Some(state) => state,
+            None => {
+                let fresh = app.init(&key);
+                self.raw_bytes +=
+                    (key.estimated_bytes() + fresh.estimated_bytes() + ENTRY_OVERHEAD) as u64;
+                self.map.entry(key.clone()).or_insert(fresh)
+            }
+        };
+        let before = state.estimated_bytes() as u64;
+        app.absorb(&key, state, value, shared, out);
+        let after = state.estimated_bytes() as u64;
+        self.raw_bytes = (self.raw_bytes + after).saturating_sub(before);
+        self.peak_entries = self.peak_entries.max(self.map.len());
+        self.peak_bytes = self.peak_bytes.max(self.scaled());
+        if self.scaled() >= self.threshold_bytes {
+            self.spill()?;
+        }
+        Ok(())
+    }
+
+    fn finalize_into(
+        self: Box<Self>,
+        app: &A,
+        shared: &mut A::Shared,
+        out: &mut dyn Emit<A::OutKey, A::OutValue>,
+    ) -> MrResult<StoreReport> {
+        let mut this = *self;
+        let _ = this.reducer;
+        let mut report = StoreReport {
+            entries: this.map.len(),
+            peak_entries: this.peak_entries,
+            peak_bytes: this.peak_bytes,
+            spill_files: this.runs.len() as u64,
+            spill_bytes: this.spill_bytes,
+            ..StoreReport::default()
+        };
+
+        if this.runs.is_empty() {
+            // Never spilled: plain in-memory finalize.
+            for (key, state) in std::mem::take(&mut this.map) {
+                app.finalize(key, state, shared, out);
+            }
+            std::fs::remove_dir_all(&this.dir).ok();
+            return Ok(report);
+        }
+
+        // K-way merge across run files plus the residual in-memory map.
+        let mut readers: Vec<RunReader<A>> = Vec::with_capacity(this.runs.len());
+        for path in &this.runs {
+            readers.push(RunReader::open(path)?);
+        }
+        // heads[i] = next (key, state) of source i; source k = in-memory map.
+        let mut heads: Vec<Option<(A::MapKey, A::State)>> = Vec::new();
+        for reader in &mut readers {
+            heads.push(reader.next_entry()?);
+        }
+        let mut mem_iter = std::mem::take(&mut this.map).into_iter();
+        heads.push(mem_iter.next());
+
+        // Repeatedly pull the globally smallest key among the heads.
+        while let Some(min_key) = heads.iter().flatten().map(|(k, _)| k).min().cloned() {
+            // Pull every head equal to min_key, merging states; sources are
+            // individually sorted, so repeatedly refilling each matching
+            // head collects all partial results for the key.
+            let mut acc: Option<A::State> = None;
+            for (i, slot) in heads.iter_mut().enumerate() {
+                while matches!(slot, Some((k, _)) if *k == min_key) {
+                    let (_, state) = slot.take().expect("matched Some");
+                    acc = Some(match acc.take() {
+                        None => state,
+                        Some(prev) => {
+                            report.merged_states += 1;
+                            app.merge(&min_key, prev, state)
+                        }
+                    });
+                    *slot = if i < readers.len() {
+                        readers[i].next_entry()?
+                    } else {
+                        mem_iter.next()
+                    };
+                }
+            }
+            let state = acc.expect("min key came from some head");
+            app.finalize(min_key, state, shared, out);
+        }
+
+        std::fs::remove_dir_all(&this.dir).ok();
+        Ok(report)
+    }
+
+    fn modelled_bytes(&self) -> u64 {
+        self.scaled()
+    }
+
+    fn entries(&self) -> usize {
+        self.map.len()
+    }
+
+    fn io_bytes(&self) -> u64 {
+        self.spill_bytes
+    }
+}

@@ -1,0 +1,203 @@
+//! The programming model: one [`Application`] trait carrying both the
+//! classic grouped form and the paper's barrier-less incremental form.
+//!
+//! In the paper, converting an application means rewriting its `run()` and
+//! `reduce()` (Algorithm 1 → Algorithm 2). Here the two forms are methods
+//! on the same trait so a single app definition can run under either
+//! engine and be checked for output equivalence; the per-app modules in
+//! `mr-apps` keep the two forms in separate source files so Table 2's
+//! lines-of-code comparison stays honest.
+
+use crate::codec::Codec;
+use crate::size::SizeEstimate;
+use std::cmp::Ordering;
+use std::hash::Hash;
+
+/// Intermediate key requirements: shuffled, compared, hashed, spilled.
+pub trait Key: Clone + Ord + Hash + Send + Codec + SizeEstimate + 'static {}
+impl<T: Clone + Ord + Hash + Send + Codec + SizeEstimate + 'static> Key for T {}
+
+/// Intermediate value requirements.
+pub trait Value: Clone + Send + SizeEstimate + 'static {}
+impl<T: Clone + Send + SizeEstimate + 'static> Value for T {}
+
+/// Output sink passed to map / reduce functions.
+pub trait Emit<K, V> {
+    /// Emits one record.
+    fn emit(&mut self, key: K, value: V);
+}
+
+impl<K, V> Emit<K, V> for Vec<(K, V)> {
+    fn emit(&mut self, key: K, value: V) {
+        self.push((key, value));
+    }
+}
+
+/// An `Emit` that counts records and forwards to a closure; used by
+/// engines to meter output volume.
+pub struct FnEmit<F>(pub F);
+
+impl<K, V, F: FnMut(K, V)> Emit<K, V> for FnEmit<F> {
+    fn emit(&mut self, key: K, value: V) {
+        (self.0)(key, value);
+    }
+}
+
+/// A complete MapReduce program: the Map function plus *both* Reduce
+/// forms, and the metadata the engines need (sorting contract, secondary
+/// sort, cost hints live elsewhere).
+///
+/// # The two Reduce forms
+///
+/// * [`reduce_grouped`](Application::reduce_grouped) is Hadoop's contract:
+///   called once per key group with every value, after the barrier.
+/// * [`init`](Application::init) / [`absorb`](Application::absorb) /
+///   [`merge`](Application::merge) / [`finalize`](Application::finalize)
+///   is the barrier-less contract: `absorb` is called once per *record* in
+///   arrival order, updating a per-key partial result ([`Application::State`]);
+///   `finalize` runs when all input has been seen. `merge` combines two
+///   partial results for the same key — the spill-and-merge store needs it
+///   (the paper notes this function "is often functionally the same as the
+///   combiner", §5.1).
+///
+/// # Per-reducer shared state
+///
+/// Cross-key operations (§4.6) and single-reducer aggregations (§4.7) keep
+/// state *across* keys — a window of individuals, a running sum — rather
+/// than per key. [`Application::Shared`] models that: one value per reduce
+/// task, threaded through every call, flushed at the end. Applications
+/// whose classes need no per-key store return `false` from
+/// [`uses_keyed_state`](Application::uses_keyed_state) and the engine
+/// skips the store entirely, giving the O(1)/O(window) memory of Table 1.
+pub trait Application: Send + Sync + 'static {
+    /// Input key (e.g. document id).
+    type InKey: Clone + Send + Sync + 'static;
+    /// Input value (e.g. document text).
+    type InValue: Clone + Send + Sync + 'static;
+    /// Intermediate (shuffle) key.
+    type MapKey: Key;
+    /// Intermediate (shuffle) value.
+    type MapValue: Value;
+    /// Final output key.
+    type OutKey: Clone + Ord + Send + 'static;
+    /// Final output value.
+    type OutValue: Clone + Send + 'static;
+    /// Per-key partial result (barrier-less engine).
+    type State: SizeEstimate + Codec + Send + 'static;
+    /// Per-reduce-task state shared across keys.
+    type Shared: Send + 'static;
+
+    /// The Map function.
+    fn map(
+        &self,
+        key: &Self::InKey,
+        value: &Self::InValue,
+        out: &mut dyn Emit<Self::MapKey, Self::MapValue>,
+    );
+
+    /// Fresh shared state for one reduce task.
+    fn new_shared(&self) -> Self::Shared;
+
+    /// Classic barrier-mode Reduce: one call per key group.
+    fn reduce_grouped(
+        &self,
+        key: &Self::MapKey,
+        values: Vec<Self::MapValue>,
+        shared: &mut Self::Shared,
+        out: &mut dyn Emit<Self::OutKey, Self::OutValue>,
+    );
+
+    /// Whether the barrier-less engine keeps a per-key partial result.
+    /// Identity, cross-key and single-reducer-aggregation classes say no.
+    fn uses_keyed_state(&self) -> bool {
+        true
+    }
+
+    /// A fresh partial result for `key` (barrier-less engine).
+    fn init(&self, key: &Self::MapKey) -> Self::State;
+
+    /// Folds one record into the partial result (barrier-less engine).
+    fn absorb(
+        &self,
+        key: &Self::MapKey,
+        state: &mut Self::State,
+        value: Self::MapValue,
+        shared: &mut Self::Shared,
+        out: &mut dyn Emit<Self::OutKey, Self::OutValue>,
+    );
+
+    /// Combines two partial results for the same key (spill-and-merge).
+    fn merge(&self, key: &Self::MapKey, a: Self::State, b: Self::State) -> Self::State;
+
+    /// Emits the final output for `key` once all records are absorbed.
+    fn finalize(
+        &self,
+        key: Self::MapKey,
+        state: Self::State,
+        shared: &mut Self::Shared,
+        out: &mut dyn Emit<Self::OutKey, Self::OutValue>,
+    );
+
+    /// Flushes shared state at end of task (window remnants, running sums).
+    fn flush_shared(
+        &self,
+        shared: Self::Shared,
+        out: &mut dyn Emit<Self::OutKey, Self::OutValue>,
+    ) {
+        let _ = (shared, out);
+    }
+
+    /// Total order used by the barrier engine's sort. Defaults to key
+    /// order; override for Hadoop-style *secondary sort* (e.g. kNN sorts
+    /// composite keys by distance).
+    fn sort_cmp(
+        &self,
+        a: &(Self::MapKey, Self::MapValue),
+        b: &(Self::MapKey, Self::MapValue),
+    ) -> Ordering {
+        a.0.cmp(&b.0)
+    }
+
+    /// Grouping predicate used by the barrier engine after sorting.
+    /// Defaults to key equality; override together with
+    /// [`sort_cmp`](Application::sort_cmp) for secondary sort.
+    fn group_eq(&self, a: &Self::MapKey, b: &Self::MapKey) -> bool {
+        a == b
+    }
+
+    /// Whether the job's contract includes key-sorted output (the Sorting
+    /// class). The barrier engine gets this for free; the barrier-less
+    /// engine must pay for it in the Reduce function.
+    fn requires_sorted_output(&self) -> bool {
+        false
+    }
+
+    /// Human-readable name for reports.
+    fn name(&self) -> &'static str {
+        "application"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vec_emit_collects() {
+        let mut out: Vec<(u32, u32)> = Vec::new();
+        out.emit(1, 2);
+        out.emit(3, 4);
+        assert_eq!(out, vec![(1, 2), (3, 4)]);
+    }
+
+    #[test]
+    fn fn_emit_forwards() {
+        let mut n = 0u32;
+        {
+            let mut sink = FnEmit(|k: u32, v: u32| n += k + v);
+            sink.emit(1, 2);
+            sink.emit(10, 20);
+        }
+        assert_eq!(n, 33);
+    }
+}

@@ -1,0 +1,76 @@
+//! Property tests for the spill-file codec: round-trips must be exact
+//! for every type the applications store, and sequential encodings must
+//! decode back in order (the spill-run format depends on it).
+
+use mr_core::Codec;
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+fn roundtrip<T: Codec + PartialEq + std::fmt::Debug>(v: &T) -> Result<(), TestCaseError> {
+    let bytes = v.to_bytes();
+    let back = T::from_bytes(&bytes).expect("decode");
+    prop_assert_eq!(&back, v);
+    Ok(())
+}
+
+proptest! {
+    #[test]
+    fn integers_roundtrip(a in any::<u64>(), b in any::<i64>(), c in any::<u32>(), d in any::<u8>()) {
+        roundtrip(&a)?;
+        roundtrip(&b)?;
+        roundtrip(&c)?;
+        roundtrip(&d)?;
+    }
+
+    #[test]
+    fn floats_roundtrip_bitwise(bits in any::<u64>()) {
+        let v = f64::from_bits(bits);
+        let back = f64::from_bytes(&v.to_bytes()).unwrap();
+        prop_assert_eq!(back.to_bits(), bits, "bit-exact including NaN payloads");
+    }
+
+    #[test]
+    fn strings_and_vecs_roundtrip(s in ".{0,64}", v in prop::collection::vec(any::<u64>(), 0..64)) {
+        roundtrip(&s)?;
+        roundtrip(&v)?;
+    }
+
+    #[test]
+    fn sets_and_tuples_roundtrip(
+        set in prop::collection::hash_set(any::<u32>(), 0..40),
+        t in (any::<u64>(), ".{0,16}"),
+    ) {
+        let set: HashSet<u32> = set;
+        roundtrip(&set)?;
+        roundtrip(&t)?;
+    }
+
+    /// Spill-run shape: many (key, state) pairs encoded back to back must
+    /// decode in order with nothing left over.
+    #[test]
+    fn sequential_pairs_decode_in_order(
+        pairs in prop::collection::vec((".{0,12}", any::<u64>()), 0..50)
+    ) {
+        let mut buf = Vec::new();
+        for (k, s) in &pairs {
+            k.encode(&mut buf);
+            s.encode(&mut buf);
+        }
+        let mut slice = buf.as_slice();
+        for (k, s) in &pairs {
+            prop_assert_eq!(&String::decode(&mut slice).unwrap(), k);
+            prop_assert_eq!(&u64::decode(&mut slice).unwrap(), s);
+        }
+        prop_assert!(slice.is_empty());
+    }
+
+    /// Truncating any encoding must error, never panic or return garbage
+    /// silently.
+    #[test]
+    fn truncation_is_detected(v in prop::collection::vec(any::<u64>(), 1..20), cut in any::<prop::sample::Index>()) {
+        let bytes = v.to_bytes();
+        let cut = cut.index(bytes.len()); // 0..len-1: always a strict prefix
+        let result = Vec::<u64>::from_bytes(&bytes[..cut]);
+        prop_assert!(result.is_err(), "truncated decode must fail");
+    }
+}

@@ -1,0 +1,138 @@
+//! Property tests for the partial-result stores: for any record stream
+//! and any spill threshold / cache size, all three §5 policies must
+//! produce byte-identical results, and spilling must never change what a
+//! reducer emits.
+
+use mr_core::engine::pipeline::reduce_partition_barrierless;
+use mr_core::{Application, Counters, Emit, Engine, JobConfig, MemoryPolicy};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static SERIAL: AtomicU64 = AtomicU64::new(0);
+
+fn scratch() -> std::path::PathBuf {
+    std::env::temp_dir().join(format!(
+        "mr-core-prop-{}-{}",
+        std::process::id(),
+        SERIAL.fetch_add(1, Ordering::Relaxed)
+    ))
+}
+
+/// Max-per-key with a vector state — exercises shrinking/growing states
+/// and non-trivial merges.
+struct MaxTracker;
+
+impl Application for MaxTracker {
+    type InKey = u64;
+    type InValue = (u32, i64);
+    type MapKey = u32;
+    type MapValue = i64;
+    type OutKey = u32;
+    type OutValue = i64;
+    /// Keeps the top-3 values seen, sorted descending.
+    type State = Vec<i64>;
+    type Shared = ();
+
+    fn map(&self, _k: &u64, v: &(u32, i64), out: &mut dyn Emit<u32, i64>) {
+        out.emit(v.0, v.1);
+    }
+    fn new_shared(&self) {}
+    fn reduce_grouped(&self, k: &u32, mut vs: Vec<i64>, _s: &mut (), out: &mut dyn Emit<u32, i64>) {
+        vs.sort_by(|a, b| b.cmp(a));
+        for v in vs.into_iter().take(3) {
+            out.emit(*k, v);
+        }
+    }
+    fn init(&self, _k: &u32) -> Vec<i64> {
+        Vec::new()
+    }
+    fn absorb(&self, _k: &u32, state: &mut Vec<i64>, v: i64, _s: &mut (), _o: &mut dyn Emit<u32, i64>) {
+        let pos = state.partition_point(|&x| x >= v);
+        state.insert(pos, v);
+        state.truncate(3);
+    }
+    fn merge(&self, _k: &u32, mut a: Vec<i64>, b: Vec<i64>) -> Vec<i64> {
+        for v in b {
+            let pos = a.partition_point(|&x| x >= v);
+            a.insert(pos, v);
+        }
+        a.truncate(3);
+        a
+    }
+    fn finalize(&self, k: u32, state: Vec<i64>, _s: &mut (), out: &mut dyn Emit<u32, i64>) {
+        for v in state {
+            out.emit(k, v);
+        }
+    }
+}
+
+fn run_policy(
+    records: &[(u32, i64)],
+    policy: MemoryPolicy,
+) -> Vec<(u32, i64)> {
+    let cfg = JobConfig::new(1)
+        .engine(Engine::BarrierLess { memory: policy })
+        .scratch_dir(scratch());
+    let (out, _) = reduce_partition_barrierless(
+        &MaxTracker,
+        &cfg,
+        0,
+        records.to_vec(),
+        &mut Counters::new(),
+    )
+    .expect("run");
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// Any threshold (including absurdly small, forcing a spill per
+    /// handful of records) must leave the output unchanged.
+    #[test]
+    fn spill_threshold_is_invisible(
+        records in prop::collection::vec((0u32..30, -1000i64..1000), 1..250),
+        threshold in 64u64..4096,
+    ) {
+        let reference = run_policy(&records, MemoryPolicy::InMemory);
+        let spilled = run_policy(
+            &records,
+            MemoryPolicy::SpillMerge { threshold_bytes: threshold },
+        );
+        prop_assert_eq!(reference, spilled);
+    }
+
+    /// Any KV cache size — from nearly nothing (every absorb hits disk)
+    /// to ample — must leave the output unchanged.
+    #[test]
+    fn kv_cache_size_is_invisible(
+        records in prop::collection::vec((0u32..30, -1000i64..1000), 1..250),
+        cache in 128usize..8192,
+    ) {
+        let reference = run_policy(&records, MemoryPolicy::InMemory);
+        let kv = run_policy(&records, MemoryPolicy::KvStore { cache_bytes: cache });
+        prop_assert_eq!(reference, kv);
+    }
+
+    /// The incremental form agrees with the grouped form: top-3 per key.
+    #[test]
+    fn incremental_matches_grouped_semantics(
+        records in prop::collection::vec((0u32..20, -1000i64..1000), 1..200),
+    ) {
+        let got = run_policy(&records, MemoryPolicy::InMemory);
+        let mut expect: BTreeMap<u32, Vec<i64>> = BTreeMap::new();
+        for &(k, v) in &records {
+            expect.entry(k).or_default().push(v);
+        }
+        let expect: Vec<(u32, i64)> = expect
+            .into_iter()
+            .flat_map(|(k, mut vs)| {
+                vs.sort_by(|a, b| b.cmp(a));
+                vs.truncate(3);
+                vs.into_iter().map(move |v| (k, v))
+            })
+            .collect();
+        prop_assert_eq!(got, expect);
+    }
+}

@@ -1,0 +1,14 @@
+//! `mr-dfs` — simulated distributed file system (HDFS stand-in).
+//!
+//! Models exactly what the MapReduce engines need from HDFS on the paper's
+//! testbed: files split into fixed-size chunks (64 MB default), each chunk
+//! replicated on `replication` distinct nodes (3 default), locality lookup
+//! for the scheduler, and pipelined write placement for job output.
+//!
+//! Timing is *not* modelled here — the cluster executor charges disk and
+//! network costs itself using the placement answers this crate returns.
+//! Placement is seeded and fully deterministic.
+
+mod placement;
+
+pub use placement::{Chunk, ChunkId, Dfs, DfsConfig, FileId, ReadSource};

@@ -1,0 +1,88 @@
+//! Property tests for DFS placement invariants.
+
+use mr_dfs::{Dfs, DfsConfig};
+use mr_net::NodeId;
+use proptest::prelude::*;
+
+proptest! {
+    /// Replicas are always distinct and exactly `replication` many; local
+    /// reads are always honoured; chunk sizes sum to the file size.
+    #[test]
+    fn placement_invariants(
+        nodes in 3usize..20,
+        replication in 1usize..4,
+        bytes in 1u64..4_000_000_000,
+        seed in any::<u64>(),
+    ) {
+        let replication = replication.min(nodes);
+        let chunk_bytes = 64u64 << 20;
+        let mut fs = Dfs::new(
+            DfsConfig { nodes, chunk_bytes, replication },
+            seed,
+        );
+        let f = fs.create_file("data", bytes);
+        let chunks = fs.file_chunks(f).to_vec();
+        prop_assert_eq!(chunks.len() as u64, bytes.div_ceil(chunk_bytes));
+
+        let mut total = 0u64;
+        for &cid in &chunks {
+            let chunk = fs.chunk(cid);
+            total += chunk.bytes;
+            prop_assert!(chunk.bytes <= chunk_bytes);
+            // Distinct replicas, exact count.
+            let mut reps = chunk.replicas.clone();
+            reps.sort();
+            reps.dedup();
+            prop_assert_eq!(reps.len(), replication);
+            // Every replica is a real node.
+            prop_assert!(reps.iter().all(|r| (r.0 as usize) < nodes));
+            // A holder reads locally; read sources are always replicas.
+            let holder = chunk.replicas[0];
+            prop_assert!(fs.read_source(cid, holder).local);
+            for n in 0..nodes as u32 {
+                let src = fs.read_source(cid, NodeId(n));
+                prop_assert!(fs.chunk(cid).replicas.contains(&src.node));
+                prop_assert_eq!(src.local, fs.is_local(cid, NodeId(n)));
+            }
+        }
+        prop_assert_eq!(total, bytes);
+        // Load accounting is consistent.
+        let load_sum: u64 = fs.node_load().iter().sum();
+        prop_assert_eq!(load_sum, (chunks.len() * replication) as u64);
+    }
+
+    /// Failing nodes one by one loses a chunk exactly when its last
+    /// replica disappears, and never earlier.
+    #[test]
+    fn failures_lose_data_only_at_last_replica(
+        kill_order in Just(()).prop_flat_map(|_| {
+            prop::collection::vec(0u32..8, 8)
+        }),
+        seed in any::<u64>(),
+    ) {
+        let mut fs = Dfs::new(
+            DfsConfig { nodes: 8, chunk_bytes: 64 << 20, replication: 3 },
+            seed,
+        );
+        let f = fs.create_file("d", 20 * (64 << 20));
+        let chunk_ids = fs.file_chunks(f).to_vec();
+        let mut lost_total = 0usize;
+        let mut killed = std::collections::HashSet::new();
+        for victim in kill_order {
+            if !killed.insert(victim) {
+                continue;
+            }
+            let lost = fs.fail_node(NodeId(victim));
+            lost_total += lost.len();
+            for cid in lost {
+                prop_assert!(fs.chunk(cid).replicas.is_empty());
+            }
+        }
+        // Chunks still holding replicas were never reported lost.
+        let surviving = chunk_ids
+            .iter()
+            .filter(|&&c| !fs.chunk(c).replicas.is_empty())
+            .count();
+        prop_assert_eq!(surviving + lost_total, chunk_ids.len());
+    }
+}

@@ -1,0 +1,314 @@
+//! Byte-budgeted LRU record cache.
+//!
+//! A classic intrusive doubly-linked list threaded through a slab, with a
+//! `HashMap` for key lookup. Entries are charged `key + value + OVERHEAD`
+//! bytes against the budget; inserting past the budget evicts from the cold
+//! end until the new entry fits.
+
+use std::collections::HashMap;
+
+/// Fixed per-entry bookkeeping charge (slab node + map entry, rounded).
+pub const ENTRY_OVERHEAD: usize = 64;
+
+const NIL: usize = usize::MAX;
+
+#[derive(Debug)]
+struct Node {
+    key: Box<[u8]>,
+    value: Box<[u8]>,
+    prev: usize,
+    next: usize,
+}
+
+/// An LRU cache holding byte-string keys and values under a byte budget.
+#[derive(Debug)]
+pub struct LruCache {
+    budget: usize,
+    used: usize,
+    map: HashMap<Box<[u8]>, usize>,
+    slab: Vec<Node>,
+    free: Vec<usize>,
+    head: usize, // most recently used
+    tail: usize, // least recently used
+    evictions: u64,
+}
+
+impl LruCache {
+    /// A cache that will hold at most `budget` bytes of entries.
+    pub fn new(budget: usize) -> Self {
+        LruCache {
+            budget,
+            used: 0,
+            map: HashMap::new(),
+            slab: Vec::new(),
+            free: Vec::new(),
+            head: NIL,
+            tail: NIL,
+            evictions: 0,
+        }
+    }
+
+    fn charge(key: &[u8], value: &[u8]) -> usize {
+        key.len() + value.len() + ENTRY_OVERHEAD
+    }
+
+    /// Looks up `key`, promoting it to most-recently-used on a hit.
+    pub fn get(&mut self, key: &[u8]) -> Option<&[u8]> {
+        let &idx = self.map.get(key)?;
+        self.unlink(idx);
+        self.push_front(idx);
+        Some(&self.slab[idx].value)
+    }
+
+    /// Whether `key` is resident, *without* promoting it.
+    pub fn peek_contains(&self, key: &[u8]) -> bool {
+        self.map.contains_key(key)
+    }
+
+    /// Inserts or replaces `key`, evicting cold entries as needed.
+    ///
+    /// Returns the evicted entries (coldest first). An entry larger than
+    /// the whole budget is not cached at all.
+    #[allow(clippy::type_complexity)]
+    pub fn put(&mut self, key: &[u8], value: &[u8]) -> Vec<(Box<[u8]>, Box<[u8]>)> {
+        let mut evicted = Vec::new();
+        if let Some(&idx) = self.map.get(key) {
+            // Replace in place, adjust charge.
+            self.used -= Self::charge(&self.slab[idx].key, &self.slab[idx].value);
+            self.slab[idx].value = value.into();
+            self.used += Self::charge(key, value);
+            self.unlink(idx);
+            self.push_front(idx);
+        } else {
+            let charge = Self::charge(key, value);
+            if charge > self.budget {
+                return evicted; // would never fit: bypass the cache
+            }
+            let idx = self.alloc(key.into(), value.into());
+            self.map.insert(key.into(), idx);
+            self.push_front(idx);
+            self.used += charge;
+        }
+        while self.used > self.budget {
+            if let Some(entry) = self.evict_coldest() {
+                evicted.push(entry);
+            } else {
+                break;
+            }
+        }
+        evicted
+    }
+
+    /// Removes `key` if present, returning its value.
+    pub fn remove(&mut self, key: &[u8]) -> Option<Box<[u8]>> {
+        let idx = self.map.remove(key)?;
+        self.unlink(idx);
+        let node = std::mem::replace(
+            &mut self.slab[idx],
+            Node {
+                key: Box::default(),
+                value: Box::default(),
+                prev: NIL,
+                next: NIL,
+            },
+        );
+        self.used -= Self::charge(&node.key, &node.value);
+        self.free.push(idx);
+        Some(node.value)
+    }
+
+    /// Number of resident entries.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when nothing is resident.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Bytes currently charged against the budget.
+    pub fn used_bytes(&self) -> usize {
+        self.used
+    }
+
+    /// The configured budget.
+    pub fn budget_bytes(&self) -> usize {
+        self.budget
+    }
+
+    /// Lifetime eviction count.
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+
+    #[allow(clippy::type_complexity)]
+    fn evict_coldest(&mut self) -> Option<(Box<[u8]>, Box<[u8]>)> {
+        if self.tail == NIL {
+            return None;
+        }
+        let idx = self.tail;
+        self.unlink(idx);
+        let node = std::mem::replace(
+            &mut self.slab[idx],
+            Node {
+                key: Box::default(),
+                value: Box::default(),
+                prev: NIL,
+                next: NIL,
+            },
+        );
+        self.used -= Self::charge(&node.key, &node.value);
+        self.map.remove(&node.key);
+        self.free.push(idx);
+        self.evictions += 1;
+        Some((node.key, node.value))
+    }
+
+    fn alloc(&mut self, key: Box<[u8]>, value: Box<[u8]>) -> usize {
+        let node = Node {
+            key,
+            value,
+            prev: NIL,
+            next: NIL,
+        };
+        if let Some(idx) = self.free.pop() {
+            self.slab[idx] = node;
+            idx
+        } else {
+            self.slab.push(node);
+            self.slab.len() - 1
+        }
+    }
+
+    fn push_front(&mut self, idx: usize) {
+        self.slab[idx].prev = NIL;
+        self.slab[idx].next = self.head;
+        if self.head != NIL {
+            self.slab[self.head].prev = idx;
+        }
+        self.head = idx;
+        if self.tail == NIL {
+            self.tail = idx;
+        }
+    }
+
+    fn unlink(&mut self, idx: usize) {
+        let (prev, next) = (self.slab[idx].prev, self.slab[idx].next);
+        if prev != NIL {
+            self.slab[prev].next = next;
+        } else if self.head == idx {
+            self.head = next;
+        }
+        if next != NIL {
+            self.slab[next].prev = prev;
+        } else if self.tail == idx {
+            self.tail = prev;
+        }
+        self.slab[idx].prev = NIL;
+        self.slab[idx].next = NIL;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cache_for(entries: usize, entry_bytes: usize) -> LruCache {
+        LruCache::new(entries * (entry_bytes + ENTRY_OVERHEAD))
+    }
+
+    #[test]
+    fn get_after_put() {
+        let mut c = cache_for(4, 2);
+        c.put(b"a", b"1");
+        c.put(b"b", b"2");
+        assert_eq!(c.get(b"a"), Some(&b"1"[..]));
+        assert_eq!(c.get(b"b"), Some(&b"2"[..]));
+        assert_eq!(c.get(b"z"), None);
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn evicts_least_recently_used() {
+        let mut c = cache_for(2, 2);
+        c.put(b"a", b"1");
+        c.put(b"b", b"2");
+        c.get(b"a"); // promote a; b is now coldest
+        let evicted = c.put(b"c", b"3");
+        assert_eq!(evicted.len(), 1);
+        assert_eq!(&*evicted[0].0, b"b");
+        assert!(c.get(b"a").is_some());
+        assert!(c.get(b"b").is_none());
+        assert!(c.get(b"c").is_some());
+        assert_eq!(c.evictions(), 1);
+    }
+
+    #[test]
+    fn replace_updates_value_and_charge() {
+        let mut c = cache_for(2, 16);
+        c.put(b"k", b"short");
+        let before = c.used_bytes();
+        c.put(b"k", b"a-much-longer-value");
+        assert!(c.used_bytes() > before);
+        assert_eq!(c.get(b"k"), Some(&b"a-much-longer-value"[..]));
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn oversized_entry_bypasses_cache() {
+        let mut c = LruCache::new(32);
+        let evicted = c.put(b"big", &[0u8; 1000]);
+        assert!(evicted.is_empty());
+        assert_eq!(c.len(), 0);
+        assert_eq!(c.get(b"big"), None);
+    }
+
+    #[test]
+    fn remove_frees_budget() {
+        let mut c = cache_for(2, 2);
+        c.put(b"a", b"1");
+        let used = c.used_bytes();
+        assert_eq!(c.remove(b"a").as_deref(), Some(&b"1"[..]));
+        assert_eq!(c.used_bytes(), used - (1 + 1 + ENTRY_OVERHEAD));
+        assert_eq!(c.remove(b"a"), None);
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn slab_reuses_freed_slots() {
+        let mut c = cache_for(1, 2);
+        for i in 0..100u8 {
+            c.put(&[i], b"v");
+        }
+        // Only one resident at a time; slab should not grow unbounded.
+        assert_eq!(c.len(), 1);
+        assert!(c.slab.len() <= 2, "slab grew to {}", c.slab.len());
+    }
+
+    #[test]
+    fn eviction_order_is_exact_lru() {
+        let mut c = cache_for(3, 2);
+        c.put(b"a", b"1");
+        c.put(b"b", b"2");
+        c.put(b"c", b"3");
+        c.get(b"a");
+        c.get(b"c");
+        // LRU order now: b (coldest), a, c.
+        let ev = c.put(b"d", b"4");
+        assert_eq!(&*ev[0].0, b"b");
+        let ev = c.put(b"e", b"5");
+        assert_eq!(&*ev[0].0, b"a");
+    }
+
+    #[test]
+    fn peek_does_not_promote() {
+        let mut c = cache_for(2, 2);
+        c.put(b"a", b"1");
+        c.put(b"b", b"2");
+        assert!(c.peek_contains(b"a"));
+        // a was NOT promoted, so it is still the coldest.
+        let ev = c.put(b"c", b"3");
+        assert_eq!(&*ev[0].0, b"a");
+    }
+}

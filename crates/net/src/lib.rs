@@ -1,0 +1,18 @@
+//! `mr-net` — cluster network model on top of the `mr-sim` kernel.
+//!
+//! Models the paper's testbed fabric: every node hangs off a single Gigabit
+//! switch, so the contention points are each node's NIC **uplink** and
+//! **downlink**. Both directions are [`mr_sim::PsResource`]s (TCP fair
+//! sharing on the access link); the switch core is assumed non-blocking,
+//! with an optional *oversubscription* factor that derates every access
+//! link — the paper explicitly calls out "oversubscribed links between
+//! machines" as a source of mapper slack.
+//!
+//! A flow occupies its source uplink and destination downlink concurrently
+//! and completes when **both** legs have carried all its bytes (a
+//! store-and-forward-style conservative approximation; see DESIGN.md §6).
+//! Same-node transfers never touch the network and complete immediately.
+
+mod network;
+
+pub use network::{FlowHandle, Network, NetworkConfig, NodeId};

@@ -1,0 +1,114 @@
+//! Property tests for the flow-level network: conservation, completion,
+//! and bandwidth bounds under arbitrary traffic.
+
+use mr_net::{Network, NetworkConfig, NodeId};
+use mr_sim::SimTime;
+use proptest::prelude::*;
+
+fn drain(net: &mut Network<usize>) -> Vec<(SimTime, usize)> {
+    let mut out = Vec::new();
+    while let Some(t) = net.next_event_time() {
+        for (_, tag) in net.advance_to(t) {
+            out.push((t, tag));
+        }
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every flow completes exactly once, never before its lower bound
+    /// (bytes / link rate), and the network ends empty.
+    #[test]
+    fn all_flows_complete_with_sane_times(
+        flows in prop::collection::vec(
+            (0u32..8, 0u32..8, 1u64..10_000_000, 0u64..5_000_000),
+            1..60
+        )
+    ) {
+        let rate = 10_000_000.0; // 10 MB/s
+        let mut net: Network<usize> = Network::new(NetworkConfig {
+            nodes: 8,
+            link_bytes_per_sec: rate,
+            oversubscription: 1.0,
+        });
+        let mut sorted = flows.clone();
+        sorted.sort_by_key(|f| f.3);
+        let mut starts = Vec::new();
+        let mut done = Vec::new();
+        for (i, &(src, dst, bytes, at_us)) in sorted.iter().enumerate() {
+            let at = SimTime::from_micros(at_us);
+            // Drain (and record) completions up to the arrival instant.
+            done.extend(net.advance_to(at).into_iter().map(|(_, tag)| (at, tag)));
+            net.start_flow(at, NodeId(src), NodeId(dst), bytes, i);
+            starts.push((at, src, dst, bytes));
+        }
+        done.extend(drain(&mut net));
+        prop_assert_eq!(done.len(), sorted.len());
+        prop_assert_eq!(net.in_flight(), 0);
+        // Uniqueness of completions.
+        let mut tags: Vec<usize> = done.iter().map(|(_, tag)| *tag).collect();
+        tags.sort();
+        tags.dedup();
+        prop_assert_eq!(tags.len(), sorted.len());
+        // Lower bound: a flow of B bytes cannot beat B/rate seconds
+        // (loopback flows excepted — they bypass the fabric).
+        for &(t, tag) in &done {
+            let (at, src, dst, bytes) = starts[tag];
+            if src != dst {
+                let min_secs = bytes as f64 / rate;
+                prop_assert!(
+                    t.as_secs_f64() + 1e-4 >= at.as_secs_f64() + min_secs,
+                    "flow {} finished impossibly fast", tag
+                );
+            } else {
+                prop_assert!(t >= at);
+            }
+        }
+    }
+
+    /// Killing a node mid-traffic cancels exactly the flows touching it;
+    /// the rest still complete.
+    #[test]
+    fn node_failure_cancels_only_touching_flows(
+        flows in prop::collection::vec((0u32..6, 0u32..6, 1u64..1_000_000), 1..40),
+        victim in 0u32..6,
+    ) {
+        let mut net: Network<usize> = Network::new(NetworkConfig {
+            nodes: 6,
+            link_bytes_per_sec: 1_000_000.0,
+            oversubscription: 1.0,
+        });
+        for (i, &(src, dst, bytes)) in flows.iter().enumerate() {
+            net.start_flow(SimTime::ZERO, NodeId(src), NodeId(dst), bytes, i);
+        }
+        // Collect loopback/zero-cost completions that happen at t=0.
+        let immediate: Vec<usize> = net
+            .advance_to(SimTime::ZERO)
+            .into_iter()
+            .map(|(_, tag)| tag)
+            .collect();
+        let cancelled = net.fail_node(SimTime::from_micros(1), NodeId(victim));
+        for &tag in &cancelled {
+            let (src, dst, _) = flows[tag];
+            prop_assert!(
+                src == victim || dst == victim,
+                "cancelled flow {} does not touch victim", tag
+            );
+        }
+        let done = drain(&mut net);
+        // Everything is accounted for exactly once.
+        let mut seen: Vec<usize> = immediate;
+        seen.extend(cancelled.iter().copied());
+        seen.extend(done.iter().map(|(_, tag)| *tag));
+        seen.sort();
+        seen.dedup();
+        prop_assert_eq!(seen.len(), flows.len());
+        // Survivors never touch the victim (unless they completed at t=0).
+        for &(_, tag) in &done {
+            let (src, dst, _) = flows[tag];
+            prop_assert!(src != victim && dst != victim || src == dst);
+        }
+    }
+}

@@ -1,0 +1,107 @@
+//! Serialized bandwidth resource — the disk model.
+
+use crate::time::{SimDuration, SimTime};
+
+/// A resource that serves requests strictly one after another at a fixed
+/// byte rate — the behaviour of a single spinning disk doing large
+/// sequential transfers, which is how MapReduce uses local disks.
+///
+/// Because service is FIFO and the rate is constant, the completion time of
+/// a request is known the moment it is submitted; no callback machinery is
+/// needed. The caller schedules the returned completion instant on its own
+/// [`EventQueue`](crate::EventQueue).
+#[derive(Debug, Clone)]
+pub struct FifoResource {
+    bytes_per_sec: f64,
+    /// The instant at which the device drains everything submitted so far.
+    busy_until: SimTime,
+    /// Total bytes ever submitted (for utilization reporting).
+    total_bytes: u64,
+}
+
+impl FifoResource {
+    /// A resource serving at `bytes_per_sec` (must be positive).
+    pub fn new(bytes_per_sec: f64) -> Self {
+        assert!(bytes_per_sec > 0.0, "rate must be positive");
+        FifoResource {
+            bytes_per_sec,
+            busy_until: SimTime::ZERO,
+            total_bytes: 0,
+        }
+    }
+
+    /// Enqueues a transfer of `bytes` at time `now`; returns when it will
+    /// complete. Requests queue behind all previously submitted work.
+    pub fn submit(&mut self, now: SimTime, bytes: u64) -> SimTime {
+        let start = self.busy_until.max(now);
+        let done = start + SimDuration::for_bytes(bytes, self.bytes_per_sec);
+        self.busy_until = done;
+        self.total_bytes += bytes;
+        done
+    }
+
+    /// The instant the device becomes idle given everything submitted so far.
+    pub fn busy_until(&self) -> SimTime {
+        self.busy_until
+    }
+
+    /// Total bytes submitted over the lifetime of the resource.
+    pub fn total_bytes(&self) -> u64 {
+        self.total_bytes
+    }
+
+    /// The configured service rate in bytes per second.
+    pub fn rate(&self) -> f64 {
+        self.bytes_per_sec
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MB: u64 = 1 << 20;
+
+    #[test]
+    fn idle_device_serves_immediately() {
+        let mut d = FifoResource::new(MB as f64); // 1 MiB/s
+        let done = d.submit(SimTime::from_secs(10), 2 * MB);
+        assert_eq!(done, SimTime::from_secs(12));
+    }
+
+    #[test]
+    fn requests_queue_behind_each_other() {
+        let mut d = FifoResource::new(MB as f64);
+        let a = d.submit(SimTime::ZERO, MB);
+        let b = d.submit(SimTime::ZERO, MB);
+        assert_eq!(a, SimTime::from_secs(1));
+        assert_eq!(b, SimTime::from_secs(2));
+    }
+
+    #[test]
+    fn gap_in_arrivals_leaves_idle_time() {
+        let mut d = FifoResource::new(MB as f64);
+        let a = d.submit(SimTime::ZERO, MB);
+        assert_eq!(a, SimTime::from_secs(1));
+        // Arrives after the device went idle: starts fresh.
+        let b = d.submit(SimTime::from_secs(5), MB);
+        assert_eq!(b, SimTime::from_secs(6));
+        assert_eq!(d.busy_until(), SimTime::from_secs(6));
+    }
+
+    #[test]
+    fn accounting() {
+        let mut d = FifoResource::new(MB as f64);
+        d.submit(SimTime::ZERO, 3 * MB);
+        d.submit(SimTime::ZERO, 4 * MB);
+        assert_eq!(d.total_bytes(), 7 * MB);
+        assert_eq!(d.rate(), MB as f64);
+    }
+
+    #[test]
+    fn zero_byte_request_completes_instantly() {
+        let mut d = FifoResource::new(MB as f64);
+        let done = d.submit(SimTime::from_secs(3), 0);
+        assert_eq!(done, SimTime::from_secs(3));
+    }
+}

@@ -1,0 +1,39 @@
+//! `mr-sim` — a small discrete-event simulation kernel.
+//!
+//! This crate is the timing substrate for the simulated cluster executor in
+//! `mr-cluster`. It provides:
+//!
+//! * [`SimTime`] / [`SimDuration`] — integer-microsecond virtual time, so
+//!   event ordering is exact and runs are bit-for-bit reproducible.
+//! * [`EventQueue`] — a monotonic priority queue of user events with FIFO
+//!   tie-breaking at equal timestamps.
+//! * [`FifoResource`] — a serialized bandwidth resource (a disk): requests
+//!   are served one after another at a fixed byte rate.
+//! * [`PsResource`] — an egalitarian processor-sharing bandwidth resource (a
+//!   network link): all active flows progress simultaneously at `rate / n`.
+//!
+//! The kernel is deliberately *passive*: it never owns the main loop. The
+//! caller pops events, advances resources, and schedules follow-ups. That
+//! keeps arbitrary state machines (like a MapReduce job tracker) easy to
+//! express without coroutines.
+//!
+//! ```
+//! use mr_sim::{EventQueue, SimTime};
+//!
+//! let mut q: EventQueue<&'static str> = EventQueue::new();
+//! q.schedule(SimTime::from_secs_f64(1.0), "first");
+//! q.schedule(SimTime::from_secs_f64(0.5), "zeroth");
+//! let (t, e) = q.pop().unwrap();
+//! assert_eq!(e, "zeroth");
+//! assert_eq!(t, SimTime::from_secs_f64(0.5));
+//! ```
+
+mod events;
+mod fifo;
+mod ps;
+mod time;
+
+pub use events::EventQueue;
+pub use fifo::FifoResource;
+pub use ps::{FlowId, PsResource};
+pub use time::{SimDuration, SimTime};

@@ -1,0 +1,289 @@
+//! Egalitarian processor-sharing bandwidth resource — the network-link model.
+//!
+//! All active flows on a link progress simultaneously at `rate / n`. This is
+//! the standard fluid approximation of TCP fair sharing on a single
+//! bottleneck, and is what makes shuffle transfers stretch when many mappers
+//! feed one reducer.
+//!
+//! # Implementation
+//!
+//! The classic virtual-time construction: define `V(t)` with slope
+//! `rate / n(t)` (bytes of per-flow service per second). A flow of `B` bytes
+//! arriving when the virtual clock reads `V_a` completes exactly when
+//! `V(t) = V_a + B`. Arrivals and departures only change the slope, so the
+//! active set is an ordered map keyed by completion virtual time and every
+//! operation is `O(log n)`.
+
+use crate::time::SimTime;
+use std::collections::BTreeMap;
+
+/// Identifies a flow on one [`PsResource`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct FlowId(pub u64);
+
+/// Ordered f64 wrapper so virtual times can key a BTreeMap.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct VTime(f64);
+impl Eq for VTime {}
+impl PartialOrd for VTime {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for VTime {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+/// A shared link serving all active flows at an equal per-flow rate.
+#[derive(Debug)]
+pub struct PsResource {
+    rate: f64,
+    /// Virtual clock: cumulative per-flow service, in bytes.
+    v_now: f64,
+    /// Real clock of the last state change, in (fractional) microseconds.
+    last_us: f64,
+    /// Active flows keyed by the virtual time at which they finish.
+    active: BTreeMap<(VTime, u64), FlowId>,
+    /// Reverse index for cancellation.
+    by_id: BTreeMap<FlowId, (VTime, u64)>,
+    next_id: u64,
+    completed_flows: u64,
+    completed_bytes: f64,
+}
+
+impl PsResource {
+    /// A link with capacity `bytes_per_sec` (must be positive).
+    pub fn new(bytes_per_sec: f64) -> Self {
+        assert!(bytes_per_sec > 0.0, "rate must be positive");
+        PsResource {
+            rate: bytes_per_sec,
+            v_now: 0.0,
+            last_us: 0.0,
+            active: BTreeMap::new(),
+            by_id: BTreeMap::new(),
+            next_id: 0,
+            completed_flows: 0,
+            completed_bytes: 0.0,
+        }
+    }
+
+    /// Number of flows currently in service.
+    pub fn active_flows(&self) -> usize {
+        self.active.len()
+    }
+
+    /// Starts a flow of `bytes` at time `now`.
+    ///
+    /// The caller must have already drained completions up to `now` with
+    /// [`advance_to`](Self::advance_to); this is asserted.
+    pub fn add_flow(&mut self, now: SimTime, bytes: u64) -> FlowId {
+        let now_us = now.as_micros() as f64;
+        assert!(
+            now_us + 0.5 >= self.last_us,
+            "add_flow at {now} precedes resource clock"
+        );
+        self.catch_up(now_us);
+        let id = FlowId(self.next_id);
+        let seq = self.next_id;
+        self.next_id += 1;
+        let key = (VTime(self.v_now + bytes as f64), seq);
+        self.active.insert(key, id);
+        self.by_id.insert(id, key);
+        id
+    }
+
+    /// Cancels an in-flight flow, returning the bytes it still had left, or
+    /// `None` if the flow already finished (or never existed).
+    pub fn cancel(&mut self, now: SimTime, id: FlowId) -> Option<u64> {
+        self.catch_up(now.as_micros() as f64);
+        let key = self.by_id.remove(&id)?;
+        self.active.remove(&key);
+        Some((key.0 .0 - self.v_now).max(0.0).round() as u64)
+    }
+
+    /// The real time at which the next flow will complete, if any.
+    ///
+    /// Exact under the invariant that the caller lets no arrival or
+    /// departure happen before that instant without re-querying.
+    pub fn next_completion(&self) -> Option<SimTime> {
+        let ((vt, _), _) = self.active.first_key_value()?;
+        let n = self.active.len() as f64;
+        let dv = (vt.0 - self.v_now).max(0.0);
+        let dt_us = dv * n / self.rate * 1e6;
+        Some(SimTime::from_micros((self.last_us + dt_us).ceil() as u64))
+    }
+
+    /// Advances the link to real time `t`, returning every flow that
+    /// finished at or before `t` in completion order.
+    pub fn advance_to(&mut self, t: SimTime) -> Vec<FlowId> {
+        let t_us = t.as_micros() as f64;
+        let mut done = Vec::new();
+        // Flows may complete mid-interval, changing the slope for the rest;
+        // peel them off one at a time.
+        while let Some((&(vt, seq), &id)) = self.active.first_key_value() {
+            let n = self.active.len() as f64;
+            let dv = (vt.0 - self.v_now).max(0.0);
+            let finish_us = self.last_us + dv * n / self.rate * 1e6;
+            // Half-microsecond tolerance absorbs the ceil in next_completion.
+            if finish_us > t_us + 0.5 {
+                break;
+            }
+            self.completed_bytes += dv * n;
+            self.v_now = vt.0;
+            self.last_us = finish_us.min(t_us);
+            self.active.remove(&(vt, seq));
+            self.by_id.remove(&id);
+            self.completed_flows += 1;
+            done.push(id);
+        }
+        self.catch_up(t_us);
+        done
+    }
+
+    /// Moves the virtual clock to real microsecond `t_us` with the current
+    /// slope (no completions happen in the interval by construction).
+    fn catch_up(&mut self, t_us: f64) {
+        if t_us <= self.last_us {
+            return;
+        }
+        if !self.active.is_empty() {
+            let n = self.active.len() as f64;
+            let dv = (t_us - self.last_us) / 1e6 * self.rate / n;
+            self.v_now += dv;
+            self.completed_bytes += dv * n;
+        }
+        self.last_us = t_us;
+    }
+
+    /// Lifetime count of completed flows.
+    pub fn completed_flows(&self) -> u64 {
+        self.completed_flows
+    }
+
+    /// Approximate bytes served so far (fluid model).
+    pub fn served_bytes(&self) -> f64 {
+        self.completed_bytes
+    }
+
+    /// Configured capacity in bytes per second.
+    pub fn rate(&self) -> f64 {
+        self.rate
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MB: u64 = 1 << 20;
+
+    fn secs(s: f64) -> SimTime {
+        SimTime::from_secs_f64(s)
+    }
+
+    #[test]
+    fn lone_flow_gets_full_rate() {
+        let mut link = PsResource::new(MB as f64);
+        link.add_flow(SimTime::ZERO, 3 * MB);
+        let t = link.next_completion().unwrap();
+        assert!((t.as_secs_f64() - 3.0).abs() < 1e-3, "got {t}");
+        let done = link.advance_to(t);
+        assert_eq!(done.len(), 1);
+        assert_eq!(link.active_flows(), 0);
+    }
+
+    #[test]
+    fn two_equal_flows_halve_the_rate() {
+        let mut link = PsResource::new(MB as f64);
+        link.add_flow(SimTime::ZERO, MB);
+        link.add_flow(SimTime::ZERO, MB);
+        // Each gets 0.5 MB/s, so both finish at t = 2 s.
+        let t = link.next_completion().unwrap();
+        assert!((t.as_secs_f64() - 2.0).abs() < 1e-3, "got {t}");
+        let done = link.advance_to(t);
+        assert_eq!(done.len(), 2);
+    }
+
+    #[test]
+    fn short_flow_departure_speeds_up_long_flow() {
+        let mut link = PsResource::new(MB as f64);
+        let long = link.add_flow(SimTime::ZERO, 2 * MB);
+        let _short = link.add_flow(SimTime::ZERO, MB);
+        // Shared until short finishes at t=2 (1MB at 0.5MB/s); long then has
+        // 1 MB left at full rate -> finishes at t=3.
+        let t1 = link.next_completion().unwrap();
+        assert!((t1.as_secs_f64() - 2.0).abs() < 1e-3);
+        let done = link.advance_to(t1);
+        assert_eq!(done.len(), 1);
+        let t2 = link.next_completion().unwrap();
+        assert!((t2.as_secs_f64() - 3.0).abs() < 1e-3, "got {t2}");
+        assert_eq!(link.advance_to(t2), vec![long]);
+    }
+
+    #[test]
+    fn late_arrival_shares_from_its_arrival() {
+        let mut link = PsResource::new(MB as f64);
+        link.add_flow(SimTime::ZERO, 2 * MB);
+        // After 1 s the first flow has 1 MB left.
+        link.advance_to(secs(1.0));
+        link.add_flow(secs(1.0), MB);
+        // Both now have 1 MB at 0.5 MB/s -> both complete at t=3.
+        let t = link.next_completion().unwrap();
+        assert!((t.as_secs_f64() - 3.0).abs() < 1e-3, "got {t}");
+        assert_eq!(link.advance_to(t).len(), 2);
+    }
+
+    #[test]
+    fn cancel_returns_remaining_bytes() {
+        let mut link = PsResource::new(MB as f64);
+        let id = link.add_flow(SimTime::ZERO, 4 * MB);
+        link.advance_to(secs(1.0)); // 1 MB served
+        let left = link.cancel(secs(1.0), id).unwrap();
+        let err = (left as f64 - 3.0 * MB as f64).abs();
+        assert!(err < 1024.0, "remaining {left}");
+        assert_eq!(link.active_flows(), 0);
+        assert_eq!(link.cancel(secs(1.0), id), None);
+    }
+
+    #[test]
+    fn work_conservation_over_many_flows() {
+        // Total service must equal capacity * busy time regardless of the
+        // arrival pattern.
+        let mut link = PsResource::new(10.0 * MB as f64);
+        let mut clock = SimTime::ZERO;
+        for i in 0..50u64 {
+            clock = secs(i as f64 * 0.05);
+            link.advance_to(clock);
+            link.add_flow(clock, (i % 7 + 1) * MB / 4);
+        }
+        // Drain everything.
+        while let Some(t) = link.next_completion() {
+            link.advance_to(t);
+            clock = t;
+        }
+        let total_in: u64 = (0..50u64).map(|i| (i % 7 + 1) * MB / 4).sum();
+        let served = link.served_bytes();
+        let err = (served - total_in as f64).abs() / total_in as f64;
+        assert!(err < 1e-3, "served {served}, submitted {total_in}");
+        assert_eq!(link.completed_flows(), 50);
+        assert!(clock > SimTime::ZERO);
+    }
+
+    #[test]
+    fn empty_link_has_no_completion() {
+        let link = PsResource::new(1.0);
+        assert_eq!(link.next_completion(), None);
+        assert_eq!(link.active_flows(), 0);
+    }
+
+    #[test]
+    fn zero_byte_flow_completes_immediately() {
+        let mut link = PsResource::new(MB as f64);
+        let id = link.add_flow(secs(1.0), 0);
+        let t = link.next_completion().unwrap();
+        assert_eq!(t, secs(1.0));
+        assert_eq!(link.advance_to(t), vec![id]);
+    }
+}

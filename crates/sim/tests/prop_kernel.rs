@@ -1,0 +1,111 @@
+//! Property-based tests for the simulation kernel invariants.
+
+use mr_sim::{EventQueue, FifoResource, PsResource, SimTime};
+use proptest::prelude::*;
+
+proptest! {
+    /// Events always pop in non-decreasing time order, with FIFO order
+    /// among equal timestamps.
+    #[test]
+    fn event_queue_is_time_ordered(times in prop::collection::vec(0u64..10_000, 1..200)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.schedule(SimTime::from_micros(t), (t, i));
+        }
+        let mut last = (SimTime::ZERO, 0usize);
+        while let Some((at, (t, i))) = q.pop() {
+            prop_assert_eq!(at, SimTime::from_micros(t));
+            prop_assert!(at >= last.0);
+            if at == last.0 {
+                prop_assert!(i >= last.1, "FIFO violated at equal timestamps");
+            }
+            last = (at, i);
+        }
+    }
+
+    /// A FIFO resource is work-conserving and never reorders: completion
+    /// times are strictly non-decreasing and total service time equals
+    /// total bytes over rate once saturated.
+    #[test]
+    fn fifo_completions_monotone(
+        reqs in prop::collection::vec((0u64..5_000, 1u64..1_000_000), 1..100)
+    ) {
+        let rate = 1_000_000.0;
+        let mut disk = FifoResource::new(rate);
+        let mut arrivals: Vec<(u64, u64)> = reqs;
+        arrivals.sort_by_key(|r| r.0);
+        let mut prev = SimTime::ZERO;
+        for &(at_us, bytes) in &arrivals {
+            let done = disk.submit(SimTime::from_micros(at_us), bytes);
+            prop_assert!(done >= prev, "FIFO reordering");
+            prop_assert!(done >= SimTime::from_micros(at_us));
+            prev = done;
+        }
+        let total: u64 = arrivals.iter().map(|r| r.1).sum();
+        prop_assert_eq!(disk.total_bytes(), total);
+        // Busy-until can never be earlier than serving everything back to back.
+        let min_span = total as f64 / rate;
+        let last_arrival = arrivals.last().unwrap().0 as f64 / 1e6;
+        prop_assert!(disk.busy_until().as_secs_f64() + 1e-6 >= min_span.max(0.0));
+        prop_assert!(disk.busy_until().as_secs_f64() >= last_arrival);
+    }
+
+    /// Processor sharing conserves work: after draining, served bytes equal
+    /// submitted bytes, every flow completes exactly once, and completions
+    /// never precede arrivals.
+    #[test]
+    fn ps_conserves_work(
+        flows in prop::collection::vec((0u64..2_000_000, 1u64..4_000_000), 1..60)
+    ) {
+        let mut link = PsResource::new(8_000_000.0);
+        let mut arrivals = flows;
+        arrivals.sort_by_key(|f| f.0);
+        let mut ids = Vec::new();
+        let mut completed = Vec::new();
+        for &(at_us, bytes) in &arrivals {
+            let at = SimTime::from_micros(at_us);
+            completed.extend(link.advance_to(at));
+            ids.push((link.add_flow(at, bytes), at));
+        }
+        while let Some(t) = link.next_completion() {
+            completed.extend(link.advance_to(t));
+        }
+        prop_assert_eq!(completed.len(), arrivals.len());
+        // Each id appears exactly once.
+        let mut seen = completed.clone();
+        seen.sort();
+        seen.dedup();
+        prop_assert_eq!(seen.len(), completed.len());
+        let total: u64 = arrivals.iter().map(|f| f.1).sum();
+        let served = link.served_bytes();
+        let rel = (served - total as f64).abs() / total as f64;
+        prop_assert!(rel < 1e-3, "served {} submitted {}", served, total);
+        prop_assert_eq!(link.active_flows(), 0);
+    }
+
+    /// A flow sharing with k others can never finish earlier than it would
+    /// alone, and never later than if the link ran at rate/(k+1) throughout.
+    #[test]
+    fn ps_completion_bounds(extra in 0usize..10, bytes in 1u64..1_000_000) {
+        let rate = 1_000_000.0;
+        let mut link = PsResource::new(rate);
+        let id = link.add_flow(SimTime::ZERO, bytes);
+        for _ in 0..extra {
+            // Competitors are large enough to outlive the observed flow.
+            link.add_flow(SimTime::ZERO, bytes * 20 + 1_000_000);
+        }
+        let mut finish = None;
+        while let Some(t) = link.next_completion() {
+            let done = link.advance_to(t);
+            if done.contains(&id) {
+                finish = Some(t);
+                break;
+            }
+        }
+        let t = finish.expect("observed flow must finish").as_secs_f64();
+        let solo = bytes as f64 / rate;
+        let worst = bytes as f64 / (rate / (extra as f64 + 1.0));
+        prop_assert!(t + 1e-6 >= solo, "{t} < solo {solo}");
+        prop_assert!(t <= worst + 1e-3, "{t} > worst {worst}");
+    }
+}

@@ -1,0 +1,155 @@
+//! Sampling distributions implemented in-tree (no `rand_distr`
+//! dependency; see DESIGN.md §3).
+
+use rand::Rng;
+
+/// Zipf-distributed ranks over `1..=n` with exponent `s`.
+///
+/// Natural-language word frequencies are famously Zipfian, which is what
+/// makes WordCount's key distribution skewed: a handful of words dominate
+/// the record stream while the tail supplies the key cardinality. Sampling
+/// uses a precomputed CDF + binary search: O(n) setup, O(log n) per draw,
+/// exact distribution.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// A Zipf(`s`) distribution over ranks `1..=n`.
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n >= 1, "need at least one rank");
+        assert!(s >= 0.0, "exponent must be non-negative");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0f64;
+        for k in 1..=n {
+            acc += 1.0 / (k as f64).powf(s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for v in &mut cdf {
+            *v /= total;
+        }
+        Zipf { cdf }
+    }
+
+    /// Draws a rank in `1..=n`.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.gen();
+        // First index whose cdf >= u.
+        match self
+            .cdf
+            .binary_search_by(|probe| probe.partial_cmp(&u).expect("cdf has no NaN"))
+        {
+            Ok(i) => i + 1,
+            Err(i) => (i + 1).min(self.cdf.len()),
+        }
+    }
+
+    /// Number of ranks.
+    pub fn n(&self) -> usize {
+        self.cdf.len()
+    }
+}
+
+/// Normal distribution via the Box–Muller transform.
+#[derive(Debug, Clone, Copy)]
+pub struct Normal {
+    mean: f64,
+    std_dev: f64,
+}
+
+impl Normal {
+    /// A normal distribution with the given mean and standard deviation.
+    pub fn new(mean: f64, std_dev: f64) -> Self {
+        assert!(std_dev >= 0.0, "std dev must be non-negative");
+        Normal { mean, std_dev }
+    }
+
+    /// Draws one sample.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        // Box–Muller: two uniforms -> one normal (second discarded for
+        // statelessness; throughput is irrelevant here).
+        let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+        let u2: f64 = rng.gen();
+        let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        self.mean + self.std_dev * z
+    }
+}
+
+/// A log-normal-style positive multiplier: `exp(Normal(0, sigma))`.
+/// Used for per-node heterogeneity factors (slow vs fast machines).
+pub fn hetero_factor<R: Rng + ?Sized>(rng: &mut R, sigma: f64) -> f64 {
+    Normal::new(0.0, sigma).sample(rng).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn zipf_ranks_in_range() {
+        let z = Zipf::new(100, 1.0);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let r = z.sample(&mut rng);
+            assert!((1..=100).contains(&r));
+        }
+    }
+
+    #[test]
+    fn zipf_is_skewed_toward_low_ranks() {
+        let z = Zipf::new(1000, 1.0);
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut rank1 = 0u32;
+        let mut rank_tail = 0u32;
+        for _ in 0..100_000 {
+            let r = z.sample(&mut rng);
+            if r == 1 {
+                rank1 += 1;
+            }
+            if r > 500 {
+                rank_tail += 1;
+            }
+        }
+        // P(rank 1) ~ 1/H_1000 ~ 13%; tail half is far less likely per rank.
+        assert!(rank1 > 10_000, "rank-1 count {rank1}");
+        assert!(rank_tail < rank1, "tail {rank_tail} vs head {rank1}");
+    }
+
+    #[test]
+    fn zipf_with_zero_exponent_is_uniform() {
+        let z = Zipf::new(10, 0.0);
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut counts = [0u32; 10];
+        for _ in 0..100_000 {
+            counts[z.sample(&mut rng) - 1] += 1;
+        }
+        for &c in &counts {
+            assert!((8_000..12_000).contains(&c), "not uniform: {counts:?}");
+        }
+    }
+
+    #[test]
+    fn normal_moments_are_right() {
+        let n = Normal::new(5.0, 2.0);
+        let mut rng = StdRng::seed_from_u64(4);
+        let samples: Vec<f64> = (0..100_000).map(|_| n.sample(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>()
+            / samples.len() as f64;
+        assert!((mean - 5.0).abs() < 0.05, "mean {mean}");
+        assert!((var.sqrt() - 2.0).abs() < 0.05, "std {}", var.sqrt());
+    }
+
+    #[test]
+    fn hetero_factors_are_positive_and_centered() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let factors: Vec<f64> = (0..10_000).map(|_| hetero_factor(&mut rng, 0.3)).collect();
+        assert!(factors.iter().all(|&f| f > 0.0));
+        let gm = (factors.iter().map(|f| f.ln()).sum::<f64>() / factors.len() as f64).exp();
+        assert!((gm - 1.0).abs() < 0.05, "geometric mean {gm}");
+    }
+}

@@ -1,0 +1,85 @@
+//! k-Nearest-Neighbours data: a broadcast experimental set plus chunked
+//! training values.
+
+use crate::seeds::mix;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Matches the paper's setup (§6.1.3): integer values in `0..1_000_000`;
+/// the experimental values are distinct (they are the reducer keys), the
+/// training values need not be.
+#[derive(Debug, Clone)]
+pub struct KnnWorkload {
+    /// Master seed.
+    pub seed: u64,
+    /// Size of the (broadcast) experimental set — the key cardinality.
+    pub experimental: usize,
+    /// Training values per chunk.
+    pub train_per_chunk: usize,
+    /// Values are drawn from `0..value_range`.
+    pub value_range: i64,
+}
+
+impl KnnWorkload {
+    /// Paper-like defaults: values in 0..1e6.
+    pub fn paper(seed: u64) -> Self {
+        KnnWorkload {
+            seed,
+            experimental: 100,
+            train_per_chunk: 400,
+            value_range: 1_000_000,
+        }
+    }
+
+    /// The experimental (query) set: `experimental` *distinct* values.
+    /// Every mapper holds a copy, like a Hadoop side file.
+    pub fn experimental_set(&self) -> Vec<i64> {
+        let mut rng = StdRng::seed_from_u64(mix(self.seed, u64::MAX));
+        let mut set = std::collections::BTreeSet::new();
+        while set.len() < self.experimental {
+            set.insert(rng.gen_range(0..self.value_range));
+        }
+        set.into_iter().collect()
+    }
+
+    /// Training values of chunk `chunk`: `(record_id, train_value)`.
+    pub fn chunk(&self, chunk: u64) -> Vec<(u64, i64)> {
+        let mut rng = StdRng::seed_from_u64(mix(self.seed, chunk));
+        let base = chunk * self.train_per_chunk as u64;
+        (0..self.train_per_chunk)
+            .map(|i| (base + i as u64, rng.gen_range(0..self.value_range)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn experimental_values_are_distinct_and_stable() {
+        let w = KnnWorkload::paper(3);
+        let a = w.experimental_set();
+        let b = w.experimental_set();
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 100);
+        let mut dedup = a.clone();
+        dedup.dedup();
+        assert_eq!(dedup.len(), a.len(), "experimental values must be unique");
+    }
+
+    #[test]
+    fn training_values_in_range() {
+        let w = KnnWorkload::paper(3);
+        for (_, v) in w.chunk(7) {
+            assert!((0..1_000_000).contains(&v));
+        }
+        assert_eq!(w.chunk(7).len(), 400);
+    }
+
+    #[test]
+    fn chunks_differ() {
+        let w = KnnWorkload::paper(3);
+        assert_ne!(w.chunk(0), w.chunk(1));
+    }
+}

@@ -1,0 +1,88 @@
+//! Last.fm-style listen logs: `(userId, trackId)` events.
+
+use crate::seeds::mix;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Generates listen events "uniformly at random across 50 users and 5000
+/// tracks", the exact setup of the paper's unique-listens experiment
+/// (§6.1.4).
+#[derive(Debug, Clone)]
+pub struct LastFmWorkload {
+    /// Master seed.
+    pub seed: u64,
+    /// Distinct users.
+    pub users: u32,
+    /// Distinct tracks (the reducer key cardinality).
+    pub tracks: u32,
+    /// Listen events per chunk.
+    pub listens_per_chunk: usize,
+}
+
+impl LastFmWorkload {
+    /// The paper's parameters: 50 users × 5000 tracks.
+    pub fn paper(seed: u64) -> Self {
+        LastFmWorkload {
+            seed,
+            users: 50,
+            tracks: 5000,
+            listens_per_chunk: 400,
+        }
+    }
+
+    /// The events of chunk `chunk`: `(event_id, (user, track))`.
+    #[allow(clippy::type_complexity)]
+    pub fn chunk(&self, chunk: u64) -> Vec<(u64, (u32, u32))> {
+        let mut rng = StdRng::seed_from_u64(mix(self.seed, chunk));
+        let base = chunk * self.listens_per_chunk as u64;
+        (0..self.listens_per_chunk)
+            .map(|i| {
+                (
+                    base + i as u64,
+                    (
+                        rng.gen_range(0..self.users),
+                        rng.gen_range(0..self.tracks),
+                    ),
+                )
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_in_configured_ranges() {
+        let w = LastFmWorkload::paper(5);
+        for (_, (user, track)) in w.chunk(3) {
+            assert!(user < 50);
+            assert!(track < 5000);
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed_and_chunk() {
+        let w = LastFmWorkload::paper(5);
+        assert_eq!(w.chunk(1), w.chunk(1));
+        assert_ne!(w.chunk(1), w.chunk(2));
+    }
+
+    #[test]
+    fn users_and_tracks_are_roughly_uniform() {
+        let w = LastFmWorkload {
+            seed: 9,
+            users: 10,
+            tracks: 20,
+            listens_per_chunk: 20_000,
+        };
+        let mut user_counts = vec![0u32; 10];
+        for (_, (user, _)) in w.chunk(0) {
+            user_counts[user as usize] += 1;
+        }
+        let min = *user_counts.iter().min().unwrap();
+        let max = *user_counts.iter().max().unwrap();
+        assert!(min > 1_700 && max < 2_300, "not uniform: {user_counts:?}");
+    }
+}

@@ -1,0 +1,26 @@
+//! `mr-workloads` — seeded input generators for the paper's experiments.
+//!
+//! Each generator stands in for a dataset the paper used but we cannot
+//! ship (Wikipedia dumps, Last.fm logs, …). What the experiments actually
+//! depend on is record volume, key cardinality and key skew — all of which
+//! these generators control explicitly and deterministically: every value
+//! is a pure function of `(seed, chunk_index, position)`, so two runs (or
+//! two engines) see byte-identical input.
+
+pub mod dist;
+pub mod ga;
+pub mod knn;
+pub mod lastfm;
+pub mod pricing;
+pub mod seeds;
+pub mod sortgen;
+pub mod text;
+
+pub use dist::{Normal, Zipf};
+pub use ga::GaWorkload;
+pub use knn::KnnWorkload;
+pub use lastfm::LastFmWorkload;
+pub use pricing::PricingWorkload;
+pub use seeds::mix;
+pub use sortgen::SortWorkload;
+pub use text::TextWorkload;

@@ -1,0 +1,84 @@
+//! Black-Scholes Monte-Carlo tasks.
+
+use crate::seeds::mix;
+
+/// One mapper's Monte-Carlo assignment: a seed and an iteration count.
+/// The paper runs "a million iterations of the Black-Scholes algorithm
+/// per mapper" (§6.1.6); the map function does the heavy floating-point
+/// work and emits one `(value, value²)` pair per iteration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MonteCarloTask {
+    /// RNG seed for this task's draws.
+    pub seed: u64,
+    /// Iterations to run.
+    pub iterations: u64,
+    /// Spot price of the underlying.
+    pub spot: f64,
+    /// Strike price.
+    pub strike: f64,
+    /// Risk-free rate.
+    pub rate: f64,
+    /// Volatility.
+    pub volatility: f64,
+    /// Time to maturity in years.
+    pub maturity: f64,
+}
+
+/// Generates one Monte-Carlo task per chunk (= per mapper).
+#[derive(Debug, Clone)]
+pub struct PricingWorkload {
+    /// Master seed.
+    pub seed: u64,
+    /// Iterations per mapper (scaled down from the paper's 10⁶ for
+    /// in-simulator execution; the cost model charges for the nominal
+    /// count).
+    pub iterations_per_mapper: u64,
+}
+
+impl PricingWorkload {
+    /// A workload with the given per-mapper iteration count.
+    pub fn new(seed: u64, iterations_per_mapper: u64) -> Self {
+        PricingWorkload {
+            seed,
+            iterations_per_mapper,
+        }
+    }
+
+    /// The task for chunk `chunk`: `(task_id, task)`.
+    pub fn chunk(&self, chunk: u64) -> Vec<(u64, MonteCarloTask)> {
+        vec![(
+            chunk,
+            MonteCarloTask {
+                seed: mix(self.seed, chunk),
+                iterations: self.iterations_per_mapper,
+                // A standard at-the-money European call.
+                spot: 100.0,
+                strike: 100.0,
+                rate: 0.05,
+                volatility: 0.2,
+                maturity: 1.0,
+            },
+        )]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn one_task_per_chunk_with_distinct_seeds() {
+        let w = PricingWorkload::new(1, 1000);
+        let a = w.chunk(0);
+        let b = w.chunk(1);
+        assert_eq!(a.len(), 1);
+        assert_ne!(a[0].1.seed, b[0].1.seed);
+        assert_eq!(a[0].1.iterations, 1000);
+    }
+
+    #[test]
+    fn deterministic() {
+        let w = PricingWorkload::new(9, 10);
+        assert_eq!(w.chunk(4), w.chunk(4));
+    }
+}

@@ -1,0 +1,53 @@
+//! Quickstart: WordCount under both engines on the real threaded runner.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use barrier_mapreduce::apps::WordCount;
+use barrier_mapreduce::core::local::LocalRunner;
+use barrier_mapreduce::core::{counters::names, Engine, JobConfig};
+
+fn main() {
+    // Input splits: (document id, text). In a cluster these would be DFS
+    // chunks; locally any Vec of records works.
+    let splits: Vec<Vec<(u64, String)>> = vec![
+        vec![
+            (0, "the barrier stands between map and reduce".into()),
+            (1, "breaking the barrier lets reduce begin early".into()),
+        ],
+        vec![
+            (2, "the reduce function sees one record at a time".into()),
+            (3, "partial results live in the reduce side store".into()),
+        ],
+    ];
+
+    // Classic Hadoop-style execution: shuffle barrier, sort, grouped reduce.
+    let barrier_cfg = JobConfig::new(2); // 2 reducers, Engine::Barrier default
+    let barrier_out = LocalRunner::new(4)
+        .run(&WordCount, splits.clone(), &barrier_cfg)
+        .expect("barrier job");
+
+    // The paper's contribution: no barrier, reduce-per-record, partial
+    // results in an in-memory ordered map.
+    let pipelined_cfg = JobConfig::new(2).engine(Engine::barrierless());
+    let pipelined_out = LocalRunner::new(4)
+        .run(&WordCount, splits, &pipelined_cfg)
+        .expect("barrier-less job");
+
+    println!(
+        "map output records: {}",
+        barrier_out.counters.get(names::MAP_OUTPUT_RECORDS)
+    );
+
+    let a = barrier_out.into_sorted_output();
+    let b = pipelined_out.into_sorted_output();
+    assert_eq!(a, b, "the engines must agree");
+
+    println!("top words (both engines agree):");
+    let mut by_count = a.clone();
+    by_count.sort_by(|x, y| y.1.cmp(&x.1).then(x.0.cmp(&y.0)));
+    for (word, count) in by_count.into_iter().take(5) {
+        println!("  {count:>3}  {word}");
+    }
+}

@@ -1,0 +1,110 @@
+//! The central correctness claim of the paper (§3.2): "since our
+//! modifications were idempotent, the correctness and the completeness of
+//! the MapReduce execution is not compromised."
+//!
+//! Property-based: for arbitrary inputs, every engine × memory-policy
+//! combination must produce identical output.
+
+use barrier_mapreduce::apps::{Sort, UniqueListens, WordCount};
+use barrier_mapreduce::core::local::LocalRunner;
+use barrier_mapreduce::core::{Engine, JobConfig, MemoryPolicy};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static SERIAL: AtomicU64 = AtomicU64::new(0);
+
+fn scratch() -> std::path::PathBuf {
+    std::env::temp_dir().join(format!(
+        "mr-eq-{}-{}",
+        std::process::id(),
+        SERIAL.fetch_add(1, Ordering::Relaxed)
+    ))
+}
+
+fn all_engines() -> Vec<Engine> {
+    vec![
+        Engine::Barrier,
+        Engine::BarrierLess {
+            memory: MemoryPolicy::InMemory,
+        },
+        Engine::BarrierLess {
+            memory: MemoryPolicy::SpillMerge {
+                threshold_bytes: 700,
+            },
+        },
+        Engine::BarrierLess {
+            memory: MemoryPolicy::KvStore { cache_bytes: 512 },
+        },
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn wordcount_all_engines_agree(
+        words in prop::collection::vec(prop::collection::vec("[a-e]{1,3}", 1..8), 1..12),
+        reducers in 1usize..5,
+    ) {
+        let splits: Vec<Vec<(u64, String)>> = words
+            .iter()
+            .enumerate()
+            .map(|(i, line)| vec![(i as u64, line.join(" "))])
+            .collect();
+        let mut reference: BTreeMap<String, u64> = BTreeMap::new();
+        for line in &words {
+            for w in line {
+                *reference.entry(w.clone()).or_insert(0) += 1;
+            }
+        }
+        for engine in all_engines() {
+            let cfg = JobConfig::new(reducers).engine(engine.clone()).scratch_dir(scratch());
+            let out = LocalRunner::new(2).run(&WordCount, splits.clone(), &cfg).unwrap();
+            let got: BTreeMap<String, u64> = out.into_sorted_output().into_iter().collect();
+            prop_assert_eq!(&got, &reference, "engine {:?}", engine);
+        }
+    }
+
+    #[test]
+    fn sort_all_engines_agree_and_are_sorted(
+        keys in prop::collection::vec(0u64..50, 1..200),
+    ) {
+        let splits: Vec<Vec<(u64, u64)>> = keys
+            .chunks(20)
+            .map(|c| c.iter().enumerate().map(|(i, &k)| (i as u64, k)).collect())
+            .collect();
+        let mut expect = keys.clone();
+        expect.sort();
+        for engine in all_engines() {
+            let cfg = JobConfig::new(1).engine(engine.clone()).scratch_dir(scratch());
+            let out = LocalRunner::new(2).run(&Sort, splits.clone(), &cfg).unwrap();
+            let got: Vec<u64> = out.partitions[0].iter().map(|(k, _)| *k).collect();
+            prop_assert_eq!(&got, &expect, "engine {:?}", engine);
+        }
+    }
+
+    #[test]
+    fn unique_listens_all_engines_agree(
+        listens in prop::collection::vec((0u32..20, 0u32..15), 1..300),
+    ) {
+        let splits: Vec<Vec<(u64, (u32, u32))>> = listens
+            .chunks(50)
+            .map(|c| c.iter().enumerate().map(|(i, &l)| (i as u64, l)).collect())
+            .collect();
+        let mut sets: BTreeMap<u32, std::collections::HashSet<u32>> = BTreeMap::new();
+        for &(user, track) in &listens {
+            sets.entry(track).or_default().insert(user);
+        }
+        let reference: BTreeMap<u32, u64> =
+            sets.into_iter().map(|(t, s)| (t, s.len() as u64)).collect();
+        for engine in all_engines() {
+            let cfg = JobConfig::new(3).engine(engine.clone()).scratch_dir(scratch());
+            let out = LocalRunner::new(2)
+                .run(&UniqueListens, splits.clone(), &cfg)
+                .unwrap();
+            let got: BTreeMap<u32, u64> = out.into_sorted_output().into_iter().collect();
+            prop_assert_eq!(&got, &reference, "engine {:?}", engine);
+        }
+    }
+}
