@@ -498,17 +498,26 @@ where
         task.state = MapState::Fetching;
         task.node = node;
         task.started = at;
+        self.start_fetch(at, m);
+    }
+
+    /// Issues the input read for map `m` from the best replica of its
+    /// chunk. Also used to retry after the replica serving an in-flight
+    /// fetch died (the flow is cancelled; placement has been refreshed).
+    fn start_fetch(&mut self, at: SimTime, m: usize) {
+        let task = &self.maps[m];
+        let node = task.node;
         let chunk = task.chunk;
+        let attempt = task.attempt;
         let bytes = self.dfs.chunk(chunk).bytes;
         let src = self.dfs.read_source(chunk, NodeId(node as u32));
         if src.local {
             let done = self.disks[node].submit(at, bytes);
-            self.queue.schedule(done, Ev::MapFetched(m, task.attempt));
+            self.queue.schedule(done, Ev::MapFetched(m, attempt));
         } else {
             // Remote read: source disk + a network flow; the flow completes
             // last on a loaded link, the disk first on an idle one.
             self.disks[src.node.0 as usize].submit(at, bytes);
-            let attempt = task.attempt;
             self.net
                 .start_flow(at, src.node, NodeId(node as u32), bytes, Tag::Fetch(m, attempt));
         }
@@ -567,6 +576,17 @@ where
         for r in 0..self.reds.len() {
             if self.reds[r].state == RedState::Running && !self.reds[r].flow_from[m] {
                 self.start_shuffle_flow(at, m, r);
+            }
+        }
+        // A *re-run* map's completion can be the last thing a reducer
+        // was waiting for even though it gets no new delivery (it
+        // already fetched the earlier attempt's identical output), so
+        // shuffle completion must be re-evaluated for everyone —
+        // `check_shuffle_complete` otherwise only runs on delivery, and
+        // `maps_done` dipped below full while the map re-ran.
+        for r in 0..self.reds.len() {
+            if self.reds[r].state == RedState::Running {
+                self.check_shuffle_complete(at, r);
             }
         }
         self.queue.schedule(at, Ev::Schedule);
@@ -888,22 +908,58 @@ where
         self.node_alive[n] = false;
         self.map_slots_used[n] = 0;
         self.red_slots_used[n] = 0;
-        self.net.fail_node(at, NodeId(n as u32));
-        let lost = self.dfs.fail_node(NodeId(n as u32));
-        assert!(
-            lost.is_empty(),
-            "input chunks lost all replicas — unrecoverable, as in HDFS"
-        );
-        // Maps on the dead node: running ones restart; completed ones lose
-        // their locally stored output and must re-run for any reducer that
-        // has not fetched it yet.
+        // With every node dead there is nothing to recover onto — the
+        // job is gone. Report that loudly rather than letting the event
+        // queue drain into a bogus "completed with empty output".
+        if !self.node_alive.iter().any(|&alive| alive) {
+            self.failure = Some((at, "every node has failed; job lost".to_string()));
+            return;
+        }
+        let cancelled = self.net.fail_node(at, NodeId(n as u32));
+        // Chunks whose last replica died are re-ingested from the job's
+        // input source onto surviving nodes (the workloads are
+        // generated, so the source always exists); any map that still
+        // needs such a chunk re-fetches from the restored replicas.
+        for cid in self.dfs.fail_node(NodeId(n as u32)) {
+            self.dfs.restore_chunk(cid);
+        }
+        // Reducers on the dead node restart from scratch elsewhere.
+        // Restart them *before* deciding map re-runs: a restarted
+        // reducer's cleared `fetched_from` is what tells the scan below
+        // that it needs every map's output again — including output
+        // stored on a node that died in an *earlier* failure.
+        for r in 0..self.reds.len() {
+            if self.reds[r].node == n && self.reds[r].state != RedState::Done
+                && self.reds[r].state != RedState::Pending
+            {
+                let task = &mut self.reds[r];
+                task.state = RedState::Pending;
+                task.attempt += 1;
+                task.node = usize::MAX;
+                task.fetched_from.clear();
+                task.flow_from.clear();
+                task.buffer.clear();
+                task.driver = None;
+                task.batches.clear();
+                task.shuffle_done_at = None;
+                task.reduce_phase_started = None;
+                task.out.clear();
+                task.counters = Counters::new();
+                task.io_charged = 0;
+                task.input_bytes = 0;
+            }
+        }
+        // Maps: running ones on the dead node restart; completed ones
+        // whose locally stored output now sits on *any* dead node must
+        // re-run if some reducer (including one just restarted above)
+        // still needs that output.
         for m in 0..self.maps.len() {
             let needs_rerun = match self.maps[m].state {
                 MapState::Fetching | MapState::Computing | MapState::Writing => {
                     self.maps[m].node == n
                 }
                 MapState::Done => {
-                    self.maps[m].node == n
+                    !self.node_alive[self.maps[m].node]
                         && self.reds.iter().any(|r| {
                             r.state != RedState::Done
                                 && (r.fetched_from.len() <= m || !r.fetched_from[m])
@@ -929,26 +985,33 @@ where
                 }
             }
         }
-        // Reducers on the dead node restart from scratch elsewhere.
-        for r in 0..self.reds.len() {
-            if self.reds[r].node == n && self.reds[r].state != RedState::Done
-                && self.reds[r].state != RedState::Pending
-            {
-                let task = &mut self.reds[r];
-                task.state = RedState::Pending;
-                task.attempt += 1;
-                task.node = usize::MAX;
-                task.fetched_from.clear();
-                task.flow_from.clear();
-                task.buffer.clear();
-                task.driver = None;
-                task.batches.clear();
-                task.shuffle_done_at = None;
-                task.reduce_phase_started = None;
-                task.out.clear();
-                task.counters = Counters::new();
-                task.io_charged = 0;
-                task.input_bytes = 0;
+        // Cancelled flows whose *surviving* endpoint is still mid-task
+        // must be retried, or that task waits forever on a completion
+        // that will never arrive. Flows whose surviving task was itself
+        // restarted above fail the attempt/state guards and are dropped.
+        for tag in cancelled {
+            match tag {
+                Tag::Fetch(m, a) => {
+                    // The replica serving this input read died; re-read
+                    // from a surviving replica.
+                    if self.maps[m].attempt == a && self.maps[m].state == MapState::Fetching {
+                        self.start_fetch(at, m);
+                    }
+                }
+                Tag::Shuffle { .. } => {
+                    // Handled by the map-rerun loop above: the dead
+                    // source's map output is regenerated and the reducer
+                    // re-requests it (`flow_from` was reset).
+                }
+                Tag::Output(r, a, _replica) => {
+                    // One target of the output-replication pipeline died
+                    // mid-write. The block lives on the remaining
+                    // replicas; like HDFS, leave it under-replicated
+                    // rather than stall the job on a dead datanode.
+                    if self.reds[r].attempt == a && self.reds[r].state == RedState::Writing {
+                        self.output_part_done(at, r);
+                    }
+                }
             }
         }
         self.queue.schedule(at, Ev::Schedule);

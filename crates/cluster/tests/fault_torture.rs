@@ -104,6 +104,20 @@ fn failure_during_every_phase_window() {
 }
 
 #[test]
+fn losing_every_node_fails_loudly() {
+    // Total cluster loss is unrecoverable and must be reported as a
+    // failure — never as a completion with empty output.
+    let (completed, output, _, _) = run_with(
+        Engine::barrierless(),
+        81,
+        6,
+        &[(5.0, 0), (6.0, 1), (7.0, 2), (8.0, 3), (9.0, 4), (10.0, 5)],
+    );
+    assert!(!completed, "dead cluster reported a completed job");
+    assert!(output.is_none(), "dead cluster produced output");
+}
+
+#[test]
 fn losing_half_the_cluster_still_completes() {
     let chunks = 8u64;
     let expect = reference(chunks, 55);

@@ -219,12 +219,21 @@ fn inmemory_cap_kills_job_but_spill_survives() {
 fn node_failure_is_survived_with_correct_output() {
     let chunks = 16;
     let expect = reference_counts(chunks, 11);
+    // Homogeneous, noise-free cluster: on a heterogeneous one, killing a
+    // slow node can legitimately *speed up* the job, which would make
+    // the "failures cost time" assertion below meaningless.
+    let uniform_cluster = |seed: u64| {
+        let mut p = small_cluster(seed);
+        p.hetero_sigma = 0.0;
+        p.task_noise_sigma = 0.0;
+        p
+    };
     for engine in [Engine::Barrier, Engine::barrierless()] {
-        let exec = SimExecutor::new(small_cluster(11));
+        let exec = SimExecutor::new(uniform_cluster(11));
         let cfg = JobConfig::new(4)
             .engine(engine.clone())
             .scratch_dir(scratch("fault"));
-        let baseline = SimExecutor::new(small_cluster(11)).run(
+        let baseline = SimExecutor::new(uniform_cluster(11)).run(
             &WordCount,
             &FnInput(wc_input(11)),
             chunks,
@@ -254,7 +263,13 @@ fn node_failure_is_survived_with_correct_output() {
             "no task was re-executed"
         );
         // And it cost time.
-        assert!(report.completion_secs() >= baseline.completion_secs());
+        assert!(
+            report.completion_secs() >= baseline.completion_secs(),
+            "losing a node made the uniform cluster faster under {engine:?}: \
+             {} vs baseline {}",
+            report.completion_secs(),
+            baseline.completion_secs()
+        );
         let got: BTreeMap<String, u64> = report
             .output
             .unwrap()

@@ -72,6 +72,8 @@ pub struct Dfs {
     chunks: Vec<Chunk>,
     /// Replica count per node, for balance reporting.
     node_load: Vec<u64>,
+    /// Which nodes are up; dead nodes never receive new replicas.
+    alive: Vec<bool>,
     rng: StdRng,
 }
 
@@ -88,6 +90,7 @@ impl Dfs {
         assert!(cfg.chunk_bytes > 0, "chunk size must be positive");
         Dfs {
             node_load: vec![0; cfg.nodes],
+            alive: vec![true; cfg.nodes],
             files: Vec::new(),
             chunks: Vec::new(),
             rng: StdRng::seed_from_u64(seed ^ 0xD15C_0000_0000_0001),
@@ -175,9 +178,15 @@ impl Dfs {
         self.place_replicas(Some(writer))
     }
 
-    /// Drops every replica stored on `node` (disk lost). Chunks that lose
-    /// all replicas are reported back — the job must regenerate them.
+    /// Drops every replica stored on `node` (disk lost) and marks the
+    /// node dead, so it never receives new replicas. Chunks that lose
+    /// all replicas are reported back — the job must regenerate them
+    /// (see [`Dfs::restore_chunk`]).
     pub fn fail_node(&mut self, node: NodeId) -> Vec<ChunkId> {
+        if !self.alive[node.0 as usize] {
+            return Vec::new();
+        }
+        self.alive[node.0 as usize] = false;
         let mut lost = Vec::new();
         for chunk in &mut self.chunks {
             let before = chunk.replicas.len();
@@ -192,6 +201,24 @@ impl Dfs {
         lost
     }
 
+    /// Re-ingests a chunk whose replicas were all lost to failures,
+    /// placing a fresh replica set on surviving nodes. Models the job
+    /// driver re-loading that slice of the input from its external
+    /// source (the paper's workloads are generated, so the source is
+    /// always available); the ingest traffic itself is not charged to
+    /// the simulated network.
+    pub fn restore_chunk(&mut self, id: ChunkId) {
+        assert!(
+            self.chunks[id.0 as usize].replicas.is_empty(),
+            "restore_chunk is only for fully lost chunks"
+        );
+        let replicas = self.place_replicas(None);
+        for &r in &replicas {
+            self.node_load[r.0 as usize] += 1;
+        }
+        self.chunks[id.0 as usize].replicas = replicas;
+    }
+
     /// Replica count per node — for balance assertions and reporting.
     pub fn node_load(&self) -> &[u64] {
         &self.node_load
@@ -202,15 +229,23 @@ impl Dfs {
         self.chunks.len()
     }
 
+    /// Samples `replication` distinct *alive* nodes by rejection (fewer
+    /// when the cluster has shrunk below the replication factor), so
+    /// placement stays uniform and never targets a failed node.
     fn place_replicas(&mut self, first: Option<NodeId>) -> Vec<NodeId> {
         let mut out: Vec<NodeId> = Vec::with_capacity(self.cfg.replication);
         if let Some(f) = first {
             out.push(f);
         }
-        while out.len() < self.cfg.replication {
+        let mut available = (0..self.cfg.nodes as u32)
+            .map(NodeId)
+            .filter(|n| self.alive[n.0 as usize] && !out.contains(n))
+            .count();
+        while out.len() < self.cfg.replication && available > 0 {
             let cand = NodeId(self.rng.gen_range(0..self.cfg.nodes as u32));
-            if !out.contains(&cand) {
+            if self.alive[cand.0 as usize] && !out.contains(&cand) {
                 out.push(cand);
+                available -= 1;
             }
         }
         out

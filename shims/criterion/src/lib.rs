@@ -1,0 +1,245 @@
+//! Offline shim for the [`criterion`](https://docs.rs/criterion/0.5)
+//! benchmark harness.
+//!
+//! This workspace builds with no network access, so the external crates
+//! the code was written against are provided as in-tree shims exposing
+//! the exact API subset the repository uses (see the workspace-root
+//! `Cargo.toml`). For `criterion 0.5` that subset is: `Criterion`,
+//! `benchmark_group`, `bench_function` / `bench_with_input`,
+//! `Bencher::iter` / `iter_with_setup`, `BenchmarkId`, `Throughput`,
+//! and the `criterion_group!` / `criterion_main!` macros.
+//!
+//! The measurement loop is intentionally simple — warm up, then time a
+//! fixed number of samples and report min / mean / max wall-clock per
+//! iteration (plus element throughput when configured). There is no
+//! statistical outlier analysis, HTML report, or baseline comparison;
+//! for regression-grade numbers, swap this shim for the real crate.
+//! What it does guarantee: every `cargo bench` target in `mr-bench`
+//! compiles, runs, and prints comparable numbers offline.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Identifies one benchmark within a group: a function name plus a
+/// parameter rendered into the id, e.g. `put/10000`.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id composed of a function name and a parameter.
+    pub fn new<S: Into<String>, P: Display>(function_name: S, parameter: P) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+}
+
+/// Units processed per iteration, used to report rates.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements (records, operations) per iteration.
+    Elements(u64),
+    /// Bytes per iteration.
+    Bytes(u64),
+}
+
+/// Times closures. Handed to the routine registered with
+/// [`BenchmarkGroup::bench_function`].
+pub struct Bencher {
+    samples: usize,
+    /// Mean wall-clock per iteration over the measured samples.
+    elapsed_per_iter: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Times `routine`, called repeatedly.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Warm-up: one untimed call.
+        std::hint::black_box(routine());
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            std::hint::black_box(routine());
+            self.elapsed_per_iter.push(start.elapsed());
+        }
+    }
+
+    /// Times `routine` only, re-running `setup` (untimed) before every
+    /// call.
+    pub fn iter_with_setup<I, O, S, F>(&mut self, mut setup: S, mut routine: F)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        std::hint::black_box(routine(setup()));
+        for _ in 0..self.samples {
+            let input = setup();
+            let start = Instant::now();
+            std::hint::black_box(routine(input));
+            self.elapsed_per_iter.push(start.elapsed());
+        }
+    }
+}
+
+/// A named collection of related benchmarks sharing sample settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many timed samples to collect per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n >= 1);
+        self.sample_size = n;
+        self
+    }
+
+    /// Declares per-iteration throughput for rate reporting.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: BenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            samples: self.sample_size,
+            elapsed_per_iter: Vec::new(),
+        };
+        f(&mut b);
+        self.report(&id, &b);
+        self
+    }
+
+    /// Runs one benchmark against a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher {
+            samples: self.sample_size,
+            elapsed_per_iter: Vec::new(),
+        };
+        f(&mut b, input);
+        self.report(&id, &b);
+        self
+    }
+
+    /// Finishes the group. (Reporting already happened per benchmark.)
+    pub fn finish(&mut self) {}
+
+    fn report(&self, id: &BenchmarkId, b: &Bencher) {
+        if b.elapsed_per_iter.is_empty() {
+            println!("{}/{:<28} (no samples)", self.name, id.id);
+            return;
+        }
+        let min = b.elapsed_per_iter.iter().min().unwrap();
+        let max = b.elapsed_per_iter.iter().max().unwrap();
+        let mean = b.elapsed_per_iter.iter().sum::<Duration>() / b.elapsed_per_iter.len() as u32;
+        let rate = match self.throughput {
+            Some(Throughput::Elements(n)) => {
+                format!("  {:>12.0} elem/s", n as f64 / mean.as_secs_f64())
+            }
+            Some(Throughput::Bytes(n)) => {
+                format!("  {:>12.0} B/s", n as f64 / mean.as_secs_f64())
+            }
+            None => String::new(),
+        };
+        println!(
+            "{}/{:<28} [{:>10.2?} {:>10.2?} {:>10.2?}]{}",
+            self.name, id.id, min, mean, max, rate
+        );
+    }
+}
+
+/// Entry point handed to every `criterion_group!` function.
+pub struct Criterion {
+    default_sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // 20 samples keeps full `cargo bench` sweeps tolerably fast
+        // while still exposing gross regressions; groups override via
+        // `sample_size`.
+        Criterion {
+            default_sample_size: 20,
+        }
+    }
+}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group<S: Into<String>>(&mut self, name: S) -> BenchmarkGroup<'_> {
+        let sample_size = self.default_sample_size;
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size,
+            throughput: None,
+            _criterion: self,
+        }
+    }
+}
+
+/// Declares a benchmark group function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group_name:ident, $($target:path),+ $(,)?) => {
+        fn $group_name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the benchmark `main` that runs the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("smoke");
+        group.sample_size(3).throughput(Throughput::Elements(10));
+        let mut calls = 0u32;
+        group.bench_function(BenchmarkId::new("noop", 10), |b| {
+            b.iter(|| calls += 1);
+        });
+        group.finish();
+        // 1 warm-up + 3 samples.
+        assert_eq!(calls, 4);
+    }
+
+    #[test]
+    fn iter_with_setup_excludes_setup() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("setup");
+        group.sample_size(2);
+        let mut setups = 0u32;
+        let mut runs = 0u32;
+        group.bench_function(BenchmarkId::new("s", 1), |b| {
+            b.iter_with_setup(
+                || setups += 1,
+                |()| runs += 1,
+            );
+        });
+        assert_eq!(setups, 3);
+        assert_eq!(runs, 3);
+    }
+}

@@ -1,0 +1,126 @@
+//! Offline shim for the [`crossbeam`](https://docs.rs/crossbeam/0.8)
+//! crate.
+//!
+//! This workspace builds with no network access, so the external crates
+//! the code was written against are provided as in-tree shims exposing
+//! the exact API subset the repository uses (see the workspace-root
+//! `Cargo.toml`). For `crossbeam 0.8` that subset is
+//! [`channel::bounded`] with cloneable senders — the shuffle channels of
+//! `mr-core`'s pipelined local executor.
+//!
+//! The implementation delegates to `std::sync::mpsc::sync_channel`,
+//! which has the same semantics the executor relies on: bounded
+//! capacity with blocking back-pressure, `send` failing once the
+//! receiver is gone, and receivers observing EOF when every sender has
+//! been dropped. Crossbeam's extras (select, MPMC receivers, zero-cap
+//! rendezvous channels) are deliberately absent — nothing here uses
+//! them.
+
+pub mod channel {
+    use std::sync::mpsc;
+
+    /// Error returned by [`Sender::send`] when the receiving side has
+    /// disconnected. Carries the unsent message, like crossbeam's.
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    impl<T> std::fmt::Display for SendError<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(f, "sending on a disconnected channel")
+        }
+    }
+
+    /// The sending half of a bounded channel. Cloneable; `send` blocks
+    /// while the channel is full.
+    pub struct Sender<T>(mpsc::SyncSender<T>);
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Sender(self.0.clone())
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Blocks until there is room, then enqueues `msg`. Errors only
+        /// if the receiver has been dropped.
+        pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
+            self.0.send(msg).map_err(|mpsc::SendError(m)| SendError(m))
+        }
+    }
+
+    /// The receiving half of a bounded channel.
+    pub struct Receiver<T>(mpsc::Receiver<T>);
+
+    impl<T> Receiver<T> {
+        /// A blocking iterator over received messages; ends when every
+        /// sender has been dropped and the buffer is drained.
+        pub fn iter(&self) -> impl Iterator<Item = T> + '_ {
+            self.0.iter()
+        }
+
+        /// Receives one message, blocking; `None`-like error once all
+        /// senders are gone.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.0.recv().map_err(|_| RecvError)
+        }
+    }
+
+    impl<T> IntoIterator for Receiver<T> {
+        type Item = T;
+        type IntoIter = mpsc::IntoIter<T>;
+        fn into_iter(self) -> Self::IntoIter {
+            self.0.into_iter()
+        }
+    }
+
+    /// Error returned by [`Receiver::recv`] on a closed, empty channel.
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct RecvError;
+
+    /// Creates a bounded channel with room for `cap` in-flight messages.
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::sync_channel(cap);
+        (Sender(tx), Receiver(rx))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel::{bounded, SendError};
+
+    #[test]
+    fn roundtrip_and_eof() {
+        let (tx, rx) = bounded(4);
+        let tx2 = tx.clone();
+        std::thread::spawn(move || {
+            for i in 0..10 {
+                tx.send(i).unwrap();
+            }
+        });
+        std::thread::spawn(move || {
+            for i in 10..20 {
+                tx2.send(i).unwrap();
+            }
+        });
+        let mut got: Vec<i32> = rx.iter().collect();
+        got.sort();
+        assert_eq!(got, (0..20).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn send_fails_after_receiver_drops() {
+        let (tx, rx) = bounded(1);
+        drop(rx);
+        assert_eq!(tx.send(5), Err(SendError(5)));
+    }
+
+    #[test]
+    fn backpressure_blocks_until_drained() {
+        let (tx, rx) = bounded(1);
+        tx.send(1).unwrap();
+        let h = std::thread::spawn(move || tx.send(2).unwrap());
+        assert_eq!(rx.recv(), Ok(1));
+        assert_eq!(rx.recv(), Ok(2));
+        h.join().unwrap();
+    }
+}

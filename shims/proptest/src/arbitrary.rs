@@ -1,0 +1,90 @@
+//! [`any::<T>()`](any) — the canonical strategy for a type.
+
+use crate::strategy::Strategy;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Types with a canonical "generate anything" strategy.
+pub trait Arbitrary {
+    /// Draws one arbitrary value.
+    fn arbitrary(rng: &mut StdRng) -> Self;
+}
+
+/// The canonical strategy for `T`, mirroring proptest's `any`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(core::marker::PhantomData)
+}
+
+/// See [`any`].
+pub struct Any<T>(core::marker::PhantomData<fn() -> T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut StdRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut StdRng) -> Self {
+                // Bias 1-in-8 draws toward boundary values; uniform
+                // integers almost never exercise overflow edges.
+                if rng.gen_range(0u32..8) == 0 {
+                    [0 as $t, 1 as $t, <$t>::MAX, <$t>::MIN][rng.gen_range(0usize..4)]
+                } else {
+                    rng.gen::<$t>()
+                }
+            }
+        }
+    )*};
+}
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut StdRng) -> Self {
+        rng.gen::<bool>()
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut StdRng) -> Self {
+        // Uniform unit interval scaled across magnitudes, plus edges.
+        match rng.gen_range(0u32..16) {
+            0 => f64::NAN,
+            1 => f64::INFINITY,
+            2 => f64::NEG_INFINITY,
+            3 => 0.0,
+            4 => -0.0,
+            _ => {
+                let magnitude = rng.gen_range(-300i32..300) as f64;
+                let sign = if rng.gen::<bool>() { 1.0 } else { -1.0 };
+                sign * rng.gen::<f64>() * 10f64.powf(magnitude)
+            }
+        }
+    }
+}
+
+impl Arbitrary for crate::sample::Index {
+    fn arbitrary(rng: &mut StdRng) -> Self {
+        crate::sample::Index::new(rng.gen::<u64>() as usize)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn covers_edges_and_bulk() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let s = any::<u16>();
+        let draws: Vec<u16> = (0..10_000).map(|_| s.sample(&mut rng)).collect();
+        assert!(draws.contains(&0));
+        assert!(draws.contains(&u16::MAX));
+        let distinct: std::collections::HashSet<_> = draws.iter().collect();
+        assert!(distinct.len() > 1_000);
+    }
+}

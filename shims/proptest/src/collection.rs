@@ -1,0 +1,146 @@
+//! Collection strategies: [`vec()`] and [`hash_set`].
+
+use crate::strategy::Strategy;
+use rand::rngs::StdRng;
+use rand::Rng;
+use std::collections::HashSet;
+use std::hash::Hash;
+
+/// A permitted size span for a generated collection. Built via `From`
+/// so call sites pass `8` (exact) or `1..120` (half-open), like
+/// upstream's `SizeRange`.
+#[derive(Debug, Clone, Copy)]
+pub struct SizeRange {
+    min: usize,
+    /// Inclusive upper bound.
+    max: usize,
+}
+
+impl From<usize> for SizeRange {
+    fn from(exact: usize) -> Self {
+        SizeRange {
+            min: exact,
+            max: exact,
+        }
+    }
+}
+
+impl From<core::ops::Range<usize>> for SizeRange {
+    fn from(r: core::ops::Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty size range");
+        SizeRange {
+            min: r.start,
+            max: r.end - 1,
+        }
+    }
+}
+
+impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+    fn from(r: core::ops::RangeInclusive<usize>) -> Self {
+        assert!(r.start() <= r.end(), "empty size range");
+        SizeRange {
+            min: *r.start(),
+            max: *r.end(),
+        }
+    }
+}
+
+impl SizeRange {
+    fn sample(&self, rng: &mut StdRng) -> usize {
+        rng.gen_range(self.min..=self.max)
+    }
+}
+
+/// Generates `Vec`s whose elements come from `element` and whose length
+/// falls in `size`.
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+/// See [`vec()`].
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn sample(&self, rng: &mut StdRng) -> Self::Value {
+        let len = self.size.sample(rng);
+        (0..len).map(|_| self.element.sample(rng)).collect()
+    }
+}
+
+/// Generates `HashSet`s from `element` draws; duplicate draws collapse,
+/// so the set size may come out below the sampled target (same
+/// behaviour as upstream under duplicate pressure).
+pub fn hash_set<S>(element: S, size: impl Into<SizeRange>) -> HashSetStrategy<S>
+where
+    S: Strategy,
+    S::Value: Hash + Eq,
+{
+    HashSetStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+/// See [`hash_set`].
+pub struct HashSetStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S> Strategy for HashSetStrategy<S>
+where
+    S: Strategy,
+    S::Value: Hash + Eq,
+{
+    type Value = HashSet<S::Value>;
+    fn sample(&self, rng: &mut StdRng) -> Self::Value {
+        let target = self.size.sample(rng);
+        let mut set = HashSet::with_capacity(target);
+        for _ in 0..target {
+            set.insert(self.element.sample(rng));
+        }
+        set
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arbitrary::any;
+    use rand::SeedableRng;
+
+    #[test]
+    fn vec_lengths_stay_in_range() {
+        let mut rng = StdRng::seed_from_u64(21);
+        let s = vec(any::<u8>(), 1..120);
+        for _ in 0..500 {
+            let v = s.sample(&mut rng);
+            assert!((1..120).contains(&v.len()));
+        }
+    }
+
+    #[test]
+    fn exact_size_is_exact() {
+        let mut rng = StdRng::seed_from_u64(22);
+        let s = vec(0u32..8, 8);
+        for _ in 0..100 {
+            assert_eq!(s.sample(&mut rng).len(), 8);
+        }
+    }
+
+    #[test]
+    fn hash_set_respects_upper_bound() {
+        let mut rng = StdRng::seed_from_u64(23);
+        let s = hash_set(any::<u32>(), 0..40);
+        for _ in 0..200 {
+            assert!(s.sample(&mut rng).len() < 40);
+        }
+    }
+}

@@ -1,0 +1,49 @@
+//! Offline shim for the [`proptest`](https://docs.rs/proptest/1)
+//! property-testing framework.
+//!
+//! This workspace builds with no network access, so the external crates
+//! the code was written against are provided as in-tree shims exposing
+//! the exact API subset the repository uses (see the workspace-root
+//! `Cargo.toml`). For `proptest 1.x` that subset is:
+//!
+//! * the [`proptest!`] macro with optional `#![proptest_config(...)]`,
+//! * [`prop_assert!`] / [`prop_assert_eq!`] / [`prop_assert_ne!`],
+//! * [`prop_oneof!`], [`strategy::Just`], `prop_map` / `prop_flat_map`,
+//! * [`arbitrary::any`] over primitive integers and
+//!   [`sample::Index`],
+//! * integer-range strategies (`0u32..8`), regex-subset string
+//!   strategies (`".{0,64}"`, `"[a-e]{1,3}"`), tuple strategies, and
+//!   [`collection::vec`] / [`collection::hash_set`].
+//!
+//! # Semantics vs. the real crate
+//!
+//! Cases are generated from a deterministic per-test seed (an FNV hash
+//! of the test's module path and name), so failures reproduce across
+//! runs without a persistence file. There is **no shrinking**: a
+//! failing case panics with the full `Debug` rendering of every input,
+//! which the small input domains in this repo keep readable. The
+//! default case count is 256, like upstream, and can be overridden
+//! globally with the `PROPTEST_CASES` environment variable or per block
+//! with `ProptestConfig::with_cases`.
+
+pub mod arbitrary;
+pub mod collection;
+pub mod sample;
+pub mod strategy;
+pub mod string;
+pub mod test_runner;
+
+mod macros;
+
+/// What `use proptest::prelude::*` is expected to bring into scope.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{
+        Config as ProptestConfig, TestCaseError, TestCaseResult, TestRunner,
+    };
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+    /// The `prop::` path prefix (`prop::collection::vec`,
+    /// `prop::sample::Index`, ...).
+    pub use crate as prop;
+}

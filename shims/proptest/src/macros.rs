@@ -1,0 +1,199 @@
+//! The user-facing macros: `proptest!`, `prop_assert*`, `prop_oneof!`.
+
+/// Declares property tests. Mirrors upstream's surface:
+///
+/// ```
+/// use proptest::prelude::*;
+///
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(32))]
+///
+///     #[test]
+///     fn addition_commutes(a in 0u32..1000, b in 0u32..1000) {
+///         prop_assert_eq!(a + b, b + a);
+///     }
+/// }
+/// ```
+///
+/// Each declared function becomes an ordinary `#[test]` (the attribute
+/// is written by the caller, as upstream requires) whose body runs once
+/// per generated case. `prop_assert*` failures and `?`-propagated
+/// [`TestCaseError`](crate::test_runner::TestCaseError)s fail the case
+/// with the sampled inputs included in the panic message.
+// The doctest deliberately shows `#[test]` the way callers must write
+// it; the generated test is not run from the doctest itself.
+#[allow(clippy::test_attr_in_doctest)]
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_body! { ($config); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_body! {
+            ($crate::test_runner::Config::default()); $($rest)*
+        }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_body {
+    (($config:expr); $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let mut runner = $crate::test_runner::TestRunner::new(
+                $config,
+                concat!(module_path!(), "::", stringify!($name)),
+            );
+            runner.run(|__proptest_rng| {
+                $(
+                    let $arg = $crate::strategy::Strategy::sample(
+                        &($strategy),
+                        __proptest_rng,
+                    );
+                )+
+                // Rendered up front: the body may consume the inputs.
+                let __proptest_inputs = format!(
+                    concat!($("\n    ", stringify!($arg), " = {:?}",)+),
+                    $(&$arg),+
+                );
+                let __proptest_result: $crate::test_runner::TestCaseResult =
+                    (|| { $body ::core::result::Result::Ok(()) })();
+                __proptest_result.map_err(|e| {
+                    $crate::test_runner::TestCaseError::fail(format!(
+                        "{e}\n  inputs:{}",
+                        __proptest_inputs
+                    ))
+                })
+            });
+        }
+    )*};
+}
+
+/// Fails the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::core::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+/// Fails the current case unless `left == right`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        if !(*left == *right) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!(
+                    "assertion failed: `(left == right)`\n  left: {:?}\n right: {:?}",
+                    left, right
+                ),
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        if !(*left == *right) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!(
+                    "assertion failed: `(left == right)`: {}\n  left: {:?}\n right: {:?}",
+                    format!($($fmt)+),
+                    left,
+                    right
+                ),
+            ));
+        }
+    }};
+}
+
+/// Fails the current case unless `left != right`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        if *left == *right {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!(
+                    "assertion failed: `(left != right)`\n  both: {:?}",
+                    left
+                ),
+            ));
+        }
+    }};
+}
+
+/// Picks among strategies, optionally weighted:
+/// `prop_oneof![a, b]` or `prop_oneof![3 => a, 1 => b]`.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:literal => $strategy:expr),+ $(,)?) => {
+        $crate::strategy::WeightedUnion::new(vec![
+            $(($weight as u32, $crate::strategy::boxed($strategy))),+
+        ])
+    };
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::WeightedUnion::new(vec![
+            $((1u32, $crate::strategy::boxed($strategy))),+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn smoke_tuple_and_vec(
+            pair in (0u32..10, -5i64..5),
+            xs in prop::collection::vec(any::<u8>(), 0..16),
+        ) {
+            prop_assert!(pair.0 < 10);
+            prop_assert!((-5..5).contains(&pair.1));
+            prop_assert!(xs.len() < 16);
+        }
+
+        #[test]
+        fn smoke_oneof_and_strings(
+            s in "[a-c]{1,4}",
+            v in prop_oneof![2 => Just(1u8), 1 => Just(2u8)],
+        ) {
+            prop_assert!(!s.is_empty() && s.len() <= 4);
+            prop_assert!(v == 1 || v == 2);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn default_config_block_works(x in 0u64..100) {
+            prop_assert!(x < 100);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "inputs:")]
+    fn failing_case_reports_inputs() {
+        // No `#[test]` attribute: invoked directly so the panic message
+        // can be asserted on.
+        proptest! {
+            fn inner_always_fails(x in 0u32..10) {
+                prop_assert!(x > 100, "x was {}", x);
+            }
+        }
+        inner_always_fails();
+    }
+}

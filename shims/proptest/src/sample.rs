@@ -1,0 +1,36 @@
+//! Sampling helpers: [`Index`].
+
+/// An abstract index into a collection of as-yet-unknown size, produced
+/// by `any::<prop::sample::Index>()` and resolved with [`Index::index`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Index(usize);
+
+impl Index {
+    /// Wraps a raw draw. (Constructor used by the `Arbitrary` impl;
+    /// upstream hides this, call sites only use [`Index::index`].)
+    pub fn new(raw: usize) -> Self {
+        Index(raw)
+    }
+
+    /// Resolves the abstract index against a collection of `size`
+    /// elements, yielding a value in `0..size`. Panics if `size == 0`.
+    pub fn index(&self, size: usize) -> usize {
+        assert!(size > 0, "cannot index an empty collection");
+        self.0 % size
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::Index;
+
+    #[test]
+    fn stays_in_bounds() {
+        for raw in [0usize, 1, 7, usize::MAX] {
+            let idx = Index::new(raw);
+            for size in [1usize, 2, 13, 1000] {
+                assert!(idx.index(size) < size);
+            }
+        }
+    }
+}

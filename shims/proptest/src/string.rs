@@ -1,0 +1,173 @@
+//! String strategies from regex-like patterns.
+//!
+//! Upstream proptest accepts any regex as a `&str` strategy. This shim
+//! supports the subset the repository's tests actually write — a single
+//! atom (`.` or a `[...]` character class of chars and ranges) followed
+//! by an optional `{n}` / `{min,max}` repetition — and panics with a
+//! clear message on anything richer, so an unsupported pattern fails
+//! loudly at test time rather than silently generating garbage.
+
+use crate::strategy::Strategy;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Characters `.` draws from: mostly printable ASCII, with a tail of
+/// multi-byte code points so length-in-bytes ≠ length-in-chars paths
+/// (codec framing, UTF-8 boundaries) get exercised.
+const WIDE_CHARS: &[char] = ['é', 'ß', 'λ', 'Ж', '中', '🦀', '\u{200b}'].as_slice();
+
+#[derive(Debug, Clone)]
+enum Atom {
+    /// `.` — any character except `\n`.
+    AnyChar,
+    /// `[...]` — inclusive ranges and singletons.
+    Class(Vec<(char, char)>),
+}
+
+impl Atom {
+    fn sample(&self, rng: &mut StdRng) -> char {
+        match self {
+            Atom::AnyChar => {
+                // 1-in-8 draws take a multi-byte char.
+                if rng.gen_range(0u32..8) == 0 {
+                    WIDE_CHARS[rng.gen_range(0..WIDE_CHARS.len())]
+                } else {
+                    char::from_u32(rng.gen_range(0x20u32..0x7f)).unwrap()
+                }
+            }
+            Atom::Class(ranges) => {
+                let (lo, hi) = ranges[rng.gen_range(0..ranges.len())];
+                char::from_u32(rng.gen_range(lo as u32..=hi as u32))
+                    .expect("class ranges avoid surrogates")
+            }
+        }
+    }
+}
+
+/// A parsed pattern: one atom repeated `min..=max` times.
+#[derive(Debug, Clone)]
+pub struct StringPattern {
+    atom: Atom,
+    min: usize,
+    max: usize,
+}
+
+fn unsupported(pattern: &str, why: &str) -> ! {
+    panic!(
+        "string pattern {pattern:?} is outside the regex subset this offline \
+         proptest shim supports (single `.` or `[...]` atom with optional \
+         `{{n}}`/`{{min,max}}`): {why}"
+    )
+}
+
+impl StringPattern {
+    /// Parses the supported pattern subset.
+    pub fn parse(pattern: &str) -> Self {
+        let mut chars = pattern.chars().peekable();
+        let atom = match chars.next() {
+            Some('.') => Atom::AnyChar,
+            Some('[') => {
+                let mut ranges = Vec::new();
+                loop {
+                    let c = match chars.next() {
+                        Some(']') if !ranges.is_empty() => break,
+                        Some(c) if c != ']' => c,
+                        _ => unsupported(pattern, "unterminated or empty character class"),
+                    };
+                    if chars.peek() == Some(&'-') {
+                        chars.next();
+                        match chars.next() {
+                            Some(hi) if hi != ']' && c <= hi => ranges.push((c, hi)),
+                            _ => unsupported(pattern, "bad range in character class"),
+                        }
+                    } else {
+                        ranges.push((c, c));
+                    }
+                }
+                Atom::Class(ranges)
+            }
+            _ => unsupported(pattern, "expected `.` or `[`"),
+        };
+        let (min, max) = match chars.next() {
+            None => (1, 1),
+            Some('{') => {
+                let body: String = chars.by_ref().take_while(|&c| c != '}').collect();
+                let parts: Vec<&str> = body.split(',').collect();
+                let parse = |s: &str| {
+                    s.trim()
+                        .parse::<usize>()
+                        .unwrap_or_else(|_| unsupported(pattern, "non-numeric repetition"))
+                };
+                match parts.as_slice() {
+                    [n] => (parse(n), parse(n)),
+                    [lo, hi] => (parse(lo), parse(hi)),
+                    _ => unsupported(pattern, "malformed repetition"),
+                }
+            }
+            Some(_) => unsupported(pattern, "trailing tokens after atom"),
+        };
+        if chars.next().is_some() {
+            unsupported(pattern, "trailing tokens after repetition");
+        }
+        assert!(min <= max, "empty repetition range in {pattern:?}");
+        StringPattern { atom, min, max }
+    }
+}
+
+impl Strategy for &'static str {
+    type Value = String;
+    fn sample(&self, rng: &mut StdRng) -> String {
+        // Parsing per draw keeps `&str` itself the strategy (no state);
+        // patterns are tiny, so this doesn't show up in test time.
+        let pat = StringPattern::parse(self);
+        let len = rng.gen_range(pat.min..=pat.max);
+        (0..len).map(|_| pat.atom.sample(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn class_with_repetition() {
+        let mut rng = StdRng::seed_from_u64(31);
+        let s = "[a-e]{1,3}";
+        for _ in 0..500 {
+            let v = Strategy::sample(&s, &mut rng);
+            let n = v.chars().count();
+            assert!((1..=3).contains(&n), "{v:?}");
+            assert!(v.chars().all(|c| ('a'..='e').contains(&c)), "{v:?}");
+        }
+    }
+
+    #[test]
+    fn dot_with_zero_min() {
+        let mut rng = StdRng::seed_from_u64(32);
+        let s = ".{0,64}";
+        let mut saw_empty = false;
+        let mut saw_multibyte = false;
+        for _ in 0..2_000 {
+            let v = Strategy::sample(&s, &mut rng);
+            assert!(v.chars().count() <= 64);
+            assert!(!v.contains('\n'));
+            saw_empty |= v.is_empty();
+            saw_multibyte |= v.len() != v.chars().count();
+        }
+        assert!(saw_empty && saw_multibyte);
+    }
+
+    #[test]
+    fn bare_atom_is_one_char() {
+        let mut rng = StdRng::seed_from_u64(33);
+        assert_eq!(Strategy::sample(&"[x]", &mut rng), "x");
+    }
+
+    #[test]
+    #[should_panic(expected = "outside the regex subset")]
+    fn unsupported_pattern_panics() {
+        let mut rng = StdRng::seed_from_u64(34);
+        let _ = Strategy::sample(&"(a|b)+", &mut rng);
+    }
+}

@@ -1,0 +1,149 @@
+//! The case-running machinery behind the [`proptest!`](crate::proptest)
+//! macro.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Per-block configuration. Subset of upstream's `ProptestConfig`
+/// (which the prelude re-exports under that name).
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// How many random cases each test runs.
+    pub cases: u32,
+}
+
+impl Config {
+    /// A config running `cases` cases per test.
+    pub fn with_cases(cases: u32) -> Self {
+        Config { cases }
+    }
+}
+
+impl Default for Config {
+    /// 256 cases, like upstream; the `PROPTEST_CASES` environment
+    /// variable overrides (it also overrides explicit
+    /// `with_cases` configs, matching upstream precedence).
+    fn default() -> Self {
+        Config { cases: 256 }
+    }
+}
+
+/// A failed property: the assertion message carried out of the test
+/// body by `prop_assert*` or `?`.
+#[derive(Debug)]
+pub struct TestCaseError(String);
+
+impl TestCaseError {
+    /// A failure with the given explanation.
+    pub fn fail<S: Into<String>>(reason: S) -> Self {
+        TestCaseError(reason.into())
+    }
+
+    /// Upstream-compatible alias for [`TestCaseError::fail`].
+    pub fn reject<S: Into<String>>(reason: S) -> Self {
+        Self::fail(reason)
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for TestCaseError {}
+
+/// Shorthand for a test-body result.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// Runs the cases of one property test with deterministic seeding.
+pub struct TestRunner {
+    config: Config,
+    name: &'static str,
+}
+
+/// FNV-1a, so seeds are stable across runs, platforms, and compilers —
+/// a failing case reproduces by rerunning the same test binary.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+impl TestRunner {
+    /// A runner for the test `name` (used for seeding and messages).
+    pub fn new(config: Config, name: &'static str) -> Self {
+        TestRunner { config, name }
+    }
+
+    /// Runs `body` once per case, panicking (like a failing `#[test]`)
+    /// on the first case whose result is an error. The macro expansion
+    /// folds the sampled inputs into the error message before returning
+    /// it here.
+    pub fn run<F>(&mut self, mut body: F)
+    where
+        F: FnMut(&mut StdRng) -> TestCaseResult,
+    {
+        let cases = match std::env::var("PROPTEST_CASES") {
+            Ok(v) => v
+                .parse::<u32>()
+                .unwrap_or_else(|_| panic!("PROPTEST_CASES={v:?} is not a number")),
+            Err(_) => self.config.cases,
+        };
+        let base = fnv1a(self.name.as_bytes());
+        for case in 0..cases as u64 {
+            let mut rng = StdRng::seed_from_u64(base.wrapping_add(case));
+            match body(&mut rng) {
+                Ok(_) => {}
+                Err(e) => panic!(
+                    "property `{}` failed at case {case}/{cases}: {e}\n\
+                     (no shrinking in the offline proptest shim; the case \
+                     is deterministic — rerun this test to reproduce)",
+                    self.name
+                ),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn passing_property_runs_all_cases() {
+        let mut count = 0u32;
+        TestRunner::new(Config::with_cases(17), "t::pass").run(|_rng| {
+            count += 1;
+            Ok(())
+        });
+        assert_eq!(count, 17);
+    }
+
+    #[test]
+    #[should_panic(expected = "failed at case")]
+    fn failing_property_panics() {
+        TestRunner::new(Config::with_cases(5), "t::fail")
+            .run(|_rng| Err(TestCaseError::fail("nope")));
+    }
+
+    #[test]
+    fn seeding_is_deterministic_per_test() {
+        use rand::Rng;
+        let mut first: Vec<u64> = Vec::new();
+        TestRunner::new(Config::with_cases(3), "t::det").run(|rng| {
+            first.push(rng.gen::<u64>());
+            Ok(())
+        });
+        let mut second: Vec<u64> = Vec::new();
+        TestRunner::new(Config::with_cases(3), "t::det").run(|rng| {
+            second.push(rng.gen::<u64>());
+            Ok(())
+        });
+        assert_eq!(first, second);
+        assert_ne!(first[0], first[1]);
+    }
+}
