@@ -62,7 +62,8 @@ impl BlackScholes {
             let t = 1.0 / (1.0 + 0.3275911 * x.abs() / std::f64::consts::SQRT_2);
             let poly = t
                 * (0.254829592
-                    + t * (-0.284496736 + t * (1.421413741 + t * (-1.453152027 + t * 1.061405429))));
+                    + t * (-0.284496736
+                        + t * (1.421413741 + t * (-1.453152027 + t * 1.061405429))));
             let erf = 1.0 - poly * (-x * x / 2.0).exp();
             if x >= 0.0 {
                 0.5 * (1.0 + erf)

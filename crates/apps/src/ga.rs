@@ -118,7 +118,8 @@ impl Application for GeneticAlgorithm {
 
     fn merge(&self, _key: &u64, _a: (), _b: ()) {}
 
-    fn finalize(&self, _key: u64, _state: (), _window: &mut Window, _out: &mut dyn Emit<u64, u32>) {}
+    fn finalize(&self, _key: u64, _state: (), _window: &mut Window, _out: &mut dyn Emit<u64, u32>) {
+    }
 
     /// "When a partial result is removed from the window, it is written as
     /// a final result" — stragglers left in a non-full window pass through.

@@ -91,7 +91,14 @@ impl Application for KnnBarrier {
 
     fn merge(&self, _key: &(i64, i64), _a: (), _b: ()) {}
 
-    fn finalize(&self, _key: (i64, i64), _state: (), _shared: &mut usize, _out: &mut dyn Emit<i64, i64>) {}
+    fn finalize(
+        &self,
+        _key: (i64, i64),
+        _state: (),
+        _shared: &mut usize,
+        _out: &mut dyn Emit<i64, i64>,
+    ) {
+    }
 
     fn name(&self) -> &'static str {
         "knn-original"
@@ -163,6 +170,26 @@ impl Application for KnnBarrierless {
         out: &mut dyn Emit<i64, i64>,
     ) {
         barrierless::finalize(key, state, out);
+    }
+
+    /// Selection combines: only a map task's k nearest candidates per
+    /// experimental value can survive the final top-k, so the shuffle
+    /// never needs more than k records per (map task, key).
+    fn combine_enabled(&self) -> bool {
+        true
+    }
+
+    /// Ships the bounded candidate list, nearest first (the list is kept
+    /// distance-ascending, so emission order is deterministic).
+    fn combiner_emit(
+        &self,
+        key: &i64,
+        state: Vec<(i64, i64)>,
+        out: &mut dyn Emit<i64, (i64, i64)>,
+    ) {
+        for (dist, train) in state {
+            out.emit(*key, (train, dist));
+        }
     }
 
     fn name(&self) -> &'static str {
@@ -265,6 +292,43 @@ mod tests {
         assert_eq!(got.len(), reference.len());
         for (e, trains) in &got {
             assert_eq!(distances_of(*e, trains), reference[e]);
+        }
+    }
+
+    #[test]
+    fn combiner_truncation_preserves_nearest_neighbours() {
+        use mr_core::counters::names;
+        use mr_core::CombinerPolicy;
+        let (exp, splits) = setup();
+        let k = 10;
+        let reference = reference(&exp, &splits, k);
+        let app = KnnBarrierless {
+            k,
+            experimental: exp,
+        };
+        for engine in [Engine::Barrier, Engine::barrierless()] {
+            let cfg = JobConfig::new(3)
+                .engine(engine.clone())
+                .combiner(CombinerPolicy::enabled());
+            let out = LocalRunner::new(4).run(&app, splits.clone(), &cfg).unwrap();
+            // 150 trains/chunk × k=10 per (split, key): real truncation.
+            assert!(
+                out.counters.get(names::COMBINE_OUTPUT_RECORDS)
+                    < out.counters.get(names::COMBINE_INPUT_RECORDS),
+                "top-k combiner truncated nothing under {engine:?}"
+            );
+            let mut got: BTreeMap<i64, Vec<i64>> = BTreeMap::new();
+            for (e, train) in out.into_sorted_output() {
+                got.entry(e).or_default().push(train);
+            }
+            assert_eq!(got.len(), reference.len());
+            for (e, trains) in &got {
+                assert_eq!(
+                    distances_of(*e, trains),
+                    reference[e],
+                    "wrong neighbours for exp {e} under {engine:?} with combiner"
+                );
+            }
         }
     }
 

@@ -64,8 +64,30 @@ impl Application for UniqueListens {
         barrierless::merge(*key, a, b)
     }
 
-    fn finalize(&self, key: u32, state: HashSet<u32>, _shared: &mut (), out: &mut dyn Emit<u32, u64>) {
+    fn finalize(
+        &self,
+        key: u32,
+        state: HashSet<u32>,
+        _shared: &mut (),
+        out: &mut dyn Emit<u32, u64>,
+    ) {
         barrierless::finalize(key, state, out);
+    }
+
+    /// Deduplication combines: a map task's repeated `(track, user)`
+    /// pairs collapse to one record each before the shuffle.
+    fn combine_enabled(&self) -> bool {
+        true
+    }
+
+    /// Ships the deduplicated user set, one record per distinct user —
+    /// sorted so re-run map tasks emit byte-identical output.
+    fn combiner_emit(&self, key: &u32, state: HashSet<u32>, out: &mut dyn Emit<u32, u32>) {
+        let mut users: Vec<u32> = state.into_iter().collect();
+        users.sort_unstable();
+        for user in users {
+            out.emit(*key, user);
+        }
     }
 
     fn name(&self) -> &'static str {
@@ -106,7 +128,11 @@ mod tests {
         let expect = reference(&input);
         for engine in [Engine::Barrier, Engine::barrierless()] {
             let out = LocalRunner::new(4)
-                .run(&UniqueListens, input.clone(), &JobConfig::new(3).engine(engine))
+                .run(
+                    &UniqueListens,
+                    input.clone(),
+                    &JobConfig::new(3).engine(engine),
+                )
                 .unwrap();
             let got: BTreeMap<u32, u64> = out.into_sorted_output().into_iter().collect();
             assert_eq!(got, expect);
@@ -135,6 +161,32 @@ mod tests {
         );
         let got: BTreeMap<u32, u64> = out.into_sorted_output().into_iter().collect();
         assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn combiner_dedup_matches_uncombined_counts() {
+        use mr_core::counters::names;
+        use mr_core::CombinerPolicy;
+        // Heavy listen duplication (50 users × 200 tracks × 1800 events)
+        // gives the dedup combiner real work; distinct counts must not
+        // change.
+        let input = splits(6);
+        let expect = reference(&input);
+        for engine in [Engine::Barrier, Engine::barrierless()] {
+            let cfg = JobConfig::new(3)
+                .engine(engine.clone())
+                .combiner(CombinerPolicy::enabled());
+            let out = LocalRunner::new(4)
+                .run(&UniqueListens, input.clone(), &cfg)
+                .unwrap();
+            assert!(
+                out.counters.get(names::COMBINE_OUTPUT_RECORDS)
+                    < out.counters.get(names::COMBINE_INPUT_RECORDS),
+                "dedup combiner removed nothing under {engine:?}"
+            );
+            let got: BTreeMap<u32, u64> = out.into_sorted_output().into_iter().collect();
+            assert_eq!(got, expect, "engine {engine:?} with combiner wrong");
+        }
     }
 
     #[test]

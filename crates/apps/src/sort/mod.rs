@@ -65,7 +65,13 @@ impl Application for Sort {
 
     fn new_shared(&self) {}
 
-    fn reduce_grouped(&self, key: &u64, values: Vec<()>, _shared: &mut (), out: &mut dyn Emit<u64, ()>) {
+    fn reduce_grouped(
+        &self,
+        key: &u64,
+        values: Vec<()>,
+        _shared: &mut (),
+        out: &mut dyn Emit<u64, ()>,
+    ) {
         original::reduce(*key, values.len() as u64, out);
     }
 
@@ -73,7 +79,14 @@ impl Application for Sort {
         barrierless::init(*key)
     }
 
-    fn absorb(&self, key: &u64, state: &mut u64, _v: (), _shared: &mut (), out: &mut dyn Emit<u64, ()>) {
+    fn absorb(
+        &self,
+        key: &u64,
+        state: &mut u64,
+        _v: (),
+        _shared: &mut (),
+        out: &mut dyn Emit<u64, ()>,
+    ) {
         barrierless::absorb(*key, state, out);
     }
 

@@ -65,6 +65,16 @@ impl Application for WordCount {
         barrierless::finalize(key, state, out);
     }
 
+    /// Counting is a commutative fold: the classic combinable app.
+    fn combine_enabled(&self) -> bool {
+        true
+    }
+
+    /// A combined partial count ships as a single `(word, n)` record.
+    fn combiner_emit(&self, key: &String, state: u64, out: &mut dyn Emit<String, u64>) {
+        out.emit(key.clone(), state);
+    }
+
     fn name(&self) -> &'static str {
         "wordcount"
     }
@@ -122,7 +132,9 @@ mod tests {
             MemoryPolicy::SpillMerge {
                 threshold_bytes: 4 << 10,
             },
-            MemoryPolicy::KvStore { cache_bytes: 8 << 10 },
+            MemoryPolicy::KvStore {
+                cache_bytes: 8 << 10,
+            },
         ] {
             let cfg = JobConfig::new(2)
                 .engine(Engine::BarrierLess { memory })
@@ -132,6 +144,29 @@ mod tests {
                 .unwrap();
             let got: BTreeMap<String, u64> = out.into_sorted_output().into_iter().collect();
             assert_eq!(got, expect);
+        }
+    }
+
+    #[test]
+    fn combiner_output_is_identical_under_both_engines() {
+        use mr_core::counters::names;
+        use mr_core::CombinerPolicy;
+        let input = splits(4);
+        let expect = reference_counts(&input);
+        for engine in [Engine::Barrier, Engine::barrierless()] {
+            let cfg = JobConfig::new(3)
+                .engine(engine.clone())
+                .combiner(CombinerPolicy::enabled());
+            let out = LocalRunner::new(4)
+                .run(&WordCount, input.clone(), &cfg)
+                .unwrap();
+            assert!(
+                out.counters.get(names::COMBINE_OUTPUT_RECORDS)
+                    < out.counters.get(names::COMBINE_INPUT_RECORDS),
+                "combiner did not reduce records under {engine:?}"
+            );
+            let got: BTreeMap<String, u64> = out.into_sorted_output().into_iter().collect();
+            assert_eq!(got, expect, "engine {engine:?} with combiner wrong");
         }
     }
 

@@ -111,7 +111,13 @@ impl mr_core::Application for BenchWordCount {
     fn merge(&self, _key: &String, a: u64, b: u64) -> u64 {
         a + b
     }
-    fn finalize(&self, key: String, state: u64, _s: &mut (), out: &mut dyn mr_core::Emit<String, u64>) {
+    fn finalize(
+        &self,
+        key: String,
+        state: u64,
+        _s: &mut (),
+        out: &mut dyn mr_core::Emit<String, u64>,
+    ) {
         out.emit(key, state);
     }
 }

@@ -16,7 +16,9 @@ use mr_apps::sort::Sort;
 use mr_apps::wordcount::WordCount;
 use mr_cluster::{ClusterParams, CostModel, FnInput, SimExecutor, SimReport};
 use mr_core::{Engine, HashPartitioner, JobConfig, MemoryPolicy};
-use mr_workloads::{GaWorkload, KnnWorkload, LastFmWorkload, PricingWorkload, SortWorkload, TextWorkload};
+use mr_workloads::{
+    GaWorkload, KnnWorkload, LastFmWorkload, PricingWorkload, SortWorkload, TextWorkload,
+};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -94,6 +96,7 @@ pub fn wc_costs() -> CostModel {
         map_cpu_per_chunk: 45.0,
         shuffle_selectivity: 1.0,
         reduce_cpu_per_record: 5.0e-4,
+        combine_cpu_per_record: 2.0e-4,
         absorb_extra_per_record: 0.0,
         kv_cpu_per_record: 0.03,
         sort_cpu_coeff: 3.2e-4,
@@ -103,19 +106,34 @@ pub fn wc_costs() -> CostModel {
 }
 
 /// Runs WordCount at `gb` input with the given engine.
-pub fn run_wordcount(
+pub fn run_wordcount(gb: f64, reducers: usize, engine: Engine, seed: u64) -> SimReport<WordCount> {
+    run_wordcount_with_combiner(
+        gb,
+        reducers,
+        engine,
+        seed,
+        mr_core::CombinerPolicy::Disabled,
+    )
+}
+
+/// Runs WordCount with an explicit map-side combining policy (the
+/// `ablation_combiner` sweep's entry point).
+pub fn run_wordcount_with_combiner(
     gb: f64,
     reducers: usize,
     engine: Engine,
     seed: u64,
+    combiner: mr_core::CombinerPolicy,
 ) -> SimReport<WordCount> {
     let w = wc_workload(seed);
+    let mut params = testbed(seed);
+    params.combiner = combiner;
     let cfg = JobConfig::new(reducers)
         .engine(engine)
         .heap_scale(WC_HEAP_SCALE)
         .scratch_dir(scratch())
         .seed(seed);
-    SimExecutor::new(testbed(seed)).run(
+    SimExecutor::new(params).run(
         &WordCount,
         &FnInput(move |c| w.chunk(c)),
         chunks_for_gb(gb),
@@ -144,6 +162,7 @@ pub fn sort_costs() -> CostModel {
         map_cpu_per_chunk: 4.0,
         shuffle_selectivity: 1.0,
         reduce_cpu_per_record: 5.0e-4,
+        combine_cpu_per_record: 0.0,
         absorb_extra_per_record: 2.0e-3,
         kv_cpu_per_record: 0.30,
         sort_cpu_coeff: 1.0e-4,
@@ -189,6 +208,7 @@ pub fn knn_costs() -> CostModel {
         map_cpu_per_chunk: 40.0,
         shuffle_selectivity: 1.2,
         reduce_cpu_per_record: 1.0e-3,
+        combine_cpu_per_record: 2.0e-4,
         absorb_extra_per_record: 2.0e-4,
         kv_cpu_per_record: 0.10,
         sort_cpu_coeff: 1.2e-4,
@@ -237,6 +257,7 @@ pub fn lastfm_costs() -> CostModel {
         map_cpu_per_chunk: 25.0,
         shuffle_selectivity: 0.8,
         reduce_cpu_per_record: 6.0e-3,
+        combine_cpu_per_record: 2.0e-3,
         absorb_extra_per_record: 0.0,
         kv_cpu_per_record: 0.20,
         sort_cpu_coeff: 2.5e-4,
@@ -246,12 +267,7 @@ pub fn lastfm_costs() -> CostModel {
 }
 
 /// Runs Last.fm unique listens at `gb` input.
-pub fn run_lastfm(
-    gb: f64,
-    reducers: usize,
-    engine: Engine,
-    seed: u64,
-) -> SimReport<UniqueListens> {
+pub fn run_lastfm(gb: f64, reducers: usize, engine: Engine, seed: u64) -> SimReport<UniqueListens> {
     let w = lastfm_workload(seed);
     let cfg = JobConfig::new(reducers)
         .engine(engine)
@@ -282,6 +298,7 @@ pub fn ga_costs() -> CostModel {
         map_cpu_per_chunk: 45.0,
         shuffle_selectivity: 1.0,
         reduce_cpu_per_record: 4.0e-3,
+        combine_cpu_per_record: 0.0,
         absorb_extra_per_record: 0.0,
         kv_cpu_per_record: 0.10,
         sort_cpu_coeff: 6.0e-4,
@@ -328,6 +345,7 @@ pub fn bs_costs() -> CostModel {
         map_cpu_per_chunk: 3.0,
         shuffle_selectivity: 0.25,
         reduce_cpu_per_record: 4.0e-4,
+        combine_cpu_per_record: 0.0,
         absorb_extra_per_record: 0.0,
         kv_cpu_per_record: 0.01,
         sort_cpu_coeff: 7.0e-5,

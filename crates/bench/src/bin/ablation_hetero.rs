@@ -55,7 +55,13 @@ fn main() {
     print!(
         "{}",
         table(
-            &["hetero sigma", "barrier (s)", "barrier-less (s)", "improvement", "mapper slack (s)"],
+            &[
+                "hetero sigma",
+                "barrier (s)",
+                "barrier-less (s)",
+                "improvement",
+                "mapper slack (s)"
+            ],
             &rows
         )
     );
@@ -76,7 +82,13 @@ fn main() {
     print!(
         "{}",
         table(
-            &["oversub", "barrier (s)", "barrier-less (s)", "improvement", "mapper slack (s)"],
+            &[
+                "oversub",
+                "barrier (s)",
+                "barrier-less (s)",
+                "improvement",
+                "mapper slack (s)"
+            ],
             &rows
         )
     );

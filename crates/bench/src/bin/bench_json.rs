@@ -1,0 +1,194 @@
+//! `bench_json` — machine-readable perf smoke harness for CI.
+//!
+//! Runs the repo's hot paths in quick mode (criterion's full statistics
+//! are overkill for a CI gate; this reports best-of-N wall clock) and
+//! writes `BENCH_<pr>.json` so every PR leaves a perf trajectory behind.
+//! The committed file at the repo root is the baseline future PRs diff
+//! against; CI re-generates it and uploads the result as an artifact.
+//!
+//! Format (one JSON object; see README "Benchmark JSON format"):
+//!
+//! ```json
+//! {
+//!   "schema": "mr-bench-json/v1",
+//!   "mode": "quick-best-of-3",
+//!   "benches": [
+//!     {"name": "...", "wall_ms": 12.3, "records": 48000, "records_per_sec": 3.9e6}
+//!   ]
+//! }
+//! ```
+//!
+//! Usage: `cargo run --release -p mr-bench --bin bench_json [out.json]`
+
+use mr_bench::appcfg::run_wordcount_with_combiner;
+use mr_core::counters::names;
+use mr_core::local::LocalRunner;
+use mr_core::{CombinerBuffer, CombinerPolicy, Engine, JobConfig, MemoryPolicy};
+use mr_workloads::TextWorkload;
+use std::time::Instant;
+
+const ITERS: usize = 3;
+
+struct BenchResult {
+    name: &'static str,
+    wall_ms: f64,
+    records: u64,
+}
+
+impl BenchResult {
+    fn records_per_sec(&self) -> f64 {
+        if self.wall_ms <= 0.0 {
+            0.0
+        } else {
+            self.records as f64 / (self.wall_ms / 1e3)
+        }
+    }
+}
+
+/// Best-of-N wall clock for `f`, which returns the record count that
+/// crossed the measured path.
+fn bench(name: &'static str, mut f: impl FnMut() -> u64) -> BenchResult {
+    let mut best = f64::INFINITY;
+    let mut records = 0;
+    for _ in 0..ITERS {
+        let start = Instant::now();
+        records = f();
+        best = best.min(start.elapsed().as_secs_f64() * 1e3);
+    }
+    BenchResult {
+        name,
+        wall_ms: best,
+        records,
+    }
+}
+
+fn wc_splits(chunks: u64) -> Vec<Vec<(u64, String)>> {
+    let w = TextWorkload {
+        seed: 7,
+        vocab: 2_000,
+        zipf_s: 1.0,
+        lines_per_chunk: 400,
+        words_per_line: 8,
+    };
+    (0..chunks).map(|c| w.chunk(c)).collect()
+}
+
+fn local_cfg(engine: Engine, combiner: CombinerPolicy) -> JobConfig {
+    JobConfig::new(4)
+        .engine(engine)
+        .combiner(combiner)
+        .scratch_dir(std::env::temp_dir().join(format!("mr-bench-json-{}", std::process::id())))
+}
+
+fn barrierless() -> Engine {
+    Engine::BarrierLess {
+        memory: MemoryPolicy::InMemory,
+    }
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_2.json".to_string());
+    let splits = wc_splits(12);
+    let mut results = Vec::new();
+
+    // End-to-end local executor, both engines: the macro numbers.
+    results.push(bench("local_wordcount_barrier", || {
+        let out = LocalRunner::new(4)
+            .run(
+                &mr_apps::WordCount,
+                splits.clone(),
+                &local_cfg(Engine::Barrier, CombinerPolicy::Disabled),
+            )
+            .expect("barrier run");
+        out.counters.get(names::MAP_OUTPUT_RECORDS)
+    }));
+
+    // The shuffle hot path: batched transport, records/sec is the
+    // headline number the batching work moves.
+    results.push(bench("shuffle_batched_barrierless", || {
+        let out = LocalRunner::new(4)
+            .run(
+                &mr_apps::WordCount,
+                splits.clone(),
+                &local_cfg(barrierless(), CombinerPolicy::Disabled),
+            )
+            .expect("barrierless run");
+        out.counters.get(names::SHUFFLE_RECORDS)
+    }));
+
+    // Same path with map-side combining: fewer records cross, so
+    // records/sec here is map-output records absorbed per second.
+    results.push(bench("shuffle_combined_barrierless", || {
+        let out = LocalRunner::new(4)
+            .run(
+                &mr_apps::WordCount,
+                splits.clone(),
+                &local_cfg(barrierless(), CombinerPolicy::enabled()),
+            )
+            .expect("combined run");
+        out.counters.get(names::COMBINE_INPUT_RECORDS)
+    }));
+
+    // The combiner fold in isolation (no threads, no channels).
+    results.push(bench("combiner_buffer_fold", || {
+        let mut buf = CombinerBuffer::new(&mr_apps::WordCount, 1 << 20);
+        let mut sunk = 0u64;
+        let mut n = 0u64;
+        for split in &splits {
+            for (_, line) in split {
+                for word in line.split_whitespace() {
+                    n += 1;
+                    buf.push(&mr_apps::WordCount, word.to_string(), 1, &mut |_, _| {
+                        sunk += 1
+                    });
+                }
+            }
+        }
+        buf.drain(&mr_apps::WordCount, &mut |_, _| sunk += 1);
+        assert!(sunk > 0);
+        n
+    }));
+
+    // One small simulated-cluster run: catches event-loop regressions.
+    results.push(bench("sim_wordcount_1gb_combined", || {
+        let report =
+            run_wordcount_with_combiner(1.0, 8, barrierless(), 7, CombinerPolicy::enabled());
+        assert!(report.outcome.is_completed());
+        report
+            .output
+            .expect("completed")
+            .counters
+            .get(names::MAP_OUTPUT_RECORDS)
+    }));
+
+    // ------------------------------------------------------- emit JSON
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"schema\": \"mr-bench-json/v1\",\n");
+    json.push_str(&format!("  \"mode\": \"quick-best-of-{ITERS}\",\n"));
+    json.push_str("  \"benches\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"name\": \"{}\", \"wall_ms\": {:.3}, \"records\": {}, \"records_per_sec\": {:.0}}}{}\n",
+            r.name,
+            r.wall_ms,
+            r.records,
+            r.records_per_sec(),
+            if i + 1 < results.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write(&out_path, &json).expect("write bench json");
+
+    println!("wrote {out_path}");
+    for r in &results {
+        println!(
+            "  {:<32} {:>10.1} ms  {:>12.0} records/s",
+            r.name,
+            r.wall_ms,
+            r.records_per_sec()
+        );
+    }
+}

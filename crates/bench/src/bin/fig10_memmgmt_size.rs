@@ -10,7 +10,9 @@ use mr_bench::chart::{line_chart, table};
 
 fn main() {
     let reducers = 10;
-    println!("== Figure 10: WordCount memory techniques vs dataset size ({reducers} reducers) ==\n");
+    println!(
+        "== Figure 10: WordCount memory techniques vs dataset size ({reducers} reducers) ==\n"
+    );
     let sizes = [2.0f64, 4.0, 8.0, 12.0, 16.0, 20.0, 25.0];
     let mut series: Vec<(&str, Vec<(f64, f64)>)> = MemTechnique::ALL
         .iter()

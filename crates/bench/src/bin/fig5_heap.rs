@@ -5,12 +5,17 @@
 //!     is killed. (b) Disk spill-and-merge (240 MB threshold) keeps the
 //!     footprint bounded and the job completes.
 
-use mr_bench::appcfg::{scratch, testbed, wc_costs, wc_workload, WC_HEAP_CAP, WC_HEAP_SCALE, WC_SPILL_THRESHOLD};
+use mr_bench::appcfg::{
+    scratch, testbed, wc_costs, wc_workload, WC_HEAP_CAP, WC_HEAP_SCALE, WC_SPILL_THRESHOLD,
+};
 use mr_bench::chart::line_chart;
 use mr_cluster::{FnInput, Outcome, SimExecutor};
 use mr_core::{Engine, HashPartitioner, JobConfig, MemoryPolicy};
 
-fn run(policy: MemoryPolicy, cap: Option<u64>) -> mr_cluster::SimReport<mr_apps::wordcount::WordCount> {
+fn run(
+    policy: MemoryPolicy,
+    cap: Option<u64>,
+) -> mr_cluster::SimReport<mr_apps::wordcount::WordCount> {
     let w = wc_workload(42);
     let mut cfg = JobConfig::new(10)
         .engine(Engine::BarrierLess { memory: policy })
@@ -28,7 +33,9 @@ fn run(policy: MemoryPolicy, cap: Option<u64>) -> mr_cluster::SimReport<mr_apps:
     )
 }
 
-fn busiest_reducer_series(report: &mr_cluster::SimReport<mr_apps::wordcount::WordCount>) -> (usize, Vec<(f64, f64)>) {
+fn busiest_reducer_series(
+    report: &mr_cluster::SimReport<mr_apps::wordcount::WordCount>,
+) -> (usize, Vec<(f64, f64)>) {
     let busiest = report
         .timeline
         .heap
@@ -75,9 +82,9 @@ fn main() {
             "  job KILLED at {:.1}s: {reason}\n  (paper: out-of-memory error, job fails at ~80s)\n",
             at.as_secs_f64()
         ),
-        Outcome::Completed { at } => println!(
-            "  unexpected completion at {at} — raise input size to reproduce the OOM\n"
-        ),
+        Outcome::Completed { at } => {
+            println!("  unexpected completion at {at} — raise input size to reproduce the OOM\n")
+        }
     }
 
     // (b) Spill and merge at the paper's 240 MB threshold: completes.

@@ -59,7 +59,13 @@ fn main() {
         print!(
             "{}",
             table(
-                &[app.x_label(), "barrier (s)", "barrier-less (s)", "improvement", "mapper slack (s)"],
+                &[
+                    app.x_label(),
+                    "barrier (s)",
+                    "barrier-less (s)",
+                    "improvement",
+                    "mapper slack (s)"
+                ],
                 &rows
             )
         );

@@ -35,7 +35,14 @@ fn main() {
     print!(
         "{}",
         table(
-            &["reducers", "barrier (s)", "barrier-less (s)", "improvement", "mapper slack (s)", "reduce tasks"],
+            &[
+                "reducers",
+                "barrier (s)",
+                "barrier-less (s)",
+                "improvement",
+                "mapper slack (s)",
+                "reduce tasks"
+            ],
             &rows
         )
     );

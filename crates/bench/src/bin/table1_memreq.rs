@@ -6,12 +6,19 @@
 use mr_bench::chart::table;
 use mr_core::local::LocalRunner;
 use mr_core::{Application, Engine, JobConfig};
-use mr_workloads::{GaWorkload, KnnWorkload, LastFmWorkload, PricingWorkload, SortWorkload, TextWorkload};
+use mr_workloads::{
+    GaWorkload, KnnWorkload, LastFmWorkload, PricingWorkload, SortWorkload, TextWorkload,
+};
 
 /// Peak store entries and bytes of one barrier-less run.
-fn measure<A: Application>(app: &A, splits: Vec<Vec<(A::InKey, A::InValue)>>) -> (usize, u64, bool) {
+fn measure<A: Application>(
+    app: &A,
+    splits: Vec<Vec<(A::InKey, A::InValue)>>,
+) -> (usize, u64, bool) {
     let cfg = JobConfig::new(2).engine(Engine::barrierless());
-    let out = LocalRunner::new(4).run(app, splits, &cfg).expect("job runs");
+    let out = LocalRunner::new(4)
+        .run(app, splits, &cfg)
+        .expect("job runs");
     let entries = out.total_peak_entries();
     let bytes = out.reports.iter().map(|r| r.store.peak_bytes).sum();
     (entries, bytes, app.requires_sorted_output())
@@ -37,10 +44,22 @@ fn main() {
     // Identity: grep.
     {
         let app = mr_apps::Grep::new("w00000");
-        let w = TextWorkload { seed: 1, vocab: 2000, zipf_s: 1.0, lines_per_chunk: 80, words_per_line: 6 };
+        let w = TextWorkload {
+            seed: 1,
+            vocab: 2000,
+            zipf_s: 1.0,
+            lines_per_chunk: 80,
+            words_per_line: 6,
+        };
         let small = measure(&app, (0..2).map(|c| w.chunk(c)).collect());
         let large = measure(&app, (0..8).map(|c| w.chunk(c)).collect());
-        rows.push(make_row("Distributed Grep (Identity)", "No", "O(1)", small, large));
+        rows.push(make_row(
+            "Distributed Grep (Identity)",
+            "No",
+            "O(1)",
+            small,
+            large,
+        ));
     }
     // Sorting.
     {
@@ -48,31 +67,74 @@ fn main() {
         let w = SortWorkload::new(2, 300);
         let small = measure(&app, (0..2).map(|c| w.chunk(c)).collect());
         let large = measure(&app, (0..8).map(|c| w.chunk(c)).collect());
-        rows.push(make_row("Sort (Sorting)", "Yes", "O(records)", small, large));
+        rows.push(make_row(
+            "Sort (Sorting)",
+            "Yes",
+            "O(records)",
+            small,
+            large,
+        ));
     }
     // Aggregation: wordcount over a *fixed* vocabulary.
     {
         let app = mr_apps::WordCount;
-        let w = TextWorkload { seed: 3, vocab: 300, zipf_s: 0.6, lines_per_chunk: 150, words_per_line: 8 };
+        let w = TextWorkload {
+            seed: 3,
+            vocab: 300,
+            zipf_s: 0.6,
+            lines_per_chunk: 150,
+            words_per_line: 8,
+        };
         let small = measure(&app, (0..2).map(|c| w.chunk(c)).collect());
         let large = measure(&app, (0..8).map(|c| w.chunk(c)).collect());
-        rows.push(make_row("Word Count (Aggregation)", "No", "O(keys)", small, large));
+        rows.push(make_row(
+            "Word Count (Aggregation)",
+            "No",
+            "O(keys)",
+            small,
+            large,
+        ));
     }
     // Selection: kNN, k entries per key.
     {
-        let w = KnnWorkload { seed: 4, experimental: 50, train_per_chunk: 200, value_range: 1_000_000 };
-        let app = mr_apps::KnnBarrierless { k: 10, experimental: w.experimental_set() };
+        let w = KnnWorkload {
+            seed: 4,
+            experimental: 50,
+            train_per_chunk: 200,
+            value_range: 1_000_000,
+        };
+        let app = mr_apps::KnnBarrierless {
+            k: 10,
+            experimental: w.experimental_set(),
+        };
         let small = measure(&app, (0..2).map(|c| w.chunk(c)).collect());
         let large = measure(&app, (0..8).map(|c| w.chunk(c)).collect());
-        rows.push(make_row("k-Nearest Neighbors (Selection)", "No", "O(k*keys)", small, large));
+        rows.push(make_row(
+            "k-Nearest Neighbors (Selection)",
+            "No",
+            "O(k*keys)",
+            small,
+            large,
+        ));
     }
     // Post-reduction: unique listens with an open-ended user population.
     {
         let app = mr_apps::UniqueListens;
-        let w = LastFmWorkload { seed: 5, users: 1_000_000, tracks: 40, listens_per_chunk: 400 };
+        let w = LastFmWorkload {
+            seed: 5,
+            users: 1_000_000,
+            tracks: 40,
+            listens_per_chunk: 400,
+        };
         let small = measure(&app, (0..2).map(|c| w.chunk(c)).collect());
         let large = measure(&app, (0..8).map(|c| w.chunk(c)).collect());
-        rows.push(make_row("Last.fm unique listens (Post-reduction)", "No", "O(records)", small, large));
+        rows.push(make_row(
+            "Last.fm unique listens (Post-reduction)",
+            "No",
+            "O(records)",
+            small,
+            large,
+        ));
     }
     // Cross-key: GA window.
     {
@@ -80,7 +142,13 @@ fn main() {
         let w = GaWorkload::new(6, 200);
         let small = measure(&app, (0..2).map(|c| w.chunk(c)).collect());
         let large = measure(&app, (0..8).map(|c| w.chunk(c)).collect());
-        rows.push(make_row("Genetic Algorithms (Cross-key)", "No", "O(window)", small, large));
+        rows.push(make_row(
+            "Genetic Algorithms (Cross-key)",
+            "No",
+            "O(window)",
+            small,
+            large,
+        ));
     }
     // Single-reducer aggregation: Black-Scholes.
     {
@@ -88,13 +156,26 @@ fn main() {
         let w = PricingWorkload::new(7, 400);
         let small = measure(&app, (0..2).map(|c| w.chunk(c)).collect());
         let large = measure(&app, (0..8).map(|c| w.chunk(c)).collect());
-        rows.push(make_row("Black Scholes (Single-reducer agg.)", "No", "O(1)", small, large));
+        rows.push(make_row(
+            "Black Scholes (Single-reducer agg.)",
+            "No",
+            "O(1)",
+            small,
+            large,
+        ));
     }
 
     print!(
         "{}",
         table(
-            &["Application (class)", "Key sort", "Paper says", "peak entries 1x -> 4x", "peak bytes 1x -> 4x", "measured class"],
+            &[
+                "Application (class)",
+                "Key sort",
+                "Paper says",
+                "peak entries 1x -> 4x",
+                "peak bytes 1x -> 4x",
+                "measured class"
+            ],
             &rows
         )
     );
@@ -110,7 +191,11 @@ fn make_row(
     let entries_ratio = large.0 as f64 / small.0.max(1) as f64;
     let bytes_ratio = large.1 as f64 / small.1.max(1) as f64;
     // Sanity: the engine agrees with the app about the sorting contract.
-    assert_eq!(small.2, sort_required == "Yes", "sort contract mismatch for {name}");
+    assert_eq!(
+        small.2,
+        sort_required == "Yes",
+        "sort contract mismatch for {name}"
+    );
     vec![
         name.to_string(),
         sort_required.to_string(),

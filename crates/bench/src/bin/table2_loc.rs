@@ -63,7 +63,10 @@ fn main() {
             let increase = if orig == bl {
                 "0%".to_string()
             } else {
-                format!("{:+.0}%", (*bl as f64 - *orig as f64) / *orig as f64 * 100.0)
+                format!(
+                    "{:+.0}%",
+                    (*bl as f64 - *orig as f64) / *orig as f64 * 100.0
+                )
             };
             vec![
                 name.to_string(),
@@ -77,7 +80,13 @@ fn main() {
     print!(
         "{}",
         table(
-            &["Application", "original LoC", "barrier-less LoC", "increase", "paper"],
+            &[
+                "Application",
+                "original LoC",
+                "barrier-less LoC",
+                "increase",
+                "paper"
+            ],
             &rows
         )
     );

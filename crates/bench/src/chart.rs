@@ -15,7 +15,10 @@ pub fn line_chart(
     height: usize,
 ) -> String {
     const GLYPHS: [char; 6] = ['*', '+', 'o', 'x', '#', '@'];
-    let all: Vec<(f64, f64)> = series.iter().flat_map(|(_, pts)| pts.iter().copied()).collect();
+    let all: Vec<(f64, f64)> = series
+        .iter()
+        .flat_map(|(_, pts)| pts.iter().copied())
+        .collect();
     if all.is_empty() {
         return format!("{title}\n  (no data)\n");
     }
@@ -132,7 +135,11 @@ pub fn box_plot(title: &str, boxes: &[(&str, crate::stats::BoxStats)], width: us
     let zero = scale(0.0);
     let mut axis = vec![' '; width];
     axis[zero] = '0';
-    out.push_str(&format!("  {:>6} {}\n", "", axis.iter().collect::<String>()));
+    out.push_str(&format!(
+        "  {:>6} {}\n",
+        "",
+        axis.iter().collect::<String>()
+    ));
     out.push_str(&format!(
         "  {:>6} {:<10}{:>w$}\n",
         "",

@@ -19,6 +19,10 @@ pub struct CostModel {
     /// CPU seconds per simulated record on the reduce side (the grouped
     /// pass, or the barrier-less absorb).
     pub reduce_cpu_per_record: f64,
+    /// CPU seconds per raw map-output record fed through the map-side
+    /// combiner (charged on the map node, before the output write).
+    /// Only applies when combining is active.
+    pub combine_cpu_per_record: f64,
     /// Extra CPU per record the barrier-less version pays for ordered-map
     /// insertion (the Sort-class penalty, §6.1.1). Zero when absorbing is
     /// no costlier than grouped reduction.
@@ -47,6 +51,7 @@ impl CostModel {
             map_cpu_per_chunk: 30.0,
             shuffle_selectivity: 0.5,
             reduce_cpu_per_record: 2e-2,
+            combine_cpu_per_record: 5e-4,
             absorb_extra_per_record: 0.0,
             kv_cpu_per_record: 1e-1,
             sort_cpu_coeff: 8e-4,
@@ -61,6 +66,7 @@ impl CostModel {
         assert!(self.map_cpu_per_chunk >= 0.0);
         assert!(self.shuffle_selectivity >= 0.0);
         assert!(self.reduce_cpu_per_record >= 0.0);
+        assert!(self.combine_cpu_per_record >= 0.0);
         assert!(self.absorb_extra_per_record >= 0.0);
         assert!(self.kv_cpu_per_record >= 0.0);
         assert!(self.sort_cpu_coeff >= 0.0);

@@ -14,7 +14,8 @@ use mr_core::engine::barrier::reduce_partition_barrier;
 use mr_core::engine::pipeline::IncrementalDriver;
 use mr_core::engine::DriverReport;
 use mr_core::{
-    Application, Counters, Engine, JobConfig, JobOutput, MemoryPolicy, MrError, Partitioner,
+    Application, CombinerBuffer, Counters, Engine, JobConfig, JobOutput, MemoryPolicy, MrError,
+    Partitioner,
 };
 use mr_dfs::{ChunkId, Dfs, DfsConfig};
 use mr_net::{Network, NetworkConfig, NodeId};
@@ -321,6 +322,21 @@ where
         matches!(self.cfg.engine, Engine::BarrierLess { .. })
     }
 
+    /// The combiner byte budget if map-side combining is active for this
+    /// run: the application must opt in, and either the cluster-level
+    /// knob (`ClusterParams::combiner`, which figure sweeps toggle) or
+    /// the job's own `JobConfig::combiner` must enable it — the cluster
+    /// knob wins when both are set.
+    fn combine_budget(&self) -> Option<u64> {
+        if !(self.app.combine_enabled() && self.app.uses_keyed_state()) {
+            return None;
+        }
+        self.p
+            .combiner
+            .budget_bytes()
+            .or(self.cfg.combiner.budget_bytes())
+    }
+
     fn absorb_cost_per_record(&self) -> f64 {
         match &self.cfg.engine {
             Engine::BarrierLess {
@@ -465,20 +481,13 @@ where
             let local = self.maps.iter().position(|m| {
                 m.state == MapState::Pending && self.dfs.is_local(m.chunk, NodeId(node as u32))
             });
-            let pick = local.or_else(|| {
-                self.maps
-                    .iter()
-                    .position(|m| m.state == MapState::Pending)
-            });
+            let pick =
+                local.or_else(|| self.maps.iter().position(|m| m.state == MapState::Pending));
             let Some(m) = pick else { break };
             self.start_map(at, m, node);
         }
         // Reduce tasks: id order onto free reduce slots.
-        while let Some(r) = self
-            .reds
-            .iter()
-            .position(|r| r.state == RedState::Pending)
-        {
+        while let Some(r) = self.reds.iter().position(|r| r.state == RedState::Pending) {
             let Some(node) = (0..self.p.nodes)
                 .filter(|&n| self.node_alive[n] && self.red_slots_used[n] < self.p.reduce_slots)
                 .min_by_key(|&n| self.red_slots_used[n])
@@ -518,8 +527,13 @@ where
             // Remote read: source disk + a network flow; the flow completes
             // last on a loaded link, the disk first on an idle one.
             self.disks[src.node.0 as usize].submit(at, bytes);
-            self.net
-                .start_flow(at, src.node, NodeId(node as u32), bytes, Tag::Fetch(m, attempt));
+            self.net.start_flow(
+                at,
+                src.node,
+                NodeId(node as u32),
+                bytes,
+                Tag::Fetch(m, attempt),
+            );
         }
     }
 
@@ -552,12 +566,45 @@ where
             }
         }
         self.map_counters.add(names::MAP_OUTPUT_RECORDS, emitted);
+        // Map-side combining: pre-aggregate each partition, charge the
+        // combiner CPU on the map node, and shrink the nominal shuffle
+        // bytes by the real record reduction. `out_bytes` is recomputed
+        // from the nominal base every attempt so re-run maps (fault
+        // recovery) land on the same value, and the combined output
+        // itself is deterministic (combiners drain in key order).
+        let node = self.maps[m].node;
+        let mut write_at = at;
+        if let Some(budget) = self.combine_budget() {
+            let mut combined_total = 0u64;
+            for part in &mut parts {
+                let mut comb = CombinerBuffer::new(self.app, budget as usize);
+                let mut combined: Vec<(A::MapKey, A::MapValue)> = Vec::new();
+                for (k, v) in part.drain(..) {
+                    comb.push(self.app, k, v, &mut |k2, v2| combined.push((k2, v2)));
+                }
+                comb.drain(self.app, &mut |k2, v2| combined.push((k2, v2)));
+                combined_total += combined.len() as u64;
+                *part = combined;
+            }
+            self.map_counters.add(names::COMBINE_INPUT_RECORDS, emitted);
+            self.map_counters
+                .add(names::COMBINE_OUTPUT_RECORDS, combined_total);
+            let dur = SimDuration::from_secs_f64(
+                self.costs.combine_cpu_per_record * emitted as f64 * self.node_factor[node],
+            );
+            write_at = at + dur;
+            let base = (self.p.chunk_bytes as f64 * self.costs.shuffle_selectivity) as u64;
+            self.maps[m].out_bytes = if emitted > 0 {
+                (base as f64 * combined_total as f64 / emitted as f64) as u64
+            } else {
+                base
+            };
+        }
         let task = &mut self.maps[m];
         task.output = Some(parts);
         task.state = MapState::Writing;
-        let node = task.node;
         let out_bytes = task.out_bytes;
-        let done = self.disks[node].submit(at, out_bytes);
+        let done = self.disks[node].submit(write_at, out_bytes);
         self.queue.schedule(done, Ev::MapWritten(m, task.attempt));
     }
 
@@ -680,8 +727,8 @@ where
             Tag::Output(r, a, replica) => {
                 if self.reds[r].attempt == a && self.reds[r].state == RedState::Writing {
                     // Replica received: write it to the replica's disk.
-                    let bytes = (self.reds[r].input_bytes as f64 * self.costs.output_selectivity)
-                        as u64;
+                    let bytes =
+                        (self.reds[r].input_bytes as f64 * self.costs.output_selectivity) as u64;
                     let done = self.disks[replica.0 as usize].submit(at, bytes);
                     self.queue
                         .schedule(done, Ev::OutputPartDone(r, self.reds[r].attempt));
@@ -692,7 +739,13 @@ where
 
     fn shuffle_delivery(&mut self, at: SimTime, m: usize, r: usize) {
         let batch = self.maps[m].output.as_ref().expect("done map")[r].clone();
-        let total_records: usize = self.maps[m].output.as_ref().unwrap().iter().map(Vec::len).sum();
+        let total_records: usize = self.maps[m]
+            .output
+            .as_ref()
+            .unwrap()
+            .iter()
+            .map(Vec::len)
+            .sum();
         let bytes = if total_records > 0 {
             (self.maps[m].out_bytes as f64 * batch.len() as f64 / total_records as f64) as u64
         } else {
@@ -707,8 +760,7 @@ where
         if pipelined {
             // Charge the absorb CPU as one batch on the reducer's core.
             let cost = absorb_cost * batch.len() as f64;
-            let dur =
-                SimDuration::from_secs_f64(cost * self.node_factor[task.node]);
+            let dur = SimDuration::from_secs_f64(cost * self.node_factor[task.node]);
             let start = task.cpu_free.max(at);
             task.cpu_free = start + dur;
             task.batches.push_back(batch);
@@ -739,7 +791,9 @@ where
             self.timeline
                 .span(SpanKind::Shuffle, r, self.reds[r].started, at);
             let n = self.reds[r].buffer.len() as f64;
-            let sort = self.costs.sort_cpu_coeff * n * n.max(2.0).log2()
+            let sort = self.costs.sort_cpu_coeff
+                * n
+                * n.max(2.0).log2()
                 * self.node_factor[self.reds[r].node];
             self.queue.schedule(
                 at + SimDuration::from_secs_f64(sort),
@@ -860,9 +914,7 @@ where
                 return;
             }
         }
-        let start = self.reds[r]
-            .shuffle_done_at
-            .expect("sorted after shuffle");
+        let start = self.reds[r].shuffle_done_at.expect("sorted after shuffle");
         self.timeline.span(SpanKind::SortReduce, r, start, at);
         self.start_output_write(at, r);
     }
@@ -878,10 +930,16 @@ where
         let targets = self.dfs.write_targets(NodeId(node as u32));
         task.write_parts_left = targets.len();
         let local_done = self.disks[node].submit(at, bytes);
-        self.queue.schedule(local_done, Ev::OutputPartDone(r, attempt));
+        self.queue
+            .schedule(local_done, Ev::OutputPartDone(r, attempt));
         for &replica in targets.iter().skip(1) {
-            self.net
-                .start_flow(at, NodeId(node as u32), replica, bytes, Tag::Output(r, attempt, replica));
+            self.net.start_flow(
+                at,
+                NodeId(node as u32),
+                replica,
+                bytes,
+                Tag::Output(r, attempt, replica),
+            );
         }
     }
 
@@ -929,7 +987,8 @@ where
         // that it needs every map's output again — including output
         // stored on a node that died in an *earlier* failure.
         for r in 0..self.reds.len() {
-            if self.reds[r].node == n && self.reds[r].state != RedState::Done
+            if self.reds[r].node == n
+                && self.reds[r].state != RedState::Done
                 && self.reds[r].state != RedState::Pending
             {
                 let task = &mut self.reds[r];

@@ -1,5 +1,7 @@
 //! Static description of the simulated cluster.
 
+use mr_core::CombinerPolicy;
+
 /// Cluster hardware and scheduling parameters.
 ///
 /// Defaults mirror §6 of the paper: 15 worker nodes (the 16th ran the
@@ -30,6 +32,12 @@ pub struct ClusterParams {
     pub hetero_sigma: f64,
     /// Per-task duration noise: `exp(N(0, task_noise_sigma))`.
     pub task_noise_sigma: f64,
+    /// Map-side combining policy for simulated jobs. Figure sweeps toggle
+    /// this cluster-level knob without touching the `JobConfig`; when it
+    /// is `Disabled` the executor falls back to the job's own
+    /// `JobConfig::combiner`. Either way the application must also opt in
+    /// via `combine_enabled()`.
+    pub combiner: CombinerPolicy,
     /// Master seed for placement, heterogeneity and noise.
     pub seed: u64,
 }
@@ -48,6 +56,7 @@ impl ClusterParams {
             replication: 3,
             hetero_sigma: 0.25,
             task_noise_sigma: 0.12,
+            combiner: CombinerPolicy::Disabled,
             seed,
         }
     }

@@ -155,7 +155,10 @@ mod tests {
         let mut t = Timeline::default();
         t.span(SpanKind::Output, 3, secs(8.0), secs(9.0));
         t.span(SpanKind::Output, 4, secs(2.0), secs(5.0));
-        assert_eq!(t.kind_window(SpanKind::Output), Some((secs(2.0), secs(9.0))));
+        assert_eq!(
+            t.kind_window(SpanKind::Output),
+            Some((secs(2.0), secs(9.0)))
+        );
         assert_eq!(t.kind_window(SpanKind::Map), None);
         assert_eq!(t.last_end(), secs(9.0));
         t.heap_sample(secs(1.0), 2, 100);

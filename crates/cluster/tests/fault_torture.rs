@@ -4,7 +4,7 @@
 
 use mr_apps::wordcount::WordCount;
 use mr_cluster::{ClusterParams, CostModel, FnInput, SimExecutor};
-use mr_core::{Engine, HashPartitioner, JobConfig};
+use mr_core::{CombinerPolicy, Engine, HashPartitioner, JobConfig};
 use mr_workloads::TextWorkload;
 use std::collections::BTreeMap;
 
@@ -45,14 +45,23 @@ fn run_with(
     chunks: u64,
     faults: &[(f64, usize)],
 ) -> (bool, Option<BTreeMap<String, u64>>, usize, usize) {
+    run_with_combiner(engine, seed, chunks, faults, CombinerPolicy::Disabled)
+}
+
+fn run_with_combiner(
+    engine: Engine,
+    seed: u64,
+    chunks: u64,
+    faults: &[(f64, usize)],
+    combiner: CombinerPolicy,
+) -> (bool, Option<BTreeMap<String, u64>>, usize, usize) {
     let w = workload(seed);
-    let cfg = JobConfig::new(4)
-        .engine(engine)
-        .scratch_dir(std::env::temp_dir().join(format!(
-            "mr-fault-torture-{}-{seed}",
-            std::process::id()
-        )));
-    let report = SimExecutor::new(cluster(seed)).run_with_faults(
+    let mut params = cluster(seed);
+    params.combiner = combiner;
+    let cfg = JobConfig::new(4).engine(engine).scratch_dir(
+        std::env::temp_dir().join(format!("mr-fault-torture-{}-{seed}", std::process::id())),
+    );
+    let report = SimExecutor::new(params).run_with_faults(
         &WordCount,
         &FnInput(move |c| w.chunk(c)),
         chunks,
@@ -63,9 +72,16 @@ fn run_with(
     );
     let completed = report.outcome.is_completed();
     let output = report.output.map(|o| {
-        o.into_sorted_output().into_iter().collect::<BTreeMap<_, _>>()
+        o.into_sorted_output()
+            .into_iter()
+            .collect::<BTreeMap<_, _>>()
     });
-    (completed, output, report.map_tasks_run, report.reduce_tasks_run)
+    (
+        completed,
+        output,
+        report.map_tasks_run,
+        report.reduce_tasks_run,
+    )
 }
 
 #[test]
@@ -100,6 +116,39 @@ fn failure_during_every_phase_window() {
             expect,
             "failure at {fail_at}s corrupted output"
         );
+    }
+}
+
+#[test]
+fn node_death_mid_shuffle_with_combining_enabled() {
+    // The combiner changes what crosses the shuffle (combined partials,
+    // deterministically re-generated on map re-run). Killing a node
+    // while shuffle flows are in flight must still yield byte-exact
+    // output. With 30 s map CPU, maps finish (and shuffle flows run)
+    // from ~35 s on; sweep failure instants across that window, under
+    // both engines.
+    let chunks = 12u64;
+    let expect = reference(chunks, 77);
+    for engine in [Engine::Barrier, Engine::barrierless()] {
+        for fail_at in [40.0, 70.0, 100.0] {
+            let (completed, output, maps_run, reds_run) = run_with_combiner(
+                engine.clone(),
+                77,
+                chunks,
+                &[(fail_at, 1)],
+                CombinerPolicy::enabled(),
+            );
+            assert!(
+                completed,
+                "mid-shuffle failure at {fail_at}s killed the combined job under {engine:?}"
+            );
+            assert_eq!(
+                output.unwrap(),
+                expect,
+                "mid-shuffle failure at {fail_at}s corrupted combined output \
+                 under {engine:?} (maps_run={maps_run}, reds_run={reds_run})"
+            );
+        }
     }
 }
 

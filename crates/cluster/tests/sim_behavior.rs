@@ -258,8 +258,7 @@ fn node_failure_is_survived_with_correct_output() {
         );
         // Re-execution happened.
         assert!(
-            report.map_tasks_run > chunks as usize
-                || report.reduce_tasks_run > 4,
+            report.map_tasks_run > chunks as usize || report.reduce_tasks_run > 4,
             "no task was re-executed"
         );
         // And it cost time.
@@ -336,4 +335,83 @@ fn reducer_waves_when_oversubscribed() {
     assert_eq!(starts.len(), 6);
     // The 5th and 6th reducers start strictly later than the first four.
     assert!(starts[4] > starts[3], "no second wave observed: {starts:?}");
+}
+
+#[test]
+fn combiner_cuts_shuffle_bytes_with_identical_output() {
+    // Map-side combining must shrink the simulated shuffle volume (the
+    // cost model's nominal bytes scale with the real record reduction)
+    // and leave the job output byte-identical, under both engines.
+    let chunks = 12;
+    let expect = reference_counts(chunks, 5);
+    for engine in [Engine::Barrier, Engine::barrierless()] {
+        let mut bytes = Vec::new();
+        for combine in [false, true] {
+            let mut params = small_cluster(5);
+            if combine {
+                params.combiner = mr_core::CombinerPolicy::enabled();
+            }
+            let exec = SimExecutor::new(params);
+            let cfg = JobConfig::new(6)
+                .engine(engine.clone())
+                .scratch_dir(scratch("combine"));
+            let report = exec.run(
+                &WordCount,
+                &FnInput(wc_input(5)),
+                chunks,
+                &cfg,
+                &costs(),
+                &HashPartitioner,
+            );
+            assert!(report.outcome.is_completed(), "engine {engine:?} failed");
+            bytes.push(report.shuffle_bytes);
+            let out = report.output.unwrap();
+            if combine {
+                let counters = &out.counters;
+                assert!(
+                    counters.get(mr_core::counters::names::COMBINE_OUTPUT_RECORDS)
+                        < counters.get(mr_core::counters::names::COMBINE_INPUT_RECORDS),
+                    "combiner did not aggregate under {engine:?}"
+                );
+            }
+            let got: BTreeMap<String, u64> = out.into_sorted_output().into_iter().collect();
+            assert_eq!(got, expect, "engine {engine:?} combine={combine} wrong");
+        }
+        assert!(
+            bytes[1] < bytes[0],
+            "combining did not reduce shuffle bytes under {engine:?}: {} -> {}",
+            bytes[0],
+            bytes[1]
+        );
+    }
+}
+
+#[test]
+fn job_level_combiner_knob_works_without_cluster_knob() {
+    // JobConfig::combiner alone (cluster knob left Disabled) must also
+    // activate map-side combining in the simulator.
+    let chunks = 8;
+    let expect = reference_counts(chunks, 9);
+    let exec = SimExecutor::new(small_cluster(9));
+    let cfg = JobConfig::new(4)
+        .engine(Engine::barrierless())
+        .combiner(mr_core::CombinerPolicy::enabled())
+        .scratch_dir(scratch("combine-job-knob"));
+    let report = exec.run(
+        &WordCount,
+        &FnInput(wc_input(9)),
+        chunks,
+        &cfg,
+        &costs(),
+        &HashPartitioner,
+    );
+    assert!(report.outcome.is_completed());
+    let out = report.output.unwrap();
+    assert!(
+        out.counters
+            .get(mr_core::counters::names::COMBINE_INPUT_RECORDS)
+            > 0
+    );
+    let got: BTreeMap<String, u64> = out.into_sorted_output().into_iter().collect();
+    assert_eq!(got, expect);
 }

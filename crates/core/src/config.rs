@@ -1,7 +1,58 @@
 //! Job configuration: which engine, how many reducers, how partial
-//! results are stored.
+//! results are stored, and how the shuffle moves records.
 
 use std::path::PathBuf;
+
+/// Default map-side combiner byte budget (per map worker × reducer).
+pub const DEFAULT_COMBINER_BUDGET: u64 = 256 << 10;
+
+/// Default shuffle batch budget: how many buffered bytes a map worker
+/// accumulates per reducer before handing a batch to the transport.
+pub const DEFAULT_SHUFFLE_BATCH_BYTES: usize = 32 << 10;
+
+/// Map-side combining policy.
+///
+/// The combiner is *derived* from the barrier-less incremental form:
+/// `init`/`absorb` already compute a per-key partial result, so when an
+/// application opts in ([`combine_enabled`](crate::Application::combine_enabled))
+/// the map side can pre-aggregate its output under a byte budget and ship
+/// combined records instead of raw ones, cutting shuffle volume. The
+/// engines only combine when *both* the policy and the application allow
+/// it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CombinerPolicy {
+    /// No map-side combining: every map output record enters the shuffle.
+    Disabled,
+    /// Pre-aggregate per-key partials on the map side; when the buffered
+    /// partials exceed `budget_bytes` (modelled heap bytes) they are
+    /// drained into the shuffle early.
+    Enabled {
+        /// Combiner buffer budget in modelled heap bytes.
+        budget_bytes: u64,
+    },
+}
+
+impl CombinerPolicy {
+    /// Combining with the default byte budget.
+    pub fn enabled() -> Self {
+        CombinerPolicy::Enabled {
+            budget_bytes: DEFAULT_COMBINER_BUDGET,
+        }
+    }
+
+    /// True unless the policy is [`CombinerPolicy::Disabled`].
+    pub fn is_enabled(&self) -> bool {
+        matches!(self, CombinerPolicy::Enabled { .. })
+    }
+
+    /// The byte budget, if combining is enabled.
+    pub fn budget_bytes(&self) -> Option<u64> {
+        match self {
+            CombinerPolicy::Disabled => None,
+            CombinerPolicy::Enabled { budget_bytes } => Some(*budget_bytes),
+        }
+    }
+}
 
 /// How the barrier-less engine stores partial results (§5).
 #[derive(Debug, Clone, PartialEq)]
@@ -62,6 +113,15 @@ pub struct JobConfig {
     pub heap_scale: f64,
     /// Directory for spill files and KV-store segments.
     pub scratch_dir: PathBuf,
+    /// Map-side combining policy. Only applications that return `true`
+    /// from [`combine_enabled`](crate::Application::combine_enabled)
+    /// actually combine; for the rest this is a no-op.
+    pub combiner: CombinerPolicy,
+    /// Byte budget a map worker buffers per reducer before handing a
+    /// record batch to the shuffle transport (the local executor's
+    /// batched channels). Per-record shuffle overhead amortizes over
+    /// roughly `batch_bytes / record_bytes` records.
+    pub shuffle_batch_bytes: usize,
     /// Seed for anything stochastic inside the engines (none today, but
     /// carried so runs stay reproducible end to end).
     pub seed: u64,
@@ -77,6 +137,8 @@ impl JobConfig {
             heap_cap_bytes: None,
             heap_scale: 1.0,
             scratch_dir: std::env::temp_dir().join("mr-scratch"),
+            combiner: CombinerPolicy::Disabled,
+            shuffle_batch_bytes: DEFAULT_SHUFFLE_BATCH_BYTES,
             seed: 0,
         }
     }
@@ -103,6 +165,19 @@ impl JobConfig {
     /// Sets the scratch directory.
     pub fn scratch_dir(mut self, dir: impl Into<PathBuf>) -> Self {
         self.scratch_dir = dir.into();
+        self
+    }
+
+    /// Sets the map-side combining policy.
+    pub fn combiner(mut self, policy: CombinerPolicy) -> Self {
+        self.combiner = policy;
+        self
+    }
+
+    /// Sets the shuffle transport batch budget in bytes.
+    pub fn shuffle_batch_bytes(mut self, bytes: usize) -> Self {
+        assert!(bytes >= 1);
+        self.shuffle_batch_bytes = bytes;
         self
     }
 
@@ -139,5 +214,19 @@ mod tests {
     #[test]
     fn default_is_barrier() {
         assert_eq!(JobConfig::new(1).engine, Engine::Barrier);
+    }
+
+    #[test]
+    fn combining_is_off_by_default() {
+        let cfg = JobConfig::new(1);
+        assert_eq!(cfg.combiner, CombinerPolicy::Disabled);
+        assert!(!cfg.combiner.is_enabled());
+        assert_eq!(cfg.shuffle_batch_bytes, DEFAULT_SHUFFLE_BATCH_BYTES);
+        let cfg = cfg
+            .combiner(CombinerPolicy::enabled())
+            .shuffle_batch_bytes(1 << 10);
+        assert!(cfg.combiner.is_enabled());
+        assert_eq!(cfg.combiner.budget_bytes(), Some(DEFAULT_COMBINER_BUDGET));
+        assert_eq!(cfg.shuffle_batch_bytes, 1 << 10);
     }
 }

@@ -17,6 +17,14 @@ pub mod names {
     pub const MAP_OUTPUT_RECORDS: &str = "map.output.records";
     /// Records consumed by the reduce side.
     pub const REDUCE_INPUT_RECORDS: &str = "reduce.input.records";
+    /// Raw map-output records fed into map-side combiners.
+    pub const COMBINE_INPUT_RECORDS: &str = "combine.input.records";
+    /// Combined records the combiners emitted into the shuffle.
+    pub const COMBINE_OUTPUT_RECORDS: &str = "combine.output.records";
+    /// Record batches handed to the shuffle transport (local executor).
+    pub const SHUFFLE_BATCHES: &str = "shuffle.batches";
+    /// Records that actually crossed the shuffle (post-combine).
+    pub const SHUFFLE_RECORDS: &str = "shuffle.records";
     /// Records written to job output.
     pub const REDUCE_OUTPUT_RECORDS: &str = "reduce.output.records";
     /// Distinct key groups reduced (barrier engine).

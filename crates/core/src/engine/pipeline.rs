@@ -273,7 +273,9 @@ mod tests {
         }
         assert!(driver.modelled_bytes() > 0);
         assert_eq!(driver.entries(), 100);
-        let report = driver.finish(&WordCountApp, &mut Counters::new(), &mut out).unwrap();
+        let report = driver
+            .finish(&WordCountApp, &mut Counters::new(), &mut out)
+            .unwrap();
         assert_eq!(report.store.peak_entries, 100);
     }
 }

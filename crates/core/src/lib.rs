@@ -22,6 +22,7 @@
 //! paper's figures.
 
 pub mod codec;
+pub mod combine;
 pub mod config;
 pub mod counters;
 pub mod engine;
@@ -37,7 +38,8 @@ pub mod traits;
 pub(crate) mod testutil;
 
 pub use codec::{Codec, CodecError};
-pub use config::{Engine, JobConfig, MemoryPolicy};
+pub use combine::CombinerBuffer;
+pub use config::{CombinerPolicy, Engine, JobConfig, MemoryPolicy};
 pub use counters::Counters;
 pub use error::{MrError, MrResult};
 pub use output::JobOutput;

@@ -3,13 +3,25 @@
 //! Runs a job for real on OS threads — not a simulation. Under the
 //! barrier engine, the map phase completes, per-partition record vectors
 //! are handed to parallel reduce tasks, and each reduce sorts-then-groups.
-//! Under the barrier-less engine, mappers *stream* records into bounded
+//! Under the barrier-less engine, mappers stream records into bounded
 //! per-reducer channels while reducer threads absorb them concurrently —
 //! genuine map/reduce pipelining on multicore, the local analogue of the
 //! paper's overlapped shuffle.
+//!
+//! The shuffle transport is **batched**: each map worker buffers records
+//! per reducer under [`JobConfig::shuffle_batch_bytes`] and hands whole
+//! batches to the channel, so the per-record cost of the hot path is one
+//! `Vec` push instead of one channel rendezvous. Back-pressure is
+//! preserved — the batch channels are bounded, and a full reducer still
+//! stalls its mappers. When the application opts into map-side combining
+//! ([`Application::combine_enabled`]), those per-reducer buffers become
+//! [`CombinerBuffer`]s: records are pre-aggregated under the combiner
+//! byte budget and the shuffle carries combined partials instead of raw
+//! records.
 
 pub mod memo;
 
+use crate::combine::CombinerBuffer;
 use crate::config::{Engine, JobConfig};
 use crate::counters::{names, Counters};
 use crate::engine::barrier::reduce_partition_barrier;
@@ -18,15 +30,23 @@ use crate::engine::DriverReport;
 use crate::error::{MrError, MrResult};
 use crate::output::JobOutput;
 use crate::partition::{HashPartitioner, Partitioner};
+use crate::size::SizeEstimate;
 use crate::traits::{Application, FnEmit};
 use crossbeam::channel::{bounded, Receiver, Sender};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
-/// Bounded shuffle-channel depth per reducer (records). Deep enough to
-/// decouple bursts, shallow enough to exert back-pressure like a real
-/// shuffle buffer.
-const CHANNEL_DEPTH: usize = 8192;
+/// Bounded shuffle-channel depth per reducer, in *batches*. With the
+/// default 32 KiB batch budget this keeps roughly 2 MiB in flight per
+/// reducer — deep enough to decouple bursts, shallow enough to exert
+/// back-pressure like a real shuffle buffer.
+const BATCH_CHANNEL_DEPTH: usize = 64;
+
+/// Whether this job should run the map-side combiner: policy says yes,
+/// the application opted in, and it keeps per-key state to combine.
+fn combining_active<A: Application>(app: &A, cfg: &JobConfig) -> bool {
+    cfg.combiner.is_enabled() && app.combine_enabled() && app.uses_keyed_state()
+}
 
 /// Executes jobs on local OS threads.
 #[derive(Debug, Clone)]
@@ -146,9 +166,15 @@ impl LocalRunner {
     ) -> MrResult<JobOutput<A>> {
         let reducers = cfg.reducers;
         let n_splits = splits.len();
+        let combining = combining_active(app, cfg);
+        let combine_budget = cfg.combiner.budget_bytes().unwrap_or(0) as usize;
         // Map phase: workers claim splits by index so per-split output
-        // lands in a deterministic slot regardless of scheduling.
-        type MapSlot<A> = Option<Vec<Vec<(<A as Application>::MapKey, <A as Application>::MapValue)>>>;
+        // lands in a deterministic slot regardless of scheduling. With
+        // combining, each split's output is pre-aggregated per reducer
+        // before landing in its slot (combiners are per-split so slot
+        // contents stay deterministic).
+        type MapSlot<A> =
+            Option<Vec<Vec<(<A as Application>::MapKey, <A as Application>::MapValue)>>>;
         let slots: Vec<Mutex<MapSlot<A>>> = (0..n_splits).map(|_| Mutex::new(None)).collect();
         let next = AtomicUsize::new(0);
         let map_counters = Mutex::new(Counters::new());
@@ -169,7 +195,29 @@ impl LocalRunner {
                         }
                         let mut parts: Vec<Vec<(A::MapKey, A::MapValue)>> =
                             (0..reducers).map(|_| Vec::new()).collect();
-                        {
+                        if combining {
+                            let mut combs: Vec<CombinerBuffer<A>> = (0..reducers)
+                                .map(|_| CombinerBuffer::new(app, combine_budget))
+                                .collect();
+                            {
+                                let mut emit = FnEmit(|k: A::MapKey, v: A::MapValue| {
+                                    local_counters.incr(names::MAP_OUTPUT_RECORDS);
+                                    let p = partitioner.partition(&k, reducers);
+                                    let sink = &mut parts[p];
+                                    combs[p].push(app, k, v, &mut |k2, v2| sink.push((k2, v2)));
+                                });
+                                for (k, v) in &splits[idx] {
+                                    app.map(k, v, &mut emit);
+                                }
+                            }
+                            for (p, comb) in combs.iter_mut().enumerate() {
+                                let sink = &mut parts[p];
+                                comb.drain(app, &mut |k, v| sink.push((k, v)));
+                                local_counters.add(names::COMBINE_INPUT_RECORDS, comb.records_in());
+                                local_counters
+                                    .add(names::COMBINE_OUTPUT_RECORDS, comb.records_out());
+                            }
+                        } else {
                             let mut emit = FnEmit(|k: A::MapKey, v: A::MapValue| {
                                 local_counters.incr(names::MAP_OUTPUT_RECORDS);
                                 let p = partitioner.partition(&k, reducers);
@@ -185,9 +233,8 @@ impl LocalRunner {
                 }));
             }
             for h in handles {
-                h.join().map_err(|_| {
-                    MrError::WorkerPanic("map worker panicked".to_string())
-                })?;
+                h.join()
+                    .map_err(|_| MrError::WorkerPanic("map worker panicked".to_string()))?;
             }
             Ok::<(), MrError>(())
         })?;
@@ -196,10 +243,7 @@ impl LocalRunner {
         let mut partitions: Vec<Vec<(A::MapKey, A::MapValue)>> =
             (0..reducers).map(|_| Vec::new()).collect();
         for slot in slots {
-            let parts = slot
-                .into_inner()
-                .unwrap()
-                .expect("every split was mapped");
+            let parts = slot.into_inner().unwrap().expect("every split was mapped");
             for (p, mut records) in parts.into_iter().enumerate() {
                 partitions[p].append(&mut records);
             }
@@ -207,13 +251,20 @@ impl LocalRunner {
 
         // Reduce phase: one task per partition, run in parallel.
         type ReduceSlot<A> = Mutex<
-            Option<MrResult<(Vec<(<A as Application>::OutKey, <A as Application>::OutValue)>, Counters)>>,
+            Option<
+                MrResult<(
+                    Vec<(<A as Application>::OutKey, <A as Application>::OutValue)>,
+                    Counters,
+                )>,
+            >,
         >;
         type PartitionSlot<A> =
             Mutex<Option<Vec<(<A as Application>::MapKey, <A as Application>::MapValue)>>>;
         let results: Vec<ReduceSlot<A>> = (0..reducers).map(|_| Mutex::new(None)).collect();
-        let partitions: Vec<PartitionSlot<A>> =
-            partitions.into_iter().map(|p| Mutex::new(Some(p))).collect();
+        let partitions: Vec<PartitionSlot<A>> = partitions
+            .into_iter()
+            .map(|p| Mutex::new(Some(p)))
+            .collect();
         let next_part = AtomicUsize::new(0);
         std::thread::scope(|scope| {
             let mut handles = Vec::new();
@@ -266,10 +317,14 @@ impl LocalRunner {
     ) -> MrResult<JobOutput<A>> {
         let reducers = cfg.reducers;
         let n_splits = splits.len();
-        let mut senders: Vec<Sender<(A::MapKey, A::MapValue)>> = Vec::with_capacity(reducers);
-        let mut receivers: Vec<Receiver<(A::MapKey, A::MapValue)>> = Vec::with_capacity(reducers);
+        let combining = combining_active(app, cfg);
+        let combine_budget = cfg.combiner.budget_bytes().unwrap_or(0) as usize;
+        let batch_bytes = cfg.shuffle_batch_bytes;
+        type Batch<A> = Vec<(<A as Application>::MapKey, <A as Application>::MapValue)>;
+        let mut senders: Vec<Sender<Batch<A>>> = Vec::with_capacity(reducers);
+        let mut receivers: Vec<Receiver<Batch<A>>> = Vec::with_capacity(reducers);
         for _ in 0..reducers {
-            let (tx, rx) = bounded(CHANNEL_DEPTH);
+            let (tx, rx) = bounded(BATCH_CHANNEL_DEPTH);
             senders.push(tx);
             receivers.push(rx);
         }
@@ -295,21 +350,25 @@ impl LocalRunner {
                         let mut driver = IncrementalDriver::new(app, cfg_ref, r)?;
                         let mut out = Vec::new();
                         let mut counters = Counters::new();
-                        for (k, v) in rx.iter() {
-                            driver.push(app, k, v, &mut out)?;
+                        for batch in rx.iter() {
+                            for (k, v) in batch {
+                                driver.push(app, k, v, &mut out)?;
+                            }
                         }
                         let report = driver.finish(app, &mut counters, &mut out)?;
                         counters.add(names::REDUCE_OUTPUT_RECORDS, out.len() as u64);
                         Ok((out, report, counters))
                     };
                     let result = run();
-                    // On failure, drain the channel so mappers never block
-                    // on a full buffer with no consumer.
+                    // On failure the receiver is dropped here, which
+                    // disconnects the channel: blocked mappers get a send
+                    // error instead of waiting on a consumer that's gone.
                     *reduce_slots[r].lock().unwrap() = Some(result);
                 }));
             }
 
-            // Mappers stream records straight into reducer channels.
+            // Mappers fold records into per-reducer shuffle buffers and
+            // hand full batches to the channels.
             let mut map_handles = Vec::new();
             for _ in 0..self.map_threads.min(n_splits.max(1)) {
                 let splits = &splits;
@@ -318,23 +377,60 @@ impl LocalRunner {
                 let map_counters = &map_counters;
                 map_handles.push(scope.spawn(move || {
                     let mut local_counters = Counters::new();
-                    'outer: loop {
+                    let mut dead = false;
+                    // Per-reducer buffers live for the whole worker: a
+                    // batch may span splits, amortizing flushes.
+                    let mut plain: Vec<Batch<A>> = (0..reducers).map(|_| Vec::new()).collect();
+                    let mut plain_bytes: Vec<usize> = vec![0; reducers];
+                    let mut combs: Vec<CombinerBuffer<A>> = if combining {
+                        (0..reducers)
+                            .map(|_| CombinerBuffer::new(app, combine_budget))
+                            .collect()
+                    } else {
+                        Vec::new()
+                    };
+                    loop {
                         let idx = next.fetch_add(1, Ordering::Relaxed);
                         if idx >= n_splits {
                             break;
                         }
-                        let mut dead = false;
                         {
+                            let senders = &senders;
                             let mut emit = FnEmit(|k: A::MapKey, v: A::MapValue| {
                                 if dead {
                                     return;
                                 }
                                 local_counters.incr(names::MAP_OUTPUT_RECORDS);
                                 let p = partitioner.partition(&k, reducers);
-                                // A send error means the reducer died (e.g.
-                                // OOM): the job is failing, stop producing.
-                                if senders[p].send((k, v)).is_err() {
-                                    dead = true;
+                                let batch = if combining {
+                                    // Fold into the combiner; it drains a
+                                    // combined batch when over budget.
+                                    let mut drained: Batch<A> = Vec::new();
+                                    combs[p].push(app, k, v, &mut |k2, v2| drained.push((k2, v2)));
+                                    if drained.is_empty() {
+                                        None
+                                    } else {
+                                        Some(drained)
+                                    }
+                                } else {
+                                    plain_bytes[p] += k.estimated_bytes() + v.estimated_bytes();
+                                    plain[p].push((k, v));
+                                    if plain_bytes[p] >= batch_bytes {
+                                        plain_bytes[p] = 0;
+                                        Some(std::mem::take(&mut plain[p]))
+                                    } else {
+                                        None
+                                    }
+                                };
+                                if let Some(batch) = batch {
+                                    local_counters.incr(names::SHUFFLE_BATCHES);
+                                    local_counters.add(names::SHUFFLE_RECORDS, batch.len() as u64);
+                                    // A send error means the reducer died
+                                    // (e.g. OOM): the job is failing, stop
+                                    // producing.
+                                    if senders[p].send(batch).is_err() {
+                                        dead = true;
+                                    }
                                 }
                             });
                             for (k, v) in &splits[idx] {
@@ -342,8 +438,29 @@ impl LocalRunner {
                             }
                         }
                         if dead {
-                            break 'outer;
+                            break;
                         }
+                    }
+                    // End of this worker's splits: flush every buffer.
+                    for p in 0..reducers {
+                        if dead {
+                            break;
+                        }
+                        let mut batch: Batch<A> = std::mem::take(&mut plain[p]);
+                        if combining {
+                            combs[p].drain(app, &mut |k, v| batch.push((k, v)));
+                        }
+                        if !batch.is_empty() {
+                            local_counters.incr(names::SHUFFLE_BATCHES);
+                            local_counters.add(names::SHUFFLE_RECORDS, batch.len() as u64);
+                            if senders[p].send(batch).is_err() {
+                                dead = true;
+                            }
+                        }
+                    }
+                    for comb in &combs {
+                        local_counters.add(names::COMBINE_INPUT_RECORDS, comb.records_in());
+                        local_counters.add(names::COMBINE_OUTPUT_RECORDS, comb.records_out());
                     }
                     map_counters.lock().unwrap().merge(&local_counters);
                 }));
@@ -365,10 +482,8 @@ impl LocalRunner {
         let mut outputs = Vec::with_capacity(reducers);
         let mut reports = Vec::with_capacity(reducers);
         for slot in reduce_slots {
-            let (out, report, task_counters) = slot
-                .into_inner()
-                .unwrap()
-                .expect("every reducer ran")?;
+            let (out, report, task_counters) =
+                slot.into_inner().unwrap().expect("every reducer ran")?;
             counters.merge(&task_counters);
             outputs.push(out);
             reports.push(report);
@@ -425,7 +540,9 @@ mod tests {
         let splits = text_splits(6, 40);
         let expect = expected_counts(&splits);
         let cfg = JobConfig::new(4);
-        let out = LocalRunner::new(4).run(&WordCountApp, splits, &cfg).unwrap();
+        let out = LocalRunner::new(4)
+            .run(&WordCountApp, splits, &cfg)
+            .unwrap();
         assert_eq!(out.counters.get(names::MAP_OUTPUT_RECORDS), 6 * 40 * 3);
         let got: BTreeMap<String, u64> = out.into_sorted_output().into_iter().collect();
         assert_eq!(got, expect);
@@ -437,11 +554,15 @@ mod tests {
         let expect = expected_counts(&splits);
         for policy in [
             MemoryPolicy::InMemory,
-            MemoryPolicy::SpillMerge { threshold_bytes: 512 },
+            MemoryPolicy::SpillMerge {
+                threshold_bytes: 512,
+            },
             MemoryPolicy::KvStore { cache_bytes: 1024 },
         ] {
             let cfg = JobConfig::new(3)
-                .engine(Engine::BarrierLess { memory: policy.clone() })
+                .engine(Engine::BarrierLess {
+                    memory: policy.clone(),
+                })
                 .scratch_dir(scratch_dir("local-eq"));
             let out = LocalRunner::new(4)
                 .run(&WordCountApp, splits.clone(), &cfg)
@@ -483,7 +604,9 @@ mod tests {
     fn single_split_single_reducer() {
         let splits = vec![vec![(0u64, "a a b".to_string())]];
         let cfg = JobConfig::new(1).engine(Engine::barrierless());
-        let out = LocalRunner::new(1).run(&WordCountApp, splits, &cfg).unwrap();
+        let out = LocalRunner::new(1)
+            .run(&WordCountApp, splits, &cfg)
+            .unwrap();
         assert_eq!(
             out.into_sorted_output(),
             vec![("a".to_string(), 2), ("b".to_string(), 1)]
@@ -505,10 +628,94 @@ mod tests {
     }
 
     #[test]
+    fn combiner_cuts_shuffle_records_without_changing_output() {
+        let splits = text_splits(6, 50);
+        let expect = expected_counts(&splits);
+        for engine in [Engine::Barrier, Engine::barrierless()] {
+            let plain_cfg = JobConfig::new(3).engine(engine.clone());
+            let plain = LocalRunner::new(4)
+                .run(&WordCountApp, splits.clone(), &plain_cfg)
+                .unwrap();
+            let comb_cfg = JobConfig::new(3)
+                .engine(engine.clone())
+                .combiner(crate::config::CombinerPolicy::enabled());
+            let combined = LocalRunner::new(4)
+                .run(&WordCountApp, splits.clone(), &comb_cfg)
+                .unwrap();
+            // Byte-exact output invariant.
+            let got: BTreeMap<String, u64> =
+                combined.partitions.iter().flatten().cloned().collect();
+            assert_eq!(got, expect, "engine {engine:?} with combiner diverged");
+            // The combiner really ran and really pre-aggregated: raw map
+            // output (10-word vocab × many lines) collapses to ~vocab
+            // records per map worker × reducer.
+            assert_eq!(
+                combined.counters.get(names::COMBINE_INPUT_RECORDS),
+                plain.counters.get(names::MAP_OUTPUT_RECORDS)
+            );
+            assert!(
+                combined.counters.get(names::COMBINE_OUTPUT_RECORDS)
+                    < combined.counters.get(names::COMBINE_INPUT_RECORDS) / 2,
+                "combining barely reduced records: {} -> {}",
+                combined.counters.get(names::COMBINE_INPUT_RECORDS),
+                combined.counters.get(names::COMBINE_OUTPUT_RECORDS)
+            );
+            if engine != Engine::Barrier {
+                // Only combined records crossed the shuffle transport.
+                assert_eq!(
+                    combined.counters.get(names::SHUFFLE_RECORDS),
+                    combined.counters.get(names::COMBINE_OUTPUT_RECORDS)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn one_record_batches_still_deliver_everything() {
+        // Degenerate batch budget: every record flushes its own batch —
+        // the transport must stay correct, just slower.
+        let splits = text_splits(4, 30);
+        let expect = expected_counts(&splits);
+        let cfg = JobConfig::new(3)
+            .engine(Engine::barrierless())
+            .shuffle_batch_bytes(1);
+        let out = LocalRunner::new(3)
+            .run(&WordCountApp, splits, &cfg)
+            .unwrap();
+        assert_eq!(
+            out.counters.get(names::SHUFFLE_RECORDS),
+            out.counters.get(names::MAP_OUTPUT_RECORDS)
+        );
+        assert_eq!(
+            out.counters.get(names::SHUFFLE_BATCHES),
+            out.counters.get(names::SHUFFLE_RECORDS)
+        );
+        let got: BTreeMap<String, u64> = out.into_sorted_output().into_iter().collect();
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn tiny_combiner_budget_spills_partials_and_stays_correct() {
+        let splits = text_splits(5, 40);
+        let expect = expected_counts(&splits);
+        let cfg = JobConfig::new(2)
+            .engine(Engine::barrierless())
+            .combiner(crate::config::CombinerPolicy::Enabled { budget_bytes: 64 });
+        let out = LocalRunner::new(4)
+            .run(&WordCountApp, splits, &cfg)
+            .unwrap();
+        assert!(out.counters.get(names::COMBINE_OUTPUT_RECORDS) > 0);
+        let got: BTreeMap<String, u64> = out.into_sorted_output().into_iter().collect();
+        assert_eq!(got, expect);
+    }
+
+    #[test]
     fn many_reducers_more_than_keys() {
         let splits = vec![vec![(0u64, "only two".to_string())]];
         let cfg = JobConfig::new(16).engine(Engine::barrierless());
-        let out = LocalRunner::new(2).run(&WordCountApp, splits, &cfg).unwrap();
+        let out = LocalRunner::new(2)
+            .run(&WordCountApp, splits, &cfg)
+            .unwrap();
         assert_eq!(out.record_count(), 2);
         assert_eq!(out.partitions.len(), 16);
     }

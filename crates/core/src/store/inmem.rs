@@ -74,9 +74,8 @@ impl<A: Application> PartialStore<A> for InMemoryStore<A> {
             Some(state) => state,
             None => {
                 let fresh = app.init(&key);
-                self.raw_bytes += (key.estimated_bytes()
-                    + fresh.estimated_bytes()
-                    + ENTRY_OVERHEAD) as u64;
+                self.raw_bytes +=
+                    (key.estimated_bytes() + fresh.estimated_bytes() + ENTRY_OVERHEAD) as u64;
                 self.map.entry(key.clone()).or_insert(fresh)
             }
         };

@@ -47,10 +47,7 @@ impl<A: Application> SpillMergeStore<A> {
         reducer: usize,
     ) -> MrResult<Self> {
         let serial = SPILL_SERIAL.fetch_add(1, Ordering::Relaxed);
-        let dir = scratch_dir.join(format!(
-            "spill-{}-r{reducer}-{serial}",
-            std::process::id()
-        ));
+        let dir = scratch_dir.join(format!("spill-{}-r{reducer}-{serial}", std::process::id()));
         std::fs::create_dir_all(&dir)?;
         Ok(SpillMergeStore {
             map: BTreeMap::new(),

@@ -73,6 +73,14 @@ impl Application for WordCountApp {
         out.emit(key, state);
     }
 
+    fn combine_enabled(&self) -> bool {
+        true
+    }
+
+    fn combiner_emit(&self, key: &String, state: u64, out: &mut dyn Emit<String, u64>) {
+        out.emit(key.clone(), state);
+    }
+
     fn name(&self) -> &'static str {
         "test-wordcount"
     }

@@ -139,11 +139,7 @@ pub trait Application: Send + Sync + 'static {
     );
 
     /// Flushes shared state at end of task (window remnants, running sums).
-    fn flush_shared(
-        &self,
-        shared: Self::Shared,
-        out: &mut dyn Emit<Self::OutKey, Self::OutValue>,
-    ) {
+    fn flush_shared(&self, shared: Self::Shared, out: &mut dyn Emit<Self::OutKey, Self::OutValue>) {
         let _ = (shared, out);
     }
 
@@ -170,6 +166,43 @@ pub trait Application: Send + Sync + 'static {
     /// engine must pay for it in the Reduce function.
     fn requires_sorted_output(&self) -> bool {
         false
+    }
+
+    /// Whether the map side may pre-aggregate this application's records
+    /// with a combiner derived from the incremental form (the paper notes
+    /// `merge` "is often functionally the same as the combiner", §5.1).
+    ///
+    /// Returning `true` is a contract with three clauses, all required
+    /// for the byte-exact output invariant to survive combining:
+    ///
+    /// 1. [`absorb`](Application::absorb) is a *pure fold* into
+    ///    `State` — it emits no output and ignores `shared`;
+    /// 2. absorbing values is order-insensitive (the combiner reorders
+    ///    records within a map task);
+    /// 3. [`combiner_emit`](Application::combiner_emit) re-encodes a
+    ///    partial result as shuffle records that, absorbed or grouped
+    ///    downstream, yield exactly the output the raw records would
+    ///    have. Deterministic emission order is required so re-run map
+    ///    tasks reproduce identical output for fault recovery.
+    ///
+    /// Requires [`uses_keyed_state`](Application::uses_keyed_state);
+    /// unkeyed applications have nothing to combine per key.
+    fn combine_enabled(&self) -> bool {
+        false
+    }
+
+    /// Converts one combined partial result back into shuffle records.
+    /// Called when the map-side [`CombinerBuffer`](crate::combine::CombinerBuffer)
+    /// drains; must be overridden by applications returning `true` from
+    /// [`combine_enabled`](Application::combine_enabled).
+    fn combiner_emit(
+        &self,
+        key: &Self::MapKey,
+        state: Self::State,
+        out: &mut dyn Emit<Self::MapKey, Self::MapValue>,
+    ) {
+        let _ = (key, state, out);
+        unimplemented!("combine_enabled() applications must implement combiner_emit()")
     }
 
     /// Human-readable name for reports.

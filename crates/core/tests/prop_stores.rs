@@ -47,7 +47,14 @@ impl Application for MaxTracker {
     fn init(&self, _k: &u32) -> Vec<i64> {
         Vec::new()
     }
-    fn absorb(&self, _k: &u32, state: &mut Vec<i64>, v: i64, _s: &mut (), _o: &mut dyn Emit<u32, i64>) {
+    fn absorb(
+        &self,
+        _k: &u32,
+        state: &mut Vec<i64>,
+        v: i64,
+        _s: &mut (),
+        _o: &mut dyn Emit<u32, i64>,
+    ) {
         let pos = state.partition_point(|&x| x >= v);
         state.insert(pos, v);
         state.truncate(3);
@@ -67,21 +74,13 @@ impl Application for MaxTracker {
     }
 }
 
-fn run_policy(
-    records: &[(u32, i64)],
-    policy: MemoryPolicy,
-) -> Vec<(u32, i64)> {
+fn run_policy(records: &[(u32, i64)], policy: MemoryPolicy) -> Vec<(u32, i64)> {
     let cfg = JobConfig::new(1)
         .engine(Engine::BarrierLess { memory: policy })
         .scratch_dir(scratch());
-    let (out, _) = reduce_partition_barrierless(
-        &MaxTracker,
-        &cfg,
-        0,
-        records.to_vec(),
-        &mut Counters::new(),
-    )
-    .expect("run");
+    let (out, _) =
+        reduce_partition_barrierless(&MaxTracker, &cfg, 0, records.to_vec(), &mut Counters::new())
+            .expect("run");
     out
 }
 

@@ -164,8 +164,14 @@ mod tests {
         assert!(w.is_flushed_past(o3));
 
         let mut r = SegmentReader::open(&dir, SegmentId(0)).unwrap();
-        assert_eq!(r.read_at(o1).unwrap(), (b"alpha".to_vec(), Some(b"1".to_vec())));
-        assert_eq!(r.read_at(o2).unwrap(), (b"beta".to_vec(), Some(b"two".to_vec())));
+        assert_eq!(
+            r.read_at(o1).unwrap(),
+            (b"alpha".to_vec(), Some(b"1".to_vec()))
+        );
+        assert_eq!(
+            r.read_at(o2).unwrap(),
+            (b"beta".to_vec(), Some(b"two".to_vec()))
+        );
         assert_eq!(r.read_at(o3).unwrap(), (b"alpha".to_vec(), None));
         std::fs::remove_dir_all(&dir).ok();
     }

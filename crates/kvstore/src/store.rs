@@ -100,7 +100,13 @@ impl Store {
             for (offset, key, value) in reader.scan()? {
                 match value {
                     Some(_) => {
-                        index.insert(key.into_boxed_slice(), Loc { segment: seg, offset });
+                        index.insert(
+                            key.into_boxed_slice(),
+                            Loc {
+                                segment: seg,
+                                offset,
+                            },
+                        );
                     }
                     None => {
                         index.remove(key.as_slice());
@@ -464,7 +470,8 @@ mod tests {
         // Overwrite the same small key set many times: log >> live data.
         for round in 0..200u32 {
             for k in 0..10u32 {
-                kv.put(&k.to_le_bytes(), &(round * k).to_le_bytes()).unwrap();
+                kv.put(&k.to_le_bytes(), &(round * k).to_le_bytes())
+                    .unwrap();
             }
         }
         let before_segments = kv.segment_count();

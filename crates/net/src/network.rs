@@ -41,7 +41,10 @@ impl NetworkConfig {
 
     /// Effective per-direction NIC rate.
     pub fn effective_rate(&self) -> f64 {
-        assert!(self.oversubscription >= 1.0, "oversubscription must be >= 1");
+        assert!(
+            self.oversubscription >= 1.0,
+            "oversubscription must be >= 1"
+        );
         self.link_bytes_per_sec / self.oversubscription
     }
 }
@@ -109,7 +112,14 @@ impl<T> Network<T> {
     ///
     /// Same-node transfers complete immediately (they are served by the
     /// local disk, which the caller models separately).
-    pub fn start_flow(&mut self, now: SimTime, src: NodeId, dst: NodeId, bytes: u64, tag: T) -> FlowHandle {
+    pub fn start_flow(
+        &mut self,
+        now: SimTime,
+        src: NodeId,
+        dst: NodeId,
+        bytes: u64,
+        tag: T,
+    ) -> FlowHandle {
         let handle = FlowHandle(self.next_handle);
         self.next_handle += 1;
         if src == dst || bytes == 0 {
@@ -292,7 +302,13 @@ mod tests {
     #[test]
     fn loopback_completes_immediately() {
         let mut n = net(2, 1.0);
-        n.start_flow(SimTime::from_secs(3), NodeId(1), NodeId(1), 100 * MB, "local");
+        n.start_flow(
+            SimTime::from_secs(3),
+            NodeId(1),
+            NodeId(1),
+            100 * MB,
+            "local",
+        );
         assert_eq!(n.next_event_time(), Some(SimTime::from_secs(3)));
         let done = n.advance_to(SimTime::from_secs(3));
         assert_eq!(done.len(), 1);

@@ -165,7 +165,10 @@ mod tests {
         assert_eq!(t, SimTime::from_secs(15));
         assert_eq!(t - SimTime::from_secs(12), SimDuration::from_secs(3));
         // Saturating subtraction: never goes negative.
-        assert_eq!(SimTime::from_secs(1) - SimTime::from_secs(5), SimDuration::ZERO);
+        assert_eq!(
+            SimTime::from_secs(1) - SimTime::from_secs(5),
+            SimDuration::ZERO
+        );
         let mut u = SimTime::ZERO;
         u += SimDuration::from_secs(7);
         assert_eq!(u, SimTime::from_secs(7));

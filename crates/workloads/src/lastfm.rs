@@ -39,10 +39,7 @@ impl LastFmWorkload {
             .map(|i| {
                 (
                     base + i as u64,
-                    (
-                        rng.gen_range(0..self.users),
-                        rng.gen_range(0..self.tracks),
-                    ),
+                    (rng.gen_range(0..self.users), rng.gen_range(0..self.tracks)),
                 )
             })
             .collect()

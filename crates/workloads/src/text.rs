@@ -110,7 +110,10 @@ mod tests {
         }
         let top = counts.get(&TextWorkload::word(1)).copied().unwrap_or(0);
         let median_rank = counts.get(&TextWorkload::word(500)).copied().unwrap_or(0);
-        assert!(top > 50 * median_rank.max(1) / 10, "top {top}, mid {median_rank}");
+        assert!(
+            top > 50 * median_rank.max(1) / 10,
+            "top {top}, mid {median_rank}"
+        );
     }
 
     #[test]

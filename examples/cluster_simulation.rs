@@ -17,6 +17,7 @@ fn main() {
         map_cpu_per_chunk: 45.0,
         shuffle_selectivity: 1.0,
         reduce_cpu_per_record: 5.0e-4,
+        combine_cpu_per_record: 2.0e-4,
         absorb_extra_per_record: 0.0,
         kv_cpu_per_record: 0.03,
         sort_cpu_coeff: 3.2e-4,

@@ -35,7 +35,13 @@ impl Application for ErrorsPerService {
 
     fn new_shared(&self) {}
 
-    fn reduce_grouped(&self, k: &String, v: Vec<u64>, _s: &mut (), out: &mut dyn Emit<String, u64>) {
+    fn reduce_grouped(
+        &self,
+        k: &String,
+        v: Vec<u64>,
+        _s: &mut (),
+        out: &mut dyn Emit<String, u64>,
+    ) {
         out.emit(k.clone(), v.iter().sum());
     }
 
@@ -43,7 +49,14 @@ impl Application for ErrorsPerService {
         0
     }
 
-    fn absorb(&self, _k: &String, state: &mut u64, v: u64, _s: &mut (), _o: &mut dyn Emit<String, u64>) {
+    fn absorb(
+        &self,
+        _k: &String,
+        state: &mut u64,
+        v: u64,
+        _s: &mut (),
+        _o: &mut dyn Emit<String, u64>,
+    ) {
         *state += v;
     }
 

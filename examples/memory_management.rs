@@ -29,7 +29,11 @@ fn main() {
     let mut reference = None;
     for (label, policy, cap) in [
         ("in-memory (unbounded)", MemoryPolicy::InMemory, None),
-        ("in-memory (64 KB cap)", MemoryPolicy::InMemory, Some(64 << 10)),
+        (
+            "in-memory (64 KB cap)",
+            MemoryPolicy::InMemory,
+            Some(64 << 10),
+        ),
         (
             "spill-and-merge (64 KB threshold)",
             MemoryPolicy::SpillMerge {

@@ -118,7 +118,12 @@ impl BenchmarkGroup<'_> {
     }
 
     /// Runs one benchmark against a borrowed input.
-    pub fn bench_with_input<I: ?Sized, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
     where
         F: FnMut(&mut Bencher, &I),
     {
@@ -234,10 +239,7 @@ mod tests {
         let mut setups = 0u32;
         let mut runs = 0u32;
         group.bench_function(BenchmarkId::new("s", 1), |b| {
-            b.iter_with_setup(
-                || setups += 1,
-                |()| runs += 1,
-            );
+            b.iter_with_setup(|| setups += 1, |()| runs += 1);
         });
         assert_eq!(setups, 3);
         assert_eq!(runs, 3);

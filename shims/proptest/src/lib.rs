@@ -37,13 +37,13 @@ mod macros;
 
 /// What `use proptest::prelude::*` is expected to bring into scope.
 pub mod prelude {
+    /// The `prop::` path prefix (`prop::collection::vec`,
+    /// `prop::sample::Index`, ...).
+    pub use crate as prop;
     pub use crate::arbitrary::any;
     pub use crate::strategy::{Just, Strategy};
     pub use crate::test_runner::{
         Config as ProptestConfig, TestCaseError, TestCaseResult, TestRunner,
     };
     pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
-    /// The `prop::` path prefix (`prop::collection::vec`,
-    /// `prop::sample::Index`, ...).
-    pub use crate as prop;
 }

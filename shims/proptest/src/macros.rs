@@ -124,12 +124,10 @@ macro_rules! prop_assert_ne {
     ($left:expr, $right:expr $(,)?) => {{
         let (left, right) = (&$left, &$right);
         if *left == *right {
-            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
-                format!(
-                    "assertion failed: `(left != right)`\n  both: {:?}",
-                    left
-                ),
-            ));
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: `(left != right)`\n  both: {:?}",
+                left
+            )));
         }
     }};
 }

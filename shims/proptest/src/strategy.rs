@@ -114,7 +114,10 @@ impl<T> WeightedUnion<T> {
     /// zero.
     pub fn new(options: Vec<(u32, BoxedStrategy<T>)>) -> Self {
         let total_weight: u64 = options.iter().map(|(w, _)| *w as u64).sum();
-        assert!(total_weight > 0, "prop_oneof! needs a positive total weight");
+        assert!(
+            total_weight > 0,
+            "prop_oneof! needs a positive total weight"
+        );
         WeightedUnion {
             options,
             total_weight,

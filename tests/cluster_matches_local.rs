@@ -132,9 +132,7 @@ fn map_output_counters_match_between_executors() {
     let chunks = 4u64;
     let splits: Vec<Vec<(u64, String)>> = (0..chunks).map(|c| w.chunk(c)).collect();
     let cfg = JobConfig::new(2).engine(Engine::barrierless());
-    let local = LocalRunner::new(2)
-        .run(&WordCount, splits, &cfg)
-        .unwrap();
+    let local = LocalRunner::new(2).run(&WordCount, splits, &cfg).unwrap();
     let sim = SimExecutor::new(small_cluster(8))
         .run(
             &WordCount,

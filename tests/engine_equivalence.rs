@@ -3,11 +3,12 @@
 //! the MapReduce execution is not compromised."
 //!
 //! Property-based: for arbitrary inputs, every engine × memory-policy
-//! combination must produce identical output.
+//! combination must produce identical output — and, for combinable
+//! applications, identical output with the map-side combiner on or off.
 
 use barrier_mapreduce::apps::{Sort, UniqueListens, WordCount};
 use barrier_mapreduce::core::local::LocalRunner;
-use barrier_mapreduce::core::{Engine, JobConfig, MemoryPolicy};
+use barrier_mapreduce::core::{CombinerPolicy, Engine, JobConfig, MemoryPolicy};
 use proptest::prelude::*;
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -39,6 +40,17 @@ fn all_engines() -> Vec<Engine> {
     ]
 }
 
+/// Combiner settings swept against every engine: off, on with the
+/// default budget, and on with a budget so small every push drains
+/// (multiple partials per key cross the shuffle).
+fn combiner_settings() -> Vec<CombinerPolicy> {
+    vec![
+        CombinerPolicy::Disabled,
+        CombinerPolicy::enabled(),
+        CombinerPolicy::Enabled { budget_bytes: 1 },
+    ]
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
 
@@ -59,10 +71,15 @@ proptest! {
             }
         }
         for engine in all_engines() {
-            let cfg = JobConfig::new(reducers).engine(engine.clone()).scratch_dir(scratch());
-            let out = LocalRunner::new(2).run(&WordCount, splits.clone(), &cfg).unwrap();
-            let got: BTreeMap<String, u64> = out.into_sorted_output().into_iter().collect();
-            prop_assert_eq!(&got, &reference, "engine {:?}", engine);
+            for combiner in combiner_settings() {
+                let cfg = JobConfig::new(reducers)
+                    .engine(engine.clone())
+                    .combiner(combiner)
+                    .scratch_dir(scratch());
+                let out = LocalRunner::new(2).run(&WordCount, splits.clone(), &cfg).unwrap();
+                let got: BTreeMap<String, u64> = out.into_sorted_output().into_iter().collect();
+                prop_assert_eq!(&got, &reference, "engine {:?} combiner {:?}", engine, combiner);
+            }
         }
     }
 
@@ -99,12 +116,56 @@ proptest! {
         let reference: BTreeMap<u32, u64> =
             sets.into_iter().map(|(t, s)| (t, s.len() as u64)).collect();
         for engine in all_engines() {
-            let cfg = JobConfig::new(3).engine(engine.clone()).scratch_dir(scratch());
-            let out = LocalRunner::new(2)
-                .run(&UniqueListens, splits.clone(), &cfg)
-                .unwrap();
-            let got: BTreeMap<u32, u64> = out.into_sorted_output().into_iter().collect();
-            prop_assert_eq!(&got, &reference, "engine {:?}", engine);
+            for combiner in combiner_settings() {
+                let cfg = JobConfig::new(3)
+                    .engine(engine.clone())
+                    .combiner(combiner)
+                    .scratch_dir(scratch());
+                let out = LocalRunner::new(2)
+                    .run(&UniqueListens, splits.clone(), &cfg)
+                    .unwrap();
+                let got: BTreeMap<u32, u64> = out.into_sorted_output().into_iter().collect();
+                prop_assert_eq!(&got, &reference, "engine {:?} combiner {:?}", engine, combiner);
+            }
+        }
+    }
+
+    /// The tentpole's byte-exact invariant, stated directly: for every
+    /// engine × store-policy combination, the *entire* output (keys and
+    /// values, canonical order) with combining enabled equals the output
+    /// with combining disabled — not merely "both match a reference".
+    #[test]
+    fn wordcount_combiner_on_off_byte_identical(
+        words in prop::collection::vec(prop::collection::vec("[a-f]{1,4}", 1..10), 1..10),
+        reducers in 1usize..4,
+    ) {
+        let splits: Vec<Vec<(u64, String)>> = words
+            .iter()
+            .enumerate()
+            .map(|(i, line)| vec![(i as u64, line.join(" "))])
+            .collect();
+        for engine in all_engines() {
+            let run = |combiner: CombinerPolicy| {
+                let cfg = JobConfig::new(reducers)
+                    .engine(engine.clone())
+                    .combiner(combiner)
+                    .scratch_dir(scratch());
+                LocalRunner::new(2)
+                    .run(&WordCount, splits.clone(), &cfg)
+                    .unwrap()
+                    .into_sorted_output()
+            };
+            let plain = run(CombinerPolicy::Disabled);
+            for combiner in [
+                CombinerPolicy::enabled(),
+                CombinerPolicy::Enabled { budget_bytes: 1 },
+            ] {
+                let combined = run(combiner);
+                prop_assert_eq!(
+                    &combined, &plain,
+                    "combiner {:?} changed output under {:?}", combiner, engine
+                );
+            }
         }
     }
 }

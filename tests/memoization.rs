@@ -1,11 +1,11 @@
 //! Memoized re-runs (§8 future work): identical fingerprints skip the map
 //! phase, changed splits re-map, and output always equals a cold run.
 
+use barrier_mapreduce::apps::WordCount;
 use barrier_mapreduce::core::counters::names;
 use barrier_mapreduce::core::local::memo::{Fingerprint, MemoCache};
 use barrier_mapreduce::core::local::LocalRunner;
 use barrier_mapreduce::core::{Engine, HashPartitioner, JobConfig};
-use barrier_mapreduce::apps::WordCount;
 
 type Split = (Fingerprint, Vec<(u64, String)>);
 
@@ -57,7 +57,13 @@ fn changed_split_is_remapped_incrementally() {
     let mut updated = splits();
     updated[1] = (Fingerprint(20), vec![(1, "beta epsilon".into())]);
     let out = runner
-        .run_memoized(&WordCount, updated.clone(), &cfg, &HashPartitioner, &mut cache)
+        .run_memoized(
+            &WordCount,
+            updated.clone(),
+            &cfg,
+            &HashPartitioner,
+            &mut cache,
+        )
         .unwrap();
     // Only the changed split was mapped: 2 words.
     assert_eq!(out.counters.get(names::MAP_OUTPUT_RECORDS), 2);
