@@ -1,0 +1,82 @@
+//! The absorb hot path, ordered vs hashed index (the tentpole A/B).
+//!
+//! Once the barrier is gone every shuffled record is one store probe, so
+//! this microbench isolates exactly that: a WordCount-shaped record
+//! stream absorbed into the in-memory store and the map-side combiner
+//! buffer under `StoreIndex::Ordered` (the paper's TreeMap) and
+//! `StoreIndex::Hashed` (FxHash + amortized sort-at-drain).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mr_core::engine::pipeline::reduce_partition_barrierless;
+use mr_core::{CombinerBuffer, Counters, Engine, JobConfig, MemoryPolicy, StoreIndex};
+use std::hint::black_box;
+
+fn records(n: usize, distinct: u64) -> Vec<(String, u64)> {
+    (0..n as u64)
+        .map(|i| (format!("key-{:06}", (i * 7919) % distinct), 1u64))
+        .collect()
+}
+
+const INDEXES: [(&str, StoreIndex); 2] = [
+    ("ordered", StoreIndex::Ordered),
+    ("hashed", StoreIndex::Hashed),
+];
+
+fn bench_store_absorb(c: &mut Criterion) {
+    let mut group = c.benchmark_group("store_absorb");
+    group.sample_size(10);
+    let n = 20_000;
+    let data = records(n, 4_000);
+    for (name, index) in INDEXES {
+        group.bench_with_input(BenchmarkId::new(name, n), &data, |b, data| {
+            // Clone in setup so only the absorb stream is timed.
+            b.iter_with_setup(
+                || data.clone(),
+                |records| {
+                    let cfg = JobConfig::new(1)
+                        .engine(Engine::BarrierLess {
+                            memory: MemoryPolicy::InMemory,
+                        })
+                        .store_index(index);
+                    let (out, _) = reduce_partition_barrierless(
+                        &mr_apps::WordCount,
+                        &cfg,
+                        0,
+                        records,
+                        &mut Counters::new(),
+                    )
+                    .expect("absorb run");
+                    black_box(out.len())
+                },
+            );
+        });
+    }
+    group.finish();
+}
+
+fn bench_combiner_fold(c: &mut Criterion) {
+    let mut group = c.benchmark_group("combiner_fold");
+    group.sample_size(10);
+    let n = 20_000;
+    let data = records(n, 2_000);
+    for (name, index) in INDEXES {
+        group.bench_with_input(BenchmarkId::new(name, n), &data, |b, data| {
+            b.iter_with_setup(
+                || data.clone(),
+                |records| {
+                    let mut buf = CombinerBuffer::new(&mr_apps::WordCount, 1 << 20, index);
+                    let mut sunk = 0u64;
+                    for (k, v) in records {
+                        buf.push(&mr_apps::WordCount, k, v, &mut |_, _| sunk += 1);
+                    }
+                    buf.drain(&mr_apps::WordCount, &mut |_, _| sunk += 1);
+                    black_box(sunk)
+                },
+            );
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_store_absorb, bench_combiner_fold);
+criterion_main!(benches);

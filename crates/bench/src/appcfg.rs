@@ -125,9 +125,25 @@ pub fn run_wordcount_with_combiner(
     seed: u64,
     combiner: mr_core::CombinerPolicy,
 ) -> SimReport<WordCount> {
+    run_wordcount_configured(gb, reducers, engine, seed, combiner, None)
+}
+
+/// Runs WordCount with the full knob set: combining policy plus an
+/// optional cluster-level store-index override (the
+/// `ablation_storeindex` sweep's entry point; `None` keeps the job
+/// default, `StoreIndex::Hashed`).
+pub fn run_wordcount_configured(
+    gb: f64,
+    reducers: usize,
+    engine: Engine,
+    seed: u64,
+    combiner: mr_core::CombinerPolicy,
+    store_index: Option<mr_core::StoreIndex>,
+) -> SimReport<WordCount> {
     let w = wc_workload(seed);
     let mut params = testbed(seed);
     params.combiner = combiner;
+    params.store_index = store_index;
     let cfg = JobConfig::new(reducers)
         .engine(engine)
         .heap_scale(WC_HEAP_SCALE)

@@ -1,0 +1,203 @@
+//! Ablation: partial-store index (ordered vs hashed) × engine.
+//!
+//! The tentpole A/B for `StoreIndex`: the same jobs run with the paper's
+//! ordered map (`Ordered`, one tree probe per absorb) and with the FxHash
+//! index (`Hashed`, O(1) expected probes + one key sort per drain). The
+//! byte-exact output invariant is asserted at every point — the index
+//! must be *invisible* in the bytes and only visible in the wall clock.
+//!
+//! Three sections: the raw absorb hot path (single partition, no
+//! threads), the real threaded executor under both engines, and one
+//! simulated-cluster run under the cluster-level
+//! `ClusterParams::store_index` override (where the interesting number
+//! is host wall time — the sim charges the same *virtual* cost either
+//! way, but it really executes every absorb).
+
+use mr_bench::appcfg::run_wordcount_configured;
+use mr_bench::chart::table;
+use mr_bench::stats::improvement_pct;
+use mr_core::engine::pipeline::reduce_partition_barrierless;
+use mr_core::local::LocalRunner;
+use mr_core::{CombinerPolicy, Counters, Engine, JobConfig, MemoryPolicy, StoreIndex};
+use mr_workloads::TextWorkload;
+use std::time::Instant;
+
+const INDEXES: [(&str, StoreIndex); 2] = [
+    ("ordered", StoreIndex::Ordered),
+    ("hashed", StoreIndex::Hashed),
+];
+
+fn engine_label(e: &Engine) -> &'static str {
+    match e {
+        Engine::Barrier => "barrier",
+        Engine::BarrierLess { .. } => "barrier-less",
+    }
+}
+
+fn barrierless() -> Engine {
+    Engine::BarrierLess {
+        memory: MemoryPolicy::InMemory,
+    }
+}
+
+fn scratch() -> std::path::PathBuf {
+    mr_bench::appcfg::scratch()
+}
+
+/// Best-of-3 wall milliseconds.
+fn best_of_3(mut f: impl FnMut()) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..3 {
+        let start = Instant::now();
+        f();
+        best = best.min(start.elapsed().as_secs_f64() * 1e3);
+    }
+    best
+}
+
+fn main() {
+    println!("== Ablation: partial-store index x engine (WordCount) ==\n");
+    let w = TextWorkload {
+        seed: 42,
+        vocab: 2_000,
+        zipf_s: 1.0,
+        lines_per_chunk: 400,
+        words_per_line: 8,
+    };
+    let splits: Vec<Vec<(u64, String)>> = (0..16).map(|c| w.chunk(c)).collect();
+
+    // ------------------------------------------- raw absorb hot path
+    println!("--- absorb hot path (one partition, no threads) ---");
+    let records: Vec<(String, u64)> = splits
+        .iter()
+        .flat_map(|split| split.iter())
+        .flat_map(|(_, line)| line.split_whitespace().map(|word| (word.to_string(), 1u64)))
+        .collect();
+    let mut rows = Vec::new();
+    let mut outputs = Vec::new();
+    let mut baseline_ms = f64::NAN;
+    for (label, index) in INDEXES {
+        let cfg = JobConfig::new(1).engine(barrierless()).store_index(index);
+        // Pre-cloned inputs: the per-iteration clone must not be timed.
+        let mut inputs: Vec<Vec<(String, u64)>> = (0..3).map(|_| records.clone()).collect();
+        let wall_ms = best_of_3(|| {
+            reduce_partition_barrierless(
+                &mr_apps::WordCount,
+                &cfg,
+                0,
+                inputs.pop().expect("one per iteration"),
+                &mut Counters::new(),
+            )
+            .expect("absorb run");
+        });
+        let (out, _) = reduce_partition_barrierless(
+            &mr_apps::WordCount,
+            &cfg,
+            0,
+            records.clone(),
+            &mut Counters::new(),
+        )
+        .expect("absorb run");
+        outputs.push(out);
+        let rate = records.len() as f64 / (wall_ms / 1e3) / 1e6;
+        let speedup = if baseline_ms.is_nan() {
+            baseline_ms = wall_ms;
+            "-".to_string()
+        } else {
+            format!("{:.2}x", baseline_ms / wall_ms)
+        };
+        rows.push(vec![
+            label.to_string(),
+            format!("{wall_ms:.2}"),
+            format!("{rate:.1}"),
+            speedup,
+        ]);
+    }
+    assert_eq!(outputs[0], outputs[1], "index flip changed absorb output");
+    print!(
+        "{}",
+        table(&["index", "wall (ms)", "Mrec/s", "speedup"], &rows)
+    );
+    println!("\n(byte-exact: {} output records)\n", outputs[0].len());
+
+    // --------------------------------------------- real local executor
+    println!("--- real threaded executor (LocalRunner, 16 chunks, combiner on) ---");
+    let mut rows = Vec::new();
+    for engine in [Engine::Barrier, barrierless()] {
+        let mut outputs = Vec::new();
+        let mut baseline_ms = f64::NAN;
+        for (label, index) in INDEXES {
+            let cfg = JobConfig::new(8)
+                .engine(engine.clone())
+                .combiner(CombinerPolicy::enabled())
+                .store_index(index)
+                .scratch_dir(scratch());
+            let wall_ms = best_of_3(|| {
+                LocalRunner::new(4)
+                    .run(&mr_apps::WordCount, splits.clone(), &cfg)
+                    .expect("local run");
+            });
+            let out = LocalRunner::new(4)
+                .run(&mr_apps::WordCount, splits.clone(), &cfg)
+                .expect("local run");
+            outputs.push(out.into_sorted_output());
+            let speedup = if baseline_ms.is_nan() {
+                baseline_ms = wall_ms;
+                "-".to_string()
+            } else {
+                format!("{:+.1}%", improvement_pct(baseline_ms, wall_ms))
+            };
+            rows.push(vec![
+                engine_label(&engine).to_string(),
+                label.to_string(),
+                format!("{wall_ms:.1}"),
+                speedup,
+            ]);
+        }
+        assert_eq!(
+            outputs[0],
+            outputs[1],
+            "index flip changed {} output",
+            engine_label(&engine)
+        );
+    }
+    print!(
+        "{}",
+        table(&["engine", "index", "wall (ms)", "vs ordered"], &rows)
+    );
+    println!("\n(byte-exact output invariant verified under both engines)\n");
+
+    // ---------------------------------------------- simulated cluster
+    println!("--- simulated cluster (1 GB, 8 reducers, cluster-level override) ---");
+    let mut rows = Vec::new();
+    let mut outputs = Vec::new();
+    for (label, index) in INDEXES {
+        let start = Instant::now();
+        let report = run_wordcount_configured(
+            1.0,
+            8,
+            barrierless(),
+            7,
+            CombinerPolicy::enabled(),
+            Some(index),
+        );
+        let host_ms = start.elapsed().as_secs_f64() * 1e3;
+        assert!(report.outcome.is_completed(), "sim failed under {label}");
+        let secs = report.outcome.completion_secs().unwrap();
+        outputs.push(report.output.expect("completed").into_sorted_output());
+        rows.push(vec![
+            label.to_string(),
+            format!("{secs:.1}"),
+            format!("{host_ms:.0}"),
+        ]);
+    }
+    assert_eq!(
+        outputs[0], outputs[1],
+        "index flip changed simulated output"
+    );
+    print!(
+        "{}",
+        table(&["index", "sim completion (s)", "host wall (ms)"], &rows)
+    );
+    println!("\n(byte-exact under the ClusterParams::store_index override too)");
+}

@@ -22,8 +22,11 @@
 
 use mr_bench::appcfg::run_wordcount_with_combiner;
 use mr_core::counters::names;
+use mr_core::engine::pipeline::reduce_partition_barrierless;
 use mr_core::local::LocalRunner;
-use mr_core::{CombinerBuffer, CombinerPolicy, Engine, JobConfig, MemoryPolicy};
+use mr_core::{
+    CombinerBuffer, CombinerPolicy, Counters, Engine, JobConfig, MemoryPolicy, StoreIndex,
+};
 use mr_workloads::TextWorkload;
 use std::time::Instant;
 
@@ -89,7 +92,7 @@ fn barrierless() -> Engine {
 fn main() {
     let out_path = std::env::args()
         .nth(1)
-        .unwrap_or_else(|| "BENCH_2.json".to_string());
+        .unwrap_or_else(|| "BENCH_3.json".to_string());
     let splits = wc_splits(12);
     let mut results = Vec::new();
 
@@ -131,9 +134,11 @@ fn main() {
         out.counters.get(names::COMBINE_INPUT_RECORDS)
     }));
 
-    // The combiner fold in isolation (no threads, no channels).
+    // The combiner fold in isolation (no threads, no channels). Runs
+    // the default (hashed) index; `combiner_buffer_fold_ordered` below
+    // is the same fold on the paper's ordered map.
     results.push(bench("combiner_buffer_fold", || {
-        let mut buf = CombinerBuffer::new(&mr_apps::WordCount, 1 << 20);
+        let mut buf = CombinerBuffer::new(&mr_apps::WordCount, 1 << 20, StoreIndex::Hashed);
         let mut sunk = 0u64;
         let mut n = 0u64;
         for split in &splits {
@@ -150,6 +155,89 @@ fn main() {
         assert!(sunk > 0);
         n
     }));
+
+    // The same fold on the ordered index: the A/B partner of
+    // `combiner_buffer_fold` (the tentpole's ablation, in CI form).
+    results.push(bench("combiner_buffer_fold_ordered", || {
+        let mut buf = CombinerBuffer::new(&mr_apps::WordCount, 1 << 20, StoreIndex::Ordered);
+        let mut sunk = 0u64;
+        let mut n = 0u64;
+        for split in &splits {
+            for (_, line) in split {
+                for word in line.split_whitespace() {
+                    n += 1;
+                    buf.push(&mr_apps::WordCount, word.to_string(), 1, &mut |_, _| {
+                        sunk += 1
+                    });
+                }
+            }
+        }
+        buf.drain(&mr_apps::WordCount, &mut |_, _| sunk += 1);
+        assert!(sunk > 0);
+        n
+    }));
+
+    // The reduce-side absorb hot path in isolation: one partition's
+    // record stream through the in-memory store, ordered vs hashed.
+    let absorb_records: Vec<(String, u64)> = splits
+        .iter()
+        .flat_map(|split| split.iter())
+        .flat_map(|(_, line)| line.split_whitespace().map(|w| (w.to_string(), 1u64)))
+        .collect();
+    for (name, index) in [
+        ("store_absorb_ordered", StoreIndex::Ordered),
+        ("store_absorb_hashed", StoreIndex::Hashed),
+    ] {
+        // One pre-cloned input per timed iteration, so the clone cost
+        // (tens of thousands of short strings) stays outside the clock.
+        let n = absorb_records.len() as u64;
+        let mut inputs: Vec<Vec<(String, u64)>> =
+            (0..ITERS).map(|_| absorb_records.clone()).collect();
+        results.push(bench(name, move || {
+            let records = inputs.pop().expect("one input per iteration");
+            let cfg = local_cfg(barrierless(), CombinerPolicy::Disabled).store_index(index);
+            let (out, _) = reduce_partition_barrierless(
+                &mr_apps::WordCount,
+                &cfg,
+                0,
+                records,
+                &mut Counters::new(),
+            )
+            .expect("absorb run");
+            assert!(!out.is_empty());
+            n
+        }));
+    }
+
+    // Same stream through the spill store (hashed): absorb + the
+    // sort-at-spill path the amortized drain moved the ordering cost to.
+    {
+        let n = absorb_records.len() as u64;
+        let mut inputs: Vec<Vec<(String, u64)>> =
+            (0..ITERS).map(|_| absorb_records.clone()).collect();
+        results.push(bench("spill_store_absorb", move || {
+            let records = inputs.pop().expect("one input per iteration");
+            let cfg = local_cfg(
+                Engine::BarrierLess {
+                    memory: MemoryPolicy::SpillMerge {
+                        threshold_bytes: 64 << 10,
+                    },
+                },
+                CombinerPolicy::Disabled,
+            );
+            let (out, report) = reduce_partition_barrierless(
+                &mr_apps::WordCount,
+                &cfg,
+                0,
+                records,
+                &mut Counters::new(),
+            )
+            .expect("spill run");
+            assert!(!out.is_empty());
+            assert!(report.store.spill_files > 0, "threshold never tripped");
+            n
+        }));
+    }
 
     // One small simulated-cluster run: catches event-loop regressions.
     results.push(bench("sim_wordcount_1gb_combined", || {

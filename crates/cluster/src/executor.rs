@@ -185,7 +185,11 @@ struct Sim<'a, A: Application, I, P> {
     p: &'a ClusterParams,
     app: &'a A,
     input: &'a I,
-    cfg: &'a JobConfig,
+    /// The job's config with the cluster-level overrides applied
+    /// (`ClusterParams::store_index` wins over the job's own knob), so
+    /// every store and combiner this sim builds sees one effective
+    /// config.
+    cfg: JobConfig,
     costs: &'a CostModel,
     partitioner: &'a P,
     queue: EventQueue<Ev>,
@@ -254,6 +258,10 @@ where
                 out_bytes: (p.chunk_bytes as f64 * costs.shuffle_selectivity) as u64,
             })
             .collect();
+        let mut cfg = cfg.clone();
+        if let Some(index) = p.store_index {
+            cfg.store_index = index;
+        }
         let reds = (0..cfg.reducers)
             .map(|_| ReduceTask {
                 state: RedState::Pending,
@@ -577,7 +585,7 @@ where
         if let Some(budget) = self.combine_budget() {
             let mut combined_total = 0u64;
             for part in &mut parts {
-                let mut comb = CombinerBuffer::new(self.app, budget as usize);
+                let mut comb = CombinerBuffer::new(self.app, budget as usize, self.cfg.store_index);
                 let mut combined: Vec<(A::MapKey, A::MapValue)> = Vec::new();
                 for (k, v) in part.drain(..) {
                     comb.push(self.app, k, v, &mut |k2, v2| combined.push((k2, v2)));
@@ -653,7 +661,7 @@ where
         task.flow_from = vec![false; n_maps];
         task.cpu_free = at;
         if self.pipelined() {
-            match IncrementalDriver::new(self.app, self.cfg, r) {
+            match IncrementalDriver::new(self.app, &self.cfg, r) {
                 Ok(driver) => self.reds[r].driver = Some(driver),
                 Err(e) => {
                     self.failure = Some((at, format!("driver init failed: {e}")));

@@ -1,6 +1,6 @@
 //! Static description of the simulated cluster.
 
-use mr_core::CombinerPolicy;
+use mr_core::{CombinerPolicy, StoreIndex};
 
 /// Cluster hardware and scheduling parameters.
 ///
@@ -38,6 +38,12 @@ pub struct ClusterParams {
     /// `JobConfig::combiner`. Either way the application must also opt in
     /// via `combine_enabled()`.
     pub combiner: CombinerPolicy,
+    /// Partial-store index override for simulated jobs (reduce-side
+    /// stores *and* map-side combiner buffers). `Some` wins over the
+    /// job's own `JobConfig::store_index`; `None` leaves the job's
+    /// choice in force. Ablation sweeps A/B this cluster-wide without
+    /// touching per-job configs.
+    pub store_index: Option<StoreIndex>,
     /// Master seed for placement, heterogeneity and noise.
     pub seed: u64,
 }
@@ -57,6 +63,7 @@ impl ClusterParams {
             hetero_sigma: 0.25,
             task_noise_sigma: 0.12,
             combiner: CombinerPolicy::Disabled,
+            store_index: None,
             seed,
         }
     }

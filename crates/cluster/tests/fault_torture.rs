@@ -4,7 +4,7 @@
 
 use mr_apps::wordcount::WordCount;
 use mr_cluster::{ClusterParams, CostModel, FnInput, SimExecutor};
-use mr_core::{CombinerPolicy, Engine, HashPartitioner, JobConfig};
+use mr_core::{CombinerPolicy, Engine, HashPartitioner, JobConfig, StoreIndex};
 use mr_workloads::TextWorkload;
 use std::collections::BTreeMap;
 
@@ -55,9 +55,21 @@ fn run_with_combiner(
     faults: &[(f64, usize)],
     combiner: CombinerPolicy,
 ) -> (bool, Option<BTreeMap<String, u64>>, usize, usize) {
+    run_full(engine, seed, chunks, faults, combiner, None)
+}
+
+fn run_full(
+    engine: Engine,
+    seed: u64,
+    chunks: u64,
+    faults: &[(f64, usize)],
+    combiner: CombinerPolicy,
+    store_index: Option<StoreIndex>,
+) -> (bool, Option<BTreeMap<String, u64>>, usize, usize) {
     let w = workload(seed);
     let mut params = cluster(seed);
     params.combiner = combiner;
+    params.store_index = store_index;
     let cfg = JobConfig::new(4).engine(engine).scratch_dir(
         std::env::temp_dir().join(format!("mr-fault-torture-{}-{seed}", std::process::id())),
     );
@@ -148,6 +160,42 @@ fn node_death_mid_shuffle_with_combining_enabled() {
                 "mid-shuffle failure at {fail_at}s corrupted combined output \
                  under {engine:?} (maps_run={maps_run}, reds_run={reds_run})"
             );
+        }
+    }
+}
+
+#[test]
+fn node_death_under_hashed_index_is_byte_exact_and_matches_ordered() {
+    // The tentpole's fault-recovery claim: with the hashed
+    // (sort-at-drain) index active — including inside the map-side
+    // combiner, whose drains feed the shuffle that re-run maps must
+    // reproduce — killing a node mid-job yields byte-exact output
+    // under either index (equality to the one reference also makes the
+    // two recoveries equal to each other). Exercises the cluster-level
+    // `ClusterParams::store_index` override for both settings.
+    let chunks = 12u64;
+    let expect = reference(chunks, 91);
+    for engine in [Engine::Barrier, Engine::barrierless()] {
+        for fail_at in [45.0, 110.0] {
+            for index in [StoreIndex::Ordered, StoreIndex::Hashed] {
+                let (completed, output, _, _) = run_full(
+                    engine.clone(),
+                    91,
+                    chunks,
+                    &[(fail_at, 2)],
+                    CombinerPolicy::enabled(),
+                    Some(index),
+                );
+                assert!(
+                    completed,
+                    "failure at {fail_at}s killed the job under {engine:?} / {index:?}"
+                );
+                assert_eq!(
+                    output.unwrap(),
+                    expect,
+                    "failure at {fail_at}s corrupted output under {engine:?} / {index:?}"
+                );
+            }
         }
     }
 }

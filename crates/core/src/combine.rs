@@ -7,17 +7,20 @@
 //! aggregator, so the map side can run the same fold over its own output
 //! and ship the partial results instead of the raw records.
 //!
-//! [`CombinerBuffer`] holds per-key partials in an ordered map under a
-//! byte budget (measured with the same [`SizeEstimate`] accounting the
-//! reduce-side stores use). When the budget is exceeded the
+//! [`CombinerBuffer`] holds per-key partials under a byte budget
+//! (measured with the same [`SizeEstimate`](crate::size::SizeEstimate)
+//! accounting the reduce-side
+//! stores use), indexed per [`StoreIndex`] — the paper's ordered map, or
+//! a hashed map whose keys are sorted once per drain. Either way the
 //! buffer drains in key order, converting each partial back into shuffle
-//! records via [`Application::combiner_emit`]. Both executors use it: the
+//! records via [`Application::combiner_emit`], so re-run map tasks
+//! reproduce byte-identical shuffle output. Both executors use it: the
 //! local runner inside its map workers, the cluster simulator inside
 //! `map_write`.
 
-use crate::size::{SizeEstimate, ENTRY_OVERHEAD};
+use crate::config::StoreIndex;
+use crate::store::index::{apply_byte_delta, PartialMap};
 use crate::traits::{Application, Emit, FnEmit};
-use std::collections::BTreeMap;
 
 /// An [`Emit`] that rejects output: map-side combining runs `absorb`
 /// outside any reduce task, so a combinable application emitting from
@@ -44,7 +47,7 @@ impl<K, V> Emit<K, V> for NoOutput {
 /// modelled footprint exceeds the budget, bounding map-side memory the
 /// same way the paper bounds reduce-side partial results.
 pub struct CombinerBuffer<A: Application> {
-    entries: BTreeMap<A::MapKey, A::State>,
+    entries: PartialMap<A::MapKey, A::State>,
     bytes: usize,
     budget_bytes: usize,
     /// Scratch shared state for `absorb` calls; combinable applications
@@ -57,14 +60,14 @@ pub struct CombinerBuffer<A: Application> {
 
 impl<A: Application> CombinerBuffer<A> {
     /// An empty buffer that drains whenever its modelled footprint
-    /// exceeds `budget_bytes`.
-    pub fn new(app: &A, budget_bytes: usize) -> Self {
+    /// exceeds `budget_bytes`, with its partials indexed per `index`.
+    pub fn new(app: &A, budget_bytes: usize, index: StoreIndex) -> Self {
         debug_assert!(
             app.uses_keyed_state(),
             "combining requires per-key state (uses_keyed_state)"
         );
         CombinerBuffer {
-            entries: BTreeMap::new(),
+            entries: PartialMap::new(index),
             bytes: 0,
             budget_bytes,
             shared: app.new_shared(),
@@ -84,31 +87,23 @@ impl<A: Application> CombinerBuffer<A> {
         emit: &mut F,
     ) {
         self.records_in += 1;
-        match self.entries.get_mut(&key) {
-            Some(state) => {
-                let before = state.estimated_bytes();
-                app.absorb(&key, state, value, &mut self.shared, &mut NoOutput);
-                let after = state.estimated_bytes();
-                // Replace the entry's old footprint with its new one
-                // (states may shrink — kNN's bounded list evicts).
-                self.bytes = self.bytes.saturating_sub(before) + after;
-            }
-            None => {
-                let mut state = app.init(&key);
-                app.absorb(&key, &mut state, value, &mut self.shared, &mut NoOutput);
-                self.bytes += key.estimated_bytes() + state.estimated_bytes() + ENTRY_OVERHEAD;
-                self.entries.insert(key, state);
-            }
-        }
+        let shared = &mut self.shared;
+        let delta = self.entries.upsert_with(
+            key,
+            |k| app.init(k),
+            |k, state| app.absorb(k, state, value, shared, &mut NoOutput),
+        );
+        self.bytes = apply_byte_delta(self.bytes as u64, delta) as usize;
         if self.bytes > self.budget_bytes {
             self.drain(app, emit);
         }
     }
 
-    /// Drains every buffered partial result through `emit`, in key order.
-    /// Also used for the end-of-task flush.
+    /// Drains every buffered partial result through `emit`, in key order
+    /// (the hashed index pays its one amortized sort here). Also used for
+    /// the end-of-task flush.
     pub fn drain<F: FnMut(A::MapKey, A::MapValue)>(&mut self, app: &A, emit: &mut F) {
-        let entries = std::mem::take(&mut self.entries);
+        let entries = self.entries.drain_sorted();
         self.bytes = 0;
         let mut out = 0u64;
         {
@@ -157,24 +152,26 @@ mod tests {
 
     #[test]
     fn combines_duplicate_keys_into_one_record() {
-        let mut buf = CombinerBuffer::new(&WordCountApp, 1 << 20);
-        let mut spilled = Vec::new();
-        for _ in 0..10 {
-            buf.push(&WordCountApp, "a".to_string(), 1, &mut |k, v| {
+        for index in [StoreIndex::Ordered, StoreIndex::Hashed] {
+            let mut buf = CombinerBuffer::new(&WordCountApp, 1 << 20, index);
+            let mut spilled = Vec::new();
+            for _ in 0..10 {
+                buf.push(&WordCountApp, "a".to_string(), 1, &mut |k, v| {
+                    spilled.push((k, v))
+                });
+            }
+            buf.push(&WordCountApp, "b".to_string(), 1, &mut |k, v| {
                 spilled.push((k, v))
             });
+            assert!(spilled.is_empty(), "under budget: nothing drains early");
+            assert_eq!(buf.entries(), 2);
+            assert_eq!(buf.records_in(), 11);
+            let got = collect(&mut buf);
+            assert_eq!(got, vec![("a".to_string(), 10), ("b".to_string(), 1)]);
+            assert_eq!(buf.records_out(), 2);
+            assert_eq!(buf.entries(), 0);
+            assert_eq!(buf.modelled_bytes(), 0);
         }
-        buf.push(&WordCountApp, "b".to_string(), 1, &mut |k, v| {
-            spilled.push((k, v))
-        });
-        assert!(spilled.is_empty(), "under budget: nothing drains early");
-        assert_eq!(buf.entries(), 2);
-        assert_eq!(buf.records_in(), 11);
-        let got = collect(&mut buf);
-        assert_eq!(got, vec![("a".to_string(), 10), ("b".to_string(), 1)]);
-        assert_eq!(buf.records_out(), 2);
-        assert_eq!(buf.entries(), 0);
-        assert_eq!(buf.modelled_bytes(), 0);
     }
 
     #[test]
@@ -182,7 +179,7 @@ mod tests {
         // A budget below one entry's footprint drains on every push; the
         // shuffle then carries multiple partials per key, which the
         // reduce side's merge/absorb re-combines. Totals must survive.
-        let mut buf = CombinerBuffer::new(&WordCountApp, 1);
+        let mut buf = CombinerBuffer::new(&WordCountApp, 1, StoreIndex::Hashed);
         let mut spilled: Vec<(String, u64)> = Vec::new();
         for i in 0..20u64 {
             let word = if i % 2 == 0 { "x" } else { "y" };
@@ -200,18 +197,20 @@ mod tests {
     }
 
     #[test]
-    fn drain_emits_in_key_order() {
-        let mut buf = CombinerBuffer::new(&WordCountApp, 1 << 20);
-        for word in ["c", "a", "b"] {
-            buf.push(&WordCountApp, word.to_string(), 1, &mut |_, _| {});
+    fn drain_emits_in_key_order_under_both_indexes() {
+        for index in [StoreIndex::Ordered, StoreIndex::Hashed] {
+            let mut buf = CombinerBuffer::new(&WordCountApp, 1 << 20, index);
+            for word in ["c", "a", "b"] {
+                buf.push(&WordCountApp, word.to_string(), 1, &mut |_, _| {});
+            }
+            let keys: Vec<String> = collect(&mut buf).into_iter().map(|(k, _)| k).collect();
+            assert_eq!(keys, vec!["a", "b", "c"], "index {index:?}");
         }
-        let keys: Vec<String> = collect(&mut buf).into_iter().map(|(k, _)| k).collect();
-        assert_eq!(keys, vec!["a", "b", "c"]);
     }
 
     #[test]
     fn byte_accounting_grows_and_resets() {
-        let mut buf = CombinerBuffer::new(&WordCountApp, usize::MAX);
+        let mut buf = CombinerBuffer::new(&WordCountApp, usize::MAX, StoreIndex::Hashed);
         assert_eq!(buf.modelled_bytes(), 0);
         let mut last = 0;
         for i in 0..50u64 {

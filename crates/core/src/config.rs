@@ -54,6 +54,30 @@ impl CombinerPolicy {
     }
 }
 
+/// How per-key partial results are *indexed* inside the in-memory
+/// stores — the reduce-side [`InMemoryStore`](crate::store::InMemoryStore)
+/// and [`SpillMergeStore`](crate::store::SpillMergeStore) run, and the
+/// map-side [`CombinerBuffer`](crate::combine::CombinerBuffer).
+///
+/// The paper's Java prototype used a `TreeMap`, making every `absorb` an
+/// O(log n) ordered probe with full key comparisons. [`StoreIndex::Hashed`]
+/// replaces that with an in-tree FxHash map ([`crate::hash`]) and recovers
+/// the key-order guarantees by sorting **once at drain time** (combiner
+/// drains, spill-run writes, finalize) instead of on every insert — so
+/// output bytes, spill-run contents and fault-recovery map re-runs are
+/// identical under either index. Both are kept so the trade-off stays
+/// A/B-able (`ablation_storeindex`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum StoreIndex {
+    /// Ordered map (`BTreeMap`), the paper's TreeMap: keys kept sorted on
+    /// every insert, drains are a plain in-order walk.
+    Ordered,
+    /// FxHash map with amortized sort-at-drain: O(1) expected probes on
+    /// the absorb hot path; keys sorted once when the store drains.
+    #[default]
+    Hashed,
+}
+
 /// How the barrier-less engine stores partial results (§5).
 #[derive(Debug, Clone, PartialEq)]
 pub enum MemoryPolicy {
@@ -122,6 +146,12 @@ pub struct JobConfig {
     /// batched channels). Per-record shuffle overhead amortizes over
     /// roughly `batch_bytes / record_bytes` records.
     pub shuffle_batch_bytes: usize,
+    /// How the in-memory partial stores (reduce-side in-memory/spill
+    /// runs, map-side combiner buffers) index their keys. Defaults to
+    /// [`StoreIndex::Hashed`]; [`StoreIndex::Ordered`] restores the
+    /// paper's TreeMap behaviour for A/B runs. Output is byte-identical
+    /// under either.
+    pub store_index: StoreIndex,
     /// Seed for anything stochastic inside the engines (none today, but
     /// carried so runs stay reproducible end to end).
     pub seed: u64,
@@ -139,6 +169,7 @@ impl JobConfig {
             scratch_dir: std::env::temp_dir().join("mr-scratch"),
             combiner: CombinerPolicy::Disabled,
             shuffle_batch_bytes: DEFAULT_SHUFFLE_BATCH_BYTES,
+            store_index: StoreIndex::default(),
             seed: 0,
         }
     }
@@ -181,6 +212,12 @@ impl JobConfig {
         self
     }
 
+    /// Sets the partial-store index strategy.
+    pub fn store_index(mut self, index: StoreIndex) -> Self {
+        self.store_index = index;
+        self
+    }
+
     /// Sets the seed.
     pub fn seed(mut self, seed: u64) -> Self {
         self.seed = seed;
@@ -214,6 +251,14 @@ mod tests {
     #[test]
     fn default_is_barrier() {
         assert_eq!(JobConfig::new(1).engine, Engine::Barrier);
+    }
+
+    #[test]
+    fn hashed_index_is_the_default_and_ordered_is_reachable() {
+        let cfg = JobConfig::new(1);
+        assert_eq!(cfg.store_index, StoreIndex::Hashed);
+        let cfg = cfg.store_index(StoreIndex::Ordered);
+        assert_eq!(cfg.store_index, StoreIndex::Ordered);
     }
 
     #[test]

@@ -23,6 +23,10 @@ pub mod names {
     pub const COMBINE_OUTPUT_RECORDS: &str = "combine.output.records";
     /// Record batches handed to the shuffle transport (local executor).
     pub const SHUFFLE_BATCHES: &str = "shuffle.batches";
+    /// Shuffle batches built on a recycled buffer from the free-list
+    /// (drained by a reducer, handed back to the mappers) instead of a
+    /// fresh allocation.
+    pub const SHUFFLE_BATCH_REUSE: &str = "shuffle.batch_reuse";
     /// Records that actually crossed the shuffle (post-combine).
     pub const SHUFFLE_RECORDS: &str = "shuffle.records";
     /// Records written to job output.

@@ -13,8 +13,11 @@
 //!   per-key *partial result*, eliminating the sort and the wait (Figure 3).
 //!
 //! Removing the barrier makes partial-result memory the central problem
-//! (§5); the three [`store`] policies answer it: in-memory ordered map,
-//! disk spill-and-merge, and a disk-spilling key/value store.
+//! (§5); the three [`store`] policies answer it: in-memory map, disk
+//! spill-and-merge, and a disk-spilling key/value store. The in-memory
+//! index is a knob ([`StoreIndex`]): the paper's ordered map, or an
+//! in-tree FxHash map ([`hash`]) whose key ordering is recovered by one
+//! amortized sort at drain time — byte-identical output either way.
 //!
 //! [`local::LocalRunner`] executes jobs for real on OS threads with true
 //! map→reduce pipelining; the `mr-cluster` crate executes the same
@@ -27,6 +30,7 @@ pub mod config;
 pub mod counters;
 pub mod engine;
 pub mod error;
+pub mod hash;
 pub mod local;
 pub mod output;
 pub mod partition;
@@ -39,9 +43,10 @@ pub(crate) mod testutil;
 
 pub use codec::{Codec, CodecError};
 pub use combine::CombinerBuffer;
-pub use config::{CombinerPolicy, Engine, JobConfig, MemoryPolicy};
+pub use config::{CombinerPolicy, Engine, JobConfig, MemoryPolicy, StoreIndex};
 pub use counters::Counters;
 pub use error::{MrError, MrResult};
+pub use hash::{FxBuildHasher, FxHashMap, FxHasher};
 pub use output::JobOutput;
 pub use partition::{HashPartitioner, Partitioner};
 pub use size::SizeEstimate;

@@ -13,7 +13,11 @@
 //! batches to the channel, so the per-record cost of the hot path is one
 //! `Vec` push instead of one channel rendezvous. Back-pressure is
 //! preserved — the batch channels are bounded, and a full reducer still
-//! stalls its mappers. When the application opts into map-side combining
+//! stalls its mappers. Batch buffers are **recycled**: reducers drain a
+//! batch in place and hand the empty `Vec` (capacity intact) back to the
+//! mappers through a shared free-list, so steady-state shuffling does no
+//! per-batch allocation (`shuffle.batch_reuse` counts the round trips).
+//! When the application opts into map-side combining
 //! ([`Application::combine_enabled`]), those per-reducer buffers become
 //! [`CombinerBuffer`]s: records are pre-aggregated under the combiner
 //! byte budget and the shuffle carries combined partials instead of raw
@@ -197,7 +201,7 @@ impl LocalRunner {
                             (0..reducers).map(|_| Vec::new()).collect();
                         if combining {
                             let mut combs: Vec<CombinerBuffer<A>> = (0..reducers)
-                                .map(|_| CombinerBuffer::new(app, combine_budget))
+                                .map(|_| CombinerBuffer::new(app, combine_budget, cfg.store_index))
                                 .collect();
                             {
                                 let mut emit = FnEmit(|k: A::MapKey, v: A::MapValue| {
@@ -329,6 +333,12 @@ impl LocalRunner {
             receivers.push(rx);
         }
 
+        // Free-list of drained batch buffers: reducers hand emptied
+        // `Vec`s (capacity intact) back, mappers pop them instead of
+        // allocating a fresh buffer per batch. Capped at the channel
+        // capacity — anything beyond that could never be in flight.
+        let batch_pool: Mutex<Vec<Batch<A>>> = Mutex::new(Vec::new());
+        let batch_pool_cap = reducers * BATCH_CHANNEL_DEPTH;
         let next = AtomicUsize::new(0);
         let map_counters = Mutex::new(Counters::new());
         type ReduceResult<A> = MrResult<(
@@ -344,15 +354,21 @@ impl LocalRunner {
             let mut reduce_handles = Vec::new();
             for (r, rx) in receivers.into_iter().enumerate() {
                 let reduce_slots = &reduce_slots;
+                let batch_pool = &batch_pool;
                 let cfg_ref = cfg;
                 reduce_handles.push(scope.spawn(move || {
                     let run = || -> ReduceResult<A> {
                         let mut driver = IncrementalDriver::new(app, cfg_ref, r)?;
                         let mut out = Vec::new();
                         let mut counters = Counters::new();
-                        for batch in rx.iter() {
-                            for (k, v) in batch {
+                        for mut batch in rx.iter() {
+                            for (k, v) in batch.drain(..) {
                                 driver.push(app, k, v, &mut out)?;
+                            }
+                            // Return the drained buffer to the mappers.
+                            let mut pool = batch_pool.lock().unwrap();
+                            if pool.len() < batch_pool_cap {
+                                pool.push(batch);
                             }
                         }
                         let report = driver.finish(app, &mut counters, &mut out)?;
@@ -375,6 +391,7 @@ impl LocalRunner {
                 let senders = senders.clone();
                 let next = &next;
                 let map_counters = &map_counters;
+                let batch_pool = &batch_pool;
                 map_handles.push(scope.spawn(move || {
                     let mut local_counters = Counters::new();
                     let mut dead = false;
@@ -384,7 +401,7 @@ impl LocalRunner {
                     let mut plain_bytes: Vec<usize> = vec![0; reducers];
                     let mut combs: Vec<CombinerBuffer<A>> = if combining {
                         (0..reducers)
-                            .map(|_| CombinerBuffer::new(app, combine_budget))
+                            .map(|_| CombinerBuffer::new(app, combine_budget, cfg.store_index))
                             .collect()
                     } else {
                         Vec::new()
@@ -404,9 +421,25 @@ impl LocalRunner {
                                 let p = partitioner.partition(&k, reducers);
                                 let batch = if combining {
                                     // Fold into the combiner; it drains a
-                                    // combined batch when over budget.
+                                    // combined batch when over budget. The
+                                    // buffer for a drain comes from the
+                                    // free-list, grabbed lazily on the
+                                    // drain's first record so under-budget
+                                    // pushes touch no lock.
                                     let mut drained: Batch<A> = Vec::new();
-                                    combs[p].push(app, k, v, &mut |k2, v2| drained.push((k2, v2)));
+                                    let mut recycled = false;
+                                    combs[p].push(app, k, v, &mut |k2, v2| {
+                                        if drained.capacity() == 0 {
+                                            if let Some(buf) = batch_pool.lock().unwrap().pop() {
+                                                drained = buf;
+                                                recycled = true;
+                                            }
+                                        }
+                                        drained.push((k2, v2));
+                                    });
+                                    if recycled {
+                                        local_counters.incr(names::SHUFFLE_BATCH_REUSE);
+                                    }
                                     if drained.is_empty() {
                                         None
                                     } else {
@@ -417,7 +450,14 @@ impl LocalRunner {
                                     plain[p].push((k, v));
                                     if plain_bytes[p] >= batch_bytes {
                                         plain_bytes[p] = 0;
-                                        Some(std::mem::take(&mut plain[p]))
+                                        let fresh = match batch_pool.lock().unwrap().pop() {
+                                            Some(recycled) => {
+                                                local_counters.incr(names::SHUFFLE_BATCH_REUSE);
+                                                recycled
+                                            }
+                                            None => Vec::new(),
+                                        };
+                                        Some(std::mem::replace(&mut plain[p], fresh))
                                     } else {
                                         None
                                     }
@@ -447,7 +487,13 @@ impl LocalRunner {
                             break;
                         }
                         let mut batch: Batch<A> = std::mem::take(&mut plain[p]);
-                        if combining {
+                        if combining && combs[p].entries() > 0 {
+                            if batch.capacity() == 0 {
+                                if let Some(buf) = batch_pool.lock().unwrap().pop() {
+                                    batch = buf;
+                                    local_counters.incr(names::SHUFFLE_BATCH_REUSE);
+                                }
+                            }
                             combs[p].drain(app, &mut |k, v| batch.push((k, v)));
                         }
                         if !batch.is_empty() {
@@ -707,6 +753,76 @@ mod tests {
         assert!(out.counters.get(names::COMBINE_OUTPUT_RECORDS) > 0);
         let got: BTreeMap<String, u64> = out.into_sorted_output().into_iter().collect();
         assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn pipelined_recycles_batch_buffers() {
+        // One-record batches produce thousands of batches; drained
+        // buffers must flow back from the reducers through the
+        // free-list and get reused by the mappers.
+        let splits = text_splits(8, 80);
+        let expect = expected_counts(&splits);
+        let cfg = JobConfig::new(2)
+            .engine(Engine::barrierless())
+            .shuffle_batch_bytes(1);
+        let out = LocalRunner::new(2)
+            .run(&WordCountApp, splits, &cfg)
+            .unwrap();
+        let batches = out.counters.get(names::SHUFFLE_BATCHES);
+        let reused = out.counters.get(names::SHUFFLE_BATCH_REUSE);
+        assert!(batches > 100);
+        assert!(reused > 0, "free-list never reused a drained buffer");
+        assert!(
+            reused <= batches,
+            "reuse {reused} exceeds batches {batches}"
+        );
+        let got: BTreeMap<String, u64> = out.into_sorted_output().into_iter().collect();
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn ordered_and_hashed_indexes_agree_under_every_policy() {
+        use crate::config::StoreIndex;
+        let splits = text_splits(6, 40);
+        for policy in [
+            MemoryPolicy::InMemory,
+            MemoryPolicy::SpillMerge {
+                threshold_bytes: 512,
+            },
+            MemoryPolicy::KvStore { cache_bytes: 1024 },
+        ] {
+            let run = |index: StoreIndex| {
+                let cfg = JobConfig::new(3)
+                    .engine(Engine::BarrierLess {
+                        memory: policy.clone(),
+                    })
+                    .store_index(index)
+                    .combiner(crate::config::CombinerPolicy::enabled())
+                    .scratch_dir(scratch_dir("local-ab"));
+                LocalRunner::new(4)
+                    .run(&WordCountApp, splits.clone(), &cfg)
+                    .unwrap()
+            };
+            let ordered = run(StoreIndex::Ordered);
+            let hashed = run(StoreIndex::Hashed);
+            assert_eq!(
+                ordered.partitions, hashed.partitions,
+                "index flip changed output under {policy:?}"
+            );
+            // Spill behaviour must be identical too: byte accounting is
+            // order-free, so both indexes trip the threshold at the
+            // same absorb and write the same runs.
+            assert_eq!(
+                ordered.counters.get(names::SPILL_FILES),
+                hashed.counters.get(names::SPILL_FILES),
+                "index flip changed spill cadence under {policy:?}"
+            );
+            assert_eq!(
+                ordered.counters.get(names::SPILL_BYTES),
+                hashed.counters.get(names::SPILL_BYTES),
+                "index flip changed spill bytes under {policy:?}"
+            );
+        }
     }
 
     #[test]

@@ -1,19 +1,26 @@
-//! In-memory partial-result store — the paper's Java `TreeMap` (§3.2).
+//! In-memory partial-result store — the paper's Java `TreeMap` (§3.2),
+//! with the index strategy now a knob ([`StoreIndex`]).
 
+use super::index::{apply_byte_delta, PartialMap};
 use super::{PartialStore, StoreReport};
+use crate::config::StoreIndex;
 use crate::error::{MrError, MrResult};
-use crate::size::{SizeEstimate, ENTRY_OVERHEAD};
 use crate::traits::{Application, Emit};
-use std::collections::BTreeMap;
 
-/// A red-black-tree-equivalent ordered map of partial results, with byte
-/// accounting and an optional hard heap cap.
+/// Partial results in memory, with byte accounting and an optional hard
+/// heap cap.
+///
+/// The index is either the paper's ordered map or an FxHash map with the
+/// key sort deferred to [`finalize_into`](PartialStore::finalize_into) —
+/// output is byte-identical either way, the absorb hot path is not (the
+/// hashed probe skips the O(log n) comparison walk, and neither path
+/// clones the key: it is moved into the map on a miss).
 ///
 /// The accounting models what the paper measured on the JVM: key bytes +
 /// state bytes + a per-node overhead, scaled by `heap_scale` so that
 /// scaled-down simulated workloads report full-size heap numbers.
 pub struct InMemoryStore<A: Application> {
-    map: BTreeMap<A::MapKey, A::State>,
+    map: PartialMap<A::MapKey, A::State>,
     /// Unscaled live bytes (keys + states + node overhead).
     raw_bytes: u64,
     heap_scale: f64,
@@ -25,9 +32,9 @@ pub struct InMemoryStore<A: Application> {
 
 impl<A: Application> InMemoryStore<A> {
     /// An empty store for reduce partition `reducer`.
-    pub fn new(heap_cap: Option<u64>, heap_scale: f64, reducer: usize) -> Self {
+    pub fn new(index: StoreIndex, heap_cap: Option<u64>, heap_scale: f64, reducer: usize) -> Self {
         InMemoryStore {
-            map: BTreeMap::new(),
+            map: PartialMap::new(index),
             raw_bytes: 0,
             heap_scale,
             heap_cap,
@@ -70,21 +77,12 @@ impl<A: Application> PartialStore<A> for InMemoryStore<A> {
         shared: &mut A::Shared,
         out: &mut dyn Emit<A::OutKey, A::OutValue>,
     ) -> MrResult<()> {
-        let state = match self.map.get_mut(&key) {
-            Some(state) => state,
-            None => {
-                let fresh = app.init(&key);
-                self.raw_bytes +=
-                    (key.estimated_bytes() + fresh.estimated_bytes() + ENTRY_OVERHEAD) as u64;
-                self.map.entry(key.clone()).or_insert(fresh)
-            }
-        };
-        let before = state.estimated_bytes() as u64;
-        app.absorb(&key, state, value, shared, out);
-        let after = state.estimated_bytes() as u64;
-        // States can shrink (e.g. a selection evicting values), so the
-        // delta is applied saturating rather than assumed non-negative.
-        self.raw_bytes = (self.raw_bytes + after).saturating_sub(before);
+        let delta = self.map.upsert_with(
+            key,
+            |k| app.init(k),
+            |k, state| app.absorb(k, state, value, shared, out),
+        );
+        self.raw_bytes = apply_byte_delta(self.raw_bytes, delta);
         self.track_peaks();
         self.check_cap()
     }
@@ -102,7 +100,9 @@ impl<A: Application> PartialStore<A> for InMemoryStore<A> {
             peak_bytes: this.peak_bytes,
             ..StoreReport::default()
         };
-        for (key, state) in this.map {
+        // The amortized sort: one key ordering for the whole task instead
+        // of one tree rebalance per absorb.
+        for (key, state) in this.map.into_sorted_iter() {
             app.finalize(key, state, shared, out);
         }
         Ok(report)

@@ -21,6 +21,11 @@ static KV_SERIAL: AtomicU64 = AtomicU64::new(0);
 pub struct KvBackedStore<A: Application> {
     kv: Store,
     heap_scale: f64,
+    /// Encode scratch reused across absorbs (key, then state) — the
+    /// read-modify-update cycle costs no allocations beyond what the
+    /// store itself does.
+    key_buf: Vec<u8>,
+    state_buf: Vec<u8>,
     peak_entries: usize,
     peak_bytes: u64,
     _marker: std::marker::PhantomData<fn() -> A>,
@@ -42,6 +47,8 @@ impl<A: Application> KvBackedStore<A> {
         Ok(KvBackedStore {
             kv,
             heap_scale,
+            key_buf: Vec::new(),
+            state_buf: Vec::new(),
             peak_entries: 0,
             peak_bytes: 0,
             _marker: std::marker::PhantomData,
@@ -58,14 +65,17 @@ impl<A: Application> PartialStore<A> for KvBackedStore<A> {
         shared: &mut A::Shared,
         out: &mut dyn Emit<A::OutKey, A::OutValue>,
     ) -> MrResult<()> {
-        let key_bytes = key.to_bytes();
+        self.key_buf.clear();
+        key.encode(&mut self.key_buf);
         // Read-modify-update, exactly the cycle described in §5.2.
-        let mut state = match self.kv.get(&key_bytes)? {
+        let mut state = match self.kv.get(&self.key_buf)? {
             Some(bytes) => A::State::from_bytes(&bytes)?,
             None => app.init(&key),
         };
         app.absorb(&key, &mut state, value, shared, out);
-        self.kv.put(&key_bytes, &state.to_bytes())?;
+        self.state_buf.clear();
+        state.encode(&mut self.state_buf);
+        self.kv.put(&self.key_buf, &self.state_buf)?;
         self.peak_entries = self.peak_entries.max(self.kv.len());
         self.peak_bytes = self
             .peak_bytes

@@ -10,10 +10,12 @@
 //! | Disk spill and merge | §5.1 | [`SpillMergeStore`] |
 //! | Disk-spilling key/value store (BerkeleyDB) | §5.2 | [`KvBackedStore`] |
 
+pub mod index;
 mod inmem;
 mod kv;
 mod spill;
 
+pub use index::PartialMap;
 pub use inmem::InMemoryStore;
 pub use kv::KvBackedStore;
 pub use spill::SpillMergeStore;
@@ -89,12 +91,14 @@ pub fn make_store<A: Application>(
 ) -> MrResult<Box<dyn PartialStore<A>>> {
     Ok(match policy {
         MemoryPolicy::InMemory => Box::new(InMemoryStore::new(
+            cfg.store_index,
             cfg.heap_cap_bytes,
             cfg.heap_scale,
             reducer,
         )),
         MemoryPolicy::SpillMerge { threshold_bytes } => Box::new(SpillMergeStore::new(
             &cfg.scratch_dir,
+            cfg.store_index,
             *threshold_bytes,
             cfg.heap_scale,
             reducer,

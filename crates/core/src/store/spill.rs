@@ -1,20 +1,26 @@
 //! Disk spill-and-merge partial-result store (§5.1 of the paper).
 //!
-//! Partial results accumulate in an ordered in-memory map; when the
-//! modelled footprint reaches the threshold, the whole map is written out
-//! as a key-sorted *run file* and the map is cleared. A key's partial
-//! results may end up scattered across several runs, so the finalize phase
+//! Partial results accumulate in an in-memory map; when the modelled
+//! footprint reaches the threshold, the whole map is written out as a
+//! key-sorted *run file* and the map is cleared. A key's partial results
+//! may end up scattered across several runs, so the finalize phase
 //! performs a k-way merge over all runs (plus the residual in-memory map),
 //! combining same-key states with `Application::merge` — "this merge
 //! function is often functionally the same as the combiner" — and then
 //! finalizing each key exactly once, in key order.
+//!
+//! The live map's index strategy is a knob ([`StoreIndex`]): under
+//! `Hashed`, absorbs are O(1) expected probes and the key sort happens
+//! once per spill (inside [`PartialMap::drain_sorted`]) instead of on
+//! every insert. Run files are key-sorted either way, so the merge phase
+//! and the bytes on disk are identical under both indexes.
 
+use super::index::{apply_byte_delta, PartialMap};
 use super::{PartialStore, StoreReport};
 use crate::codec::Codec;
+use crate::config::StoreIndex;
 use crate::error::MrResult;
-use crate::size::{SizeEstimate, ENTRY_OVERHEAD};
 use crate::traits::{Application, Emit};
-use std::collections::BTreeMap;
 use std::fs::File;
 use std::io::{BufReader, BufWriter, Read, Write};
 use std::path::{Path, PathBuf};
@@ -25,12 +31,15 @@ static SPILL_SERIAL: AtomicU64 = AtomicU64::new(0);
 
 /// The spill-and-merge store.
 pub struct SpillMergeStore<A: Application> {
-    map: BTreeMap<A::MapKey, A::State>,
+    map: PartialMap<A::MapKey, A::State>,
     raw_bytes: u64,
     threshold_bytes: u64,
     heap_scale: f64,
     dir: PathBuf,
     runs: Vec<PathBuf>,
+    /// One encode buffer reused for every record of every run — the
+    /// per-record cost is a `clear()`, not an allocation.
+    encode_buf: Vec<u8>,
     reducer: usize,
     peak_entries: usize,
     peak_bytes: u64,
@@ -42,6 +51,7 @@ impl<A: Application> SpillMergeStore<A> {
     /// reaches `threshold_bytes`.
     pub fn new(
         scratch_dir: &Path,
+        index: StoreIndex,
         threshold_bytes: u64,
         heap_scale: f64,
         reducer: usize,
@@ -50,12 +60,13 @@ impl<A: Application> SpillMergeStore<A> {
         let dir = scratch_dir.join(format!("spill-{}-r{reducer}-{serial}", std::process::id()));
         std::fs::create_dir_all(&dir)?;
         Ok(SpillMergeStore {
-            map: BTreeMap::new(),
+            map: PartialMap::new(index),
             raw_bytes: 0,
             threshold_bytes,
             heap_scale,
             dir,
             runs: Vec::new(),
+            encode_buf: Vec::new(),
             reducer,
             peak_entries: 0,
             peak_bytes: 0,
@@ -67,23 +78,23 @@ impl<A: Application> SpillMergeStore<A> {
         (self.raw_bytes as f64 * self.heap_scale) as u64
     }
 
-    /// Writes the current map as a sorted run and clears it.
+    /// Writes the current map as a key-sorted run and clears it.
     fn spill(&mut self) -> MrResult<()> {
         if self.map.is_empty() {
             return Ok(());
         }
         let path = self.dir.join(format!("run-{:04}.spill", self.runs.len()));
         let mut out = BufWriter::new(File::create(&path)?);
-        let map = std::mem::take(&mut self.map);
-        out.write_all(&(map.len() as u64).to_le_bytes())?;
-        let mut buf = Vec::new();
+        let entries = self.map.drain_sorted();
+        out.write_all(&(entries.len() as u64).to_le_bytes())?;
+        let buf = &mut self.encode_buf;
         let mut written = 0u64;
-        for (key, state) in map {
+        for (key, state) in entries {
             buf.clear();
-            key.encode(&mut buf);
-            state.encode(&mut buf);
+            key.encode(buf);
+            state.encode(buf);
             out.write_all(&(buf.len() as u32).to_le_bytes())?;
-            out.write_all(&buf)?;
+            out.write_all(buf)?;
             written += 4 + buf.len() as u64;
         }
         out.flush()?;
@@ -98,6 +109,8 @@ impl<A: Application> SpillMergeStore<A> {
 struct RunReader<A: Application> {
     input: BufReader<File>,
     remaining: u64,
+    /// Payload buffer reused across entries.
+    payload: Vec<u8>,
     _marker: std::marker::PhantomData<fn() -> A>,
 }
 
@@ -109,6 +122,7 @@ impl<A: Application> RunReader<A> {
         Ok(RunReader {
             input,
             remaining: u64::from_le_bytes(header),
+            payload: Vec::new(),
             _marker: std::marker::PhantomData,
         })
     }
@@ -121,9 +135,9 @@ impl<A: Application> RunReader<A> {
         let mut len_bytes = [0u8; 4];
         self.input.read_exact(&mut len_bytes)?;
         let len = u32::from_le_bytes(len_bytes) as usize;
-        let mut payload = vec![0u8; len];
-        self.input.read_exact(&mut payload)?;
-        let mut slice = payload.as_slice();
+        self.payload.resize(len, 0);
+        self.input.read_exact(&mut self.payload)?;
+        let mut slice = self.payload.as_slice();
         let key = A::MapKey::decode(&mut slice)?;
         let state = A::State::decode(&mut slice)?;
         Ok(Some((key, state)))
@@ -139,19 +153,12 @@ impl<A: Application> PartialStore<A> for SpillMergeStore<A> {
         shared: &mut A::Shared,
         out: &mut dyn Emit<A::OutKey, A::OutValue>,
     ) -> MrResult<()> {
-        let state = match self.map.get_mut(&key) {
-            Some(state) => state,
-            None => {
-                let fresh = app.init(&key);
-                self.raw_bytes +=
-                    (key.estimated_bytes() + fresh.estimated_bytes() + ENTRY_OVERHEAD) as u64;
-                self.map.entry(key.clone()).or_insert(fresh)
-            }
-        };
-        let before = state.estimated_bytes() as u64;
-        app.absorb(&key, state, value, shared, out);
-        let after = state.estimated_bytes() as u64;
-        self.raw_bytes = (self.raw_bytes + after).saturating_sub(before);
+        let delta = self.map.upsert_with(
+            key,
+            |k| app.init(k),
+            |k, state| app.absorb(k, state, value, shared, out),
+        );
+        self.raw_bytes = apply_byte_delta(self.raw_bytes, delta);
         self.peak_entries = self.peak_entries.max(self.map.len());
         self.peak_bytes = self.peak_bytes.max(self.scaled());
         if self.scaled() >= self.threshold_bytes {
@@ -166,7 +173,7 @@ impl<A: Application> PartialStore<A> for SpillMergeStore<A> {
         shared: &mut A::Shared,
         out: &mut dyn Emit<A::OutKey, A::OutValue>,
     ) -> MrResult<StoreReport> {
-        let mut this = *self;
+        let this = *self;
         let _ = this.reducer;
         let mut report = StoreReport {
             entries: this.map.len(),
@@ -178,8 +185,8 @@ impl<A: Application> PartialStore<A> for SpillMergeStore<A> {
         };
 
         if this.runs.is_empty() {
-            // Never spilled: plain in-memory finalize.
-            for (key, state) in std::mem::take(&mut this.map) {
+            // Never spilled: plain in-memory finalize, key-sorted.
+            for (key, state) in this.map.into_sorted_iter() {
                 app.finalize(key, state, shared, out);
             }
             std::fs::remove_dir_all(&this.dir).ok();
@@ -196,7 +203,7 @@ impl<A: Application> PartialStore<A> for SpillMergeStore<A> {
         for reader in &mut readers {
             heads.push(reader.next_entry()?);
         }
-        let mut mem_iter = std::mem::take(&mut this.map).into_iter();
+        let mut mem_iter = this.map.into_sorted_iter();
         heads.push(mem_iter.next());
 
         // Repeatedly pull the globally smallest key among the heads.

@@ -1,10 +1,11 @@
 //! Property tests for the partial-result stores: for any record stream
-//! and any spill threshold / cache size, all three §5 policies must
-//! produce byte-identical results, and spilling must never change what a
-//! reducer emits.
+//! and any spill threshold / cache size, all three §5 policies — each
+//! under both store indexes (ordered map vs hashed map with
+//! sort-at-drain) — must produce byte-identical results, and neither
+//! spilling nor the index strategy may change what a reducer emits.
 
 use mr_core::engine::pipeline::reduce_partition_barrierless;
-use mr_core::{Application, Counters, Emit, Engine, JobConfig, MemoryPolicy};
+use mr_core::{Application, Counters, Emit, Engine, JobConfig, MemoryPolicy, StoreIndex};
 use proptest::prelude::*;
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -74,9 +75,16 @@ impl Application for MaxTracker {
     }
 }
 
-fn run_policy(records: &[(u32, i64)], policy: MemoryPolicy) -> Vec<(u32, i64)> {
+const INDEXES: [StoreIndex; 2] = [StoreIndex::Ordered, StoreIndex::Hashed];
+
+fn run_policy_indexed(
+    records: &[(u32, i64)],
+    policy: MemoryPolicy,
+    index: StoreIndex,
+) -> Vec<(u32, i64)> {
     let cfg = JobConfig::new(1)
         .engine(Engine::BarrierLess { memory: policy })
+        .store_index(index)
         .scratch_dir(scratch());
     let (out, _) =
         reduce_partition_barrierless(&MaxTracker, &cfg, 0, records.to_vec(), &mut Counters::new())
@@ -84,22 +92,30 @@ fn run_policy(records: &[(u32, i64)], policy: MemoryPolicy) -> Vec<(u32, i64)> {
     out
 }
 
+fn run_policy(records: &[(u32, i64)], policy: MemoryPolicy) -> Vec<(u32, i64)> {
+    run_policy_indexed(records, policy, StoreIndex::default())
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(40))]
 
     /// Any threshold (including absurdly small, forcing a spill per
-    /// handful of records) must leave the output unchanged.
+    /// handful of records) must leave the output unchanged, under both
+    /// store indexes.
     #[test]
     fn spill_threshold_is_invisible(
         records in prop::collection::vec((0u32..30, -1000i64..1000), 1..250),
         threshold in 64u64..4096,
     ) {
         let reference = run_policy(&records, MemoryPolicy::InMemory);
-        let spilled = run_policy(
-            &records,
-            MemoryPolicy::SpillMerge { threshold_bytes: threshold },
-        );
-        prop_assert_eq!(reference, spilled);
+        for index in INDEXES {
+            let spilled = run_policy_indexed(
+                &records,
+                MemoryPolicy::SpillMerge { threshold_bytes: threshold },
+                index,
+            );
+            prop_assert_eq!(&reference, &spilled, "index {:?}", index);
+        }
     }
 
     /// Any KV cache size — from nearly nothing (every absorb hits disk)
@@ -112,6 +128,26 @@ proptest! {
         let reference = run_policy(&records, MemoryPolicy::InMemory);
         let kv = run_policy(&records, MemoryPolicy::KvStore { cache_bytes: cache });
         prop_assert_eq!(reference, kv);
+    }
+
+    /// The tentpole invariant at the store level: for every memory
+    /// policy, flipping the index between the ordered map and the hashed
+    /// map (amortized sort-at-drain) is byte-invisible.
+    #[test]
+    fn store_index_is_invisible_under_every_policy(
+        records in prop::collection::vec((0u32..30, -1000i64..1000), 1..250),
+        threshold in 64u64..4096,
+        cache in 128usize..8192,
+    ) {
+        for policy in [
+            MemoryPolicy::InMemory,
+            MemoryPolicy::SpillMerge { threshold_bytes: threshold },
+            MemoryPolicy::KvStore { cache_bytes: cache },
+        ] {
+            let ordered = run_policy_indexed(&records, policy.clone(), StoreIndex::Ordered);
+            let hashed = run_policy_indexed(&records, policy.clone(), StoreIndex::Hashed);
+            prop_assert_eq!(&ordered, &hashed, "policy {:?}", policy);
+        }
     }
 
     /// The incremental form agrees with the grouped form: top-3 per key.

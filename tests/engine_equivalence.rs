@@ -2,13 +2,16 @@
 //! modifications were idempotent, the correctness and the completeness of
 //! the MapReduce execution is not compromised."
 //!
-//! Property-based: for arbitrary inputs, every engine × memory-policy
-//! combination must produce identical output — and, for combinable
-//! applications, identical output with the map-side combiner on or off.
+//! Property-based: for arbitrary inputs, every engine × memory-policy ×
+//! store-index combination must produce identical output — and, for
+//! combinable applications, identical output with the map-side combiner
+//! on or off. The store-index axis is the tentpole's invariant: the
+//! hashed (sort-at-drain) index must be byte-indistinguishable from the
+//! paper's ordered map everywhere, combiner included.
 
 use barrier_mapreduce::apps::{Sort, UniqueListens, WordCount};
 use barrier_mapreduce::core::local::LocalRunner;
-use barrier_mapreduce::core::{CombinerPolicy, Engine, JobConfig, MemoryPolicy};
+use barrier_mapreduce::core::{CombinerPolicy, Engine, JobConfig, MemoryPolicy, StoreIndex};
 use proptest::prelude::*;
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -51,6 +54,9 @@ fn combiner_settings() -> Vec<CombinerPolicy> {
     ]
 }
 
+/// The store-index axis of the matrix.
+const INDEXES: [StoreIndex; 2] = [StoreIndex::Ordered, StoreIndex::Hashed];
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
 
@@ -72,13 +78,19 @@ proptest! {
         }
         for engine in all_engines() {
             for combiner in combiner_settings() {
-                let cfg = JobConfig::new(reducers)
-                    .engine(engine.clone())
-                    .combiner(combiner)
-                    .scratch_dir(scratch());
-                let out = LocalRunner::new(2).run(&WordCount, splits.clone(), &cfg).unwrap();
-                let got: BTreeMap<String, u64> = out.into_sorted_output().into_iter().collect();
-                prop_assert_eq!(&got, &reference, "engine {:?} combiner {:?}", engine, combiner);
+                for index in INDEXES {
+                    let cfg = JobConfig::new(reducers)
+                        .engine(engine.clone())
+                        .combiner(combiner)
+                        .store_index(index)
+                        .scratch_dir(scratch());
+                    let out = LocalRunner::new(2).run(&WordCount, splits.clone(), &cfg).unwrap();
+                    let got: BTreeMap<String, u64> = out.into_sorted_output().into_iter().collect();
+                    prop_assert_eq!(
+                        &got, &reference,
+                        "engine {:?} combiner {:?} index {:?}", engine, combiner, index
+                    );
+                }
             }
         }
     }
@@ -94,10 +106,15 @@ proptest! {
         let mut expect = keys.clone();
         expect.sort();
         for engine in all_engines() {
-            let cfg = JobConfig::new(1).engine(engine.clone()).scratch_dir(scratch());
-            let out = LocalRunner::new(2).run(&Sort, splits.clone(), &cfg).unwrap();
-            let got: Vec<u64> = out.partitions[0].iter().map(|(k, _)| *k).collect();
-            prop_assert_eq!(&got, &expect, "engine {:?}", engine);
+            for index in INDEXES {
+                let cfg = JobConfig::new(1)
+                    .engine(engine.clone())
+                    .store_index(index)
+                    .scratch_dir(scratch());
+                let out = LocalRunner::new(2).run(&Sort, splits.clone(), &cfg).unwrap();
+                let got: Vec<u64> = out.partitions[0].iter().map(|(k, _)| *k).collect();
+                prop_assert_eq!(&got, &expect, "engine {:?} index {:?}", engine, index);
+            }
         }
     }
 
@@ -117,23 +134,30 @@ proptest! {
             sets.into_iter().map(|(t, s)| (t, s.len() as u64)).collect();
         for engine in all_engines() {
             for combiner in combiner_settings() {
-                let cfg = JobConfig::new(3)
-                    .engine(engine.clone())
-                    .combiner(combiner)
-                    .scratch_dir(scratch());
-                let out = LocalRunner::new(2)
-                    .run(&UniqueListens, splits.clone(), &cfg)
-                    .unwrap();
-                let got: BTreeMap<u32, u64> = out.into_sorted_output().into_iter().collect();
-                prop_assert_eq!(&got, &reference, "engine {:?} combiner {:?}", engine, combiner);
+                for index in INDEXES {
+                    let cfg = JobConfig::new(3)
+                        .engine(engine.clone())
+                        .combiner(combiner)
+                        .store_index(index)
+                        .scratch_dir(scratch());
+                    let out = LocalRunner::new(2)
+                        .run(&UniqueListens, splits.clone(), &cfg)
+                        .unwrap();
+                    let got: BTreeMap<u32, u64> = out.into_sorted_output().into_iter().collect();
+                    prop_assert_eq!(
+                        &got, &reference,
+                        "engine {:?} combiner {:?} index {:?}", engine, combiner, index
+                    );
+                }
             }
         }
     }
 
-    /// The tentpole's byte-exact invariant, stated directly: for every
-    /// engine × store-policy combination, the *entire* output (keys and
-    /// values, canonical order) with combining enabled equals the output
-    /// with combining disabled — not merely "both match a reference".
+    /// The byte-exact invariant, stated directly: for every engine ×
+    /// store-policy × store-index combination, the *entire* output (keys
+    /// and values, canonical order) with combining enabled equals the
+    /// output with combining disabled — not merely "both match a
+    /// reference" — and flipping the index never changes a byte either.
     #[test]
     fn wordcount_combiner_on_off_byte_identical(
         words in prop::collection::vec(prop::collection::vec("[a-f]{1,4}", 1..10), 1..10),
@@ -145,26 +169,34 @@ proptest! {
             .map(|(i, line)| vec![(i as u64, line.join(" "))])
             .collect();
         for engine in all_engines() {
-            let run = |combiner: CombinerPolicy| {
+            let run = |combiner: CombinerPolicy, index: StoreIndex| {
                 let cfg = JobConfig::new(reducers)
                     .engine(engine.clone())
                     .combiner(combiner)
+                    .store_index(index)
                     .scratch_dir(scratch());
                 LocalRunner::new(2)
                     .run(&WordCount, splits.clone(), &cfg)
                     .unwrap()
                     .into_sorted_output()
             };
-            let plain = run(CombinerPolicy::Disabled);
-            for combiner in [
-                CombinerPolicy::enabled(),
-                CombinerPolicy::Enabled { budget_bytes: 1 },
-            ] {
-                let combined = run(combiner);
-                prop_assert_eq!(
-                    &combined, &plain,
-                    "combiner {:?} changed output under {:?}", combiner, engine
-                );
+            let plain = run(CombinerPolicy::Disabled, StoreIndex::Ordered);
+            for index in INDEXES {
+                for combiner in [
+                    CombinerPolicy::Disabled,
+                    CombinerPolicy::enabled(),
+                    CombinerPolicy::Enabled { budget_bytes: 1 },
+                ] {
+                    if index == StoreIndex::Ordered && combiner == CombinerPolicy::Disabled {
+                        continue; // that exact run *is* the `plain` baseline
+                    }
+                    let got = run(combiner, index);
+                    prop_assert_eq!(
+                        &got, &plain,
+                        "combiner {:?} index {:?} changed output under {:?}",
+                        combiner, index, engine
+                    );
+                }
             }
         }
     }
