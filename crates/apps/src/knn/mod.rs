@@ -192,6 +192,49 @@ impl Application for KnnBarrierless {
         }
     }
 
+    /// Snapshot accuracy for selection: the fraction of final
+    /// `(exp_value, neighbour)` pairs the estimate has *wrong* — missing
+    /// or replaced by a farther candidate. A mid-job top-k list can hold
+    /// interim neighbours that later records evict, so unlike the
+    /// counting apps this error is not monotone record-by-record; it
+    /// still converges to zero by end of input.
+    fn snapshot_error(&self, estimate: &[(i64, i64)], truth: &[(i64, i64)]) -> f64 {
+        if truth.is_empty() {
+            return 0.0;
+        }
+        let mut matched = 0usize;
+        let mut t = 0usize;
+        while t < truth.len() {
+            let key = truth[t].0;
+            let t_end = truth[t..].iter().take_while(|(k, _)| *k == key).count() + t;
+            let e_start = estimate.partition_point(|(k, _)| *k < key);
+            let e_end = estimate[e_start..]
+                .iter()
+                .take_while(|(k, _)| *k == key)
+                .count()
+                + e_start;
+            // Multiset intersection of the neighbour values for this key.
+            let mut want: Vec<i64> = truth[t..t_end].iter().map(|(_, v)| *v).collect();
+            want.sort_unstable();
+            let mut have: Vec<i64> = estimate[e_start..e_end].iter().map(|(_, v)| *v).collect();
+            have.sort_unstable();
+            let (mut i, mut j) = (0, 0);
+            while i < want.len() && j < have.len() {
+                match want[i].cmp(&have[j]) {
+                    std::cmp::Ordering::Equal => {
+                        matched += 1;
+                        i += 1;
+                        j += 1;
+                    }
+                    std::cmp::Ordering::Less => i += 1,
+                    std::cmp::Ordering::Greater => j += 1,
+                }
+            }
+            t = t_end;
+        }
+        1.0 - matched as f64 / truth.len() as f64
+    }
+
     fn name(&self) -> &'static str {
         "knn-barrierless"
     }
@@ -350,6 +393,54 @@ mod tests {
         // Table 1: O(k * keys).
         assert!(out.reports[0].store.peak_entries <= n_exp);
         assert_eq!(out.record_count(), n_exp * 5);
+    }
+
+    #[test]
+    fn snapshot_error_counts_wrong_neighbours() {
+        let app = KnnBarrierless {
+            k: 2,
+            experimental: vec![10, 20],
+        };
+        let truth = vec![(10i64, 9i64), (10, 11), (20, 19), (20, 21)];
+        assert_eq!(app.snapshot_error(&[], &truth), 1.0);
+        assert_eq!(app.snapshot_error(&truth, &truth), 0.0);
+        // One of four pairs wrong: an interim neighbour (40) that the
+        // true neighbour 21 later evicts.
+        let interim = vec![(10i64, 9i64), (10, 11), (20, 19), (20, 40)];
+        assert_eq!(app.snapshot_error(&interim, &truth), 0.25);
+        // A whole key missing: half the pairs wrong.
+        let missing = vec![(10i64, 9i64), (10, 11)];
+        assert_eq!(app.snapshot_error(&missing, &truth), 0.5);
+    }
+
+    #[test]
+    fn snapshots_of_topk_lists_end_exact_under_both_policies() {
+        use mr_core::{MemoryPolicy, SnapshotPolicy};
+        let (exp, splits) = setup();
+        let app = KnnBarrierless {
+            k: 5,
+            experimental: exp,
+        };
+        for memory in [
+            MemoryPolicy::InMemory,
+            MemoryPolicy::SpillMerge {
+                threshold_bytes: 2048,
+            },
+        ] {
+            let cfg = JobConfig::new(2)
+                .engine(Engine::BarrierLess { memory })
+                .snapshots(SnapshotPolicy::EveryRecords { records: 400 })
+                .scratch_dir(std::env::temp_dir().join("mr-apps-knn-snap"));
+            let out = mr_core::local::LocalRunner::new(4)
+                .run(&app, splits.clone(), &cfg)
+                .unwrap();
+            assert!(out.snapshot_count() >= 2);
+            for (r, snaps) in out.snapshots.iter().enumerate() {
+                let last = snaps.last().unwrap();
+                assert_eq!(last.estimate, out.partitions[r]);
+                assert_eq!(app.snapshot_error(&last.estimate, &out.partitions[r]), 0.0);
+            }
+        }
     }
 
     #[test]

@@ -90,6 +90,32 @@ impl Application for UniqueListens {
         }
     }
 
+    /// Snapshot accuracy for distinct-counting: relative L1 error of the
+    /// per-track unique-user counts over the union of tracks. Distinct
+    /// counts only grow as records arrive, so mid-job estimates are
+    /// monotone under-counts converging to zero error.
+    fn snapshot_error(&self, estimate: &[(u32, u64)], truth: &[(u32, u64)]) -> f64 {
+        let total: u64 = truth.iter().map(|(_, n)| n).sum();
+        if total == 0 {
+            return 0.0;
+        }
+        let mut gap = 0u64;
+        let mut est = estimate.iter().peekable();
+        for (track, count) in truth {
+            while est.peek().is_some_and(|(t, _)| t < track) {
+                gap += est.next().expect("peeked").1;
+            }
+            if est.peek().is_some_and(|(t, _)| t == track) {
+                let (_, have) = est.next().expect("peeked");
+                gap += count.abs_diff(*have);
+            } else {
+                gap += count;
+            }
+        }
+        gap += est.map(|(_, n)| n).sum::<u64>();
+        (gap as f64 / total as f64).min(1.0)
+    }
+
     fn name(&self) -> &'static str {
         "lastfm-unique-listens"
     }
@@ -186,6 +212,41 @@ mod tests {
             );
             let got: BTreeMap<u32, u64> = out.into_sorted_output().into_iter().collect();
             assert_eq!(got, expect, "engine {engine:?} with combiner wrong");
+        }
+    }
+
+    #[test]
+    fn snapshot_error_tracks_distinct_count_gap() {
+        let truth = vec![(1u32, 4u64), (2, 4), (3, 2)];
+        assert_eq!(UniqueListens.snapshot_error(&[], &truth), 1.0);
+        assert_eq!(UniqueListens.snapshot_error(&truth, &truth), 0.0);
+        let partial = vec![(1u32, 2u64), (3, 1)];
+        // Missing mass: 2 (track 1) + 4 (track 2) + 1 (track 3) = 7/10.
+        assert_eq!(UniqueListens.snapshot_error(&partial, &truth), 0.7);
+    }
+
+    #[test]
+    fn snapshots_of_dedup_sets_stay_self_consistent() {
+        use mr_core::SnapshotPolicy;
+        // The HashSet state round-trips through the codec (sorted
+        // encoding) inside the default snapshot_emit; estimates must be
+        // bounded by the user population and end exact.
+        let input = splits(5);
+        let cfg = JobConfig::new(2)
+            .engine(Engine::barrierless())
+            .snapshots(SnapshotPolicy::EveryRecords { records: 250 });
+        let out = mr_core::local::LocalRunner::new(4)
+            .run(&UniqueListens, input, &cfg)
+            .unwrap();
+        assert!(out.snapshot_count() >= 4);
+        for (r, snaps) in out.snapshots.iter().enumerate() {
+            for snap in snaps {
+                assert!(snap.estimate.iter().all(|(_, n)| *n <= 50));
+                for pair in snap.estimate.windows(2) {
+                    assert!(pair[0].0 < pair[1].0, "snapshot not key-sorted");
+                }
+            }
+            assert_eq!(snaps.last().unwrap().estimate, out.partitions[r]);
         }
     }
 

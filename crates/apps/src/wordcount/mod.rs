@@ -75,6 +75,33 @@ impl Application for WordCount {
         out.emit(key.clone(), state);
     }
 
+    /// Snapshot accuracy for counting: relative L1 error of the counts,
+    /// `Σ|estimate − truth| / Σtruth` over the union of words (a word
+    /// the estimate has not seen yet contributes its whole true count).
+    /// Mid-job estimates undercount — every absorbed record closes the
+    /// gap monotonically, which is what `fig_snapshot_accuracy` plots.
+    fn snapshot_error(&self, estimate: &[(String, u64)], truth: &[(String, u64)]) -> f64 {
+        let total: u64 = truth.iter().map(|(_, n)| n).sum();
+        if total == 0 {
+            return 0.0;
+        }
+        let mut gap = 0u64;
+        let mut est = estimate.iter().peekable();
+        for (word, count) in truth {
+            while est.peek().is_some_and(|(w, _)| w < word) {
+                gap += est.next().expect("peeked").1; // spurious word
+            }
+            if est.peek().is_some_and(|(w, _)| w == word) {
+                let (_, have) = est.next().expect("peeked");
+                gap += count.abs_diff(*have);
+            } else {
+                gap += count;
+            }
+        }
+        gap += est.map(|(_, n)| n).sum::<u64>();
+        (gap as f64 / total as f64).min(1.0)
+    }
+
     fn name(&self) -> &'static str {
         "wordcount"
     }
@@ -167,6 +194,54 @@ mod tests {
             );
             let got: BTreeMap<String, u64> = out.into_sorted_output().into_iter().collect();
             assert_eq!(got, expect, "engine {engine:?} with combiner wrong");
+        }
+    }
+
+    #[test]
+    fn snapshot_error_measures_relative_count_gap() {
+        let truth = vec![
+            ("alpha".to_string(), 6u64),
+            ("beta".to_string(), 2),
+            ("gamma".to_string(), 2),
+        ];
+        assert_eq!(WordCount.snapshot_error(&[], &truth), 1.0);
+        assert_eq!(WordCount.snapshot_error(&truth, &truth), 0.0);
+        // Half the mass seen: (3 + 1 + 1) missing out of 10.
+        let half = vec![
+            ("alpha".to_string(), 3u64),
+            ("beta".to_string(), 1),
+            ("gamma".to_string(), 1),
+        ];
+        assert_eq!(WordCount.snapshot_error(&half, &truth), 0.5);
+        // A word truth never saw is pure error mass, capped at 1.
+        let wrong = vec![("zzz".to_string(), 50u64)];
+        assert_eq!(WordCount.snapshot_error(&wrong, &truth), 1.0);
+        assert_eq!(WordCount.snapshot_error(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn snapshots_converge_to_zero_error_per_reducer() {
+        use mr_core::SnapshotPolicy;
+        let input = splits(4);
+        let cfg = JobConfig::new(2)
+            .engine(Engine::barrierless())
+            .snapshots(SnapshotPolicy::EveryRecords { records: 300 });
+        let out = mr_core::local::LocalRunner::new(4)
+            .run(&WordCount, input, &cfg)
+            .unwrap();
+        assert!(out.snapshot_count() >= 4);
+        for (r, snaps) in out.snapshots.iter().enumerate() {
+            let truth = &out.partitions[r];
+            let errors: Vec<f64> = snaps
+                .iter()
+                .map(|s| WordCount.snapshot_error(&s.estimate, truth))
+                .collect();
+            // Counting converges monotonically, ending exact.
+            for pair in errors.windows(2) {
+                assert!(pair[1] <= pair[0] + 1e-12, "error went up: {errors:?}");
+            }
+            assert_eq!(*errors.last().unwrap(), 0.0);
+            assert!(errors[0] > 0.0, "first snapshot already exact? {errors:?}");
         }
     }
 

@@ -101,6 +101,7 @@ pub fn wc_costs() -> CostModel {
         kv_cpu_per_record: 0.03,
         sort_cpu_coeff: 3.2e-4,
         finalize_cpu_per_entry: 1.0e-3,
+        snapshot_cpu_per_record: 2.0e-4,
         output_selectivity: 0.5,
     }
 }
@@ -140,10 +141,44 @@ pub fn run_wordcount_configured(
     combiner: mr_core::CombinerPolicy,
     store_index: Option<mr_core::StoreIndex>,
 ) -> SimReport<WordCount> {
+    run_wordcount_full(gb, reducers, engine, seed, combiner, store_index, None)
+}
+
+/// Runs WordCount with a cluster-level snapshot policy (the
+/// `fig_snapshot_accuracy` / `ablation_snapshot` entry point).
+pub fn run_wordcount_snapshotted(
+    gb: f64,
+    reducers: usize,
+    engine: Engine,
+    seed: u64,
+    snapshots: mr_core::SnapshotPolicy,
+) -> SimReport<WordCount> {
+    run_wordcount_full(
+        gb,
+        reducers,
+        engine,
+        seed,
+        mr_core::CombinerPolicy::Disabled,
+        None,
+        Some(snapshots),
+    )
+}
+
+/// The one WordCount setup every public variant delegates to.
+fn run_wordcount_full(
+    gb: f64,
+    reducers: usize,
+    engine: Engine,
+    seed: u64,
+    combiner: mr_core::CombinerPolicy,
+    store_index: Option<mr_core::StoreIndex>,
+    snapshots: Option<mr_core::SnapshotPolicy>,
+) -> SimReport<WordCount> {
     let w = wc_workload(seed);
     let mut params = testbed(seed);
     params.combiner = combiner;
     params.store_index = store_index;
+    params.snapshots = snapshots;
     let cfg = JobConfig::new(reducers)
         .engine(engine)
         .heap_scale(WC_HEAP_SCALE)
@@ -183,6 +218,7 @@ pub fn sort_costs() -> CostModel {
         kv_cpu_per_record: 0.30,
         sort_cpu_coeff: 1.0e-4,
         finalize_cpu_per_entry: 2.0e-3,
+        snapshot_cpu_per_record: 1.0e-4,
         output_selectivity: 1.0,
     }
 }
@@ -229,6 +265,7 @@ pub fn knn_costs() -> CostModel {
         kv_cpu_per_record: 0.10,
         sort_cpu_coeff: 1.2e-4,
         finalize_cpu_per_entry: 2.0e-3,
+        snapshot_cpu_per_record: 2.0e-4,
         output_selectivity: 0.05,
     }
 }
@@ -236,23 +273,49 @@ pub fn knn_costs() -> CostModel {
 /// Runs barrier-less-formulation kNN (which both engines can execute) at
 /// `gb` input.
 pub fn run_knn(gb: f64, reducers: usize, engine: Engine, seed: u64) -> SimReport<KnnBarrierless> {
+    run_knn_full(gb, reducers, engine, seed, None).1
+}
+
+/// Runs kNN with a cluster-level snapshot policy, returning the app too
+/// (its `snapshot_error` scores the estimates).
+pub fn run_knn_snapshotted(
+    gb: f64,
+    reducers: usize,
+    engine: Engine,
+    seed: u64,
+    snapshots: mr_core::SnapshotPolicy,
+) -> (KnnBarrierless, SimReport<KnnBarrierless>) {
+    run_knn_full(gb, reducers, engine, seed, Some(snapshots))
+}
+
+/// The one kNN setup every public variant delegates to.
+fn run_knn_full(
+    gb: f64,
+    reducers: usize,
+    engine: Engine,
+    seed: u64,
+    snapshots: Option<mr_core::SnapshotPolicy>,
+) -> (KnnBarrierless, SimReport<KnnBarrierless>) {
     let w = knn_workload(seed);
     let app = KnnBarrierless {
         k: 10,
         experimental: w.experimental_set(),
     };
+    let mut params = testbed(seed);
+    params.snapshots = snapshots;
     let cfg = JobConfig::new(reducers)
         .engine(engine)
         .scratch_dir(scratch())
         .seed(seed);
-    SimExecutor::new(testbed(seed)).run(
+    let report = SimExecutor::new(params).run(
         &app,
         &FnInput(move |c| w.chunk(c)),
         chunks_for_gb(gb),
         &cfg,
         &knn_costs(),
         &HashPartitioner,
-    )
+    );
+    (app, report)
 }
 
 // ---------------------------------------------------------------- Last.fm
@@ -278,18 +341,43 @@ pub fn lastfm_costs() -> CostModel {
         kv_cpu_per_record: 0.20,
         sort_cpu_coeff: 2.5e-4,
         finalize_cpu_per_entry: 1.0e-3,
+        snapshot_cpu_per_record: 1.0e-4,
         output_selectivity: 0.05,
     }
 }
 
 /// Runs Last.fm unique listens at `gb` input.
 pub fn run_lastfm(gb: f64, reducers: usize, engine: Engine, seed: u64) -> SimReport<UniqueListens> {
+    run_lastfm_full(gb, reducers, engine, seed, None)
+}
+
+/// Runs Last.fm unique listens with a cluster-level snapshot policy.
+pub fn run_lastfm_snapshotted(
+    gb: f64,
+    reducers: usize,
+    engine: Engine,
+    seed: u64,
+    snapshots: mr_core::SnapshotPolicy,
+) -> SimReport<UniqueListens> {
+    run_lastfm_full(gb, reducers, engine, seed, Some(snapshots))
+}
+
+/// The one Last.fm setup every public variant delegates to.
+fn run_lastfm_full(
+    gb: f64,
+    reducers: usize,
+    engine: Engine,
+    seed: u64,
+    snapshots: Option<mr_core::SnapshotPolicy>,
+) -> SimReport<UniqueListens> {
     let w = lastfm_workload(seed);
+    let mut params = testbed(seed);
+    params.snapshots = snapshots;
     let cfg = JobConfig::new(reducers)
         .engine(engine)
         .scratch_dir(scratch())
         .seed(seed);
-    SimExecutor::new(testbed(seed)).run(
+    SimExecutor::new(params).run(
         &UniqueListens,
         &FnInput(move |c| w.chunk(c)),
         chunks_for_gb(gb),
@@ -319,6 +407,7 @@ pub fn ga_costs() -> CostModel {
         kv_cpu_per_record: 0.10,
         sort_cpu_coeff: 6.0e-4,
         finalize_cpu_per_entry: 0.0,
+        snapshot_cpu_per_record: 1.0e-4,
         output_selectivity: 1.0,
     }
 }
@@ -366,6 +455,7 @@ pub fn bs_costs() -> CostModel {
         kv_cpu_per_record: 0.01,
         sort_cpu_coeff: 7.0e-5,
         finalize_cpu_per_entry: 0.0,
+        snapshot_cpu_per_record: 1.0e-4,
         output_selectivity: 1e-6,
     }
 }

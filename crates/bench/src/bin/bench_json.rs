@@ -20,12 +20,15 @@
 //!
 //! Usage: `cargo run --release -p mr-bench --bin bench_json [out.json]`
 
-use mr_bench::appcfg::run_wordcount_with_combiner;
+use mr_bench::appcfg::{run_wordcount_snapshotted, run_wordcount_with_combiner};
 use mr_core::counters::names;
-use mr_core::engine::pipeline::reduce_partition_barrierless;
+use mr_core::engine::pipeline::{
+    reduce_partition_barrierless, reduce_partition_barrierless_traced,
+};
 use mr_core::local::LocalRunner;
 use mr_core::{
-    CombinerBuffer, CombinerPolicy, Counters, Engine, JobConfig, MemoryPolicy, StoreIndex,
+    CombinerBuffer, CombinerPolicy, Counters, Engine, JobConfig, MemoryPolicy, SnapshotPolicy,
+    StoreIndex,
 };
 use mr_workloads::TextWorkload;
 use std::time::Instant;
@@ -92,7 +95,7 @@ fn barrierless() -> Engine {
 fn main() {
     let out_path = std::env::args()
         .nth(1)
-        .unwrap_or_else(|| "BENCH_3.json".to_string());
+        .unwrap_or_else(|| "BENCH_4.json".to_string());
     let splits = wc_splits(12);
     let mut results = Vec::new();
 
@@ -238,6 +241,63 @@ fn main() {
             n
         }));
     }
+
+    // The snapshot subsystem on the real executor: periodic frozen-view
+    // walks while absorbing. records/sec is map-output records absorbed
+    // per second *with observation on* — the overhead the snapshot
+    // tentpole must keep small.
+    results.push(bench("snapshot_periodic_barrierless", || {
+        let cfg = local_cfg(barrierless(), CombinerPolicy::Disabled)
+            .snapshots(SnapshotPolicy::EveryRecords { records: 2048 });
+        let out = LocalRunner::new(4)
+            .run(&mr_apps::WordCount, splits.clone(), &cfg)
+            .expect("snapshotted run");
+        assert!(out.counters.get(names::SNAPSHOT_COUNT) > 0);
+        out.counters.get(names::MAP_OUTPUT_RECORDS)
+    }));
+
+    // The snapshot walk in isolation (one partition, no threads): the
+    // absorb stream with a snapshot every 8192 records.
+    {
+        let n = absorb_records.len() as u64;
+        let mut inputs: Vec<Vec<(String, u64)>> =
+            (0..ITERS).map(|_| absorb_records.clone()).collect();
+        results.push(bench("snapshot_store_walk", move || {
+            let records = inputs.pop().expect("one input per iteration");
+            let cfg = local_cfg(barrierless(), CombinerPolicy::Disabled)
+                .snapshots(SnapshotPolicy::EveryRecords { records: 8192 });
+            let (out, _, snaps) = reduce_partition_barrierless_traced(
+                &mr_apps::WordCount,
+                &cfg,
+                0,
+                records,
+                &mut Counters::new(),
+            )
+            .expect("snapshot walk run");
+            assert!(!out.is_empty());
+            assert!(snaps.len() > 1, "interval never tripped");
+            n
+        }));
+    }
+
+    // Snapshots under the simulator: ticks scheduled as timeline events,
+    // charged via snapshot_cpu_per_record.
+    results.push(bench("sim_wordcount_1gb_snapshotted", || {
+        let report = run_wordcount_snapshotted(
+            1.0,
+            8,
+            barrierless(),
+            7,
+            SnapshotPolicy::EverySecs { secs: 30.0 },
+        );
+        assert!(report.outcome.is_completed());
+        assert!(report.snapshots_taken > 0);
+        report
+            .output
+            .expect("completed")
+            .counters
+            .get(names::MAP_OUTPUT_RECORDS)
+    }));
 
     // One small simulated-cluster run: catches event-loop regressions.
     results.push(bench("sim_wordcount_1gb_combined", || {

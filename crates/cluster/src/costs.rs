@@ -35,6 +35,12 @@ pub struct CostModel {
     pub sort_cpu_coeff: f64,
     /// CPU per live store entry during barrier-less finalize.
     pub finalize_cpu_per_entry: f64,
+    /// CPU seconds per estimated output record emitted by a partial-
+    /// result snapshot (the frozen-view walk plus `snapshot_emit`).
+    /// Charged on the reducer's core at each snapshot, so aggressive
+    /// policies visibly delay absorption. Only applies when a
+    /// `SnapshotPolicy` is active.
+    pub snapshot_cpu_per_record: f64,
     /// Final output bytes per reducer-input byte (DFS write volume).
     pub output_selectivity: f64,
 }
@@ -56,6 +62,7 @@ impl CostModel {
             kv_cpu_per_record: 1e-1,
             sort_cpu_coeff: 8e-4,
             finalize_cpu_per_entry: 1e-4,
+            snapshot_cpu_per_record: 1e-4,
             output_selectivity: 0.2,
         }
     }
@@ -71,6 +78,7 @@ impl CostModel {
         assert!(self.kv_cpu_per_record >= 0.0);
         assert!(self.sort_cpu_coeff >= 0.0);
         assert!(self.finalize_cpu_per_entry >= 0.0);
+        assert!(self.snapshot_cpu_per_record >= 0.0);
         assert!(self.output_selectivity >= 0.0);
     }
 }

@@ -15,7 +15,7 @@ use mr_core::engine::pipeline::IncrementalDriver;
 use mr_core::engine::DriverReport;
 use mr_core::{
     Application, CombinerBuffer, Counters, Engine, JobConfig, JobOutput, MemoryPolicy, MrError,
-    Partitioner,
+    Partitioner, Snapshot,
 };
 use mr_dfs::{ChunkId, Dfs, DfsConfig};
 use mr_net::{Network, NetworkConfig, NodeId};
@@ -77,7 +77,35 @@ impl SimExecutor {
     {
         costs.validate();
         assert!(chunks >= 1, "need at least one input chunk");
-        assert!(cfg.reducers >= 1, "need at least one reducer");
+        // Validate the *effective* config — cluster-level overrides
+        // (store index, snapshot policy) included.
+        let mut effective = cfg.clone();
+        if let Some(index) = self.params.store_index {
+            effective.store_index = index;
+        }
+        if let Some(policy) = self.params.snapshots {
+            effective.snapshots = policy;
+        }
+        if let Err(e) = effective.validate() {
+            // A nonsense knob combination fails the job up front — the
+            // same Err-not-panic contract as the local executor, shaped
+            // as a failed report since simulation returns one either way.
+            return SimReport {
+                outcome: Outcome::Failed {
+                    at: SimTime::ZERO,
+                    reason: e.to_string(),
+                },
+                output: None,
+                timeline: Timeline::default(),
+                first_map_done: SimTime::ZERO,
+                last_map_done: SimTime::ZERO,
+                shuffle_done: SimTime::ZERO,
+                shuffle_bytes: 0,
+                map_tasks_run: 0,
+                reduce_tasks_run: 0,
+                snapshots_taken: 0,
+            };
+        }
         let mut sim = Sim::new(&self.params, app, input, chunks, cfg, costs, partitioner);
         for &(secs, node) in faults {
             sim.queue
@@ -101,6 +129,9 @@ enum Ev {
     FinalizeDone(usize, u32),
     OutputPartDone(usize, u32),
     NodeFail(usize),
+    /// Global time-driven snapshot tick (`SnapshotPolicy::EverySecs`):
+    /// every live reduce task publishes a point-in-time estimate.
+    SnapshotTick,
 }
 
 /// Network flow tags.
@@ -179,6 +210,13 @@ struct ReduceTask<A: Application> {
     report: Option<DriverReport>,
     /// Output pieces (local disk + remote replicas) still outstanding.
     write_parts_left: usize,
+    /// Every snapshot this partition has published, across task
+    /// re-executions — the stream an observer saw. Never cleared on
+    /// restart; sequence numbers stay monotone through faults.
+    published_snaps: Vec<Snapshot<A>>,
+    /// Next snapshot sequence number, preserved across restarts (the
+    /// restarted attempt's driver resumes numbering above it).
+    next_snap_seq: u64,
 }
 
 struct Sim<'a, A: Application, I, P> {
@@ -262,6 +300,9 @@ where
         if let Some(index) = p.store_index {
             cfg.store_index = index;
         }
+        if let Some(policy) = p.snapshots {
+            cfg.snapshots = policy;
+        }
         let reds = (0..cfg.reducers)
             .map(|_| ReduceTask {
                 state: RedState::Pending,
@@ -283,10 +324,15 @@ where
                 counters: Counters::new(),
                 report: None,
                 write_parts_left: 0,
+                published_snaps: Vec::new(),
+                next_snap_seq: 0,
             })
             .collect();
         let mut queue = EventQueue::new();
         queue.schedule(SimTime::ZERO, Ev::Schedule);
+        if let Some(secs) = cfg.snapshots.secs_interval() {
+            queue.schedule(SimTime::from_secs_f64(secs), Ev::SnapshotTick);
+        }
         Sim {
             net: Network::new(NetworkConfig {
                 nodes: p.nodes,
@@ -403,9 +449,11 @@ where
             let mut counters = std::mem::take(&mut self.map_counters);
             let mut partitions = Vec::with_capacity(self.reds.len());
             let mut reports = Vec::new();
+            let mut snapshots = Vec::with_capacity(self.reds.len());
             for r in &mut self.reds {
                 counters.merge(&r.counters);
                 partitions.push(std::mem::take(&mut r.out));
+                snapshots.push(std::mem::take(&mut r.published_snaps));
                 if let Some(rep) = r.report.take() {
                     reports.push(rep);
                 }
@@ -414,6 +462,7 @@ where
                 partitions,
                 counters,
                 reports,
+                snapshots,
             })
         } else {
             None
@@ -421,6 +470,7 @@ where
         SimReport {
             outcome,
             output,
+            snapshots_taken: self.timeline.snapshots.len(),
             timeline: self.timeline,
             first_map_done: self.first_map_done.unwrap_or(SimTime::ZERO),
             last_map_done: self.last_map_done,
@@ -477,6 +527,101 @@ where
                 }
             }
             Ev::NodeFail(n) => self.fail_node(at, n),
+            Ev::SnapshotTick => self.snapshot_tick(at),
+        }
+    }
+
+    // ---------------------------------------------------------- snapshots
+
+    /// Time-driven snapshot tick: every live reduce task publishes a
+    /// consistent point-in-time estimate. Pipelined reducers walk their
+    /// partial store (real contents, frozen view); barrier reducers that
+    /// have not finished their grouped reduce have *nothing* to show —
+    /// an empty estimate, which is precisely the paper's argument for
+    /// breaking the barrier.
+    fn snapshot_tick(&mut self, at: SimTime) {
+        let pipelined = self.pipelined();
+        for r in 0..self.reds.len() {
+            match self.reds[r].state {
+                RedState::Running | RedState::Finalizing => {}
+                _ => continue,
+            }
+            if pipelined {
+                let task = &mut self.reds[r];
+                if let Some(driver) = task.driver.as_mut() {
+                    driver.set_now_secs(at.as_secs_f64());
+                    if let Err(e) = driver.snapshot_now(self.app) {
+                        self.fail_job(at, r, e);
+                        return;
+                    }
+                }
+                self.collect_snapshots(at, r);
+            } else {
+                // Pre-barrier: publish the honest answer — nothing yet.
+                let task = &mut self.reds[r];
+                let seq = task.next_snap_seq;
+                task.next_snap_seq += 1;
+                task.counters.incr(mr_core::counters::names::SNAPSHOT_COUNT);
+                task.published_snaps.push(Snapshot {
+                    reducer: r,
+                    seq,
+                    records_absorbed: task.buffer.len() as u64,
+                    live_entries: 0,
+                    at_secs: at.as_secs_f64(),
+                    estimate: Vec::new(),
+                });
+                self.timeline.snapshot_mark(at, r, seq, 0, 0);
+            }
+        }
+        // Keep ticking until the job drains (the run loop stops firing
+        // events once everything is done or the job failed).
+        if self.maps_done < self.maps.len() || self.reds_done < self.reds.len() {
+            let secs = self.cfg.snapshots.secs_interval().expect("timed policy");
+            self.queue
+                .schedule(at + SimDuration::from_secs_f64(secs), Ev::SnapshotTick);
+        }
+    }
+
+    /// Drains freshly published snapshots out of reducer `r`'s driver:
+    /// records timeline marks, charges the snapshot CPU on the reducer's
+    /// core (delaying subsequent absorption — observation is not free),
+    /// and appends to the partition's published stream.
+    fn collect_snapshots(&mut self, at: SimTime, r: usize) {
+        let node = self.reds[r].node;
+        let factor = self.node_factor[node];
+        let task = &mut self.reds[r];
+        let Some(driver) = task.driver.as_mut() else {
+            return;
+        };
+        let fresh = driver.take_snapshots();
+        if fresh.is_empty() {
+            return;
+        }
+        task.next_snap_seq = driver.snapshot_seq();
+        let mut cpu = 0.0;
+        for snap in &fresh {
+            self.timeline.snapshot_mark(
+                at,
+                r,
+                snap.seq,
+                snap.estimate.len() as u64,
+                snap.live_entries,
+            );
+            cpu += self.costs.snapshot_cpu_per_record * snap.estimate.len() as f64 * factor;
+        }
+        task.published_snaps.extend(fresh);
+        if cpu > 0.0 {
+            let start = task.cpu_free.max(at);
+            task.cpu_free = start + SimDuration::from_secs_f64(cpu);
+            // The charge may push the CPU past every scheduled batch
+            // event; re-arm one at the new drain time so the finalize
+            // check (`cpu_free <= at`) is re-evaluated and the reducer
+            // can never stall on a snapshot bill.
+            if task.state == RedState::Running {
+                let when = task.cpu_free;
+                let attempt = task.attempt;
+                self.queue.schedule(when, Ev::Batch(r, attempt));
+            }
         }
     }
 
@@ -662,7 +807,13 @@ where
         task.cpu_free = at;
         if self.pipelined() {
             match IncrementalDriver::new(self.app, &self.cfg, r) {
-                Ok(driver) => self.reds[r].driver = Some(driver),
+                Ok(mut driver) => {
+                    // Restarted attempts resume snapshot numbering above
+                    // their predecessor: the published stream never
+                    // regresses through fault recovery.
+                    driver.set_snapshot_seq_base(self.reds[r].next_snap_seq);
+                    self.reds[r].driver = Some(driver);
+                }
                 Err(e) => {
                     self.failure = Some((at, format!("driver init failed: {e}")));
                     return;
@@ -816,6 +967,9 @@ where
             let node = self.reds[r].node;
             let task = &mut self.reds[r];
             let driver = task.driver.as_mut().expect("pipelined reducer");
+            // Stamp virtual time so record-driven snapshots published
+            // mid-batch carry the sim clock.
+            driver.set_now_secs(at.as_secs_f64());
             for (k, v) in batch {
                 if let Err(e) = driver.push(self.app, k, v, &mut task.out) {
                     self.fail_job(at, r, e);
@@ -831,6 +985,9 @@ where
                 task.io_charged = io;
                 self.disks[node].submit(at, delta);
             }
+            // Record-driven snapshots published during this batch:
+            // mark, charge, collect.
+            self.collect_snapshots(at, r);
         }
         // All shuffled + all absorbed => finalize.
         let task = &self.reds[r];
@@ -870,6 +1027,18 @@ where
     }
 
     fn finalize_done(&mut self, at: SimTime, r: usize) {
+        // Periodic policies publish one last snapshot at end-of-input,
+        // so the final estimate an observer holds equals the answer.
+        if self.cfg.snapshots.is_periodic() {
+            if let Some(driver) = self.reds[r].driver.as_mut() {
+                driver.set_now_secs(at.as_secs_f64());
+                if let Err(e) = driver.snapshot_now(self.app) {
+                    self.fail_job(at, r, e);
+                    return;
+                }
+            }
+            self.collect_snapshots(at, r);
+        }
         // Run the real merge+finalize.
         let driver = self.reds[r].driver.take().expect("pipelined reducer");
         let mut out = std::mem::take(&mut self.reds[r].out);
@@ -911,6 +1080,7 @@ where
     fn grouped_reduce_done(&mut self, at: SimTime, r: usize) {
         // Run the real sort+group+reduce.
         let records = std::mem::take(&mut self.reds[r].buffer);
+        let absorbed = records.len() as u64;
         let mut counters = std::mem::take(&mut self.reds[r].counters);
         match reduce_partition_barrier(self.app, records, &mut counters) {
             Ok(out) => {
@@ -921,6 +1091,29 @@ where
                 self.fail_job(at, r, e);
                 return;
             }
+        }
+        // The barrier engine's one useful snapshot: its finished output,
+        // publishable only now — after the barrier, the sort and the
+        // full grouped pass.
+        if self.cfg.snapshots.is_enabled() {
+            let task = &mut self.reds[r];
+            let seq = task.next_snap_seq;
+            task.next_snap_seq += 1;
+            task.counters.incr(mr_core::counters::names::SNAPSHOT_COUNT);
+            task.counters.add(
+                mr_core::counters::names::SNAPSHOT_RECORDS,
+                task.out.len() as u64,
+            );
+            let records = task.out.len() as u64;
+            task.published_snaps.push(Snapshot {
+                reducer: r,
+                seq,
+                records_absorbed: absorbed,
+                live_entries: 0,
+                at_secs: at.as_secs_f64(),
+                estimate: task.out.clone(),
+            });
+            self.timeline.snapshot_mark(at, r, seq, records, 0);
         }
         let start = self.reds[r].shuffle_done_at.expect("sorted after shuffle");
         self.timeline.span(SpanKind::SortReduce, r, start, at);
@@ -1006,6 +1199,12 @@ where
                 task.fetched_from.clear();
                 task.flow_from.clear();
                 task.buffer.clear();
+                // Snapshots the dying attempt published stay published
+                // (`published_snaps` is never cleared); carry its next
+                // sequence number so the restart continues above it.
+                if let Some(driver) = &task.driver {
+                    task.next_snap_seq = task.next_snap_seq.max(driver.snapshot_seq());
+                }
                 task.driver = None;
                 task.batches.clear();
                 task.shuffle_done_at = None;

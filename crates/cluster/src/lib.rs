@@ -35,4 +35,4 @@ pub use executor::SimExecutor;
 pub use input::{FnInput, SimInput};
 pub use params::ClusterParams;
 pub use report::{Outcome, SimReport};
-pub use timeline::{HeapSample, SpanKind, TaskSpan, Timeline};
+pub use timeline::{HeapSample, SnapshotMark, SpanKind, TaskSpan, Timeline};

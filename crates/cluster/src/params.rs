@@ -1,6 +1,6 @@
 //! Static description of the simulated cluster.
 
-use mr_core::{CombinerPolicy, StoreIndex};
+use mr_core::{CombinerPolicy, SnapshotPolicy, StoreIndex};
 
 /// Cluster hardware and scheduling parameters.
 ///
@@ -44,6 +44,13 @@ pub struct ClusterParams {
     /// choice in force. Ablation sweeps A/B this cluster-wide without
     /// touching per-job configs.
     pub store_index: Option<StoreIndex>,
+    /// Snapshot-policy override for simulated jobs. `Some` wins over the
+    /// job's own `JobConfig::snapshots`; `None` leaves the job's choice
+    /// in force. Figure sweeps toggle early-answer estimation
+    /// cluster-wide without touching per-job configs; time-driven
+    /// policies tick on the *virtual* clock, scheduled as timeline
+    /// events and charged via `CostModel::snapshot_cpu_per_record`.
+    pub snapshots: Option<SnapshotPolicy>,
     /// Master seed for placement, heterogeneity and noise.
     pub seed: u64,
 }
@@ -64,6 +71,7 @@ impl ClusterParams {
             task_noise_sigma: 0.12,
             combiner: CombinerPolicy::Disabled,
             store_index: None,
+            snapshots: None,
             seed,
         }
     }

@@ -56,6 +56,10 @@ pub struct SimReport<A: Application> {
     pub map_tasks_run: usize,
     /// Reduce tasks executed (including re-executions).
     pub reduce_tasks_run: usize,
+    /// Partial-result snapshots published during the run (also recorded
+    /// individually as [`Timeline::snapshots`](crate::Timeline) marks;
+    /// estimate contents ride in `output.snapshots`).
+    pub snapshots_taken: usize,
 }
 
 impl<A: Application> SimReport<A> {

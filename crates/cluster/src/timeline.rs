@@ -42,6 +42,23 @@ pub struct HeapSample {
     pub bytes: u64,
 }
 
+/// One partial-result snapshot publication, as the simulator saw it —
+/// the timeline-level record of early-answer estimation (the estimate
+/// contents themselves travel in `JobOutput::snapshots`).
+#[derive(Debug, Clone, Copy)]
+pub struct SnapshotMark {
+    /// Publication instant (virtual time).
+    pub at: SimTime,
+    /// Reduce partition that published.
+    pub reducer: usize,
+    /// Per-reducer sequence number (monotone across task re-runs).
+    pub seq: u64,
+    /// Estimated output records in the snapshot.
+    pub records: u64,
+    /// Live partial results covered.
+    pub entries: usize,
+}
+
 /// Everything recorded during a simulated run.
 #[derive(Debug, Clone, Default)]
 pub struct Timeline {
@@ -49,6 +66,8 @@ pub struct Timeline {
     pub spans: Vec<TaskSpan>,
     /// Reducer heap samples in time order.
     pub heap: Vec<HeapSample>,
+    /// Snapshot publications in time order.
+    pub snapshots: Vec<SnapshotMark>,
 }
 
 impl Timeline {
@@ -65,6 +84,33 @@ impl Timeline {
     /// Records a heap sample.
     pub fn heap_sample(&mut self, at: SimTime, reducer: usize, bytes: u64) {
         self.heap.push(HeapSample { at, reducer, bytes });
+    }
+
+    /// Records a snapshot publication.
+    pub fn snapshot_mark(
+        &mut self,
+        at: SimTime,
+        reducer: usize,
+        seq: u64,
+        records: u64,
+        entries: usize,
+    ) {
+        self.snapshots.push(SnapshotMark {
+            at,
+            reducer,
+            seq,
+            records,
+            entries,
+        });
+    }
+
+    /// Snapshot publications of one reducer: `(seconds, estimate records)`.
+    pub fn snapshot_series(&self, reducer: usize) -> Vec<(f64, u64)> {
+        self.snapshots
+            .iter()
+            .filter(|s| s.reducer == reducer)
+            .map(|s| (s.at.as_secs_f64(), s.records))
+            .collect()
     }
 
     /// Number of spans of `kind` active at time `t` — one point of a
@@ -165,5 +211,17 @@ mod tests {
         t.heap_sample(secs(2.0), 2, 200);
         t.heap_sample(secs(2.0), 3, 999);
         assert_eq!(t.heap_series(2), vec![(1.0, 100), (2.0, 200)]);
+    }
+
+    #[test]
+    fn snapshot_marks_are_recorded_and_filterable() {
+        let mut t = Timeline::default();
+        t.snapshot_mark(secs(10.0), 1, 0, 40, 40);
+        t.snapshot_mark(secs(20.0), 1, 1, 90, 85);
+        t.snapshot_mark(secs(20.0), 2, 0, 7, 7);
+        assert_eq!(t.snapshots.len(), 3);
+        assert_eq!(t.snapshot_series(1), vec![(10.0, 40), (20.0, 90)]);
+        assert_eq!(t.snapshot_series(0), Vec::<(f64, u64)>::new());
+        assert_eq!(t.snapshots[2].entries, 7);
     }
 }

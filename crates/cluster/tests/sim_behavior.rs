@@ -415,3 +415,172 @@ fn job_level_combiner_knob_works_without_cluster_knob() {
     let got: BTreeMap<String, u64> = out.into_sorted_output().into_iter().collect();
     assert_eq!(got, expect);
 }
+
+#[test]
+fn timed_snapshots_estimate_early_under_the_barrierless_engine_only() {
+    use mr_core::SnapshotPolicy;
+    // Enough chunks that maps run in waves: partial data reaches the
+    // reducers long before the last map finishes, which is exactly what
+    // snapshots make observable.
+    let chunks = 24;
+    let expect = reference_counts(chunks, 11);
+    let policy = SnapshotPolicy::EverySecs { secs: 25.0 };
+    let mut results = Vec::new();
+    for engine in [Engine::Barrier, Engine::barrierless()] {
+        let exec = SimExecutor::new(small_cluster(11));
+        let cfg = JobConfig::new(4)
+            .engine(engine.clone())
+            .snapshots(policy)
+            .scratch_dir(scratch("snap-timed"));
+        let report = exec.run(
+            &WordCount,
+            &FnInput(wc_input(11)),
+            chunks,
+            &cfg,
+            &costs(),
+            &HashPartitioner,
+        );
+        assert!(report.outcome.is_completed(), "{engine:?} died");
+        assert!(report.snapshots_taken > 0, "no snapshots under {engine:?}");
+        assert_eq!(
+            report.snapshots_taken,
+            report.timeline.snapshots.len(),
+            "report count diverged from timeline marks"
+        );
+        let last_map = report.last_map_done.as_secs_f64();
+        let out = report.output.unwrap();
+        // Snapshots never perturb the final answer.
+        let got: BTreeMap<String, u64> = out.partitions.iter().flatten().cloned().collect();
+        assert_eq!(got, expect, "snapshots corrupted {engine:?} output");
+        // Per-reducer snapshot streams are monotone in seq and records.
+        for snaps in &out.snapshots {
+            for pair in snaps.windows(2) {
+                assert!(pair[0].seq < pair[1].seq, "seq regressed");
+                assert!(
+                    pair[0].records_absorbed <= pair[1].records_absorbed,
+                    "records regressed without a fault"
+                );
+            }
+        }
+        let early_records: u64 = out
+            .snapshots
+            .iter()
+            .flatten()
+            .filter(|s| s.at_secs < last_map)
+            .map(|s| s.estimate.len() as u64)
+            .sum();
+        results.push((engine, early_records, got));
+    }
+    // The paper's point, stated as an assertion: before the last map
+    // finishes, the barrier engine has published nothing while the
+    // barrier-less engine already holds a usable estimate.
+    assert_eq!(
+        results[0].1, 0,
+        "barrier engine estimated before the barrier"
+    );
+    assert!(
+        results[1].1 > 0,
+        "barrier-less engine produced no early estimate"
+    );
+    // And both engines' final outputs agree with each other.
+    assert_eq!(results[0].2, results[1].2);
+}
+
+#[test]
+fn record_driven_snapshots_are_deterministic_and_invisible_in_the_sim() {
+    use mr_core::SnapshotPolicy;
+    let chunks = 10;
+    let run = |policy| {
+        let exec = SimExecutor::new(small_cluster(13));
+        let cfg = JobConfig::new(4)
+            .engine(Engine::barrierless())
+            .snapshots(policy)
+            .scratch_dir(scratch("snap-records"));
+        let report = exec.run(
+            &WordCount,
+            &FnInput(wc_input(13)),
+            chunks,
+            &cfg,
+            &costs(),
+            &HashPartitioner,
+        );
+        assert!(report.outcome.is_completed());
+        report
+    };
+    let mut plain = run(SnapshotPolicy::Disabled);
+    let mut snapped = run(SnapshotPolicy::EveryRecords { records: 200 });
+    assert_eq!(plain.snapshots_taken, 0);
+    assert!(snapped.snapshots_taken > 0);
+    let plain_out = plain.output.take().unwrap();
+    let snapped_out = snapped.output.take().unwrap();
+    assert_eq!(
+        plain_out.partitions, snapped_out.partitions,
+        "record-driven snapshots changed simulated output"
+    );
+    assert_eq!(
+        snapped_out
+            .counters
+            .get(mr_core::counters::names::SNAPSHOT_COUNT),
+        snapped_out.snapshot_count() as u64
+    );
+    // Observation is charged: the snapshotting run cannot be faster.
+    assert!(snapped.completion_secs() >= plain.completion_secs());
+    // Re-running the same snapshotted config reproduces the identical
+    // snapshot stream (virtual time + record stream are deterministic).
+    let again = run(SnapshotPolicy::EveryRecords { records: 200 });
+    let again_out = again.output.unwrap();
+    assert_eq!(snapped_out.snapshot_count(), again_out.snapshot_count());
+    for (a, b) in snapped_out
+        .snapshots_by_time()
+        .iter()
+        .zip(again_out.snapshots_by_time().iter())
+    {
+        assert_eq!(a.seq, b.seq);
+        assert_eq!(a.records_absorbed, b.records_absorbed);
+        assert_eq!(a.estimate, b.estimate);
+    }
+}
+
+#[test]
+fn cluster_snapshot_override_wins_and_invalid_config_fails_loudly() {
+    use mr_core::SnapshotPolicy;
+    let chunks = 6;
+    // Cluster-level override turns snapshots on even though the job
+    // itself asked for none.
+    let mut params = small_cluster(17);
+    params.snapshots = Some(SnapshotPolicy::EverySecs { secs: 30.0 });
+    let cfg = JobConfig::new(3)
+        .engine(Engine::barrierless())
+        .scratch_dir(scratch("snap-override"));
+    let report = SimExecutor::new(params).run(
+        &WordCount,
+        &FnInput(wc_input(17)),
+        chunks,
+        &cfg,
+        &costs(),
+        &HashPartitioner,
+    );
+    assert!(report.outcome.is_completed());
+    assert!(report.snapshots_taken > 0, "override did not activate");
+
+    // An invalid knob (zero shuffle batch) is a failed report up front,
+    // not a panic deep in the event loop.
+    let mut bad = JobConfig::new(3).engine(Engine::barrierless());
+    bad.shuffle_batch_bytes = 0;
+    let report = SimExecutor::new(small_cluster(17)).run(
+        &WordCount,
+        &FnInput(wc_input(17)),
+        chunks,
+        &bad,
+        &costs(),
+        &HashPartitioner,
+    );
+    assert!(!report.outcome.is_completed());
+    match report.outcome {
+        mr_cluster::Outcome::Failed { reason, .. } => {
+            assert!(reason.contains("shuffle_batch_bytes"), "reason: {reason}")
+        }
+        _ => unreachable!(),
+    }
+    assert!(report.output.is_none());
+}

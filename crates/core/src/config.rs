@@ -1,6 +1,8 @@
 //! Job configuration: which engine, how many reducers, how partial
-//! results are stored, and how the shuffle moves records.
+//! results are stored, how the shuffle moves records, and when partial-
+//! result snapshots are published.
 
+use crate::error::{MrError, MrResult};
 use std::path::PathBuf;
 
 /// Default map-side combiner byte budget (per map worker × reducer).
@@ -50,6 +52,72 @@ impl CombinerPolicy {
         match self {
             CombinerPolicy::Disabled => None,
             CombinerPolicy::Enabled { budget_bytes } => Some(*budget_bytes),
+        }
+    }
+}
+
+/// When a barrier-less reduce task publishes a *snapshot* — a consistent
+/// point-in-time estimate of its final output built from the live
+/// partial results (the paper's headline capability: reducers hold
+/// usable per-key state long before the job finishes).
+///
+/// Snapshots are read-only over a frozen view of the partial store and
+/// never change what the job finally emits; they only make mid-job state
+/// observable. Under the barrier engine there is no partial state to
+/// observe, so the only snapshot a barrier reducer can publish is its
+/// finished output — which is exactly the paper's point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SnapshotPolicy {
+    /// Never snapshot (the default; zero overhead on every path).
+    Disabled,
+    /// Snapshot after every `records` records absorbed by a reduce task.
+    /// Deterministic: the snapshot points depend only on the record
+    /// stream, so the determinism harness can assert snapshot contents.
+    EveryRecords {
+        /// Absorbed-record interval between snapshots (≥ 1).
+        records: u64,
+    },
+    /// Snapshot roughly every `secs` seconds — wall clock under the
+    /// local executor, virtual time under the cluster simulator (where
+    /// ticks are scheduled as timeline events).
+    EverySecs {
+        /// Seconds between snapshots (> 0).
+        secs: f64,
+    },
+    /// Only when explicitly requested via
+    /// [`IncrementalDriver::snapshot_now`](crate::engine::pipeline::IncrementalDriver::snapshot_now).
+    OnDemand,
+}
+
+impl SnapshotPolicy {
+    /// True unless the policy is [`SnapshotPolicy::Disabled`].
+    pub fn is_enabled(&self) -> bool {
+        !matches!(self, SnapshotPolicy::Disabled)
+    }
+
+    /// True for the periodic policies (`EveryRecords` / `EverySecs`),
+    /// which also publish one final snapshot at end-of-input so the last
+    /// snapshot always equals the finalize output.
+    pub fn is_periodic(&self) -> bool {
+        matches!(
+            self,
+            SnapshotPolicy::EveryRecords { .. } | SnapshotPolicy::EverySecs { .. }
+        )
+    }
+
+    /// The absorbed-record interval, if records-driven.
+    pub fn record_interval(&self) -> Option<u64> {
+        match self {
+            SnapshotPolicy::EveryRecords { records } => Some(*records),
+            _ => None,
+        }
+    }
+
+    /// The time interval in seconds, if time-driven.
+    pub fn secs_interval(&self) -> Option<f64> {
+        match self {
+            SnapshotPolicy::EverySecs { secs } => Some(*secs),
+            _ => None,
         }
     }
 }
@@ -152,6 +220,10 @@ pub struct JobConfig {
     /// paper's TreeMap behaviour for A/B runs. Output is byte-identical
     /// under either.
     pub store_index: StoreIndex,
+    /// When reduce tasks publish partial-result snapshots (early
+    /// estimates of the final answer). [`SnapshotPolicy::Disabled`] by
+    /// default; snapshots never change final output, only observability.
+    pub snapshots: SnapshotPolicy,
     /// Seed for anything stochastic inside the engines (none today, but
     /// carried so runs stay reproducible end to end).
     pub seed: u64,
@@ -170,6 +242,7 @@ impl JobConfig {
             combiner: CombinerPolicy::Disabled,
             shuffle_batch_bytes: DEFAULT_SHUFFLE_BATCH_BYTES,
             store_index: StoreIndex::default(),
+            snapshots: SnapshotPolicy::Disabled,
             seed: 0,
         }
     }
@@ -218,10 +291,74 @@ impl JobConfig {
         self
     }
 
+    /// Sets the snapshot policy.
+    pub fn snapshots(mut self, policy: SnapshotPolicy) -> Self {
+        self.snapshots = policy;
+        self
+    }
+
     /// Sets the seed.
     pub fn seed(mut self, seed: u64) -> Self {
         self.seed = seed;
         self
+    }
+
+    /// Checks every knob combination up front, returning
+    /// [`MrError::InvalidConfig`] instead of letting a nonsense value
+    /// panic deep inside a worker thread (or silently spin: a zero
+    /// `shuffle_batch_bytes` would never flush a batch). The executors
+    /// call this before spawning anything; direct struct mutation is
+    /// covered too, not just the asserting builders.
+    pub fn validate(&self) -> MrResult<()> {
+        fn bad(what: impl Into<String>) -> MrResult<()> {
+            Err(MrError::InvalidConfig(what.into()))
+        }
+        if self.reducers == 0 {
+            return bad("reducers must be >= 1");
+        }
+        if self.shuffle_batch_bytes == 0 {
+            return bad("shuffle_batch_bytes must be >= 1 (0 would never flush a batch)");
+        }
+        if !(self.heap_scale.is_finite() && self.heap_scale > 0.0) {
+            return bad(format!(
+                "heap_scale must be finite and > 0 (got {})",
+                self.heap_scale
+            ));
+        }
+        if self.heap_cap_bytes == Some(0) {
+            return bad("heap_cap_bytes of 0 kills every job on its first record");
+        }
+        if self.combiner.budget_bytes() == Some(0) {
+            return bad("combiner budget_bytes must be >= 1 (0 drains before every record)");
+        }
+        match &self.engine {
+            Engine::Barrier => {}
+            Engine::BarrierLess { memory } => match memory {
+                MemoryPolicy::InMemory => {}
+                MemoryPolicy::SpillMerge { threshold_bytes } => {
+                    if *threshold_bytes == 0 {
+                        return bad("SpillMerge threshold_bytes must be >= 1");
+                    }
+                }
+                MemoryPolicy::KvStore { cache_bytes } => {
+                    if *cache_bytes == 0 {
+                        return bad("KvStore cache_bytes must be >= 1");
+                    }
+                }
+            },
+        }
+        match self.snapshots {
+            SnapshotPolicy::EveryRecords { records: 0 } => {
+                return bad("SnapshotPolicy::EveryRecords interval must be >= 1");
+            }
+            SnapshotPolicy::EverySecs { secs } if !(secs.is_finite() && secs > 0.0) => {
+                return bad(format!(
+                    "SnapshotPolicy::EverySecs interval must be finite and > 0 (got {secs})"
+                ));
+            }
+            _ => {}
+        }
+        Ok(())
     }
 }
 
@@ -259,6 +396,102 @@ mod tests {
         assert_eq!(cfg.store_index, StoreIndex::Hashed);
         let cfg = cfg.store_index(StoreIndex::Ordered);
         assert_eq!(cfg.store_index, StoreIndex::Ordered);
+    }
+
+    #[test]
+    fn snapshots_are_off_by_default_and_builder_sets_them() {
+        let cfg = JobConfig::new(1);
+        assert_eq!(cfg.snapshots, SnapshotPolicy::Disabled);
+        assert!(!cfg.snapshots.is_enabled());
+        assert!(!cfg.snapshots.is_periodic());
+        let cfg = cfg.snapshots(SnapshotPolicy::EveryRecords { records: 64 });
+        assert!(cfg.snapshots.is_enabled());
+        assert!(cfg.snapshots.is_periodic());
+        assert_eq!(cfg.snapshots.record_interval(), Some(64));
+        assert_eq!(cfg.snapshots.secs_interval(), None);
+        let timed = SnapshotPolicy::EverySecs { secs: 2.5 };
+        assert_eq!(timed.secs_interval(), Some(2.5));
+        assert!(SnapshotPolicy::OnDemand.is_enabled());
+        assert!(!SnapshotPolicy::OnDemand.is_periodic());
+    }
+
+    #[test]
+    fn validate_accepts_every_sane_combination() {
+        JobConfig::new(1).validate().unwrap();
+        JobConfig::new(8)
+            .engine(Engine::BarrierLess {
+                memory: MemoryPolicy::SpillMerge { threshold_bytes: 1 },
+            })
+            .combiner(CombinerPolicy::enabled())
+            .snapshots(SnapshotPolicy::EveryRecords { records: 1 })
+            .heap_cap(1)
+            .validate()
+            .unwrap();
+        JobConfig::new(2)
+            .engine(Engine::BarrierLess {
+                memory: MemoryPolicy::KvStore { cache_bytes: 1 },
+            })
+            .snapshots(SnapshotPolicy::EverySecs { secs: 0.001 })
+            .validate()
+            .unwrap();
+    }
+
+    #[test]
+    fn validate_rejects_each_bad_knob_with_err_not_panic() {
+        use crate::error::MrError;
+        let check = |cfg: JobConfig, what: &str| match cfg.validate() {
+            Err(MrError::InvalidConfig(msg)) => {
+                assert!(
+                    msg.contains(what),
+                    "message {msg:?} does not mention {what:?}"
+                )
+            }
+            other => panic!("expected InvalidConfig for {what}, got {other:?}"),
+        };
+
+        let mut cfg = JobConfig::new(1);
+        cfg.reducers = 0;
+        check(cfg, "reducers");
+
+        let mut cfg = JobConfig::new(1);
+        cfg.shuffle_batch_bytes = 0;
+        check(cfg, "shuffle_batch_bytes");
+
+        let mut cfg = JobConfig::new(1);
+        cfg.heap_scale = 0.0;
+        check(cfg, "heap_scale");
+        let mut cfg = JobConfig::new(1);
+        cfg.heap_scale = f64::NAN;
+        check(cfg, "heap_scale");
+
+        let mut cfg = JobConfig::new(1);
+        cfg.heap_cap_bytes = Some(0);
+        check(cfg, "heap_cap_bytes");
+
+        let mut cfg = JobConfig::new(1);
+        cfg.combiner = CombinerPolicy::Enabled { budget_bytes: 0 };
+        check(cfg, "budget_bytes");
+
+        let cfg = JobConfig::new(1).engine(Engine::BarrierLess {
+            memory: MemoryPolicy::SpillMerge { threshold_bytes: 0 },
+        });
+        check(cfg, "threshold_bytes");
+
+        let cfg = JobConfig::new(1).engine(Engine::BarrierLess {
+            memory: MemoryPolicy::KvStore { cache_bytes: 0 },
+        });
+        check(cfg, "cache_bytes");
+
+        let mut cfg = JobConfig::new(1);
+        cfg.snapshots = SnapshotPolicy::EveryRecords { records: 0 };
+        check(cfg, "EveryRecords");
+
+        let mut cfg = JobConfig::new(1);
+        cfg.snapshots = SnapshotPolicy::EverySecs { secs: 0.0 };
+        check(cfg, "EverySecs");
+        let mut cfg = JobConfig::new(1);
+        cfg.snapshots = SnapshotPolicy::EverySecs { secs: f64::NAN };
+        check(cfg, "EverySecs");
     }
 
     #[test]

@@ -43,6 +43,19 @@ pub mod names {
     pub const KV_CACHE_HITS: &str = "kv.cache.hits";
     /// KV-store cache misses during absorb.
     pub const KV_CACHE_MISSES: &str = "kv.cache.misses";
+    /// Partial-result snapshots published by reduce tasks. Like
+    /// Hadoop's counters, this reflects *surviving* task attempts: in
+    /// the cluster simulator a reducer killed by a node failure keeps
+    /// its published snapshots in `JobOutput::snapshots` (the stream an
+    /// observer saw), so after fault recovery that stream can exceed
+    /// this counter.
+    pub const SNAPSHOT_COUNT: &str = "snapshot.count";
+    /// Estimated output records emitted across all snapshots.
+    pub const SNAPSHOT_RECORDS: &str = "snapshot.records";
+    /// Estimated partial-state bytes (keys + states) covered by
+    /// snapshots (zero under the barrier engine, which has no partial
+    /// state to cover).
+    pub const SNAPSHOT_BYTES: &str = "snapshot.bytes";
 }
 
 impl Counters {

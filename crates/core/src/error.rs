@@ -22,6 +22,11 @@ pub enum MrError {
     Codec(CodecError),
     /// A worker thread panicked (bug in an application function).
     WorkerPanic(String),
+    /// A [`JobConfig`](crate::JobConfig) knob combination made no sense
+    /// (zero shuffle batch, zero spill threshold, …). Returned by
+    /// `JobConfig::validate()` before any worker thread starts, instead
+    /// of panicking mid-job.
+    InvalidConfig(String),
 }
 
 impl std::fmt::Display for MrError {
@@ -38,6 +43,7 @@ impl std::fmt::Display for MrError {
             MrError::Io(e) => write!(f, "I/O error: {e}"),
             MrError::Codec(e) => write!(f, "spill decode error: {e}"),
             MrError::WorkerPanic(what) => write!(f, "worker panicked: {what}"),
+            MrError::InvalidConfig(what) => write!(f, "invalid job config: {what}"),
         }
     }
 }

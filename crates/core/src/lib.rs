@@ -35,6 +35,7 @@ pub mod local;
 pub mod output;
 pub mod partition;
 pub mod size;
+pub mod snapshot;
 pub mod store;
 pub mod traits;
 
@@ -43,11 +44,12 @@ pub(crate) mod testutil;
 
 pub use codec::{Codec, CodecError};
 pub use combine::CombinerBuffer;
-pub use config::{CombinerPolicy, Engine, JobConfig, MemoryPolicy, StoreIndex};
+pub use config::{CombinerPolicy, Engine, JobConfig, MemoryPolicy, SnapshotPolicy, StoreIndex};
 pub use counters::Counters;
 pub use error::{MrError, MrResult};
 pub use hash::{FxBuildHasher, FxHashMap, FxHasher};
 pub use output::JobOutput;
 pub use partition::{HashPartitioner, Partitioner};
 pub use size::SizeEstimate;
+pub use snapshot::Snapshot;
 pub use traits::{Application, Emit, FnEmit, Key, Value};

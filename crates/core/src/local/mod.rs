@@ -22,6 +22,14 @@
 //! [`CombinerBuffer`]s: records are pre-aggregated under the combiner
 //! byte budget and the shuffle carries combined partials instead of raw
 //! records.
+//!
+//! With a [`SnapshotPolicy`](crate::SnapshotPolicy) enabled, pipelined
+//! reducer threads additionally publish consistent point-in-time
+//! snapshots of their partial results — early estimates of the final
+//! answer — between batches, over a frozen view of the store (absorb is
+//! never stalled by a lock and final output is untouched). The barrier
+//! engine has no partial state to observe, so its reducers publish
+//! exactly one snapshot each: their finished output.
 
 pub mod memo;
 
@@ -29,16 +37,18 @@ use crate::combine::CombinerBuffer;
 use crate::config::{Engine, JobConfig};
 use crate::counters::{names, Counters};
 use crate::engine::barrier::reduce_partition_barrier;
-use crate::engine::pipeline::{reduce_partition_barrierless, IncrementalDriver};
+use crate::engine::pipeline::{reduce_partition_barrierless_traced, IncrementalDriver};
 use crate::engine::DriverReport;
 use crate::error::{MrError, MrResult};
 use crate::output::JobOutput;
 use crate::partition::{HashPartitioner, Partitioner};
 use crate::size::SizeEstimate;
+use crate::snapshot::Snapshot;
 use crate::traits::{Application, FnEmit};
 use crossbeam::channel::{bounded, Receiver, Sender};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
+use std::time::Instant;
 
 /// Bounded shuffle-channel depth per reducer, in *batches*. With the
 /// default 32 KiB batch budget this keeps roughly 2 MiB in flight per
@@ -50,6 +60,33 @@ const BATCH_CHANNEL_DEPTH: usize = 64;
 /// the application opted in, and it keeps per-key state to combine.
 fn combining_active<A: Application>(app: &A, cfg: &JobConfig) -> bool {
     cfg.combiner.is_enabled() && app.combine_enabled() && app.uses_keyed_state()
+}
+
+/// The one snapshot a barrier reduce task can publish: its finished
+/// output (there is no partial state to observe before the barrier).
+/// Returns the singleton list when snapshots are enabled, empty
+/// otherwise, and charges the snapshot counters.
+fn barrier_snapshot<A: Application>(
+    cfg: &JobConfig,
+    reducer: usize,
+    records_absorbed: u64,
+    at_secs: f64,
+    out: &[(A::OutKey, A::OutValue)],
+    counters: &mut Counters,
+) -> Vec<Snapshot<A>> {
+    if !cfg.snapshots.is_enabled() {
+        return Vec::new();
+    }
+    counters.incr(names::SNAPSHOT_COUNT);
+    counters.add(names::SNAPSHOT_RECORDS, out.len() as u64);
+    vec![Snapshot {
+        reducer,
+        seq: 0,
+        records_absorbed,
+        live_entries: 0,
+        at_secs,
+        estimate: out.to_vec(),
+    }]
 }
 
 /// Executes jobs on local OS threads.
@@ -85,7 +122,7 @@ impl LocalRunner {
         cfg: &JobConfig,
         partitioner: &P,
     ) -> MrResult<JobOutput<A>> {
-        assert!(cfg.reducers >= 1, "need at least one reducer");
+        cfg.validate()?;
         match &cfg.engine {
             Engine::Barrier => self.run_barrier(app, splits, cfg, partitioner),
             Engine::BarrierLess { .. } => self.run_pipelined(app, splits, cfg, partitioner),
@@ -109,7 +146,8 @@ impl LocalRunner {
         partitioner: &P,
         cache: &mut memo::MemoCache<A>,
     ) -> MrResult<JobOutput<A>> {
-        assert!(cfg.reducers >= 1, "need at least one reducer");
+        cfg.validate()?;
+        let started = Instant::now();
         let reducers = cfg.reducers;
         let mut counters = Counters::new();
         let mut partitions: Vec<Vec<(A::MapKey, A::MapValue)>> =
@@ -141,16 +179,28 @@ impl LocalRunner {
 
         let mut outputs = Vec::with_capacity(reducers);
         let mut reports = Vec::new();
+        let mut snapshots: Vec<Vec<Snapshot<A>>> = Vec::with_capacity(reducers);
         for (r, records) in partitions.into_iter().enumerate() {
             match &cfg.engine {
                 Engine::Barrier => {
-                    outputs.push(reduce_partition_barrier(app, records, &mut counters)?);
+                    let absorbed = records.len() as u64;
+                    let out = reduce_partition_barrier(app, records, &mut counters)?;
+                    snapshots.push(barrier_snapshot(
+                        cfg,
+                        r,
+                        absorbed,
+                        started.elapsed().as_secs_f64(),
+                        &out,
+                        &mut counters,
+                    ));
+                    outputs.push(out);
                 }
                 Engine::BarrierLess { .. } => {
-                    let (out, report) =
-                        reduce_partition_barrierless(app, cfg, r, records, &mut counters)?;
+                    let (out, report, snaps) =
+                        reduce_partition_barrierless_traced(app, cfg, r, records, &mut counters)?;
                     outputs.push(out);
                     reports.push(report);
+                    snapshots.push(snaps);
                 }
             }
         }
@@ -158,6 +208,7 @@ impl LocalRunner {
             partitions: outputs,
             counters,
             reports,
+            snapshots,
         })
     }
 
@@ -168,6 +219,7 @@ impl LocalRunner {
         cfg: &JobConfig,
         partitioner: &P,
     ) -> MrResult<JobOutput<A>> {
+        let started = Instant::now();
         let reducers = cfg.reducers;
         let n_splits = splits.len();
         let combining = combining_active(app, cfg);
@@ -253,12 +305,16 @@ impl LocalRunner {
             }
         }
 
-        // Reduce phase: one task per partition, run in parallel.
+        // Reduce phase: one task per partition, run in parallel. Each
+        // slot carries (output, counters, records absorbed, finish wall
+        // secs) — the last two feed the single post-barrier snapshot.
         type ReduceSlot<A> = Mutex<
             Option<
                 MrResult<(
                     Vec<(<A as Application>::OutKey, <A as Application>::OutValue)>,
                     Counters,
+                    u64,
+                    f64,
                 )>,
             >,
         >;
@@ -282,9 +338,10 @@ impl LocalRunner {
                         break;
                     }
                     let records = partitions[idx].lock().unwrap().take().expect("one taker");
+                    let absorbed = records.len() as u64;
                     let mut counters = Counters::new();
                     let out = reduce_partition_barrier(app, records, &mut counters)
-                        .map(|o| (o, counters));
+                        .map(|o| (o, counters, absorbed, started.elapsed().as_secs_f64()));
                     *results[idx].lock().unwrap() = Some(out);
                 }));
             }
@@ -297,18 +354,28 @@ impl LocalRunner {
 
         let mut counters = map_counters.into_inner().unwrap();
         let mut outputs = Vec::with_capacity(reducers);
-        for slot in results {
-            let (out, task_counters) = slot
+        let mut snapshots = Vec::with_capacity(reducers);
+        for (r, slot) in results.into_iter().enumerate() {
+            let (out, task_counters, absorbed, at_secs) = slot
                 .into_inner()
                 .unwrap()
                 .expect("every partition was reduced")?;
             counters.merge(&task_counters);
+            snapshots.push(barrier_snapshot(
+                cfg,
+                r,
+                absorbed,
+                at_secs,
+                &out,
+                &mut counters,
+            ));
             outputs.push(out);
         }
         Ok(JobOutput {
             partitions: outputs,
             counters,
             reports: Vec::new(),
+            snapshots,
         })
     }
 
@@ -319,6 +386,7 @@ impl LocalRunner {
         cfg: &JobConfig,
         partitioner: &P,
     ) -> MrResult<JobOutput<A>> {
+        let started = Instant::now();
         let reducers = cfg.reducers;
         let n_splits = splits.len();
         let combining = combining_active(app, cfg);
@@ -345,6 +413,7 @@ impl LocalRunner {
             Vec<(<A as Application>::OutKey, <A as Application>::OutValue)>,
             DriverReport,
             Counters,
+            Vec<Snapshot<A>>,
         )>;
         let reduce_slots: Vec<Mutex<Option<ReduceResult<A>>>> =
             (0..reducers).map(|_| Mutex::new(None)).collect();
@@ -359,21 +428,41 @@ impl LocalRunner {
                 reduce_handles.push(scope.spawn(move || {
                     let run = || -> ReduceResult<A> {
                         let mut driver = IncrementalDriver::new(app, cfg_ref, r)?;
+                        let snapping = cfg_ref.snapshots.is_enabled();
+                        let timed = cfg_ref.snapshots.secs_interval().is_some();
                         let mut out = Vec::new();
                         let mut counters = Counters::new();
                         for mut batch in rx.iter() {
+                            if snapping {
+                                // Stamp wall time so record-driven
+                                // snapshots carry a meaningful clock.
+                                driver.set_now_secs(started.elapsed().as_secs_f64());
+                            }
                             for (k, v) in batch.drain(..) {
                                 driver.push(app, k, v, &mut out)?;
                             }
                             // Return the drained buffer to the mappers.
-                            let mut pool = batch_pool.lock().unwrap();
-                            if pool.len() < batch_pool_cap {
-                                pool.push(batch);
+                            {
+                                let mut pool = batch_pool.lock().unwrap();
+                                if pool.len() < batch_pool_cap {
+                                    pool.push(batch);
+                                }
+                            }
+                            if timed {
+                                driver.maybe_time_snapshot(app, started.elapsed().as_secs_f64())?;
                             }
                         }
+                        if cfg_ref.snapshots.is_periodic() {
+                            // End-of-input snapshot: the last estimate a
+                            // periodic observer sees equals the final
+                            // answer.
+                            driver.set_now_secs(started.elapsed().as_secs_f64());
+                            driver.snapshot_now(app)?;
+                        }
+                        let snapshots = driver.take_snapshots();
                         let report = driver.finish(app, &mut counters, &mut out)?;
                         counters.add(names::REDUCE_OUTPUT_RECORDS, out.len() as u64);
-                        Ok((out, report, counters))
+                        Ok((out, report, counters, snapshots))
                     };
                     let result = run();
                     // On failure the receiver is dropped here, which
@@ -527,17 +616,20 @@ impl LocalRunner {
         let mut counters = map_counters.into_inner().unwrap();
         let mut outputs = Vec::with_capacity(reducers);
         let mut reports = Vec::with_capacity(reducers);
+        let mut snapshots = Vec::with_capacity(reducers);
         for slot in reduce_slots {
-            let (out, report, task_counters) =
+            let (out, report, task_counters, snaps) =
                 slot.into_inner().unwrap().expect("every reducer ran")?;
             counters.merge(&task_counters);
             outputs.push(out);
             reports.push(report);
+            snapshots.push(snaps);
         }
         Ok(JobOutput {
             partitions: outputs,
             counters,
             reports,
+            snapshots,
         })
     }
 }
@@ -823,6 +915,77 @@ mod tests {
                 "index flip changed spill bytes under {policy:?}"
             );
         }
+    }
+
+    #[test]
+    fn invalid_config_is_an_err_not_a_worker_panic() {
+        let splits = text_splits(2, 10);
+        let mut cfg = JobConfig::new(2).engine(Engine::barrierless());
+        cfg.shuffle_batch_bytes = 0;
+        let err = LocalRunner::new(2).run(&WordCountApp, splits.clone(), &cfg);
+        assert!(
+            matches!(err, Err(MrError::InvalidConfig(_))),
+            "zero batch bytes must fail fast, got {:?}",
+            err.err().map(|e| e.to_string())
+        );
+        let mut cfg = JobConfig::new(2);
+        cfg.reducers = 0;
+        assert!(matches!(
+            LocalRunner::new(2).run(&WordCountApp, splits, &cfg),
+            Err(MrError::InvalidConfig(_))
+        ));
+    }
+
+    #[test]
+    fn pipelined_snapshots_estimate_early_and_end_exact() {
+        use crate::config::SnapshotPolicy;
+        let splits = text_splits(6, 40);
+        let plain_cfg = JobConfig::new(2).engine(Engine::barrierless());
+        let plain = LocalRunner::new(4)
+            .run(&WordCountApp, splits.clone(), &plain_cfg)
+            .unwrap();
+        assert_eq!(plain.snapshot_count(), 0, "snapshots off by default");
+        let cfg = JobConfig::new(2)
+            .engine(Engine::barrierless())
+            .snapshots(SnapshotPolicy::EveryRecords { records: 100 });
+        let out = LocalRunner::new(4)
+            .run(&WordCountApp, splits, &cfg)
+            .unwrap();
+        // Byte-exact final output, snapshots or not.
+        assert_eq!(out.partitions, plain.partitions);
+        assert!(out.snapshot_count() >= 2, "periodic snapshots published");
+        assert_eq!(
+            out.counters.get(names::SNAPSHOT_COUNT),
+            out.snapshot_count() as u64
+        );
+        for (r, snaps) in out.snapshots.iter().enumerate() {
+            // Monotone sequence and record progress per reducer.
+            for pair in snaps.windows(2) {
+                assert!(pair[0].seq < pair[1].seq);
+                assert!(pair[0].records_absorbed <= pair[1].records_absorbed);
+            }
+            // The last snapshot is the reducer's exact final answer.
+            let last = snaps.last().expect("final snapshot");
+            assert_eq!(last.estimate, out.partitions[r]);
+        }
+    }
+
+    #[test]
+    fn barrier_engine_publishes_only_its_finished_output() {
+        use crate::config::SnapshotPolicy;
+        let splits = text_splits(4, 30);
+        let cfg = JobConfig::new(3).snapshots(SnapshotPolicy::EveryRecords { records: 1 });
+        let out = LocalRunner::new(4)
+            .run(&WordCountApp, splits, &cfg)
+            .unwrap();
+        assert_eq!(out.snapshots.len(), 3);
+        for (r, snaps) in out.snapshots.iter().enumerate() {
+            assert_eq!(snaps.len(), 1, "one snapshot per barrier reducer");
+            assert_eq!(snaps[0].estimate, out.partitions[r]);
+            assert_eq!(snaps[0].live_entries, 0, "no partial state at the barrier");
+        }
+        assert_eq!(out.counters.get(names::SNAPSHOT_COUNT), 3);
+        assert_eq!(out.counters.get(names::SNAPSHOT_BYTES), 0);
     }
 
     #[test]

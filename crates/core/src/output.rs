@@ -2,10 +2,11 @@
 
 use crate::counters::Counters;
 use crate::engine::DriverReport;
+use crate::snapshot::Snapshot;
 use crate::traits::Application;
 
 /// Everything a finished job hands back: per-partition output plus
-/// counters and per-reducer store reports.
+/// counters, per-reducer store reports, and any published snapshots.
 pub struct JobOutput<A: Application> {
     /// Output records per reduce partition, in the order each reducer
     /// emitted them.
@@ -15,6 +16,13 @@ pub struct JobOutput<A: Application> {
     /// One report per reduce partition (empty under the barrier engine,
     /// which has no partial-result store).
     pub reports: Vec<DriverReport>,
+    /// Per reduce partition, every snapshot published during the run, in
+    /// publication order (empty unless a
+    /// [`SnapshotPolicy`](crate::SnapshotPolicy) was enabled). Under the
+    /// barrier engine the only possible snapshot is the finished output,
+    /// so at most one appears per partition — which is the paper's
+    /// point: a barrier job has nothing observable before the barrier.
+    pub snapshots: Vec<Vec<Snapshot<A>>>,
 }
 
 impl<A: Application> JobOutput<A> {
@@ -45,5 +53,23 @@ impl<A: Application> JobOutput<A> {
     /// "size of partial results" column of Table 1.
     pub fn total_peak_entries(&self) -> usize {
         self.reports.iter().map(|r| r.store.peak_entries).sum()
+    }
+
+    /// Total snapshots published across all reduce partitions.
+    pub fn snapshot_count(&self) -> usize {
+        self.snapshots.iter().map(Vec::len).sum()
+    }
+
+    /// All snapshots across partitions, ordered by `at_secs` then
+    /// reducer — the raw series an early-answer observer would have seen.
+    pub fn snapshots_by_time(&self) -> Vec<&Snapshot<A>> {
+        let mut all: Vec<&Snapshot<A>> = self.snapshots.iter().flatten().collect();
+        all.sort_by(|a, b| {
+            a.at_secs
+                .total_cmp(&b.at_secs)
+                .then(a.reducer.cmp(&b.reducer))
+                .then(a.seq.cmp(&b.seq))
+        });
+        all
     }
 }

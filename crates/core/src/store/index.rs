@@ -101,6 +101,23 @@ impl<K: Ord + Hash + Eq, V> PartialMap<K, V> {
         self.drain_sorted()
     }
 
+    /// A *frozen view*: every live entry by reference, in ascending key
+    /// order, leaving the map untouched. This is what snapshots walk —
+    /// the same key ordering as [`drain_sorted`](PartialMap::drain_sorted)
+    /// without consuming anything, so observation never perturbs spill
+    /// cadence, byte accounting or final output. The ordered index
+    /// streams its tree walk; the hashed index pays one reference sort.
+    pub fn sorted_view(&self) -> Vec<(&K, &V)> {
+        match self {
+            PartialMap::Ordered(m) => m.iter().collect(),
+            PartialMap::Hashed(m) => {
+                let mut entries: Vec<(&K, &V)> = m.iter().collect();
+                entries.sort_unstable_by(|a, b| a.0.cmp(b.0));
+                entries
+            }
+        }
+    }
+
     /// The absorb hot path, shared by every store: folds into `key`'s
     /// entry via `absorb`, creating it with `init` on a miss (the key is
     /// moved in, never cloned). Returns the signed change in estimated
@@ -194,6 +211,27 @@ mod tests {
         assert_eq!(ordered, hashed);
         assert_eq!(ordered[0].0, "alpha");
         assert_eq!(ordered[0].1, 10);
+    }
+
+    #[test]
+    fn sorted_view_is_key_ordered_and_non_destructive() {
+        for index in [StoreIndex::Ordered, StoreIndex::Hashed] {
+            let m = filled(index);
+            let view: Vec<(String, u64)> = m
+                .sorted_view()
+                .into_iter()
+                .map(|(k, v)| (k.clone(), *v))
+                .collect();
+            assert_eq!(
+                view.iter().map(|(k, _)| k.as_str()).collect::<Vec<_>>(),
+                vec!["alpha", "bravo", "charlie", "delta"],
+                "index {index:?}"
+            );
+            // Nothing consumed: the drain still sees everything.
+            assert_eq!(m.len(), 4);
+            let drained: Vec<(String, u64)> = m.into_sorted_iter().collect();
+            assert_eq!(drained, view, "view diverged from drain under {index:?}");
+        }
     }
 
     #[test]

@@ -5,6 +5,7 @@ use super::index::{apply_byte_delta, PartialMap};
 use super::{PartialStore, StoreReport};
 use crate::config::StoreIndex;
 use crate::error::{MrError, MrResult};
+use crate::size::SizeEstimate;
 use crate::traits::{Application, Emit};
 
 /// Partial results in memory, with byte accounting and an optional hard
@@ -106,6 +107,19 @@ impl<A: Application> PartialStore<A> for InMemoryStore<A> {
             app.finalize(key, state, shared, out);
         }
         Ok(report)
+    }
+
+    fn snapshot_into(
+        &mut self,
+        app: &A,
+        out: &mut dyn Emit<A::OutKey, A::OutValue>,
+    ) -> MrResult<u64> {
+        let mut bytes = 0u64;
+        for (key, state) in self.map.sorted_view() {
+            bytes += (key.estimated_bytes() + state.estimated_bytes()) as u64;
+            app.snapshot_emit(key, state, out);
+        }
+        Ok(bytes)
     }
 
     fn modelled_bytes(&self) -> u64 {

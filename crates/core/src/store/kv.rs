@@ -10,6 +10,7 @@
 use super::{PartialStore, StoreReport};
 use crate::codec::Codec;
 use crate::error::MrResult;
+use crate::size::SizeEstimate;
 use crate::traits::{Application, Emit};
 use mr_kvstore::{Store, StoreConfig};
 use std::path::Path;
@@ -115,6 +116,35 @@ impl<A: Application> PartialStore<A> for KvBackedStore<A> {
         drop(this.kv);
         std::fs::remove_dir_all(&dir).ok();
         Ok(report)
+    }
+
+    fn snapshot_into(
+        &mut self,
+        app: &A,
+        out: &mut dyn Emit<A::OutKey, A::OutValue>,
+    ) -> MrResult<u64> {
+        // Scan everything (encoded-byte order), decode, sort by the real
+        // key — the same canonicalization (and the same transient
+        // whole-store materialization) finalize performs, but leaving
+        // every record in place. Scan reads count as store I/O and show
+        // up in `io_bytes`, which is honest: a snapshot of a disk-backed
+        // store costs disk. Note the transient Vec is real host memory
+        // outside the modelled budget, exactly like finalize's — a
+        // store too big to materialize once cannot finalize either.
+        let mut all: Vec<(A::MapKey, A::State)> = Vec::with_capacity(self.kv.len());
+        for (key_bytes, state_bytes) in self.kv.scan_sorted()? {
+            all.push((
+                A::MapKey::from_bytes(&key_bytes)?,
+                A::State::from_bytes(&state_bytes)?,
+            ));
+        }
+        all.sort_by(|a, b| a.0.cmp(&b.0));
+        let mut bytes = 0u64;
+        for (key, state) in &all {
+            bytes += (key.estimated_bytes() + state.estimated_bytes()) as u64;
+            app.snapshot_emit(key, state, out);
+        }
+        Ok(bytes)
     }
 
     fn modelled_bytes(&self) -> u64 {

@@ -69,6 +69,23 @@ pub trait PartialStore<A: Application>: Send {
         out: &mut dyn Emit<A::OutKey, A::OutValue>,
     ) -> MrResult<StoreReport>;
 
+    /// Walks a *frozen view* of every live partial result in key order,
+    /// emitting each key's estimated output through
+    /// [`Application::snapshot_emit`].
+    /// Returns the estimated partial-state bytes covered (keys + states).
+    ///
+    /// Observation only: the store's contents, byte accounting and spill
+    /// cadence are unchanged afterwards (the spill store re-reads its
+    /// run files from disk and merges them with the live map, so a
+    /// snapshot is complete even mid-spill; the KV store scans its
+    /// segments). `&mut self` is needed for scan plumbing, never for
+    /// mutation of logical contents.
+    fn snapshot_into(
+        &mut self,
+        app: &A,
+        out: &mut dyn Emit<A::OutKey, A::OutValue>,
+    ) -> MrResult<u64>;
+
     /// Current modelled heap footprint in bytes (drives Figure 5 sampling).
     fn modelled_bytes(&self) -> u64;
 

@@ -20,6 +20,7 @@ use super::{PartialStore, StoreReport};
 use crate::codec::Codec;
 use crate::config::StoreIndex;
 use crate::error::MrResult;
+use crate::size::SizeEstimate;
 use crate::traits::{Application, Emit};
 use std::fs::File;
 use std::io::{BufReader, BufWriter, Read, Write};
@@ -44,6 +45,10 @@ pub struct SpillMergeStore<A: Application> {
     peak_entries: usize,
     peak_bytes: u64,
     spill_bytes: u64,
+    /// Run bytes re-read by snapshots (charged to disk via `io_bytes`,
+    /// never to the spill accounting — snapshots must not look like
+    /// spills).
+    snapshot_read_bytes: u64,
 }
 
 impl<A: Application> SpillMergeStore<A> {
@@ -71,6 +76,7 @@ impl<A: Application> SpillMergeStore<A> {
             peak_entries: 0,
             peak_bytes: 0,
             spill_bytes: 0,
+            snapshot_read_bytes: 0,
         })
     }
 
@@ -237,6 +243,70 @@ impl<A: Application> PartialStore<A> for SpillMergeStore<A> {
         Ok(report)
     }
 
+    fn snapshot_into(
+        &mut self,
+        app: &A,
+        out: &mut dyn Emit<A::OutKey, A::OutValue>,
+    ) -> MrResult<u64> {
+        let mut bytes = 0u64;
+        if self.runs.is_empty() {
+            for (key, state) in self.map.sorted_view() {
+                bytes += (key.estimated_bytes() + state.estimated_bytes()) as u64;
+                app.snapshot_emit(key, state, out);
+            }
+            return Ok(bytes);
+        }
+
+        // A key's partials may be scattered across runs and the live
+        // map, so a self-consistent snapshot needs the same k-way merge
+        // finalize performs — but non-destructively: run files are
+        // re-read from disk (they stay put) and live states are cloned
+        // through their codec round-trip before merging.
+        let mut readers: Vec<RunReader<A>> = Vec::with_capacity(self.runs.len());
+        for path in &self.runs {
+            readers.push(RunReader::open(path)?);
+        }
+        let mut heads: Vec<Option<(A::MapKey, A::State)>> = Vec::new();
+        for reader in &mut readers {
+            heads.push(reader.next_entry()?);
+        }
+        let clone_entry = |k: &A::MapKey, s: &A::State| -> MrResult<(A::MapKey, A::State)> {
+            Ok((k.clone(), A::State::from_bytes(&s.to_bytes())?))
+        };
+        let view = self.map.sorted_view();
+        let mut live = view.into_iter();
+        heads.push(match live.next() {
+            Some((k, s)) => Some(clone_entry(k, s)?),
+            None => None,
+        });
+
+        while let Some(min_key) = heads.iter().flatten().map(|(k, _)| k).min().cloned() {
+            let mut acc: Option<A::State> = None;
+            for (i, slot) in heads.iter_mut().enumerate() {
+                while matches!(slot, Some((k, _)) if *k == min_key) {
+                    let (_, state) = slot.take().expect("matched Some");
+                    acc = Some(match acc.take() {
+                        None => state,
+                        Some(prev) => app.merge(&min_key, prev, state),
+                    });
+                    *slot = if i < readers.len() {
+                        readers[i].next_entry()?
+                    } else {
+                        match live.next() {
+                            Some((k, s)) => Some(clone_entry(k, s)?),
+                            None => None,
+                        }
+                    };
+                }
+            }
+            let state = acc.expect("min key came from some head");
+            bytes += (min_key.estimated_bytes() + state.estimated_bytes()) as u64;
+            app.snapshot_emit(&min_key, &state, out);
+        }
+        self.snapshot_read_bytes += self.spill_bytes;
+        Ok(bytes)
+    }
+
     fn modelled_bytes(&self) -> u64 {
         self.scaled()
     }
@@ -246,6 +316,6 @@ impl<A: Application> PartialStore<A> for SpillMergeStore<A> {
     }
 
     fn io_bytes(&self) -> u64 {
-        self.spill_bytes
+        self.spill_bytes + self.snapshot_read_bytes
     }
 }

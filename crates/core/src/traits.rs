@@ -205,6 +205,74 @@ pub trait Application: Send + Sync + 'static {
         unimplemented!("combine_enabled() applications must implement combiner_emit()")
     }
 
+    /// Emits this key's contribution to a *snapshot* — an early estimate
+    /// of the final answer built from the live partial result, published
+    /// mid-job under a [`SnapshotPolicy`](crate::SnapshotPolicy).
+    ///
+    /// The default clones the partial result through its [`Codec`]
+    /// round-trip and runs [`finalize`](Application::finalize) on the
+    /// clone against throwaway shared state, so any application whose
+    /// finalize is a pure projection of `State` gets snapshots for free.
+    /// Override to emit a cheaper or smarter estimate (e.g. confidence
+    /// bounds). Must not mutate anything: snapshots are read-only over a
+    /// frozen view and may never perturb the final output.
+    fn snapshot_emit(
+        &self,
+        key: &Self::MapKey,
+        state: &Self::State,
+        out: &mut dyn Emit<Self::OutKey, Self::OutValue>,
+    ) {
+        let mut scratch = self.new_shared();
+        let bytes = state.to_bytes();
+        // An asymmetric State codec is an application bug (the spill
+        // store's round-trips would corrupt output too); fail loudly
+        // rather than silently omit the key from the estimate.
+        let clone = Self::State::from_bytes(&bytes).unwrap_or_else(|e| {
+            panic!(
+                "snapshot_emit: State codec round-trip failed ({e}); \
+                 a lossless encode/decode pair is required"
+            )
+        });
+        self.finalize(key.clone(), clone, &mut scratch, out);
+    }
+
+    /// Accuracy of a snapshot `estimate` against the final `truth`, as an
+    /// error in `[0, 1]` (0 = exact). Both slices must be in canonical
+    /// key-sorted order (what
+    /// [`JobOutput::into_sorted_output`](crate::JobOutput::into_sorted_output)
+    /// yields). The default measures key coverage — the fraction of final
+    /// output keys the estimate has *not* produced yet — which is
+    /// meaningful for any application; apps override it with a
+    /// value-aware metric (WordCount uses relative count error, kNN the
+    /// fraction of wrong neighbours).
+    fn snapshot_error(
+        &self,
+        estimate: &[(Self::OutKey, Self::OutValue)],
+        truth: &[(Self::OutKey, Self::OutValue)],
+    ) -> f64 {
+        if truth.is_empty() {
+            return 0.0;
+        }
+        let mut covered = 0usize;
+        let mut total = 0usize;
+        let mut est = estimate.iter().map(|(k, _)| k).peekable();
+        let mut last: Option<&Self::OutKey> = None;
+        for (key, _) in truth {
+            if last.is_some_and(|l| l == key) {
+                continue; // count each distinct truth key once
+            }
+            last = Some(key);
+            total += 1;
+            while est.peek().is_some_and(|e| *e < key) {
+                est.next();
+            }
+            if est.peek().is_some_and(|e| *e == key) {
+                covered += 1;
+            }
+        }
+        1.0 - covered as f64 / total as f64
+    }
+
     /// Human-readable name for reports.
     fn name(&self) -> &'static str {
         "application"

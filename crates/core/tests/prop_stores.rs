@@ -4,8 +4,12 @@
 //! sort-at-drain) — must produce byte-identical results, and neither
 //! spilling nor the index strategy may change what a reducer emits.
 
-use mr_core::engine::pipeline::reduce_partition_barrierless;
-use mr_core::{Application, Counters, Emit, Engine, JobConfig, MemoryPolicy, StoreIndex};
+use mr_core::engine::pipeline::{
+    reduce_partition_barrierless, reduce_partition_barrierless_traced,
+};
+use mr_core::{
+    Application, Counters, Emit, Engine, JobConfig, MemoryPolicy, SnapshotPolicy, StoreIndex,
+};
 use proptest::prelude::*;
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -72,6 +76,41 @@ impl Application for MaxTracker {
         for v in state {
             out.emit(k, v);
         }
+    }
+}
+
+/// Pure count-sum (WordCount's shape on u32 keys): the class whose
+/// snapshot estimates are provably monotone in records absorbed.
+struct CountSum;
+
+impl Application for CountSum {
+    type InKey = u64;
+    type InValue = (u32, u64);
+    type MapKey = u32;
+    type MapValue = u64;
+    type OutKey = u32;
+    type OutValue = u64;
+    type State = u64;
+    type Shared = ();
+
+    fn map(&self, _k: &u64, v: &(u32, u64), out: &mut dyn Emit<u32, u64>) {
+        out.emit(v.0, v.1);
+    }
+    fn new_shared(&self) {}
+    fn reduce_grouped(&self, k: &u32, vs: Vec<u64>, _s: &mut (), out: &mut dyn Emit<u32, u64>) {
+        out.emit(*k, vs.into_iter().sum());
+    }
+    fn init(&self, _k: &u32) -> u64 {
+        0
+    }
+    fn absorb(&self, _k: &u32, state: &mut u64, v: u64, _s: &mut (), _o: &mut dyn Emit<u32, u64>) {
+        *state += v;
+    }
+    fn merge(&self, _k: &u32, a: u64, b: u64) -> u64 {
+        a + b
+    }
+    fn finalize(&self, k: u32, state: u64, _s: &mut (), out: &mut dyn Emit<u32, u64>) {
+        out.emit(k, state);
     }
 }
 
@@ -148,6 +187,126 @@ proptest! {
             let hashed = run_policy_indexed(&records, policy.clone(), StoreIndex::Hashed);
             prop_assert_eq!(&ordered, &hashed, "policy {:?}", policy);
         }
+    }
+
+    /// Snapshots are invisible: for every memory policy × store index,
+    /// any snapshot interval — down to the pathological every-1-record
+    /// policy — leaves the final output byte-identical to the
+    /// snapshot-free run, and every snapshot is key-sorted and
+    /// duplicate-free (the spill store's snapshots must merge run files
+    /// with the live map, or a key split across runs would appear twice).
+    #[test]
+    fn snapshot_policy_is_invisible_under_every_store(
+        records in prop::collection::vec((0u32..30, -1000i64..1000), 1..200),
+        threshold in 64u64..2048,
+        cache in 128usize..4096,
+        interval in 1u64..40,
+    ) {
+        for policy in [
+            MemoryPolicy::InMemory,
+            MemoryPolicy::SpillMerge { threshold_bytes: threshold },
+            MemoryPolicy::KvStore { cache_bytes: cache },
+        ] {
+            for index in INDEXES {
+                let reference = run_policy_indexed(&records, policy.clone(), index);
+                let cfg = JobConfig::new(1)
+                    .engine(Engine::BarrierLess { memory: policy.clone() })
+                    .store_index(index)
+                    .snapshots(SnapshotPolicy::EveryRecords { records: interval })
+                    .scratch_dir(scratch());
+                let (out, _, snaps) = reduce_partition_barrierless_traced(
+                    &MaxTracker,
+                    &cfg,
+                    0,
+                    records.to_vec(),
+                    &mut Counters::new(),
+                )
+                .expect("snapshotted run");
+                prop_assert_eq!(
+                    &reference, &out,
+                    "snapshots every {} changed output under {:?}/{:?}", interval, policy, index
+                );
+                // One snapshot per full interval plus the end-of-input
+                // one (when the stream length is a multiple of the
+                // interval the last interval snapshot and the final
+                // snapshot both fire — two identical estimates, two
+                // distinct seqs).
+                let expected = records.len() as u64 / interval + 1;
+                prop_assert_eq!(snaps.len() as u64, expected);
+                for snap in &snaps {
+                    for pair in snap.estimate.windows(2) {
+                        prop_assert!(
+                            pair[0].0 <= pair[1].0,
+                            "snapshot keys unsorted under {:?}/{:?}", policy, index
+                        );
+                    }
+                    // MaxTracker emits at most 3 records per key: a key
+                    // fragmented across spill runs that was not merged
+                    // would show up as >3 entries for one key.
+                    let mut per_key = std::collections::BTreeMap::new();
+                    for (k, _) in &snap.estimate {
+                        *per_key.entry(*k).or_insert(0usize) += 1;
+                    }
+                    prop_assert!(
+                        per_key.values().all(|&n| n <= 3),
+                        "unmerged key fragments in snapshot under {:?}/{:?}", policy, index
+                    );
+                }
+                // The last snapshot equals the final output exactly.
+                prop_assert_eq!(&snaps.last().expect("final").estimate, &out);
+            }
+        }
+    }
+
+    /// Monotone convergence for the pure count-sum class: successive
+    /// snapshot estimates only grow — per key and in total — with
+    /// records absorbed, and the last snapshot equals finalize output
+    /// exactly. (This is what makes barrier-less early answers *usable*:
+    /// an observer knows every count is a lower bound.)
+    #[test]
+    fn count_sum_snapshots_are_monotone_and_end_exact(
+        records in prop::collection::vec((0u32..20, 1u64..50), 1..150),
+        interval in 1u64..30,
+    ) {
+        let cfg = JobConfig::new(1)
+            .engine(Engine::BarrierLess { memory: MemoryPolicy::InMemory })
+            .snapshots(SnapshotPolicy::EveryRecords { records: interval })
+            .scratch_dir(scratch());
+        let input: Vec<(u32, u64)> = records.clone();
+        let (out, _, snaps) = reduce_partition_barrierless_traced(
+            &CountSum,
+            &cfg,
+            0,
+            input,
+            &mut Counters::new(),
+        )
+        .expect("run");
+        prop_assert!(!snaps.is_empty());
+        let mut prev: BTreeMap<u32, u64> = BTreeMap::new();
+        let mut prev_total = 0u64;
+        let mut prev_records = 0u64;
+        for snap in &snaps {
+            prop_assert!(snap.records_absorbed >= prev_records);
+            prev_records = snap.records_absorbed;
+            let now: BTreeMap<u32, u64> = snap.estimate.iter().cloned().collect();
+            let total: u64 = now.values().sum();
+            prop_assert!(
+                total >= prev_total,
+                "total estimate shrank: {} -> {}", prev_total, total
+            );
+            for (k, v) in &prev {
+                prop_assert!(
+                    now.get(k).is_some_and(|n| n >= v),
+                    "key {} regressed from {}", k, v
+                );
+            }
+            prev = now;
+            prev_total = total;
+        }
+        // Last snapshot is byte-exact the finalize output.
+        prop_assert_eq!(&snaps.last().expect("final").estimate, &out);
+        // And it accounts every absorbed record.
+        prop_assert_eq!(prev_records, records.len() as u64);
     }
 
     /// The incremental form agrees with the grouped form: top-3 per key.

@@ -22,6 +22,7 @@ fn main() {
         kv_cpu_per_record: 0.03,
         sort_cpu_coeff: 3.2e-4,
         finalize_cpu_per_entry: 1.0e-3,
+        snapshot_cpu_per_record: 1.0e-4,
         output_selectivity: 0.5,
     };
 

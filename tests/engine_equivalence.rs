@@ -11,7 +11,9 @@
 
 use barrier_mapreduce::apps::{Sort, UniqueListens, WordCount};
 use barrier_mapreduce::core::local::LocalRunner;
-use barrier_mapreduce::core::{CombinerPolicy, Engine, JobConfig, MemoryPolicy, StoreIndex};
+use barrier_mapreduce::core::{
+    CombinerPolicy, Engine, JobConfig, MemoryPolicy, SnapshotPolicy, StoreIndex,
+};
 use proptest::prelude::*;
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -148,6 +150,77 @@ proptest! {
                         &got, &reference,
                         "engine {:?} combiner {:?} index {:?}", engine, combiner, index
                     );
+                }
+            }
+        }
+    }
+
+    /// Snapshot determinism, swept across the whole matrix: for every
+    /// engine × memory-policy × store-index × combiner combination,
+    /// enabling snapshots — including the pathological every-1-record
+    /// policy, which snapshots after *each* absorbed record — leaves the
+    /// final output byte-identical to the snapshot-free run, and every
+    /// published snapshot is key-sorted, duplicate-free and
+    /// self-consistent (its counts never exceed the final counts, and a
+    /// periodic run's last snapshot IS the final answer).
+    #[test]
+    fn snapshots_never_change_final_output_anywhere(
+        words in prop::collection::vec(prop::collection::vec("[a-d]{1,3}", 1..8), 1..8),
+        reducers in 1usize..4,
+    ) {
+        let splits: Vec<Vec<(u64, String)>> = words
+            .iter()
+            .enumerate()
+            .map(|(i, line)| vec![(i as u64, line.join(" "))])
+            .collect();
+        for engine in all_engines() {
+            for combiner in [CombinerPolicy::Disabled, CombinerPolicy::enabled()] {
+                for index in INDEXES {
+                    let run = |snapshots: SnapshotPolicy| {
+                        let cfg = JobConfig::new(reducers)
+                            .engine(engine.clone())
+                            .combiner(combiner)
+                            .store_index(index)
+                            .snapshots(snapshots)
+                            .scratch_dir(scratch());
+                        LocalRunner::new(2).run(&WordCount, splits.clone(), &cfg).unwrap()
+                    };
+                    let plain = run(SnapshotPolicy::Disabled);
+                    let snapped = run(SnapshotPolicy::EveryRecords { records: 1 });
+                    prop_assert_eq!(
+                        &plain.partitions, &snapped.partitions,
+                        "snapshots changed output: {:?} {:?} {:?}", engine, combiner, index
+                    );
+                    prop_assert_eq!(plain.snapshot_count(), 0);
+                    prop_assert!(snapped.snapshot_count() > 0);
+                    for (r, snaps) in snapped.snapshots.iter().enumerate() {
+                        let truth: BTreeMap<&String, u64> =
+                            snapped.partitions[r].iter().map(|(k, v)| (k, *v)).collect();
+                        for snap in snaps {
+                            prop_assert_eq!(snap.reducer, r);
+                            for pair in snap.estimate.windows(2) {
+                                prop_assert!(
+                                    pair[0].0 < pair[1].0,
+                                    "unsorted/duplicated snapshot under {:?} {:?}", engine, index
+                                );
+                            }
+                            for (word, count) in &snap.estimate {
+                                let fin = truth.get(word).copied().unwrap_or(0);
+                                prop_assert!(
+                                    *count <= fin,
+                                    "snapshot overcounts {} ({} > {})", word, count, fin
+                                );
+                            }
+                        }
+                        // Sequence numbers are strictly increasing.
+                        for pair in snaps.windows(2) {
+                            prop_assert!(pair[0].seq < pair[1].seq);
+                        }
+                        if engine != Engine::Barrier {
+                            let last = snaps.last().expect("final snapshot");
+                            prop_assert_eq!(&last.estimate, &snapped.partitions[r]);
+                        }
+                    }
                 }
             }
         }
