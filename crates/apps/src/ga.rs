@@ -10,7 +10,7 @@
 //! Table 2 reports a 0% line increase: the same window logic serves both
 //! the grouped and the incremental form.
 
-use mr_core::{Application, Emit};
+use mr_core::{Application, ChainableApplication, Emit};
 use mr_workloads::{mix, GaWorkload};
 
 /// Windowed selection + crossover over a stream of scored individuals.
@@ -134,6 +134,19 @@ impl Application for GeneticAlgorithm {
     }
 }
 
+/// One generation per chained job: the reduce side's offspring `(genome,
+/// fitness)` records become the next generation's input population —
+/// the map re-derives fitness from the genome, so composition needs no
+/// code change, just this boundary. With the streaming handoff a
+/// K-generation run has no barrier anywhere: generation N+1's fitness
+/// evaluation starts on the earliest offspring while generation N's
+/// windows are still evolving.
+impl ChainableApplication<u64, u32> for GeneticAlgorithm {
+    fn adapt_input(&self, genome: u64, _fitness: u32) -> (u64, u64) {
+        (genome, genome)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -200,6 +213,91 @@ mod tests {
         for (genome, fitness) in out.partitions.iter().flatten() {
             assert_eq!(*fitness, Gen::fitness(*genome));
         }
+    }
+
+    #[test]
+    fn k_generation_chain_conserves_population_and_fitness() {
+        use mr_core::{ChainSpec, HandoffMode, HashPartitioner};
+        // OneMax fitness is popcount and single-point crossover conserves
+        // set bits, so across ANY number of generations — and regardless
+        // of how the streamed handoff interleaves arrivals — the
+        // population size and the total fitness are invariant.
+        let input = splits(4, 32);
+        let population = 4 * 32;
+        let total_fitness: u64 = input
+            .iter()
+            .flatten()
+            .map(|(_, g)| Gen::fitness(*g) as u64)
+            .sum();
+        let generations = 5;
+        for handoff in [HandoffMode::Barrier, HandoffMode::Streaming] {
+            let spec = ChainSpec::new(
+                (0..generations)
+                    .map(|_| JobConfig::new(2).engine(Engine::barrierless()))
+                    .collect(),
+            )
+            .handoff(handoff);
+            let out = LocalRunner::new(4)
+                .run_chain_iter(
+                    &GeneticAlgorithm::default(),
+                    input.clone(),
+                    &spec,
+                    &HashPartitioner,
+                )
+                .unwrap();
+            assert_eq!(out.stages.len(), generations);
+            assert_eq!(
+                out.output.record_count(),
+                population,
+                "{handoff:?}: population drifted"
+            );
+            let got: u64 = out
+                .output
+                .partitions
+                .iter()
+                .flatten()
+                .map(|(_, f)| *f as u64)
+                .sum();
+            assert_eq!(got, total_fitness, "{handoff:?}: fitness not conserved");
+            // Every emitted fitness is honest.
+            for (genome, fitness) in out.output.partitions.iter().flatten() {
+                assert_eq!(*fitness, Gen::fitness(*genome));
+            }
+            // Each generation handed its full population downstream.
+            for stage in &out.stages[..generations - 1] {
+                assert_eq!(stage.handoff_records, population as u64);
+            }
+        }
+    }
+
+    #[test]
+    fn barrier_chain_equals_the_sequential_fold_exactly() {
+        use mr_core::{ChainSpec, HandoffMode, HashPartitioner};
+        let input = splits(3, 40);
+        let generations = 3;
+        let app = GeneticAlgorithm::default();
+        // Barrier engine: the per-stage output is a deterministic
+        // function of the input (sorted grouping), so the chain and the
+        // hand fold must agree byte for byte.
+        let cfg = || JobConfig::new(2);
+        // Fold by hand.
+        let mut current = input.clone();
+        let mut expect = Vec::new();
+        for _ in 0..generations {
+            let run = LocalRunner::new(4).run(&app, current, &cfg()).unwrap();
+            expect = run.partitions.clone();
+            current = run
+                .partitions
+                .into_iter()
+                .map(|p| p.into_iter().map(|(g, f)| app.adapt_input(g, f)).collect())
+                .collect();
+        }
+        let spec =
+            ChainSpec::new((0..generations).map(|_| cfg()).collect()).handoff(HandoffMode::Barrier);
+        let out = LocalRunner::new(4)
+            .run_chain_iter(&app, input, &spec, &HashPartitioner)
+            .unwrap();
+        assert_eq!(out.output.partitions, expect);
     }
 
     #[test]

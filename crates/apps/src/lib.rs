@@ -10,6 +10,12 @@
 //! | Cross-key operations | [`ga`] | no | O(window) |
 //! | Single-reducer aggregation | [`blackscholes`] | no | O(1) |
 //!
+//! [`topk`] is a chain-native eighth job: a single-reducer selection
+//! built to consume [`wordcount`]'s final counts as stage 2 of a
+//! `wordcount → top-k` chain. [`sort`] and [`ga`] likewise implement
+//! `ChainableApplication`, so `grep → sort` and K-generation genetic-
+//! algorithm chains compose without rewriting any app.
+//!
 //! Each multi-file app keeps its original (barrier) reduce logic in
 //! `original.rs` and its barrier-less rewrite in `barrierless.rs`; the
 //! Table 2 programmer-effort comparison counts those files directly.
@@ -22,6 +28,7 @@ pub mod grep;
 pub mod knn;
 pub mod lastfm;
 pub mod sort;
+pub mod topk;
 pub mod wordcount;
 
 pub use blackscholes::BlackScholes;
@@ -30,4 +37,5 @@ pub use grep::Grep;
 pub use knn::{KnnBarrier, KnnBarrierless};
 pub use lastfm::UniqueListens;
 pub use sort::Sort;
+pub use topk::TopK;
 pub use wordcount::WordCount;

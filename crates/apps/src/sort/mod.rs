@@ -13,7 +13,7 @@
 pub mod barrierless;
 pub mod original;
 
-use mr_core::{Application, Emit, Partitioner};
+use mr_core::{Application, ChainableApplication, Emit, Partitioner};
 
 /// TeraSort-style total-order sort of `u64` keys.
 #[derive(Debug, Clone, Default)]
@@ -104,6 +104,20 @@ impl Application for Sort {
 
     fn name(&self) -> &'static str {
         "sort"
+    }
+}
+
+/// The `grep → sort` chain boundary (log analysis): grep emits matching
+/// `(line id, line text)` records; the sort stage orders the matching
+/// line ids (timestamps in a time-keyed log). The text served its
+/// purpose at the filter — the sort key is the id.
+impl ChainableApplication<u64, String> for Sort {
+    fn adapt_input(&self, id: u64, _line: String) -> (u64, u64) {
+        (id, id)
+    }
+
+    fn handoff_bytes(&self, _id: &u64, line: &String) -> usize {
+        std::mem::size_of::<u64>() + line.len()
     }
 }
 
@@ -208,6 +222,71 @@ mod tests {
         assert!(out.reports[0].store.spill_files > 0, "test should spill");
         let keys: Vec<u64> = out.partitions[0].iter().map(|(k, _)| *k).collect();
         assert_eq!(keys, expect);
+    }
+
+    #[test]
+    fn grep_to_sort_chain_is_identical_under_both_handoffs() {
+        use crate::grep::Grep;
+        use mr_core::{ChainSpec, HandoffMode, HashPartitioner};
+        // A log where every third line is an error; the chain filters
+        // then orders the matching line ids.
+        let splits: Vec<Vec<(u64, String)>> = (0..4)
+            .map(|s| {
+                (0..30u64)
+                    .map(|l| {
+                        let id = s * 1000 + l;
+                        let text = if id % 3 == 0 {
+                            format!("{id} error: disk wobbled svc=db")
+                        } else {
+                            format!("{id} ok")
+                        };
+                        (id, text)
+                    })
+                    .collect()
+            })
+            .collect();
+        let expect: Vec<u64> = splits
+            .iter()
+            .flatten()
+            .filter(|(_, t)| t.contains("error"))
+            .map(|(id, _)| *id)
+            .collect::<std::collections::BTreeSet<_>>()
+            .into_iter()
+            .collect();
+        let grep = Grep::new("error");
+        let run = |handoff| {
+            let spec = ChainSpec::new(vec![
+                JobConfig::new(3).engine(Engine::barrierless()),
+                JobConfig::new(2).engine(Engine::barrierless()),
+            ])
+            .handoff(handoff);
+            LocalRunner::new(4)
+                .run_chain2(
+                    &grep,
+                    &Sort,
+                    splits.clone(),
+                    &spec,
+                    &HashPartitioner,
+                    &RangePartitioner::uniform(2),
+                )
+                .unwrap()
+        };
+        let barrier = run(HandoffMode::Barrier);
+        let streaming = run(HandoffMode::Streaming);
+        assert_eq!(
+            barrier.output.partitions, streaming.output.partitions,
+            "handoff mode changed the chained output"
+        );
+        let got: Vec<u64> = streaming
+            .output
+            .partitions
+            .iter()
+            .flatten()
+            .map(|(k, _)| *k)
+            .collect();
+        assert_eq!(got, expect, "chain lost or disordered matches");
+        assert_eq!(streaming.handoff_records(), expect.len() as u64);
+        assert!(streaming.stages[0].first_handoff_secs.is_some());
     }
 
     #[test]

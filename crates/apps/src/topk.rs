@@ -1,0 +1,308 @@
+//! Global top-k selection — a Single-reducer-aggregation job (§4.7)
+//! built to sit *downstream* of an aggregation: it consumes `(key,
+//! count)` pairs (e.g. WordCount's final output) and reports the k
+//! heaviest keys.
+//!
+//! Every mapper funnels its records to a single constant key; the
+//! reducer keeps a bounded candidate list in cross-key shared state
+//! (O(k) memory, Table 1's single-reducer-aggregation row) and emits the
+//! ranked top-k when its input drains. Selection uses the total order
+//! *(count desc, key asc)*, so the result — and its emission order — is
+//! a pure function of the input multiset: byte-identical under either
+//! engine, either chain handoff mode, and any arrival order.
+//!
+//! As the second stage of the `wordcount → top-k` chain
+//! ([`ChainableApplication`] impl below), its input must be final
+//! per-key counts — one record per key — which is exactly what a
+//! finished aggregation stage hands off.
+
+use mr_core::{Application, ChainableApplication, Emit};
+
+/// Reports the `k` keys with the largest counts.
+#[derive(Debug, Clone)]
+pub struct TopK {
+    /// How many ranked entries to keep.
+    pub k: usize,
+}
+
+impl TopK {
+    /// A selector for the heaviest `k` keys.
+    pub fn new(k: usize) -> Self {
+        assert!(k >= 1);
+        TopK { k }
+    }
+
+    /// Total order for candidates: count descending, key ascending.
+    fn better(a: &(String, u64), b: &(String, u64)) -> std::cmp::Ordering {
+        b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0))
+    }
+
+    /// Admits one candidate, pruning to O(k) whenever the buffer doubles.
+    fn admit(&self, candidates: &mut Vec<(String, u64)>, word: String, count: u64) {
+        candidates.push((word, count));
+        if candidates.len() >= self.k.saturating_mul(2).max(64) {
+            candidates.sort_by(Self::better);
+            candidates.truncate(self.k);
+        }
+    }
+
+    /// Final ranking of whatever survived pruning.
+    fn rank(&self, mut candidates: Vec<(String, u64)>, out: &mut dyn Emit<u64, (String, u64)>) {
+        candidates.sort_by(Self::better);
+        candidates.truncate(self.k);
+        for (rank, (word, count)) in candidates.into_iter().enumerate() {
+            out.emit(rank as u64 + 1, (word, count));
+        }
+    }
+}
+
+impl Application for TopK {
+    type InKey = String;
+    type InValue = u64;
+    /// Single constant key: everything funnels to one reduce group.
+    type MapKey = u8;
+    type MapValue = (String, u64);
+    /// Rank, starting at 1.
+    type OutKey = u64;
+    type OutValue = (String, u64);
+    type State = ();
+    type Shared = Vec<(String, u64)>;
+
+    fn map(&self, word: &String, count: &u64, out: &mut dyn Emit<u8, (String, u64)>) {
+        out.emit(0, (word.clone(), *count));
+    }
+
+    fn new_shared(&self) -> Vec<(String, u64)> {
+        Vec::new()
+    }
+
+    fn reduce_grouped(
+        &self,
+        _key: &u8,
+        values: Vec<(String, u64)>,
+        candidates: &mut Vec<(String, u64)>,
+        _out: &mut dyn Emit<u64, (String, u64)>,
+    ) {
+        for (word, count) in values {
+            self.admit(candidates, word, count);
+        }
+    }
+
+    /// O(k) shared candidates only — no per-key store (Table 1).
+    fn uses_keyed_state(&self) -> bool {
+        false
+    }
+
+    fn init(&self, _key: &u8) {}
+
+    fn absorb(
+        &self,
+        _key: &u8,
+        _state: &mut (),
+        value: (String, u64),
+        candidates: &mut Vec<(String, u64)>,
+        _out: &mut dyn Emit<u64, (String, u64)>,
+    ) {
+        self.admit(candidates, value.0, value.1);
+    }
+
+    fn merge(&self, _key: &u8, _a: (), _b: ()) {}
+
+    fn finalize(
+        &self,
+        _key: u8,
+        _state: (),
+        _candidates: &mut Vec<(String, u64)>,
+        _out: &mut dyn Emit<u64, (String, u64)>,
+    ) {
+    }
+
+    fn flush_shared(&self, candidates: Vec<(String, u64)>, out: &mut dyn Emit<u64, (String, u64)>) {
+        if !candidates.is_empty() {
+            self.rank(candidates, out);
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "top-k"
+    }
+}
+
+/// The `wordcount → top-k` chain boundary: upstream hands over its final
+/// `(word, count)` records, which are already this job's input type.
+impl ChainableApplication<String, u64> for TopK {
+    fn adapt_input(&self, word: String, count: u64) -> (String, u64) {
+        (word, count)
+    }
+
+    fn handoff_bytes(&self, word: &String, _count: &u64) -> usize {
+        word.len() + std::mem::size_of::<u64>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mr_core::local::LocalRunner;
+    use mr_core::{Engine, JobConfig};
+
+    fn splits() -> Vec<Vec<(String, u64)>> {
+        vec![
+            vec![
+                ("apple".to_string(), 10),
+                ("pear".to_string(), 3),
+                ("plum".to_string(), 7),
+            ],
+            vec![
+                ("fig".to_string(), 10),
+                ("kiwi".to_string(), 1),
+                ("lime".to_string(), 9),
+            ],
+        ]
+    }
+
+    #[test]
+    fn both_engines_rank_identically() {
+        let app = TopK::new(3);
+        let expect = vec![
+            (1u64, ("apple".to_string(), 10u64)),
+            (2, ("fig".to_string(), 10)),
+            (3, ("lime".to_string(), 9)),
+        ];
+        for engine in [Engine::Barrier, Engine::barrierless()] {
+            let out = LocalRunner::new(2)
+                .run(&app, splits(), &JobConfig::new(2).engine(engine.clone()))
+                .unwrap();
+            assert_eq!(
+                out.into_sorted_output(),
+                expect,
+                "engine {engine:?} ranked differently"
+            );
+        }
+    }
+
+    #[test]
+    fn ties_break_by_key_ascending_deterministically() {
+        // apple and fig tie at 10; apple wins rank 1 by key order no
+        // matter which arrives first.
+        let app = TopK::new(2);
+        let mut reversed = splits();
+        reversed.reverse();
+        let a = LocalRunner::new(1)
+            .run(
+                &app,
+                splits(),
+                &JobConfig::new(1).engine(Engine::barrierless()),
+            )
+            .unwrap()
+            .into_sorted_output();
+        let b = LocalRunner::new(1)
+            .run(
+                &app,
+                reversed,
+                &JobConfig::new(1).engine(Engine::barrierless()),
+            )
+            .unwrap()
+            .into_sorted_output();
+        assert_eq!(a, b);
+        assert_eq!(a[0], (1, ("apple".to_string(), 10)));
+        assert_eq!(a[1], (2, ("fig".to_string(), 10)));
+    }
+
+    #[test]
+    fn pruning_keeps_memory_bounded_and_result_exact() {
+        // Far more candidates than k: pruning must never evict a true
+        // top-k member.
+        let app = TopK::new(5);
+        let splits: Vec<Vec<(String, u64)>> = (0..8)
+            .map(|s| (0..200u64).map(|i| (format!("w{:03}-{s}", i), i)).collect())
+            .collect();
+        let out = LocalRunner::new(4)
+            .run(
+                &app,
+                splits,
+                &JobConfig::new(1).engine(Engine::barrierless()),
+            )
+            .unwrap();
+        // No keyed state was kept.
+        assert_eq!(out.reports[0].store.peak_entries, 0);
+        let got = out.into_sorted_output();
+        assert_eq!(got.len(), 5);
+        // The heaviest counts are 199 from every split; key order breaks
+        // the tie: w199-0 .. w199-4.
+        for (i, (rank, (word, count))) in got.iter().enumerate() {
+            assert_eq!(*rank, i as u64 + 1);
+            assert_eq!(*count, 199);
+            assert_eq!(word, &format!("w199-{i}"));
+        }
+    }
+
+    #[test]
+    fn wordcount_to_topk_chain_is_identical_under_both_handoffs() {
+        use crate::wordcount::WordCount;
+        use mr_core::{ChainSpec, CombinerPolicy, HandoffMode, HashPartitioner};
+        use mr_workloads::TextWorkload;
+        let w = TextWorkload {
+            seed: 11,
+            vocab: 300,
+            zipf_s: 1.2,
+            lines_per_chunk: 80,
+            words_per_line: 7,
+        };
+        let splits: Vec<Vec<(u64, String)>> = (0..5).map(|c| w.chunk(c)).collect();
+        // Reference: count by hand, rank by (count desc, word asc).
+        let mut counts: std::collections::BTreeMap<String, u64> = Default::default();
+        for (_, line) in splits.iter().flatten() {
+            for word in line.split_whitespace() {
+                *counts.entry(word.to_string()).or_insert(0) += 1;
+            }
+        }
+        let mut ranked: Vec<(String, u64)> = counts.into_iter().collect();
+        ranked.sort_by(TopK::better);
+        ranked.truncate(10);
+        let expect: Vec<(u64, (String, u64))> = ranked
+            .into_iter()
+            .enumerate()
+            .map(|(i, wc)| (i as u64 + 1, wc))
+            .collect();
+        let app = TopK::new(10);
+        let run = |handoff| {
+            let spec = ChainSpec::new(vec![
+                JobConfig::new(3)
+                    .engine(Engine::barrierless())
+                    .combiner(CombinerPolicy::enabled()),
+                JobConfig::new(2).engine(Engine::barrierless()),
+            ])
+            .handoff(handoff);
+            LocalRunner::new(4)
+                .run_chain2(
+                    &WordCount,
+                    &app,
+                    splits.clone(),
+                    &spec,
+                    &HashPartitioner,
+                    &HashPartitioner,
+                )
+                .unwrap()
+        };
+        let barrier = run(HandoffMode::Barrier);
+        let streaming = run(HandoffMode::Streaming);
+        assert_eq!(
+            barrier.output.partitions, streaming.output.partitions,
+            "handoff mode changed the top-k"
+        );
+        // Every distinct word crossed the boundary exactly once.
+        assert!(streaming.handoff_records() > 10);
+        assert_eq!(streaming.handoff_records(), barrier.handoff_records());
+        assert_eq!(streaming.output.into_sorted_output(), expect);
+    }
+
+    #[test]
+    fn fewer_candidates_than_k_emits_them_all() {
+        let app = TopK::new(50);
+        let out = LocalRunner::new(1)
+            .run(&app, splits(), &JobConfig::new(1))
+            .unwrap();
+        assert_eq!(out.record_count(), 6);
+    }
+}

@@ -103,6 +103,8 @@ pub fn wc_costs() -> CostModel {
         finalize_cpu_per_entry: 1.0e-3,
         snapshot_cpu_per_record: 2.0e-4,
         output_selectivity: 0.5,
+        chain_map_cpu_per_record: 5.0e-3,
+        chain_handoff_byte_scale: 4096.0,
     }
 }
 
@@ -220,6 +222,8 @@ pub fn sort_costs() -> CostModel {
         finalize_cpu_per_entry: 2.0e-3,
         snapshot_cpu_per_record: 1.0e-4,
         output_selectivity: 1.0,
+        chain_map_cpu_per_record: 5.0e-3,
+        chain_handoff_byte_scale: 4096.0,
     }
 }
 
@@ -267,6 +271,8 @@ pub fn knn_costs() -> CostModel {
         finalize_cpu_per_entry: 2.0e-3,
         snapshot_cpu_per_record: 2.0e-4,
         output_selectivity: 0.05,
+        chain_map_cpu_per_record: 5.0e-3,
+        chain_handoff_byte_scale: 4096.0,
     }
 }
 
@@ -343,6 +349,8 @@ pub fn lastfm_costs() -> CostModel {
         finalize_cpu_per_entry: 1.0e-3,
         snapshot_cpu_per_record: 1.0e-4,
         output_selectivity: 0.05,
+        chain_map_cpu_per_record: 5.0e-3,
+        chain_handoff_byte_scale: 4096.0,
     }
 }
 
@@ -409,6 +417,8 @@ pub fn ga_costs() -> CostModel {
         finalize_cpu_per_entry: 0.0,
         snapshot_cpu_per_record: 1.0e-4,
         output_selectivity: 1.0,
+        chain_map_cpu_per_record: 5.0e-3,
+        chain_handoff_byte_scale: 4096.0,
     }
 }
 
@@ -457,6 +467,8 @@ pub fn bs_costs() -> CostModel {
         finalize_cpu_per_entry: 0.0,
         snapshot_cpu_per_record: 1.0e-4,
         output_selectivity: 1e-6,
+        chain_map_cpu_per_record: 5.0e-3,
+        chain_handoff_byte_scale: 4096.0,
     }
 }
 

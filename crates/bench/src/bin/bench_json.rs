@@ -20,15 +20,19 @@
 //!
 //! Usage: `cargo run --release -p mr-bench --bin bench_json [out.json]`
 
-use mr_bench::appcfg::{run_wordcount_snapshotted, run_wordcount_with_combiner};
+use mr_apps::sort::RangePartitioner;
+use mr_bench::appcfg::{
+    run_wordcount_snapshotted, run_wordcount_with_combiner, testbed, wc_workload,
+};
+use mr_cluster::{ChainSimExecutor, FnInput};
 use mr_core::counters::names;
 use mr_core::engine::pipeline::{
     reduce_partition_barrierless, reduce_partition_barrierless_traced,
 };
 use mr_core::local::LocalRunner;
 use mr_core::{
-    CombinerBuffer, CombinerPolicy, Counters, Engine, JobConfig, MemoryPolicy, SnapshotPolicy,
-    StoreIndex,
+    ChainSpec, CombinerBuffer, CombinerPolicy, Counters, Engine, HandoffMode, HashPartitioner,
+    JobConfig, MemoryPolicy, SnapshotPolicy, StoreIndex,
 };
 use mr_workloads::TextWorkload;
 use std::time::Instant;
@@ -95,7 +99,7 @@ fn barrierless() -> Engine {
 fn main() {
     let out_path = std::env::args()
         .nth(1)
-        .unwrap_or_else(|| "BENCH_4.json".to_string());
+        .unwrap_or_else(|| "BENCH_5.json".to_string());
     let splits = wc_splits(12);
     let mut results = Vec::new();
 
@@ -292,6 +296,79 @@ fn main() {
         );
         assert!(report.outcome.is_completed());
         assert!(report.snapshots_taken > 0);
+        report
+            .output
+            .expect("completed")
+            .counters
+            .get(names::MAP_OUTPUT_RECORDS)
+    }));
+
+    // The chain subsystem on the real executor: grep → sort with the
+    // streamed handoff (the tentpole path: reducer emit → bounded
+    // channels → downstream map intake) vs the materialize-and-rerun
+    // baseline. records/sec is matched records crossing the chain edge.
+    let log_splits: Vec<Vec<(u64, String)>> = (0..8)
+        .map(|chunk| {
+            (0..2_000u64)
+                .map(|line| {
+                    let ts = chunk * 100_000 + line;
+                    let text = if ts % 3 == 0 {
+                        format!("ts={ts} level=error svc=db disk wobbled badly")
+                    } else {
+                        format!("ts={ts} level=info all good here today")
+                    };
+                    (ts, text)
+                })
+                .collect()
+        })
+        .collect();
+    for (name, handoff) in [
+        ("chain_grep_sort_streaming", HandoffMode::Streaming),
+        ("chain_grep_sort_barrier", HandoffMode::Barrier),
+    ] {
+        let splits = log_splits.clone();
+        results.push(bench(name, move || {
+            let spec = ChainSpec::new(vec![
+                JobConfig::new(4).engine(Engine::barrierless()),
+                JobConfig::new(4).engine(Engine::barrierless()),
+            ])
+            .handoff(handoff);
+            let out = LocalRunner::new(4)
+                .run_chain2(
+                    &mr_apps::Grep::new("level=error"),
+                    &mr_apps::Sort,
+                    splits.clone(),
+                    &spec,
+                    &HashPartitioner,
+                    &RangePartitioner::uniform(4),
+                )
+                .expect("chain run");
+            assert!(out.output.record_count() > 0);
+            out.handoff_records()
+        }));
+    }
+
+    // The chain in the simulator: streaming handoff edges scheduled as
+    // timeline events, charged via the chain_* cost fields.
+    results.push(bench("chain_sim_wordcount_topk", || {
+        let w = wc_workload(7);
+        let spec = ChainSpec::new(vec![
+            JobConfig::new(8).engine(Engine::barrierless()),
+            JobConfig::new(2).engine(Engine::barrierless()),
+        ])
+        .handoff(HandoffMode::Streaming);
+        let report = ChainSimExecutor::new(testbed(7)).run_chain2(
+            &mr_apps::WordCount,
+            &mr_apps::TopK::new(20),
+            &FnInput(move |c| w.chunk(c)),
+            16,
+            &spec,
+            &mr_bench::appcfg::wc_costs(),
+            &HashPartitioner,
+            &HashPartitioner,
+        );
+        assert!(report.outcome.is_completed());
+        assert!(report.overlapped(), "streaming chain must overlap stages");
         report
             .output
             .expect("completed")

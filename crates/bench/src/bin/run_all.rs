@@ -15,6 +15,7 @@ fn main() {
         "fig8_reducers",
         "fig9_memmgmt_reducers",
         "fig10_memmgmt_size",
+        "fig_chain_overlap",
         "table1_memreq",
         "table2_loc",
     ];

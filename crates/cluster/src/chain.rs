@@ -1,0 +1,1981 @@
+//! Event-driven simulation of *chained* MapReduce jobs: job 2's map
+//! stage consumes job 1's reduce output inside one shared event loop,
+//! so the inter-job boundary can be measured like the intra-job one.
+//!
+//! Under [`HandoffMode::Streaming`] every increment an upstream reduce
+//! task emits (per absorbed batch for emit-during-absorb apps, at
+//! finalize for aggregations) departs immediately as a *handoff flow* —
+//! a network transfer from the upstream reducer's node to the downstream
+//! chained map task's node, recorded as a
+//! [`HandoffMark`](crate::timeline::HandoffMark) timeline event and
+//! charged `CostModel::chain_map_cpu_per_record` on arrival. Downstream
+//! map work therefore overlaps the upstream reduce stage; the
+//! intermediate dataset is never written to the DFS.
+//!
+//! Under [`HandoffMode::Barrier`] the boundary is the Hadoop baseline:
+//! every upstream reducer writes its replicated output to the DFS, job 2
+//! starts only when job 1 has fully completed, and each downstream map
+//! task pays a materialized read (source disk + network) for its input
+//! partition.
+//!
+//! Fault recovery extends the single-job model across the edge: a
+//! streaming handoff is never materialized, so when an upstream reduce
+//! attempt dies, every downstream map task that consumed its stream is
+//! restarted (and a completed-but-lost upstream reducer is re-executed
+//! if its consumer still needs the stream). Downstream map tasks and
+//! job-2 reducers recover like their single-job counterparts.
+//!
+//! Modeling notes, for honesty about what is and is not captured:
+//!
+//! * Chained tasks (job-2 maps and reducers) do not occupy task slots —
+//!   slot contention across jobs can deadlock under recovery (job-2
+//!   tasks holding slots while waiting on a job-1 reducer that needs
+//!   one), so they contend for disks and the network only. Placement is
+//!   least-loaded over alive nodes, deterministically.
+//! * Job-2 map tasks ship their shuffle partitions when the task
+//!   completes, exactly like job-1 maps — the *chain edge* streams; the
+//!   downstream job's own shuffle then behaves like any single job's.
+//! * The chain executor ignores combiner and snapshot knobs (both are
+//!   modeled for single jobs by [`SimExecutor`](crate::SimExecutor));
+//!   store-index overrides apply as usual.
+
+use crate::costs::CostModel;
+use crate::executor::Fault;
+use crate::input::SimInput;
+use crate::params::ClusterParams;
+use crate::report::Outcome;
+use crate::timeline::{SpanKind, Timeline};
+use mr_core::chain::ChainableApplication;
+use mr_core::counters::names;
+use mr_core::engine::barrier::reduce_partition_barrier;
+use mr_core::engine::pipeline::IncrementalDriver;
+use mr_core::engine::DriverReport;
+use mr_core::{
+    Application, ChainSpec, Counters, Engine, HandoffMode, JobOutput, MemoryPolicy, Partitioner,
+    SnapshotPolicy,
+};
+use mr_dfs::{ChunkId, Dfs, DfsConfig};
+use mr_net::{Network, NetworkConfig, NodeId};
+use mr_sim::{EventQueue, FifoResource, SimDuration, SimTime};
+use mr_workloads::dist::hetero_factor;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::VecDeque;
+
+/// Public entry point: runs two-job chains on a simulated cluster.
+pub struct ChainSimExecutor {
+    params: ClusterParams,
+}
+
+impl ChainSimExecutor {
+    /// An executor for the given cluster.
+    pub fn new(params: ClusterParams) -> Self {
+        params.validate();
+        ChainSimExecutor { params }
+    }
+
+    /// Simulates the chain `first → second` over `chunks` input chunks.
+    #[allow(clippy::too_many_arguments)]
+    pub fn run_chain2<A, B, I, PA, PB>(
+        &self,
+        first: &A,
+        second: &B,
+        input: &I,
+        chunks: u64,
+        spec: &ChainSpec,
+        costs: &CostModel,
+        pa: &PA,
+        pb: &PB,
+    ) -> ChainSimReport<B>
+    where
+        A: Application,
+        B: ChainableApplication<A::OutKey, A::OutValue>,
+        I: SimInput<A>,
+        PA: Partitioner<A::MapKey>,
+        PB: Partitioner<B::MapKey>,
+    {
+        self.run_chain2_with_faults(first, second, input, chunks, spec, costs, pa, pb, &[])
+    }
+
+    /// Simulates the chain with node failures injected at the given
+    /// times.
+    #[allow(clippy::too_many_arguments)]
+    pub fn run_chain2_with_faults<A, B, I, PA, PB>(
+        &self,
+        first: &A,
+        second: &B,
+        input: &I,
+        chunks: u64,
+        spec: &ChainSpec,
+        costs: &CostModel,
+        pa: &PA,
+        pb: &PB,
+        faults: &[Fault],
+    ) -> ChainSimReport<B>
+    where
+        A: Application,
+        B: ChainableApplication<A::OutKey, A::OutValue>,
+        I: SimInput<A>,
+        PA: Partitioner<A::MapKey>,
+        PB: Partitioner<B::MapKey>,
+    {
+        costs.validate();
+        assert!(chunks >= 1, "need at least one input chunk");
+        let failed = |reason: String| ChainSimReport {
+            outcome: Outcome::Failed {
+                at: SimTime::ZERO,
+                reason,
+            },
+            output: None,
+            timeline1: Timeline::default(),
+            timeline2: Timeline::default(),
+            stage1_last_reduce_done: SimTime::ZERO,
+            stage1_complete: SimTime::ZERO,
+            stage2_first_work: None,
+            map1_tasks_run: 0,
+            red1_tasks_run: 0,
+            map2_tasks_run: 0,
+            red2_tasks_run: 0,
+            downstream_map_restarts: 0,
+            handoff_edges: 0,
+            handoff_records: 0,
+        };
+        if let Err(e) = spec.validate() {
+            return failed(e.to_string());
+        }
+        if spec.len() != 2 {
+            return failed(format!(
+                "chain simulator runs exactly 2 stages, spec has {}",
+                spec.len()
+            ));
+        }
+        let mut sim = ChainSim::new(
+            &self.params,
+            first,
+            second,
+            input,
+            chunks,
+            spec,
+            costs,
+            pa,
+            pb,
+        );
+        for &(secs, node) in faults {
+            sim.queue
+                .schedule(SimTime::from_secs_f64(secs), Ev::NodeFail(node));
+        }
+        sim.run()
+    }
+}
+
+/// Everything a simulated chain run reports.
+pub struct ChainSimReport<B: Application> {
+    /// Completion or failure.
+    pub outcome: Outcome,
+    /// The *final stage's* output (present only on completion). Its
+    /// counters merge both stages' tasks, chain handoff counters
+    /// included; the intermediate dataset is never materialized.
+    pub output: Option<JobOutput<B>>,
+    /// Stage-1 task spans, heap samples and handoff departures.
+    pub timeline1: Timeline,
+    /// Stage-2 task spans and heap samples.
+    pub timeline2: Timeline,
+    /// When the last stage-1 reduce task finished reducing.
+    pub stage1_last_reduce_done: SimTime,
+    /// When stage 1 fully completed (= `stage1_last_reduce_done` under
+    /// the streaming handoff; includes the materialized output write
+    /// under the barrier handoff).
+    pub stage1_complete: SimTime,
+    /// First instant a stage-2 map task received chain input — the
+    /// overlap witness. Under the barrier handoff this is always after
+    /// `stage1_complete`; under streaming it precedes
+    /// `stage1_last_reduce_done` whenever reducers finish spread out.
+    pub stage2_first_work: Option<SimTime>,
+    /// Stage-1 map tasks executed (including fault re-executions).
+    pub map1_tasks_run: usize,
+    /// Stage-1 reduce tasks executed.
+    pub red1_tasks_run: usize,
+    /// Stage-2 (chained) map tasks executed.
+    pub map2_tasks_run: usize,
+    /// Stage-2 reduce tasks executed.
+    pub red2_tasks_run: usize,
+    /// Stage-2 map restarts forced by an upstream reduce attempt dying
+    /// mid-stream (the task's own node was fine).
+    pub downstream_map_restarts: usize,
+    /// Cross-job handoff edges scheduled (flows in streaming mode,
+    /// materialized reads in barrier mode).
+    pub handoff_edges: usize,
+    /// Records handed across the chain boundary.
+    pub handoff_records: u64,
+}
+
+impl<B: Application> ChainSimReport<B> {
+    /// Completion time in seconds, panicking on failed runs.
+    pub fn completion_secs(&self) -> f64 {
+        self.outcome
+            .completion_secs()
+            .expect("chain did not complete")
+    }
+
+    /// Whether stage-2 map work genuinely overlapped stage-1 reduce
+    /// work — the paper-shaped claim for concatenated jobs.
+    pub fn overlapped(&self) -> bool {
+        self.stage2_first_work
+            .is_some_and(|t| t < self.stage1_last_reduce_done)
+    }
+}
+
+/// Events. Task events carry an attempt stamp so events addressed to a
+/// killed attempt are ignored.
+#[derive(Debug, Clone, Copy)]
+enum Ev {
+    Schedule,
+    M1Fetched(usize, u32),
+    M1Computed(usize, u32),
+    M1Written(usize, u32),
+    R1Batch(usize, u32),
+    R1SortDone(usize, u32),
+    R1GroupedDone(usize, u32),
+    R1FinalizeDone(usize, u32),
+    R1OutputPart(usize, u32),
+    M2Work(usize, u32),
+    M2Written(usize, u32),
+    R2Batch(usize, u32),
+    R2SortDone(usize, u32),
+    R2GroupedDone(usize, u32),
+    R2FinalizeDone(usize, u32),
+    R2OutputPart(usize, u32),
+    NodeFail(usize),
+}
+
+/// Network flow tags.
+#[derive(Debug, Clone, Copy)]
+enum Tag {
+    /// Remote input-chunk fetch for stage-1 map `m`.
+    Fetch1(usize, u32),
+    /// Stage-1 shuffle of map `m`'s partition for reducer `r`.
+    Shuffle1 {
+        map: usize,
+        map_attempt: u32,
+        red: usize,
+        red_attempt: u32,
+    },
+    /// Cross-job handoff: upstream reducer `red`'s output records
+    /// `start..end` bound for downstream map `map`.
+    Handoff {
+        red: usize,
+        red_attempt: u32,
+        map: usize,
+        map_attempt: u32,
+        start: usize,
+        end: usize,
+    },
+    /// Barrier-mode materialized read of upstream partition `m`'s whole
+    /// output by downstream map `m`.
+    Fetch2(usize, u32),
+    /// Stage-2 shuffle of map `m`'s partition for reducer `r`.
+    Shuffle2 {
+        map: usize,
+        map_attempt: u32,
+        red: usize,
+        red_attempt: u32,
+    },
+    /// Output replica write for stage-1 reducer `r` (barrier mode only).
+    Output1(usize, u32, NodeId),
+    /// Output replica write for stage-2 reducer `r`.
+    Output2(usize, u32, NodeId),
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum MState {
+    Pending,
+    Fetching,
+    Computing,
+    Writing,
+    Done,
+}
+
+struct Map1<A: Application> {
+    chunk: ChunkId,
+    state: MState,
+    node: usize,
+    attempt: u32,
+    started: SimTime,
+    #[allow(clippy::type_complexity)]
+    output: Option<Vec<Vec<(A::MapKey, A::MapValue)>>>,
+    out_bytes: u64,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum RState {
+    Pending,
+    Running,
+    Finalizing,
+    Writing,
+    Done,
+}
+
+/// One reduce task of either stage (`X` is that stage's application).
+struct RedTask<X: Application> {
+    state: RState,
+    node: usize,
+    attempt: u32,
+    started: SimTime,
+    fetched_from: Vec<bool>,
+    flow_from: Vec<bool>,
+    buffer: Vec<(X::MapKey, X::MapValue)>,
+    driver: Option<IncrementalDriver<X>>,
+    batches: VecDeque<Vec<(X::MapKey, X::MapValue)>>,
+    cpu_free: SimTime,
+    io_charged: u64,
+    shuffle_done_at: Option<SimTime>,
+    input_bytes: u64,
+    out: Vec<(X::OutKey, X::OutValue)>,
+    counters: Counters,
+    report: Option<DriverReport>,
+    write_parts_left: usize,
+    write_started: SimTime,
+    write_bytes: u64,
+    /// Stage 1 only: output records already shipped downstream.
+    handed: usize,
+}
+
+impl<X: Application> RedTask<X> {
+    fn fresh() -> Self {
+        RedTask {
+            state: RState::Pending,
+            node: usize::MAX,
+            attempt: 0,
+            started: SimTime::ZERO,
+            fetched_from: Vec::new(),
+            flow_from: Vec::new(),
+            buffer: Vec::new(),
+            driver: None,
+            batches: VecDeque::new(),
+            cpu_free: SimTime::ZERO,
+            io_charged: 0,
+            shuffle_done_at: None,
+            input_bytes: 0,
+            out: Vec::new(),
+            counters: Counters::new(),
+            report: None,
+            write_parts_left: 0,
+            write_started: SimTime::ZERO,
+            write_bytes: 0,
+            handed: 0,
+        }
+    }
+
+    /// Resets for a restart on another node (attempt bumped).
+    fn restart(&mut self) {
+        self.state = RState::Pending;
+        self.attempt += 1;
+        self.node = usize::MAX;
+        self.fetched_from.clear();
+        self.flow_from.clear();
+        self.buffer.clear();
+        self.driver = None;
+        self.batches.clear();
+        self.shuffle_done_at = None;
+        self.input_bytes = 0;
+        self.out.clear();
+        self.counters = Counters::new();
+        self.report = None;
+        self.write_parts_left = 0;
+        self.write_started = SimTime::ZERO;
+        self.write_bytes = 0;
+        self.io_charged = 0;
+        self.handed = 0;
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum M2State {
+    Pending,
+    Consuming,
+    Writing,
+    Done,
+}
+
+/// One downstream (stage-2) chained map task: consumes upstream reduce
+/// partition `i`'s record stream and produces stage-2 shuffle output.
+struct Map2<B: Application> {
+    state: M2State,
+    node: usize,
+    attempt: u32,
+    started: SimTime,
+    /// Delivered handoff batches awaiting CPU (already adapted).
+    queued: VecDeque<Vec<(B::InKey, B::InValue)>>,
+    /// Upstream records delivered so far (queued or mapped).
+    received: usize,
+    /// Nominal wire bytes delivered.
+    wire_bytes: u64,
+    /// Accumulated per-reducer shuffle output.
+    parts: Vec<Vec<(B::MapKey, B::MapValue)>>,
+    cpu_free: SimTime,
+    out_bytes: u64,
+}
+
+impl<B: Application> Map2<B> {
+    fn fresh(reducers: usize) -> Self {
+        Map2 {
+            state: M2State::Pending,
+            node: usize::MAX,
+            attempt: 0,
+            started: SimTime::ZERO,
+            queued: VecDeque::new(),
+            received: 0,
+            wire_bytes: 0,
+            parts: (0..reducers).map(|_| Vec::new()).collect(),
+            cpu_free: SimTime::ZERO,
+            out_bytes: 0,
+        }
+    }
+
+    fn restart(&mut self, reducers: usize) {
+        self.state = M2State::Pending;
+        self.attempt += 1;
+        self.node = usize::MAX;
+        self.queued.clear();
+        self.received = 0;
+        self.wire_bytes = 0;
+        self.parts = (0..reducers).map(|_| Vec::new()).collect();
+        self.out_bytes = 0;
+    }
+}
+
+struct ChainSim<'a, A: Application, B: Application, I, PA, PB> {
+    p: &'a ClusterParams,
+    first: &'a A,
+    second: &'a B,
+    input: &'a I,
+    cfg1: mr_core::JobConfig,
+    cfg2: mr_core::JobConfig,
+    streaming: bool,
+    costs: &'a CostModel,
+    pa: &'a PA,
+    pb: &'a PB,
+    queue: EventQueue<Ev>,
+    net: Network<Tag>,
+    disks: Vec<FifoResource>,
+    dfs: Dfs,
+    node_alive: Vec<bool>,
+    node_factor: Vec<f64>,
+    map_slots_used: Vec<usize>,
+    red_slots_used: Vec<usize>,
+    /// Chained (slotless) tasks per node, for least-loaded placement.
+    chain_load: Vec<usize>,
+    maps1: Vec<Map1<A>>,
+    reds1: Vec<RedTask<A>>,
+    maps2: Vec<Map2<B>>,
+    reds2: Vec<RedTask<B>>,
+    maps1_done: usize,
+    reds1_done: usize,
+    maps2_done: usize,
+    reds2_done: usize,
+    timeline1: Timeline,
+    timeline2: Timeline,
+    stage1_last_reduce_done: SimTime,
+    stage1_complete: Option<SimTime>,
+    stage2_first_work: Option<SimTime>,
+    map1_tasks_run: usize,
+    red1_tasks_run: usize,
+    map2_tasks_run: usize,
+    red2_tasks_run: usize,
+    downstream_map_restarts: usize,
+    handoff_edges: usize,
+    handoff_records: u64,
+    handoff_bytes: u64,
+    map_counters: Counters,
+    noise_rng: StdRng,
+    failure: Option<(SimTime, String)>,
+    now: SimTime,
+}
+
+impl<'a, A, B, I, PA, PB> ChainSim<'a, A, B, I, PA, PB>
+where
+    A: Application,
+    B: ChainableApplication<A::OutKey, A::OutValue>,
+    I: SimInput<A>,
+    PA: Partitioner<A::MapKey>,
+    PB: Partitioner<B::MapKey>,
+{
+    #[allow(clippy::too_many_arguments)]
+    fn new(
+        p: &'a ClusterParams,
+        first: &'a A,
+        second: &'a B,
+        input: &'a I,
+        chunks: u64,
+        spec: &ChainSpec,
+        costs: &'a CostModel,
+        pa: &'a PA,
+        pb: &'a PB,
+    ) -> Self {
+        let mut rng = StdRng::seed_from_u64(p.seed ^ 0xC1A5_7E12);
+        let node_factor: Vec<f64> = (0..p.nodes)
+            .map(|_| hetero_factor(&mut rng, p.hetero_sigma))
+            .collect();
+        let mut dfs = Dfs::new(
+            DfsConfig {
+                nodes: p.nodes,
+                chunk_bytes: p.chunk_bytes,
+                replication: p.replication,
+            },
+            p.seed,
+        );
+        let file = dfs.create_file("chain-input", chunks * p.chunk_bytes);
+        let maps1 = dfs
+            .file_chunks(file)
+            .to_vec()
+            .into_iter()
+            .map(|chunk| Map1 {
+                chunk,
+                state: MState::Pending,
+                node: usize::MAX,
+                attempt: 0,
+                started: SimTime::ZERO,
+                output: None,
+                out_bytes: (p.chunk_bytes as f64 * costs.shuffle_selectivity) as u64,
+            })
+            .collect();
+        // Effective per-stage configs: cluster store-index override wins;
+        // combiner and snapshot modeling is the single-job executor's
+        // domain (see module docs), so both are disabled here.
+        let effective = |cfg: &mr_core::JobConfig| {
+            let mut cfg = cfg.clone();
+            if let Some(index) = p.store_index {
+                cfg.store_index = index;
+            }
+            cfg.combiner = mr_core::CombinerPolicy::Disabled;
+            cfg.snapshots = SnapshotPolicy::Disabled;
+            cfg
+        };
+        let cfg1 = effective(&spec.stages[0]);
+        let cfg2 = effective(&spec.stages[1]);
+        let r1 = cfg1.reducers;
+        let reds1 = (0..r1).map(|_| RedTask::fresh()).collect();
+        let maps2 = (0..r1).map(|_| Map2::fresh(cfg2.reducers)).collect();
+        let reds2 = (0..cfg2.reducers).map(|_| RedTask::fresh()).collect();
+        let mut queue = EventQueue::new();
+        queue.schedule(SimTime::ZERO, Ev::Schedule);
+        ChainSim {
+            net: Network::new(NetworkConfig {
+                nodes: p.nodes,
+                link_bytes_per_sec: p.link_bytes_per_sec,
+                oversubscription: p.oversubscription,
+            }),
+            disks: (0..p.nodes)
+                .map(|_| FifoResource::new(p.disk_bytes_per_sec))
+                .collect(),
+            node_alive: vec![true; p.nodes],
+            map_slots_used: vec![0; p.nodes],
+            red_slots_used: vec![0; p.nodes],
+            chain_load: vec![0; p.nodes],
+            noise_rng: StdRng::seed_from_u64(p.seed ^ 0x5EED_0F0F),
+            streaming: spec.chain.handoff == HandoffMode::Streaming,
+            p,
+            first,
+            second,
+            input,
+            cfg1,
+            cfg2,
+            costs,
+            pa,
+            pb,
+            queue,
+            dfs,
+            node_factor,
+            maps1,
+            reds1,
+            maps2,
+            reds2,
+            maps1_done: 0,
+            reds1_done: 0,
+            maps2_done: 0,
+            reds2_done: 0,
+            timeline1: Timeline::default(),
+            timeline2: Timeline::default(),
+            stage1_last_reduce_done: SimTime::ZERO,
+            stage1_complete: None,
+            stage2_first_work: None,
+            map1_tasks_run: 0,
+            red1_tasks_run: 0,
+            map2_tasks_run: 0,
+            red2_tasks_run: 0,
+            downstream_map_restarts: 0,
+            handoff_edges: 0,
+            handoff_records: 0,
+            handoff_bytes: 0,
+            map_counters: Counters::new(),
+            failure: None,
+            now: SimTime::ZERO,
+        }
+    }
+
+    fn pipelined1(&self) -> bool {
+        matches!(self.cfg1.engine, Engine::BarrierLess { .. })
+    }
+
+    fn pipelined2(&self) -> bool {
+        matches!(self.cfg2.engine, Engine::BarrierLess { .. })
+    }
+
+    fn absorb_cost(cfg: &mr_core::JobConfig, costs: &CostModel) -> f64 {
+        match &cfg.engine {
+            Engine::BarrierLess {
+                memory: MemoryPolicy::KvStore { .. },
+            } => costs.kv_cpu_per_record,
+            Engine::BarrierLess { .. } => {
+                costs.reduce_cpu_per_record + costs.absorb_extra_per_record
+            }
+            Engine::Barrier => costs.reduce_cpu_per_record,
+        }
+    }
+
+    fn noise(&mut self) -> f64 {
+        hetero_factor(&mut self.noise_rng, self.p.task_noise_sigma)
+    }
+
+    /// Deterministic least-loaded placement for slotless chained tasks.
+    /// Ties prefer *high* node indexes — the slot scheduler fills low
+    /// indexes first, so chained tasks spread away from the stage-1
+    /// reducers feeding them instead of stacking onto the same nodes.
+    fn place_chain_task(&mut self) -> usize {
+        let node = (0..self.p.nodes)
+            .filter(|&n| self.node_alive[n])
+            .min_by_key(|&n| (self.chain_load[n], std::cmp::Reverse(n)))
+            .expect("at least one node alive");
+        self.chain_load[node] += 1;
+        node
+    }
+
+    // ---------------------------------------------------------------- run
+
+    fn run(mut self) -> ChainSimReport<B> {
+        loop {
+            if self.failure.is_some() {
+                break;
+            }
+            let tq = self.queue.peek_time();
+            let tn = self.net.next_event_time();
+            match (tq, tn) {
+                (None, None) => break,
+                (Some(tq_at), tn_opt) if tn_opt.is_none_or(|tn_at| tq_at <= tn_at) => {
+                    let (at, ev) = self.queue.pop().expect("peeked");
+                    self.now = at;
+                    self.handle_event(at, ev);
+                }
+                (_, Some(tn_at)) => {
+                    self.now = tn_at;
+                    for (_, tag) in self.net.advance_to(tn_at) {
+                        self.handle_flow(tn_at, tag);
+                    }
+                }
+                (Some(_), None) => unreachable!("guard above covers this"),
+            }
+            if self.reds2_done == self.reds2.len() {
+                break;
+            }
+        }
+        self.finish_report()
+    }
+
+    fn finish_report(mut self) -> ChainSimReport<B> {
+        let complete = self.reds2_done == self.reds2.len();
+        let outcome = match self.failure.take() {
+            Some((at, reason)) => Outcome::Failed { at, reason },
+            None if complete => Outcome::Completed {
+                at: self.timeline1.last_end().max(self.timeline2.last_end()),
+            },
+            None => Outcome::Failed {
+                at: self.now,
+                reason: "chain simulation stalled before completion".to_string(),
+            },
+        };
+        let output = if outcome.is_completed() {
+            let mut counters = std::mem::take(&mut self.map_counters);
+            counters.add(names::CHAIN_HANDOFF_RECORDS, self.handoff_records);
+            counters.add(names::CHAIN_HANDOFF_BATCHES, self.handoff_edges as u64);
+            counters.add(names::CHAIN_HANDOFF_BYTES, self.handoff_bytes);
+            for r in &mut self.reds1 {
+                counters.merge(&r.counters);
+            }
+            let mut partitions = Vec::with_capacity(self.reds2.len());
+            let mut reports = Vec::new();
+            for r in &mut self.reds2 {
+                counters.merge(&r.counters);
+                partitions.push(std::mem::take(&mut r.out));
+                if let Some(rep) = r.report.take() {
+                    reports.push(rep);
+                }
+            }
+            let snapshots = (0..partitions.len()).map(|_| Vec::new()).collect();
+            Some(JobOutput {
+                partitions,
+                counters,
+                reports,
+                snapshots,
+            })
+        } else {
+            None
+        };
+        ChainSimReport {
+            outcome,
+            output,
+            timeline1: self.timeline1,
+            timeline2: self.timeline2,
+            stage1_last_reduce_done: self.stage1_last_reduce_done,
+            stage1_complete: self.stage1_complete.unwrap_or(SimTime::ZERO),
+            stage2_first_work: self.stage2_first_work,
+            map1_tasks_run: self.map1_tasks_run,
+            red1_tasks_run: self.red1_tasks_run,
+            map2_tasks_run: self.map2_tasks_run,
+            red2_tasks_run: self.red2_tasks_run,
+            downstream_map_restarts: self.downstream_map_restarts,
+            handoff_edges: self.handoff_edges,
+            handoff_records: self.handoff_records,
+        }
+    }
+
+    // ---------------------------------------------------------- scheduler
+
+    fn handle_event(&mut self, at: SimTime, ev: Ev) {
+        match ev {
+            Ev::Schedule => self.schedule_tasks(at),
+            Ev::M1Fetched(m, a) => {
+                if self.maps1[m].attempt == a && self.maps1[m].state == MState::Fetching {
+                    self.map1_compute(at, m);
+                }
+            }
+            Ev::M1Computed(m, a) => {
+                if self.maps1[m].attempt == a && self.maps1[m].state == MState::Computing {
+                    self.map1_write(at, m);
+                }
+            }
+            Ev::M1Written(m, a) => {
+                if self.maps1[m].attempt == a && self.maps1[m].state == MState::Writing {
+                    self.map1_done(at, m);
+                }
+            }
+            Ev::R1Batch(r, a) => {
+                if self.reds1[r].attempt == a && self.reds1[r].state == RState::Running {
+                    self.red1_batch(at, r);
+                }
+            }
+            Ev::R1SortDone(r, a) => {
+                if self.reds1[r].attempt == a {
+                    self.red1_grouped_start(at, r);
+                }
+            }
+            Ev::R1GroupedDone(r, a) => {
+                if self.reds1[r].attempt == a {
+                    self.red1_grouped_done(at, r);
+                }
+            }
+            Ev::R1FinalizeDone(r, a) => {
+                if self.reds1[r].attempt == a && self.reds1[r].state == RState::Finalizing {
+                    self.red1_finalize_done(at, r);
+                }
+            }
+            Ev::R1OutputPart(r, a) => {
+                if self.reds1[r].attempt == a && self.reds1[r].state == RState::Writing {
+                    self.red1_output_part_done(at, r);
+                }
+            }
+            Ev::M2Work(m, a) => {
+                if self.maps2[m].attempt == a && self.maps2[m].state == M2State::Consuming {
+                    self.map2_work(at, m);
+                }
+            }
+            Ev::M2Written(m, a) => {
+                if self.maps2[m].attempt == a && self.maps2[m].state == M2State::Writing {
+                    self.map2_done(at, m);
+                }
+            }
+            Ev::R2Batch(r, a) => {
+                if self.reds2[r].attempt == a && self.reds2[r].state == RState::Running {
+                    self.red2_batch(at, r);
+                }
+            }
+            Ev::R2SortDone(r, a) => {
+                if self.reds2[r].attempt == a {
+                    self.red2_grouped_start(at, r);
+                }
+            }
+            Ev::R2GroupedDone(r, a) => {
+                if self.reds2[r].attempt == a {
+                    self.red2_grouped_done(at, r);
+                }
+            }
+            Ev::R2FinalizeDone(r, a) => {
+                if self.reds2[r].attempt == a && self.reds2[r].state == RState::Finalizing {
+                    self.red2_finalize_done(at, r);
+                }
+            }
+            Ev::R2OutputPart(r, a) => {
+                if self.reds2[r].attempt == a && self.reds2[r].state == RState::Writing {
+                    self.red2_output_part_done(at, r);
+                }
+            }
+            Ev::NodeFail(n) => self.fail_node(at, n),
+        }
+    }
+
+    fn schedule_tasks(&mut self, at: SimTime) {
+        // Stage-1 maps: chunk-local placement onto map slots.
+        while let Some(node) = (0..self.p.nodes)
+            .find(|&n| self.node_alive[n] && self.map_slots_used[n] < self.p.map_slots)
+        {
+            let local = self.maps1.iter().position(|m| {
+                m.state == MState::Pending && self.dfs.is_local(m.chunk, NodeId(node as u32))
+            });
+            let pick = local.or_else(|| self.maps1.iter().position(|m| m.state == MState::Pending));
+            let Some(m) = pick else { break };
+            self.start_map1(at, m, node);
+        }
+        // Stage-1 reducers: id order onto reduce slots.
+        while let Some(r) = self.reds1.iter().position(|r| r.state == RState::Pending) {
+            let Some(node) = (0..self.p.nodes)
+                .filter(|&n| self.node_alive[n] && self.red_slots_used[n] < self.p.reduce_slots)
+                .min_by_key(|&n| self.red_slots_used[n])
+            else {
+                break;
+            };
+            self.start_reduce1(at, r, node);
+        }
+        // Stage-2 tasks are slotless (see module docs). Streaming-mode
+        // maps start consuming immediately; barrier-mode maps wait for
+        // stage 1 to complete, then fetch their materialized input.
+        let stage2_ready = self.streaming || self.stage1_complete.is_some();
+        if stage2_ready {
+            for m in 0..self.maps2.len() {
+                if self.maps2[m].state == M2State::Pending {
+                    self.start_map2(at, m);
+                }
+            }
+            // Stage-2 reducers launch with their job: at t = 0 for a
+            // streaming chain (everything is live at once), only after
+            // the inter-job barrier otherwise — so barrier-mode
+            // timeline spans never pretend job 2 existed early.
+            for r in 0..self.reds2.len() {
+                if self.reds2[r].state == RState::Pending {
+                    self.start_reduce2(at, r);
+                }
+            }
+        }
+    }
+
+    // --------------------------------------------------------- stage 1 map
+
+    fn start_map1(&mut self, at: SimTime, m: usize, node: usize) {
+        self.map_slots_used[node] += 1;
+        self.map1_tasks_run += 1;
+        let task = &mut self.maps1[m];
+        task.state = MState::Fetching;
+        task.node = node;
+        task.started = at;
+        self.start_fetch1(at, m);
+    }
+
+    fn start_fetch1(&mut self, at: SimTime, m: usize) {
+        let task = &self.maps1[m];
+        let node = task.node;
+        let chunk = task.chunk;
+        let attempt = task.attempt;
+        let bytes = self.dfs.chunk(chunk).bytes;
+        let src = self.dfs.read_source(chunk, NodeId(node as u32));
+        if src.local {
+            let done = self.disks[node].submit(at, bytes);
+            self.queue.schedule(done, Ev::M1Fetched(m, attempt));
+        } else {
+            self.disks[src.node.0 as usize].submit(at, bytes);
+            self.net.start_flow(
+                at,
+                src.node,
+                NodeId(node as u32),
+                bytes,
+                Tag::Fetch1(m, attempt),
+            );
+        }
+    }
+
+    fn map1_compute(&mut self, at: SimTime, m: usize) {
+        let node = self.maps1[m].node;
+        self.maps1[m].state = MState::Computing;
+        let dur = SimDuration::from_secs_f64(
+            self.costs.map_cpu_per_chunk * self.node_factor[node] * self.noise(),
+        );
+        self.queue
+            .schedule(at + dur, Ev::M1Computed(m, self.maps1[m].attempt));
+    }
+
+    fn map1_write(&mut self, at: SimTime, m: usize) {
+        let chunk_index = self.dfs.chunk(self.maps1[m].chunk).index as u64;
+        let records = self.input.records(chunk_index);
+        let reducers = self.cfg1.reducers;
+        let mut parts: Vec<Vec<(A::MapKey, A::MapValue)>> =
+            (0..reducers).map(|_| Vec::new()).collect();
+        let mut emitted = 0u64;
+        {
+            let mut emit = mr_core::FnEmit(|k: A::MapKey, v: A::MapValue| {
+                emitted += 1;
+                let p = self.pa.partition(&k, reducers);
+                parts[p].push((k, v));
+            });
+            for (k, v) in &records {
+                self.first.map(k, v, &mut emit);
+            }
+        }
+        self.map_counters.add(names::MAP_OUTPUT_RECORDS, emitted);
+        let node = self.maps1[m].node;
+        let task = &mut self.maps1[m];
+        task.output = Some(parts);
+        task.state = MState::Writing;
+        let out_bytes = task.out_bytes;
+        let done = self.disks[node].submit(at, out_bytes);
+        self.queue.schedule(done, Ev::M1Written(m, task.attempt));
+    }
+
+    fn map1_done(&mut self, at: SimTime, m: usize) {
+        let node = self.maps1[m].node;
+        self.maps1[m].state = MState::Done;
+        self.maps1_done += 1;
+        self.map_slots_used[node] -= 1;
+        self.timeline1
+            .span(SpanKind::Map, m, self.maps1[m].started, at);
+        for r in 0..self.reds1.len() {
+            if self.reds1[r].state == RState::Running && !self.reds1[r].flow_from[m] {
+                self.start_shuffle1_flow(at, m, r);
+            }
+        }
+        for r in 0..self.reds1.len() {
+            if self.reds1[r].state == RState::Running {
+                self.check_shuffle1_complete(at, r);
+            }
+        }
+        self.queue.schedule(at, Ev::Schedule);
+    }
+
+    // ------------------------------------------------------ stage 1 reduce
+
+    fn start_reduce1(&mut self, at: SimTime, r: usize, node: usize) {
+        self.red_slots_used[node] += 1;
+        self.red1_tasks_run += 1;
+        let n_maps = self.maps1.len();
+        let task = &mut self.reds1[r];
+        task.state = RState::Running;
+        task.node = node;
+        task.started = at;
+        task.fetched_from = vec![false; n_maps];
+        task.flow_from = vec![false; n_maps];
+        task.cpu_free = at;
+        if self.pipelined1() {
+            match IncrementalDriver::new(self.first, &self.cfg1, r) {
+                Ok(driver) => self.reds1[r].driver = Some(driver),
+                Err(e) => {
+                    self.failure = Some((at, format!("stage-1 driver init failed: {e}")));
+                    return;
+                }
+            }
+        }
+        for m in 0..n_maps {
+            if self.maps1[m].state == MState::Done {
+                self.start_shuffle1_flow(at, m, r);
+            }
+        }
+    }
+
+    fn start_shuffle1_flow(&mut self, at: SimTime, m: usize, r: usize) {
+        let total_records: usize = self.maps1[m]
+            .output
+            .as_ref()
+            .expect("done map has output")
+            .iter()
+            .map(Vec::len)
+            .sum();
+        let part_records = self.maps1[m].output.as_ref().unwrap()[r].len();
+        let bytes = if total_records > 0 {
+            (self.maps1[m].out_bytes as f64 * part_records as f64 / total_records as f64) as u64
+        } else {
+            self.maps1[m].out_bytes / self.cfg1.reducers as u64
+        };
+        self.reds1[r].flow_from[m] = true;
+        let src = NodeId(self.maps1[m].node as u32);
+        let dst = NodeId(self.reds1[r].node as u32);
+        self.net.start_flow(
+            at,
+            src,
+            dst,
+            bytes,
+            Tag::Shuffle1 {
+                map: m,
+                map_attempt: self.maps1[m].attempt,
+                red: r,
+                red_attempt: self.reds1[r].attempt,
+            },
+        );
+    }
+
+    fn shuffle1_delivery(&mut self, at: SimTime, m: usize, r: usize) {
+        let batch = self.maps1[m].output.as_ref().expect("done map")[r].clone();
+        let total_records: usize = self.maps1[m]
+            .output
+            .as_ref()
+            .unwrap()
+            .iter()
+            .map(Vec::len)
+            .sum();
+        let bytes = if total_records > 0 {
+            (self.maps1[m].out_bytes as f64 * batch.len() as f64 / total_records as f64) as u64
+        } else {
+            self.maps1[m].out_bytes / self.cfg1.reducers as u64
+        };
+        let pipelined = self.pipelined1();
+        let absorb = Self::absorb_cost(&self.cfg1, self.costs);
+        let task = &mut self.reds1[r];
+        task.fetched_from[m] = true;
+        task.input_bytes += bytes;
+        if pipelined {
+            let cost = absorb * batch.len() as f64;
+            let dur = SimDuration::from_secs_f64(cost * self.node_factor[task.node]);
+            let start = task.cpu_free.max(at);
+            task.cpu_free = start + dur;
+            task.batches.push_back(batch);
+            self.queue
+                .schedule(task.cpu_free, Ev::R1Batch(r, task.attempt));
+        } else {
+            task.buffer.extend(batch);
+        }
+        self.check_shuffle1_complete(at, r);
+    }
+
+    fn check_shuffle1_complete(&mut self, at: SimTime, r: usize) {
+        let all = self.reds1[r].fetched_from.iter().all(|&f| f)
+            && self.reds1[r].fetched_from.len() == self.maps1.len()
+            && self.maps1_done == self.maps1.len();
+        if !all || self.reds1[r].shuffle_done_at.is_some() {
+            return;
+        }
+        self.reds1[r].shuffle_done_at = Some(at);
+        if self.pipelined1() {
+            let when = self.reds1[r].cpu_free.max(at);
+            self.queue
+                .schedule(when, Ev::R1Batch(r, self.reds1[r].attempt));
+        } else {
+            self.timeline1
+                .span(SpanKind::Shuffle, r, self.reds1[r].started, at);
+            let n = self.reds1[r].buffer.len() as f64;
+            let sort = self.costs.sort_cpu_coeff
+                * n
+                * n.max(2.0).log2()
+                * self.node_factor[self.reds1[r].node];
+            self.queue.schedule(
+                at + SimDuration::from_secs_f64(sort),
+                Ev::R1SortDone(r, self.reds1[r].attempt),
+            );
+        }
+    }
+
+    fn red1_batch(&mut self, at: SimTime, r: usize) {
+        if let Some(batch) = self.reds1[r].batches.pop_front() {
+            let node = self.reds1[r].node;
+            let task = &mut self.reds1[r];
+            let driver = task.driver.as_mut().expect("pipelined reducer");
+            for (k, v) in batch {
+                if let Err(e) = driver.push(self.first, k, v, &mut task.out) {
+                    self.fail_job(at, 1, r, e);
+                    return;
+                }
+            }
+            let bytes = driver.modelled_bytes();
+            self.timeline1.heap_sample(at, r, bytes);
+            let io = driver.io_bytes();
+            let delta = io - task.io_charged;
+            if delta > 0 {
+                task.io_charged = io;
+                self.disks[node].submit(at, delta);
+            }
+            // Emit-during-absorb applications produced new output:
+            // stream it downstream right now.
+            if self.streaming {
+                self.ship_handoff(at, r);
+            }
+        }
+        let task = &self.reds1[r];
+        if task.shuffle_done_at.is_some() && task.batches.is_empty() && task.cpu_free <= at {
+            self.red1_start_finalize(at, r);
+        }
+    }
+
+    fn red1_start_finalize(&mut self, at: SimTime, r: usize) {
+        let task = &mut self.reds1[r];
+        task.state = RState::Finalizing;
+        let entries = task.driver.as_ref().map_or(0, |d| d.entries());
+        let dur = SimDuration::from_secs_f64(
+            self.costs.finalize_cpu_per_entry * entries as f64 * self.node_factor[task.node],
+        );
+        self.queue
+            .schedule(at + dur, Ev::R1FinalizeDone(r, task.attempt));
+    }
+
+    fn red1_finalize_done(&mut self, at: SimTime, r: usize) {
+        let driver = self.reds1[r].driver.take().expect("pipelined reducer");
+        let mut out = std::mem::take(&mut self.reds1[r].out);
+        let mut counters = std::mem::take(&mut self.reds1[r].counters);
+        match driver.finish(self.first, &mut counters, &mut out) {
+            Ok(report) => {
+                let merge_read = report.store.spill_bytes;
+                if merge_read > 0 {
+                    self.disks[self.reds1[r].node].submit(at, merge_read);
+                }
+                counters.add(names::REDUCE_OUTPUT_RECORDS, out.len() as u64);
+                self.reds1[r].report = Some(report);
+                self.reds1[r].out = out;
+                self.reds1[r].counters = counters;
+            }
+            Err(e) => {
+                self.fail_job(at, 1, r, e);
+                return;
+            }
+        }
+        self.timeline1
+            .span(SpanKind::ShuffleReduce, r, self.reds1[r].started, at);
+        self.red1_reduce_finished(at, r);
+    }
+
+    fn red1_grouped_start(&mut self, at: SimTime, r: usize) {
+        let task = &self.reds1[r];
+        let n = task.buffer.len() as f64;
+        let dur = SimDuration::from_secs_f64(
+            self.costs.reduce_cpu_per_record * n * self.node_factor[task.node],
+        );
+        self.queue
+            .schedule(at + dur, Ev::R1GroupedDone(r, task.attempt));
+    }
+
+    fn red1_grouped_done(&mut self, at: SimTime, r: usize) {
+        let records = std::mem::take(&mut self.reds1[r].buffer);
+        let mut counters = std::mem::take(&mut self.reds1[r].counters);
+        match reduce_partition_barrier(self.first, records, &mut counters) {
+            Ok(out) => {
+                self.reds1[r].out = out;
+                self.reds1[r].counters = counters;
+            }
+            Err(e) => {
+                self.fail_job(at, 1, r, e);
+                return;
+            }
+        }
+        let start = self.reds1[r].shuffle_done_at.expect("sorted after shuffle");
+        self.timeline1.span(SpanKind::SortReduce, r, start, at);
+        self.red1_reduce_finished(at, r);
+    }
+
+    /// The reduce work of stage-1 partition `r` is complete: under the
+    /// streaming handoff ship the remaining output and finish the task;
+    /// under the barrier handoff write the materialized output to the
+    /// DFS first.
+    fn red1_reduce_finished(&mut self, at: SimTime, r: usize) {
+        self.stage1_last_reduce_done = self.stage1_last_reduce_done.max(at);
+        if self.streaming {
+            self.reds1[r].state = RState::Done;
+            self.ship_handoff(at, r);
+            self.red1_done(at, r);
+        } else {
+            // The materialized intermediate is exactly what would have
+            // been handed off: charge its nominal wire volume as the
+            // replicated DFS write (symmetric with the Fetch2 read).
+            let len = self.reds1[r].out.len();
+            let real = self.handoff_real_bytes(r, 0, len);
+            let task = &mut self.reds1[r];
+            task.state = RState::Writing;
+            task.write_started = at;
+            let bytes = ((real as f64 * self.costs.chain_handoff_byte_scale) as u64).max(1);
+            task.write_bytes = bytes;
+            let node = task.node;
+            let attempt = task.attempt;
+            let targets = self.dfs.write_targets(NodeId(node as u32));
+            task.write_parts_left = targets.len();
+            let local_done = self.disks[node].submit(at, bytes);
+            self.queue
+                .schedule(local_done, Ev::R1OutputPart(r, attempt));
+            for &replica in targets.iter().skip(1) {
+                self.net.start_flow(
+                    at,
+                    NodeId(node as u32),
+                    replica,
+                    bytes,
+                    Tag::Output1(r, attempt, replica),
+                );
+            }
+        }
+    }
+
+    fn red1_output_part_done(&mut self, at: SimTime, r: usize) {
+        self.reds1[r].write_parts_left -= 1;
+        if self.reds1[r].write_parts_left > 0 {
+            return;
+        }
+        self.reds1[r].state = RState::Done;
+        self.timeline1
+            .span(SpanKind::Output, r, self.reds1[r].write_started, at);
+        self.red1_done(at, r);
+    }
+
+    fn red1_done(&mut self, at: SimTime, r: usize) {
+        self.reds1_done += 1;
+        self.red_slots_used[self.reds1[r].node] -= 1;
+        if self.reds1_done == self.reds1.len() && self.stage1_complete.is_none() {
+            self.stage1_complete = Some(at);
+        }
+        // The downstream map may already hold everything it needs and be
+        // idle: re-evaluate its completion.
+        if self.streaming {
+            let m = r;
+            if self.maps2[m].state == M2State::Consuming {
+                let when = self.maps2[m].cpu_free.max(at);
+                self.queue
+                    .schedule(when, Ev::M2Work(m, self.maps2[m].attempt));
+            }
+        }
+        self.queue.schedule(at, Ev::Schedule);
+    }
+
+    // ---------------------------------------------------- cross-job edge
+
+    /// Real bytes of upstream partition `r`'s output records
+    /// `start..end`, as the downstream application accounts them.
+    fn handoff_real_bytes(&self, r: usize, start: usize, end: usize) -> u64 {
+        self.reds1[r].out[start..end]
+            .iter()
+            .map(|(k, v)| self.second.handoff_bytes(k, v) as u64)
+            .sum()
+    }
+
+    /// Streaming: ship upstream partition `r`'s not-yet-shipped output
+    /// increment to downstream map `r` as a handoff flow.
+    fn ship_handoff(&mut self, at: SimTime, r: usize) {
+        let m = r;
+        if self.maps2[m].state != M2State::Consuming {
+            return; // re-shipped by ensure_upstream when the map starts
+        }
+        let len = self.reds1[r].out.len();
+        let start = self.reds1[r].handed;
+        if start >= len {
+            return;
+        }
+        let real = self.handoff_real_bytes(r, start, len);
+        let wire = ((real as f64 * self.costs.chain_handoff_byte_scale) as u64).max(1);
+        self.reds1[r].handed = len;
+        self.handoff_edges += 1;
+        self.handoff_records += (len - start) as u64;
+        self.handoff_bytes += wire;
+        self.timeline1
+            .handoff_mark(at, r, m, (len - start) as u64, wire);
+        self.net.start_flow(
+            at,
+            NodeId(self.reds1[r].node as u32),
+            NodeId(self.maps2[m].node as u32),
+            wire,
+            Tag::Handoff {
+                red: r,
+                red_attempt: self.reds1[r].attempt,
+                map: m,
+                map_attempt: self.maps2[m].attempt,
+                start,
+                end: len,
+            },
+        );
+    }
+
+    /// A handoff (or barrier-mode fetch) increment arrived at downstream
+    /// map `m`: adapt the records, charge the chained map CPU, queue the
+    /// batch.
+    fn handoff_delivery(&mut self, at: SimTime, r: usize, m: usize, start: usize, end: usize) {
+        if self.stage2_first_work.is_none() {
+            self.stage2_first_work = Some(at);
+        }
+        let batch: Vec<(B::InKey, B::InValue)> = self.reds1[r].out[start..end]
+            .iter()
+            .map(|(k, v)| self.second.adapt_input(k.clone(), v.clone()))
+            .collect();
+        let real = self.handoff_real_bytes(r, start, end);
+        let task = &mut self.maps2[m];
+        task.received += end - start;
+        task.wire_bytes += ((real as f64 * self.costs.chain_handoff_byte_scale) as u64).max(1);
+        let cost = self.costs.chain_map_cpu_per_record * batch.len() as f64;
+        let dur = SimDuration::from_secs_f64(cost * self.node_factor[task.node]);
+        let begin = task.cpu_free.max(at);
+        task.cpu_free = begin + dur;
+        task.queued.push_back(batch);
+        self.queue
+            .schedule(task.cpu_free, Ev::M2Work(m, task.attempt));
+    }
+
+    // --------------------------------------------------------- stage 2 map
+
+    fn start_map2(&mut self, at: SimTime, m: usize) {
+        let node = self.place_chain_task();
+        self.map2_tasks_run += 1;
+        let task = &mut self.maps2[m];
+        task.state = M2State::Consuming;
+        task.node = node;
+        task.started = at;
+        if self.streaming {
+            self.ensure_upstream(at, m);
+            // A finished upstream partition with nothing to hand off
+            // will never trigger a delivery: evaluate completion now.
+            if self.reds1[m].state == RState::Done && self.reds1[m].out.is_empty() {
+                self.queue
+                    .schedule(at, Ev::M2Work(m, self.maps2[m].attempt));
+            }
+        } else {
+            self.start_fetch2(at, m);
+        }
+    }
+
+    /// Streaming: a freshly (re)started downstream map needs everything
+    /// its upstream reducer has emitted so far; reset the upstream
+    /// cursor and re-ship.
+    fn ensure_upstream(&mut self, at: SimTime, m: usize) {
+        let r = m;
+        self.reds1[r].handed = 0;
+        if !self.reds1[r].out.is_empty() {
+            self.ship_handoff(at, r);
+        }
+    }
+
+    /// Barrier mode: read the materialized upstream partition from the
+    /// DFS (source disk + network), one edge per downstream map.
+    fn start_fetch2(&mut self, at: SimTime, m: usize) {
+        let r = m;
+        debug_assert_eq!(self.reds1[r].state, RState::Done);
+        let src = if self.node_alive[self.reds1[r].node] {
+            self.reds1[r].node
+        } else {
+            // The writer died after materializing; the replicated block
+            // is served from a surviving node.
+            (0..self.p.nodes)
+                .find(|&n| self.node_alive[n])
+                .expect("at least one node alive")
+        };
+        let len = self.reds1[r].out.len();
+        let real = self.handoff_real_bytes(r, 0, len);
+        let wire = ((real as f64 * self.costs.chain_handoff_byte_scale) as u64).max(1);
+        self.handoff_edges += 1;
+        self.handoff_records += len as u64;
+        self.handoff_bytes += wire;
+        self.timeline1.handoff_mark(at, r, m, len as u64, wire);
+        self.disks[src].submit(at, wire);
+        self.net.start_flow(
+            at,
+            NodeId(src as u32),
+            NodeId(self.maps2[m].node as u32),
+            wire,
+            Tag::Fetch2(m, self.maps2[m].attempt),
+        );
+    }
+
+    fn map2_work(&mut self, at: SimTime, m: usize) {
+        if let Some(batch) = self.maps2[m].queued.pop_front() {
+            let reducers = self.cfg2.reducers;
+            let task = &mut self.maps2[m];
+            let mut emitted = 0u64;
+            {
+                let parts = &mut task.parts;
+                let mut emit = mr_core::FnEmit(|k: B::MapKey, v: B::MapValue| {
+                    emitted += 1;
+                    let p = self.pb.partition(&k, reducers);
+                    parts[p].push((k, v));
+                });
+                for (k, v) in &batch {
+                    self.second.map(k, v, &mut emit);
+                }
+            }
+            self.map_counters.add(names::MAP_OUTPUT_RECORDS, emitted);
+        }
+        // All upstream output received and mapped => write the map output.
+        let upstream_done = self.reds1[m].state == RState::Done;
+        let task = &self.maps2[m];
+        if upstream_done
+            && task.received == self.reds1[m].out.len()
+            && task.queued.is_empty()
+            && task.cpu_free <= at
+        {
+            let task = &mut self.maps2[m];
+            task.state = M2State::Writing;
+            task.out_bytes =
+                ((task.wire_bytes as f64 * self.costs.shuffle_selectivity) as u64).max(1);
+            let node = task.node;
+            let out_bytes = task.out_bytes;
+            let attempt = task.attempt;
+            let done = self.disks[node].submit(at, out_bytes);
+            self.queue.schedule(done, Ev::M2Written(m, attempt));
+        }
+    }
+
+    fn map2_done(&mut self, at: SimTime, m: usize) {
+        self.maps2[m].state = M2State::Done;
+        self.maps2_done += 1;
+        self.chain_load[self.maps2[m].node] -= 1;
+        self.timeline2
+            .span(SpanKind::Map, m, self.maps2[m].started, at);
+        for r in 0..self.reds2.len() {
+            if self.reds2[r].state == RState::Running && !self.reds2[r].flow_from[m] {
+                self.start_shuffle2_flow(at, m, r);
+            }
+        }
+        for r in 0..self.reds2.len() {
+            if self.reds2[r].state == RState::Running {
+                self.check_shuffle2_complete(at, r);
+            }
+        }
+        self.queue.schedule(at, Ev::Schedule);
+    }
+
+    // ------------------------------------------------------ stage 2 reduce
+
+    fn start_reduce2(&mut self, at: SimTime, r: usize) {
+        let node = self.place_chain_task();
+        self.red2_tasks_run += 1;
+        let n_maps = self.maps2.len();
+        let task = &mut self.reds2[r];
+        task.state = RState::Running;
+        task.node = node;
+        task.started = at;
+        task.fetched_from = vec![false; n_maps];
+        task.flow_from = vec![false; n_maps];
+        task.cpu_free = at;
+        if self.pipelined2() {
+            match IncrementalDriver::new(self.second, &self.cfg2, r) {
+                Ok(driver) => self.reds2[r].driver = Some(driver),
+                Err(e) => {
+                    self.failure = Some((at, format!("stage-2 driver init failed: {e}")));
+                    return;
+                }
+            }
+        }
+        for m in 0..n_maps {
+            if self.maps2[m].state == M2State::Done {
+                self.start_shuffle2_flow(at, m, r);
+            }
+        }
+    }
+
+    fn start_shuffle2_flow(&mut self, at: SimTime, m: usize, r: usize) {
+        let total_records: usize = self.maps2[m].parts.iter().map(Vec::len).sum();
+        let part_records = self.maps2[m].parts[r].len();
+        let bytes = if total_records > 0 {
+            ((self.maps2[m].out_bytes as f64 * part_records as f64 / total_records as f64) as u64)
+                .max(1)
+        } else {
+            (self.maps2[m].out_bytes / self.cfg2.reducers as u64).max(1)
+        };
+        self.reds2[r].flow_from[m] = true;
+        self.net.start_flow(
+            at,
+            NodeId(self.maps2[m].node as u32),
+            NodeId(self.reds2[r].node as u32),
+            bytes,
+            Tag::Shuffle2 {
+                map: m,
+                map_attempt: self.maps2[m].attempt,
+                red: r,
+                red_attempt: self.reds2[r].attempt,
+            },
+        );
+    }
+
+    fn shuffle2_delivery(&mut self, at: SimTime, m: usize, r: usize) {
+        let batch = self.maps2[m].parts[r].clone();
+        let total_records: usize = self.maps2[m].parts.iter().map(Vec::len).sum();
+        let bytes = if total_records > 0 {
+            (self.maps2[m].out_bytes as f64 * batch.len() as f64 / total_records as f64) as u64
+        } else {
+            self.maps2[m].out_bytes / self.cfg2.reducers as u64
+        };
+        let pipelined = self.pipelined2();
+        let absorb = Self::absorb_cost(&self.cfg2, self.costs);
+        let task = &mut self.reds2[r];
+        task.fetched_from[m] = true;
+        task.input_bytes += bytes;
+        if pipelined {
+            let cost = absorb * batch.len() as f64;
+            let dur = SimDuration::from_secs_f64(cost * self.node_factor[task.node]);
+            let start = task.cpu_free.max(at);
+            task.cpu_free = start + dur;
+            task.batches.push_back(batch);
+            self.queue
+                .schedule(task.cpu_free, Ev::R2Batch(r, task.attempt));
+        } else {
+            task.buffer.extend(batch);
+        }
+        self.check_shuffle2_complete(at, r);
+    }
+
+    fn check_shuffle2_complete(&mut self, at: SimTime, r: usize) {
+        let all = self.reds2[r].fetched_from.iter().all(|&f| f)
+            && self.reds2[r].fetched_from.len() == self.maps2.len()
+            && self.maps2_done == self.maps2.len();
+        if !all || self.reds2[r].shuffle_done_at.is_some() {
+            return;
+        }
+        self.reds2[r].shuffle_done_at = Some(at);
+        if self.pipelined2() {
+            let when = self.reds2[r].cpu_free.max(at);
+            self.queue
+                .schedule(when, Ev::R2Batch(r, self.reds2[r].attempt));
+        } else {
+            self.timeline2
+                .span(SpanKind::Shuffle, r, self.reds2[r].started, at);
+            let n = self.reds2[r].buffer.len() as f64;
+            let sort = self.costs.sort_cpu_coeff
+                * n
+                * n.max(2.0).log2()
+                * self.node_factor[self.reds2[r].node];
+            self.queue.schedule(
+                at + SimDuration::from_secs_f64(sort),
+                Ev::R2SortDone(r, self.reds2[r].attempt),
+            );
+        }
+    }
+
+    fn red2_batch(&mut self, at: SimTime, r: usize) {
+        if let Some(batch) = self.reds2[r].batches.pop_front() {
+            let node = self.reds2[r].node;
+            let task = &mut self.reds2[r];
+            let driver = task.driver.as_mut().expect("pipelined reducer");
+            for (k, v) in batch {
+                if let Err(e) = driver.push(self.second, k, v, &mut task.out) {
+                    self.fail_job(at, 2, r, e);
+                    return;
+                }
+            }
+            let bytes = driver.modelled_bytes();
+            self.timeline2.heap_sample(at, r, bytes);
+            let io = driver.io_bytes();
+            let delta = io - task.io_charged;
+            if delta > 0 {
+                task.io_charged = io;
+                self.disks[node].submit(at, delta);
+            }
+        }
+        let task = &self.reds2[r];
+        if task.shuffle_done_at.is_some() && task.batches.is_empty() && task.cpu_free <= at {
+            let task = &mut self.reds2[r];
+            task.state = RState::Finalizing;
+            let entries = task.driver.as_ref().map_or(0, |d| d.entries());
+            let dur = SimDuration::from_secs_f64(
+                self.costs.finalize_cpu_per_entry * entries as f64 * self.node_factor[task.node],
+            );
+            self.queue
+                .schedule(at + dur, Ev::R2FinalizeDone(r, task.attempt));
+        }
+    }
+
+    fn red2_finalize_done(&mut self, at: SimTime, r: usize) {
+        let driver = self.reds2[r].driver.take().expect("pipelined reducer");
+        let mut out = std::mem::take(&mut self.reds2[r].out);
+        let mut counters = std::mem::take(&mut self.reds2[r].counters);
+        match driver.finish(self.second, &mut counters, &mut out) {
+            Ok(report) => {
+                let merge_read = report.store.spill_bytes;
+                if merge_read > 0 {
+                    self.disks[self.reds2[r].node].submit(at, merge_read);
+                }
+                counters.add(names::REDUCE_OUTPUT_RECORDS, out.len() as u64);
+                self.reds2[r].report = Some(report);
+                self.reds2[r].out = out;
+                self.reds2[r].counters = counters;
+            }
+            Err(e) => {
+                self.fail_job(at, 2, r, e);
+                return;
+            }
+        }
+        self.timeline2
+            .span(SpanKind::ShuffleReduce, r, self.reds2[r].started, at);
+        self.red2_start_output(at, r);
+    }
+
+    fn red2_grouped_start(&mut self, at: SimTime, r: usize) {
+        let task = &self.reds2[r];
+        let n = task.buffer.len() as f64;
+        let dur = SimDuration::from_secs_f64(
+            self.costs.reduce_cpu_per_record * n * self.node_factor[task.node],
+        );
+        self.queue
+            .schedule(at + dur, Ev::R2GroupedDone(r, task.attempt));
+    }
+
+    fn red2_grouped_done(&mut self, at: SimTime, r: usize) {
+        let records = std::mem::take(&mut self.reds2[r].buffer);
+        let mut counters = std::mem::take(&mut self.reds2[r].counters);
+        match reduce_partition_barrier(self.second, records, &mut counters) {
+            Ok(out) => {
+                self.reds2[r].out = out;
+                self.reds2[r].counters = counters;
+            }
+            Err(e) => {
+                self.fail_job(at, 2, r, e);
+                return;
+            }
+        }
+        let start = self.reds2[r].shuffle_done_at.expect("sorted after shuffle");
+        self.timeline2.span(SpanKind::SortReduce, r, start, at);
+        self.red2_start_output(at, r);
+    }
+
+    fn red2_start_output(&mut self, at: SimTime, r: usize) {
+        let task = &mut self.reds2[r];
+        task.state = RState::Writing;
+        task.write_started = at;
+        let bytes = ((task.input_bytes as f64 * self.costs.output_selectivity) as u64).max(1);
+        task.write_bytes = bytes;
+        let node = task.node;
+        let attempt = task.attempt;
+        let targets = self.dfs.write_targets(NodeId(node as u32));
+        task.write_parts_left = targets.len();
+        let local_done = self.disks[node].submit(at, bytes);
+        self.queue
+            .schedule(local_done, Ev::R2OutputPart(r, attempt));
+        for &replica in targets.iter().skip(1) {
+            self.net.start_flow(
+                at,
+                NodeId(node as u32),
+                replica,
+                bytes,
+                Tag::Output2(r, attempt, replica),
+            );
+        }
+    }
+
+    fn red2_output_part_done(&mut self, at: SimTime, r: usize) {
+        self.reds2[r].write_parts_left -= 1;
+        if self.reds2[r].write_parts_left > 0 {
+            return;
+        }
+        let task = &mut self.reds2[r];
+        task.state = RState::Done;
+        self.reds2_done += 1;
+        let (node, write_started) = (task.node, task.write_started);
+        if self.node_alive[node] {
+            self.chain_load[node] -= 1;
+        }
+        self.timeline2.span(SpanKind::Output, r, write_started, at);
+        self.queue.schedule(at, Ev::Schedule);
+    }
+
+    // -------------------------------------------------------------- flows
+
+    fn handle_flow(&mut self, at: SimTime, tag: Tag) {
+        match tag {
+            Tag::Fetch1(m, a) => {
+                if self.maps1[m].attempt == a && self.maps1[m].state == MState::Fetching {
+                    self.map1_compute(at, m);
+                }
+            }
+            Tag::Shuffle1 {
+                map,
+                map_attempt,
+                red,
+                red_attempt,
+            } => {
+                if self.maps1[map].attempt == map_attempt
+                    && self.reds1[red].attempt == red_attempt
+                    && self.reds1[red].state == RState::Running
+                {
+                    self.shuffle1_delivery(at, map, red);
+                }
+            }
+            Tag::Handoff {
+                red,
+                red_attempt,
+                map,
+                map_attempt,
+                start,
+                end,
+            } => {
+                if self.reds1[red].attempt == red_attempt
+                    && self.maps2[map].attempt == map_attempt
+                    && self.maps2[map].state == M2State::Consuming
+                {
+                    self.handoff_delivery(at, red, map, start, end);
+                }
+            }
+            Tag::Fetch2(m, a) => {
+                if self.maps2[m].attempt == a && self.maps2[m].state == M2State::Consuming {
+                    let len = self.reds1[m].out.len();
+                    self.handoff_delivery(at, m, m, 0, len);
+                }
+            }
+            Tag::Shuffle2 {
+                map,
+                map_attempt,
+                red,
+                red_attempt,
+            } => {
+                if self.maps2[map].attempt == map_attempt
+                    && self.reds2[red].attempt == red_attempt
+                    && self.reds2[red].state == RState::Running
+                {
+                    self.shuffle2_delivery(at, map, red);
+                }
+            }
+            Tag::Output1(r, a, replica) => {
+                if self.reds1[r].attempt == a && self.reds1[r].state == RState::Writing {
+                    let bytes = self.reds1[r].write_bytes.max(1);
+                    let done = self.disks[replica.0 as usize].submit(at, bytes);
+                    self.queue
+                        .schedule(done, Ev::R1OutputPart(r, self.reds1[r].attempt));
+                }
+            }
+            Tag::Output2(r, a, replica) => {
+                if self.reds2[r].attempt == a && self.reds2[r].state == RState::Writing {
+                    let bytes = self.reds2[r].write_bytes.max(1);
+                    let done = self.disks[replica.0 as usize].submit(at, bytes);
+                    self.queue
+                        .schedule(done, Ev::R2OutputPart(r, self.reds2[r].attempt));
+                }
+            }
+        }
+    }
+
+    fn fail_job(&mut self, at: SimTime, stage: usize, r: usize, e: mr_core::MrError) {
+        self.failure = Some((at, format!("stage-{stage} reducer {r} failed: {e}")));
+    }
+
+    // ------------------------------------------------------------- faults
+
+    fn fail_node(&mut self, at: SimTime, n: usize) {
+        if !self.node_alive[n] {
+            return;
+        }
+        self.node_alive[n] = false;
+        self.map_slots_used[n] = 0;
+        self.red_slots_used[n] = 0;
+        self.chain_load[n] = 0;
+        if !self.node_alive.iter().any(|&alive| alive) {
+            self.failure = Some((at, "every node has failed; chain lost".to_string()));
+            return;
+        }
+        let cancelled = self.net.fail_node(at, NodeId(n as u32));
+        for cid in self.dfs.fail_node(NodeId(n as u32)) {
+            self.dfs.restore_chunk(cid);
+        }
+
+        // Decide the restart sets to a fixpoint: an upstream reducer
+        // restart forces its downstream map to restart; a downstream map
+        // that must re-run but whose upstream stream lived only on a
+        // now-dead node (streaming mode: never materialized) forces the
+        // upstream reducer to re-run too.
+        let r1 = self.reds1.len();
+        let mut reds1_restart = vec![false; r1];
+        let mut maps2_restart = vec![false; r1];
+        let mut reds2_restart = vec![false; self.reds2.len()];
+        for (r, task) in self.reds1.iter().enumerate() {
+            if task.node == n && task.state != RState::Done && task.state != RState::Pending {
+                reds1_restart[r] = true;
+            }
+        }
+        for (m, task) in self.maps2.iter().enumerate() {
+            if task.node == n && task.state != M2State::Done && task.state != M2State::Pending {
+                maps2_restart[m] = true;
+            }
+        }
+        for (r, task) in self.reds2.iter().enumerate() {
+            if task.node == n && task.state != RState::Done && task.state != RState::Pending {
+                reds2_restart[r] = true;
+            }
+        }
+        // Completed stage-2 maps whose node died must re-run if some
+        // stage-2 reducer still needs their shuffle output.
+        for (m, task) in self.maps2.iter().enumerate() {
+            if task.state == M2State::Done
+                && !self.node_alive[task.node]
+                && self.reds2.iter().enumerate().any(|(r, red)| {
+                    red.state != RState::Done
+                        && (reds2_restart[r] || red.fetched_from.len() <= m || !red.fetched_from[m])
+                })
+            {
+                maps2_restart[m] = true;
+            }
+        }
+        loop {
+            let mut changed = false;
+            for r in 0..r1 {
+                if reds1_restart[r] && !maps2_restart[r] {
+                    // The upstream attempt (whose stream the downstream
+                    // map consumed) died: the downstream map restarts.
+                    maps2_restart[r] = true;
+                    changed = true;
+                }
+                if maps2_restart[r] && !reds1_restart[r] && self.streaming {
+                    let up = &self.reds1[r];
+                    // A restarting downstream map needs the stream again;
+                    // if it was never materialized and its producer's
+                    // node is gone, the producer re-runs.
+                    if up.state == RState::Done && !self.node_alive[up.node] {
+                        reds1_restart[r] = true;
+                        changed = true;
+                    }
+                }
+                // Streaming: a dead node holding a completed upstream
+                // reducer whose consumer still needs data forces a
+                // re-run even when the consumer itself survives.
+                if self.streaming && !reds1_restart[r] {
+                    let up = &self.reds1[r];
+                    let down = &self.maps2[r];
+                    if up.state == RState::Done
+                        && !self.node_alive[up.node]
+                        && down.state == M2State::Consuming
+                        && down.received < up.out.len()
+                    {
+                        reds1_restart[r] = true;
+                        changed = true;
+                    }
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+
+        // Apply stage-2 reducer restarts (rescheduled by `Schedule`).
+        for (r, restart) in reds2_restart.iter().enumerate() {
+            if *restart {
+                if self.node_alive[self.reds2[r].node] {
+                    self.chain_load[self.reds2[r].node] -= 1;
+                }
+                self.reds2[r].restart();
+            }
+        }
+        // Apply downstream map restarts. A restart whose own node
+        // survived was forced purely by the upstream attempt dying —
+        // the chain-specific recovery path.
+        for (m, restart) in maps2_restart.iter().enumerate() {
+            if *restart {
+                let was = self.maps2[m].state;
+                if was != M2State::Pending {
+                    let reducers = self.cfg2.reducers;
+                    if was == M2State::Done {
+                        // Its chain-load share was released at completion.
+                        self.maps2_done -= 1;
+                    } else if self.node_alive[self.maps2[m].node] {
+                        self.chain_load[self.maps2[m].node] -= 1;
+                        self.downstream_map_restarts += 1;
+                    }
+                    self.maps2[m].restart(reducers);
+                    // Stage-2 reducers that had an in-flight or delivered
+                    // flow from this map must be allowed to re-request it.
+                    for red in &mut self.reds2 {
+                        if !red.flow_from.is_empty()
+                            && (red.fetched_from.len() <= m || !red.fetched_from[m])
+                        {
+                            red.flow_from[m] = false;
+                        }
+                    }
+                }
+            }
+        }
+        // Apply stage-1 reducer restarts (a completed one re-entering
+        // Pending also reopens stage-1 completion).
+        for (r, restart) in reds1_restart.iter().enumerate() {
+            if *restart {
+                let task = &mut self.reds1[r];
+                if task.state == RState::Done {
+                    // Its reduce slot was released at completion.
+                    self.reds1_done -= 1;
+                    self.stage1_complete = None;
+                }
+                task.restart();
+            }
+        }
+        // Stage-1 maps: mirror the single-job executor — running tasks on
+        // the dead node restart; completed output on any dead node
+        // re-runs when a (possibly just-restarted) reducer still needs it.
+        for m in 0..self.maps1.len() {
+            let needs_rerun = match self.maps1[m].state {
+                MState::Fetching | MState::Computing | MState::Writing => self.maps1[m].node == n,
+                MState::Done => {
+                    !self.node_alive[self.maps1[m].node]
+                        && self.reds1.iter().any(|r| {
+                            r.state != RState::Done
+                                && (r.fetched_from.len() <= m || !r.fetched_from[m])
+                        })
+                }
+                _ => false,
+            };
+            if needs_rerun {
+                if self.maps1[m].state == MState::Done {
+                    self.maps1_done -= 1;
+                }
+                let task = &mut self.maps1[m];
+                task.state = MState::Pending;
+                task.attempt += 1;
+                task.output = None;
+                task.node = usize::MAX;
+                for r in &mut self.reds1 {
+                    if !r.flow_from.is_empty() && !r.fetched_from[m] {
+                        r.flow_from[m] = false;
+                    }
+                }
+            }
+        }
+        // Cancelled flows whose surviving endpoint still waits on them.
+        for tag in cancelled {
+            match tag {
+                Tag::Fetch1(m, a) => {
+                    if self.maps1[m].attempt == a && self.maps1[m].state == MState::Fetching {
+                        self.start_fetch1(at, m);
+                    }
+                }
+                Tag::Fetch2(m, a) => {
+                    if self.maps2[m].attempt == a && self.maps2[m].state == M2State::Consuming {
+                        self.start_fetch2(at, m);
+                    }
+                }
+                Tag::Handoff {
+                    red,
+                    red_attempt,
+                    map,
+                    map_attempt,
+                    start,
+                    end: _,
+                } => {
+                    // A cancelled increment from a *surviving* producer
+                    // to a *surviving* consumer cannot happen (one
+                    // endpoint was on the dead node); anything else is
+                    // covered by the restart fixpoint. The only live
+                    // case: producer alive, consumer restarted — handled
+                    // when the consumer's new attempt re-ships. Guard for
+                    // the symmetric race anyway: re-ship if both current.
+                    if self.reds1[red].attempt == red_attempt
+                        && self.maps2[map].attempt == map_attempt
+                        && self.maps2[map].state == M2State::Consuming
+                        && self.node_alive[self.reds1[red].node]
+                    {
+                        self.reds1[red].handed = self.reds1[red].handed.min(start);
+                        self.ship_handoff(at, red);
+                    }
+                }
+                Tag::Shuffle1 { .. } | Tag::Shuffle2 { .. } => {
+                    // Handled by the map-rerun / restart logic above:
+                    // flow_from was reset, so the output is re-requested.
+                }
+                Tag::Output1(r, a, _replica) => {
+                    if self.reds1[r].attempt == a && self.reds1[r].state == RState::Writing {
+                        self.red1_output_part_done(at, r);
+                    }
+                }
+                Tag::Output2(r, a, _replica) => {
+                    if self.reds2[r].attempt == a && self.reds2[r].state == RState::Writing {
+                        self.red2_output_part_done(at, r);
+                    }
+                }
+            }
+        }
+        self.queue.schedule(at, Ev::Schedule);
+    }
+}

@@ -43,6 +43,17 @@ pub struct CostModel {
     pub snapshot_cpu_per_record: f64,
     /// Final output bytes per reducer-input byte (DFS write volume).
     pub output_selectivity: f64,
+    /// CPU seconds per handed-off record on a *downstream* chained map
+    /// task (the `adapt_input` conversion plus the map function),
+    /// charged on the downstream node as handoff batches arrive. Only
+    /// applies to job chains.
+    pub chain_map_cpu_per_record: f64,
+    /// Nominal wire bytes per real byte of handed-off records (records
+    /// are scale-reduced in simulation; this scales the chain handoff
+    /// volume back up, like `shuffle_selectivity` does for map output).
+    /// Charged as network flows on the cross-job edge in streaming mode,
+    /// and as the materialized-read volume in barrier mode.
+    pub chain_handoff_byte_scale: f64,
 }
 
 impl CostModel {
@@ -64,6 +75,8 @@ impl CostModel {
             finalize_cpu_per_entry: 1e-4,
             snapshot_cpu_per_record: 1e-4,
             output_selectivity: 0.2,
+            chain_map_cpu_per_record: 5e-3,
+            chain_handoff_byte_scale: 4096.0,
         }
     }
 
@@ -80,6 +93,8 @@ impl CostModel {
         assert!(self.finalize_cpu_per_entry >= 0.0);
         assert!(self.snapshot_cpu_per_record >= 0.0);
         assert!(self.output_selectivity >= 0.0);
+        assert!(self.chain_map_cpu_per_record >= 0.0);
+        assert!(self.chain_handoff_byte_scale >= 0.0);
     }
 }
 

@@ -22,7 +22,13 @@
 //!   stores, OOM kills, spill and KV disk traffic charged to the disks.
 //! * **Fault tolerance** (§3.1): nodes can be killed mid-run; lost map
 //!   output and dead reducers are re-executed, as in Hadoop.
+//! * **Job chains** ([`ChainSimExecutor`]): concatenated jobs share one
+//!   event loop; streaming handoff edges are scheduled as timeline
+//!   events so stage N+1 map work measurably overlaps stage N reduce
+//!   work, and a dead upstream reduce attempt restarts its downstream
+//!   consumers.
 
+mod chain;
 mod costs;
 mod executor;
 mod input;
@@ -30,9 +36,10 @@ mod params;
 mod report;
 mod timeline;
 
+pub use chain::{ChainSimExecutor, ChainSimReport};
 pub use costs::CostModel;
-pub use executor::SimExecutor;
+pub use executor::{Fault, SimExecutor};
 pub use input::{FnInput, SimInput};
 pub use params::ClusterParams;
 pub use report::{Outcome, SimReport};
-pub use timeline::{HeapSample, SnapshotMark, SpanKind, TaskSpan, Timeline};
+pub use timeline::{HandoffMark, HeapSample, SnapshotMark, SpanKind, TaskSpan, Timeline};

@@ -59,6 +59,24 @@ pub struct SnapshotMark {
     pub entries: usize,
 }
 
+/// One cross-job handoff edge: a slice of an upstream reduce task's
+/// output leaving for a downstream chained map task. Streaming chains
+/// record one mark per shipped increment; barrier chains record one per
+/// materialized partition read.
+#[derive(Debug, Clone, Copy)]
+pub struct HandoffMark {
+    /// Departure instant (virtual time).
+    pub at: SimTime,
+    /// Upstream reduce partition.
+    pub upstream_reducer: usize,
+    /// Downstream chained map task.
+    pub downstream_map: usize,
+    /// Records in this increment.
+    pub records: u64,
+    /// Nominal wire bytes of this increment.
+    pub bytes: u64,
+}
+
 /// Everything recorded during a simulated run.
 #[derive(Debug, Clone, Default)]
 pub struct Timeline {
@@ -68,6 +86,8 @@ pub struct Timeline {
     pub heap: Vec<HeapSample>,
     /// Snapshot publications in time order.
     pub snapshots: Vec<SnapshotMark>,
+    /// Cross-job handoff edges in time order (job chains only).
+    pub handoffs: Vec<HandoffMark>,
 }
 
 impl Timeline {
@@ -102,6 +122,33 @@ impl Timeline {
             records,
             entries,
         });
+    }
+
+    /// Records a cross-job handoff edge.
+    pub fn handoff_mark(
+        &mut self,
+        at: SimTime,
+        upstream_reducer: usize,
+        downstream_map: usize,
+        records: u64,
+        bytes: u64,
+    ) {
+        self.handoffs.push(HandoffMark {
+            at,
+            upstream_reducer,
+            downstream_map,
+            records,
+            bytes,
+        });
+    }
+
+    /// Handoff departures of one upstream reducer: `(seconds, records)`.
+    pub fn handoff_series(&self, upstream_reducer: usize) -> Vec<(f64, u64)> {
+        self.handoffs
+            .iter()
+            .filter(|h| h.upstream_reducer == upstream_reducer)
+            .map(|h| (h.at.as_secs_f64(), h.records))
+            .collect()
     }
 
     /// Snapshot publications of one reducer: `(seconds, estimate records)`.
@@ -211,6 +258,18 @@ mod tests {
         t.heap_sample(secs(2.0), 2, 200);
         t.heap_sample(secs(2.0), 3, 999);
         assert_eq!(t.heap_series(2), vec![(1.0, 100), (2.0, 200)]);
+    }
+
+    #[test]
+    fn handoff_marks_are_recorded_and_filterable() {
+        let mut t = Timeline::default();
+        t.handoff_mark(secs(5.0), 0, 0, 120, 4096);
+        t.handoff_mark(secs(9.0), 0, 0, 40, 1024);
+        t.handoff_mark(secs(9.5), 2, 2, 7, 64);
+        assert_eq!(t.handoffs.len(), 3);
+        assert_eq!(t.handoff_series(0), vec![(5.0, 120), (9.0, 40)]);
+        assert_eq!(t.handoff_series(1), Vec::<(f64, u64)>::new());
+        assert_eq!(t.handoffs[2].downstream_map, 2);
     }
 
     #[test]

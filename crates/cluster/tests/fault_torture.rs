@@ -304,3 +304,92 @@ fn losing_half_the_cluster_still_completes() {
     assert_eq!(output.unwrap(), expect);
     assert!(maps_run as u64 >= chunks);
 }
+
+#[test]
+fn chain_node_death_mid_stage2_is_byte_exact_and_restarts_downstream_maps() {
+    // The chain's fault claim: killing a node while stage 2 of a
+    // wordcount → top-k chain is mid-flight must leave the final output
+    // byte-exact under BOTH handoff modes, and under the streaming
+    // handoff (where the intermediate stream is never materialized) at
+    // least one downstream map task must actually restart because its
+    // upstream reduce attempt died.
+    use mr_apps::topk::TopK;
+    use mr_cluster::ChainSimExecutor;
+    use mr_core::{ChainSpec, HandoffMode};
+    let chunks = 12u64;
+    let seed = 29u64;
+    let spec = |handoff| {
+        ChainSpec::new(vec![
+            JobConfig::new(4).engine(Engine::barrierless()).scratch_dir(
+                std::env::temp_dir().join(format!("mr-chain-ft1-{}", std::process::id())),
+            ),
+            JobConfig::new(2).engine(Engine::barrierless()).scratch_dir(
+                std::env::temp_dir().join(format!("mr-chain-ft2-{}", std::process::id())),
+            ),
+        ])
+        .handoff(handoff)
+    };
+    let run = |handoff, faults: &[(f64, usize)]| {
+        let w = workload(seed);
+        ChainSimExecutor::new(cluster(seed)).run_chain2_with_faults(
+            &WordCount,
+            &TopK::new(15),
+            &FnInput(move |c| w.chunk(c)),
+            chunks,
+            &spec(handoff),
+            &CostModel::default_for_tests(),
+            &HashPartitioner,
+            &HashPartitioner,
+            faults,
+        )
+    };
+    // Fault-free reference (both modes must already agree).
+    let clean = run(HandoffMode::Barrier, &[]);
+    assert!(clean.outcome.is_completed());
+    let expect = clean.output.unwrap().into_sorted_output();
+    assert!(!expect.is_empty());
+    let clean_stream = run(HandoffMode::Streaming, &[]);
+    assert!(clean_stream.outcome.is_completed());
+    // Pick fault instants inside the stage-1-reduce / stage-2 window the
+    // clean run observed, so the kill lands while the chain edge (and
+    // stage 2) is genuinely mid-flight.
+    let first = clean_stream
+        .stage2_first_work
+        .expect("chain handed something off")
+        .as_secs_f64();
+    let last = clean_stream
+        .stage1_last_reduce_done
+        .as_secs_f64()
+        .max(first + 1.0);
+    let instants = [
+        first + 0.25 * (last - first),
+        first + 0.6 * (last - first),
+        last + 5.0,
+    ];
+    let mut downstream_restart_seen = false;
+    for handoff in [HandoffMode::Barrier, HandoffMode::Streaming] {
+        for &fail_at in &instants {
+            for node in 0..4 {
+                let report = run(handoff, &[(fail_at, node)]);
+                assert!(
+                    report.outcome.is_completed(),
+                    "chain {handoff:?} died for kill of node {node} at {fail_at:.1}s: {:?}",
+                    report.outcome
+                );
+                let restarts = report.downstream_map_restarts;
+                let got = report.output.unwrap().into_sorted_output();
+                assert_eq!(
+                    got, expect,
+                    "kill of node {node} at {fail_at:.1}s corrupted the {handoff:?} chain"
+                );
+                if handoff == HandoffMode::Streaming && restarts > 0 {
+                    downstream_restart_seen = true;
+                }
+            }
+        }
+    }
+    assert!(
+        downstream_restart_seen,
+        "no scenario restarted a downstream map task — the chain recovery path was never exercised"
+    );
+}

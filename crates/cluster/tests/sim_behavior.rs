@@ -1,9 +1,10 @@
 //! Behavioural tests of the simulated cluster: the qualitative claims the
 //! paper's figures rest on must hold before any figure is regenerated.
 
+use mr_apps::topk::TopK;
 use mr_apps::wordcount::WordCount;
-use mr_cluster::{ClusterParams, CostModel, FnInput, SimExecutor, SpanKind};
-use mr_core::{Engine, HashPartitioner, JobConfig, MemoryPolicy};
+use mr_cluster::{ChainSimExecutor, ClusterParams, CostModel, FnInput, SimExecutor, SpanKind};
+use mr_core::{ChainSpec, Engine, HandoffMode, HashPartitioner, JobConfig, MemoryPolicy};
 use mr_workloads::TextWorkload;
 use std::collections::BTreeMap;
 
@@ -583,4 +584,177 @@ fn cluster_snapshot_override_wins_and_invalid_config_fails_loudly() {
         _ => unreachable!(),
     }
     assert!(report.output.is_none());
+}
+
+// --------------------------------------------------------------- chains
+
+/// Runs the wordcount → top-k chain under the given handoff mode.
+fn run_chain(
+    seed: u64,
+    chunks: u64,
+    handoff: HandoffMode,
+    engine: Engine,
+) -> mr_cluster::ChainSimReport<TopK> {
+    let spec = ChainSpec::new(vec![
+        JobConfig::new(6)
+            .engine(engine.clone())
+            .scratch_dir(scratch("chain1")),
+        JobConfig::new(2)
+            .engine(engine)
+            .scratch_dir(scratch("chain2")),
+    ])
+    .handoff(handoff);
+    ChainSimExecutor::new(small_cluster(seed)).run_chain2(
+        &WordCount,
+        &TopK::new(12),
+        &FnInput(wc_input(seed)),
+        chunks,
+        &spec,
+        &costs(),
+        &HashPartitioner,
+        &HashPartitioner,
+    )
+}
+
+#[test]
+fn chained_jobs_complete_with_the_sequential_composition_output() {
+    // Ground truth: run the two jobs sequentially to completion through
+    // the single-job executor, feeding job 1's partitions to job 2 as
+    // input chunks.
+    let chunks = 12;
+    let seed = 41;
+    let cfg1 = JobConfig::new(6)
+        .engine(Engine::barrierless())
+        .scratch_dir(scratch("chain-seq1"));
+    let r1 = SimExecutor::new(small_cluster(seed)).run(
+        &WordCount,
+        &FnInput(wc_input(seed)),
+        chunks,
+        &cfg1,
+        &costs(),
+        &HashPartitioner,
+    );
+    assert!(r1.outcome.is_completed());
+    let parts = r1.output.unwrap().partitions;
+    let n_parts = parts.len() as u64;
+    let cfg2 = JobConfig::new(2)
+        .engine(Engine::barrierless())
+        .scratch_dir(scratch("chain-seq2"));
+    let r2 = SimExecutor::new(small_cluster(seed)).run(
+        &TopK::new(12),
+        &FnInput(move |c| parts[c as usize].clone()),
+        n_parts,
+        &cfg2,
+        &costs(),
+        &HashPartitioner,
+    );
+    assert!(r2.outcome.is_completed());
+    let expect = r2.output.unwrap().into_sorted_output();
+    assert!(!expect.is_empty());
+
+    for handoff in [HandoffMode::Barrier, HandoffMode::Streaming] {
+        for engine in [Engine::Barrier, Engine::barrierless()] {
+            let report = run_chain(seed, chunks, handoff, engine.clone());
+            assert!(
+                report.outcome.is_completed(),
+                "chain {handoff:?}/{engine:?} failed: {:?}",
+                report.outcome
+            );
+            let got = report.output.unwrap().into_sorted_output();
+            assert_eq!(
+                got, expect,
+                "chain {handoff:?}/{engine:?} diverged from the sequential composition"
+            );
+        }
+    }
+}
+
+#[test]
+fn streaming_chain_overlaps_stages_and_the_barrier_chain_does_not() {
+    let chunks = 16;
+    let streaming = run_chain(43, chunks, HandoffMode::Streaming, Engine::barrierless());
+    let barrier = run_chain(43, chunks, HandoffMode::Barrier, Engine::barrierless());
+    assert!(streaming.outcome.is_completed());
+    assert!(barrier.outcome.is_completed());
+
+    // The paper-shaped claim: stage-2 map work starts while stage-1
+    // reducers are still running — only without the inter-job barrier.
+    assert!(
+        streaming.overlapped(),
+        "streaming chain never overlapped: first work {:?} vs last reduce {:?}",
+        streaming.stage2_first_work,
+        streaming.stage1_last_reduce_done
+    );
+    assert!(
+        !barrier.overlapped(),
+        "barrier chain overlapped stages, which a hard barrier forbids"
+    );
+    let barrier_gate = barrier.stage2_first_work.expect("stage 2 ran");
+    assert!(
+        barrier_gate >= barrier.stage1_complete,
+        "barrier-mode stage 2 started before stage 1 completed"
+    );
+
+    // Removing the inter-job barrier (and the intermediate
+    // materialization) must shorten the chain.
+    assert!(
+        streaming.completion_secs() < barrier.completion_secs(),
+        "streaming chain ({:.1}s) not faster than barrier chain ({:.1}s)",
+        streaming.completion_secs(),
+        barrier.completion_secs()
+    );
+
+    // Cross-job edges were scheduled as timeline events, and the same
+    // records crossed under both modes.
+    assert!(!streaming.timeline1.handoffs.is_empty());
+    assert!(!barrier.timeline1.handoffs.is_empty());
+    assert_eq!(streaming.handoff_records, barrier.handoff_records);
+    assert!(streaming.handoff_records > 0);
+    // Streaming ships per-reducer increments; every upstream partition
+    // contributed at least one edge.
+    assert!(streaming.handoff_edges >= 6);
+    // The output counters carry the chain handoff totals.
+    let out = streaming.output.unwrap();
+    assert_eq!(
+        out.counters
+            .get(mr_core::counters::names::CHAIN_HANDOFF_RECORDS),
+        streaming.handoff_records
+    );
+}
+
+#[test]
+fn chain_rejects_invalid_specs_as_failed_reports() {
+    let spec = ChainSpec::new(Vec::new());
+    let report = ChainSimExecutor::new(small_cluster(7)).run_chain2(
+        &WordCount,
+        &TopK::new(4),
+        &FnInput(wc_input(7)),
+        4,
+        &spec,
+        &costs(),
+        &HashPartitioner,
+        &HashPartitioner,
+    );
+    assert!(!report.outcome.is_completed());
+    assert!(report.output.is_none());
+
+    let mut bad = JobConfig::new(2);
+    bad.shuffle_batch_bytes = 0;
+    let spec = ChainSpec::new(vec![JobConfig::new(2), bad]);
+    let report = ChainSimExecutor::new(small_cluster(7)).run_chain2(
+        &WordCount,
+        &TopK::new(4),
+        &FnInput(wc_input(7)),
+        4,
+        &spec,
+        &costs(),
+        &HashPartitioner,
+        &HashPartitioner,
+    );
+    match report.outcome {
+        mr_cluster::Outcome::Failed { reason, .. } => {
+            assert!(reason.contains("shuffle_batch_bytes"), "reason: {reason}")
+        }
+        _ => panic!("invalid chain spec completed"),
+    }
 }

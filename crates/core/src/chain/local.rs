@@ -1,0 +1,1335 @@
+//! The chain driver for [`LocalRunner`]: runs a [`ChainSpec`] for real
+//! on OS threads.
+//!
+//! Under [`HandoffMode::Barrier`] each stage runs to completion and its
+//! materialized output is adapted into the next stage's input splits —
+//! the run-jobs-sequentially Hadoop baseline, byte-for-byte.
+//!
+//! Under [`HandoffMode::Streaming`] every record an upstream reduce task
+//! emits is adapted and pushed into a bounded batched channel (one per
+//! upstream partition — the same transport shape the shuffle uses), and
+//! a downstream *map intake* task per channel runs the next stage's map
+//! function on records as they arrive. Downstream map work therefore
+//! overlaps upstream reduce work; back-pressure is preserved end to end
+//! (a slow downstream reducer stalls its intake, which fills the handoff
+//! channel, which stalls the upstream reducer, which stalls the upstream
+//! mappers).
+//!
+//! # Determinism
+//!
+//! The chained output is byte-identical to the sequential baseline for
+//! any final stage whose reduce output is a pure function of its input
+//! *multiset* — every keyed-state application (aggregation, selection,
+//! sorting) qualifies, because the partial store drains in key order at
+//! finalize regardless of arrival order. Applications that emit during
+//! `absorb` in arrival order (Identity, cross-key windows) keep exactly
+//! the determinism they had under the single-job barrier-less engine:
+//! the multiset of output records is identical, their order within a
+//! partition follows the stream interleaving.
+
+use crate::chain::{ChainOutput, ChainableApplication, StageStats};
+use crate::combine::CombinerBuffer;
+use crate::config::{ChainSpec, Engine, HandoffMode, JobConfig};
+use crate::counters::{names, Counters};
+use crate::error::{MrError, MrResult};
+use crate::local::{
+    barrier_reduce_sinked, combining_active, pipelined_reduce_task, Batch, LocalRunner, ReduceSink,
+    ShuffleEmitter, SinkedRun, BATCH_CHANNEL_DEPTH,
+};
+use crate::partition::Partitioner;
+use crate::traits::{Application, Emit, FnEmit};
+use crossbeam::channel::{bounded, Receiver, Sender};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// A handed-off record batch: already adapted to the downstream input
+/// types.
+type Handoff<B> = Vec<(<B as Application>::InKey, <B as Application>::InValue)>;
+
+/// One stage's map-intake channel: the stream of record batches arriving
+/// from one upstream reduce partition.
+type Intake<X> = Receiver<Handoff<X>>;
+
+/// Per-boundary handoff bookkeeping, merged from every upstream sink.
+#[derive(Debug, Default)]
+struct HandoffStats {
+    records: u64,
+    batches: u64,
+    bytes: u64,
+    first_secs: Option<f64>,
+}
+
+impl HandoffStats {
+    fn charge(&self, counters: &mut Counters) {
+        counters.add(names::CHAIN_HANDOFF_RECORDS, self.records);
+        counters.add(names::CHAIN_HANDOFF_BATCHES, self.batches);
+        counters.add(names::CHAIN_HANDOFF_BYTES, self.bytes);
+    }
+}
+
+/// The streaming reduce-output sink: adapts each upstream output record
+/// to the downstream input type and ships byte-budgeted batches into the
+/// downstream map intake channel. One sink per upstream reduce task;
+/// dropping the sender on [`done`](ReduceSink::done) is the per-partition
+/// EOF.
+struct HandoffSink<'a, B, UK, UV>
+where
+    B: ChainableApplication<UK, UV>,
+{
+    downstream: &'a B,
+    tx: Option<Sender<Handoff<B>>>,
+    buf: Handoff<B>,
+    buf_bytes: usize,
+    batch_bytes: usize,
+    emitted: u64,
+    batches: u64,
+    bytes: u64,
+    started: Instant,
+    first_secs: Option<f64>,
+    stats: &'a Mutex<HandoffStats>,
+    _upstream: std::marker::PhantomData<fn(UK, UV)>,
+}
+
+impl<'a, B, UK, UV> HandoffSink<'a, B, UK, UV>
+where
+    B: ChainableApplication<UK, UV>,
+{
+    fn new(
+        downstream: &'a B,
+        tx: Sender<Handoff<B>>,
+        batch_bytes: usize,
+        stats: &'a Mutex<HandoffStats>,
+        started: Instant,
+    ) -> Self {
+        HandoffSink {
+            downstream,
+            tx: Some(tx),
+            buf: Vec::new(),
+            buf_bytes: 0,
+            batch_bytes,
+            emitted: 0,
+            batches: 0,
+            bytes: 0,
+            started,
+            first_secs: None,
+            stats,
+            _upstream: std::marker::PhantomData,
+        }
+    }
+
+    fn flush(&mut self) {
+        self.buf_bytes = 0;
+        if self.buf.is_empty() {
+            return;
+        }
+        let batch = std::mem::take(&mut self.buf);
+        self.batches += 1;
+        if let Some(tx) = &self.tx {
+            // A send error means the downstream stage died (the job is
+            // failing); stop shipping.
+            if tx.send(batch).is_err() {
+                self.tx = None;
+            }
+        }
+    }
+}
+
+impl<B, UK, UV> Emit<UK, UV> for HandoffSink<'_, B, UK, UV>
+where
+    B: ChainableApplication<UK, UV>,
+{
+    fn emit(&mut self, key: UK, value: UV) {
+        if self.first_secs.is_none() {
+            self.first_secs = Some(self.started.elapsed().as_secs_f64());
+        }
+        self.emitted += 1;
+        let rec_bytes = self.downstream.handoff_bytes(&key, &value);
+        self.buf_bytes += rec_bytes;
+        self.bytes += rec_bytes as u64;
+        self.buf.push(self.downstream.adapt_input(key, value));
+        if self.buf_bytes >= self.batch_bytes {
+            self.flush();
+        }
+    }
+}
+
+impl<A, B, UK, UV> ReduceSink<A> for HandoffSink<'_, B, UK, UV>
+where
+    A: Application<OutKey = UK, OutValue = UV>,
+    B: ChainableApplication<UK, UV>,
+    UK: Send,
+    UV: Send,
+{
+    fn emitted(&self) -> u64 {
+        self.emitted
+    }
+
+    fn done(&mut self) {
+        self.flush();
+        self.tx = None; // EOF for this upstream partition
+        let mut stats = self.stats.lock().unwrap();
+        stats.records += self.emitted;
+        stats.batches += self.batches;
+        stats.bytes += self.bytes;
+        stats.first_secs = match (stats.first_secs, self.first_secs) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        };
+    }
+
+    fn into_partition(self) -> Vec<(A::OutKey, A::OutValue)> {
+        Vec::new() // the records are downstream already
+    }
+}
+
+/// Runs one *streamed* stage: map intake tasks (one per upstream
+/// partition) consume adapted record batches from `intakes` as they
+/// arrive and feed the stage's own engine — the pipelined shuffle with
+/// concurrent reducers, or per-intake collection followed by the barrier
+/// reduce. The stage's reduce output goes to `make_sink` sinks, so
+/// streamed stages compose into chains of any length.
+fn run_streamed_stage<X, P, S, F>(
+    app: &X,
+    cfg: &JobConfig,
+    intakes: Vec<Intake<X>>,
+    partitioner: &P,
+    make_sink: F,
+    started: Instant,
+) -> MrResult<SinkedRun<X, S>>
+where
+    X: Application,
+    P: Partitioner<X::MapKey>,
+    S: ReduceSink<X>,
+    F: Fn(usize) -> S,
+{
+    match &cfg.engine {
+        Engine::BarrierLess { .. } => {
+            streamed_stage_pipelined(app, cfg, intakes, partitioner, make_sink, started)
+        }
+        Engine::Barrier => {
+            streamed_stage_barrier(app, cfg, intakes, partitioner, make_sink, started)
+        }
+    }
+}
+
+fn streamed_stage_pipelined<X, P, S, F>(
+    app: &X,
+    cfg: &JobConfig,
+    intakes: Vec<Intake<X>>,
+    partitioner: &P,
+    make_sink: F,
+    started: Instant,
+) -> MrResult<SinkedRun<X, S>>
+where
+    X: Application,
+    P: Partitioner<X::MapKey>,
+    S: ReduceSink<X>,
+    F: Fn(usize) -> S,
+{
+    let reducers = cfg.reducers;
+    let mut senders: Vec<Sender<Batch<X>>> = Vec::with_capacity(reducers);
+    let mut receivers: Vec<Receiver<Batch<X>>> = Vec::with_capacity(reducers);
+    for _ in 0..reducers {
+        let (tx, rx) = bounded(BATCH_CHANNEL_DEPTH);
+        senders.push(tx);
+        receivers.push(rx);
+    }
+    let batch_pool: Mutex<Vec<Batch<X>>> = Mutex::new(Vec::new());
+    let batch_pool_cap = reducers * BATCH_CHANNEL_DEPTH;
+    let intake_counters = Mutex::new(Counters::new());
+    type ReduceResult<X, S> = MrResult<(
+        S,
+        crate::engine::DriverReport,
+        Counters,
+        Vec<crate::snapshot::Snapshot<X>>,
+    )>;
+    let reduce_slots: Vec<Mutex<Option<ReduceResult<X, S>>>> =
+        (0..reducers).map(|_| Mutex::new(None)).collect();
+
+    std::thread::scope(|scope| {
+        let mut reduce_handles = Vec::new();
+        for (r, rx) in receivers.into_iter().enumerate() {
+            let reduce_slots = &reduce_slots;
+            let batch_pool = &batch_pool;
+            let sink = make_sink(r);
+            reduce_handles.push(scope.spawn(move || {
+                let result = pipelined_reduce_task(
+                    app,
+                    cfg,
+                    r,
+                    rx,
+                    batch_pool,
+                    batch_pool_cap,
+                    started,
+                    sink,
+                );
+                *reduce_slots[r].lock().unwrap() = Some(result);
+            }));
+        }
+
+        // Map intake tasks: one per upstream partition, consuming record
+        // batches as the upstream reducer emits them.
+        let mut intake_handles = Vec::new();
+        for rx in intakes {
+            let senders = senders.clone();
+            let batch_pool = &batch_pool;
+            let intake_counters = &intake_counters;
+            intake_handles.push(scope.spawn(move || {
+                let mut emitter = ShuffleEmitter::new(app, cfg, partitioner, senders, batch_pool);
+                for batch in rx.iter() {
+                    // A dead emitter means a reducer died (the job is
+                    // failing): keep draining the intake so the upstream
+                    // stage never blocks on a full handoff channel, but
+                    // stop mapping.
+                    if emitter.is_dead() {
+                        continue;
+                    }
+                    for (k, v) in batch {
+                        let emitter = &mut emitter;
+                        let mut emit = FnEmit(|mk: X::MapKey, mv: X::MapValue| {
+                            emitter.push(mk, mv);
+                        });
+                        app.map(&k, &v, &mut emit);
+                    }
+                }
+                emitter.flush();
+                intake_counters
+                    .lock()
+                    .unwrap()
+                    .merge(&emitter.into_counters());
+            }));
+        }
+        drop(senders); // reducers see EOF once all intakes finish
+
+        for h in intake_handles {
+            h.join()
+                .map_err(|_| MrError::WorkerPanic("chain map intake panicked".to_string()))?;
+        }
+        for h in reduce_handles {
+            h.join()
+                .map_err(|_| MrError::WorkerPanic("reduce worker panicked".to_string()))?;
+        }
+        Ok::<(), MrError>(())
+    })?;
+
+    let mut counters = intake_counters.into_inner().unwrap();
+    let mut sinks = Vec::with_capacity(reducers);
+    let mut reports = Vec::with_capacity(reducers);
+    let mut snapshots = Vec::with_capacity(reducers);
+    for slot in reduce_slots {
+        let (sink, report, task_counters, snaps) =
+            slot.into_inner().unwrap().expect("every reducer ran")?;
+        counters.merge(&task_counters);
+        sinks.push(sink);
+        reports.push(report);
+        snapshots.push(snaps);
+    }
+    Ok(SinkedRun {
+        sinks,
+        counters,
+        reports,
+        snapshots,
+    })
+}
+
+fn streamed_stage_barrier<X, P, S, F>(
+    app: &X,
+    cfg: &JobConfig,
+    intakes: Vec<Intake<X>>,
+    partitioner: &P,
+    make_sink: F,
+    started: Instant,
+) -> MrResult<SinkedRun<X, S>>
+where
+    X: Application,
+    P: Partitioner<X::MapKey>,
+    S: ReduceSink<X>,
+    F: Fn(usize) -> S,
+{
+    let reducers = cfg.reducers;
+    let n_intakes = intakes.len();
+    // Map intakes run concurrently with the upstream stage (map-side
+    // overlap); the stage's own barrier holds its *reduce* side until
+    // every intake has drained. Per-intake partition buffers are
+    // concatenated in intake order, so the reduce input is a
+    // deterministic function of the upstream emission streams.
+    let slots: Vec<Mutex<Option<Vec<Batch<X>>>>> =
+        (0..n_intakes).map(|_| Mutex::new(None)).collect();
+    let intake_counters = Mutex::new(Counters::new());
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for (i, rx) in intakes.into_iter().enumerate() {
+            let slots = &slots;
+            let intake_counters = &intake_counters;
+            handles.push(scope.spawn(move || {
+                let combining = combining_active(app, cfg);
+                let budget = cfg.combiner.budget_bytes().unwrap_or(0) as usize;
+                let mut counters = Counters::new();
+                let mut parts: Vec<Batch<X>> = (0..reducers).map(|_| Vec::new()).collect();
+                let mut combs: Vec<CombinerBuffer<X>> = if combining {
+                    (0..reducers)
+                        .map(|_| CombinerBuffer::new(app, budget, cfg.store_index))
+                        .collect()
+                } else {
+                    Vec::new()
+                };
+                for batch in rx.iter() {
+                    for (k, v) in batch {
+                        let mut emit = FnEmit(|mk: X::MapKey, mv: X::MapValue| {
+                            counters.incr(names::MAP_OUTPUT_RECORDS);
+                            let p = partitioner.partition(&mk, reducers);
+                            if combining {
+                                let sink = &mut parts[p];
+                                combs[p].push(app, mk, mv, &mut |k2, v2| sink.push((k2, v2)));
+                            } else {
+                                parts[p].push((mk, mv));
+                            }
+                        });
+                        app.map(&k, &v, &mut emit);
+                    }
+                }
+                for (p, comb) in combs.iter_mut().enumerate() {
+                    let sink = &mut parts[p];
+                    comb.drain(app, &mut |k2, v2| sink.push((k2, v2)));
+                    counters.add(names::COMBINE_INPUT_RECORDS, comb.records_in());
+                    counters.add(names::COMBINE_OUTPUT_RECORDS, comb.records_out());
+                }
+                *slots[i].lock().unwrap() = Some(parts);
+                intake_counters.lock().unwrap().merge(&counters);
+            }));
+        }
+        for h in handles {
+            h.join()
+                .map_err(|_| MrError::WorkerPanic("chain map intake panicked".to_string()))?;
+        }
+        Ok::<(), MrError>(())
+    })?;
+
+    let mut partitions: Vec<Batch<X>> = (0..reducers).map(|_| Vec::new()).collect();
+    for slot in slots {
+        let parts = slot.into_inner().unwrap().expect("every intake drained");
+        for (p, mut records) in parts.into_iter().enumerate() {
+            partitions[p].append(&mut records);
+        }
+    }
+    barrier_reduce_sinked(
+        reducers,
+        app,
+        cfg,
+        partitions,
+        started,
+        intake_counters.into_inner().unwrap(),
+        make_sink,
+    )
+}
+
+/// Builds one stage's [`StageStats`] from its finished run's parts.
+fn stage_stats(
+    mut counters: Counters,
+    reports: Vec<crate::engine::DriverReport>,
+    handoff: Option<&HandoffStats>,
+    finished_secs: f64,
+) -> StageStats {
+    if let Some(stats) = handoff {
+        stats.charge(&mut counters);
+    }
+    StageStats {
+        counters,
+        reports,
+        handoff_records: handoff.map_or(0, |s| s.records),
+        handoff_batches: handoff.map_or(0, |s| s.batches),
+        handoff_bytes: handoff.map_or(0, |s| s.bytes),
+        first_handoff_secs: handoff.and_then(|s| s.first_secs),
+        finished_secs,
+    }
+}
+
+/// Tears a handoff-sinked run into the parts `stage_stats` needs,
+/// dropping the sinks (and with them their borrows of the shared stats).
+fn into_stage_parts<X: Application, S>(
+    run: SinkedRun<X, S>,
+) -> (Counters, Vec<crate::engine::DriverReport>) {
+    (run.counters, run.reports)
+}
+
+/// The barrier-handoff boundary shared by every chain driver: adapts
+/// materialized upstream partitions into downstream input splits (split
+/// `i` extends with partition `i`, created on demand), charging the
+/// handoff stats as it goes.
+fn adapt_partitions<B, UK, UV>(
+    second: &B,
+    partitions: Vec<Vec<(UK, UV)>>,
+    into: &mut Vec<Vec<(B::InKey, B::InValue)>>,
+    stats: &mut HandoffStats,
+) where
+    B: ChainableApplication<UK, UV>,
+{
+    if into.len() < partitions.len() {
+        into.resize_with(partitions.len(), Vec::new);
+    }
+    for (i, partition) in partitions.into_iter().enumerate() {
+        if !partition.is_empty() {
+            stats.batches += 1;
+        }
+        for (k, v) in partition {
+            stats.records += 1;
+            stats.bytes += second.handoff_bytes(&k, &v) as u64;
+            into[i].push(second.adapt_input(k, v));
+        }
+    }
+}
+
+impl LocalRunner {
+    /// Runs a two-job chain: `first`'s reduce output, adapted through
+    /// [`ChainableApplication::adapt_input`], becomes `second`'s map
+    /// input. `spec` must hold exactly two stage configs.
+    ///
+    /// Under the barrier handoff this is literally the sequential
+    /// baseline (run job 1, materialize, run job 2); under the streaming
+    /// handoff job 2's map intake overlaps job 1's reduce stage.
+    pub fn run_chain2<A, B, PA, PB>(
+        &self,
+        first: &A,
+        second: &B,
+        splits: Vec<Vec<(A::InKey, A::InValue)>>,
+        spec: &ChainSpec,
+        pa: &PA,
+        pb: &PB,
+    ) -> MrResult<ChainOutput<B>>
+    where
+        A: Application,
+        B: ChainableApplication<A::OutKey, A::OutValue>,
+        PA: Partitioner<A::MapKey>,
+        PB: Partitioner<B::MapKey>,
+    {
+        spec.validate()?;
+        if spec.len() != 2 {
+            return Err(MrError::InvalidConfig(format!(
+                "run_chain2 needs exactly 2 stages, spec has {}",
+                spec.len()
+            )));
+        }
+        match spec.chain.handoff {
+            HandoffMode::Barrier => self.chain2_barrier(first, second, splits, spec, pa, pb),
+            HandoffMode::Streaming => self.chain2_streaming(first, second, splits, spec, pa, pb),
+        }
+    }
+
+    fn chain2_barrier<A, B, PA, PB>(
+        &self,
+        first: &A,
+        second: &B,
+        splits: Vec<Vec<(A::InKey, A::InValue)>>,
+        spec: &ChainSpec,
+        pa: &PA,
+        pb: &PB,
+    ) -> MrResult<ChainOutput<B>>
+    where
+        A: Application,
+        B: ChainableApplication<A::OutKey, A::OutValue>,
+        PA: Partitioner<A::MapKey>,
+        PB: Partitioner<B::MapKey>,
+    {
+        let started = Instant::now();
+        let out1 = self.run_with_partitioner(first, splits, &spec.stages[0], pa)?;
+        let stage1_secs = started.elapsed().as_secs_f64();
+        let mut stats = HandoffStats::default();
+        let mut splits2: Vec<Vec<(B::InKey, B::InValue)>> = Vec::new();
+        adapt_partitions(second, out1.partitions, &mut splits2, &mut stats);
+        let stage1 = stage_stats(out1.counters, out1.reports, Some(&stats), stage1_secs);
+        let out2 = self.run_with_partitioner(second, splits2, &spec.stages[1], pb)?;
+        let stage2 = StageStats {
+            counters: out2.counters.clone(),
+            reports: out2.reports.clone(),
+            finished_secs: started.elapsed().as_secs_f64(),
+            ..StageStats::default()
+        };
+        Ok(ChainOutput {
+            output: out2,
+            stages: vec![stage1, stage2],
+        })
+    }
+
+    fn chain2_streaming<A, B, PA, PB>(
+        &self,
+        first: &A,
+        second: &B,
+        splits: Vec<Vec<(A::InKey, A::InValue)>>,
+        spec: &ChainSpec,
+        pa: &PA,
+        pb: &PB,
+    ) -> MrResult<ChainOutput<B>>
+    where
+        A: Application,
+        B: ChainableApplication<A::OutKey, A::OutValue>,
+        PA: Partitioner<A::MapKey>,
+        PB: Partitioner<B::MapKey>,
+    {
+        let started = Instant::now();
+        let cfg1 = &spec.stages[0];
+        let cfg2 = &spec.stages[1];
+        let r1 = cfg1.reducers;
+        let mut txs: Vec<Sender<Handoff<B>>> = Vec::with_capacity(r1);
+        let mut rxs: Vec<Receiver<Handoff<B>>> = Vec::with_capacity(r1);
+        for _ in 0..r1 {
+            let (tx, rx) = bounded(BATCH_CHANNEL_DEPTH);
+            txs.push(tx);
+            rxs.push(rx);
+        }
+        let stats = Mutex::new(HandoffStats::default());
+        let batch_bytes = spec.chain.handoff_batch_bytes;
+
+        let (run1, secs1, run2, secs2) = std::thread::scope(|scope| {
+            // Downstream first: its intakes must be draining before the
+            // upstream stage can fill the bounded handoff channels.
+            let stage2 = scope.spawn(|| {
+                let run = run_streamed_stage(second, cfg2, rxs, pb, |_| Vec::new(), started);
+                (run, started.elapsed().as_secs_f64())
+            });
+            let make_sink =
+                |r: usize| HandoffSink::new(second, txs[r].clone(), batch_bytes, &stats, started);
+            let run1 = match &cfg1.engine {
+                Engine::Barrier => self.run_barrier_sinked(first, splits, cfg1, pa, make_sink),
+                Engine::BarrierLess { .. } => {
+                    self.run_pipelined_sinked(first, splits, cfg1, pa, make_sink)
+                }
+            };
+            let secs1 = started.elapsed().as_secs_f64();
+            drop(txs); // the last EOF: stage 2 intakes drain out
+            let (run2, secs2) = stage2
+                .join()
+                .map_err(|_| MrError::WorkerPanic("chain stage thread panicked".to_string()))?;
+            Ok::<_, MrError>((run1, secs1, run2, secs2))
+        })?;
+
+        let (counters1, reports1) = into_stage_parts(run1?);
+        let run2 = run2?;
+        let stats = stats.into_inner().unwrap();
+        let stage1 = stage_stats(counters1, reports1, Some(&stats), secs1);
+        let stage2 = stage_stats(run2.counters.clone(), run2.reports.clone(), None, secs2);
+        Ok(ChainOutput {
+            output: run2.into_job_output(),
+            stages: vec![stage1, stage2],
+        })
+    }
+
+    /// Runs a simple fan-in chain: several upstream jobs of the same
+    /// application type feed one downstream job. `spec` holds one stage
+    /// config per branch followed by the downstream stage config; every
+    /// branch must use the same partition count (upstream partition `i`
+    /// of every branch feeds downstream map intake `i`).
+    ///
+    /// Under the streaming handoff the branches run concurrently and
+    /// their emissions interleave into the shared intake channels; under
+    /// the barrier handoff the branches run sequentially and intake `i`
+    /// is the branch-ordered concatenation of every branch's partition
+    /// `i` output.
+    #[allow(clippy::too_many_arguments, clippy::type_complexity)]
+    pub fn run_chain_fanin2<A, B, PA, PB>(
+        &self,
+        firsts: &[&A],
+        second: &B,
+        branch_splits: Vec<Vec<Vec<(A::InKey, A::InValue)>>>,
+        spec: &ChainSpec,
+        pa: &PA,
+        pb: &PB,
+    ) -> MrResult<ChainOutput<B>>
+    where
+        A: Application,
+        B: ChainableApplication<A::OutKey, A::OutValue>,
+        PA: Partitioner<A::MapKey>,
+        PB: Partitioner<B::MapKey>,
+    {
+        spec.validate_fan_in(firsts.len())?;
+        if branch_splits.len() != firsts.len() {
+            return Err(MrError::InvalidConfig(format!(
+                "fan-in: {} apps but {} split sets",
+                firsts.len(),
+                branch_splits.len()
+            )));
+        }
+        let branches = firsts.len();
+        let r1 = spec.stages[0].reducers;
+        let cfg2 = &spec.stages[branches];
+        let started = Instant::now();
+
+        if spec.chain.handoff == HandoffMode::Barrier {
+            // Sequential baseline: run every branch, then concatenate
+            // adapted partition i across branches into intake split i.
+            let mut stages = Vec::with_capacity(branches + 1);
+            let mut splits2: Vec<Vec<(B::InKey, B::InValue)>> =
+                (0..r1).map(|_| Vec::new()).collect();
+            for (b, (app, splits)) in firsts.iter().zip(branch_splits).enumerate() {
+                let out = self.run_with_partitioner(*app, splits, &spec.stages[b], pa)?;
+                let mut stats = HandoffStats::default();
+                adapt_partitions(second, out.partitions, &mut splits2, &mut stats);
+                stages.push(stage_stats(
+                    out.counters,
+                    out.reports,
+                    Some(&stats),
+                    started.elapsed().as_secs_f64(),
+                ));
+            }
+            let out2 = self.run_with_partitioner(second, splits2, cfg2, pb)?;
+            stages.push(StageStats {
+                counters: out2.counters.clone(),
+                reports: out2.reports.clone(),
+                finished_secs: started.elapsed().as_secs_f64(),
+                ..StageStats::default()
+            });
+            return Ok(ChainOutput {
+                output: out2,
+                stages,
+            });
+        }
+
+        // Streaming fan-in: every branch's reducer i ships into the
+        // shared intake channel i; EOF when the last branch's sink (and
+        // the originals held here) drop.
+        let mut txs: Vec<Sender<Handoff<B>>> = Vec::with_capacity(r1);
+        let mut rxs: Vec<Receiver<Handoff<B>>> = Vec::with_capacity(r1);
+        for _ in 0..r1 {
+            let (tx, rx) = bounded(BATCH_CHANNEL_DEPTH);
+            txs.push(tx);
+            rxs.push(rx);
+        }
+        let branch_stats: Vec<Mutex<HandoffStats>> = (0..branches)
+            .map(|_| Mutex::new(HandoffStats::default()))
+            .collect();
+        let batch_bytes = spec.chain.handoff_batch_bytes;
+
+        let (branch_runs, run2, secs2) = std::thread::scope(|scope| {
+            let stage2 = scope.spawn(|| {
+                let run = run_streamed_stage(second, cfg2, rxs, pb, |_| Vec::new(), started);
+                (run, started.elapsed().as_secs_f64())
+            });
+            let mut branch_handles = Vec::with_capacity(branches);
+            for (b, (app, splits)) in firsts.iter().zip(branch_splits).enumerate() {
+                let cfg = &spec.stages[b];
+                let txs_b: Vec<Sender<Handoff<B>>> = txs.clone();
+                let stats = &branch_stats[b];
+                branch_handles.push(scope.spawn(move || {
+                    let make_sink = |r: usize| {
+                        HandoffSink::new(second, txs_b[r].clone(), batch_bytes, stats, started)
+                    };
+                    let run = match &cfg.engine {
+                        Engine::Barrier => {
+                            self.run_barrier_sinked(*app, splits, cfg, pa, make_sink)
+                        }
+                        Engine::BarrierLess { .. } => {
+                            self.run_pipelined_sinked(*app, splits, cfg, pa, make_sink)
+                        }
+                    };
+                    (run, started.elapsed().as_secs_f64())
+                }));
+            }
+            let mut branch_runs = Vec::with_capacity(branches);
+            for h in branch_handles {
+                branch_runs.push(h.join().map_err(|_| {
+                    MrError::WorkerPanic("chain branch thread panicked".to_string())
+                })?);
+            }
+            drop(txs);
+            let (run2, secs2) = stage2
+                .join()
+                .map_err(|_| MrError::WorkerPanic("chain stage thread panicked".to_string()))?;
+            Ok::<_, MrError>((branch_runs, run2, secs2))
+        })?;
+
+        let mut stages = Vec::with_capacity(branches + 1);
+        for (b, (run, secs)) in branch_runs.into_iter().enumerate() {
+            let (counters, reports) = into_stage_parts(run?);
+            let stats = branch_stats[b].lock().unwrap();
+            stages.push(stage_stats(counters, reports, Some(&stats), secs));
+        }
+        let run2 = run2?;
+        stages.push(stage_stats(
+            run2.counters.clone(),
+            run2.reports.clone(),
+            None,
+            secs2,
+        ));
+        Ok(ChainOutput {
+            output: run2.into_job_output(),
+            stages,
+        })
+    }
+
+    /// Runs a homogeneous K-stage chain: the same application `app` runs
+    /// `spec.len()` times, each stage consuming the previous stage's
+    /// reduce output through its own
+    /// [`adapt_input`](ChainableApplication::adapt_input) — the
+    /// iterative-job driver (e.g. one genetic-algorithm generation per
+    /// stage).
+    ///
+    /// Under the streaming handoff all K stages are live at once: stage
+    /// `j + 1`'s map intake absorbs stage `j`'s reducer emissions as they
+    /// happen, so an entire iterative pipeline runs with no inter-job
+    /// barrier anywhere.
+    pub fn run_chain_iter<A, P>(
+        &self,
+        app: &A,
+        splits: Vec<Vec<(A::InKey, A::InValue)>>,
+        spec: &ChainSpec,
+        partitioner: &P,
+    ) -> MrResult<ChainOutput<A>>
+    where
+        A: ChainableApplication<<A as Application>::OutKey, <A as Application>::OutValue>,
+        P: Partitioner<A::MapKey>,
+    {
+        spec.validate()?;
+        let k = spec.len();
+        if k == 1 || spec.chain.handoff == HandoffMode::Barrier {
+            // Sequential fold: run each stage, adapt, feed the next.
+            let started = Instant::now();
+            let mut stages = Vec::with_capacity(k);
+            let mut current = splits;
+            let mut out = None;
+            for (j, cfg) in spec.stages.iter().enumerate() {
+                let mut run = self.run_with_partitioner(app, current, cfg, partitioner)?;
+                let last = j + 1 == k;
+                let mut stats = HandoffStats::default();
+                current = Vec::new();
+                // Intermediate generations are consumed by the next
+                // stage, not materialized: move them (and the stage's
+                // counters/reports) instead of cloning; only the final
+                // generation's run survives as the chain output.
+                let (counters, reports) = if last {
+                    (run.counters.clone(), run.reports.clone())
+                } else {
+                    adapt_partitions(
+                        app,
+                        std::mem::take(&mut run.partitions),
+                        &mut current,
+                        &mut stats,
+                    );
+                    (
+                        std::mem::take(&mut run.counters),
+                        std::mem::take(&mut run.reports),
+                    )
+                };
+                stages.push(stage_stats(
+                    counters,
+                    reports,
+                    Some(&stats),
+                    started.elapsed().as_secs_f64(),
+                ));
+                out = Some(run);
+            }
+            return Ok(ChainOutput {
+                output: out.expect("k >= 1 stages ran"),
+                stages,
+            });
+        }
+
+        // Streaming: all K stages live, connected by K-1 channel
+        // boundaries (boundary j carries stage j's output into stage
+        // j+1's intake; its channel count is stage j's reducer count).
+        let started = Instant::now();
+        let batch_bytes = spec.chain.handoff_batch_bytes;
+        let mut boundary_txs: Vec<Option<Vec<Sender<Handoff<A>>>>> = Vec::with_capacity(k - 1);
+        let mut boundary_rxs: Vec<Option<Vec<Receiver<Handoff<A>>>>> = Vec::with_capacity(k - 1);
+        for j in 0..k - 1 {
+            let n = spec.stages[j].reducers;
+            let mut txs = Vec::with_capacity(n);
+            let mut rxs = Vec::with_capacity(n);
+            for _ in 0..n {
+                let (tx, rx) = bounded(BATCH_CHANNEL_DEPTH);
+                txs.push(tx);
+                rxs.push(rx);
+            }
+            boundary_txs.push(Some(txs));
+            boundary_rxs.push(Some(rxs));
+        }
+        let stats: Vec<Mutex<HandoffStats>> = (0..k - 1)
+            .map(|_| Mutex::new(HandoffStats::default()))
+            .collect();
+
+        let (run0, secs0, middles, last) = std::thread::scope(|scope| {
+            // Final stage first, then the middle stages, then stage 0 on
+            // this thread — consumers exist before producers fill their
+            // bounded channels.
+            let final_intakes = boundary_rxs[k - 2].take().expect("one taker");
+            let cfg_last = &spec.stages[k - 1];
+            let final_handle = scope.spawn(move || {
+                let run = run_streamed_stage(
+                    app,
+                    cfg_last,
+                    final_intakes,
+                    partitioner,
+                    |_| Vec::new(),
+                    started,
+                );
+                (run, started.elapsed().as_secs_f64())
+            });
+            let mut middle_handles = Vec::with_capacity(k.saturating_sub(2));
+            for j in 1..k - 1 {
+                let intakes = boundary_rxs[j - 1].take().expect("one taker");
+                let txs_j = boundary_txs[j].take().expect("one taker");
+                let cfg = &spec.stages[j];
+                let stats_j = &stats[j];
+                middle_handles.push(scope.spawn(move || {
+                    let make_sink = |r: usize| {
+                        HandoffSink::new(app, txs_j[r].clone(), batch_bytes, stats_j, started)
+                    };
+                    let run =
+                        run_streamed_stage(app, cfg, intakes, partitioner, make_sink, started);
+                    (run, started.elapsed().as_secs_f64())
+                }));
+            }
+            let txs0 = boundary_txs[0].take().expect("one taker");
+            let make_sink =
+                |r: usize| HandoffSink::new(app, txs0[r].clone(), batch_bytes, &stats[0], started);
+            let cfg0 = &spec.stages[0];
+            let run0 = match &cfg0.engine {
+                Engine::Barrier => {
+                    self.run_barrier_sinked(app, splits, cfg0, partitioner, make_sink)
+                }
+                Engine::BarrierLess { .. } => {
+                    self.run_pipelined_sinked(app, splits, cfg0, partitioner, make_sink)
+                }
+            };
+            let secs0 = started.elapsed().as_secs_f64();
+            drop(txs0);
+            let mut middles = Vec::with_capacity(middle_handles.len());
+            for h in middle_handles {
+                middles.push(h.join().map_err(|_| {
+                    MrError::WorkerPanic("chain stage thread panicked".to_string())
+                })?);
+            }
+            let last = final_handle
+                .join()
+                .map_err(|_| MrError::WorkerPanic("chain stage thread panicked".to_string()))?;
+            Ok::<_, MrError>((run0, secs0, middles, last))
+        })?;
+
+        let mut stages = Vec::with_capacity(k);
+        let (counters0, reports0) = into_stage_parts(run0?);
+        stages.push(stage_stats(
+            counters0,
+            reports0,
+            Some(&*stats[0].lock().unwrap()),
+            secs0,
+        ));
+        for (j, (run, secs)) in middles.into_iter().enumerate() {
+            let (counters, reports) = into_stage_parts(run?);
+            stages.push(stage_stats(
+                counters,
+                reports,
+                Some(&*stats[j + 1].lock().unwrap()),
+                secs,
+            ));
+        }
+        let (run_last, secs_last) = last;
+        let run_last = run_last?;
+        stages.push(stage_stats(
+            run_last.counters.clone(),
+            run_last.reports.clone(),
+            None,
+            secs_last,
+        ));
+        Ok(ChainOutput {
+            output: run_last.into_job_output(),
+            stages,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chain::InputAdapter;
+    use crate::config::{ChainConfig, MemoryPolicy, StoreIndex};
+    use crate::partition::HashPartitioner;
+    use crate::testutil::{scratch_dir, WordCountApp};
+
+    /// WordCount chained into a count histogram: stage 2 counts how many
+    /// distinct words occurred with each count value. Deterministic,
+    /// order-free, and exercises a real type adaptation at the boundary.
+    fn histogram() -> InputAdapter<WordCountApp, impl Fn(String, u64) -> (u64, String)> {
+        InputAdapter::new(WordCountApp, |_word: String, count: u64| {
+            (0u64, format!("c{count}"))
+        })
+    }
+
+    fn text_splits(n_splits: usize, lines: usize) -> Vec<Vec<(u64, String)>> {
+        let vocab = [
+            "alpha", "beta", "gamma", "delta", "epsilon", "zeta", "eta", "theta",
+        ];
+        let mut id = 0u64;
+        (0..n_splits)
+            .map(|s| {
+                (0..lines)
+                    .map(|l| {
+                        let a = vocab[(s * 3 + l) % vocab.len()];
+                        let b = vocab[(s + l * 5) % vocab.len()];
+                        let c = vocab[(s * 7 + l * 2) % vocab.len()];
+                        id += 1;
+                        (id, format!("{a} {b} {c}"))
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+
+    /// The ground truth: run the two jobs sequentially by hand.
+    fn sequential_reference(
+        splits: Vec<Vec<(u64, String)>>,
+        cfg1: &JobConfig,
+        cfg2: &JobConfig,
+    ) -> Vec<Vec<(String, u64)>> {
+        let runner = LocalRunner::new(4);
+        let second = histogram();
+        let out1 = runner.run(&WordCountApp, splits, cfg1).unwrap();
+        let splits2: Vec<Vec<(u64, String)>> = out1
+            .partitions
+            .into_iter()
+            .map(|p| {
+                p.into_iter()
+                    .map(|(k, v)| second.adapt_input(k, v))
+                    .collect()
+            })
+            .collect();
+        runner.run(&second, splits2, cfg2).unwrap().partitions
+    }
+
+    fn spec2(cfg1: JobConfig, cfg2: JobConfig, handoff: HandoffMode) -> ChainSpec {
+        ChainSpec::new(vec![cfg1, cfg2]).handoff(handoff)
+    }
+
+    #[test]
+    fn streaming_chain_matches_sequential_baseline_across_engines() {
+        let splits = text_splits(6, 30);
+        let engines = [
+            Engine::Barrier,
+            Engine::barrierless(),
+            Engine::BarrierLess {
+                memory: MemoryPolicy::SpillMerge {
+                    threshold_bytes: 256,
+                },
+            },
+        ];
+        for e1 in &engines {
+            for e2 in &engines {
+                let cfg1 = JobConfig::new(3)
+                    .engine(e1.clone())
+                    .scratch_dir(scratch_dir("chain-eq1"));
+                let cfg2 = JobConfig::new(2)
+                    .engine(e2.clone())
+                    .scratch_dir(scratch_dir("chain-eq2"));
+                let expect = sequential_reference(splits.clone(), &cfg1, &cfg2);
+                for handoff in [HandoffMode::Barrier, HandoffMode::Streaming] {
+                    let out = LocalRunner::new(4)
+                        .run_chain2(
+                            &WordCountApp,
+                            &histogram(),
+                            splits.clone(),
+                            &spec2(cfg1.clone(), cfg2.clone(), handoff),
+                            &HashPartitioner,
+                            &HashPartitioner,
+                        )
+                        .unwrap();
+                    assert_eq!(
+                        out.output.partitions, expect,
+                        "chain {handoff:?} diverged under {e1:?} -> {e2:?}"
+                    );
+                    assert_eq!(out.stages.len(), 2);
+                    assert!(out.stages[0].handoff_records > 0);
+                    assert_eq!(out.handoff_records(), out.stages[0].handoff_records);
+                    assert_eq!(
+                        out.stages[0].counters.get(names::CHAIN_HANDOFF_RECORDS),
+                        out.stages[0].handoff_records
+                    );
+                    if handoff == HandoffMode::Streaming {
+                        assert!(out.stages[0].first_handoff_secs.is_some());
+                        assert!(out.stages[0].handoff_batches > 0);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn streaming_chain_respects_index_and_combiner_knobs() {
+        let splits = text_splits(5, 24);
+        let cfg1 = JobConfig::new(2).engine(Engine::barrierless());
+        let cfg2 = JobConfig::new(2).engine(Engine::barrierless());
+        let expect = sequential_reference(splits.clone(), &cfg1, &cfg2);
+        for index in [StoreIndex::Ordered, StoreIndex::Hashed] {
+            for combine in [
+                crate::config::CombinerPolicy::Disabled,
+                crate::config::CombinerPolicy::enabled(),
+            ] {
+                let cfg1 = cfg1.clone().store_index(index).combiner(combine);
+                let cfg2 = cfg2.clone().store_index(index).combiner(combine);
+                let out = LocalRunner::new(4)
+                    .run_chain2(
+                        &WordCountApp,
+                        &histogram(),
+                        splits.clone(),
+                        &spec2(cfg1, cfg2, HandoffMode::Streaming),
+                        &HashPartitioner,
+                        &HashPartitioner,
+                    )
+                    .unwrap();
+                assert_eq!(
+                    out.output.partitions, expect,
+                    "index {index:?} combiner {combine:?} changed chained output"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn tiny_handoff_batches_still_deliver_everything() {
+        let splits = text_splits(4, 20);
+        let cfg1 = JobConfig::new(3).engine(Engine::barrierless());
+        let cfg2 = JobConfig::new(2).engine(Engine::barrierless());
+        let expect = sequential_reference(splits.clone(), &cfg1, &cfg2);
+        let spec =
+            ChainSpec::new(vec![cfg1, cfg2]).chain(ChainConfig::streaming().handoff_batch_bytes(1));
+        let out = LocalRunner::new(2)
+            .run_chain2(
+                &WordCountApp,
+                &histogram(),
+                splits,
+                &spec,
+                &HashPartitioner,
+                &HashPartitioner,
+            )
+            .unwrap();
+        assert_eq!(out.output.partitions, expect);
+        // One-byte batches: every handed-off record rode its own batch.
+        assert_eq!(out.stages[0].handoff_batches, out.stages[0].handoff_records);
+    }
+
+    #[test]
+    fn empty_input_chains_cleanly() {
+        for handoff in [HandoffMode::Barrier, HandoffMode::Streaming] {
+            let spec = spec2(
+                JobConfig::new(2).engine(Engine::barrierless()),
+                JobConfig::new(2).engine(Engine::barrierless()),
+                handoff,
+            );
+            let out = LocalRunner::new(2)
+                .run_chain2(
+                    &WordCountApp,
+                    &histogram(),
+                    Vec::new(),
+                    &spec,
+                    &HashPartitioner,
+                    &HashPartitioner,
+                )
+                .unwrap();
+            assert_eq!(out.output.record_count(), 0);
+            assert_eq!(out.handoff_records(), 0);
+        }
+    }
+
+    #[test]
+    fn chain_spec_errors_are_reported_not_hung() {
+        let splits = text_splits(2, 5);
+        // Wrong stage count.
+        let spec = ChainSpec::new(vec![JobConfig::new(1)]);
+        assert!(matches!(
+            LocalRunner::new(2).run_chain2(
+                &WordCountApp,
+                &histogram(),
+                splits.clone(),
+                &spec,
+                &HashPartitioner,
+                &HashPartitioner,
+            ),
+            Err(MrError::InvalidConfig(_))
+        ));
+        // A bad stage knob.
+        let mut bad = JobConfig::new(2);
+        bad.shuffle_batch_bytes = 0;
+        let spec = spec2(JobConfig::new(2), bad, HandoffMode::Streaming);
+        assert!(matches!(
+            LocalRunner::new(2).run_chain2(
+                &WordCountApp,
+                &histogram(),
+                splits,
+                &spec,
+                &HashPartitioner,
+                &HashPartitioner,
+            ),
+            Err(MrError::InvalidConfig(_))
+        ));
+    }
+
+    #[test]
+    fn downstream_oom_fails_the_chain_without_hanging() {
+        let splits = text_splits(6, 40);
+        let cfg1 = JobConfig::new(2).engine(Engine::barrierless());
+        let mut cfg2 = JobConfig::new(1).engine(Engine::barrierless());
+        cfg2.heap_cap_bytes = Some(16); // dies on the first few records
+        let err = LocalRunner::new(4).run_chain2(
+            &WordCountApp,
+            &histogram(),
+            splits,
+            &spec2(cfg1, cfg2, HandoffMode::Streaming),
+            &HashPartitioner,
+            &HashPartitioner,
+        );
+        assert!(
+            matches!(err, Err(MrError::OutOfMemory { .. })),
+            "expected downstream OOM, got {:?}",
+            err.err().map(|e| e.to_string())
+        );
+    }
+
+    #[test]
+    fn upstream_oom_fails_the_chain_without_hanging() {
+        let splits = text_splits(6, 40);
+        let mut cfg1 = JobConfig::new(2).engine(Engine::barrierless());
+        cfg1.heap_cap_bytes = Some(16);
+        let cfg2 = JobConfig::new(2).engine(Engine::barrierless());
+        let err = LocalRunner::new(4).run_chain2(
+            &WordCountApp,
+            &histogram(),
+            splits,
+            &spec2(cfg1, cfg2, HandoffMode::Streaming),
+            &HashPartitioner,
+            &HashPartitioner,
+        );
+        assert!(
+            matches!(err, Err(MrError::OutOfMemory { .. })),
+            "expected upstream OOM, got {:?}",
+            err.err().map(|e| e.to_string())
+        );
+    }
+
+    #[test]
+    fn fanin_streaming_matches_fanin_barrier() {
+        let splits_a = text_splits(3, 20);
+        let splits_b = text_splits(4, 15);
+        let mk_spec = |handoff| {
+            ChainSpec::new(vec![
+                JobConfig::new(2).engine(Engine::barrierless()),
+                JobConfig::new(2).engine(Engine::barrierless()),
+                JobConfig::new(2).engine(Engine::barrierless()),
+            ])
+            .handoff(handoff)
+        };
+        let run = |handoff| {
+            LocalRunner::new(4)
+                .run_chain_fanin2(
+                    &[&WordCountApp, &WordCountApp],
+                    &histogram(),
+                    vec![splits_a.clone(), splits_b.clone()],
+                    &mk_spec(handoff),
+                    &HashPartitioner,
+                    &HashPartitioner,
+                )
+                .unwrap()
+        };
+        let barrier = run(HandoffMode::Barrier);
+        let streaming = run(HandoffMode::Streaming);
+        assert_eq!(barrier.output.partitions, streaming.output.partitions);
+        assert_eq!(barrier.stages.len(), 3);
+        assert_eq!(streaming.stages.len(), 3);
+        assert!(streaming.stages[0].handoff_records > 0);
+        assert!(streaming.stages[1].handoff_records > 0);
+        assert_eq!(streaming.stages[2].handoff_records, 0);
+        assert_eq!(
+            barrier.handoff_records(),
+            streaming.handoff_records(),
+            "fan-in handoff volume must not depend on the mode"
+        );
+    }
+
+    #[test]
+    fn fanin_rejects_mismatched_branch_partitions() {
+        let spec = ChainSpec::new(vec![
+            JobConfig::new(2),
+            JobConfig::new(3),
+            JobConfig::new(2),
+        ])
+        .handoff(HandoffMode::Streaming);
+        let err = LocalRunner::new(2).run_chain_fanin2(
+            &[&WordCountApp, &WordCountApp],
+            &histogram(),
+            vec![text_splits(1, 4), text_splits(1, 4)],
+            &spec,
+            &HashPartitioner,
+            &HashPartitioner,
+        );
+        assert!(matches!(err, Err(MrError::InvalidConfig(_))));
+    }
+
+    /// A homogeneous chainable app for the iterative driver: wordcount
+    /// whose output words feed the next generation's text.
+    fn iter_app() -> InputAdapter<WordCountApp, impl Fn(String, u64) -> (u64, String)> {
+        InputAdapter::new(WordCountApp, |word: String, count: u64| {
+            (count, format!("{word} x{count}"))
+        })
+    }
+
+    #[test]
+    fn iterative_streaming_chain_matches_sequential_fold() {
+        let splits = text_splits(4, 25);
+        let app = iter_app();
+        let k = 4;
+        let mk_spec = |handoff| {
+            ChainSpec::new(
+                (0..k)
+                    .map(|_| JobConfig::new(3).engine(Engine::barrierless()))
+                    .collect(),
+            )
+            .handoff(handoff)
+        };
+        // Ground truth: fold by hand through K generations.
+        let mut current = splits.clone();
+        let mut expect = Vec::new();
+        for _ in 0..k {
+            let run = LocalRunner::new(4)
+                .run(
+                    &app,
+                    current,
+                    &JobConfig::new(3).engine(Engine::barrierless()),
+                )
+                .unwrap();
+            expect = run.partitions.clone();
+            current = run
+                .partitions
+                .into_iter()
+                .map(|p| p.into_iter().map(|(w, c)| app.adapt_input(w, c)).collect())
+                .collect();
+        }
+        for handoff in [HandoffMode::Barrier, HandoffMode::Streaming] {
+            let out = LocalRunner::new(4)
+                .run_chain_iter(&app, splits.clone(), &mk_spec(handoff), &HashPartitioner)
+                .unwrap();
+            assert_eq!(
+                out.output.partitions, expect,
+                "iterative chain {handoff:?} diverged from the sequential fold"
+            );
+            assert_eq!(out.stages.len(), k);
+            for stage in &out.stages[..k - 1] {
+                assert!(stage.handoff_records > 0, "a generation handed nothing off");
+            }
+            assert_eq!(out.stages[k - 1].handoff_records, 0);
+        }
+    }
+
+    #[test]
+    fn single_stage_iter_chain_is_just_the_job() {
+        let splits = text_splits(3, 10);
+        let app = iter_app();
+        let cfg = JobConfig::new(2).engine(Engine::barrierless());
+        let plain = LocalRunner::new(2).run(&app, splits.clone(), &cfg).unwrap();
+        let out = LocalRunner::new(2)
+            .run_chain_iter(
+                &app,
+                splits,
+                &ChainSpec::new(vec![cfg]).handoff(HandoffMode::Streaming),
+                &HashPartitioner,
+            )
+            .unwrap();
+        assert_eq!(out.output.partitions, plain.partitions);
+        assert_eq!(out.stages.len(), 1);
+        assert_eq!(out.handoff_records(), 0);
+    }
+}

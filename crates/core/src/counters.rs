@@ -56,6 +56,16 @@ pub mod names {
     /// snapshots (zero under the barrier engine, which has no partial
     /// state to cover).
     pub const SNAPSHOT_BYTES: &str = "snapshot.bytes";
+    /// Records handed from one chained job's reduce side to the next
+    /// job's map intake (both handoff modes).
+    pub const CHAIN_HANDOFF_RECORDS: &str = "chain.handoff.records";
+    /// Record batches handed across a chain stage boundary (streaming
+    /// handoff; the barrier handoff moves one materialized batch per
+    /// upstream partition).
+    pub const CHAIN_HANDOFF_BATCHES: &str = "chain.handoff.batches";
+    /// Modelled bytes handed across chain stage boundaries, as estimated
+    /// by `ChainableApplication::handoff_bytes`.
+    pub const CHAIN_HANDOFF_BYTES: &str = "chain.handoff.bytes";
 }
 
 impl Counters {

@@ -24,6 +24,7 @@
 //! [`Application`]s on a simulated 16-node cluster to regenerate the
 //! paper's figures.
 
+pub mod chain;
 pub mod codec;
 pub mod combine;
 pub mod config;
@@ -42,9 +43,13 @@ pub mod traits;
 #[cfg(test)]
 pub(crate) mod testutil;
 
+pub use chain::{ChainOutput, ChainableApplication, InputAdapter, StageStats};
 pub use codec::{Codec, CodecError};
 pub use combine::CombinerBuffer;
-pub use config::{CombinerPolicy, Engine, JobConfig, MemoryPolicy, SnapshotPolicy, StoreIndex};
+pub use config::{
+    ChainConfig, ChainSpec, CombinerPolicy, Engine, HandoffMode, JobConfig, MemoryPolicy,
+    SnapshotPolicy, StoreIndex,
+};
 pub use counters::Counters;
 pub use error::{MrError, MrResult};
 pub use hash::{FxBuildHasher, FxHashMap, FxHasher};

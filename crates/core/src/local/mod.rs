@@ -44,7 +44,7 @@ use crate::output::JobOutput;
 use crate::partition::{HashPartitioner, Partitioner};
 use crate::size::SizeEstimate;
 use crate::snapshot::Snapshot;
-use crate::traits::{Application, FnEmit};
+use crate::traits::{Application, Emit, FnEmit};
 use crossbeam::channel::{bounded, Receiver, Sender};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
@@ -54,11 +54,11 @@ use std::time::Instant;
 /// default 32 KiB batch budget this keeps roughly 2 MiB in flight per
 /// reducer — deep enough to decouple bursts, shallow enough to exert
 /// back-pressure like a real shuffle buffer.
-const BATCH_CHANNEL_DEPTH: usize = 64;
+pub(crate) const BATCH_CHANNEL_DEPTH: usize = 64;
 
 /// Whether this job should run the map-side combiner: policy says yes,
 /// the application opted in, and it keeps per-key state to combine.
-fn combining_active<A: Application>(app: &A, cfg: &JobConfig) -> bool {
+pub(crate) fn combining_active<A: Application>(app: &A, cfg: &JobConfig) -> bool {
     cfg.combiner.is_enabled() && app.combine_enabled() && app.uses_keyed_state()
 }
 
@@ -87,6 +87,393 @@ fn barrier_snapshot<A: Application>(
         at_secs,
         estimate: out.to_vec(),
     }]
+}
+
+/// A batch of shuffle records bound for one reducer.
+pub(crate) type Batch<A> = Vec<(<A as Application>::MapKey, <A as Application>::MapValue)>;
+
+/// Where a reduce task's emitted output goes.
+///
+/// Normal jobs sink into a plain `Vec` — the materialized partition
+/// buffer `JobOutput` carries. The chain driver
+/// ([`crate::chain::local`]) sinks into a handoff that streams records
+/// to the next stage's map intake instead, so intermediate output is
+/// never materialized. Every emission path of a reduce task goes
+/// through the sink: absorb-time emissions, finalize, shared-state
+/// flush.
+pub(crate) trait ReduceSink<A: Application>: Emit<A::OutKey, A::OutValue> + Send {
+    /// Absorbs a whole already-computed output batch (the barrier
+    /// engine's reduce result).
+    fn absorb_batch(&mut self, batch: Vec<(A::OutKey, A::OutValue)>) {
+        for (k, v) in batch {
+            self.emit(k, v);
+        }
+    }
+
+    /// Records emitted so far (feeds `reduce.output.records`).
+    fn emitted(&self) -> u64;
+
+    /// Called once when the reduce task finishes: flush buffered state
+    /// and release any downstream handle (EOF).
+    fn done(&mut self) {}
+
+    /// The materialized partition, if this sink keeps one (empty for
+    /// streaming sinks — their records are downstream already).
+    fn into_partition(self) -> Vec<(A::OutKey, A::OutValue)>
+    where
+        Self: Sized;
+}
+
+impl<A: Application> ReduceSink<A> for Vec<(A::OutKey, A::OutValue)> {
+    fn absorb_batch(&mut self, mut batch: Vec<(A::OutKey, A::OutValue)>) {
+        if self.is_empty() {
+            *self = batch;
+        } else {
+            self.append(&mut batch);
+        }
+    }
+
+    fn emitted(&self) -> u64 {
+        self.len() as u64
+    }
+
+    fn into_partition(self) -> Vec<(A::OutKey, A::OutValue)> {
+        self
+    }
+}
+
+/// Per-worker map-output fan-out for the pipelined shuffle: per-reducer
+/// buffers (plain byte-budgeted batches, or combiners when map-side
+/// combining is active), bounded batch channels, and free-list buffer
+/// recycling. Shared by the pipelined map workers and the chain
+/// driver's downstream map intake, so both transports batch, combine
+/// and recycle identically.
+pub(crate) struct ShuffleEmitter<'a, A: Application, P: Partitioner<A::MapKey>> {
+    app: &'a A,
+    partitioner: &'a P,
+    reducers: usize,
+    senders: Vec<Sender<Batch<A>>>,
+    batch_pool: &'a Mutex<Vec<Batch<A>>>,
+    plain: Vec<Batch<A>>,
+    plain_bytes: Vec<usize>,
+    combs: Vec<CombinerBuffer<A>>,
+    combining: bool,
+    batch_bytes: usize,
+    counters: Counters,
+    dead: bool,
+}
+
+impl<'a, A: Application, P: Partitioner<A::MapKey>> ShuffleEmitter<'a, A, P> {
+    pub(crate) fn new(
+        app: &'a A,
+        cfg: &JobConfig,
+        partitioner: &'a P,
+        senders: Vec<Sender<Batch<A>>>,
+        batch_pool: &'a Mutex<Vec<Batch<A>>>,
+    ) -> Self {
+        let reducers = senders.len();
+        let combining = combining_active(app, cfg);
+        let combine_budget = cfg.combiner.budget_bytes().unwrap_or(0) as usize;
+        ShuffleEmitter {
+            app,
+            partitioner,
+            reducers,
+            senders,
+            batch_pool,
+            plain: (0..reducers).map(|_| Vec::new()).collect(),
+            plain_bytes: vec![0; reducers],
+            combs: if combining {
+                (0..reducers)
+                    .map(|_| CombinerBuffer::new(app, combine_budget, cfg.store_index))
+                    .collect()
+            } else {
+                Vec::new()
+            },
+            combining,
+            batch_bytes: cfg.shuffle_batch_bytes,
+            counters: Counters::new(),
+            dead: false,
+        }
+    }
+
+    /// One map-output record: count, partition, buffer (or combine), and
+    /// hand a full batch to the transport.
+    pub(crate) fn push(&mut self, key: A::MapKey, value: A::MapValue) {
+        if self.dead {
+            return;
+        }
+        self.counters.incr(names::MAP_OUTPUT_RECORDS);
+        let p = self.partitioner.partition(&key, self.reducers);
+        let batch = if self.combining {
+            // Fold into the combiner; it drains a combined batch when
+            // over budget. The buffer for a drain comes from the
+            // free-list, grabbed lazily on the drain's first record so
+            // under-budget pushes touch no lock.
+            let app = self.app;
+            let pool = self.batch_pool;
+            let mut drained: Batch<A> = Vec::new();
+            let mut recycled = false;
+            self.combs[p].push(app, key, value, &mut |k2, v2| {
+                if drained.capacity() == 0 {
+                    if let Some(buf) = pool.lock().unwrap().pop() {
+                        drained = buf;
+                        recycled = true;
+                    }
+                }
+                drained.push((k2, v2));
+            });
+            if recycled {
+                self.counters.incr(names::SHUFFLE_BATCH_REUSE);
+            }
+            if drained.is_empty() {
+                None
+            } else {
+                Some(drained)
+            }
+        } else {
+            self.plain_bytes[p] += key.estimated_bytes() + value.estimated_bytes();
+            self.plain[p].push((key, value));
+            if self.plain_bytes[p] >= self.batch_bytes {
+                self.plain_bytes[p] = 0;
+                let fresh = match self.batch_pool.lock().unwrap().pop() {
+                    Some(recycled) => {
+                        self.counters.incr(names::SHUFFLE_BATCH_REUSE);
+                        recycled
+                    }
+                    None => Vec::new(),
+                };
+                Some(std::mem::replace(&mut self.plain[p], fresh))
+            } else {
+                None
+            }
+        };
+        if let Some(batch) = batch {
+            self.send(p, batch);
+        }
+    }
+
+    fn send(&mut self, p: usize, batch: Batch<A>) {
+        self.counters.incr(names::SHUFFLE_BATCHES);
+        self.counters
+            .add(names::SHUFFLE_RECORDS, batch.len() as u64);
+        // A send error means the reducer died (e.g. OOM): the job is
+        // failing, stop producing.
+        if self.senders[p].send(batch).is_err() {
+            self.dead = true;
+        }
+    }
+
+    /// Whether a downstream reducer disappeared (the job is failing);
+    /// callers stop feeding records.
+    pub(crate) fn is_dead(&self) -> bool {
+        self.dead
+    }
+
+    /// End of this worker's input: flush every buffer and settle the
+    /// combiner counters.
+    pub(crate) fn flush(&mut self) {
+        let app = self.app;
+        for p in 0..self.reducers {
+            if self.dead {
+                break;
+            }
+            let mut batch: Batch<A> = std::mem::take(&mut self.plain[p]);
+            if self.combining && self.combs[p].entries() > 0 {
+                if batch.capacity() == 0 {
+                    if let Some(buf) = self.batch_pool.lock().unwrap().pop() {
+                        batch = buf;
+                        self.counters.incr(names::SHUFFLE_BATCH_REUSE);
+                    }
+                }
+                let sink = &mut batch;
+                self.combs[p].drain(app, &mut |k, v| sink.push((k, v)));
+            }
+            if !batch.is_empty() {
+                self.send(p, batch);
+            }
+        }
+        for comb in &self.combs {
+            self.counters
+                .add(names::COMBINE_INPUT_RECORDS, comb.records_in());
+            self.counters
+                .add(names::COMBINE_OUTPUT_RECORDS, comb.records_out());
+        }
+    }
+
+    /// The worker's accumulated counters.
+    pub(crate) fn into_counters(self) -> Counters {
+        self.counters
+    }
+}
+
+/// Runs one pipelined reduce task to completion: absorb batches from
+/// `rx` in arrival order through an [`IncrementalDriver`], recycle
+/// drained batch buffers through the free-list, publish snapshots per
+/// policy, then merge + finalize into `sink`.
+#[allow(clippy::type_complexity, clippy::too_many_arguments)]
+pub(crate) fn pipelined_reduce_task<A: Application, S: ReduceSink<A>>(
+    app: &A,
+    cfg: &JobConfig,
+    r: usize,
+    rx: Receiver<Batch<A>>,
+    batch_pool: &Mutex<Vec<Batch<A>>>,
+    pool_cap: usize,
+    started: Instant,
+    mut sink: S,
+) -> MrResult<(S, DriverReport, Counters, Vec<Snapshot<A>>)> {
+    let mut driver = IncrementalDriver::new(app, cfg, r)?;
+    let snapping = cfg.snapshots.is_enabled();
+    let timed = cfg.snapshots.secs_interval().is_some();
+    let mut counters = Counters::new();
+    for mut batch in rx.iter() {
+        if snapping {
+            // Stamp wall time so record-driven snapshots carry a
+            // meaningful clock.
+            driver.set_now_secs(started.elapsed().as_secs_f64());
+        }
+        for (k, v) in batch.drain(..) {
+            driver.push(app, k, v, &mut sink)?;
+        }
+        // Return the drained buffer to the mappers.
+        {
+            let mut pool = batch_pool.lock().unwrap();
+            if pool.len() < pool_cap {
+                pool.push(batch);
+            }
+        }
+        if timed {
+            driver.maybe_time_snapshot(app, started.elapsed().as_secs_f64())?;
+        }
+    }
+    if cfg.snapshots.is_periodic() {
+        // End-of-input snapshot: the last estimate a periodic observer
+        // sees equals the final answer.
+        driver.set_now_secs(started.elapsed().as_secs_f64());
+        driver.snapshot_now(app)?;
+    }
+    let snapshots = driver.take_snapshots();
+    let report = driver.finish(app, &mut counters, &mut sink)?;
+    counters.add(names::REDUCE_OUTPUT_RECORDS, sink.emitted());
+    sink.done();
+    Ok((sink, report, counters, snapshots))
+}
+
+/// The barrier engine's reduce phase over already-shuffled partitions:
+/// one grouped-reduce task per partition run on `workers` threads, each
+/// feeding its sink inside the worker the moment its reduce finishes (a
+/// streaming sink hands records downstream per partition, not after the
+/// whole stage). Shared by [`LocalRunner::run_barrier_sinked`] and the
+/// chain driver's barrier-engine streamed stages.
+pub(crate) fn barrier_reduce_sinked<A, S, F>(
+    workers: usize,
+    app: &A,
+    cfg: &JobConfig,
+    partitions: Vec<Vec<(A::MapKey, A::MapValue)>>,
+    started: Instant,
+    mut counters: Counters,
+    make_sink: F,
+) -> MrResult<SinkedRun<A, S>>
+where
+    A: Application,
+    S: ReduceSink<A>,
+    F: Fn(usize) -> S,
+{
+    let reducers = partitions.len();
+    type ReduceSlot<A, S> = Mutex<Option<MrResult<(S, Counters, Vec<Snapshot<A>>)>>>;
+    type PartitionSlot<A> =
+        Mutex<Option<Vec<(<A as Application>::MapKey, <A as Application>::MapValue)>>>;
+    let results: Vec<ReduceSlot<A, S>> = (0..reducers).map(|_| Mutex::new(None)).collect();
+    let sink_slots: Vec<Mutex<Option<S>>> = (0..reducers)
+        .map(|r| Mutex::new(Some(make_sink(r))))
+        .collect();
+    let partitions: Vec<PartitionSlot<A>> = partitions
+        .into_iter()
+        .map(|p| Mutex::new(Some(p)))
+        .collect();
+    let next_part = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for _ in 0..workers.max(1).min(reducers.max(1)) {
+            let partitions = &partitions;
+            let results = &results;
+            let sink_slots = &sink_slots;
+            let next_part = &next_part;
+            handles.push(scope.spawn(move || loop {
+                let idx = next_part.fetch_add(1, Ordering::Relaxed);
+                if idx >= reducers {
+                    break;
+                }
+                let records = partitions[idx].lock().unwrap().take().expect("one taker");
+                let mut sink = sink_slots[idx].lock().unwrap().take().expect("one taker");
+                let absorbed = records.len() as u64;
+                let mut counters = Counters::new();
+                let out = reduce_partition_barrier(app, records, &mut counters).map(|out| {
+                    let snaps = barrier_snapshot::<A>(
+                        cfg,
+                        idx,
+                        absorbed,
+                        started.elapsed().as_secs_f64(),
+                        &out,
+                        &mut counters,
+                    );
+                    sink.absorb_batch(out);
+                    sink.done();
+                    (sink, counters, snaps)
+                });
+                *results[idx].lock().unwrap() = Some(out);
+            }));
+        }
+        for h in handles {
+            h.join()
+                .map_err(|_| MrError::WorkerPanic("reduce worker panicked".to_string()))?;
+        }
+        Ok::<(), MrError>(())
+    })?;
+
+    let mut sinks = Vec::with_capacity(reducers);
+    let mut snapshots = Vec::with_capacity(reducers);
+    for slot in results {
+        let (sink, task_counters, snaps) = slot
+            .into_inner()
+            .unwrap()
+            .expect("every partition was reduced")?;
+        counters.merge(&task_counters);
+        snapshots.push(snaps);
+        sinks.push(sink);
+    }
+    Ok(SinkedRun {
+        sinks,
+        counters,
+        reports: Vec::new(),
+        snapshots,
+    })
+}
+
+/// A finished run whose reduce output went to caller-chosen sinks.
+pub(crate) struct SinkedRun<A: Application, S> {
+    /// One finished sink per reduce partition.
+    pub sinks: Vec<S>,
+    /// Merged counters from every task.
+    pub counters: Counters,
+    /// Per-reducer driver reports (pipelined engine only).
+    pub reports: Vec<DriverReport>,
+    /// Per-reducer published snapshots.
+    pub snapshots: Vec<Vec<Snapshot<A>>>,
+}
+
+impl<A: Application, S: ReduceSink<A>> SinkedRun<A, S> {
+    pub(crate) fn into_job_output(self) -> JobOutput<A> {
+        JobOutput {
+            partitions: self
+                .sinks
+                .into_iter()
+                .map(ReduceSink::into_partition)
+                .collect(),
+            counters: self.counters,
+            reports: self.reports,
+            snapshots: self.snapshots,
+        }
+    }
 }
 
 /// Executes jobs on local OS threads.
@@ -219,6 +606,29 @@ impl LocalRunner {
         cfg: &JobConfig,
         partitioner: &P,
     ) -> MrResult<JobOutput<A>> {
+        Ok(self
+            .run_barrier_sinked(app, splits, cfg, partitioner, |_| Vec::new())?
+            .into_job_output())
+    }
+
+    /// Barrier run with caller-chosen reduce-output sinks (one per
+    /// partition). The sink is fed *inside* the reduce worker thread the
+    /// moment the partition's grouped reduce finishes, so a streaming
+    /// sink overlaps downstream work with the other partitions' reduces.
+    pub(crate) fn run_barrier_sinked<A, P, S, F>(
+        &self,
+        app: &A,
+        splits: Vec<Vec<(A::InKey, A::InValue)>>,
+        cfg: &JobConfig,
+        partitioner: &P,
+        make_sink: F,
+    ) -> MrResult<SinkedRun<A, S>>
+    where
+        A: Application,
+        P: Partitioner<A::MapKey>,
+        S: ReduceSink<A>,
+        F: Fn(usize) -> S,
+    {
         let started = Instant::now();
         let reducers = cfg.reducers;
         let n_splits = splits.len();
@@ -305,78 +715,15 @@ impl LocalRunner {
             }
         }
 
-        // Reduce phase: one task per partition, run in parallel. Each
-        // slot carries (output, counters, records absorbed, finish wall
-        // secs) — the last two feed the single post-barrier snapshot.
-        type ReduceSlot<A> = Mutex<
-            Option<
-                MrResult<(
-                    Vec<(<A as Application>::OutKey, <A as Application>::OutValue)>,
-                    Counters,
-                    u64,
-                    f64,
-                )>,
-            >,
-        >;
-        type PartitionSlot<A> =
-            Mutex<Option<Vec<(<A as Application>::MapKey, <A as Application>::MapValue)>>>;
-        let results: Vec<ReduceSlot<A>> = (0..reducers).map(|_| Mutex::new(None)).collect();
-        let partitions: Vec<PartitionSlot<A>> = partitions
-            .into_iter()
-            .map(|p| Mutex::new(Some(p)))
-            .collect();
-        let next_part = AtomicUsize::new(0);
-        std::thread::scope(|scope| {
-            let mut handles = Vec::new();
-            for _ in 0..self.map_threads.min(reducers) {
-                let partitions = &partitions;
-                let results = &results;
-                let next_part = &next_part;
-                handles.push(scope.spawn(move || loop {
-                    let idx = next_part.fetch_add(1, Ordering::Relaxed);
-                    if idx >= reducers {
-                        break;
-                    }
-                    let records = partitions[idx].lock().unwrap().take().expect("one taker");
-                    let absorbed = records.len() as u64;
-                    let mut counters = Counters::new();
-                    let out = reduce_partition_barrier(app, records, &mut counters)
-                        .map(|o| (o, counters, absorbed, started.elapsed().as_secs_f64()));
-                    *results[idx].lock().unwrap() = Some(out);
-                }));
-            }
-            for h in handles {
-                h.join()
-                    .map_err(|_| MrError::WorkerPanic("reduce worker panicked".to_string()))?;
-            }
-            Ok::<(), MrError>(())
-        })?;
-
-        let mut counters = map_counters.into_inner().unwrap();
-        let mut outputs = Vec::with_capacity(reducers);
-        let mut snapshots = Vec::with_capacity(reducers);
-        for (r, slot) in results.into_iter().enumerate() {
-            let (out, task_counters, absorbed, at_secs) = slot
-                .into_inner()
-                .unwrap()
-                .expect("every partition was reduced")?;
-            counters.merge(&task_counters);
-            snapshots.push(barrier_snapshot(
-                cfg,
-                r,
-                absorbed,
-                at_secs,
-                &out,
-                &mut counters,
-            ));
-            outputs.push(out);
-        }
-        Ok(JobOutput {
-            partitions: outputs,
-            counters,
-            reports: Vec::new(),
-            snapshots,
-        })
+        barrier_reduce_sinked(
+            self.map_threads.min(reducers),
+            app,
+            cfg,
+            partitions,
+            started,
+            map_counters.into_inner().unwrap(),
+            make_sink,
+        )
     }
 
     fn run_pipelined<A: Application, P: Partitioner<A::MapKey>>(
@@ -386,13 +733,34 @@ impl LocalRunner {
         cfg: &JobConfig,
         partitioner: &P,
     ) -> MrResult<JobOutput<A>> {
+        Ok(self
+            .run_pipelined_sinked(app, splits, cfg, partitioner, |_| Vec::new())?
+            .into_job_output())
+    }
+
+    /// Pipelined run with caller-chosen reduce-output sinks: mappers
+    /// stream batches into bounded per-reducer channels while reducer
+    /// threads absorb concurrently, and every record a reducer emits
+    /// (absorb-time, finalize, shared flush) goes straight to its sink —
+    /// the hook the chain driver uses to stream one job's output into
+    /// the next job's map intake.
+    pub(crate) fn run_pipelined_sinked<A, P, S, F>(
+        &self,
+        app: &A,
+        splits: Vec<Vec<(A::InKey, A::InValue)>>,
+        cfg: &JobConfig,
+        partitioner: &P,
+        make_sink: F,
+    ) -> MrResult<SinkedRun<A, S>>
+    where
+        A: Application,
+        P: Partitioner<A::MapKey>,
+        S: ReduceSink<A>,
+        F: Fn(usize) -> S,
+    {
         let started = Instant::now();
         let reducers = cfg.reducers;
         let n_splits = splits.len();
-        let combining = combining_active(app, cfg);
-        let combine_budget = cfg.combiner.budget_bytes().unwrap_or(0) as usize;
-        let batch_bytes = cfg.shuffle_batch_bytes;
-        type Batch<A> = Vec<(<A as Application>::MapKey, <A as Application>::MapValue)>;
         let mut senders: Vec<Sender<Batch<A>>> = Vec::with_capacity(reducers);
         let mut receivers: Vec<Receiver<Batch<A>>> = Vec::with_capacity(reducers);
         for _ in 0..reducers {
@@ -409,13 +777,8 @@ impl LocalRunner {
         let batch_pool_cap = reducers * BATCH_CHANNEL_DEPTH;
         let next = AtomicUsize::new(0);
         let map_counters = Mutex::new(Counters::new());
-        type ReduceResult<A> = MrResult<(
-            Vec<(<A as Application>::OutKey, <A as Application>::OutValue)>,
-            DriverReport,
-            Counters,
-            Vec<Snapshot<A>>,
-        )>;
-        let reduce_slots: Vec<Mutex<Option<ReduceResult<A>>>> =
+        type ReduceResult<A, S> = MrResult<(S, DriverReport, Counters, Vec<Snapshot<A>>)>;
+        let reduce_slots: Vec<Mutex<Option<ReduceResult<A, S>>>> =
             (0..reducers).map(|_| Mutex::new(None)).collect();
 
         std::thread::scope(|scope| {
@@ -425,49 +788,23 @@ impl LocalRunner {
                 let reduce_slots = &reduce_slots;
                 let batch_pool = &batch_pool;
                 let cfg_ref = cfg;
+                let sink = make_sink(r);
                 reduce_handles.push(scope.spawn(move || {
-                    let run = || -> ReduceResult<A> {
-                        let mut driver = IncrementalDriver::new(app, cfg_ref, r)?;
-                        let snapping = cfg_ref.snapshots.is_enabled();
-                        let timed = cfg_ref.snapshots.secs_interval().is_some();
-                        let mut out = Vec::new();
-                        let mut counters = Counters::new();
-                        for mut batch in rx.iter() {
-                            if snapping {
-                                // Stamp wall time so record-driven
-                                // snapshots carry a meaningful clock.
-                                driver.set_now_secs(started.elapsed().as_secs_f64());
-                            }
-                            for (k, v) in batch.drain(..) {
-                                driver.push(app, k, v, &mut out)?;
-                            }
-                            // Return the drained buffer to the mappers.
-                            {
-                                let mut pool = batch_pool.lock().unwrap();
-                                if pool.len() < batch_pool_cap {
-                                    pool.push(batch);
-                                }
-                            }
-                            if timed {
-                                driver.maybe_time_snapshot(app, started.elapsed().as_secs_f64())?;
-                            }
-                        }
-                        if cfg_ref.snapshots.is_periodic() {
-                            // End-of-input snapshot: the last estimate a
-                            // periodic observer sees equals the final
-                            // answer.
-                            driver.set_now_secs(started.elapsed().as_secs_f64());
-                            driver.snapshot_now(app)?;
-                        }
-                        let snapshots = driver.take_snapshots();
-                        let report = driver.finish(app, &mut counters, &mut out)?;
-                        counters.add(names::REDUCE_OUTPUT_RECORDS, out.len() as u64);
-                        Ok((out, report, counters, snapshots))
-                    };
-                    let result = run();
-                    // On failure the receiver is dropped here, which
-                    // disconnects the channel: blocked mappers get a send
-                    // error instead of waiting on a consumer that's gone.
+                    let result = pipelined_reduce_task(
+                        app,
+                        cfg_ref,
+                        r,
+                        rx,
+                        batch_pool,
+                        batch_pool_cap,
+                        started,
+                        sink,
+                    );
+                    // On failure the receiver (and the sink) are dropped
+                    // here, which disconnects the channel: blocked
+                    // mappers get a send error instead of waiting on a
+                    // consumer that's gone, and a streaming sink's
+                    // downstream sees EOF.
                     *reduce_slots[r].lock().unwrap() = Some(result);
                 }));
             }
@@ -482,122 +819,28 @@ impl LocalRunner {
                 let map_counters = &map_counters;
                 let batch_pool = &batch_pool;
                 map_handles.push(scope.spawn(move || {
-                    let mut local_counters = Counters::new();
-                    let mut dead = false;
-                    // Per-reducer buffers live for the whole worker: a
-                    // batch may span splits, amortizing flushes.
-                    let mut plain: Vec<Batch<A>> = (0..reducers).map(|_| Vec::new()).collect();
-                    let mut plain_bytes: Vec<usize> = vec![0; reducers];
-                    let mut combs: Vec<CombinerBuffer<A>> = if combining {
-                        (0..reducers)
-                            .map(|_| CombinerBuffer::new(app, combine_budget, cfg.store_index))
-                            .collect()
-                    } else {
-                        Vec::new()
-                    };
+                    let mut emitter =
+                        ShuffleEmitter::new(app, cfg, partitioner, senders, batch_pool);
                     loop {
                         let idx = next.fetch_add(1, Ordering::Relaxed);
                         if idx >= n_splits {
                             break;
                         }
                         {
-                            let senders = &senders;
-                            let mut emit = FnEmit(|k: A::MapKey, v: A::MapValue| {
-                                if dead {
-                                    return;
-                                }
-                                local_counters.incr(names::MAP_OUTPUT_RECORDS);
-                                let p = partitioner.partition(&k, reducers);
-                                let batch = if combining {
-                                    // Fold into the combiner; it drains a
-                                    // combined batch when over budget. The
-                                    // buffer for a drain comes from the
-                                    // free-list, grabbed lazily on the
-                                    // drain's first record so under-budget
-                                    // pushes touch no lock.
-                                    let mut drained: Batch<A> = Vec::new();
-                                    let mut recycled = false;
-                                    combs[p].push(app, k, v, &mut |k2, v2| {
-                                        if drained.capacity() == 0 {
-                                            if let Some(buf) = batch_pool.lock().unwrap().pop() {
-                                                drained = buf;
-                                                recycled = true;
-                                            }
-                                        }
-                                        drained.push((k2, v2));
-                                    });
-                                    if recycled {
-                                        local_counters.incr(names::SHUFFLE_BATCH_REUSE);
-                                    }
-                                    if drained.is_empty() {
-                                        None
-                                    } else {
-                                        Some(drained)
-                                    }
-                                } else {
-                                    plain_bytes[p] += k.estimated_bytes() + v.estimated_bytes();
-                                    plain[p].push((k, v));
-                                    if plain_bytes[p] >= batch_bytes {
-                                        plain_bytes[p] = 0;
-                                        let fresh = match batch_pool.lock().unwrap().pop() {
-                                            Some(recycled) => {
-                                                local_counters.incr(names::SHUFFLE_BATCH_REUSE);
-                                                recycled
-                                            }
-                                            None => Vec::new(),
-                                        };
-                                        Some(std::mem::replace(&mut plain[p], fresh))
-                                    } else {
-                                        None
-                                    }
-                                };
-                                if let Some(batch) = batch {
-                                    local_counters.incr(names::SHUFFLE_BATCHES);
-                                    local_counters.add(names::SHUFFLE_RECORDS, batch.len() as u64);
-                                    // A send error means the reducer died
-                                    // (e.g. OOM): the job is failing, stop
-                                    // producing.
-                                    if senders[p].send(batch).is_err() {
-                                        dead = true;
-                                    }
-                                }
-                            });
+                            let emitter = &mut emitter;
+                            let mut emit =
+                                FnEmit(|k: A::MapKey, v: A::MapValue| emitter.push(k, v));
                             for (k, v) in &splits[idx] {
                                 app.map(k, v, &mut emit);
                             }
                         }
-                        if dead {
+                        if emitter.is_dead() {
                             break;
                         }
                     }
                     // End of this worker's splits: flush every buffer.
-                    for p in 0..reducers {
-                        if dead {
-                            break;
-                        }
-                        let mut batch: Batch<A> = std::mem::take(&mut plain[p]);
-                        if combining && combs[p].entries() > 0 {
-                            if batch.capacity() == 0 {
-                                if let Some(buf) = batch_pool.lock().unwrap().pop() {
-                                    batch = buf;
-                                    local_counters.incr(names::SHUFFLE_BATCH_REUSE);
-                                }
-                            }
-                            combs[p].drain(app, &mut |k, v| batch.push((k, v)));
-                        }
-                        if !batch.is_empty() {
-                            local_counters.incr(names::SHUFFLE_BATCHES);
-                            local_counters.add(names::SHUFFLE_RECORDS, batch.len() as u64);
-                            if senders[p].send(batch).is_err() {
-                                dead = true;
-                            }
-                        }
-                    }
-                    for comb in &combs {
-                        local_counters.add(names::COMBINE_INPUT_RECORDS, comb.records_in());
-                        local_counters.add(names::COMBINE_OUTPUT_RECORDS, comb.records_out());
-                    }
-                    map_counters.lock().unwrap().merge(&local_counters);
+                    emitter.flush();
+                    map_counters.lock().unwrap().merge(&emitter.into_counters());
                 }));
             }
             drop(senders); // reducers see EOF once all mappers finish
@@ -614,19 +857,19 @@ impl LocalRunner {
         })?;
 
         let mut counters = map_counters.into_inner().unwrap();
-        let mut outputs = Vec::with_capacity(reducers);
+        let mut sinks = Vec::with_capacity(reducers);
         let mut reports = Vec::with_capacity(reducers);
         let mut snapshots = Vec::with_capacity(reducers);
         for slot in reduce_slots {
-            let (out, report, task_counters, snaps) =
+            let (sink, report, task_counters, snaps) =
                 slot.into_inner().unwrap().expect("every reducer ran")?;
             counters.merge(&task_counters);
-            outputs.push(out);
+            sinks.push(sink);
             reports.push(report);
             snapshots.push(snaps);
         }
-        Ok(JobOutput {
-            partitions: outputs,
+        Ok(SinkedRun {
+            sinks,
             counters,
             reports,
             snapshots,

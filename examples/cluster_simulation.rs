@@ -24,6 +24,8 @@ fn main() {
         finalize_cpu_per_entry: 1.0e-3,
         snapshot_cpu_per_record: 1.0e-4,
         output_selectivity: 0.5,
+        chain_map_cpu_per_record: 5.0e-3,
+        chain_handoff_byte_scale: 4096.0,
     };
 
     for engine in [Engine::Barrier, Engine::barrierless()] {

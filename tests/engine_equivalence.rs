@@ -9,10 +9,11 @@
 //! hashed (sort-at-drain) index must be byte-indistinguishable from the
 //! paper's ordered map everywhere, combiner included.
 
-use barrier_mapreduce::apps::{Sort, UniqueListens, WordCount};
+use barrier_mapreduce::apps::{Sort, TopK, UniqueListens, WordCount};
 use barrier_mapreduce::core::local::LocalRunner;
 use barrier_mapreduce::core::{
-    CombinerPolicy, Engine, JobConfig, MemoryPolicy, SnapshotPolicy, StoreIndex,
+    ChainSpec, ChainableApplication, CombinerPolicy, Engine, HandoffMode, HashPartitioner,
+    JobConfig, MemoryPolicy, SnapshotPolicy, StoreIndex,
 };
 use proptest::prelude::*;
 use std::collections::BTreeMap;
@@ -220,6 +221,77 @@ proptest! {
                             let last = snaps.last().expect("final snapshot");
                             prop_assert_eq!(&last.estimate, &snapped.partitions[r]);
                         }
+                    }
+                }
+            }
+        }
+    }
+
+    /// The chain invariant (ISSUE 5's acceptance sweep): for every
+    /// chain-handoff mode × stage-engine × store-index × combiner
+    /// combination, the chained `wordcount → top-k` output is
+    /// byte-identical to running the same two jobs sequentially to
+    /// completion by hand.
+    #[test]
+    fn chained_jobs_match_running_them_sequentially(
+        words in prop::collection::vec(prop::collection::vec("[a-f]{1,3}", 1..8), 1..10),
+        reducers in 1usize..4,
+        k in 1usize..6,
+    ) {
+        let splits: Vec<Vec<(u64, String)>> = words
+            .iter()
+            .enumerate()
+            .map(|(i, line)| vec![(i as u64, line.join(" "))])
+            .collect();
+        let topk = TopK::new(k);
+        for engine in all_engines() {
+            for index in INDEXES {
+                for combiner in [CombinerPolicy::Disabled, CombinerPolicy::enabled()] {
+                    let cfg1 = JobConfig::new(reducers)
+                        .engine(engine.clone())
+                        .combiner(combiner)
+                        .store_index(index)
+                        .scratch_dir(scratch());
+                    let cfg2 = JobConfig::new(2)
+                        .engine(engine.clone())
+                        .store_index(index)
+                        .scratch_dir(scratch());
+                    // Sequential baseline: job 1 to completion, adapt,
+                    // job 2 to completion.
+                    let out1 = LocalRunner::new(2)
+                        .run(&WordCount, splits.clone(), &cfg1)
+                        .unwrap();
+                    let splits2: Vec<Vec<(String, u64)>> = out1
+                        .partitions
+                        .into_iter()
+                        .map(|p| {
+                            p.into_iter()
+                                .map(|(w, c)| topk.adapt_input(w, c))
+                                .collect()
+                        })
+                        .collect();
+                    let expect = LocalRunner::new(2)
+                        .run(&topk, splits2, &cfg2)
+                        .unwrap()
+                        .partitions;
+                    for handoff in [HandoffMode::Barrier, HandoffMode::Streaming] {
+                        let spec = ChainSpec::new(vec![cfg1.clone(), cfg2.clone()])
+                            .handoff(handoff);
+                        let got = LocalRunner::new(2)
+                            .run_chain2(
+                                &WordCount,
+                                &topk,
+                                splits.clone(),
+                                &spec,
+                                &HashPartitioner,
+                                &HashPartitioner,
+                            )
+                            .unwrap();
+                        prop_assert_eq!(
+                            &got.output.partitions, &expect,
+                            "chain {:?} diverged from sequential under {:?} {:?} {:?}",
+                            handoff, engine, index, combiner
+                        );
                     }
                 }
             }
