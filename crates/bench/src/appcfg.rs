@@ -105,6 +105,8 @@ pub fn wc_costs() -> CostModel {
         output_selectivity: 0.5,
         chain_map_cpu_per_record: 5.0e-3,
         chain_handoff_byte_scale: 4096.0,
+        speculation_launch_overhead_secs: 1.0,
+        speculation_cancel_overhead_secs: 0.5,
     }
 }
 
@@ -224,6 +226,8 @@ pub fn sort_costs() -> CostModel {
         output_selectivity: 1.0,
         chain_map_cpu_per_record: 5.0e-3,
         chain_handoff_byte_scale: 4096.0,
+        speculation_launch_overhead_secs: 1.0,
+        speculation_cancel_overhead_secs: 0.5,
     }
 }
 
@@ -273,6 +277,8 @@ pub fn knn_costs() -> CostModel {
         output_selectivity: 0.05,
         chain_map_cpu_per_record: 5.0e-3,
         chain_handoff_byte_scale: 4096.0,
+        speculation_launch_overhead_secs: 1.0,
+        speculation_cancel_overhead_secs: 0.5,
     }
 }
 
@@ -351,6 +357,8 @@ pub fn lastfm_costs() -> CostModel {
         output_selectivity: 0.05,
         chain_map_cpu_per_record: 5.0e-3,
         chain_handoff_byte_scale: 4096.0,
+        speculation_launch_overhead_secs: 1.0,
+        speculation_cancel_overhead_secs: 0.5,
     }
 }
 
@@ -419,6 +427,8 @@ pub fn ga_costs() -> CostModel {
         output_selectivity: 1.0,
         chain_map_cpu_per_record: 5.0e-3,
         chain_handoff_byte_scale: 4096.0,
+        speculation_launch_overhead_secs: 1.0,
+        speculation_cancel_overhead_secs: 0.5,
     }
 }
 
@@ -469,6 +479,8 @@ pub fn bs_costs() -> CostModel {
         output_selectivity: 1e-6,
         chain_map_cpu_per_record: 5.0e-3,
         chain_handoff_byte_scale: 4096.0,
+        speculation_launch_overhead_secs: 1.0,
+        speculation_cancel_overhead_secs: 0.5,
     }
 }
 

@@ -22,17 +22,18 @@
 
 use mr_apps::sort::RangePartitioner;
 use mr_bench::appcfg::{
-    run_wordcount_snapshotted, run_wordcount_with_combiner, testbed, wc_workload,
+    chunks_for_gb, run_wordcount_snapshotted, run_wordcount_with_combiner, testbed, wc_costs,
+    wc_workload,
 };
-use mr_cluster::{ChainSimExecutor, FnInput};
+use mr_cluster::{ChainSimExecutor, FnInput, SimExecutor, SpecEvent};
 use mr_core::counters::names;
 use mr_core::engine::pipeline::{
     reduce_partition_barrierless, reduce_partition_barrierless_traced,
 };
 use mr_core::local::LocalRunner;
 use mr_core::{
-    ChainSpec, CombinerBuffer, CombinerPolicy, Counters, Engine, HandoffMode, HashPartitioner,
-    JobConfig, MemoryPolicy, SnapshotPolicy, StoreIndex,
+    ChainSpec, CombinerBuffer, CombinerPolicy, Counters, DeadlinePolicy, Engine, HandoffMode,
+    HashPartitioner, JobConfig, MemoryPolicy, SnapshotPolicy, SpeculationPolicy, StoreIndex,
 };
 use mr_workloads::TextWorkload;
 use std::time::Instant;
@@ -99,7 +100,7 @@ fn barrierless() -> Engine {
 fn main() {
     let out_path = std::env::args()
         .nth(1)
-        .unwrap_or_else(|| "BENCH_5.json".to_string());
+        .unwrap_or_else(|| "BENCH_6.json".to_string());
     let splits = wc_splits(12);
     let mut results = Vec::new();
 
@@ -374,6 +375,80 @@ fn main() {
             .expect("completed")
             .counters
             .get(names::MAP_OUTPUT_RECORDS)
+    }));
+
+    // Straggler mitigation under the simulator: the same heterogeneous
+    // setup fig_speculation asserts on, in CI-trajectory form. The
+    // off/on pair shares seed and spread, so the wall_ms gap tracks the
+    // event-loop cost of the detector plus the backup attempts it runs.
+    let spec_run = |spec: SpeculationPolicy| {
+        let w = wc_workload(9);
+        let mut params = testbed(9);
+        params.hetero_sigma = 0.8;
+        params.speculation = Some(spec);
+        let cfg = JobConfig::new(8)
+            .engine(barrierless())
+            .scratch_dir(std::env::temp_dir().join(format!("mr-bench-json-{}", std::process::id())))
+            .seed(9);
+        SimExecutor::new(params).run(
+            &mr_apps::WordCount,
+            &FnInput(move |c| w.chunk(c)),
+            chunks_for_gb(1.0),
+            &cfg,
+            &wc_costs(),
+            &HashPartitioner,
+        )
+    };
+    results.push(bench("sim_hetero_speculation_off", || {
+        let report = spec_run(SpeculationPolicy::Disabled);
+        assert!(report.outcome.is_completed());
+        report
+            .output
+            .expect("completed")
+            .counters
+            .get(names::MAP_OUTPUT_RECORDS)
+    }));
+    results.push(bench("sim_hetero_speculation_on", || {
+        let report = spec_run(SpeculationPolicy::enabled());
+        assert!(report.outcome.is_completed());
+        assert!(
+            report.timeline.speculation_count(SpecEvent::Launched) > 0,
+            "speculation never fired on a 0.8-sigma cluster"
+        );
+        report
+            .output
+            .expect("completed")
+            .counters
+            .get(names::MAP_OUTPUT_RECORDS)
+    }));
+
+    // The deadline path: a snapshotted run cut off mid-flight must
+    // finalize from the latest snapshots and report Approximate. The
+    // 2 GB job completes around 78 s on this testbed, so a 40 s
+    // deadline lands mid-reduce with several snapshot rounds published.
+    results.push(bench("sim_deadline_approximate", || {
+        let w = wc_workload(7);
+        let cfg = JobConfig::new(8)
+            .engine(barrierless())
+            .snapshots(SnapshotPolicy::EverySecs { secs: 5.0 })
+            .deadline(DeadlinePolicy::At { secs: 40.0 })
+            .scratch_dir(std::env::temp_dir().join(format!("mr-bench-json-{}", std::process::id())))
+            .seed(7);
+        let report = SimExecutor::new(testbed(7)).run(
+            &mr_apps::WordCount,
+            &FnInput(move |c| w.chunk(c)),
+            chunks_for_gb(2.0),
+            &cfg,
+            &wc_costs(),
+            &HashPartitioner,
+        );
+        assert!(
+            report.outcome.is_approximate(),
+            "40 s deadline did not cut the job short"
+        );
+        let out = report.output.expect("approximate runs carry output");
+        assert!(out.record_count() > 0, "deadline answer was empty");
+        out.counters.get(names::MAP_OUTPUT_RECORDS)
     }));
 
     // One small simulated-cluster run: catches event-loop regressions.

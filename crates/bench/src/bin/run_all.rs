@@ -16,6 +16,7 @@ fn main() {
         "fig9_memmgmt_reducers",
         "fig10_memmgmt_size",
         "fig_chain_overlap",
+        "fig_speculation",
         "table1_memreq",
         "table2_loc",
     ];

@@ -27,16 +27,31 @@
 //!
 //! Modeling notes, for honesty about what is and is not captured:
 //!
-//! * Chained tasks (job-2 maps and reducers) do not occupy task slots —
-//!   slot contention across jobs can deadlock under recovery (job-2
-//!   tasks holding slots while waiting on a job-1 reducer that needs
-//!   one), so they contend for disks and the network only. Placement is
-//!   least-loaded over alive nodes, deterministically.
+//! * Every task of both jobs occupies a real task slot: job-2 maps
+//!   contend for map slots and job-2 reducers for reduce slots alongside
+//!   job 1. Cross-job slot contention cannot deadlock recovery because
+//!   stage 1 has strict priority — when a pending stage-1 task finds
+//!   every slot of its kind occupied, the scheduler evicts the
+//!   highest-index unfinished stage-2 task of that kind back to Pending
+//!   (stage 2 depends on stage 1, so the eviction never discards work
+//!   the chain could have finished first). Placement is least-loaded
+//!   over alive nodes with a free slot, ties preferring high node
+//!   indexes so chained tasks spread away from the stage-1 tasks
+//!   feeding them.
 //! * Job-2 map tasks ship their shuffle partitions when the task
 //!   completes, exactly like job-1 maps — the *chain edge* streams; the
 //!   downstream job's own shuffle then behaves like any single job's.
-//! * The chain executor ignores combiner and snapshot knobs (both are
-//!   modeled for single jobs by [`SimExecutor`](crate::SimExecutor));
+//! * Stage-1 reducers honor the effective
+//!   [`SpeculationPolicy`](mr_core::SpeculationPolicy) (cluster override
+//!   first, then stage-1's `JobConfig`): a reduce attempt straggling by
+//!   shuffle deliveries gets one backup attempt on another node, the
+//!   first attempt to finish its reduce work wins, and a backup win
+//!   restarts the downstream map that consumed the losing attempt's
+//!   stream — the promoted winner re-ships its byte-identical output.
+//!   Stage-1 maps and all stage-2 tasks are not speculated here (the
+//!   single-job executor models map speculation).
+//! * The chain executor ignores combiner, snapshot and deadline knobs
+//!   (all modeled for single jobs by [`SimExecutor`](crate::SimExecutor));
 //!   store-index overrides apply as usual.
 
 use crate::costs::CostModel;
@@ -44,15 +59,15 @@ use crate::executor::Fault;
 use crate::input::SimInput;
 use crate::params::ClusterParams;
 use crate::report::Outcome;
-use crate::timeline::{SpanKind, Timeline};
+use crate::timeline::{SpanKind, SpecEvent, SpecTaskKind, Timeline};
 use mr_core::chain::ChainableApplication;
 use mr_core::counters::names;
 use mr_core::engine::barrier::reduce_partition_barrier;
 use mr_core::engine::pipeline::IncrementalDriver;
 use mr_core::engine::DriverReport;
 use mr_core::{
-    Application, ChainSpec, Counters, Engine, HandoffMode, JobOutput, MemoryPolicy, Partitioner,
-    SnapshotPolicy,
+    Application, ChainSpec, Counters, DeadlinePolicy, Engine, HandoffMode, JobOutput, MemoryPolicy,
+    Partitioner, SnapshotPolicy, SpeculationPolicy,
 };
 use mr_dfs::{ChunkId, Dfs, DfsConfig};
 use mr_net::{Network, NetworkConfig, NodeId};
@@ -149,6 +164,15 @@ impl ChainSimExecutor {
                 spec.len()
             ));
         }
+        // A cluster-level speculation override must still be a valid
+        // policy for stage 1 (the stage that speculates here).
+        if let Some(sp) = self.params.speculation {
+            let mut probe = spec.stages[0].clone();
+            probe.speculation = sp;
+            if let Err(e) = probe.validate() {
+                return failed(e.to_string());
+            }
+        }
         let mut sim = ChainSim::new(
             &self.params,
             first,
@@ -199,8 +223,9 @@ pub struct ChainSimReport<B: Application> {
     pub map2_tasks_run: usize,
     /// Stage-2 reduce tasks executed.
     pub red2_tasks_run: usize,
-    /// Stage-2 map restarts forced by an upstream reduce attempt dying
-    /// mid-stream (the task's own node was fine).
+    /// Stage-2 map restarts forced by the upstream reduce attempt whose
+    /// stream they consumed going away — dying mid-stream, or losing a
+    /// speculative race (the task's own node was fine).
     pub downstream_map_restarts: usize,
     /// Cross-job handoff edges scheduled (flows in streaming mode,
     /// materialized reads in barrier mode).
@@ -245,6 +270,13 @@ enum Ev {
     R2GroupedDone(usize, u32),
     R2FinalizeDone(usize, u32),
     R2OutputPart(usize, u32),
+    /// Periodic straggler check for stage-1 reducers.
+    SpecTick,
+    /// A stage-1 backup reduce attempt finishes its launch overhead and
+    /// starts pulling shuffle flows.
+    Red1BackupStart(usize, u32),
+    /// A cancelled speculative attempt's reduce slot frees on the node.
+    SpecSlotFree(usize),
     NodeFail(usize),
 }
 
@@ -444,6 +476,22 @@ impl<B: Application> Map2<B> {
     }
 }
 
+/// Mutable access to stage-1 reduce attempt `(r, bk)` — the primary in
+/// `reds1` or the live backup in `reds1_bk` — without taking a borrow
+/// of the whole `ChainSim` (expands inline, so disjoint fields stay
+/// usable).
+macro_rules! red1_mut {
+    ($s:expr, $r:expr, $bk:expr) => {
+        if $bk {
+            $s.reds1_bk[$r]
+                .as_mut()
+                .expect("backup reduce attempt present")
+        } else {
+            &mut $s.reds1[$r]
+        }
+    };
+}
+
 struct ChainSim<'a, A: Application, B: Application, I, PA, PB> {
     p: &'a ClusterParams,
     first: &'a A,
@@ -463,10 +511,19 @@ struct ChainSim<'a, A: Application, B: Application, I, PA, PB> {
     node_factor: Vec<f64>,
     map_slots_used: Vec<usize>,
     red_slots_used: Vec<usize>,
-    /// Chained (slotless) tasks per node, for least-loaded placement.
-    chain_load: Vec<usize>,
     maps1: Vec<Map1<A>>,
     reds1: Vec<RedTask<A>>,
+    /// Live speculative backup attempts, one at most per stage-1 reducer.
+    reds1_bk: Vec<Option<RedTask<A>>>,
+    /// Highest attempt stamp issued per stage-1 reducer: restarts and
+    /// backup launches draw from here so no two live attempts ever share
+    /// a stamp.
+    red1_seq: Vec<u32>,
+    /// Whether a backup was ever launched for stage-1 reducer `r`.
+    red1_speculated: Vec<bool>,
+    /// Effective straggler policy for stage-1 reducers (cluster override
+    /// first, then stage-1's own config).
+    speculation: SpeculationPolicy,
     maps2: Vec<Map2<B>>,
     reds2: Vec<RedTask<B>>,
     maps1_done: usize,
@@ -539,9 +596,13 @@ where
                 out_bytes: (p.chunk_bytes as f64 * costs.shuffle_selectivity) as u64,
             })
             .collect();
+        // Effective straggler policy for stage-1 reducers, resolved
+        // before the per-stage configs are scrubbed below.
+        let speculation = p.speculation.unwrap_or(spec.stages[0].speculation);
         // Effective per-stage configs: cluster store-index override wins;
-        // combiner and snapshot modeling is the single-job executor's
-        // domain (see module docs), so both are disabled here.
+        // combiner, snapshot and deadline modeling is the single-job
+        // executor's domain (see module docs), so all are disabled here
+        // (speculation lives in `ChainSim::speculation`, not the cfgs).
         let effective = |cfg: &mr_core::JobConfig| {
             let mut cfg = cfg.clone();
             if let Some(index) = p.store_index {
@@ -549,6 +610,8 @@ where
             }
             cfg.combiner = mr_core::CombinerPolicy::Disabled;
             cfg.snapshots = SnapshotPolicy::Disabled;
+            cfg.speculation = SpeculationPolicy::Disabled;
+            cfg.deadline = DeadlinePolicy::Disabled;
             cfg
         };
         let cfg1 = effective(&spec.stages[0]);
@@ -559,6 +622,9 @@ where
         let reds2 = (0..cfg2.reducers).map(|_| RedTask::fresh()).collect();
         let mut queue = EventQueue::new();
         queue.schedule(SimTime::ZERO, Ev::Schedule);
+        if let SpeculationPolicy::Enabled { check_secs, .. } = speculation {
+            queue.schedule(SimTime::from_secs_f64(check_secs), Ev::SpecTick);
+        }
         ChainSim {
             net: Network::new(NetworkConfig {
                 nodes: p.nodes,
@@ -571,7 +637,6 @@ where
             node_alive: vec![true; p.nodes],
             map_slots_used: vec![0; p.nodes],
             red_slots_used: vec![0; p.nodes],
-            chain_load: vec![0; p.nodes],
             noise_rng: StdRng::seed_from_u64(p.seed ^ 0x5EED_0F0F),
             streaming: spec.chain.handoff == HandoffMode::Streaming,
             p,
@@ -588,6 +653,10 @@ where
             node_factor,
             maps1,
             reds1,
+            reds1_bk: (0..r1).map(|_| None).collect(),
+            red1_seq: vec![0; r1],
+            red1_speculated: vec![false; r1],
+            speculation,
             maps2,
             reds2,
             maps1_done: 0,
@@ -637,17 +706,36 @@ where
         hetero_factor(&mut self.noise_rng, self.p.task_noise_sigma)
     }
 
-    /// Deterministic least-loaded placement for slotless chained tasks.
-    /// Ties prefer *high* node indexes — the slot scheduler fills low
-    /// indexes first, so chained tasks spread away from the stage-1
-    /// reducers feeding them instead of stacking onto the same nodes.
-    fn place_chain_task(&mut self) -> usize {
-        let node = (0..self.p.nodes)
-            .filter(|&n| self.node_alive[n])
-            .min_by_key(|&n| (self.chain_load[n], std::cmp::Reverse(n)))
-            .expect("at least one node alive");
-        self.chain_load[node] += 1;
-        node
+    /// Least-loaded alive node with a free slot of the given kind, or
+    /// `None` when every slot is occupied. Ties prefer *high* node
+    /// indexes — the stage-1 loops fill low indexes first, so stage-2
+    /// tasks spread away from the stage-1 tasks feeding them instead of
+    /// stacking onto the same nodes.
+    fn free_slot_node(&self, is_map: bool) -> Option<usize> {
+        let (used, cap) = if is_map {
+            (&self.map_slots_used, self.p.map_slots)
+        } else {
+            (&self.red_slots_used, self.p.reduce_slots)
+        };
+        (0..self.p.nodes)
+            .filter(|&n| self.node_alive[n] && used[n] < cap)
+            .min_by_key(|&n| (used[n], std::cmp::Reverse(n)))
+    }
+
+    /// Which live stage-1 reduce attempt carries `attempt`:
+    /// `Some(false)` = primary, `Some(true)` = backup, `None` = a dead
+    /// (cancelled, lost or superseded) attempt whose events are dropped.
+    fn red1_slot(&self, r: usize, attempt: u32) -> Option<bool> {
+        if self.reds1[r].attempt == attempt {
+            Some(false)
+        } else if self.reds1_bk[r]
+            .as_ref()
+            .is_some_and(|t| t.attempt == attempt)
+        {
+            Some(true)
+        } else {
+            None
+        }
     }
 
     // ---------------------------------------------------------------- run
@@ -759,26 +847,32 @@ where
                 }
             }
             Ev::R1Batch(r, a) => {
-                if self.reds1[r].attempt == a && self.reds1[r].state == RState::Running {
-                    self.red1_batch(at, r);
+                if let Some(bk) = self.red1_slot(r, a) {
+                    if red1_mut!(self, r, bk).state == RState::Running {
+                        self.red1_batch(at, r, bk);
+                    }
                 }
             }
             Ev::R1SortDone(r, a) => {
-                if self.reds1[r].attempt == a {
-                    self.red1_grouped_start(at, r);
+                if let Some(bk) = self.red1_slot(r, a) {
+                    self.red1_grouped_start(at, r, bk);
                 }
             }
             Ev::R1GroupedDone(r, a) => {
-                if self.reds1[r].attempt == a {
-                    self.red1_grouped_done(at, r);
+                if let Some(bk) = self.red1_slot(r, a) {
+                    self.red1_grouped_done(at, r, bk);
                 }
             }
             Ev::R1FinalizeDone(r, a) => {
-                if self.reds1[r].attempt == a && self.reds1[r].state == RState::Finalizing {
-                    self.red1_finalize_done(at, r);
+                if let Some(bk) = self.red1_slot(r, a) {
+                    if red1_mut!(self, r, bk).state == RState::Finalizing {
+                        self.red1_finalize_done(at, r, bk);
+                    }
                 }
             }
             Ev::R1OutputPart(r, a) => {
+                // Barrier-mode output writes happen strictly after the
+                // speculative race is resolved: primary only.
                 if self.reds1[r].attempt == a && self.reds1[r].state == RState::Writing {
                     self.red1_output_part_done(at, r);
                 }
@@ -818,11 +912,40 @@ where
                     self.red2_output_part_done(at, r);
                 }
             }
+            Ev::SpecTick => self.spec_tick(at),
+            // Resolved by attempt, not by assuming the backup slot: a
+            // kill of the original's node during the launch overhead
+            // promotes the not-yet-started backup to primary, and the
+            // attempt must start pulling from wherever it now lives.
+            Ev::Red1BackupStart(r, a) => {
+                if let Some(bk) = self.red1_slot(r, a) {
+                    if red1_mut!(self, r, bk).state == RState::Running {
+                        for m in 0..self.maps1.len() {
+                            let wants = self.maps1[m].state == MState::Done
+                                && !red1_mut!(self, r, bk).flow_from[m];
+                            if wants {
+                                self.start_shuffle1_flow(at, m, r, bk);
+                            }
+                        }
+                    }
+                }
+            }
+            Ev::SpecSlotFree(n) => {
+                if self.node_alive[n] {
+                    self.red_slots_used[n] = self.red_slots_used[n].saturating_sub(1);
+                    self.queue.schedule(at, Ev::Schedule);
+                }
+            }
             Ev::NodeFail(n) => self.fail_node(at, n),
         }
     }
 
     fn schedule_tasks(&mut self, at: SimTime) {
+        // Stage 1 has strict slot priority: pending stage-1 work that
+        // cannot find a free slot evicts unfinished stage-2 tasks of the
+        // same kind instead of deadlocking on slots the dependent job
+        // holds (see module docs).
+        self.evict_for_stage1(at);
         // Stage-1 maps: chunk-local placement onto map slots.
         while let Some(node) = (0..self.p.nodes)
             .find(|&n| self.node_alive[n] && self.map_slots_used[n] < self.p.map_slots)
@@ -844,26 +967,118 @@ where
             };
             self.start_reduce1(at, r, node);
         }
-        // Stage-2 tasks are slotless (see module docs). Streaming-mode
-        // maps start consuming immediately; barrier-mode maps wait for
-        // stage 1 to complete, then fetch their materialized input.
+        // Stage-2 tasks take whatever slots stage 1 left free.
+        // Streaming-mode maps start consuming as soon as a map slot
+        // opens; barrier-mode maps wait for stage 1 to complete, then
+        // fetch their materialized input.
         let stage2_ready = self.streaming || self.stage1_complete.is_some();
         if stage2_ready {
-            for m in 0..self.maps2.len() {
-                if self.maps2[m].state == M2State::Pending {
-                    self.start_map2(at, m);
-                }
+            while let Some(m) = self.maps2.iter().position(|t| t.state == M2State::Pending) {
+                let Some(node) = self.free_slot_node(true) else {
+                    break;
+                };
+                self.start_map2(at, m, node);
             }
-            // Stage-2 reducers launch with their job: at t = 0 for a
-            // streaming chain (everything is live at once), only after
-            // the inter-job barrier otherwise — so barrier-mode
-            // timeline spans never pretend job 2 existed early.
-            for r in 0..self.reds2.len() {
-                if self.reds2[r].state == RState::Pending {
-                    self.start_reduce2(at, r);
-                }
+            // Stage-2 reducers launch with their job: as slots free for
+            // a streaming chain, only after the inter-job barrier
+            // otherwise — so barrier-mode timeline spans never pretend
+            // job 2 existed early.
+            while let Some(r) = self.reds2.iter().position(|t| t.state == RState::Pending) {
+                let Some(node) = self.free_slot_node(false) else {
+                    break;
+                };
+                self.start_reduce2(at, r, node);
             }
         }
+    }
+
+    /// Evict an unfinished stage-2 task (highest index first) when — and
+    /// only when — stage-1 progress is genuinely blocked: a pending
+    /// stage-1 task, zero free slots of its kind, and no running stage-1
+    /// task of that kind that would eventually free one. (Pending
+    /// stage-1 work behind *running* stage-1 work is the ordinary wave
+    /// pattern and must not disturb stage 2, or the chain would lose its
+    /// overlap.) Evicted tasks return to Pending and restart through the
+    /// ordinary machinery; their in-flight flows are cancelled and stale
+    /// events are dropped by the attempt bump.
+    fn evict_for_stage1(&mut self, at: SimTime) {
+        while self.maps1.iter().any(|m| m.state == MState::Pending)
+            && self.free_slots(true) == 0
+            && !self.maps1.iter().any(|m| {
+                matches!(
+                    m.state,
+                    MState::Fetching | MState::Computing | MState::Writing
+                )
+            })
+        {
+            let Some(m) = (0..self.maps2.len())
+                .rev()
+                .find(|&m| matches!(self.maps2[m].state, M2State::Consuming | M2State::Writing))
+            else {
+                break;
+            };
+            self.evict_map2(at, m);
+        }
+        // Backups are not counted as runnable stage-1 reducers here: a
+        // live backup implies a live primary, so the primary already
+        // witnesses progress.
+        while self.reds1.iter().any(|r| r.state == RState::Pending)
+            && self.free_slots(false) == 0
+            && !self.reds1.iter().any(|r| {
+                matches!(
+                    r.state,
+                    RState::Running | RState::Finalizing | RState::Writing
+                )
+            })
+        {
+            let Some(r) = (0..self.reds2.len()).rev().find(|&r| {
+                matches!(
+                    self.reds2[r].state,
+                    RState::Running | RState::Finalizing | RState::Writing
+                )
+            }) else {
+                break;
+            };
+            self.evict_red2(at, r);
+        }
+    }
+
+    fn free_slots(&self, is_map: bool) -> usize {
+        let (used, cap) = if is_map {
+            (&self.map_slots_used, self.p.map_slots)
+        } else {
+            (&self.red_slots_used, self.p.reduce_slots)
+        };
+        (0..self.p.nodes)
+            .filter(|&n| self.node_alive[n])
+            .map(|n| cap - used[n])
+            .sum()
+    }
+
+    fn evict_map2(&mut self, at: SimTime, m: usize) {
+        let old = self.maps2[m].attempt;
+        self.map_slots_used[self.maps2[m].node] -= 1;
+        self.maps2[m].restart(self.cfg2.reducers);
+        self.net.cancel_where(at, |t| match *t {
+            Tag::Handoff {
+                map, map_attempt, ..
+            } => map == m && map_attempt == old,
+            Tag::Fetch2(mm, aa) => mm == m && aa == old,
+            _ => false,
+        });
+    }
+
+    fn evict_red2(&mut self, at: SimTime, r: usize) {
+        let old = self.reds2[r].attempt;
+        self.red_slots_used[self.reds2[r].node] -= 1;
+        self.reds2[r].restart();
+        self.net.cancel_where(at, |t| match *t {
+            Tag::Shuffle2 {
+                red, red_attempt, ..
+            } => red == r && red_attempt == old,
+            Tag::Output2(rr, aa, _) => rr == r && aa == old,
+            _ => false,
+        });
     }
 
     // --------------------------------------------------------- stage 1 map
@@ -946,12 +1161,25 @@ where
             .span(SpanKind::Map, m, self.maps1[m].started, at);
         for r in 0..self.reds1.len() {
             if self.reds1[r].state == RState::Running && !self.reds1[r].flow_from[m] {
-                self.start_shuffle1_flow(at, m, r);
+                self.start_shuffle1_flow(at, m, r, false);
+            }
+            // Backups past their launch overhead pull too.
+            if self.reds1_bk[r]
+                .as_ref()
+                .is_some_and(|t| t.state == RState::Running && t.started <= at && !t.flow_from[m])
+            {
+                self.start_shuffle1_flow(at, m, r, true);
             }
         }
         for r in 0..self.reds1.len() {
             if self.reds1[r].state == RState::Running {
-                self.check_shuffle1_complete(at, r);
+                self.check_shuffle1_complete(at, r, false);
+            }
+            if self.reds1_bk[r]
+                .as_ref()
+                .is_some_and(|t| t.state == RState::Running && t.started <= at)
+            {
+                self.check_shuffle1_complete(at, r, true);
             }
         }
         self.queue.schedule(at, Ev::Schedule);
@@ -981,12 +1209,12 @@ where
         }
         for m in 0..n_maps {
             if self.maps1[m].state == MState::Done {
-                self.start_shuffle1_flow(at, m, r);
+                self.start_shuffle1_flow(at, m, r, false);
             }
         }
     }
 
-    fn start_shuffle1_flow(&mut self, at: SimTime, m: usize, r: usize) {
+    fn start_shuffle1_flow(&mut self, at: SimTime, m: usize, r: usize, bk: bool) {
         let total_records: usize = self.maps1[m]
             .output
             .as_ref()
@@ -1000,9 +1228,12 @@ where
         } else {
             self.maps1[m].out_bytes / self.cfg1.reducers as u64
         };
-        self.reds1[r].flow_from[m] = true;
         let src = NodeId(self.maps1[m].node as u32);
-        let dst = NodeId(self.reds1[r].node as u32);
+        let map_attempt = self.maps1[m].attempt;
+        let task = red1_mut!(self, r, bk);
+        task.flow_from[m] = true;
+        let dst = NodeId(task.node as u32);
+        let red_attempt = task.attempt;
         self.net.start_flow(
             at,
             src,
@@ -1010,14 +1241,14 @@ where
             bytes,
             Tag::Shuffle1 {
                 map: m,
-                map_attempt: self.maps1[m].attempt,
+                map_attempt,
                 red: r,
-                red_attempt: self.reds1[r].attempt,
+                red_attempt,
             },
         );
     }
 
-    fn shuffle1_delivery(&mut self, at: SimTime, m: usize, r: usize) {
+    fn shuffle1_delivery(&mut self, at: SimTime, m: usize, r: usize, bk: bool) {
         let batch = self.maps1[m].output.as_ref().expect("done map")[r].clone();
         let total_records: usize = self.maps1[m]
             .output
@@ -1033,7 +1264,7 @@ where
         };
         let pipelined = self.pipelined1();
         let absorb = Self::absorb_cost(&self.cfg1, self.costs);
-        let task = &mut self.reds1[r];
+        let task = red1_mut!(self, r, bk);
         task.fetched_from[m] = true;
         task.input_bytes += bytes;
         if pipelined {
@@ -1047,40 +1278,42 @@ where
         } else {
             task.buffer.extend(batch);
         }
-        self.check_shuffle1_complete(at, r);
+        self.check_shuffle1_complete(at, r, bk);
     }
 
-    fn check_shuffle1_complete(&mut self, at: SimTime, r: usize) {
-        let all = self.reds1[r].fetched_from.iter().all(|&f| f)
-            && self.reds1[r].fetched_from.len() == self.maps1.len()
-            && self.maps1_done == self.maps1.len();
-        if !all || self.reds1[r].shuffle_done_at.is_some() {
+    fn check_shuffle1_complete(&mut self, at: SimTime, r: usize, bk: bool) {
+        let n_maps = self.maps1.len();
+        let maps_done = self.maps1_done == n_maps;
+        let task = red1_mut!(self, r, bk);
+        let all =
+            task.fetched_from.iter().all(|&f| f) && task.fetched_from.len() == n_maps && maps_done;
+        if !all || task.shuffle_done_at.is_some() {
             return;
         }
-        self.reds1[r].shuffle_done_at = Some(at);
+        task.shuffle_done_at = Some(at);
         if self.pipelined1() {
-            let when = self.reds1[r].cpu_free.max(at);
-            self.queue
-                .schedule(when, Ev::R1Batch(r, self.reds1[r].attempt));
+            let task = red1_mut!(self, r, bk);
+            let when = task.cpu_free.max(at);
+            self.queue.schedule(when, Ev::R1Batch(r, task.attempt));
         } else {
-            self.timeline1
-                .span(SpanKind::Shuffle, r, self.reds1[r].started, at);
-            let n = self.reds1[r].buffer.len() as f64;
-            let sort = self.costs.sort_cpu_coeff
-                * n
-                * n.max(2.0).log2()
-                * self.node_factor[self.reds1[r].node];
+            let task = red1_mut!(self, r, bk);
+            let (started, node, attempt) = (task.started, task.node, task.attempt);
+            let n = task.buffer.len() as f64;
+            if !bk {
+                self.timeline1.span(SpanKind::Shuffle, r, started, at);
+            }
+            let sort = self.costs.sort_cpu_coeff * n * n.max(2.0).log2() * self.node_factor[node];
             self.queue.schedule(
                 at + SimDuration::from_secs_f64(sort),
-                Ev::R1SortDone(r, self.reds1[r].attempt),
+                Ev::R1SortDone(r, attempt),
             );
         }
     }
 
-    fn red1_batch(&mut self, at: SimTime, r: usize) {
-        if let Some(batch) = self.reds1[r].batches.pop_front() {
-            let node = self.reds1[r].node;
-            let task = &mut self.reds1[r];
+    fn red1_batch(&mut self, at: SimTime, r: usize, bk: bool) {
+        let task = red1_mut!(self, r, bk);
+        if let Some(batch) = task.batches.pop_front() {
+            let node = task.node;
             let driver = task.driver.as_mut().expect("pipelined reducer");
             for (k, v) in batch {
                 if let Err(e) = driver.push(self.first, k, v, &mut task.out) {
@@ -1089,27 +1322,30 @@ where
                 }
             }
             let bytes = driver.modelled_bytes();
-            self.timeline1.heap_sample(at, r, bytes);
             let io = driver.io_bytes();
             let delta = io - task.io_charged;
             if delta > 0 {
                 task.io_charged = io;
                 self.disks[node].submit(at, delta);
             }
-            // Emit-during-absorb applications produced new output:
-            // stream it downstream right now.
-            if self.streaming {
-                self.ship_handoff(at, r);
+            if !bk {
+                self.timeline1.heap_sample(at, r, bytes);
+                // Emit-during-absorb applications produced new output:
+                // stream it downstream right now. Backups never ship —
+                // only the primary attempt feeds the chain edge.
+                if self.streaming {
+                    self.ship_handoff(at, r);
+                }
             }
         }
-        let task = &self.reds1[r];
+        let task = red1_mut!(self, r, bk);
         if task.shuffle_done_at.is_some() && task.batches.is_empty() && task.cpu_free <= at {
-            self.red1_start_finalize(at, r);
+            self.red1_start_finalize(at, r, bk);
         }
     }
 
-    fn red1_start_finalize(&mut self, at: SimTime, r: usize) {
-        let task = &mut self.reds1[r];
+    fn red1_start_finalize(&mut self, at: SimTime, r: usize, bk: bool) {
+        let task = red1_mut!(self, r, bk);
         task.state = RState::Finalizing;
         let entries = task.driver.as_ref().map_or(0, |d| d.entries());
         let dur = SimDuration::from_secs_f64(
@@ -1119,7 +1355,10 @@ where
             .schedule(at + dur, Ev::R1FinalizeDone(r, task.attempt));
     }
 
-    fn red1_finalize_done(&mut self, at: SimTime, r: usize) {
+    fn red1_finalize_done(&mut self, at: SimTime, r: usize, bk: bool) {
+        // First attempt to get here wins the speculative race; from here
+        // on `self.reds1[r]` is the winner.
+        self.resolve_red1_winner(at, r, bk);
         let driver = self.reds1[r].driver.take().expect("pipelined reducer");
         let mut out = std::mem::take(&mut self.reds1[r].out);
         let mut counters = std::mem::take(&mut self.reds1[r].counters);
@@ -1144,8 +1383,8 @@ where
         self.red1_reduce_finished(at, r);
     }
 
-    fn red1_grouped_start(&mut self, at: SimTime, r: usize) {
-        let task = &self.reds1[r];
+    fn red1_grouped_start(&mut self, at: SimTime, r: usize, bk: bool) {
+        let task = red1_mut!(self, r, bk);
         let n = task.buffer.len() as f64;
         let dur = SimDuration::from_secs_f64(
             self.costs.reduce_cpu_per_record * n * self.node_factor[task.node],
@@ -1154,7 +1393,10 @@ where
             .schedule(at + dur, Ev::R1GroupedDone(r, task.attempt));
     }
 
-    fn red1_grouped_done(&mut self, at: SimTime, r: usize) {
+    fn red1_grouped_done(&mut self, at: SimTime, r: usize, bk: bool) {
+        // First attempt to get here wins the speculative race; from here
+        // on `self.reds1[r]` is the winner.
+        self.resolve_red1_winner(at, r, bk);
         let records = std::mem::take(&mut self.reds1[r].buffer);
         let mut counters = std::mem::take(&mut self.reds1[r].counters);
         match reduce_partition_barrier(self.first, records, &mut counters) {
@@ -1242,6 +1484,179 @@ where
         self.queue.schedule(at, Ev::Schedule);
     }
 
+    // ------------------------------------------- stage-1 reduce speculation
+
+    /// First-wins resolution, called the moment attempt `(r, bk)`
+    /// finishes its reduce work — before any handoff ship or output
+    /// write, so downstream only ever sees one winning attempt. A
+    /// winning backup is promoted into the primary slot and the loser
+    /// cancelled; a backup win also restarts the downstream map that
+    /// consumed the losing attempt's stream (the promoted winner
+    /// re-ships its byte-identical output when the map comes back).
+    fn resolve_red1_winner(&mut self, at: SimTime, r: usize, bk: bool) {
+        if bk {
+            let backup = self.reds1_bk[r].take().expect("resolving backup attempt");
+            let node = backup.node;
+            let loser = std::mem::replace(&mut self.reds1[r], backup);
+            self.cancel_red1_attempt(at, r, &loser);
+            self.map_counters.add(names::SPECULATION_WON, 1);
+            self.timeline1
+                .speculation_mark(at, SpecTaskKind::Reduce, r, SpecEvent::Won, node);
+            self.restart_downstream_of(at, r);
+        } else if let Some(backup) = self.reds1_bk[r].take() {
+            self.cancel_red1_attempt(at, r, &backup);
+        }
+    }
+
+    /// Cancels a losing stage-1 reduce attempt: its in-flight shuffle
+    /// and handoff flows are rescinded (disk work already submitted is
+    /// not — as with node failure) and its slot frees after the
+    /// cancellation overhead.
+    fn cancel_red1_attempt(&mut self, at: SimTime, r: usize, loser: &RedTask<A>) {
+        let (node, attempt) = (loser.node, loser.attempt);
+        self.net.cancel_where(at, |t| match *t {
+            Tag::Shuffle1 {
+                red, red_attempt, ..
+            } => red == r && red_attempt == attempt,
+            Tag::Handoff {
+                red, red_attempt, ..
+            } => red == r && red_attempt == attempt,
+            _ => false,
+        });
+        self.map_counters.add(names::SPECULATION_CANCELLED, 1);
+        self.timeline1
+            .speculation_mark(at, SpecTaskKind::Reduce, r, SpecEvent::Cancelled, node);
+        self.queue.schedule(
+            at + SimDuration::from_secs_f64(self.costs.speculation_cancel_overhead_secs),
+            Ev::SpecSlotFree(node),
+        );
+    }
+
+    /// The stage-1 attempt downstream map `r` was consuming went away
+    /// (lost the speculative race or died with a surviving backup):
+    /// restart the map so the winning attempt's stream replays from the
+    /// start. Composes with the fault-recovery downstream restarts — the
+    /// same counter witnesses both.
+    fn restart_downstream_of(&mut self, at: SimTime, r: usize) {
+        let m = r;
+        let was = self.maps2[m].state;
+        if was == M2State::Pending {
+            return;
+        }
+        if was == M2State::Done {
+            self.maps2_done -= 1;
+        } else if self.node_alive[self.maps2[m].node] {
+            self.map_slots_used[self.maps2[m].node] -= 1;
+        }
+        self.downstream_map_restarts += 1;
+        let old = self.maps2[m].attempt;
+        self.maps2[m].restart(self.cfg2.reducers);
+        self.net.cancel_where(
+            at,
+            |t| matches!(*t, Tag::Handoff { map, map_attempt, .. } if map == m && map_attempt == old),
+        );
+        // Stage-2 reducers that had an in-flight or delivered flow from
+        // this map must be allowed to re-request it.
+        for red in &mut self.reds2 {
+            if !red.flow_from.is_empty() && (red.fetched_from.len() <= m || !red.fetched_from[m]) {
+                red.flow_from[m] = false;
+            }
+        }
+        self.queue.schedule(at, Ev::Schedule);
+    }
+
+    /// Periodic straggler detection for stage-1 reducers, mirroring the
+    /// single-job executor's speed trigger: a reducer placed on a node
+    /// measurably slower than the alive-node median loses by its node's
+    /// throughput deficit no matter how the shuffle goes, so it earns
+    /// one backup attempt on another node as soon as real work has
+    /// reached it. Shuffle-delivery counts are deliberately NOT a
+    /// trigger (same rationale as the executor): the simulator models
+    /// the network explicitly, so delivery lag always traces to fair
+    /// link contention, never to a hidden slow node.
+    fn spec_tick(&mut self, at: SimTime) {
+        let SpeculationPolicy::Enabled {
+            check_secs,
+            slowdown,
+        } = self.speculation
+        else {
+            return;
+        };
+        let mut facs: Vec<f64> = (0..self.p.nodes)
+            .filter(|&n| self.node_alive[n])
+            .map(|n| self.node_factor[n])
+            .collect();
+        facs.sort_by(|a, b| a.partial_cmp(b).expect("factors are finite"));
+        let median_factor = facs.get(facs.len() / 2).copied().unwrap_or(1.0);
+        for r in 0..self.reds1.len() {
+            let task = &self.reds1[r];
+            let straggling = task.state == RState::Running
+                && !self.red1_speculated[r]
+                && task.fetched_from.iter().any(|&f| f)
+                && self.node_factor[task.node] > slowdown * median_factor;
+            if straggling {
+                self.launch_red1_backup(at, r);
+            }
+        }
+        if self.failure.is_none() && self.reds2_done < self.reds2.len() {
+            self.queue
+                .schedule(at + SimDuration::from_secs_f64(check_secs), Ev::SpecTick);
+        }
+    }
+
+    /// Launches the (single) backup attempt for straggling stage-1
+    /// reducer `r` on an alive node away from the straggler, if a
+    /// reduce slot is free there. The backup starts pulling map output
+    /// after the launch overhead; it never ships handoffs or heap
+    /// samples — promotion happens only if it wins.
+    fn launch_red1_backup(&mut self, at: SimTime, r: usize) {
+        let avoid = self.reds1[r].node;
+        // Fastest free node away from the straggler wins (LATE-style):
+        // a backup on another slow node would just burn a slot.
+        let Some(node) = (0..self.p.nodes)
+            .filter(|&n| {
+                self.node_alive[n] && n != avoid && self.red_slots_used[n] < self.p.reduce_slots
+            })
+            .min_by(|&a, &b| {
+                let key = |n: usize| (self.node_factor[n], self.red_slots_used[n], n);
+                key(a).partial_cmp(&key(b)).expect("factors are finite")
+            })
+        else {
+            return; // no slot free away from the straggler: retry next tick
+        };
+        self.red1_speculated[r] = true;
+        self.red_slots_used[node] += 1;
+        self.red1_tasks_run += 1;
+        self.red1_seq[r] += 1;
+        let attempt = self.red1_seq[r];
+        let launch = at + SimDuration::from_secs_f64(self.costs.speculation_launch_overhead_secs);
+        let n_maps = self.maps1.len();
+        let mut task = RedTask::fresh();
+        task.state = RState::Running;
+        task.node = node;
+        task.attempt = attempt;
+        // `started` doubles as the feed gate: `map1_done` only feeds
+        // backups whose launch overhead has elapsed.
+        task.started = launch;
+        task.cpu_free = launch;
+        task.fetched_from = vec![false; n_maps];
+        task.flow_from = vec![false; n_maps];
+        if self.pipelined1() {
+            match IncrementalDriver::new(self.first, &self.cfg1, r) {
+                Ok(driver) => task.driver = Some(driver),
+                Err(e) => {
+                    self.failure = Some((at, format!("stage-1 backup driver init failed: {e}")));
+                    return;
+                }
+            }
+        }
+        self.reds1_bk[r] = Some(task);
+        self.map_counters.add(names::SPECULATION_LAUNCHED, 1);
+        self.timeline1
+            .speculation_mark(at, SpecTaskKind::Reduce, r, SpecEvent::Launched, node);
+        self.queue.schedule(launch, Ev::Red1BackupStart(r, attempt));
+    }
+
     // ---------------------------------------------------- cross-job edge
 
     /// Real bytes of upstream partition `r`'s output records
@@ -1315,8 +1730,8 @@ where
 
     // --------------------------------------------------------- stage 2 map
 
-    fn start_map2(&mut self, at: SimTime, m: usize) {
-        let node = self.place_chain_task();
+    fn start_map2(&mut self, at: SimTime, m: usize, node: usize) {
+        self.map_slots_used[node] += 1;
         self.map2_tasks_run += 1;
         let task = &mut self.maps2[m];
         task.state = M2State::Consuming;
@@ -1418,7 +1833,7 @@ where
     fn map2_done(&mut self, at: SimTime, m: usize) {
         self.maps2[m].state = M2State::Done;
         self.maps2_done += 1;
-        self.chain_load[self.maps2[m].node] -= 1;
+        self.map_slots_used[self.maps2[m].node] -= 1;
         self.timeline2
             .span(SpanKind::Map, m, self.maps2[m].started, at);
         for r in 0..self.reds2.len() {
@@ -1436,8 +1851,8 @@ where
 
     // ------------------------------------------------------ stage 2 reduce
 
-    fn start_reduce2(&mut self, at: SimTime, r: usize) {
-        let node = self.place_chain_task();
+    fn start_reduce2(&mut self, at: SimTime, r: usize, node: usize) {
+        self.red_slots_used[node] += 1;
         self.red2_tasks_run += 1;
         let n_maps = self.maps2.len();
         let task = &mut self.reds2[r];
@@ -1661,7 +2076,7 @@ where
         self.reds2_done += 1;
         let (node, write_started) = (task.node, task.write_started);
         if self.node_alive[node] {
-            self.chain_load[node] -= 1;
+            self.red_slots_used[node] -= 1;
         }
         self.timeline2.span(SpanKind::Output, r, write_started, at);
         self.queue.schedule(at, Ev::Schedule);
@@ -1682,11 +2097,12 @@ where
                 red,
                 red_attempt,
             } => {
-                if self.maps1[map].attempt == map_attempt
-                    && self.reds1[red].attempt == red_attempt
-                    && self.reds1[red].state == RState::Running
-                {
-                    self.shuffle1_delivery(at, map, red);
+                if self.maps1[map].attempt == map_attempt {
+                    if let Some(bk) = self.red1_slot(red, red_attempt) {
+                        if red1_mut!(self, red, bk).state == RState::Running {
+                            self.shuffle1_delivery(at, map, red, bk);
+                        }
+                    }
                 }
             }
             Tag::Handoff {
@@ -1755,7 +2171,6 @@ where
         self.node_alive[n] = false;
         self.map_slots_used[n] = 0;
         self.red_slots_used[n] = 0;
-        self.chain_load[n] = 0;
         if !self.node_alive.iter().any(|&alive| alive) {
             self.failure = Some((at, "every node has failed; chain lost".to_string()));
             return;
@@ -1763,6 +2178,29 @@ where
         let cancelled = self.net.fail_node(at, NodeId(n as u32));
         for cid in self.dfs.fail_node(NodeId(n as u32)) {
             self.dfs.restore_chunk(cid);
+        }
+
+        // Speculative backups on the dead node are dropped (death is not
+        // a cancellation — no overhead, no counter); a dead *primary*
+        // with a surviving backup promotes the backup in place of a
+        // restart, though the downstream map that consumed the dead
+        // attempt's stream must still restart.
+        let mut promoted = vec![false; self.reds1.len()];
+        for r in 0..self.reds1.len() {
+            if self.reds1_bk[r].as_ref().is_some_and(|t| t.node == n) {
+                self.reds1_bk[r] = None;
+            }
+        }
+        for (r, promo) in promoted.iter_mut().enumerate() {
+            let dead_primary = self.reds1[r].node == n
+                && self.reds1[r].state != RState::Done
+                && self.reds1[r].state != RState::Pending;
+            if dead_primary {
+                if let Some(backup) = self.reds1_bk[r].take() {
+                    self.reds1[r] = backup;
+                    *promo = true;
+                }
+            }
         }
 
         // Decide the restart sets to a fixpoint: an upstream reducer
@@ -1787,6 +2225,13 @@ where
         for (r, task) in self.reds2.iter().enumerate() {
             if task.node == n && task.state != RState::Done && task.state != RState::Pending {
                 reds2_restart[r] = true;
+            }
+        }
+        // A promoted backup carries on, but its stream starts over for
+        // the consumer of the dead attempt.
+        for (r, &p) in promoted.iter().enumerate() {
+            if p {
+                maps2_restart[r] = true;
             }
         }
         // Completed stage-2 maps whose node died must re-run if some
@@ -1846,7 +2291,7 @@ where
         for (r, restart) in reds2_restart.iter().enumerate() {
             if *restart {
                 if self.node_alive[self.reds2[r].node] {
-                    self.chain_load[self.reds2[r].node] -= 1;
+                    self.red_slots_used[self.reds2[r].node] -= 1;
                 }
                 self.reds2[r].restart();
             }
@@ -1860,10 +2305,10 @@ where
                 if was != M2State::Pending {
                     let reducers = self.cfg2.reducers;
                     if was == M2State::Done {
-                        // Its chain-load share was released at completion.
+                        // Its map slot was released at completion.
                         self.maps2_done -= 1;
                     } else if self.node_alive[self.maps2[m].node] {
-                        self.chain_load[self.maps2[m].node] -= 1;
+                        self.map_slots_used[self.maps2[m].node] -= 1;
                         self.downstream_map_restarts += 1;
                     }
                     self.maps2[m].restart(reducers);
@@ -1883,13 +2328,18 @@ where
         // Pending also reopens stage-1 completion).
         for (r, restart) in reds1_restart.iter().enumerate() {
             if *restart {
-                let task = &mut self.reds1[r];
-                if task.state == RState::Done {
+                if self.reds1[r].state == RState::Done {
                     // Its reduce slot was released at completion.
                     self.reds1_done -= 1;
                     self.stage1_complete = None;
                 }
+                // Restamp from the shared sequence so the new attempt
+                // never collides with a (cancelled) speculative one.
+                self.red1_seq[r] += 1;
+                let seq = self.red1_seq[r];
+                let task = &mut self.reds1[r];
                 task.restart();
+                task.attempt = seq;
             }
         }
         // Stage-1 maps: mirror the single-job executor — running tasks on
@@ -1900,10 +2350,14 @@ where
                 MState::Fetching | MState::Computing | MState::Writing => self.maps1[m].node == n,
                 MState::Done => {
                     !self.node_alive[self.maps1[m].node]
-                        && self.reds1.iter().any(|r| {
-                            r.state != RState::Done
-                                && (r.fetched_from.len() <= m || !r.fetched_from[m])
-                        })
+                        && self
+                            .reds1
+                            .iter()
+                            .chain(self.reds1_bk.iter().flatten())
+                            .any(|r| {
+                                r.state != RState::Done
+                                    && (r.fetched_from.len() <= m || !r.fetched_from[m])
+                            })
                 }
                 _ => false,
             };
@@ -1916,7 +2370,11 @@ where
                 task.attempt += 1;
                 task.output = None;
                 task.node = usize::MAX;
-                for r in &mut self.reds1 {
+                for r in self
+                    .reds1
+                    .iter_mut()
+                    .chain(self.reds1_bk.iter_mut().flatten())
+                {
                     if !r.flow_from.is_empty() && !r.fetched_from[m] {
                         r.flow_from[m] = false;
                     }

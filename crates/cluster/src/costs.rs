@@ -54,6 +54,14 @@ pub struct CostModel {
     /// Charged as network flows on the cross-job edge in streaming mode,
     /// and as the materialized-read volume in barrier mode.
     pub chain_handoff_byte_scale: f64,
+    /// Seconds between a straggler being detected and its speculative
+    /// backup attempt starting work (task setup: JVM launch, split
+    /// re-open). Backups are not free — this keeps speculation honest
+    /// about its own scheduling latency.
+    pub speculation_launch_overhead_secs: f64,
+    /// Seconds a losing attempt's slot stays occupied after first-wins
+    /// resolution cancels it (teardown before the slot frees).
+    pub speculation_cancel_overhead_secs: f64,
 }
 
 impl CostModel {
@@ -77,6 +85,8 @@ impl CostModel {
             output_selectivity: 0.2,
             chain_map_cpu_per_record: 5e-3,
             chain_handoff_byte_scale: 4096.0,
+            speculation_launch_overhead_secs: 1.0,
+            speculation_cancel_overhead_secs: 0.5,
         }
     }
 
@@ -95,6 +105,8 @@ impl CostModel {
         assert!(self.output_selectivity >= 0.0);
         assert!(self.chain_map_cpu_per_record >= 0.0);
         assert!(self.chain_handoff_byte_scale >= 0.0);
+        assert!(self.speculation_launch_overhead_secs >= 0.0);
+        assert!(self.speculation_cancel_overhead_secs >= 0.0);
     }
 }
 

@@ -8,14 +8,14 @@ use crate::costs::CostModel;
 use crate::input::SimInput;
 use crate::params::ClusterParams;
 use crate::report::{Outcome, SimReport};
-use crate::timeline::{SpanKind, Timeline};
+use crate::timeline::{SpanKind, SpecEvent, SpecTaskKind, Timeline};
 use mr_core::counters::names;
 use mr_core::engine::barrier::reduce_partition_barrier;
 use mr_core::engine::pipeline::IncrementalDriver;
 use mr_core::engine::DriverReport;
 use mr_core::{
     Application, CombinerBuffer, Counters, Engine, JobConfig, JobOutput, MemoryPolicy, MrError,
-    Partitioner, Snapshot,
+    Partitioner, Snapshot, SnapshotPolicy, SpeculationPolicy,
 };
 use mr_dfs::{ChunkId, Dfs, DfsConfig};
 use mr_net::{Network, NetworkConfig, NodeId};
@@ -86,6 +86,12 @@ impl SimExecutor {
         if let Some(policy) = self.params.snapshots {
             effective.snapshots = policy;
         }
+        if let Some(policy) = self.params.speculation {
+            effective.speculation = policy;
+        }
+        if let Some(policy) = self.params.deadline {
+            effective.deadline = policy;
+        }
         if let Err(e) = effective.validate() {
             // A nonsense knob combination fails the job up front — the
             // same Err-not-panic contract as the local executor, shaped
@@ -132,6 +138,20 @@ enum Ev {
     /// Global time-driven snapshot tick (`SnapshotPolicy::EverySecs`):
     /// every live reduce task publishes a point-in-time estimate.
     SnapshotTick,
+    /// Periodic straggler check (`SpeculationPolicy::Enabled`): compares
+    /// every running task's progress against the median and launches
+    /// backup attempts for the ones that fall behind.
+    SpecTick,
+    /// A backup map attempt's setup latency elapsed; issue its input read.
+    MapBackupStart(usize, u32),
+    /// A backup reduce attempt's setup latency elapsed; pull map output.
+    RedBackupStart(usize, u32),
+    /// A cancelled attempt's slot finishes teardown and frees. The bool
+    /// distinguishes map (`true`) from reduce (`false`) slots.
+    SpecSlotFree(usize, bool),
+    /// The job's `DeadlinePolicy` expires: stop and answer from the
+    /// latest published snapshots.
+    Deadline,
 }
 
 /// Network flow tags.
@@ -219,6 +239,33 @@ struct ReduceTask<A: Application> {
     next_snap_seq: u64,
 }
 
+/// Resolves a `&mut` to one attempt of map task `$m`: the primary slot
+/// (`$bk == false`) or the backup slot. A macro rather than a method so
+/// the borrow stays confined to the task tables and the caller can keep
+/// using `self.queue`, `self.disks` etc. concurrently.
+macro_rules! map_mut {
+    ($s:expr, $m:expr, $bk:expr) => {
+        if $bk {
+            $s.maps_bk[$m].as_mut().expect("backup map attempt present")
+        } else {
+            &mut $s.maps[$m]
+        }
+    };
+}
+
+/// `map_mut!` for reduce tasks.
+macro_rules! red_mut {
+    ($s:expr, $r:expr, $bk:expr) => {
+        if $bk {
+            $s.reds_bk[$r]
+                .as_mut()
+                .expect("backup reduce attempt present")
+        } else {
+            &mut $s.reds[$r]
+        }
+    };
+}
+
 struct Sim<'a, A: Application, I, P> {
     p: &'a ClusterParams,
     app: &'a A,
@@ -240,6 +287,30 @@ struct Sim<'a, A: Application, I, P> {
     red_slots_used: Vec<usize>,
     maps: Vec<MapTask<A>>,
     reds: Vec<ReduceTask<A>>,
+    /// Speculative backup attempts, one slot per task. `Some` while a
+    /// backup races the primary; resolved first-wins (the winner is
+    /// promoted into the primary table, the loser cancelled).
+    maps_bk: Vec<Option<MapTask<A>>>,
+    reds_bk: Vec<Option<ReduceTask<A>>>,
+    /// Whether a backup was ever launched for this task — at most one
+    /// backup per task, across its whole lifetime.
+    map_speculated: Vec<bool>,
+    red_speculated: Vec<bool>,
+    /// Per-task attempt counters. Every restart *and* backup launch draws
+    /// a fresh stamp from here, so no two live attempts of one task can
+    /// ever share an attempt number (events and flow tags stay unambiguous).
+    map_seq: Vec<u32>,
+    red_seq: Vec<u32>,
+    /// Effective speculation policy, cluster override applied (the
+    /// effective deadline lives in `cfg.deadline`; it is consumed once,
+    /// when the `Ev::Deadline` event is scheduled).
+    speculation: SpeculationPolicy,
+    /// Set when the deadline fired before completion.
+    deadline_hit: Option<SimTime>,
+    /// `cfg` with snapshots disabled — backup reducers run their drivers
+    /// on this so only the primary attempt feeds the observer's snapshot
+    /// stream (a promoted winner resumes numbering above it).
+    cfg_bk: JobConfig,
     maps_done: usize,
     reds_done: usize,
     timeline: Timeline,
@@ -284,9 +355,9 @@ where
         );
         let file = dfs.create_file("job-input", chunks * p.chunk_bytes);
         let chunk_ids: Vec<ChunkId> = dfs.file_chunks(file).to_vec();
-        let maps = chunk_ids
+        let maps: Vec<MapTask<A>> = chunk_ids
             .into_iter()
-            .map(|chunk| MapTask {
+            .map(|chunk| MapTask::<A> {
                 chunk,
                 state: MapState::Pending,
                 node: usize::MAX,
@@ -303,7 +374,13 @@ where
         if let Some(policy) = p.snapshots {
             cfg.snapshots = policy;
         }
-        let reds = (0..cfg.reducers)
+        let speculation = p.speculation.unwrap_or(cfg.speculation);
+        let deadline = p.deadline.unwrap_or(cfg.deadline);
+        cfg.speculation = speculation;
+        cfg.deadline = deadline;
+        let mut cfg_bk = cfg.clone();
+        cfg_bk.snapshots = SnapshotPolicy::Disabled;
+        let reds: Vec<ReduceTask<A>> = (0..cfg.reducers)
             .map(|_| ReduceTask {
                 state: RedState::Pending,
                 node: usize::MAX,
@@ -333,6 +410,12 @@ where
         if let Some(secs) = cfg.snapshots.secs_interval() {
             queue.schedule(SimTime::from_secs_f64(secs), Ev::SnapshotTick);
         }
+        if let SpeculationPolicy::Enabled { check_secs, .. } = speculation {
+            queue.schedule(SimTime::from_secs_f64(check_secs), Ev::SpecTick);
+        }
+        if let Some(secs) = deadline.secs() {
+            queue.schedule(SimTime::from_secs_f64(secs), Ev::Deadline);
+        }
         Sim {
             net: Network::new(NetworkConfig {
                 nodes: p.nodes,
@@ -355,6 +438,15 @@ where
             queue,
             dfs,
             node_factor,
+            maps_bk: (0..maps.len()).map(|_| None).collect(),
+            reds_bk: (0..reds.len()).map(|_| None).collect(),
+            map_speculated: vec![false; maps.len()],
+            red_speculated: vec![false; reds.len()],
+            map_seq: vec![0; maps.len()],
+            red_seq: vec![0; reds.len()],
+            speculation,
+            deadline_hit: None,
+            cfg_bk,
             maps,
             reds,
             maps_done: 0,
@@ -411,7 +503,7 @@ where
 
     fn run(mut self) -> SimReport<A> {
         loop {
-            if self.failure.is_some() {
+            if self.failure.is_some() || self.deadline_hit.is_some() {
                 break;
             }
             let tq = self.queue.peek_time();
@@ -441,8 +533,11 @@ where
     fn finish_report(mut self) -> SimReport<A> {
         let outcome = match self.failure.take() {
             Some((at, reason)) => Outcome::Failed { at, reason },
-            None => Outcome::Completed {
-                at: self.timeline.last_end(),
+            None => match self.deadline_hit {
+                Some(at) => Outcome::Approximate { at },
+                None => Outcome::Completed {
+                    at: self.timeline.last_end(),
+                },
             },
         };
         let output = if outcome.is_completed() {
@@ -464,6 +559,30 @@ where
                 reports,
                 snapshots,
             })
+        } else if outcome.is_approximate() {
+            // Deadline-bounded answer: each partition reports the latest
+            // estimate its primary attempt published (empty if it never
+            // published — honesty over optimism). Counters are the
+            // partial tallies accumulated so far.
+            let mut counters = std::mem::take(&mut self.map_counters);
+            let mut partitions = Vec::with_capacity(self.reds.len());
+            let mut snapshots = Vec::with_capacity(self.reds.len());
+            for r in &mut self.reds {
+                counters.merge(&r.counters);
+                partitions.push(
+                    r.published_snaps
+                        .last()
+                        .map(|s| s.estimate.clone())
+                        .unwrap_or_default(),
+                );
+                snapshots.push(std::mem::take(&mut r.published_snaps));
+            }
+            Some(JobOutput {
+                partitions,
+                counters,
+                reports: Vec::new(),
+                snapshots,
+            })
         } else {
             None
         };
@@ -483,51 +602,148 @@ where
 
     // ---------------------------------------------------------- scheduler
 
+    /// Resolves an attempt stamp for map task `m` to the slot it lives
+    /// in: `Some(false)` = primary, `Some(true)` = backup, `None` = a
+    /// dead attempt (event dropped). Attempt stamps are drawn from a
+    /// shared per-task counter, so a stamp never matches both slots.
+    fn map_slot(&self, m: usize, a: u32) -> Option<bool> {
+        if self.maps[m].attempt == a {
+            Some(false)
+        } else if self.maps_bk[m].as_ref().is_some_and(|t| t.attempt == a) {
+            Some(true)
+        } else {
+            None
+        }
+    }
+
+    /// `map_slot` for reduce tasks.
+    fn red_slot(&self, r: usize, a: u32) -> Option<bool> {
+        if self.reds[r].attempt == a {
+            Some(false)
+        } else if self.reds_bk[r].as_ref().is_some_and(|t| t.attempt == a) {
+            Some(true)
+        } else {
+            None
+        }
+    }
+
+    fn map_state(&self, m: usize, bk: bool) -> MapState {
+        if bk {
+            self.maps_bk[m].as_ref().expect("backup present").state
+        } else {
+            self.maps[m].state
+        }
+    }
+
+    fn red_state(&self, r: usize, bk: bool) -> RedState {
+        if bk {
+            self.reds_bk[r].as_ref().expect("backup present").state
+        } else {
+            self.reds[r].state
+        }
+    }
+
     fn handle_event(&mut self, at: SimTime, ev: Ev) {
         match ev {
             Ev::Schedule => self.schedule_tasks(at),
             Ev::MapFetched(m, a) => {
-                if self.maps[m].attempt == a && self.maps[m].state == MapState::Fetching {
-                    self.map_compute(at, m);
+                if let Some(bk) = self.map_slot(m, a) {
+                    if self.map_state(m, bk) == MapState::Fetching {
+                        self.map_compute(at, m, bk);
+                    }
                 }
             }
             Ev::MapComputed(m, a) => {
-                if self.maps[m].attempt == a && self.maps[m].state == MapState::Computing {
-                    self.map_write(at, m);
+                if let Some(bk) = self.map_slot(m, a) {
+                    if self.map_state(m, bk) == MapState::Computing {
+                        self.map_write(at, m, bk);
+                    }
                 }
             }
             Ev::MapWritten(m, a) => {
-                if self.maps[m].attempt == a && self.maps[m].state == MapState::Writing {
-                    self.map_done(at, m);
+                if let Some(bk) = self.map_slot(m, a) {
+                    if self.map_state(m, bk) == MapState::Writing {
+                        self.map_done(at, m, bk);
+                    }
                 }
             }
             Ev::Batch(r, a) => {
-                if self.reds[r].attempt == a && self.reds[r].state == RedState::Running {
-                    self.reduce_batch(at, r);
+                if let Some(bk) = self.red_slot(r, a) {
+                    if self.red_state(r, bk) == RedState::Running {
+                        self.reduce_batch(at, r, bk);
+                    }
                 }
             }
             Ev::SortDone(r, a) => {
-                if self.reds[r].attempt == a {
-                    self.grouped_reduce_start(at, r);
+                if let Some(bk) = self.red_slot(r, a) {
+                    self.grouped_reduce_start(at, r, bk);
                 }
             }
             Ev::GroupedDone(r, a) => {
-                if self.reds[r].attempt == a {
-                    self.grouped_reduce_done(at, r);
+                if let Some(bk) = self.red_slot(r, a) {
+                    self.grouped_reduce_done(at, r, bk);
                 }
             }
             Ev::FinalizeDone(r, a) => {
-                if self.reds[r].attempt == a && self.reds[r].state == RedState::Finalizing {
-                    self.finalize_done(at, r);
+                if let Some(bk) = self.red_slot(r, a) {
+                    if self.red_state(r, bk) == RedState::Finalizing {
+                        self.finalize_done(at, r, bk);
+                    }
                 }
             }
             Ev::OutputPartDone(r, a) => {
+                // Only the resolved primary ever writes output.
                 if self.reds[r].attempt == a && self.reds[r].state == RedState::Writing {
                     self.output_part_done(at, r);
                 }
             }
             Ev::NodeFail(n) => self.fail_node(at, n),
             Ev::SnapshotTick => self.snapshot_tick(at),
+            Ev::SpecTick => self.spec_tick(at),
+            // Backup-start events resolve their slot by attempt, not by
+            // assuming the backup slot: if the original's node died
+            // during the setup latency, `fail_node` has already promoted
+            // the not-yet-started backup to primary, and the attempt must
+            // start from wherever it now lives (dropping the event would
+            // wedge the promoted attempt in its initial state forever).
+            Ev::MapBackupStart(m, a) => {
+                if let Some(bk) = self.map_slot(m, a) {
+                    if self.map_state(m, bk) == MapState::Fetching {
+                        self.start_fetch(at, m, bk);
+                    }
+                }
+            }
+            Ev::RedBackupStart(r, a) => {
+                if let Some(bk) = self.red_slot(r, a) {
+                    if self.red_state(r, bk) == RedState::Running {
+                        // Pull from every map that finished before launch;
+                        // later finishers feed the attempt as they complete.
+                        for m in 0..self.maps.len() {
+                            if self.maps[m].state == MapState::Done
+                                && !red_mut!(self, r, bk).flow_from[m]
+                            {
+                                self.start_shuffle_flow(at, m, r, bk);
+                            }
+                        }
+                    }
+                }
+            }
+            Ev::SpecSlotFree(n, is_map) => {
+                if self.node_alive[n] {
+                    let slots = if is_map {
+                        &mut self.map_slots_used[n]
+                    } else {
+                        &mut self.red_slots_used[n]
+                    };
+                    *slots = slots.saturating_sub(1);
+                    self.queue.schedule(at, Ev::Schedule);
+                }
+            }
+            Ev::Deadline => {
+                if self.maps_done < self.maps.len() || self.reds_done < self.reds.len() {
+                    self.deadline_hit = Some(at);
+                }
+            }
         }
     }
 
@@ -651,6 +867,284 @@ where
         }
     }
 
+    // -------------------------------------------------------- speculation
+
+    /// Periodic straggler check, in the role of a LATE-style scheduler
+    /// that tracks both task progress and per-node throughput. Two kinds
+    /// of trigger, each compared against a median so a straggler is
+    /// always judged relative to its healthy peers:
+    ///
+    /// * **Progress triggers** catch per-task noise: a map that has run
+    ///   `slowdown`× longer than the median completed map, or a reducer
+    ///   whose compute time exceeds `slowdown`× the expectation *for its
+    ///   own input size* (a heavy partition on a healthy node is skew,
+    ///   not a straggler). Shuffle-delivery counts are deliberately NOT
+    ///   a trigger: the simulator models the network explicitly, so
+    ///   delivery lag always traces to fair link contention (e.g. two
+    ///   reducers sharing one node's inbound link) — never to a hidden
+    ///   slow node — and backing up a contended-but-healthy reducer can
+    ///   only lose the race.
+    /// * **Speed triggers** catch slow nodes early, while a backup can
+    ///   still win the race: a task on a node whose throughput factor
+    ///   trails the alive-node median by `slowdown` is backed up as soon
+    ///   as it has consumed its fair share of time (maps) or received
+    ///   its first shuffle delivery (reducers) — the simulated stand-in
+    ///   for the per-node speed estimates a LATE scheduler maintains.
+    ///
+    /// All comparisons are strict, so on a homogeneous noise-free
+    /// cluster — where every attempt tracks the median exactly —
+    /// speculation never fires, even at `slowdown = 1`.
+    fn spec_tick(&mut self, at: SimTime) {
+        let SpeculationPolicy::Enabled {
+            check_secs,
+            slowdown,
+        } = self.speculation
+        else {
+            return;
+        };
+        let mut facs: Vec<f64> = (0..self.p.nodes)
+            .filter(|&n| self.node_alive[n])
+            .map(|n| self.node_factor[n])
+            .collect();
+        facs.sort_by(|a, b| a.partial_cmp(b).expect("factors are finite"));
+        let median_factor = facs.get(facs.len() / 2).copied().unwrap_or(1.0);
+        let slow_node = |factor: f64| factor > slowdown * median_factor;
+        // Maps. The noise trigger needs a meaningful median of completed
+        // maps before judging anyone; the speed trigger needs none — a
+        // map on a slow node is outpaced from the moment it starts, and
+        // slot availability regulates how early its backup can actually
+        // launch (while primaries fill every slot, the launch finds no
+        // slot and retries at a later tick).
+        let mut durs: Vec<f64> = self
+            .timeline
+            .spans
+            .iter()
+            .filter(|s| s.kind == SpanKind::Map)
+            .map(|s| s.end.as_secs_f64() - s.start.as_secs_f64())
+            .collect();
+        durs.sort_by(|a, b| a.partial_cmp(b).expect("durations are finite"));
+        let map_median = (durs.len() >= 3).then(|| durs[durs.len() / 2]);
+        for m in 0..self.maps.len() {
+            let task = &self.maps[m];
+            let running = matches!(
+                task.state,
+                MapState::Fetching | MapState::Computing | MapState::Writing
+            );
+            if !running || self.map_speculated[m] {
+                continue;
+            }
+            let elapsed = at.as_secs_f64() - task.started.as_secs_f64();
+            let noisy = map_median.is_some_and(|median| elapsed > slowdown * median);
+            if noisy || slow_node(self.node_factor[task.node]) {
+                self.launch_map_backup(at, m);
+            }
+        }
+        // Reducer speed trigger: a reducer placed on a slow node will
+        // lose by roughly its node's throughput deficit no matter how
+        // the shuffle goes, so it is backed up as soon as real work has
+        // reached it.
+        for r in 0..self.reds.len() {
+            let task = &self.reds[r];
+            if task.state != RedState::Running
+                || self.red_speculated[r]
+                || !task.fetched_from.iter().any(|&f| f)
+            {
+                continue;
+            }
+            if slow_node(self.node_factor[task.node]) {
+                self.launch_red_backup(at, r);
+            }
+        }
+        // Reducer progress trigger. The baseline must match what the
+        // engine's reducer span measures.
+        // The barrier engine's SortReduce span covers only the
+        // post-shuffle CPU work, whose length scales with the partition —
+        // so completed reducers establish a median per-byte rate, and a
+        // straggler is one whose elapsed CPU time exceeds `slowdown` ×
+        // the expectation for *its own* input size (a heavy partition on
+        // a healthy node is skew, not a straggler). The pipelined
+        // ShuffleReduce span covers the whole running window, which is
+        // dominated by the map stage every reducer waits out together, so
+        // raw durations are already comparable there.
+        let pipelined = self.pipelined();
+        if pipelined {
+            let mut rdurs: Vec<f64> = self
+                .timeline
+                .spans
+                .iter()
+                .filter(|s| s.kind == SpanKind::ShuffleReduce)
+                .map(|s| s.end.as_secs_f64() - s.start.as_secs_f64())
+                .collect();
+            if rdurs.len() >= 3 {
+                rdurs.sort_by(|a, b| a.partial_cmp(b).expect("durations are finite"));
+                let median = rdurs[rdurs.len() / 2];
+                for r in 0..self.reds.len() {
+                    let task = &self.reds[r];
+                    if task.state != RedState::Running || self.red_speculated[r] {
+                        continue;
+                    }
+                    let elapsed = at.as_secs_f64() - task.started.as_secs_f64();
+                    if elapsed > slowdown * median {
+                        self.launch_red_backup(at, r);
+                    }
+                }
+            }
+        } else {
+            let mut rates: Vec<f64> = self
+                .timeline
+                .spans
+                .iter()
+                .filter(|s| s.kind == SpanKind::SortReduce)
+                .filter_map(|s| {
+                    let bytes = self.reds[s.task].input_bytes;
+                    (bytes > 0)
+                        .then(|| (s.end.as_secs_f64() - s.start.as_secs_f64()) / bytes as f64)
+                })
+                .collect();
+            if rates.len() >= 3 {
+                rates.sort_by(|a, b| a.partial_cmp(b).expect("rates are finite"));
+                let per_byte = rates[rates.len() / 2];
+                for r in 0..self.reds.len() {
+                    let task = &self.reds[r];
+                    if task.state != RedState::Running
+                        || self.red_speculated[r]
+                        || task.input_bytes == 0
+                    {
+                        continue;
+                    }
+                    let Some(from) = task.shuffle_done_at else {
+                        continue;
+                    };
+                    let elapsed = at.as_secs_f64() - from.as_secs_f64();
+                    if elapsed > slowdown * per_byte * task.input_bytes as f64 {
+                        self.launch_red_backup(at, r);
+                    }
+                }
+            }
+        }
+        // Keep checking until the job drains.
+        if self.maps_done < self.maps.len() || self.reds_done < self.reds.len() {
+            self.queue
+                .schedule(at + SimDuration::from_secs_f64(check_secs), Ev::SpecTick);
+        }
+    }
+
+    /// Picks a node for a backup attempt: alive, not the straggler's own
+    /// node, with a free slot of the right kind. Among the candidates the
+    /// *fastest* node wins (the simulator plays the LATE-style scheduler
+    /// that tracks per-node throughput) — a backup only pays off if it
+    /// can outrun the straggler, so placement on another slow node would
+    /// just burn a slot. Ties prefer chunk locality for maps, then the
+    /// lightest load.
+    fn backup_node(&self, avoid: usize, is_map: bool, chunk: Option<ChunkId>) -> Option<usize> {
+        let free = |n: usize| {
+            self.node_alive[n]
+                && n != avoid
+                && if is_map {
+                    self.map_slots_used[n] < self.p.map_slots
+                } else {
+                    self.red_slots_used[n] < self.p.reduce_slots
+                }
+        };
+        let key = |n: usize| {
+            let local = chunk.is_some_and(|c| self.dfs.is_local(c, NodeId(n as u32)));
+            let load = if is_map {
+                self.map_slots_used[n]
+            } else {
+                self.red_slots_used[n]
+            };
+            (self.node_factor[n], !local, load, n)
+        };
+        (0..self.p.nodes)
+            .filter(|&n| free(n))
+            .min_by(|&a, &b| key(a).partial_cmp(&key(b)).expect("factors are finite"))
+    }
+
+    fn launch_map_backup(&mut self, at: SimTime, m: usize) {
+        let avoid = self.maps[m].node;
+        let chunk = self.maps[m].chunk;
+        let Some(node) = self.backup_node(avoid, true, Some(chunk)) else {
+            return;
+        };
+        self.map_speculated[m] = true;
+        self.map_slots_used[node] += 1;
+        self.map_tasks_run += 1;
+        self.map_seq[m] += 1;
+        let attempt = self.map_seq[m];
+        self.maps_bk[m] = Some(MapTask {
+            chunk,
+            state: MapState::Fetching,
+            node,
+            attempt,
+            started: at,
+            output: None,
+            out_bytes: (self.p.chunk_bytes as f64 * self.costs.shuffle_selectivity) as u64,
+        });
+        self.map_counters.incr(names::SPECULATION_LAUNCHED);
+        self.timeline
+            .speculation_mark(at, SpecTaskKind::Map, m, SpecEvent::Launched, node);
+        // The input read starts once the task-setup latency elapses.
+        let when = at + SimDuration::from_secs_f64(self.costs.speculation_launch_overhead_secs);
+        self.queue.schedule(when, Ev::MapBackupStart(m, attempt));
+    }
+
+    fn launch_red_backup(&mut self, at: SimTime, r: usize) {
+        let avoid = self.reds[r].node;
+        let Some(node) = self.backup_node(avoid, false, None) else {
+            return;
+        };
+        let launch = at + SimDuration::from_secs_f64(self.costs.speculation_launch_overhead_secs);
+        self.red_speculated[r] = true;
+        self.red_slots_used[node] += 1;
+        self.reduce_tasks_run += 1;
+        self.red_seq[r] += 1;
+        let attempt = self.red_seq[r];
+        let n_maps = self.maps.len();
+        let mut task = ReduceTask {
+            state: RedState::Running,
+            node,
+            attempt,
+            // `started` doubles as the launch gate: map completions
+            // before this instant do not feed the backup (RedBackupStart
+            // pulls everything available once setup finishes).
+            started: launch,
+            fetched_from: vec![false; n_maps],
+            flow_from: vec![false; n_maps],
+            buffer: Vec::new(),
+            driver: None,
+            batches: VecDeque::new(),
+            cpu_free: launch,
+            io_charged: 0,
+            shuffle_done_at: None,
+            reduce_phase_started: None,
+            finalize_done_at: None,
+            input_bytes: 0,
+            out: Vec::new(),
+            counters: Counters::new(),
+            report: None,
+            write_parts_left: 0,
+            published_snaps: Vec::new(),
+            next_snap_seq: 0,
+        };
+        if self.pipelined() {
+            // Backups run with snapshots disabled: only the primary
+            // attempt feeds the observer's stream. On promotion the
+            // winner resumes the partition's sequence numbering.
+            match IncrementalDriver::new(self.app, &self.cfg_bk, r) {
+                Ok(driver) => task.driver = Some(driver),
+                Err(e) => {
+                    self.failure = Some((at, format!("backup driver init failed: {e}")));
+                    return;
+                }
+            }
+        }
+        self.reds_bk[r] = Some(task);
+        self.map_counters.incr(names::SPECULATION_LAUNCHED);
+        self.timeline
+            .speculation_mark(at, SpecTaskKind::Reduce, r, SpecEvent::Launched, node);
+        self.queue.schedule(launch, Ev::RedBackupStart(r, attempt));
+    }
+
     // ---------------------------------------------------------- map side
 
     fn start_map(&mut self, at: SimTime, m: usize, node: usize) {
@@ -660,14 +1154,14 @@ where
         task.state = MapState::Fetching;
         task.node = node;
         task.started = at;
-        self.start_fetch(at, m);
+        self.start_fetch(at, m, false);
     }
 
     /// Issues the input read for map `m` from the best replica of its
     /// chunk. Also used to retry after the replica serving an in-flight
     /// fetch died (the flow is cancelled; placement has been refreshed).
-    fn start_fetch(&mut self, at: SimTime, m: usize) {
-        let task = &self.maps[m];
+    fn start_fetch(&mut self, at: SimTime, m: usize, bk: bool) {
+        let task = &*map_mut!(self, m, bk);
         let node = task.node;
         let chunk = task.chunk;
         let attempt = task.attempt;
@@ -690,19 +1184,20 @@ where
         }
     }
 
-    fn map_compute(&mut self, at: SimTime, m: usize) {
-        let node = self.maps[m].node;
-        self.maps[m].state = MapState::Computing;
+    fn map_compute(&mut self, at: SimTime, m: usize, bk: bool) {
+        let task = map_mut!(self, m, bk);
+        task.state = MapState::Computing;
+        let node = task.node;
+        let attempt = task.attempt;
         let dur = SimDuration::from_secs_f64(
             self.costs.map_cpu_per_chunk * self.node_factor[node] * self.noise(),
         );
-        self.queue
-            .schedule(at + dur, Ev::MapComputed(m, self.maps[m].attempt));
+        self.queue.schedule(at + dur, Ev::MapComputed(m, attempt));
     }
 
-    fn map_write(&mut self, at: SimTime, m: usize) {
+    fn map_write(&mut self, at: SimTime, m: usize, bk: bool) {
         // The compute time is charged; now actually run the map function.
-        let chunk_index = self.dfs.chunk(self.maps[m].chunk).index as u64;
+        let chunk_index = self.dfs.chunk(map_mut!(self, m, bk).chunk).index as u64;
         let records = self.input.records(chunk_index);
         let reducers = self.cfg.reducers;
         let mut parts: Vec<Vec<(A::MapKey, A::MapValue)>> =
@@ -725,7 +1220,7 @@ where
         // from the nominal base every attempt so re-run maps (fault
         // recovery) land on the same value, and the combined output
         // itself is deterministic (combiners drain in key order).
-        let node = self.maps[m].node;
+        let node = map_mut!(self, m, bk).node;
         let mut write_at = at;
         if let Some(budget) = self.combine_budget() {
             let mut combined_total = 0u64;
@@ -747,21 +1242,36 @@ where
             );
             write_at = at + dur;
             let base = (self.p.chunk_bytes as f64 * self.costs.shuffle_selectivity) as u64;
-            self.maps[m].out_bytes = if emitted > 0 {
+            map_mut!(self, m, bk).out_bytes = if emitted > 0 {
                 (base as f64 * combined_total as f64 / emitted as f64) as u64
             } else {
                 base
             };
         }
-        let task = &mut self.maps[m];
+        let task = map_mut!(self, m, bk);
         task.output = Some(parts);
         task.state = MapState::Writing;
         let out_bytes = task.out_bytes;
+        let attempt = task.attempt;
         let done = self.disks[node].submit(write_at, out_bytes);
-        self.queue.schedule(done, Ev::MapWritten(m, task.attempt));
+        self.queue.schedule(done, Ev::MapWritten(m, attempt));
     }
 
-    fn map_done(&mut self, at: SimTime, m: usize) {
+    fn map_done(&mut self, at: SimTime, m: usize, bk: bool) {
+        // First-wins resolution: whichever attempt gets here first is the
+        // map's output; the other attempt (if any) is cancelled and its
+        // in-flight work torn down, exactly like a fault cancellation.
+        if bk {
+            let backup = self.maps_bk[m].take().expect("backup finished");
+            let loser = std::mem::replace(&mut self.maps[m], backup);
+            self.cancel_map_attempt(at, m, &loser);
+            self.map_counters.incr(names::SPECULATION_WON);
+            let node = self.maps[m].node;
+            self.timeline
+                .speculation_mark(at, SpecTaskKind::Map, m, SpecEvent::Won, node);
+        } else if let Some(loser) = self.maps_bk[m].take() {
+            self.cancel_map_attempt(at, m, &loser);
+        }
         let node = self.maps[m].node;
         self.maps[m].state = MapState::Done;
         self.maps_done += 1;
@@ -772,10 +1282,16 @@ where
             self.first_map_done = Some(at);
         }
         self.last_map_done = self.last_map_done.max(at);
-        // Feed every running reducer that lacks this map's output.
+        // Feed every running reduce attempt that lacks this map's output.
         for r in 0..self.reds.len() {
             if self.reds[r].state == RedState::Running && !self.reds[r].flow_from[m] {
-                self.start_shuffle_flow(at, m, r);
+                self.start_shuffle_flow(at, m, r, false);
+            }
+            if self.reds_bk[r]
+                .as_ref()
+                .is_some_and(|t| t.state == RedState::Running && t.started <= at && !t.flow_from[m])
+            {
+                self.start_shuffle_flow(at, m, r, true);
             }
         }
         // A *re-run* map's completion can be the last thing a reducer
@@ -786,10 +1302,35 @@ where
         // `maps_done` dipped below full while the map re-ran.
         for r in 0..self.reds.len() {
             if self.reds[r].state == RedState::Running {
-                self.check_shuffle_complete(at, r);
+                self.check_shuffle_complete(at, r, false);
+            }
+            if self.reds_bk[r]
+                .as_ref()
+                .is_some_and(|t| t.state == RedState::Running)
+            {
+                self.check_shuffle_complete(at, r, true);
             }
         }
         self.queue.schedule(at, Ev::Schedule);
+    }
+
+    /// Tears down a losing map attempt after first-wins resolution: its
+    /// in-flight input fetch is cancelled off the network (the same way
+    /// `fail_node` kills flows) and its slot frees once the cancel
+    /// overhead elapses. Queued events addressed to the dead attempt
+    /// fail the stamp guards and drop.
+    fn cancel_map_attempt(&mut self, at: SimTime, m: usize, loser: &MapTask<A>) {
+        let a = loser.attempt;
+        self.net.cancel_where(
+            at,
+            |t| matches!(*t, Tag::Fetch(mm, aa) if mm == m && aa == a),
+        );
+        self.map_counters.incr(names::SPECULATION_CANCELLED);
+        self.timeline
+            .speculation_mark(at, SpecTaskKind::Map, m, SpecEvent::Cancelled, loser.node);
+        let when = at + SimDuration::from_secs_f64(self.costs.speculation_cancel_overhead_secs);
+        self.queue
+            .schedule(when, Ev::SpecSlotFree(loser.node, true));
     }
 
     // -------------------------------------------------------- reduce side
@@ -823,12 +1364,12 @@ where
         // Pull from every already-finished map.
         for m in 0..n_maps {
             if self.maps[m].state == MapState::Done {
-                self.start_shuffle_flow(at, m, r);
+                self.start_shuffle_flow(at, m, r, false);
             }
         }
     }
 
-    fn start_shuffle_flow(&mut self, at: SimTime, m: usize, r: usize) {
+    fn start_shuffle_flow(&mut self, at: SimTime, m: usize, r: usize, bk: bool) {
         let total_records: usize = self.maps[m]
             .output
             .as_ref()
@@ -844,10 +1385,12 @@ where
         } else {
             self.maps[m].out_bytes / self.cfg.reducers as u64
         };
-        self.reds[r].flow_from[m] = true;
+        let task = red_mut!(self, r, bk);
+        task.flow_from[m] = true;
+        let dst = NodeId(task.node as u32);
+        let red_attempt = task.attempt;
         self.shuffle_bytes += bytes;
         let src = NodeId(self.maps[m].node as u32);
-        let dst = NodeId(self.reds[r].node as u32);
         self.net.start_flow(
             at,
             src,
@@ -857,7 +1400,7 @@ where
                 map: m,
                 map_attempt: self.maps[m].attempt,
                 red: r,
-                red_attempt: self.reds[r].attempt,
+                red_attempt,
             },
         );
     }
@@ -865,8 +1408,10 @@ where
     fn handle_flow(&mut self, at: SimTime, tag: Tag) {
         match tag {
             Tag::Fetch(m, a) => {
-                if self.maps[m].attempt == a && self.maps[m].state == MapState::Fetching {
-                    self.map_compute(at, m);
+                if let Some(bk) = self.map_slot(m, a) {
+                    if self.map_state(m, bk) == MapState::Fetching {
+                        self.map_compute(at, m, bk);
+                    }
                 }
             }
             Tag::Shuffle {
@@ -875,13 +1420,19 @@ where
                 red,
                 red_attempt,
             } => {
-                if self.maps[map].attempt != map_attempt
-                    || self.reds[red].attempt != red_attempt
-                    || self.reds[red].state != RedState::Running
-                {
+                // Shuffle sources are always Done maps, which live in the
+                // primary slot (backup wins are promoted there first);
+                // the destination may be either reduce attempt.
+                if self.maps[map].attempt != map_attempt {
                     return;
                 }
-                self.shuffle_delivery(at, map, red);
+                let Some(bk) = self.red_slot(red, red_attempt) else {
+                    return;
+                };
+                if self.red_state(red, bk) != RedState::Running {
+                    return;
+                }
+                self.shuffle_delivery(at, map, red, bk);
             }
             Tag::Output(r, a, replica) => {
                 if self.reds[r].attempt == a && self.reds[r].state == RedState::Writing {
@@ -896,7 +1447,7 @@ where
         }
     }
 
-    fn shuffle_delivery(&mut self, at: SimTime, m: usize, r: usize) {
+    fn shuffle_delivery(&mut self, at: SimTime, m: usize, r: usize, bk: bool) {
         let batch = self.maps[m].output.as_ref().expect("done map")[r].clone();
         let total_records: usize = self.maps[m]
             .output
@@ -912,7 +1463,7 @@ where
         };
         let pipelined = self.pipelined();
         let absorb_cost = self.absorb_cost_per_record();
-        let task = &mut self.reds[r];
+        let task = red_mut!(self, r, bk);
         task.fetched_from[m] = true;
         task.input_bytes += bytes;
 
@@ -923,49 +1474,56 @@ where
             let start = task.cpu_free.max(at);
             task.cpu_free = start + dur;
             task.batches.push_back(batch);
-            self.queue
-                .schedule(task.cpu_free, Ev::Batch(r, task.attempt));
+            let when = task.cpu_free;
+            let attempt = task.attempt;
+            self.queue.schedule(when, Ev::Batch(r, attempt));
         } else {
             task.buffer.extend(batch);
         }
-        self.check_shuffle_complete(at, r);
+        self.check_shuffle_complete(at, r, bk);
     }
 
-    fn check_shuffle_complete(&mut self, at: SimTime, r: usize) {
-        let all = self.reds[r].fetched_from.iter().all(|&f| f)
-            && self.reds[r].fetched_from.len() == self.maps.len()
+    fn check_shuffle_complete(&mut self, at: SimTime, r: usize, bk: bool) {
+        let task = &*red_mut!(self, r, bk);
+        let all = task.fetched_from.iter().all(|&f| f)
+            && task.fetched_from.len() == self.maps.len()
             && self.maps_done == self.maps.len();
-        if !all || self.reds[r].shuffle_done_at.is_some() {
+        if !all || task.shuffle_done_at.is_some() {
             return;
         }
-        self.reds[r].shuffle_done_at = Some(at);
+        red_mut!(self, r, bk).shuffle_done_at = Some(at);
         self.shuffle_done = self.shuffle_done.max(at);
         if self.pipelined() {
             // Finalize once the CPU drains the queued batches.
-            let when = self.reds[r].cpu_free.max(at);
-            self.queue
-                .schedule(when, Ev::Batch(r, self.reds[r].attempt));
+            let task = &*red_mut!(self, r, bk);
+            let when = task.cpu_free.max(at);
+            let attempt = task.attempt;
+            self.queue.schedule(when, Ev::Batch(r, attempt));
         } else {
-            // Barrier reached: sort, then reduce.
-            self.timeline
-                .span(SpanKind::Shuffle, r, self.reds[r].started, at);
-            let n = self.reds[r].buffer.len() as f64;
-            let sort = self.costs.sort_cpu_coeff
-                * n
-                * n.max(2.0).log2()
-                * self.node_factor[self.reds[r].node];
+            // Barrier reached: sort, then reduce. The Shuffle span is
+            // recorded for the primary attempt only (backups would
+            // double-report partition r's fetch window).
+            if !bk {
+                self.timeline
+                    .span(SpanKind::Shuffle, r, self.reds[r].started, at);
+            }
+            let task = &*red_mut!(self, r, bk);
+            let n = task.buffer.len() as f64;
+            let attempt = task.attempt;
+            let sort =
+                self.costs.sort_cpu_coeff * n * n.max(2.0).log2() * self.node_factor[task.node];
             self.queue.schedule(
                 at + SimDuration::from_secs_f64(sort),
-                Ev::SortDone(r, self.reds[r].attempt),
+                Ev::SortDone(r, attempt),
             );
         }
     }
 
     /// Pipelined: one delivered batch's absorb work completes.
-    fn reduce_batch(&mut self, at: SimTime, r: usize) {
-        if let Some(batch) = self.reds[r].batches.pop_front() {
-            let node = self.reds[r].node;
-            let task = &mut self.reds[r];
+    fn reduce_batch(&mut self, at: SimTime, r: usize, bk: bool) {
+        if let Some(batch) = red_mut!(self, r, bk).batches.pop_front() {
+            let task = red_mut!(self, r, bk);
+            let node = task.node;
             let driver = task.driver.as_mut().expect("pipelined reducer");
             // Stamp virtual time so record-driven snapshots published
             // mid-batch carry the sim clock.
@@ -976,23 +1534,30 @@ where
                     return;
                 }
             }
-            // Sample the heap and charge new store I/O to the local disk.
+            // Sample the heap and charge new store I/O to the local disk
+            // (heap samples track the observer-visible primary only).
             let bytes = driver.modelled_bytes();
-            self.timeline.heap_sample(at, r, bytes);
             let io = driver.io_bytes();
+            if !bk {
+                self.timeline.heap_sample(at, r, bytes);
+            }
+            let task = red_mut!(self, r, bk);
             let delta = io - task.io_charged;
             if delta > 0 {
                 task.io_charged = io;
                 self.disks[node].submit(at, delta);
             }
             // Record-driven snapshots published during this batch:
-            // mark, charge, collect.
-            self.collect_snapshots(at, r);
+            // mark, charge, collect (primary only — backup drivers run
+            // with snapshots disabled).
+            if !bk {
+                self.collect_snapshots(at, r);
+            }
         }
         // All shuffled + all absorbed => finalize.
-        let task = &self.reds[r];
+        let task = &*red_mut!(self, r, bk);
         if task.shuffle_done_at.is_some() && task.batches.is_empty() && task.cpu_free <= at {
-            self.start_finalize(at, r);
+            self.start_finalize(at, r, bk);
         }
     }
 
@@ -1015,18 +1580,73 @@ where
         self.failure = Some((at, reason));
     }
 
-    fn start_finalize(&mut self, at: SimTime, r: usize) {
-        let task = &mut self.reds[r];
+    fn start_finalize(&mut self, at: SimTime, r: usize, bk: bool) {
+        let task = red_mut!(self, r, bk);
         task.state = RedState::Finalizing;
         let entries = task.driver.as_ref().map_or(0, |d| d.entries());
+        let attempt = task.attempt;
         let dur = SimDuration::from_secs_f64(
             self.costs.finalize_cpu_per_entry * entries as f64 * self.node_factor[task.node],
         );
-        self.queue
-            .schedule(at + dur, Ev::FinalizeDone(r, task.attempt));
+        self.queue.schedule(at + dur, Ev::FinalizeDone(r, attempt));
     }
 
-    fn finalize_done(&mut self, at: SimTime, r: usize) {
+    /// First-wins resolution for reduce task `r`, invoked the moment an
+    /// attempt finishes its reduce work (before any output write, so the
+    /// DFS never sees duplicate partitions). A winning backup is promoted
+    /// into the primary slot and inherits the partition's published
+    /// snapshot stream — sequence numbers stay monotone, exactly as they
+    /// do across fault restarts. The losing attempt is cancelled and its
+    /// in-flight flows torn down like `fail_node` cancellations.
+    fn resolve_red_winner(&mut self, at: SimTime, r: usize, bk: bool) {
+        if bk {
+            let mut backup = self.reds_bk[r].take().expect("backup finished");
+            let loser = &mut self.reds[r];
+            backup.published_snaps = std::mem::take(&mut loser.published_snaps);
+            let mut seq = loser.next_snap_seq.max(backup.next_snap_seq);
+            if let Some(d) = &loser.driver {
+                seq = seq.max(d.snapshot_seq());
+            }
+            backup.next_snap_seq = seq;
+            if let Some(d) = backup.driver.as_mut() {
+                d.set_snapshot_seq_base(seq);
+            }
+            let loser = std::mem::replace(&mut self.reds[r], backup);
+            self.cancel_red_attempt(at, r, &loser);
+            self.map_counters.incr(names::SPECULATION_WON);
+            let node = self.reds[r].node;
+            self.timeline
+                .speculation_mark(at, SpecTaskKind::Reduce, r, SpecEvent::Won, node);
+        } else if let Some(loser) = self.reds_bk[r].take() {
+            self.cancel_red_attempt(at, r, &loser);
+        }
+    }
+
+    /// Tears down a losing reduce attempt: cancel its in-flight shuffle
+    /// fetches, free its slot after the cancel overhead.
+    fn cancel_red_attempt(&mut self, at: SimTime, r: usize, loser: &ReduceTask<A>) {
+        let a = loser.attempt;
+        self.net.cancel_where(at, |t| {
+            matches!(*t, Tag::Shuffle { red, red_attempt, .. } if red == r && red_attempt == a)
+                || matches!(*t, Tag::Output(rr, aa, _) if rr == r && aa == a)
+        });
+        self.map_counters.incr(names::SPECULATION_CANCELLED);
+        self.timeline.speculation_mark(
+            at,
+            SpecTaskKind::Reduce,
+            r,
+            SpecEvent::Cancelled,
+            loser.node,
+        );
+        let when = at + SimDuration::from_secs_f64(self.costs.speculation_cancel_overhead_secs);
+        self.queue
+            .schedule(when, Ev::SpecSlotFree(loser.node, false));
+    }
+
+    fn finalize_done(&mut self, at: SimTime, r: usize, bk: bool) {
+        // Resolve the race before touching output: from here on, `r`'s
+        // primary slot holds the winning attempt.
+        self.resolve_red_winner(at, r, bk);
         // Periodic policies publish one last snapshot at end-of-input,
         // so the final estimate an observer holds equals the answer.
         if self.cfg.snapshots.is_periodic() {
@@ -1067,17 +1687,20 @@ where
     }
 
     /// Barrier: sort finished; charge the grouped reduce pass.
-    fn grouped_reduce_start(&mut self, at: SimTime, r: usize) {
-        let task = &self.reds[r];
+    fn grouped_reduce_start(&mut self, at: SimTime, r: usize, bk: bool) {
+        let task = &*red_mut!(self, r, bk);
         let n = task.buffer.len() as f64;
+        let attempt = task.attempt;
         let dur = SimDuration::from_secs_f64(
             self.costs.reduce_cpu_per_record * n * self.node_factor[task.node],
         );
-        self.queue
-            .schedule(at + dur, Ev::GroupedDone(r, task.attempt));
+        self.queue.schedule(at + dur, Ev::GroupedDone(r, attempt));
     }
 
-    fn grouped_reduce_done(&mut self, at: SimTime, r: usize) {
+    fn grouped_reduce_done(&mut self, at: SimTime, r: usize, bk: bool) {
+        // First-wins resolution before the real reduce runs and the
+        // output write starts.
+        self.resolve_red_winner(at, r, bk);
         // Run the real sort+group+reduce.
         let records = std::mem::take(&mut self.reds[r].buffer);
         let absorbed = records.len() as u64;
@@ -1182,69 +1805,119 @@ where
         for cid in self.dfs.fail_node(NodeId(n as u32)) {
             self.dfs.restore_chunk(cid);
         }
-        // Reducers on the dead node restart from scratch elsewhere.
-        // Restart them *before* deciding map re-runs: a restarted
-        // reducer's cleared `fetched_from` is what tells the scan below
-        // that it needs every map's output again — including output
-        // stored on a node that died in an *earlier* failure.
+        // Reducers on the dead node restart from scratch elsewhere —
+        // unless a live backup attempt survives, in which case it is
+        // promoted to primary and simply keeps running. Backups that died
+        // with the node are dropped (a task is speculated at most once,
+        // so no replacement backup is launched). Restart/promote *before*
+        // deciding map re-runs: the surviving attempt's `fetched_from` is
+        // what tells the scan below which map outputs are still needed —
+        // including output stored on a node that died in an *earlier*
+        // failure.
         for r in 0..self.reds.len() {
+            if self.reds_bk[r].as_ref().is_some_and(|t| t.node == n) {
+                self.reds_bk[r] = None;
+            }
             if self.reds[r].node == n
                 && self.reds[r].state != RedState::Done
                 && self.reds[r].state != RedState::Pending
             {
-                let task = &mut self.reds[r];
-                task.state = RedState::Pending;
-                task.attempt += 1;
-                task.node = usize::MAX;
-                task.fetched_from.clear();
-                task.flow_from.clear();
-                task.buffer.clear();
-                // Snapshots the dying attempt published stay published
-                // (`published_snaps` is never cleared); carry its next
-                // sequence number so the restart continues above it.
-                if let Some(driver) = &task.driver {
-                    task.next_snap_seq = task.next_snap_seq.max(driver.snapshot_seq());
+                if let Some(mut backup) = self.reds_bk[r].take() {
+                    // Promote the surviving backup: it inherits the
+                    // partition's snapshot stream like any restarted
+                    // attempt would, and continues from wherever its own
+                    // shuffle progress stands.
+                    let dead = &mut self.reds[r];
+                    backup.published_snaps = std::mem::take(&mut dead.published_snaps);
+                    let mut seq = dead.next_snap_seq.max(backup.next_snap_seq);
+                    if let Some(driver) = &dead.driver {
+                        seq = seq.max(driver.snapshot_seq());
+                    }
+                    backup.next_snap_seq = seq;
+                    if let Some(driver) = backup.driver.as_mut() {
+                        driver.set_snapshot_seq_base(seq);
+                    }
+                    self.reds[r] = backup;
+                } else {
+                    let seq = {
+                        self.red_seq[r] += 1;
+                        self.red_seq[r]
+                    };
+                    let task = &mut self.reds[r];
+                    task.state = RedState::Pending;
+                    task.attempt = seq;
+                    task.node = usize::MAX;
+                    task.fetched_from.clear();
+                    task.flow_from.clear();
+                    task.buffer.clear();
+                    // Snapshots the dying attempt published stay published
+                    // (`published_snaps` is never cleared); carry its next
+                    // sequence number so the restart continues above it.
+                    if let Some(driver) = &task.driver {
+                        task.next_snap_seq = task.next_snap_seq.max(driver.snapshot_seq());
+                    }
+                    task.driver = None;
+                    task.batches.clear();
+                    task.shuffle_done_at = None;
+                    task.reduce_phase_started = None;
+                    task.out.clear();
+                    task.counters = Counters::new();
+                    task.io_charged = 0;
+                    task.input_bytes = 0;
                 }
-                task.driver = None;
-                task.batches.clear();
-                task.shuffle_done_at = None;
-                task.reduce_phase_started = None;
-                task.out.clear();
-                task.counters = Counters::new();
-                task.io_charged = 0;
-                task.input_bytes = 0;
             }
         }
-        // Maps: running ones on the dead node restart; completed ones
-        // whose locally stored output now sits on *any* dead node must
-        // re-run if some reducer (including one just restarted above)
-        // still needs that output.
+        // Maps: running ones on the dead node restart (or hand over to a
+        // surviving backup attempt); completed ones whose locally stored
+        // output now sits on *any* dead node must re-run if some reducer
+        // (including one just restarted above) still needs that output.
         for m in 0..self.maps.len() {
-            let needs_rerun = match self.maps[m].state {
-                MapState::Fetching | MapState::Computing | MapState::Writing => {
-                    self.maps[m].node == n
+            if self.maps_bk[m].as_ref().is_some_and(|t| t.node == n) {
+                self.maps_bk[m] = None;
+            }
+            let running_here = matches!(
+                self.maps[m].state,
+                MapState::Fetching | MapState::Computing | MapState::Writing
+            ) && self.maps[m].node == n;
+            if running_here {
+                if let Some(backup) = self.maps_bk[m].take() {
+                    // The backup races on alone as the primary.
+                    self.maps[m] = backup;
+                    continue;
                 }
-                MapState::Done => {
-                    !self.node_alive[self.maps[m].node]
-                        && self.reds.iter().any(|r| {
+            }
+            let needs_rerun = running_here
+                || (self.maps[m].state == MapState::Done
+                    && !self.node_alive[self.maps[m].node]
+                    && self
+                        .reds
+                        .iter()
+                        .chain(self.reds_bk.iter().flatten())
+                        .any(|r| {
                             r.state != RedState::Done
                                 && (r.fetched_from.len() <= m || !r.fetched_from[m])
-                        })
-                }
-                _ => false,
-            };
+                        }));
             if needs_rerun {
                 if self.maps[m].state == MapState::Done {
                     self.maps_done -= 1;
                 }
+                let seq = {
+                    self.map_seq[m] += 1;
+                    self.map_seq[m]
+                };
                 let task = &mut self.maps[m];
                 task.state = MapState::Pending;
-                task.attempt += 1;
+                task.attempt = seq;
                 task.output = None;
                 task.node = usize::MAX;
                 // Reducers with an in-flight (now cancelled) flow from this
                 // map must be allowed to re-request it.
                 for r in &mut self.reds {
+                    if !r.flow_from.is_empty() && !r.fetched_from[m] {
+                        r.flow_from[m] = false;
+                    }
+                }
+                for r in self.reds_bk.iter_mut().flatten() {
                     if !r.flow_from.is_empty() && !r.fetched_from[m] {
                         r.flow_from[m] = false;
                     }
@@ -1259,9 +1932,12 @@ where
             match tag {
                 Tag::Fetch(m, a) => {
                     // The replica serving this input read died; re-read
-                    // from a surviving replica.
-                    if self.maps[m].attempt == a && self.maps[m].state == MapState::Fetching {
-                        self.start_fetch(at, m);
+                    // from a surviving replica (either attempt may have
+                    // been the reader).
+                    if let Some(bk) = self.map_slot(m, a) {
+                        if self.map_state(m, bk) == MapState::Fetching {
+                            self.start_fetch(at, m, bk);
+                        }
                     }
                 }
                 Tag::Shuffle { .. } => {

@@ -42,4 +42,7 @@ pub use executor::{Fault, SimExecutor};
 pub use input::{FnInput, SimInput};
 pub use params::ClusterParams;
 pub use report::{Outcome, SimReport};
-pub use timeline::{HandoffMark, HeapSample, SnapshotMark, SpanKind, TaskSpan, Timeline};
+pub use timeline::{
+    HandoffMark, HeapSample, SnapshotMark, SpanKind, SpecEvent, SpecTaskKind, SpeculationMark,
+    TaskSpan, Timeline,
+};

@@ -1,6 +1,6 @@
 //! Static description of the simulated cluster.
 
-use mr_core::{CombinerPolicy, SnapshotPolicy, StoreIndex};
+use mr_core::{CombinerPolicy, DeadlinePolicy, SnapshotPolicy, SpeculationPolicy, StoreIndex};
 
 /// Cluster hardware and scheduling parameters.
 ///
@@ -51,6 +51,15 @@ pub struct ClusterParams {
     /// policies tick on the *virtual* clock, scheduled as timeline
     /// events and charged via `CostModel::snapshot_cpu_per_record`.
     pub snapshots: Option<SnapshotPolicy>,
+    /// Speculative-execution override for simulated jobs. `Some` wins
+    /// over the job's own `JobConfig::speculation`; `None` leaves the
+    /// job's choice in force. Straggler sweeps toggle backup attempts
+    /// cluster-wide without touching per-job configs.
+    pub speculation: Option<SpeculationPolicy>,
+    /// Deadline override for simulated jobs. `Some` wins over the job's
+    /// own `JobConfig::deadline`; `None` leaves the job's choice in
+    /// force.
+    pub deadline: Option<DeadlinePolicy>,
     /// Master seed for placement, heterogeneity and noise.
     pub seed: u64,
 }
@@ -72,6 +81,8 @@ impl ClusterParams {
             combiner: CombinerPolicy::Disabled,
             store_index: None,
             snapshots: None,
+            speculation: None,
+            deadline: None,
             seed,
         }
     }

@@ -19,20 +19,34 @@ pub enum Outcome {
         /// Human-readable cause.
         reason: String,
     },
+    /// A [`DeadlinePolicy`](mr_core::DeadlinePolicy) fired before the job
+    /// finished; the output carries the latest per-reducer snapshot
+    /// estimates instead of exact results. Deterministic: the deadline is
+    /// a fixed virtual-time tick, so the same run always answers with the
+    /// same snapshot stream prefix.
+    Approximate {
+        /// The deadline instant.
+        at: SimTime,
+    },
 }
 
 impl Outcome {
-    /// Completion time, if the job completed.
+    /// Completion time, if the job completed (exactly).
     pub fn completion_secs(&self) -> Option<f64> {
         match self {
             Outcome::Completed { at } => Some(at.as_secs_f64()),
-            Outcome::Failed { .. } => None,
+            Outcome::Failed { .. } | Outcome::Approximate { .. } => None,
         }
     }
 
-    /// Whether the job completed.
+    /// Whether the job completed exactly.
     pub fn is_completed(&self) -> bool {
         matches!(self, Outcome::Completed { .. })
+    }
+
+    /// Whether a deadline cut the job short with a snapshot-based answer.
+    pub fn is_approximate(&self) -> bool {
+        matches!(self, Outcome::Approximate { .. })
     }
 }
 
@@ -40,7 +54,9 @@ impl Outcome {
 pub struct SimReport<A: Application> {
     /// Completion or failure.
     pub outcome: Outcome,
-    /// The job's actual output (present only on completion).
+    /// The job's output. Present on completion (exact results) and on
+    /// deadline expiry (each partition holds the latest published
+    /// snapshot estimate); absent on failure.
     pub output: Option<JobOutput<A>>,
     /// Recorded task spans and heap samples.
     pub timeline: Timeline,

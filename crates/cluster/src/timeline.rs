@@ -77,6 +77,45 @@ pub struct HandoffMark {
     pub bytes: u64,
 }
 
+/// Which kind of task a speculation event concerns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SpecTaskKind {
+    /// A map task.
+    Map,
+    /// A reduce task.
+    Reduce,
+}
+
+/// What happened to a speculative attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SpecEvent {
+    /// A backup attempt was launched for a detected straggler.
+    Launched,
+    /// A backup attempt finished before the original and supplied the
+    /// task's output.
+    Won,
+    /// An attempt (original or backup) was cancelled because the other
+    /// attempt of the same task won the race.
+    Cancelled,
+}
+
+/// One speculative-execution event: a backup attempt being launched,
+/// winning the race against the original, or an attempt being cancelled
+/// after the other one won.
+#[derive(Debug, Clone, Copy)]
+pub struct SpeculationMark {
+    /// Event instant (virtual time).
+    pub at: SimTime,
+    /// Map or reduce task.
+    pub kind: SpecTaskKind,
+    /// Task index within its kind.
+    pub task: usize,
+    /// What happened.
+    pub event: SpecEvent,
+    /// The node the affected attempt runs (or ran) on.
+    pub node: usize,
+}
+
 /// Everything recorded during a simulated run.
 #[derive(Debug, Clone, Default)]
 pub struct Timeline {
@@ -88,6 +127,9 @@ pub struct Timeline {
     pub snapshots: Vec<SnapshotMark>,
     /// Cross-job handoff edges in time order (job chains only).
     pub handoffs: Vec<HandoffMark>,
+    /// Speculation events in time order (empty unless a
+    /// `SpeculationPolicy` is active).
+    pub speculation: Vec<SpeculationMark>,
 }
 
 impl Timeline {
@@ -140,6 +182,29 @@ impl Timeline {
             records,
             bytes,
         });
+    }
+
+    /// Records a speculation event.
+    pub fn speculation_mark(
+        &mut self,
+        at: SimTime,
+        kind: SpecTaskKind,
+        task: usize,
+        event: SpecEvent,
+        node: usize,
+    ) {
+        self.speculation.push(SpeculationMark {
+            at,
+            kind,
+            task,
+            event,
+            node,
+        });
+    }
+
+    /// Number of speculation events of the given flavour.
+    pub fn speculation_count(&self, event: SpecEvent) -> usize {
+        self.speculation.iter().filter(|m| m.event == event).count()
     }
 
     /// Handoff departures of one upstream reducer: `(seconds, records)`.
@@ -270,6 +335,21 @@ mod tests {
         assert_eq!(t.handoff_series(0), vec![(5.0, 120), (9.0, 40)]);
         assert_eq!(t.handoff_series(1), Vec::<(f64, u64)>::new());
         assert_eq!(t.handoffs[2].downstream_map, 2);
+    }
+
+    #[test]
+    fn speculation_marks_are_recorded_and_countable() {
+        let mut t = Timeline::default();
+        t.speculation_mark(secs(30.0), SpecTaskKind::Map, 4, SpecEvent::Launched, 2);
+        t.speculation_mark(secs(55.0), SpecTaskKind::Map, 4, SpecEvent::Won, 2);
+        t.speculation_mark(secs(55.0), SpecTaskKind::Map, 4, SpecEvent::Cancelled, 0);
+        t.speculation_mark(secs(60.0), SpecTaskKind::Reduce, 1, SpecEvent::Launched, 3);
+        assert_eq!(t.speculation.len(), 4);
+        assert_eq!(t.speculation_count(SpecEvent::Launched), 2);
+        assert_eq!(t.speculation_count(SpecEvent::Won), 1);
+        assert_eq!(t.speculation_count(SpecEvent::Cancelled), 1);
+        assert_eq!(t.speculation[3].kind, SpecTaskKind::Reduce);
+        assert_eq!(t.speculation[3].node, 3);
     }
 
     #[test]

@@ -306,6 +306,162 @@ fn losing_half_the_cluster_still_completes() {
 }
 
 #[test]
+fn node_death_on_either_side_of_a_speculative_race_is_byte_exact() {
+    // Speculation doubles the attempts in flight; node failure must
+    // compose with it from both directions. A clean speculative run on a
+    // straggling cluster tells us when the first backup launches and
+    // where it runs; we then kill, one run at a time, every node just
+    // after that instant — which covers killing the *backup's* node
+    // (scenario A), the *original's* node after the backup launched
+    // (scenario B), and innocent bystanders. Every run must complete
+    // with byte-exact output, and at least one faulted run must still
+    // witness a backup winning its race.
+    use mr_cluster::SpecEvent;
+    use mr_core::SpeculationPolicy;
+    let chunks = 14u64;
+    let seed = 3u64;
+    let expect = reference(chunks, seed);
+    let run = |engine: Engine, faults: &[(f64, usize)]| {
+        let w = workload(seed);
+        let mut params = cluster(seed);
+        params.hetero_sigma = 0.8;
+        params.speculation = Some(SpeculationPolicy::enabled());
+        let cfg = JobConfig::new(4).engine(engine).scratch_dir(
+            std::env::temp_dir().join(format!("mr-spec-torture-{}", std::process::id())),
+        );
+        SimExecutor::new(params).run_with_faults(
+            &WordCount,
+            &FnInput(move |c| w.chunk(c)),
+            chunks,
+            &cfg,
+            &CostModel::default_for_tests(),
+            &HashPartitioner,
+            faults,
+        )
+    };
+    let mut faulted_win_seen = false;
+    for engine in [Engine::Barrier, Engine::barrierless()] {
+        let clean = run(engine.clone(), &[]);
+        assert!(clean.outcome.is_completed());
+        let first_launch = clean
+            .timeline
+            .speculation
+            .iter()
+            .find(|m| m.event == SpecEvent::Launched)
+            .unwrap_or_else(|| panic!("no backup launched on a 0.8-sigma cluster ({engine:?})"));
+        let (kill_at, backup_node) = (first_launch.at.as_secs_f64() + 1.0, first_launch.node);
+        for node in 0..6 {
+            let report = run(engine.clone(), &[(kill_at, node)]);
+            assert!(
+                report.outcome.is_completed(),
+                "killing node {node} at {kill_at:.1}s (backup on {backup_node}) died \
+                 under {engine:?}: {:?}",
+                report.outcome
+            );
+            if report.timeline.speculation_count(SpecEvent::Won) > 0 {
+                faulted_win_seen = true;
+            }
+            let got: BTreeMap<String, u64> = report
+                .output
+                .unwrap()
+                .into_sorted_output()
+                .into_iter()
+                .collect();
+            assert_eq!(
+                got, expect,
+                "killing node {node} at {kill_at:.1}s corrupted speculative output \
+                 under {engine:?}"
+            );
+        }
+    }
+    assert!(
+        faulted_win_seen,
+        "no faulted scenario witnessed a backup win — the race was never really exercised"
+    );
+}
+
+#[test]
+fn chain_edge_node_death_with_speculation_on_is_byte_exact() {
+    // Speculation on a straggling cluster plus a node death while the
+    // chain edge is live: stage-1 reducer backups race their originals
+    // while stage-2 maps consume the winners' streams, and the kill
+    // forces downstream restarts on top. Output must match the
+    // fault-free, speculation-free chain byte for byte.
+    use mr_apps::topk::TopK;
+    use mr_cluster::{ChainSimExecutor, SpecEvent};
+    use mr_core::{ChainSpec, HandoffMode, SpeculationPolicy};
+    let chunks = 12u64;
+    // Seed 8 puts stage-1 reducer 1 on a node ~2.3x the alive-node
+    // median — a clear straggler for the speed trigger to back up.
+    let seed = 8u64;
+    let run = |spec: Option<SpeculationPolicy>, faults: &[(f64, usize)]| {
+        let w = workload(seed);
+        let mut params = cluster(seed);
+        params.hetero_sigma = 0.8;
+        params.speculation = spec;
+        let chain_spec = ChainSpec::new(vec![
+            JobConfig::new(4).engine(Engine::barrierless()).scratch_dir(
+                std::env::temp_dir().join(format!("mr-chain-spec1-{}", std::process::id())),
+            ),
+            JobConfig::new(2).engine(Engine::barrierless()).scratch_dir(
+                std::env::temp_dir().join(format!("mr-chain-spec2-{}", std::process::id())),
+            ),
+        ])
+        .handoff(HandoffMode::Streaming);
+        ChainSimExecutor::new(params).run_chain2_with_faults(
+            &WordCount,
+            &TopK::new(15),
+            &FnInput(move |c| w.chunk(c)),
+            chunks,
+            &chain_spec,
+            &CostModel::default_for_tests(),
+            &HashPartitioner,
+            &HashPartitioner,
+            faults,
+        )
+    };
+    let clean = run(None, &[]);
+    assert!(clean.outcome.is_completed());
+    let expect = clean.output.unwrap().into_sorted_output();
+    assert!(!expect.is_empty());
+    // Time the kills off a clean *speculative* run so they land while
+    // the edge is live in the runs under test.
+    let clean_spec = run(Some(SpeculationPolicy::enabled()), &[]);
+    assert!(clean_spec.outcome.is_completed());
+    assert_eq!(
+        clean_spec.output.unwrap().into_sorted_output(),
+        expect,
+        "speculation alone changed the chain output"
+    );
+    let first = clean_spec
+        .stage2_first_work
+        .expect("chain handed something off")
+        .as_secs_f64();
+    let last = clean_spec
+        .stage1_last_reduce_done
+        .as_secs_f64()
+        .max(first + 1.0);
+    let launched = clean_spec.timeline1.speculation_count(SpecEvent::Launched)
+        + clean_spec.timeline2.speculation_count(SpecEvent::Launched);
+    assert!(launched > 0, "no backup launched across the clean chain");
+    for fail_at in [first + 0.3 * (last - first), first + 0.7 * (last - first)] {
+        for node in 0..4 {
+            let report = run(Some(SpeculationPolicy::enabled()), &[(fail_at, node)]);
+            assert!(
+                report.outcome.is_completed(),
+                "speculative chain died for kill of node {node} at {fail_at:.1}s: {:?}",
+                report.outcome
+            );
+            let got = report.output.unwrap().into_sorted_output();
+            assert_eq!(
+                got, expect,
+                "kill of node {node} at {fail_at:.1}s corrupted the speculative chain"
+            );
+        }
+    }
+}
+
+#[test]
 fn chain_node_death_mid_stage2_is_byte_exact_and_restarts_downstream_maps() {
     // The chain's fault claim: killing a node while stage 2 of a
     // wordcount → top-k chain is mid-flight must leave the final output

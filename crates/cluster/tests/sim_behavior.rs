@@ -586,6 +586,170 @@ fn cluster_snapshot_override_wins_and_invalid_config_fails_loudly() {
     assert!(report.output.is_none());
 }
 
+// ---------------------------------------------------------- speculation
+
+#[test]
+fn speculation_never_fires_on_a_homogeneous_quiet_cluster() {
+    use mr_core::SpeculationPolicy;
+    // No node is slower than any other and tasks carry no noise, so no
+    // attempt ever trails its peers: the detector must stay silent and
+    // the run must be indistinguishable from a non-speculative one.
+    let chunks = 16;
+    let uniform = |seed: u64| {
+        let mut p = small_cluster(seed);
+        p.hetero_sigma = 0.0;
+        p.task_noise_sigma = 0.0;
+        p
+    };
+    for engine in [Engine::Barrier, Engine::barrierless()] {
+        let run = |spec: SpeculationPolicy| {
+            let cfg = JobConfig::new(6)
+                .engine(engine.clone())
+                .speculation(spec)
+                .scratch_dir(scratch("spec-quiet"));
+            SimExecutor::new(uniform(19)).run(
+                &WordCount,
+                &FnInput(wc_input(19)),
+                chunks,
+                &cfg,
+                &costs(),
+                &HashPartitioner,
+            )
+        };
+        let plain = run(SpeculationPolicy::Disabled);
+        let spec = run(SpeculationPolicy::enabled());
+        assert!(plain.outcome.is_completed() && spec.outcome.is_completed());
+        assert_eq!(
+            spec.timeline
+                .speculation_count(mr_cluster::SpecEvent::Launched),
+            0,
+            "speculation fired on a homogeneous noise-free cluster under {engine:?}"
+        );
+        assert_eq!(
+            spec.completion_secs(),
+            plain.completion_secs(),
+            "an idle speculation policy changed timing under {engine:?}"
+        );
+        assert_eq!(
+            plain.output.unwrap().partitions,
+            spec.output.unwrap().partitions,
+            "an idle speculation policy changed output under {engine:?}"
+        );
+    }
+}
+
+#[test]
+fn speculative_backup_wins_cut_straggler_time_with_identical_output() {
+    use mr_cluster::SpecEvent;
+    use mr_core::SpeculationPolicy;
+    // A wide node-speed spread makes stragglers: backups must launch,
+    // some must win, and exact output must not move by a byte. The
+    // policy arrives as a cluster-level override — the job itself says
+    // Disabled, and the override must win.
+    let chunks = 24;
+    let seed = 3;
+    let hetero = |spec: Option<SpeculationPolicy>| {
+        let mut p = small_cluster(seed);
+        p.nodes = 6;
+        p.hetero_sigma = 0.8;
+        p.speculation = spec;
+        p
+    };
+    for engine in [Engine::Barrier, Engine::barrierless()] {
+        let run = |spec: Option<SpeculationPolicy>| {
+            let cfg = JobConfig::new(6)
+                .engine(engine.clone())
+                .speculation(SpeculationPolicy::Disabled)
+                .scratch_dir(scratch("spec-win"));
+            SimExecutor::new(hetero(spec)).run(
+                &WordCount,
+                &FnInput(wc_input(seed)),
+                chunks,
+                &cfg,
+                &costs(),
+                &HashPartitioner,
+            )
+        };
+        let off = run(None);
+        let on = run(Some(SpeculationPolicy::enabled()));
+        assert!(off.outcome.is_completed() && on.outcome.is_completed());
+        let launched = on.timeline.speculation_count(SpecEvent::Launched);
+        let won = on.timeline.speculation_count(SpecEvent::Won);
+        let cancelled = on.timeline.speculation_count(SpecEvent::Cancelled);
+        assert!(
+            launched > 0,
+            "cluster-level speculation override did not activate under {engine:?}"
+        );
+        assert!(won > 0, "no backup attempt ever won under {engine:?}");
+        // Every launched attempt resolves: one side of the race is
+        // always cancelled, whether the backup won or lost.
+        assert_eq!(launched, cancelled, "unresolved attempts under {engine:?}");
+        assert!(
+            on.completion_secs() < off.completion_secs(),
+            "speculation did not help the straggling cluster under {engine:?}: \
+             {:.1}s vs {:.1}s off",
+            on.completion_secs(),
+            off.completion_secs()
+        );
+        assert_eq!(
+            off.output.unwrap().partitions,
+            on.output.unwrap().partitions,
+            "speculative re-execution changed output under {engine:?}"
+        );
+    }
+}
+
+#[test]
+fn deadline_cuts_job_short_with_the_latest_snapshot_as_the_answer() {
+    use mr_core::{DeadlinePolicy, SnapshotPolicy};
+    let chunks = 24;
+    let snap = SnapshotPolicy::EverySecs { secs: 20.0 };
+    let run = |deadline: DeadlinePolicy| {
+        let cfg = JobConfig::new(4)
+            .engine(Engine::barrierless())
+            .snapshots(snap)
+            .deadline(deadline)
+            .scratch_dir(scratch("deadline"));
+        SimExecutor::new(small_cluster(11)).run(
+            &WordCount,
+            &FnInput(wc_input(11)),
+            chunks,
+            &cfg,
+            &costs(),
+            &HashPartitioner,
+        )
+    };
+    let exact = run(DeadlinePolicy::Disabled);
+    assert!(exact.outcome.is_completed());
+    let at = exact.completion_secs() * 0.6;
+    let cut = run(DeadlinePolicy::At { secs: at });
+    assert!(
+        cut.outcome.is_approximate(),
+        "deadline at {at:.1}s did not cut a {:.1}s job short: {:?}",
+        exact.completion_secs(),
+        cut.outcome
+    );
+    // The answer is exactly the freshest published estimate, reducer by
+    // reducer — nothing more recent, nothing stitched.
+    let out = cut.output.expect("approximate runs carry output");
+    assert_eq!(out.partitions.len(), 4);
+    let mut estimated = 0;
+    for (p, partition) in out.partitions.iter().enumerate() {
+        let last: &[(String, u64)] = out.snapshots[p].last().map_or(&[], |s| &s.estimate);
+        assert_eq!(
+            partition.as_slice(),
+            last,
+            "partition {p} is not its last published snapshot"
+        );
+        estimated += partition.len();
+    }
+    assert!(estimated > 0, "approximate answer was empty");
+    // Every published snapshot predates the deadline.
+    for s in out.snapshots.iter().flatten() {
+        assert!(s.at_secs <= at, "snapshot after the deadline");
+    }
+}
+
 // --------------------------------------------------------------- chains
 
 /// Runs the wordcount → top-k chain under the given handoff mode.

@@ -122,6 +122,89 @@ impl SnapshotPolicy {
     }
 }
 
+/// When the cluster simulator launches speculative backup attempts for
+/// straggling tasks (Hadoop-style speculative execution).
+///
+/// Detection is progress-relative-to-median: a map attempt is a
+/// straggler when it has been running `slowdown` times longer than the
+/// median completed map (records read per second, since maps stream a
+/// fixed chunk); a reduce attempt is a straggler when its shuffle
+/// deliveries trail the median running reducer by the same factor. At
+/// most one backup per task is launched, on a node away from the
+/// original; whichever attempt finishes first wins and the loser is
+/// cancelled. Because task execution is deterministic, both attempts
+/// produce byte-identical output — speculation can never change what
+/// the job emits, only when.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SpeculationPolicy {
+    /// Never speculate (the default; zero overhead on every path).
+    Disabled,
+    /// Scan for stragglers every `check_secs` of virtual time.
+    Enabled {
+        /// Seconds between straggler scans (> 0).
+        check_secs: f64,
+        /// How far behind the median an attempt must be before a backup
+        /// launches (≥ 1; at 1.0 an attempt on a homogeneous noise-free
+        /// cluster still never qualifies, because equals are never
+        /// *strictly* behind).
+        slowdown: f64,
+    },
+}
+
+impl SpeculationPolicy {
+    /// Speculation with the default scan interval and slowdown factor.
+    pub fn enabled() -> Self {
+        SpeculationPolicy::Enabled {
+            check_secs: 5.0,
+            slowdown: 1.2,
+        }
+    }
+
+    /// True unless the policy is [`SpeculationPolicy::Disabled`].
+    pub fn is_enabled(&self) -> bool {
+        matches!(self, SpeculationPolicy::Enabled { .. })
+    }
+}
+
+/// A completion deadline for a simulated job: an SLA built on top of
+/// [`SnapshotPolicy`].
+///
+/// When the deadline event fires before the job finishes, the simulator
+/// stops the run and finalizes the job from the latest snapshot each
+/// reduce task has published, reporting
+/// `Outcome::Approximate` instead of `Completed`. The deadline is a
+/// fixed virtual-time tick, so which snapshot is "latest" — and
+/// therefore the approximate answer itself — is deterministic for a
+/// given seed. Requires an enabled snapshot policy (otherwise there
+/// would be nothing to answer with); [`JobConfig::validate`] enforces
+/// that.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum DeadlinePolicy {
+    /// No deadline: jobs run to completion (the default).
+    Disabled,
+    /// Finalize from snapshots if the job is still running at `secs` of
+    /// virtual time.
+    At {
+        /// Deadline in virtual seconds from job start (> 0).
+        secs: f64,
+    },
+}
+
+impl DeadlinePolicy {
+    /// True unless the policy is [`DeadlinePolicy::Disabled`].
+    pub fn is_enabled(&self) -> bool {
+        matches!(self, DeadlinePolicy::At { .. })
+    }
+
+    /// The deadline in seconds, if one is set.
+    pub fn secs(&self) -> Option<f64> {
+        match self {
+            DeadlinePolicy::At { secs } => Some(*secs),
+            DeadlinePolicy::Disabled => None,
+        }
+    }
+}
+
 /// Default handoff batch budget between chained jobs: how many buffered
 /// bytes an upstream reduce task accumulates before handing a record
 /// batch to the downstream stage's map intake.
@@ -404,6 +487,14 @@ pub struct JobConfig {
     /// estimates of the final answer). [`SnapshotPolicy::Disabled`] by
     /// default; snapshots never change final output, only observability.
     pub snapshots: SnapshotPolicy,
+    /// When the cluster simulator launches speculative backup attempts
+    /// for straggling tasks. [`SpeculationPolicy::Disabled`] by default;
+    /// the local executor has no cluster to straggle on and ignores it.
+    pub speculation: SpeculationPolicy,
+    /// Completion deadline after which the simulator answers from the
+    /// latest published snapshots. [`DeadlinePolicy::Disabled`] by
+    /// default; requires an enabled snapshot policy when set.
+    pub deadline: DeadlinePolicy,
     /// Seed for anything stochastic inside the engines (none today, but
     /// carried so runs stay reproducible end to end).
     pub seed: u64,
@@ -423,6 +514,8 @@ impl JobConfig {
             shuffle_batch_bytes: DEFAULT_SHUFFLE_BATCH_BYTES,
             store_index: StoreIndex::default(),
             snapshots: SnapshotPolicy::Disabled,
+            speculation: SpeculationPolicy::Disabled,
+            deadline: DeadlinePolicy::Disabled,
             seed: 0,
         }
     }
@@ -474,6 +567,18 @@ impl JobConfig {
     /// Sets the snapshot policy.
     pub fn snapshots(mut self, policy: SnapshotPolicy) -> Self {
         self.snapshots = policy;
+        self
+    }
+
+    /// Sets the speculation policy.
+    pub fn speculation(mut self, policy: SpeculationPolicy) -> Self {
+        self.speculation = policy;
+        self
+    }
+
+    /// Sets the deadline policy.
+    pub fn deadline(mut self, policy: DeadlinePolicy) -> Self {
+        self.deadline = policy;
         self
     }
 
@@ -537,6 +642,36 @@ impl JobConfig {
                 ));
             }
             _ => {}
+        }
+        if let SpeculationPolicy::Enabled {
+            check_secs,
+            slowdown,
+        } = self.speculation
+        {
+            if !(check_secs.is_finite() && check_secs > 0.0) {
+                return bad(format!(
+                    "SpeculationPolicy check_secs must be finite and > 0 (got {check_secs})"
+                ));
+            }
+            if !(slowdown.is_finite() && slowdown >= 1.0) {
+                return bad(format!(
+                    "SpeculationPolicy slowdown must be finite and >= 1 (got {slowdown}; \
+                     below 1 every on-pace attempt counts as a straggler)"
+                ));
+            }
+        }
+        if let DeadlinePolicy::At { secs } = self.deadline {
+            if !(secs.is_finite() && secs > 0.0) {
+                return bad(format!(
+                    "DeadlinePolicy deadline must be finite and > 0 (got {secs})"
+                ));
+            }
+            if !self.snapshots.is_enabled() {
+                return bad(
+                    "DeadlinePolicy requires an enabled SnapshotPolicy: with no snapshots \
+                     there is nothing to answer with when the deadline fires",
+                );
+            }
         }
         Ok(())
     }
@@ -672,6 +807,51 @@ mod tests {
         let mut cfg = JobConfig::new(1);
         cfg.snapshots = SnapshotPolicy::EverySecs { secs: f64::NAN };
         check(cfg, "EverySecs");
+
+        let mut cfg = JobConfig::new(1);
+        cfg.speculation = SpeculationPolicy::Enabled {
+            check_secs: 0.0,
+            slowdown: 1.5,
+        };
+        check(cfg, "check_secs");
+        let mut cfg = JobConfig::new(1);
+        cfg.speculation = SpeculationPolicy::Enabled {
+            check_secs: 5.0,
+            slowdown: 0.5,
+        };
+        check(cfg, "slowdown");
+        let mut cfg = JobConfig::new(1);
+        cfg.speculation = SpeculationPolicy::Enabled {
+            check_secs: f64::NAN,
+            slowdown: 1.5,
+        };
+        check(cfg, "check_secs");
+
+        let mut cfg = JobConfig::new(1);
+        cfg.deadline = DeadlinePolicy::At { secs: -1.0 };
+        check(cfg, "DeadlinePolicy");
+        // A deadline without snapshots has nothing to answer with.
+        let cfg = JobConfig::new(1).deadline(DeadlinePolicy::At { secs: 100.0 });
+        check(cfg, "SnapshotPolicy");
+    }
+
+    #[test]
+    fn speculation_and_deadline_are_off_by_default_and_builders_set_them() {
+        let cfg = JobConfig::new(1);
+        assert_eq!(cfg.speculation, SpeculationPolicy::Disabled);
+        assert!(!cfg.speculation.is_enabled());
+        assert_eq!(cfg.deadline, DeadlinePolicy::Disabled);
+        assert!(!cfg.deadline.is_enabled());
+        assert_eq!(cfg.deadline.secs(), None);
+
+        let cfg = cfg
+            .speculation(SpeculationPolicy::enabled())
+            .snapshots(SnapshotPolicy::EverySecs { secs: 10.0 })
+            .deadline(DeadlinePolicy::At { secs: 120.0 });
+        assert!(cfg.speculation.is_enabled());
+        assert!(cfg.deadline.is_enabled());
+        assert_eq!(cfg.deadline.secs(), Some(120.0));
+        cfg.validate().unwrap();
     }
 
     #[test]

@@ -66,6 +66,15 @@ pub mod names {
     /// Modelled bytes handed across chain stage boundaries, as estimated
     /// by `ChainableApplication::handoff_bytes`.
     pub const CHAIN_HANDOFF_BYTES: &str = "chain.handoff.bytes";
+    /// Speculative backup attempts launched for straggling tasks
+    /// (cluster simulator only).
+    pub const SPECULATION_LAUNCHED: &str = "speculation.launched";
+    /// Speculative backup attempts that finished before the original
+    /// attempt and supplied the task's output.
+    pub const SPECULATION_WON: &str = "speculation.won";
+    /// Attempts (original or backup) cancelled because the other attempt
+    /// of the same task won the race.
+    pub const SPECULATION_CANCELLED: &str = "speculation.cancelled";
 }
 
 impl Counters {

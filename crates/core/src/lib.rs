@@ -47,8 +47,8 @@ pub use chain::{ChainOutput, ChainableApplication, InputAdapter, StageStats};
 pub use codec::{Codec, CodecError};
 pub use combine::CombinerBuffer;
 pub use config::{
-    ChainConfig, ChainSpec, CombinerPolicy, Engine, HandoffMode, JobConfig, MemoryPolicy,
-    SnapshotPolicy, StoreIndex,
+    ChainConfig, ChainSpec, CombinerPolicy, DeadlinePolicy, Engine, HandoffMode, JobConfig,
+    MemoryPolicy, SnapshotPolicy, SpeculationPolicy, StoreIndex,
 };
 pub use counters::Counters;
 pub use error::{MrError, MrResult};

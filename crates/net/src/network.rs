@@ -250,6 +250,38 @@ impl<T> Network<T> {
         tags
     }
 
+    /// Cancels every in-flight flow whose tag satisfies `pred`,
+    /// returning the cancelled tags. Same mechanics as [`fail_node`]
+    /// (both legs released, indices cleaned up), but selected by tag
+    /// instead of by endpoint — this is how a losing speculative attempt
+    /// stops its transfers from consuming link capacity while the
+    /// winning attempt's flows keep running on the same nodes.
+    ///
+    /// [`fail_node`]: Network::fail_node
+    pub fn cancel_where(&mut self, now: SimTime, pred: impl Fn(&T) -> bool) -> Vec<T> {
+        let mut doomed: Vec<FlowHandle> = self
+            .flows
+            .iter()
+            .filter(|(_, st)| !(st.up_done && st.down_done) && pred(&st.tag))
+            .map(|(h, _)| *h)
+            .collect();
+        doomed.sort();
+        let mut tags = Vec::new();
+        for h in doomed {
+            let st = self.flows.remove(&h).expect("doomed flow must exist");
+            if !st.up_done {
+                self.nics[st.src.0 as usize].up.cancel(now, st.up_leg);
+                self.up_index[st.src.0 as usize].remove(&st.up_leg);
+            }
+            if !st.down_done {
+                self.nics[st.dst.0 as usize].down.cancel(now, st.down_leg);
+                self.down_index[st.dst.0 as usize].remove(&st.down_leg);
+            }
+            tags.push(st.tag);
+        }
+        tags
+    }
+
     /// Number of flows still in flight.
     pub fn in_flight(&self) -> usize {
         self.flows.len()
@@ -384,6 +416,23 @@ mod tests {
         let done = drain(&mut n);
         assert_eq!(done.len(), 1);
         assert_eq!(done[0].1, "survives");
+    }
+
+    #[test]
+    fn cancel_where_releases_capacity_for_survivors() {
+        // Two equal flows share node 0's uplink; cancelling one halfway
+        // lets the survivor finish on the full link, not the half link.
+        let mut n = net(3, 1.0);
+        n.start_flow(SimTime::ZERO, NodeId(0), NodeId(1), MB, "loser");
+        n.start_flow(SimTime::ZERO, NodeId(0), NodeId(2), MB, "winner");
+        let tags = n.cancel_where(SimTime::from_secs(1), |t| *t == "loser");
+        assert_eq!(tags, vec!["loser"]);
+        let done = drain(&mut n);
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].1, "winner");
+        // Half the bytes moved at rate/2 in the first second; the rest
+        // moves at full rate, so completion lands near 1.5s, not 2s.
+        assert!((done[0].0 - 1.5).abs() < 1e-2, "{:?}", done);
     }
 
     #[test]

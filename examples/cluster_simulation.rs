@@ -26,6 +26,8 @@ fn main() {
         output_selectivity: 0.5,
         chain_map_cpu_per_record: 5.0e-3,
         chain_handoff_byte_scale: 4096.0,
+        speculation_launch_overhead_secs: 1.0,
+        speculation_cancel_overhead_secs: 0.5,
     };
 
     for engine in [Engine::Barrier, Engine::barrierless()] {

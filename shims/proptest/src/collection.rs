@@ -66,11 +66,39 @@ pub struct VecStrategy<S> {
     size: SizeRange,
 }
 
-impl<S: Strategy> Strategy for VecStrategy<S> {
+impl<S: Strategy> Strategy for VecStrategy<S>
+where
+    S::Value: Clone,
+{
     type Value = Vec<S::Value>;
     fn sample(&self, rng: &mut StdRng) -> Self::Value {
         let len = self.size.sample(rng);
         (0..len).map(|_| self.element.sample(rng)).collect()
+    }
+    /// Length reductions first (shortest permitted prefix, half-length
+    /// prefix, drop-first, drop-last — never below `size.min`), then
+    /// element-wise substitution of each element's own candidates.
+    fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+        let mut out = Vec::new();
+        let len = value.len();
+        let min = self.size.min;
+        if len > min {
+            out.push(value[..min].to_vec());
+            let half = min.max(len / 2);
+            if half != min && half != len {
+                out.push(value[..half].to_vec());
+            }
+            out.push(value[1..].to_vec());
+            out.push(value[..len - 1].to_vec());
+        }
+        for (i, elem) in value.iter().enumerate() {
+            for candidate in self.element.shrink(elem) {
+                let mut next = value.clone();
+                next[i] = candidate;
+                out.push(next);
+            }
+        }
+        out
     }
 }
 
@@ -133,6 +161,24 @@ mod tests {
         for _ in 0..100 {
             assert_eq!(s.sample(&mut rng).len(), 8);
         }
+    }
+
+    #[test]
+    fn vec_shrink_shortens_and_simplifies_elements() {
+        let s = vec(0u32..100, 1..10);
+        let cands = s.shrink(&[50u32, 7, 20].to_vec());
+        // Shortest permitted prefix leads.
+        assert_eq!(cands[0], [50]);
+        // Length-reducing candidates never go below size.min.
+        assert!(cands.iter().all(|c| !c.is_empty()));
+        // Drop-first and drop-last both appear.
+        assert!(cands.contains(&[7, 20].to_vec()));
+        assert!(cands.contains(&[50, 7].to_vec()));
+        // Element-wise substitution keeps the length, moves one element.
+        assert!(cands.contains(&[0, 7, 20].to_vec()));
+
+        // A minimum-length vec of range-minimum elements cannot shrink.
+        assert!(s.shrink(&[0u32].to_vec()).is_empty());
     }
 
     #[test]

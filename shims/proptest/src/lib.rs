@@ -19,12 +19,18 @@
 //!
 //! Cases are generated from a deterministic per-test seed (an FNV hash
 //! of the test's module path and name), so failures reproduce across
-//! runs without a persistence file. There is **no shrinking**: a
-//! failing case panics with the full `Debug` rendering of every input,
-//! which the small input domains in this repo keep readable. The
-//! default case count is 256, like upstream, and can be overridden
-//! globally with the `PROPTEST_CASES` environment variable or per block
-//! with `ProptestConfig::with_cases`.
+//! runs without a persistence file. Failing cases are **shrunk**: the
+//! runner greedily re-tries the candidates each strategy proposes via
+//! [`strategy::Strategy::shrink`] (binary-search style for integer
+//! ranges, length-then-element reduction for `vec`, component-wise for
+//! tuples) and panics with the `Debug` rendering of the minimal failing
+//! inputs. Strategies that cannot be inverted (`prop_map`,
+//! `prop_flat_map`, `prop_oneof!`, strings) report the original inputs
+//! unshrunk. There is no value *tree* as in upstream — shrinking re-runs
+//! the property on concrete candidate values instead. The default case
+//! count is 256, like upstream, and can be overridden globally with the
+//! `PROPTEST_CASES` environment variable or per block with
+//! `ProptestConfig::with_cases`.
 
 pub mod arbitrary;
 pub mod collection;

@@ -49,14 +49,13 @@ macro_rules! __proptest_body {
                 $config,
                 concat!(module_path!(), "::", stringify!($name)),
             );
-            runner.run(|__proptest_rng| {
-                $(
-                    let $arg = $crate::strategy::Strategy::sample(
-                        &($strategy),
-                        __proptest_rng,
-                    );
-                )+
+            // One tuple strategy over all declared inputs, so the runner
+            // can shrink a failing case component by component.
+            let __proptest_strategy = ($($strategy,)+);
+            runner.run(&__proptest_strategy, |($($arg,)+)| {
                 // Rendered up front: the body may consume the inputs.
+                // Each shrink attempt re-renders, so the final panic
+                // shows the *shrunk* inputs.
                 let __proptest_inputs = format!(
                     concat!($("\n    ", stringify!($arg), " = {:?}",)+),
                     $(&$arg),+
@@ -193,5 +192,18 @@ mod tests {
             }
         }
         inner_always_fails();
+    }
+
+    /// The failing region is `x >= 37`; the panic must report the
+    /// *shrunk* inputs — exactly the boundary value.
+    #[test]
+    #[should_panic(expected = "x = 37")]
+    fn failing_case_reports_minimal_shrunk_inputs() {
+        proptest! {
+            fn inner_shrinks(x in 0u32..1000) {
+                prop_assert!(x < 37, "too big");
+            }
+        }
+        inner_shrinks();
     }
 }

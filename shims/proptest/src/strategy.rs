@@ -5,16 +5,29 @@ use rand::Rng;
 
 /// A recipe for generating values of one type.
 ///
-/// Unlike upstream proptest there is no value *tree* (shrinking is not
-/// supported); a strategy is just a seeded sampler. Combinator methods
-/// carry `Self: Sized` bounds so `dyn Strategy<Value = T>` stays
-/// object-safe — [`prop_oneof!`](crate::prop_oneof) relies on that.
+/// Unlike upstream proptest there is no value *tree*: a strategy is a
+/// seeded sampler plus a [`shrink`](Strategy::shrink) step that proposes
+/// smaller candidates for a failing value. The test runner greedily
+/// re-runs the property on candidates (binary-search style for integer
+/// and collection strategies) until none fail, so the reported
+/// counterexample is minimal. Combinator methods carry `Self: Sized`
+/// bounds so `dyn Strategy<Value = T>` stays object-safe —
+/// [`prop_oneof!`](crate::prop_oneof) relies on that.
 pub trait Strategy {
     /// The type of generated values.
     type Value;
 
     /// Draws one value.
     fn sample(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Proposes strictly-simpler candidates for a failing `value`,
+    /// simplest first. The default — for strategies whose values have no
+    /// meaningful order, or that cannot be inverted (maps, unions) — is
+    /// no candidates, which disables shrinking for that strategy.
+    fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+        let _ = value;
+        Vec::new()
+    }
 
     /// Maps generated values through `f`.
     fn prop_map<O, F>(self, f: F) -> Map<Self, F>
@@ -91,6 +104,9 @@ impl<T> Strategy for BoxedStrategy<T> {
     fn sample(&self, rng: &mut StdRng) -> T {
         (**self).sample(rng)
     }
+    fn shrink(&self, value: &T) -> Vec<T> {
+        (**self).shrink(value)
+    }
 }
 
 /// Boxes a strategy; used by [`prop_oneof!`](crate::prop_oneof) to mix
@@ -139,6 +155,26 @@ impl<T> Strategy for WeightedUnion<T> {
     }
 }
 
+/// Shrink candidates for an integer that failed: the range minimum, then
+/// values approaching the failing one by halving the remaining distance
+/// (`v - d/2, v - d/4, …, v - 1`). Greedy take-first-failing over this
+/// list converges like binary search to the smallest failing value.
+fn int_shrink_candidates(lo: i128, v: i128) -> Vec<i128> {
+    if v <= lo {
+        return Vec::new();
+    }
+    let mut out = vec![lo];
+    let mut delta = (v - lo) / 2;
+    while delta > 0 {
+        let candidate = v - delta;
+        if candidate != *out.last().expect("non-empty") {
+            out.push(candidate);
+        }
+        delta /= 2;
+    }
+    out
+}
+
 macro_rules! impl_range_strategy {
     ($($t:ty),*) => {$(
         impl Strategy for core::ops::Range<$t> {
@@ -146,11 +182,23 @@ macro_rules! impl_range_strategy {
             fn sample(&self, rng: &mut StdRng) -> $t {
                 rng.gen_range(self.clone())
             }
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                int_shrink_candidates(self.start as i128, *value as i128)
+                    .into_iter()
+                    .map(|c| c as $t)
+                    .collect()
+            }
         }
         impl Strategy for core::ops::RangeInclusive<$t> {
             type Value = $t;
             fn sample(&self, rng: &mut StdRng) -> $t {
                 rng.gen_range(self.clone())
+            }
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                int_shrink_candidates(*self.start() as i128, *value as i128)
+                    .into_iter()
+                    .map(|c| c as $t)
+                    .collect()
             }
         }
     )*};
@@ -165,23 +213,39 @@ impl Strategy for core::ops::Range<f64> {
 }
 
 macro_rules! impl_tuple_strategy {
-    ($($name:ident),+) => {
-        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+    ($(($name:ident, $idx:tt)),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+)
+        where
+            $($name::Value: Clone,)+
+        {
             type Value = ($($name::Value,)+);
             #[allow(non_snake_case)]
             fn sample(&self, rng: &mut StdRng) -> Self::Value {
                 let ($($name,)+) = self;
                 ($($name.sample(rng),)+)
             }
+            // Component-wise: substitute each component's candidates
+            // while holding the other components fixed.
+            fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+                let mut out = Vec::new();
+                $(
+                    for candidate in self.$idx.shrink(&value.$idx) {
+                        let mut next = value.clone();
+                        next.$idx = candidate;
+                        out.push(next);
+                    }
+                )+
+                out
+            }
         }
     };
 }
-impl_tuple_strategy!(A);
-impl_tuple_strategy!(A, B);
-impl_tuple_strategy!(A, B, C);
-impl_tuple_strategy!(A, B, C, D);
-impl_tuple_strategy!(A, B, C, D, E);
-impl_tuple_strategy!(A, B, C, D, E, F);
+impl_tuple_strategy!((A, 0));
+impl_tuple_strategy!((A, 0), (B, 1));
+impl_tuple_strategy!((A, 0), (B, 1), (C, 2));
+impl_tuple_strategy!((A, 0), (B, 1), (C, 2), (D, 3));
+impl_tuple_strategy!((A, 0), (B, 1), (C, 2), (D, 3), (E, 4));
+impl_tuple_strategy!((A, 0), (B, 1), (C, 2), (D, 3), (E, 4), (F, 5));
 
 #[cfg(test)]
 mod tests {
@@ -210,6 +274,44 @@ mod tests {
         for _ in 0..50 {
             assert_eq!(s.sample(&mut rng).len(), 4);
         }
+    }
+
+    #[test]
+    fn integer_shrink_walks_toward_range_start() {
+        let s = 5u32..1000;
+        let cands = s.shrink(&100);
+        assert_eq!(cands.first(), Some(&5), "simplest candidate first");
+        assert!(cands.windows(2).all(|w| w[0] < w[1]), "sorted: {cands:?}");
+        assert_eq!(*cands.last().unwrap(), 99, "largest candidate is v-1");
+        assert!(!cands.contains(&100), "never proposes the value itself");
+        assert!(s.shrink(&5).is_empty(), "range start cannot shrink");
+
+        let inc = -10i64..=10;
+        let cands = inc.shrink(&3);
+        assert_eq!(cands.first(), Some(&-10));
+        assert_eq!(*cands.last().unwrap(), 2);
+    }
+
+    #[test]
+    fn tuple_shrink_is_component_wise() {
+        let t = (0u8..10, 0u8..10);
+        let cands = t.shrink(&(4, 6));
+        assert!(!cands.is_empty());
+        for (a, b) in &cands {
+            // Exactly one component moved, the other is untouched.
+            assert!(
+                (*a != 4 && *b == 6) || (*a == 4 && *b != 6),
+                "({a}, {b}) changed both or neither component"
+            );
+        }
+        assert!(cands.contains(&(0, 6)) && cands.contains(&(4, 0)));
+    }
+
+    #[test]
+    fn unshrinkable_strategies_propose_nothing() {
+        assert!(Just(7u32).shrink(&7).is_empty());
+        let mapped = (0u32..10).prop_map(|v| v * 2);
+        assert!(mapped.shrink(&4).is_empty());
     }
 
     #[test]

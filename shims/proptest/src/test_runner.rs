@@ -1,8 +1,13 @@
 //! The case-running machinery behind the [`proptest!`](crate::proptest)
 //! macro.
 
+use crate::strategy::Strategy;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+
+/// Hard cap on property re-runs spent shrinking one failure, so a
+/// pathological shrink chain cannot hang a test.
+const MAX_SHRINK_TRIALS: usize = 1024;
 
 /// Per-block configuration. Subset of upstream's `ProptestConfig`
 /// (which the prelude re-exports under that name).
@@ -79,13 +84,21 @@ impl TestRunner {
         TestRunner { config, name }
     }
 
-    /// Runs `body` once per case, panicking (like a failing `#[test]`)
-    /// on the first case whose result is an error. The macro expansion
-    /// folds the sampled inputs into the error message before returning
-    /// it here.
-    pub fn run<F>(&mut self, mut body: F)
+    /// Samples `strategy` once per case and runs `body` on the value,
+    /// panicking (like a failing `#[test]`) on the first failing case.
+    /// Before panicking the failure is *shrunk*: the strategy's
+    /// [`shrink`](Strategy::shrink) candidates are re-tried greedily —
+    /// take the first candidate that still fails, restart from it —
+    /// until none fail (or the shrink-trial budget of 1024 re-runs is
+    /// spent), so
+    /// the reported counterexample is minimal. The macro expansion folds
+    /// the inputs of each attempt into its error message, so the final
+    /// message shows the shrunk inputs.
+    pub fn run<S, F>(&mut self, strategy: &S, mut body: F)
     where
-        F: FnMut(&mut StdRng) -> TestCaseResult,
+        S: Strategy,
+        S::Value: Clone,
+        F: FnMut(S::Value) -> TestCaseResult,
     {
         let cases = match std::env::var("PROPTEST_CASES") {
             Ok(v) => v
@@ -96,27 +109,66 @@ impl TestRunner {
         let base = fnv1a(self.name.as_bytes());
         for case in 0..cases as u64 {
             let mut rng = StdRng::seed_from_u64(base.wrapping_add(case));
-            match body(&mut rng) {
-                Ok(_) => {}
-                Err(e) => panic!(
-                    "property `{}` failed at case {case}/{cases}: {e}\n\
-                     (no shrinking in the offline proptest shim; the case \
-                     is deterministic — rerun this test to reproduce)",
-                    self.name
-                ),
+            let value = strategy.sample(&mut rng);
+            if let Err(e) = body(value.clone()) {
+                let (steps, err) = Self::shrink_failure(strategy, value, e, &mut body);
+                panic!(
+                    "property `{}` failed at case {case}/{cases}: {err}\n\
+                     (minimal counterexample after {steps} shrink \
+                     step{}; cases are deterministic — rerun this test \
+                     to reproduce)",
+                    self.name,
+                    if steps == 1 { "" } else { "s" },
+                )
             }
         }
+    }
+
+    /// Greedy binary-search-style shrinking: repeatedly replace the
+    /// failing value with its first shrink candidate that still fails.
+    /// Returns the number of successful shrink steps and the error of
+    /// the minimal failing value.
+    fn shrink_failure<S, F>(
+        strategy: &S,
+        mut value: S::Value,
+        mut err: TestCaseError,
+        body: &mut F,
+    ) -> (usize, TestCaseError)
+    where
+        S: Strategy,
+        S::Value: Clone,
+        F: FnMut(S::Value) -> TestCaseResult,
+    {
+        let mut trials = 0usize;
+        let mut steps = 0usize;
+        'outer: loop {
+            for candidate in strategy.shrink(&value) {
+                if trials >= MAX_SHRINK_TRIALS {
+                    break 'outer;
+                }
+                trials += 1;
+                if let Err(e) = body(candidate.clone()) {
+                    value = candidate;
+                    err = e;
+                    steps += 1;
+                    continue 'outer;
+                }
+            }
+            break;
+        }
+        (steps, err)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::strategy::Just;
 
     #[test]
     fn passing_property_runs_all_cases() {
         let mut count = 0u32;
-        TestRunner::new(Config::with_cases(17), "t::pass").run(|_rng| {
+        TestRunner::new(Config::with_cases(17), "t::pass").run(&Just(()), |_| {
             count += 1;
             Ok(())
         });
@@ -127,23 +179,61 @@ mod tests {
     #[should_panic(expected = "failed at case")]
     fn failing_property_panics() {
         TestRunner::new(Config::with_cases(5), "t::fail")
-            .run(|_rng| Err(TestCaseError::fail("nope")));
+            .run(&Just(()), |_| Err(TestCaseError::fail("nope")));
     }
 
     #[test]
     fn seeding_is_deterministic_per_test() {
-        use rand::Rng;
         let mut first: Vec<u64> = Vec::new();
-        TestRunner::new(Config::with_cases(3), "t::det").run(|rng| {
-            first.push(rng.gen::<u64>());
+        TestRunner::new(Config::with_cases(3), "t::det").run(&(0u64..u64::MAX), |v| {
+            first.push(v);
             Ok(())
         });
         let mut second: Vec<u64> = Vec::new();
-        TestRunner::new(Config::with_cases(3), "t::det").run(|rng| {
-            second.push(rng.gen::<u64>());
+        TestRunner::new(Config::with_cases(3), "t::det").run(&(0u64..u64::MAX), |v| {
+            second.push(v);
             Ok(())
         });
         assert_eq!(first, second);
         assert_ne!(first[0], first[1]);
+    }
+
+    /// The failing region is `x >= 37`; binary-search shrinking must land
+    /// on exactly 37, the minimal counterexample.
+    #[test]
+    #[should_panic(expected = "saw x = 37")]
+    fn integer_failure_shrinks_to_minimal_counterexample() {
+        TestRunner::new(Config::default(), "t::shrink_int").run(&(0u32..1000), |x| {
+            if x >= 37 {
+                Err(TestCaseError::fail(format!("saw x = {x}")))
+            } else {
+                Ok(())
+            }
+        });
+    }
+
+    /// A vec fails when any element is >= 10; the minimal counterexample
+    /// is the single-element vec `[10]`.
+    #[test]
+    #[should_panic(expected = "saw [10]")]
+    fn vec_failure_shrinks_to_minimal_counterexample() {
+        let s = crate::collection::vec(0u32..100, 0..20);
+        TestRunner::new(Config::default(), "t::shrink_vec").run(&s, |v| {
+            if v.iter().any(|&x| x >= 10) {
+                Err(TestCaseError::fail(format!("saw {v:?}")))
+            } else {
+                Ok(())
+            }
+        });
+    }
+
+    /// Shrinking only ever re-tries candidates the strategy proposes, so
+    /// an unshrinkable failure reports the original value after 0 steps.
+    #[test]
+    #[should_panic(expected = "after 0 shrink steps")]
+    fn unshrinkable_failure_reports_original_value() {
+        TestRunner::new(Config::with_cases(5), "t::noshrink").run(&Just(99u32), |v| {
+            Err(TestCaseError::fail(format!("v = {v}")))
+        });
     }
 }

@@ -10,10 +10,11 @@
 //! paper's ordered map everywhere, combiner included.
 
 use barrier_mapreduce::apps::{Sort, TopK, UniqueListens, WordCount};
+use barrier_mapreduce::cluster::{ClusterParams, CostModel, FnInput, SimExecutor};
 use barrier_mapreduce::core::local::LocalRunner;
 use barrier_mapreduce::core::{
     ChainSpec, ChainableApplication, CombinerPolicy, Engine, HandoffMode, HashPartitioner,
-    JobConfig, MemoryPolicy, SnapshotPolicy, StoreIndex,
+    JobConfig, MemoryPolicy, SnapshotPolicy, SpeculationPolicy, StoreIndex,
 };
 use proptest::prelude::*;
 use std::collections::BTreeMap;
@@ -340,6 +341,67 @@ proptest! {
                         &got, &plain,
                         "combiner {:?} index {:?} changed output under {:?}",
                         combiner, index, engine
+                    );
+                }
+            }
+        }
+    }
+}
+
+proptest! {
+    // Each case runs the full engine × index × combiner matrix twice on
+    // the simulated cluster, so a smaller case budget than the local
+    // sweeps above keeps this test proportionate.
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Straggler mitigation must be answer-invisible: on a heterogeneous
+    /// simulated cluster (where the speed trigger genuinely fires), every
+    /// engine × store-index × combiner combination produces byte-identical
+    /// partitions with speculation on and off — the backup race resolves
+    /// before any output is written, so losers can never leak records.
+    #[test]
+    fn speculation_never_changes_output_anywhere(
+        words in prop::collection::vec(prop::collection::vec("[a-e]{1,3}", 1..6), 4..10),
+        reducers in 2usize..5,
+        seed in 0u64..64,
+    ) {
+        let lines: Vec<String> = words.iter().map(|l| l.join(" ")).collect();
+        let chunks = lines.len() as u64;
+        for engine in all_engines() {
+            for index in INDEXES {
+                for combiner in [CombinerPolicy::Disabled, CombinerPolicy::enabled()] {
+                    let run = |spec: SpeculationPolicy| {
+                        let lines = lines.clone();
+                        let mut params = ClusterParams::paper_testbed(seed);
+                        params.nodes = 6;
+                        params.map_slots = 2;
+                        params.reduce_slots = 2;
+                        params.hetero_sigma = 0.8;
+                        let cfg = JobConfig::new(reducers)
+                            .engine(engine.clone())
+                            .combiner(combiner)
+                            .store_index(index)
+                            .speculation(spec)
+                            .scratch_dir(scratch())
+                            .seed(seed);
+                        SimExecutor::new(params).run(
+                            &WordCount,
+                            &FnInput(move |c| vec![(c, lines[c as usize].clone())]),
+                            chunks,
+                            &cfg,
+                            &CostModel::default_for_tests(),
+                            &HashPartitioner,
+                        )
+                    };
+                    let off = run(SpeculationPolicy::Disabled);
+                    let on = run(SpeculationPolicy::enabled());
+                    prop_assert!(off.outcome.is_completed());
+                    prop_assert!(on.outcome.is_completed());
+                    prop_assert_eq!(
+                        &off.output.as_ref().expect("completed").partitions,
+                        &on.output.as_ref().expect("completed").partitions,
+                        "speculation changed output: {:?} {:?} {:?}",
+                        engine, index, combiner
                     );
                 }
             }
