@@ -34,6 +34,7 @@ use mr_core::local::LocalRunner;
 use mr_core::{
     ChainSpec, CombinerBuffer, CombinerPolicy, Counters, DeadlinePolicy, Engine, HandoffMode,
     HashPartitioner, JobConfig, MemoryPolicy, SnapshotPolicy, SpeculationPolicy, StoreIndex,
+    TracePolicy,
 };
 use mr_workloads::TextWorkload;
 use std::time::Instant;
@@ -100,7 +101,7 @@ fn barrierless() -> Engine {
 fn main() {
     let out_path = std::env::args()
         .nth(1)
-        .unwrap_or_else(|| "BENCH_6.json".to_string());
+        .unwrap_or_else(|| "BENCH_7.json".to_string());
     let splits = wc_splits(12);
     let mut results = Vec::new();
 
@@ -450,6 +451,44 @@ fn main() {
         assert!(out.record_count() > 0, "deadline answer was empty");
         out.counters.get(names::MAP_OUTPUT_RECORDS)
     }));
+
+    // The trace pipeline's record-path cost: the same barrier-less
+    // local run with tracing on vs off, best-of-N each; wall_ms is the
+    // on-minus-off gap, clamped at zero (when recording is cheap the
+    // difference sits inside run-to-run noise). Tracing must be pure
+    // observation: both runs' partitions are asserted byte-identical.
+    {
+        let traced_run = |policy: TracePolicy| {
+            LocalRunner::new(4)
+                .run(
+                    &mr_apps::WordCount,
+                    splits.clone(),
+                    &local_cfg(barrierless(), CombinerPolicy::Disabled).trace(policy),
+                )
+                .expect("traced run")
+        };
+        let baseline = traced_run(TracePolicy::Disabled);
+        assert!(baseline.trace.is_empty(), "disabled run recorded events");
+        let on = bench("trace_on", || {
+            let out = traced_run(TracePolicy::Enabled);
+            assert!(!out.trace.is_empty(), "enabled run recorded nothing");
+            assert_eq!(
+                out.partitions, baseline.partitions,
+                "tracing changed the job output"
+            );
+            out.counters.get(names::MAP_OUTPUT_RECORDS)
+        });
+        let off = bench("trace_off", || {
+            traced_run(TracePolicy::Disabled)
+                .counters
+                .get(names::MAP_OUTPUT_RECORDS)
+        });
+        results.push(BenchResult {
+            name: "trace_record_overhead",
+            wall_ms: (on.wall_ms - off.wall_ms).max(0.0),
+            records: on.records,
+        });
+    }
 
     // One small simulated-cluster run: catches event-loop regressions.
     results.push(bench("sim_wordcount_1gb_combined", || {

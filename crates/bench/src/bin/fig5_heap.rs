@@ -10,7 +10,7 @@ use mr_bench::appcfg::{
 };
 use mr_bench::chart::line_chart;
 use mr_cluster::{FnInput, Outcome, SimExecutor};
-use mr_core::{Engine, HashPartitioner, JobConfig, MemoryPolicy};
+use mr_core::{Engine, HashPartitioner, JobConfig, MemoryPolicy, TraceQuery};
 
 fn run(
     policy: MemoryPolicy,
@@ -33,23 +33,25 @@ fn run(
     )
 }
 
+/// The heap samples come straight off the run's unified trace (the
+/// simulator exports it for failed runs too — policy, not outcome,
+/// gates tracing, and figure (a)'s whole point is the pre-kill curve).
 fn busiest_reducer_series(
     report: &mr_cluster::SimReport<mr_apps::wordcount::WordCount>,
 ) -> (usize, Vec<(f64, f64)>) {
-    let busiest = report
-        .timeline
-        .heap
-        .iter()
-        .max_by_key(|h| h.bytes)
-        .map(|h| h.reducer)
+    let q = TraceQuery::new(&report.trace);
+    let busiest = q
+        .heap_samples(0)
+        .into_iter()
+        .max_by_key(|&(_, _, bytes)| bytes)
+        .map(|(reducer, _, _)| reducer)
         .unwrap_or(0);
-    let series: Vec<(f64, f64)> = report
-        .timeline
-        .heap_series(busiest)
+    let series: Vec<(f64, f64)> = q
+        .heap_series(0, busiest)
         .into_iter()
         .map(|(t, b)| (t, b as f64 / (1 << 20) as f64))
         .collect();
-    (busiest, series)
+    (busiest as usize, series)
 }
 
 fn main() {

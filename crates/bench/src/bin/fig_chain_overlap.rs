@@ -23,7 +23,7 @@ use mr_apps::wordcount::WordCount;
 use mr_bench::appcfg::{testbed, wc_costs, wc_workload};
 use mr_bench::chart::line_chart;
 use mr_cluster::{ChainSimExecutor, ChainSimReport, CostModel, FnInput, SpanKind};
-use mr_core::{ChainSpec, Engine, HandoffMode, HashPartitioner, JobConfig};
+use mr_core::{ChainSpec, Engine, HandoffMode, HashPartitioner, JobConfig, TraceQuery};
 
 /// The chain's cost model: WordCount's calibration with a heavyweight
 /// intermediate dataset (the chain's whole point is not materializing
@@ -65,10 +65,13 @@ fn run(gb: f64, handoff: HandoffMode, seed: u64) -> ChainSimReport<TopK> {
     )
 }
 
-/// Active stage-1-reduce and stage-2 task counts over time.
+/// Active stage-1-reduce and stage-2 task counts over time, read
+/// straight off the chain's unified trace (stage 1 = job 0, stage 2 =
+/// job 1).
 fn activity_series(report: &ChainSimReport<TopK>) -> Vec<(&'static str, Vec<(f64, f64)>)> {
-    let horizon = report.timeline1.last_end().max(report.timeline2.last_end());
-    let step = (horizon.as_secs_f64() / 60.0).max(1.0);
+    let q = TraceQuery::new(&report.trace);
+    let horizon = q.last_end_secs();
+    let step = (horizon / 60.0).max(1.0);
     let to_f64 = |series: Vec<(f64, usize)>| {
         series
             .into_iter()
@@ -78,23 +81,15 @@ fn activity_series(report: &ChainSimReport<TopK>) -> Vec<(&'static str, Vec<(f64
     vec![
         (
             "job1 reduce",
-            to_f64(
-                report
-                    .timeline1
-                    .series(SpanKind::ShuffleReduce, step, horizon),
-            ),
+            to_f64(q.series(0, SpanKind::ShuffleReduce, step, horizon)),
         ),
         (
             "job2 map",
-            to_f64(report.timeline2.series(SpanKind::Map, step, horizon)),
+            to_f64(q.series(1, SpanKind::Map, step, horizon)),
         ),
         (
             "job2 reduce",
-            to_f64(
-                report
-                    .timeline2
-                    .series(SpanKind::ShuffleReduce, step, horizon),
-            ),
+            to_f64(q.series(1, SpanKind::ShuffleReduce, step, horizon)),
         ),
     ]
 }

@@ -30,6 +30,7 @@ use mr_bench::stats::improvement_pct;
 use mr_cluster::{FnInput, SimExecutor, SimReport, SpecEvent};
 use mr_core::{
     DeadlinePolicy, Engine, HashPartitioner, JobConfig, SnapshotPolicy, SpeculationPolicy,
+    TraceQuery,
 };
 
 /// Input size: 2 GB = 32 chunks — enough map waves on the 15-node
@@ -107,9 +108,12 @@ fn sweep(engine: Engine, label: &str) {
             );
             off.push(r_off.completion_secs());
             on.push(r_on.completion_secs());
-            launched += r_on.timeline.speculation_count(SpecEvent::Launched);
-            won += r_on.timeline.speculation_count(SpecEvent::Won);
-            cancelled += r_on.timeline.speculation_count(SpecEvent::Cancelled);
+            // Speculation marks come straight from the unified trace —
+            // the timeline view above it is derived from the same log.
+            let q = TraceQuery::new(&r_on.trace);
+            launched += q.speculation_count(SpecEvent::Launched);
+            won += q.speculation_count(SpecEvent::Won);
+            cancelled += q.speculation_count(SpecEvent::Cancelled);
         }
         if sigma == 0.0 {
             // Homogeneous, noise-free: no task is a straggler, so the

@@ -60,6 +60,7 @@ use crate::input::SimInput;
 use crate::params::ClusterParams;
 use crate::report::Outcome;
 use crate::timeline::{SpanKind, SpecEvent, SpecTaskKind, Timeline};
+use crate::trace::SimTracer;
 use mr_core::chain::ChainableApplication;
 use mr_core::counters::names;
 use mr_core::engine::barrier::reduce_partition_barrier;
@@ -67,7 +68,7 @@ use mr_core::engine::pipeline::IncrementalDriver;
 use mr_core::engine::DriverReport;
 use mr_core::{
     Application, ChainSpec, Counters, DeadlinePolicy, Engine, HandoffMode, JobOutput, MemoryPolicy,
-    Partitioner, SnapshotPolicy, SpeculationPolicy,
+    Partitioner, Scope, SnapshotPolicy, SpeculationPolicy, TaskKind, TraceLog,
 };
 use mr_dfs::{ChunkId, Dfs, DfsConfig};
 use mr_net::{Network, NetworkConfig, NodeId};
@@ -142,6 +143,7 @@ impl ChainSimExecutor {
                 reason,
             },
             output: None,
+            trace: TraceLog::new(),
             timeline1: Timeline::default(),
             timeline2: Timeline::default(),
             stage1_last_reduce_done: SimTime::ZERO,
@@ -200,9 +202,16 @@ pub struct ChainSimReport<B: Application> {
     /// counters merge both stages' tasks, chain handoff counters
     /// included; the intermediate dataset is never materialized.
     pub output: Option<JobOutput<B>>,
-    /// Stage-1 task spans, heap samples and handoff departures.
+    /// The run's full structured trace — both stages in one stream
+    /// (stage 1 is job 0, stage 2 is job 1). Query it with
+    /// [`mr_core::TraceQuery`]. Empty when the effective
+    /// [`TracePolicy`](mr_core::TracePolicy) is `Disabled`.
+    pub trace: TraceLog,
+    /// Stage-1 task spans, heap samples and handoff departures — a
+    /// compatibility view derived from `trace` (job 0).
     pub timeline1: Timeline,
-    /// Stage-2 task spans and heap samples.
+    /// Stage-2 task spans and heap samples — derived from `trace`
+    /// (job 1).
     pub timeline2: Timeline,
     /// When the last stage-1 reduce task finished reducing.
     pub stage1_last_reduce_done: SimTime,
@@ -530,8 +539,11 @@ struct ChainSim<'a, A: Application, B: Application, I, PA, PB> {
     reds1_done: usize,
     maps2_done: usize,
     reds2_done: usize,
-    timeline1: Timeline,
-    timeline2: Timeline,
+    /// One trace recorder for the whole chain: stage 1 records as job 0,
+    /// stage 2 as job 1, so a run yields one canonical stream. Always
+    /// records; the effective trace policy gates export (see
+    /// `SimTracer`).
+    tracer: SimTracer,
     stage1_last_reduce_done: SimTime,
     stage1_complete: Option<SimTime>,
     stage2_first_work: Option<SimTime>,
@@ -599,15 +611,14 @@ where
         // Effective straggler policy for stage-1 reducers, resolved
         // before the per-stage configs are scrubbed below.
         let speculation = p.speculation.unwrap_or(spec.stages[0].speculation);
-        // Effective per-stage configs: cluster store-index override wins;
-        // combiner, snapshot and deadline modeling is the single-job
-        // executor's domain (see module docs), so all are disabled here
-        // (speculation lives in `ChainSim::speculation`, not the cfgs).
+        // Effective per-stage configs: every cluster override applied in
+        // one place (`ClusterParams::effective_config` — store index and
+        // trace matter here), then the knobs this executor does not model
+        // are scrubbed: combiner, snapshot and deadline modeling is the
+        // single-job executor's domain (see module docs), and speculation
+        // lives in `ChainSim::speculation`, not the cfgs.
         let effective = |cfg: &mr_core::JobConfig| {
-            let mut cfg = cfg.clone();
-            if let Some(index) = p.store_index {
-                cfg.store_index = index;
-            }
+            let mut cfg = p.effective_config(cfg);
             cfg.combiner = mr_core::CombinerPolicy::Disabled;
             cfg.snapshots = SnapshotPolicy::Disabled;
             cfg.speculation = SpeculationPolicy::Disabled;
@@ -663,8 +674,7 @@ where
             reds1_done: 0,
             maps2_done: 0,
             reds2_done: 0,
-            timeline1: Timeline::default(),
-            timeline2: Timeline::default(),
+            tracer: SimTracer::new(),
             stage1_last_reduce_done: SimTime::ZERO,
             stage1_complete: None,
             stage2_first_work: None,
@@ -774,25 +784,64 @@ where
         let outcome = match self.failure.take() {
             Some((at, reason)) => Outcome::Failed { at, reason },
             None if complete => Outcome::Completed {
-                at: self.timeline1.last_end().max(self.timeline2.last_end()),
+                at: self.tracer.last_end(),
             },
             None => Outcome::Failed {
                 at: self.now,
                 reason: "chain simulation stalled before completion".to_string(),
             },
         };
+        // Emit the chain's counter totals into the trace: map-side
+        // tallies of both stages plus the handoff counters as the job-0
+        // batch (the handoff is a stage-1 output fact), each reducer's
+        // tallies under its own task scope in its own stage. The direct
+        // merge of exactly these values is what the legacy report
+        // carried, so the trace-derived `Counters` is equal by
+        // construction.
+        let mut job0 = self.map_counters.clone();
+        if complete {
+            job0.add(names::CHAIN_HANDOFF_RECORDS, self.handoff_records);
+            job0.add(names::CHAIN_HANDOFF_BATCHES, self.handoff_edges as u64);
+            job0.add(names::CHAIN_HANDOFF_BYTES, self.handoff_bytes);
+        }
+        self.tracer.counters(Scope::job(0), &job0);
+        for (idx, r) in self.reds1.iter().enumerate() {
+            self.tracer.counters(
+                Scope::task(0, TaskKind::Reduce, idx as u32, r.attempt, r.node as u32),
+                &r.counters,
+            );
+        }
+        for (idx, r) in self.reds2.iter().enumerate() {
+            self.tracer.counters(
+                Scope::task(1, TaskKind::Reduce, idx as u32, r.attempt, r.node as u32),
+                &r.counters,
+            );
+        }
+        let trace_on = self.cfg1.trace.is_enabled();
+        let (trace, timeline1, timeline2) = if trace_on {
+            let log = std::mem::take(&mut self.tracer).into_log();
+            let t1 = Timeline::from_log(&log, 0);
+            let t2 = Timeline::from_log(&log, 1);
+            (log, t1, t2)
+        } else {
+            (TraceLog::new(), Timeline::default(), Timeline::default())
+        };
         let output = if outcome.is_completed() {
-            let mut counters = std::mem::take(&mut self.map_counters);
-            counters.add(names::CHAIN_HANDOFF_RECORDS, self.handoff_records);
-            counters.add(names::CHAIN_HANDOFF_BATCHES, self.handoff_edges as u64);
-            counters.add(names::CHAIN_HANDOFF_BYTES, self.handoff_bytes);
-            for r in &mut self.reds1 {
-                counters.merge(&r.counters);
-            }
+            let counters = if trace_on {
+                Counters::from_trace(&trace)
+            } else {
+                let mut c = job0;
+                for r in &self.reds1 {
+                    c.merge(&r.counters);
+                }
+                for r in &self.reds2 {
+                    c.merge(&r.counters);
+                }
+                c
+            };
             let mut partitions = Vec::with_capacity(self.reds2.len());
             let mut reports = Vec::new();
             for r in &mut self.reds2 {
-                counters.merge(&r.counters);
                 partitions.push(std::mem::take(&mut r.out));
                 if let Some(rep) = r.report.take() {
                     reports.push(rep);
@@ -804,6 +853,7 @@ where
                 counters,
                 reports,
                 snapshots,
+                trace: TraceLog::new(),
             })
         } else {
             None
@@ -811,8 +861,9 @@ where
         ChainSimReport {
             outcome,
             output,
-            timeline1: self.timeline1,
-            timeline2: self.timeline2,
+            trace,
+            timeline1,
+            timeline2,
             stage1_last_reduce_done: self.stage1_last_reduce_done,
             stage1_complete: self.stage1_complete.unwrap_or(SimTime::ZERO),
             stage2_first_work: self.stage2_first_work,
@@ -1157,8 +1208,15 @@ where
         self.maps1[m].state = MState::Done;
         self.maps1_done += 1;
         self.map_slots_used[node] -= 1;
-        self.timeline1
-            .span(SpanKind::Map, m, self.maps1[m].started, at);
+        self.tracer.span(
+            0,
+            SpanKind::Map,
+            m,
+            self.maps1[m].attempt,
+            node,
+            self.maps1[m].started,
+            at,
+        );
         for r in 0..self.reds1.len() {
             if self.reds1[r].state == RState::Running && !self.reds1[r].flow_from[m] {
                 self.start_shuffle1_flow(at, m, r, false);
@@ -1300,7 +1358,8 @@ where
             let (started, node, attempt) = (task.started, task.node, task.attempt);
             let n = task.buffer.len() as f64;
             if !bk {
-                self.timeline1.span(SpanKind::Shuffle, r, started, at);
+                self.tracer
+                    .span(0, SpanKind::Shuffle, r, attempt, node, started, at);
             }
             let sort = self.costs.sort_cpu_coeff * n * n.max(2.0).log2() * self.node_factor[node];
             self.queue.schedule(
@@ -1314,6 +1373,7 @@ where
         let task = red1_mut!(self, r, bk);
         if let Some(batch) = task.batches.pop_front() {
             let node = task.node;
+            let attempt = task.attempt;
             let driver = task.driver.as_mut().expect("pipelined reducer");
             for (k, v) in batch {
                 if let Err(e) = driver.push(self.first, k, v, &mut task.out) {
@@ -1329,7 +1389,7 @@ where
                 self.disks[node].submit(at, delta);
             }
             if !bk {
-                self.timeline1.heap_sample(at, r, bytes);
+                self.tracer.heap_sample(0, r, attempt, node, at, bytes);
                 // Emit-during-absorb applications produced new output:
                 // stream it downstream right now. Backups never ship —
                 // only the primary attempt feeds the chain edge.
@@ -1378,8 +1438,15 @@ where
                 return;
             }
         }
-        self.timeline1
-            .span(SpanKind::ShuffleReduce, r, self.reds1[r].started, at);
+        self.tracer.span(
+            0,
+            SpanKind::ShuffleReduce,
+            r,
+            self.reds1[r].attempt,
+            self.reds1[r].node,
+            self.reds1[r].started,
+            at,
+        );
         self.red1_reduce_finished(at, r);
     }
 
@@ -1410,7 +1477,15 @@ where
             }
         }
         let start = self.reds1[r].shuffle_done_at.expect("sorted after shuffle");
-        self.timeline1.span(SpanKind::SortReduce, r, start, at);
+        self.tracer.span(
+            0,
+            SpanKind::SortReduce,
+            r,
+            self.reds1[r].attempt,
+            self.reds1[r].node,
+            start,
+            at,
+        );
         self.red1_reduce_finished(at, r);
     }
 
@@ -1460,8 +1535,15 @@ where
             return;
         }
         self.reds1[r].state = RState::Done;
-        self.timeline1
-            .span(SpanKind::Output, r, self.reds1[r].write_started, at);
+        self.tracer.span(
+            0,
+            SpanKind::Output,
+            r,
+            self.reds1[r].attempt,
+            self.reds1[r].node,
+            self.reds1[r].write_started,
+            at,
+        );
         self.red1_done(at, r);
     }
 
@@ -1470,6 +1552,7 @@ where
         self.red_slots_used[self.reds1[r].node] -= 1;
         if self.reds1_done == self.reds1.len() && self.stage1_complete.is_none() {
             self.stage1_complete = Some(at);
+            self.tracer.stage_done(0, at);
         }
         // The downstream map may already hold everything it needs and be
         // idle: re-evaluate its completion.
@@ -1500,8 +1583,16 @@ where
             let loser = std::mem::replace(&mut self.reds1[r], backup);
             self.cancel_red1_attempt(at, r, &loser);
             self.map_counters.add(names::SPECULATION_WON, 1);
-            self.timeline1
-                .speculation_mark(at, SpecTaskKind::Reduce, r, SpecEvent::Won, node);
+            let attempt = self.reds1[r].attempt;
+            self.tracer.speculation_mark(
+                0,
+                SpecTaskKind::Reduce,
+                r,
+                attempt,
+                node,
+                at,
+                SpecEvent::Won,
+            );
             self.restart_downstream_of(at, r);
         } else if let Some(backup) = self.reds1_bk[r].take() {
             self.cancel_red1_attempt(at, r, &backup);
@@ -1524,8 +1615,15 @@ where
             _ => false,
         });
         self.map_counters.add(names::SPECULATION_CANCELLED, 1);
-        self.timeline1
-            .speculation_mark(at, SpecTaskKind::Reduce, r, SpecEvent::Cancelled, node);
+        self.tracer.speculation_mark(
+            0,
+            SpecTaskKind::Reduce,
+            r,
+            attempt,
+            node,
+            at,
+            SpecEvent::Cancelled,
+        );
         self.queue.schedule(
             at + SimDuration::from_secs_f64(self.costs.speculation_cancel_overhead_secs),
             Ev::SpecSlotFree(node),
@@ -1652,8 +1750,15 @@ where
         }
         self.reds1_bk[r] = Some(task);
         self.map_counters.add(names::SPECULATION_LAUNCHED, 1);
-        self.timeline1
-            .speculation_mark(at, SpecTaskKind::Reduce, r, SpecEvent::Launched, node);
+        self.tracer.speculation_mark(
+            0,
+            SpecTaskKind::Reduce,
+            r,
+            attempt,
+            node,
+            at,
+            SpecEvent::Launched,
+        );
         self.queue.schedule(launch, Ev::Red1BackupStart(r, attempt));
     }
 
@@ -1686,8 +1791,16 @@ where
         self.handoff_edges += 1;
         self.handoff_records += (len - start) as u64;
         self.handoff_bytes += wire;
-        self.timeline1
-            .handoff_mark(at, r, m, (len - start) as u64, wire);
+        self.tracer.handoff_mark(
+            0,
+            r,
+            self.reds1[r].attempt,
+            self.reds1[r].node,
+            at,
+            m,
+            (len - start) as u64,
+            wire,
+        );
         self.net.start_flow(
             at,
             NodeId(self.reds1[r].node as u32),
@@ -1781,7 +1894,16 @@ where
         self.handoff_edges += 1;
         self.handoff_records += len as u64;
         self.handoff_bytes += wire;
-        self.timeline1.handoff_mark(at, r, m, len as u64, wire);
+        self.tracer.handoff_mark(
+            0,
+            r,
+            self.reds1[r].attempt,
+            self.reds1[r].node,
+            at,
+            m,
+            len as u64,
+            wire,
+        );
         self.disks[src].submit(at, wire);
         self.net.start_flow(
             at,
@@ -1834,8 +1956,15 @@ where
         self.maps2[m].state = M2State::Done;
         self.maps2_done += 1;
         self.map_slots_used[self.maps2[m].node] -= 1;
-        self.timeline2
-            .span(SpanKind::Map, m, self.maps2[m].started, at);
+        self.tracer.span(
+            1,
+            SpanKind::Map,
+            m,
+            self.maps2[m].attempt,
+            self.maps2[m].node,
+            self.maps2[m].started,
+            at,
+        );
         for r in 0..self.reds2.len() {
             if self.reds2[r].state == RState::Running && !self.reds2[r].flow_from[m] {
                 self.start_shuffle2_flow(at, m, r);
@@ -1942,8 +2071,15 @@ where
             self.queue
                 .schedule(when, Ev::R2Batch(r, self.reds2[r].attempt));
         } else {
-            self.timeline2
-                .span(SpanKind::Shuffle, r, self.reds2[r].started, at);
+            self.tracer.span(
+                1,
+                SpanKind::Shuffle,
+                r,
+                self.reds2[r].attempt,
+                self.reds2[r].node,
+                self.reds2[r].started,
+                at,
+            );
             let n = self.reds2[r].buffer.len() as f64;
             let sort = self.costs.sort_cpu_coeff
                 * n
@@ -1959,6 +2095,7 @@ where
     fn red2_batch(&mut self, at: SimTime, r: usize) {
         if let Some(batch) = self.reds2[r].batches.pop_front() {
             let node = self.reds2[r].node;
+            let attempt = self.reds2[r].attempt;
             let task = &mut self.reds2[r];
             let driver = task.driver.as_mut().expect("pipelined reducer");
             for (k, v) in batch {
@@ -1968,7 +2105,7 @@ where
                 }
             }
             let bytes = driver.modelled_bytes();
-            self.timeline2.heap_sample(at, r, bytes);
+            self.tracer.heap_sample(1, r, attempt, node, at, bytes);
             let io = driver.io_bytes();
             let delta = io - task.io_charged;
             if delta > 0 {
@@ -2009,8 +2146,15 @@ where
                 return;
             }
         }
-        self.timeline2
-            .span(SpanKind::ShuffleReduce, r, self.reds2[r].started, at);
+        self.tracer.span(
+            1,
+            SpanKind::ShuffleReduce,
+            r,
+            self.reds2[r].attempt,
+            self.reds2[r].node,
+            self.reds2[r].started,
+            at,
+        );
         self.red2_start_output(at, r);
     }
 
@@ -2038,7 +2182,15 @@ where
             }
         }
         let start = self.reds2[r].shuffle_done_at.expect("sorted after shuffle");
-        self.timeline2.span(SpanKind::SortReduce, r, start, at);
+        self.tracer.span(
+            1,
+            SpanKind::SortReduce,
+            r,
+            self.reds2[r].attempt,
+            self.reds2[r].node,
+            start,
+            at,
+        );
         self.red2_start_output(at, r);
     }
 
@@ -2074,11 +2226,15 @@ where
         let task = &mut self.reds2[r];
         task.state = RState::Done;
         self.reds2_done += 1;
-        let (node, write_started) = (task.node, task.write_started);
+        let (node, attempt, write_started) = (task.node, task.attempt, task.write_started);
         if self.node_alive[node] {
             self.red_slots_used[node] -= 1;
         }
-        self.timeline2.span(SpanKind::Output, r, write_started, at);
+        self.tracer
+            .span(1, SpanKind::Output, r, attempt, node, write_started, at);
+        if self.reds2_done == self.reds2.len() {
+            self.tracer.stage_done(1, at);
+        }
         self.queue.schedule(at, Ev::Schedule);
     }
 

@@ -9,13 +9,14 @@ use crate::input::SimInput;
 use crate::params::ClusterParams;
 use crate::report::{Outcome, SimReport};
 use crate::timeline::{SpanKind, SpecEvent, SpecTaskKind, Timeline};
+use crate::trace::SimTracer;
 use mr_core::counters::names;
 use mr_core::engine::barrier::reduce_partition_barrier;
 use mr_core::engine::pipeline::IncrementalDriver;
 use mr_core::engine::DriverReport;
 use mr_core::{
     Application, CombinerBuffer, Counters, Engine, JobConfig, JobOutput, MemoryPolicy, MrError,
-    Partitioner, Snapshot, SnapshotPolicy, SpeculationPolicy,
+    Partitioner, Scope, Snapshot, SnapshotPolicy, SpeculationPolicy, TaskKind, TraceLog,
 };
 use mr_dfs::{ChunkId, Dfs, DfsConfig};
 use mr_net::{Network, NetworkConfig, NodeId};
@@ -77,21 +78,9 @@ impl SimExecutor {
     {
         costs.validate();
         assert!(chunks >= 1, "need at least one input chunk");
-        // Validate the *effective* config — cluster-level overrides
-        // (store index, snapshot policy) included.
-        let mut effective = cfg.clone();
-        if let Some(index) = self.params.store_index {
-            effective.store_index = index;
-        }
-        if let Some(policy) = self.params.snapshots {
-            effective.snapshots = policy;
-        }
-        if let Some(policy) = self.params.speculation {
-            effective.speculation = policy;
-        }
-        if let Some(policy) = self.params.deadline {
-            effective.deadline = policy;
-        }
+        // Validate the *effective* config — every cluster-level override
+        // applied in one place (`ClusterParams::effective_config`).
+        let effective = self.params.effective_config(cfg);
         if let Err(e) = effective.validate() {
             // A nonsense knob combination fails the job up front — the
             // same Err-not-panic contract as the local executor, shaped
@@ -102,6 +91,7 @@ impl SimExecutor {
                     reason: e.to_string(),
                 },
                 output: None,
+                trace: TraceLog::new(),
                 timeline: Timeline::default(),
                 first_map_done: SimTime::ZERO,
                 last_map_done: SimTime::ZERO,
@@ -112,7 +102,15 @@ impl SimExecutor {
                 snapshots_taken: 0,
             };
         }
-        let mut sim = Sim::new(&self.params, app, input, chunks, cfg, costs, partitioner);
+        let mut sim = Sim::new(
+            &self.params,
+            app,
+            input,
+            chunks,
+            &effective,
+            costs,
+            partitioner,
+        );
         for &(secs, node) in faults {
             sim.queue
                 .schedule(SimTime::from_secs_f64(secs), Ev::NodeFail(node));
@@ -313,7 +311,11 @@ struct Sim<'a, A: Application, I, P> {
     cfg_bk: JobConfig,
     maps_done: usize,
     reds_done: usize,
-    timeline: Timeline,
+    /// The run's unified trace recorder. Always records (recording costs
+    /// no virtual time and speculation ticks query live spans); the
+    /// effective `cfg.trace` policy gates only what `finish_report`
+    /// exports.
+    tracer: SimTracer,
     first_map_done: Option<SimTime>,
     last_map_done: SimTime,
     shuffle_done: SimTime,
@@ -367,17 +369,11 @@ where
                 out_bytes: (p.chunk_bytes as f64 * costs.shuffle_selectivity) as u64,
             })
             .collect();
-        let mut cfg = cfg.clone();
-        if let Some(index) = p.store_index {
-            cfg.store_index = index;
-        }
-        if let Some(policy) = p.snapshots {
-            cfg.snapshots = policy;
-        }
-        let speculation = p.speculation.unwrap_or(cfg.speculation);
-        let deadline = p.deadline.unwrap_or(cfg.deadline);
-        cfg.speculation = speculation;
-        cfg.deadline = deadline;
+        // `cfg` is already the *effective* config — cluster overrides
+        // were applied by `ClusterParams::effective_config` before entry.
+        let cfg = cfg.clone();
+        let speculation = cfg.speculation;
+        let deadline = cfg.deadline;
         let mut cfg_bk = cfg.clone();
         cfg_bk.snapshots = SnapshotPolicy::Disabled;
         let reds: Vec<ReduceTask<A>> = (0..cfg.reducers)
@@ -451,7 +447,7 @@ where
             reds,
             maps_done: 0,
             reds_done: 0,
-            timeline: Timeline::default(),
+            tracer: SimTracer::new(),
             first_map_done: None,
             last_map_done: SimTime::ZERO,
             shuffle_done: SimTime::ZERO,
@@ -469,18 +465,14 @@ where
     }
 
     /// The combiner byte budget if map-side combining is active for this
-    /// run: the application must opt in, and either the cluster-level
-    /// knob (`ClusterParams::combiner`, which figure sweeps toggle) or
-    /// the job's own `JobConfig::combiner` must enable it — the cluster
-    /// knob wins when both are set.
+    /// run: the application must opt in, and the *effective* combiner
+    /// policy (cluster knob wins over the job's own; resolved by
+    /// `ClusterParams::effective_config`) must enable it.
     fn combine_budget(&self) -> Option<u64> {
         if !(self.app.combine_enabled() && self.app.uses_keyed_state()) {
             return None;
         }
-        self.p
-            .combiner
-            .budget_bytes()
-            .or(self.cfg.combiner.budget_bytes())
+        self.cfg.combiner.budget_bytes()
     }
 
     fn absorb_cost_per_record(&self) -> f64 {
@@ -536,17 +528,50 @@ where
             None => match self.deadline_hit {
                 Some(at) => Outcome::Approximate { at },
                 None => Outcome::Completed {
-                    at: self.timeline.last_end(),
+                    at: self.tracer.last_end(),
                 },
             },
         };
+        // Emit the run's counter totals into the trace: the merged
+        // map-side tallies as one job-scope batch (per-worker attribution
+        // would add nothing — the sim merges them as they land), each
+        // reducer's tallies under its own task scope. The direct merge of
+        // exactly these values is what the legacy report carried, so the
+        // trace-derived `Counters` below is equal by construction.
+        self.tracer.counters(Scope::job(0), &self.map_counters);
+        for (idx, r) in self.reds.iter().enumerate() {
+            self.tracer.counters(
+                Scope::task(0, TaskKind::Reduce, idx as u32, r.attempt, r.node as u32),
+                &r.counters,
+            );
+        }
+        let snapshots_taken = self.tracer.snapshot_count(0);
+        // `TracePolicy` gates the export: enabled runs ship the log and
+        // derive the legacy views from it; disabled runs ship an empty
+        // log, an empty timeline, and directly-merged counters — the
+        // job's answer is byte-identical either way.
+        let trace_on = self.cfg.trace.is_enabled();
+        let (trace, timeline) = if trace_on {
+            let log = std::mem::take(&mut self.tracer).into_log();
+            let timeline = Timeline::from_log(&log, 0);
+            (log, timeline)
+        } else {
+            (TraceLog::new(), Timeline::default())
+        };
+        let run_counters = if trace_on {
+            Counters::from_trace_job(&trace, 0)
+        } else {
+            let mut c = std::mem::take(&mut self.map_counters);
+            for r in &self.reds {
+                c.merge(&r.counters);
+            }
+            c
+        };
         let output = if outcome.is_completed() {
-            let mut counters = std::mem::take(&mut self.map_counters);
             let mut partitions = Vec::with_capacity(self.reds.len());
             let mut reports = Vec::new();
             let mut snapshots = Vec::with_capacity(self.reds.len());
             for r in &mut self.reds {
-                counters.merge(&r.counters);
                 partitions.push(std::mem::take(&mut r.out));
                 snapshots.push(std::mem::take(&mut r.published_snaps));
                 if let Some(rep) = r.report.take() {
@@ -555,20 +580,19 @@ where
             }
             Some(JobOutput {
                 partitions,
-                counters,
+                counters: run_counters,
                 reports,
                 snapshots,
+                trace: TraceLog::new(),
             })
         } else if outcome.is_approximate() {
             // Deadline-bounded answer: each partition reports the latest
             // estimate its primary attempt published (empty if it never
             // published — honesty over optimism). Counters are the
             // partial tallies accumulated so far.
-            let mut counters = std::mem::take(&mut self.map_counters);
             let mut partitions = Vec::with_capacity(self.reds.len());
             let mut snapshots = Vec::with_capacity(self.reds.len());
             for r in &mut self.reds {
-                counters.merge(&r.counters);
                 partitions.push(
                     r.published_snaps
                         .last()
@@ -579,9 +603,10 @@ where
             }
             Some(JobOutput {
                 partitions,
-                counters,
+                counters: run_counters,
                 reports: Vec::new(),
                 snapshots,
+                trace: TraceLog::new(),
             })
         } else {
             None
@@ -589,8 +614,9 @@ where
         SimReport {
             outcome,
             output,
-            snapshots_taken: self.timeline.snapshots.len(),
-            timeline: self.timeline,
+            snapshots_taken,
+            trace,
+            timeline,
             first_map_done: self.first_map_done.unwrap_or(SimTime::ZERO),
             last_map_done: self.last_map_done,
             shuffle_done: self.shuffle_done,
@@ -742,6 +768,7 @@ where
             Ev::Deadline => {
                 if self.maps_done < self.maps.len() || self.reds_done < self.reds.len() {
                     self.deadline_hit = Some(at);
+                    self.tracer.deadline_mark(0, at);
                 }
             }
         }
@@ -776,6 +803,7 @@ where
                 // Pre-barrier: publish the honest answer — nothing yet.
                 let task = &mut self.reds[r];
                 let seq = task.next_snap_seq;
+                let (attempt, node) = (task.attempt, task.node);
                 task.next_snap_seq += 1;
                 task.counters.incr(mr_core::counters::names::SNAPSHOT_COUNT);
                 task.published_snaps.push(Snapshot {
@@ -786,7 +814,8 @@ where
                     at_secs: at.as_secs_f64(),
                     estimate: Vec::new(),
                 });
-                self.timeline.snapshot_mark(at, r, seq, 0, 0);
+                self.tracer
+                    .snapshot_mark(0, r, attempt, node, at, seq, 0, 0);
             }
         }
         // Keep ticking until the job drains (the run loop stops firing
@@ -804,6 +833,7 @@ where
     /// and appends to the partition's published stream.
     fn collect_snapshots(&mut self, at: SimTime, r: usize) {
         let node = self.reds[r].node;
+        let attempt = self.reds[r].attempt;
         let factor = self.node_factor[node];
         let task = &mut self.reds[r];
         let Some(driver) = task.driver.as_mut() else {
@@ -816,9 +846,12 @@ where
         task.next_snap_seq = driver.snapshot_seq();
         let mut cpu = 0.0;
         for snap in &fresh {
-            self.timeline.snapshot_mark(
-                at,
+            self.tracer.snapshot_mark(
+                0,
                 r,
+                attempt,
+                node,
+                at,
                 snap.seq,
                 snap.estimate.len() as u64,
                 snap.live_entries,
@@ -916,11 +949,10 @@ where
         // launch (while primaries fill every slot, the launch finds no
         // slot and retries at a later tick).
         let mut durs: Vec<f64> = self
-            .timeline
-            .spans
+            .tracer
+            .spans_of(0, SpanKind::Map)
             .iter()
-            .filter(|s| s.kind == SpanKind::Map)
-            .map(|s| s.end.as_secs_f64() - s.start.as_secs_f64())
+            .map(|(_, start, end)| end.as_secs_f64() - start.as_secs_f64())
             .collect();
         durs.sort_by(|a, b| a.partial_cmp(b).expect("durations are finite"));
         let map_median = (durs.len() >= 3).then(|| durs[durs.len() / 2]);
@@ -969,11 +1001,10 @@ where
         let pipelined = self.pipelined();
         if pipelined {
             let mut rdurs: Vec<f64> = self
-                .timeline
-                .spans
+                .tracer
+                .spans_of(0, SpanKind::ShuffleReduce)
                 .iter()
-                .filter(|s| s.kind == SpanKind::ShuffleReduce)
-                .map(|s| s.end.as_secs_f64() - s.start.as_secs_f64())
+                .map(|(_, start, end)| end.as_secs_f64() - start.as_secs_f64())
                 .collect();
             if rdurs.len() >= 3 {
                 rdurs.sort_by(|a, b| a.partial_cmp(b).expect("durations are finite"));
@@ -991,14 +1022,12 @@ where
             }
         } else {
             let mut rates: Vec<f64> = self
-                .timeline
-                .spans
+                .tracer
+                .spans_of(0, SpanKind::SortReduce)
                 .iter()
-                .filter(|s| s.kind == SpanKind::SortReduce)
-                .filter_map(|s| {
-                    let bytes = self.reds[s.task].input_bytes;
-                    (bytes > 0)
-                        .then(|| (s.end.as_secs_f64() - s.start.as_secs_f64()) / bytes as f64)
+                .filter_map(|&(task, start, end)| {
+                    let bytes = self.reds[task].input_bytes;
+                    (bytes > 0).then(|| (end.as_secs_f64() - start.as_secs_f64()) / bytes as f64)
                 })
                 .collect();
             if rates.len() >= 3 {
@@ -1081,8 +1110,15 @@ where
             out_bytes: (self.p.chunk_bytes as f64 * self.costs.shuffle_selectivity) as u64,
         });
         self.map_counters.incr(names::SPECULATION_LAUNCHED);
-        self.timeline
-            .speculation_mark(at, SpecTaskKind::Map, m, SpecEvent::Launched, node);
+        self.tracer.speculation_mark(
+            0,
+            SpecTaskKind::Map,
+            m,
+            attempt,
+            node,
+            at,
+            SpecEvent::Launched,
+        );
         // The input read starts once the task-setup latency elapses.
         let when = at + SimDuration::from_secs_f64(self.costs.speculation_launch_overhead_secs);
         self.queue.schedule(when, Ev::MapBackupStart(m, attempt));
@@ -1140,8 +1176,15 @@ where
         }
         self.reds_bk[r] = Some(task);
         self.map_counters.incr(names::SPECULATION_LAUNCHED);
-        self.timeline
-            .speculation_mark(at, SpecTaskKind::Reduce, r, SpecEvent::Launched, node);
+        self.tracer.speculation_mark(
+            0,
+            SpecTaskKind::Reduce,
+            r,
+            attempt,
+            node,
+            at,
+            SpecEvent::Launched,
+        );
         self.queue.schedule(launch, Ev::RedBackupStart(r, attempt));
     }
 
@@ -1267,8 +1310,16 @@ where
             self.cancel_map_attempt(at, m, &loser);
             self.map_counters.incr(names::SPECULATION_WON);
             let node = self.maps[m].node;
-            self.timeline
-                .speculation_mark(at, SpecTaskKind::Map, m, SpecEvent::Won, node);
+            let attempt = self.maps[m].attempt;
+            self.tracer.speculation_mark(
+                0,
+                SpecTaskKind::Map,
+                m,
+                attempt,
+                node,
+                at,
+                SpecEvent::Won,
+            );
         } else if let Some(loser) = self.maps_bk[m].take() {
             self.cancel_map_attempt(at, m, &loser);
         }
@@ -1276,8 +1327,15 @@ where
         self.maps[m].state = MapState::Done;
         self.maps_done += 1;
         self.map_slots_used[node] -= 1;
-        self.timeline
-            .span(SpanKind::Map, m, self.maps[m].started, at);
+        self.tracer.span(
+            0,
+            SpanKind::Map,
+            m,
+            self.maps[m].attempt,
+            node,
+            self.maps[m].started,
+            at,
+        );
         if self.first_map_done.is_none() {
             self.first_map_done = Some(at);
         }
@@ -1326,8 +1384,15 @@ where
             |t| matches!(*t, Tag::Fetch(mm, aa) if mm == m && aa == a),
         );
         self.map_counters.incr(names::SPECULATION_CANCELLED);
-        self.timeline
-            .speculation_mark(at, SpecTaskKind::Map, m, SpecEvent::Cancelled, loser.node);
+        self.tracer.speculation_mark(
+            0,
+            SpecTaskKind::Map,
+            m,
+            loser.attempt,
+            loser.node,
+            at,
+            SpecEvent::Cancelled,
+        );
         let when = at + SimDuration::from_secs_f64(self.costs.speculation_cancel_overhead_secs);
         self.queue
             .schedule(when, Ev::SpecSlotFree(loser.node, true));
@@ -1504,8 +1569,15 @@ where
             // recorded for the primary attempt only (backups would
             // double-report partition r's fetch window).
             if !bk {
-                self.timeline
-                    .span(SpanKind::Shuffle, r, self.reds[r].started, at);
+                self.tracer.span(
+                    0,
+                    SpanKind::Shuffle,
+                    r,
+                    self.reds[r].attempt,
+                    self.reds[r].node,
+                    self.reds[r].started,
+                    at,
+                );
             }
             let task = &*red_mut!(self, r, bk);
             let n = task.buffer.len() as f64;
@@ -1539,7 +1611,8 @@ where
             let bytes = driver.modelled_bytes();
             let io = driver.io_bytes();
             if !bk {
-                self.timeline.heap_sample(at, r, bytes);
+                let attempt = self.reds[r].attempt;
+                self.tracer.heap_sample(0, r, attempt, node, at, bytes);
             }
             let task = red_mut!(self, r, bk);
             let delta = io - task.io_charged;
@@ -1568,7 +1641,14 @@ where
                 cap_bytes,
                 ..
             } => {
-                self.timeline.heap_sample(at, r, used_bytes);
+                self.tracer.heap_sample(
+                    0,
+                    r,
+                    self.reds[r].attempt,
+                    self.reds[r].node,
+                    at,
+                    used_bytes,
+                );
                 format!(
                     "reducer {r} exceeded heap: {} MB > cap {} MB",
                     used_bytes >> 20,
@@ -1615,8 +1695,16 @@ where
             self.cancel_red_attempt(at, r, &loser);
             self.map_counters.incr(names::SPECULATION_WON);
             let node = self.reds[r].node;
-            self.timeline
-                .speculation_mark(at, SpecTaskKind::Reduce, r, SpecEvent::Won, node);
+            let attempt = self.reds[r].attempt;
+            self.tracer.speculation_mark(
+                0,
+                SpecTaskKind::Reduce,
+                r,
+                attempt,
+                node,
+                at,
+                SpecEvent::Won,
+            );
         } else if let Some(loser) = self.reds_bk[r].take() {
             self.cancel_red_attempt(at, r, &loser);
         }
@@ -1631,12 +1719,14 @@ where
                 || matches!(*t, Tag::Output(rr, aa, _) if rr == r && aa == a)
         });
         self.map_counters.incr(names::SPECULATION_CANCELLED);
-        self.timeline.speculation_mark(
-            at,
+        self.tracer.speculation_mark(
+            0,
             SpecTaskKind::Reduce,
             r,
-            SpecEvent::Cancelled,
+            loser.attempt,
             loser.node,
+            at,
+            SpecEvent::Cancelled,
         );
         let when = at + SimDuration::from_secs_f64(self.costs.speculation_cancel_overhead_secs);
         self.queue
@@ -1681,8 +1771,15 @@ where
             }
         }
         self.reds[r].finalize_done_at = Some(at);
-        self.timeline
-            .span(SpanKind::ShuffleReduce, r, self.reds[r].started, at);
+        self.tracer.span(
+            0,
+            SpanKind::ShuffleReduce,
+            r,
+            self.reds[r].attempt,
+            self.reds[r].node,
+            self.reds[r].started,
+            at,
+        );
         self.start_output_write(at, r);
     }
 
@@ -1721,6 +1818,7 @@ where
         if self.cfg.snapshots.is_enabled() {
             let task = &mut self.reds[r];
             let seq = task.next_snap_seq;
+            let (attempt, node) = (task.attempt, task.node);
             task.next_snap_seq += 1;
             task.counters.incr(mr_core::counters::names::SNAPSHOT_COUNT);
             task.counters.add(
@@ -1736,10 +1834,19 @@ where
                 at_secs: at.as_secs_f64(),
                 estimate: task.out.clone(),
             });
-            self.timeline.snapshot_mark(at, r, seq, records, 0);
+            self.tracer
+                .snapshot_mark(0, r, attempt, node, at, seq, records, 0);
         }
         let start = self.reds[r].shuffle_done_at.expect("sorted after shuffle");
-        self.timeline.span(SpanKind::SortReduce, r, start, at);
+        self.tracer.span(
+            0,
+            SpanKind::SortReduce,
+            r,
+            self.reds[r].attempt,
+            self.reds[r].node,
+            start,
+            at,
+        );
         self.start_output_write(at, r);
     }
 
@@ -1777,7 +1884,9 @@ where
         self.reds_done += 1;
         self.red_slots_used[task.node] -= 1;
         let wrote_from = task.reduce_phase_started.expect("write started");
-        self.timeline.span(SpanKind::Output, r, wrote_from, at);
+        let (attempt, node) = (task.attempt, task.node);
+        self.tracer
+            .span(0, SpanKind::Output, r, attempt, node, wrote_from, at);
         self.queue.schedule(at, Ev::Schedule);
     }
 

@@ -35,6 +35,7 @@ mod input;
 mod params;
 mod report;
 mod timeline;
+mod trace;
 
 pub use chain::{ChainSimExecutor, ChainSimReport};
 pub use costs::CostModel;

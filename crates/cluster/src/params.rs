@@ -1,6 +1,9 @@
 //! Static description of the simulated cluster.
 
-use mr_core::{CombinerPolicy, DeadlinePolicy, SnapshotPolicy, SpeculationPolicy, StoreIndex};
+use mr_core::{
+    CombinerPolicy, DeadlinePolicy, JobConfig, SnapshotPolicy, SpeculationPolicy, StoreIndex,
+    TracePolicy,
+};
 
 /// Cluster hardware and scheduling parameters.
 ///
@@ -60,6 +63,11 @@ pub struct ClusterParams {
     /// own `JobConfig::deadline`; `None` leaves the job's choice in
     /// force.
     pub deadline: Option<DeadlinePolicy>,
+    /// Trace-recording override for simulated jobs. `Some` wins over the
+    /// job's own `JobConfig::trace`; `None` leaves the job's choice in
+    /// force. Sweeps that only need final numbers can switch trace
+    /// export off cluster-wide.
+    pub trace: Option<TracePolicy>,
     /// Master seed for placement, heterogeneity and noise.
     pub seed: u64,
 }
@@ -83,8 +91,38 @@ impl ClusterParams {
             snapshots: None,
             speculation: None,
             deadline: None,
+            trace: None,
             seed,
         }
+    }
+
+    /// Resolves the job's effective config under this cluster: every
+    /// cluster-level policy override applied on top of the job's own
+    /// knobs, one knob at a time (see the knob table on [`JobConfig`]).
+    /// `Some`/enabled overrides win; `None`/disabled leave the job's
+    /// choice in force. Both executors run on the config this returns,
+    /// so override precedence lives in exactly one place.
+    pub fn effective_config(&self, cfg: &JobConfig) -> JobConfig {
+        let mut cfg = cfg.clone();
+        if self.combiner.is_enabled() {
+            cfg.combiner = self.combiner;
+        }
+        if let Some(index) = self.store_index {
+            cfg.store_index = index;
+        }
+        if let Some(policy) = self.snapshots {
+            cfg.snapshots = policy;
+        }
+        if let Some(policy) = self.speculation {
+            cfg.speculation = policy;
+        }
+        if let Some(policy) = self.deadline {
+            cfg.deadline = policy;
+        }
+        if let Some(policy) = self.trace {
+            cfg.trace = policy;
+        }
+        cfg
     }
 
     /// Total map slots across the cluster.
@@ -128,5 +166,61 @@ mod tests {
         let mut p = ClusterParams::paper_testbed(1);
         p.nodes = 2;
         p.validate();
+    }
+
+    /// Override precedence, knob by knob: a `None`/disabled cluster knob
+    /// leaves the job's choice in force; a `Some`/enabled one wins.
+    #[test]
+    fn effective_config_applies_each_override_with_cluster_wins() {
+        let job = JobConfig::new(4)
+            .combiner(CombinerPolicy::Enabled { budget_bytes: 111 })
+            .store_index(StoreIndex::Ordered)
+            .snapshots(SnapshotPolicy::EveryRecords { records: 7 })
+            .speculation(SpeculationPolicy::Enabled {
+                check_secs: 3.0,
+                slowdown: 1.5,
+            })
+            .deadline(DeadlinePolicy::At { secs: 50.0 })
+            .trace(TracePolicy::Disabled);
+
+        // No overrides set: the job's own knobs pass through untouched.
+        let p = ClusterParams::paper_testbed(1);
+        let eff = p.effective_config(&job);
+        assert_eq!(eff.combiner, job.combiner);
+        assert_eq!(eff.store_index, StoreIndex::Ordered);
+        assert_eq!(eff.snapshots, SnapshotPolicy::EveryRecords { records: 7 });
+        assert_eq!(eff.speculation, job.speculation);
+        assert_eq!(eff.deadline, DeadlinePolicy::At { secs: 50.0 });
+        assert_eq!(eff.trace, TracePolicy::Disabled);
+
+        // Every override set: the cluster's choice wins on each knob.
+        let mut p = ClusterParams::paper_testbed(1);
+        p.combiner = CombinerPolicy::Enabled { budget_bytes: 999 };
+        p.store_index = Some(StoreIndex::Hashed);
+        p.snapshots = Some(SnapshotPolicy::Disabled);
+        p.speculation = Some(SpeculationPolicy::Disabled);
+        p.deadline = Some(DeadlinePolicy::Disabled);
+        p.trace = Some(TracePolicy::Enabled);
+        let eff = p.effective_config(&job);
+        assert_eq!(eff.combiner, CombinerPolicy::Enabled { budget_bytes: 999 });
+        assert_eq!(eff.store_index, StoreIndex::Hashed);
+        assert_eq!(eff.snapshots, SnapshotPolicy::Disabled);
+        assert_eq!(eff.speculation, SpeculationPolicy::Disabled);
+        assert_eq!(eff.deadline, DeadlinePolicy::Disabled);
+        assert_eq!(eff.trace, TracePolicy::Enabled);
+
+        // The one asymmetric knob: a *disabled* cluster combiner is "no
+        // override", not "force off" (sweeps toggle combining on, never
+        // off), so the job's combiner survives.
+        let mut p = ClusterParams::paper_testbed(1);
+        p.combiner = CombinerPolicy::Disabled;
+        assert_eq!(
+            p.effective_config(&job).combiner,
+            CombinerPolicy::Enabled { budget_bytes: 111 }
+        );
+
+        // Untouched non-policy fields ride along unchanged.
+        assert_eq!(p.effective_config(&job).reducers, 4);
+        assert_eq!(p.effective_config(&job).seed, job.seed);
     }
 }

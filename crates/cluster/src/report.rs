@@ -1,7 +1,7 @@
 //! Results of a simulated run.
 
 use crate::timeline::Timeline;
-use mr_core::{Application, JobOutput};
+use mr_core::{Application, JobOutput, TraceLog};
 use mr_sim::SimTime;
 
 /// How a simulated job ended.
@@ -58,7 +58,13 @@ pub struct SimReport<A: Application> {
     /// deadline expiry (each partition holds the latest published
     /// snapshot estimate); absent on failure.
     pub output: Option<JobOutput<A>>,
-    /// Recorded task spans and heap samples.
+    /// The run's full structured trace — every span, counter delta, and
+    /// mark the simulator recorded, in deterministic order. Query it with
+    /// [`mr_core::TraceQuery`]. Empty when the effective
+    /// [`TracePolicy`](mr_core::TracePolicy) is `Disabled`.
+    pub trace: TraceLog,
+    /// Recorded task spans and heap samples — a compatibility view
+    /// derived from `trace` (empty when tracing is disabled).
     pub timeline: Timeline,
     /// First map-task completion — the start of mapper slack (§3.2).
     pub first_map_done: SimTime,

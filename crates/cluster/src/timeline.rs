@@ -1,22 +1,16 @@
-//! Task-span and heap-sample recording — the raw material for Figures 4
+//! Task-span and heap-sample views — the raw material for Figures 4
 //! and 5.
+//!
+//! Since the trace redesign this module no longer *records* anything:
+//! the simulators emit [`mr_trace::TraceEvent`]s, and a [`Timeline`] is
+//! a compatibility view rebuilt from the run's [`TraceLog`] via
+//! [`Timeline::from_log`]. The span/mark structs and every query method
+//! keep their historical names and values.
 
 use mr_sim::SimTime;
+use mr_trace::{TaskKind, TraceEvent, TraceInstant, TraceLog};
 
-/// What a recorded span represents.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub enum SpanKind {
-    /// A map task from schedule to output written.
-    Map,
-    /// A barrier reducer's fetch window (start → last flow received).
-    Shuffle,
-    /// A barrier reducer's sort + grouped reduce.
-    SortReduce,
-    /// A barrier-less reducer's combined shuffle+reduce window.
-    ShuffleReduce,
-    /// Final output being written to the DFS.
-    Output,
-}
+pub use mr_trace::{SpanKind, SpecEvent, SpecTaskKind};
 
 /// One task's activity interval.
 #[derive(Debug, Clone, Copy)]
@@ -77,28 +71,6 @@ pub struct HandoffMark {
     pub bytes: u64,
 }
 
-/// Which kind of task a speculation event concerns.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub enum SpecTaskKind {
-    /// A map task.
-    Map,
-    /// A reduce task.
-    Reduce,
-}
-
-/// What happened to a speculative attempt.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub enum SpecEvent {
-    /// A backup attempt was launched for a detected straggler.
-    Launched,
-    /// A backup attempt finished before the original and supplied the
-    /// task's output.
-    Won,
-    /// An attempt (original or backup) was cancelled because the other
-    /// attempt of the same task won the race.
-    Cancelled,
-}
-
 /// One speculative-execution event: a backup attempt being launched,
 /// winning the race against the original, or an attempt being cancelled
 /// after the other one won.
@@ -132,7 +104,72 @@ pub struct Timeline {
     pub speculation: Vec<SpeculationMark>,
 }
 
+/// A trace instant as a [`SimTime`]. Simulator logs only carry virtual
+/// instants; a wall instant (impossible from the sim) maps through the
+/// same rounding as `SimTime::from_secs_f64`.
+fn sim_time(at: &TraceInstant) -> SimTime {
+    match at {
+        TraceInstant::Virtual { micros } => SimTime::from_micros(*micros),
+        TraceInstant::Wall { secs } => SimTime::from_secs_f64(*secs),
+    }
+}
+
 impl Timeline {
+    /// Rebuilds the legacy timeline view for one job from a trace log.
+    ///
+    /// Events appear in the log in the order the simulator emitted them,
+    /// so every `Vec` here comes back in the historical recording order.
+    /// Task indices are the trace scope's `index`; speculation kinds are
+    /// read off the scope's task kind. Counter deltas and stage marks are
+    /// not timeline material and are skipped.
+    pub fn from_log(log: &TraceLog, job: u32) -> Timeline {
+        let mut t = Timeline::default();
+        for entry in log.iter().filter(|e| e.scope.job == job) {
+            let task = entry.scope.index as usize;
+            match &entry.event {
+                TraceEvent::Span { kind, start, end } => {
+                    t.span(*kind, task, sim_time(start), sim_time(end));
+                }
+                TraceEvent::HeapSample { at, bytes } => {
+                    t.heap_sample(sim_time(at), task, *bytes);
+                }
+                TraceEvent::SnapshotMark {
+                    at,
+                    seq,
+                    records,
+                    entries,
+                } => {
+                    t.snapshot_mark(sim_time(at), task, *seq, *records, *entries as usize);
+                }
+                TraceEvent::HandoffMark {
+                    at,
+                    downstream_map,
+                    records,
+                    bytes,
+                } => {
+                    t.handoff_mark(
+                        sim_time(at),
+                        task,
+                        *downstream_map as usize,
+                        *records,
+                        *bytes,
+                    );
+                }
+                TraceEvent::SpeculationMark { at, event } => {
+                    let kind = match entry.scope.kind {
+                        TaskKind::Map => SpecTaskKind::Map,
+                        _ => SpecTaskKind::Reduce,
+                    };
+                    t.speculation_mark(sim_time(at), kind, task, *event, entry.scope.node as usize);
+                }
+                TraceEvent::Counter { .. }
+                | TraceEvent::DeadlineMark { .. }
+                | TraceEvent::StageDone { .. } => {}
+            }
+        }
+        t
+    }
+
     /// Records a finished span.
     pub fn span(&mut self, kind: SpanKind, task: usize, start: SimTime, end: SimTime) {
         self.spans.push(TaskSpan {

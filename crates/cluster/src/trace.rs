@@ -1,0 +1,236 @@
+//! `SimTracer` — the simulators' single writer into the unified trace
+//! pipeline.
+//!
+//! The event loops are single-threaded, so no dispatcher/batching is
+//! needed: events are appended to one [`TraceLog`] in emission order,
+//! which is deterministic because the virtual clock is. The tracer
+//! *always* records — recording costs no virtual time, speculation
+//! ticks query live spans mid-run, and `Outcome::Completed` timestamps
+//! come from the last span end — and `TracePolicy` gates only whether
+//! the finished log (and the views derived from it) is exported in the
+//! report.
+
+use mr_core::{Counters, Scope, TaskKind, TraceEvent, TraceInstant, TraceLog};
+use mr_sim::SimTime;
+use mr_trace::{SpanKind, SpecEvent, SpecTaskKind};
+
+/// A virtual-clock instant as a trace instant.
+fn vt(at: SimTime) -> TraceInstant {
+    TraceInstant::Virtual {
+        micros: at.as_micros(),
+    }
+}
+
+/// The task category a span's scope carries: map spans belong to map
+/// tasks, every reducer-phase span to reduce tasks.
+fn span_task_kind(kind: SpanKind) -> TaskKind {
+    match kind {
+        SpanKind::Map => TaskKind::Map,
+        SpanKind::Shuffle | SpanKind::SortReduce | SpanKind::ShuffleReduce | SpanKind::Output => {
+            TaskKind::Reduce
+        }
+    }
+}
+
+/// Per-run trace recorder for the simulated executors. `job` is the
+/// chain-stage index (0 for single jobs); chains share one tracer so a
+/// run yields one canonical stream.
+#[derive(Debug, Default)]
+pub(crate) struct SimTracer {
+    log: TraceLog,
+}
+
+impl SimTracer {
+    pub(crate) fn new() -> Self {
+        SimTracer::default()
+    }
+
+    fn task_scope(job: u32, kind: TaskKind, index: usize, attempt: u32, node: usize) -> Scope {
+        Scope::task(job, kind, index as u32, attempt, node as u32)
+    }
+
+    /// Records a finished task span.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn span(
+        &mut self,
+        job: u32,
+        kind: SpanKind,
+        task: usize,
+        attempt: u32,
+        node: usize,
+        start: SimTime,
+        end: SimTime,
+    ) {
+        self.log.push(
+            Self::task_scope(job, span_task_kind(kind), task, attempt, node),
+            TraceEvent::Span {
+                kind,
+                start: vt(start),
+                end: vt(end),
+            },
+        );
+    }
+
+    /// Records a reducer heap sample.
+    pub(crate) fn heap_sample(
+        &mut self,
+        job: u32,
+        reducer: usize,
+        attempt: u32,
+        node: usize,
+        at: SimTime,
+        bytes: u64,
+    ) {
+        self.log.push(
+            Self::task_scope(job, TaskKind::Reduce, reducer, attempt, node),
+            TraceEvent::HeapSample { at: vt(at), bytes },
+        );
+    }
+
+    /// Records a snapshot publication.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn snapshot_mark(
+        &mut self,
+        job: u32,
+        reducer: usize,
+        attempt: u32,
+        node: usize,
+        at: SimTime,
+        seq: u64,
+        records: u64,
+        entries: usize,
+    ) {
+        self.log.push(
+            Self::task_scope(job, TaskKind::Reduce, reducer, attempt, node),
+            TraceEvent::SnapshotMark {
+                at: vt(at),
+                seq,
+                records,
+                entries: entries as u64,
+            },
+        );
+    }
+
+    /// Records a cross-job handoff edge (scope names the upstream
+    /// reducer; `job` is the upstream stage).
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn handoff_mark(
+        &mut self,
+        job: u32,
+        upstream_reducer: usize,
+        attempt: u32,
+        node: usize,
+        at: SimTime,
+        downstream_map: usize,
+        records: u64,
+        bytes: u64,
+    ) {
+        self.log.push(
+            Self::task_scope(job, TaskKind::Reduce, upstream_reducer, attempt, node),
+            TraceEvent::HandoffMark {
+                at: vt(at),
+                downstream_map: downstream_map as u32,
+                records,
+                bytes,
+            },
+        );
+    }
+
+    /// Records a speculation event for the affected attempt.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn speculation_mark(
+        &mut self,
+        job: u32,
+        kind: SpecTaskKind,
+        task: usize,
+        attempt: u32,
+        node: usize,
+        at: SimTime,
+        event: SpecEvent,
+    ) {
+        let task_kind = match kind {
+            SpecTaskKind::Map => TaskKind::Map,
+            SpecTaskKind::Reduce => TaskKind::Reduce,
+        };
+        self.log.push(
+            Self::task_scope(job, task_kind, task, attempt, node),
+            TraceEvent::SpeculationMark { at: vt(at), event },
+        );
+    }
+
+    /// Records the deadline firing.
+    pub(crate) fn deadline_mark(&mut self, job: u32, at: SimTime) {
+        self.log
+            .push(Scope::job(job), TraceEvent::DeadlineMark { at: vt(at) });
+    }
+
+    /// Records a chain stage finishing its last task.
+    pub(crate) fn stage_done(&mut self, job: u32, at: SimTime) {
+        self.log
+            .push(Scope::job(job), TraceEvent::StageDone { at: vt(at) });
+    }
+
+    /// Emits one batch of counter totals under `scope`, one `Counter`
+    /// event per name in name order. Zero-valued entries are emitted
+    /// too: the legacy direct merge keeps keys that were touched but
+    /// never incremented, and the trace-derived `Counters` view must
+    /// reproduce exactly that map.
+    pub(crate) fn counters(&mut self, scope: Scope, counters: &Counters) {
+        for (name, value) in counters.iter() {
+            self.log.push(
+                scope,
+                TraceEvent::Counter {
+                    label: name.to_string().into(),
+                    delta: value,
+                },
+            );
+        }
+    }
+
+    /// Live span query for speculation ticks: `(task, start, end)` of
+    /// every recorded span of `kind` in `job`, in recording order.
+    pub(crate) fn spans_of(&self, job: u32, kind: SpanKind) -> Vec<(usize, SimTime, SimTime)> {
+        self.log
+            .iter()
+            .filter(|e| e.scope.job == job)
+            .filter_map(|e| match &e.event {
+                TraceEvent::Span {
+                    kind: k,
+                    start,
+                    end,
+                } if *k == kind => Some((
+                    e.scope.index as usize,
+                    SimTime::from_micros(start.virtual_micros().unwrap_or(0)),
+                    SimTime::from_micros(end.virtual_micros().unwrap_or(0)),
+                )),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Latest span end across the whole run (job completion).
+    pub(crate) fn last_end(&self) -> SimTime {
+        self.log
+            .iter()
+            .filter_map(|e| match &e.event {
+                TraceEvent::Span { end, .. } => end.virtual_micros(),
+                _ => None,
+            })
+            .max()
+            .map(SimTime::from_micros)
+            .unwrap_or(SimTime::ZERO)
+    }
+
+    /// Snapshot publications recorded so far in `job`.
+    pub(crate) fn snapshot_count(&self, job: u32) -> usize {
+        self.log
+            .iter()
+            .filter(|e| e.scope.job == job && matches!(e.event, TraceEvent::SnapshotMark { .. }))
+            .count()
+    }
+
+    /// Consumes the tracer into the finished, ordered log.
+    pub(crate) fn into_log(self) -> TraceLog {
+        self.log
+    }
+}

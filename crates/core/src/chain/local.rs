@@ -33,12 +33,17 @@ use crate::config::{ChainSpec, Engine, HandoffMode, JobConfig};
 use crate::counters::{names, Counters};
 use crate::error::{MrError, MrResult};
 use crate::local::{
-    barrier_reduce_sinked, combining_active, pipelined_reduce_task, Batch, LocalRunner, ReduceSink,
-    ShuffleEmitter, SinkedRun, BATCH_CHANNEL_DEPTH,
+    barrier_reduce_sinked, combining_active, pipelined_reduce_task, record_counter_totals, Batch,
+    LocalRunner, ReduceSink, ShuffleEmitter, SinkedRun, BATCH_CHANNEL_DEPTH,
 };
+use crate::output::JobOutput;
 use crate::partition::Partitioner;
 use crate::traits::{Application, Emit, FnEmit};
 use crossbeam::channel::{bounded, Receiver, Sender};
+use mr_trace::{
+    Scope, SpanKind, TaskKind, TraceBatch, TraceDispatcher, TraceEvent, TraceInstant, TraceLog,
+    TraceRecorder, NO_NODE,
+};
 use std::sync::Mutex;
 use std::time::Instant;
 
@@ -227,6 +232,8 @@ where
     F: Fn(usize) -> S,
 {
     let reducers = cfg.reducers;
+    let tracing = cfg.trace.is_enabled();
+    let dispatcher = TraceDispatcher::new(tracing);
     let mut senders: Vec<Sender<Batch<X>>> = Vec::with_capacity(reducers);
     let mut receivers: Vec<Receiver<Batch<X>>> = Vec::with_capacity(reducers);
     for _ in 0..reducers {
@@ -252,7 +259,9 @@ where
             let reduce_slots = &reduce_slots;
             let batch_pool = &batch_pool;
             let sink = make_sink(r);
+            let dispatcher = &dispatcher;
             reduce_handles.push(scope.spawn(move || {
+                let t0 = started.elapsed().as_secs_f64();
                 let result = pipelined_reduce_task(
                     app,
                     cfg,
@@ -263,6 +272,25 @@ where
                     started,
                     sink,
                 );
+                if tracing {
+                    if let Ok((_, _, task_counters, snaps)) = &result {
+                        let mut rec = TraceRecorder::new(
+                            Scope::task(0, TaskKind::Reduce, r as u32, 0, NO_NODE),
+                            true,
+                        );
+                        rec.span_wall(SpanKind::ShuffleReduce, t0, started.elapsed().as_secs_f64());
+                        for s in snaps {
+                            rec.snapshot_wall(
+                                s.at_secs,
+                                s.seq,
+                                s.records_absorbed,
+                                s.live_entries as u64,
+                            );
+                        }
+                        record_counter_totals(&mut rec, task_counters);
+                        rec.flush_into(dispatcher);
+                    }
+                }
                 *reduce_slots[r].lock().unwrap() = Some(result);
             }));
         }
@@ -270,11 +298,13 @@ where
         // Map intake tasks: one per upstream partition, consuming record
         // batches as the upstream reducer emits them.
         let mut intake_handles = Vec::new();
-        for rx in intakes {
+        for (i, rx) in intakes.into_iter().enumerate() {
             let senders = senders.clone();
             let batch_pool = &batch_pool;
             let intake_counters = &intake_counters;
+            let dispatcher = &dispatcher;
             intake_handles.push(scope.spawn(move || {
+                let t0 = started.elapsed().as_secs_f64();
                 let mut emitter = ShuffleEmitter::new(app, cfg, partitioner, senders, batch_pool);
                 for batch in rx.iter() {
                     // A dead emitter means a reducer died (the job is
@@ -293,6 +323,14 @@ where
                     }
                 }
                 emitter.flush();
+                if tracing {
+                    let mut rec = TraceRecorder::new(
+                        Scope::task(0, TaskKind::Map, i as u32, 0, NO_NODE),
+                        true,
+                    );
+                    rec.span_wall(SpanKind::Map, t0, started.elapsed().as_secs_f64());
+                    rec.flush_into(dispatcher);
+                }
                 intake_counters
                     .lock()
                     .unwrap()
@@ -313,6 +351,13 @@ where
     })?;
 
     let mut counters = intake_counters.into_inner().unwrap();
+    // Intake counters are attributed to the job scope pre-merged: which
+    // intake drained which records is upstream-timing-dependent.
+    if tracing {
+        let mut rec = TraceRecorder::new(Scope::job(0), true);
+        record_counter_totals(&mut rec, &counters);
+        rec.flush_into(&dispatcher);
+    }
     let mut sinks = Vec::with_capacity(reducers);
     let mut reports = Vec::with_capacity(reducers);
     let mut snapshots = Vec::with_capacity(reducers);
@@ -324,11 +369,18 @@ where
         reports.push(report);
         snapshots.push(snaps);
     }
+    let trace = dispatcher.finish();
+    let counters = if tracing {
+        Counters::from_trace(&trace)
+    } else {
+        counters
+    };
     Ok(SinkedRun {
         sinks,
         counters,
         reports,
         snapshots,
+        trace,
     })
 }
 
@@ -356,12 +408,16 @@ where
     let slots: Vec<Mutex<Option<Vec<Batch<X>>>>> =
         (0..n_intakes).map(|_| Mutex::new(None)).collect();
     let intake_counters = Mutex::new(Counters::new());
+    let tracing = cfg.trace.is_enabled();
+    let intake_trace: Mutex<Vec<TraceBatch>> = Mutex::new(Vec::new());
     std::thread::scope(|scope| {
         let mut handles = Vec::new();
         for (i, rx) in intakes.into_iter().enumerate() {
             let slots = &slots;
             let intake_counters = &intake_counters;
+            let intake_trace = &intake_trace;
             handles.push(scope.spawn(move || {
+                let t0 = started.elapsed().as_secs_f64();
                 let combining = combining_active(app, cfg);
                 let budget = cfg.combiner.budget_bytes().unwrap_or(0) as usize;
                 let mut counters = Counters::new();
@@ -395,6 +451,14 @@ where
                     counters.add(names::COMBINE_OUTPUT_RECORDS, comb.records_out());
                 }
                 *slots[i].lock().unwrap() = Some(parts);
+                if tracing {
+                    let mut rec = TraceRecorder::new(
+                        Scope::task(0, TaskKind::Map, i as u32, 0, NO_NODE),
+                        true,
+                    );
+                    rec.span_wall(SpanKind::Map, t0, started.elapsed().as_secs_f64());
+                    intake_trace.lock().unwrap().push(rec.into_batch());
+                }
                 intake_counters.lock().unwrap().merge(&counters);
             }));
         }
@@ -419,11 +483,13 @@ where
         partitions,
         started,
         intake_counters.into_inner().unwrap(),
+        intake_trace.into_inner().unwrap(),
         make_sink,
     )
 }
 
-/// Builds one stage's [`StageStats`] from its finished run's parts.
+/// Builds one stage's [`StageStats`] from its finished run's parts —
+/// the legacy direct path, used when tracing is off.
 fn stage_stats(
     mut counters: Counters,
     reports: Vec<crate::engine::DriverReport>,
@@ -444,12 +510,114 @@ fn stage_stats(
     }
 }
 
-/// Tears a handoff-sinked run into the parts `stage_stats` needs,
+/// Everything one finished stage contributes to the chain result.
+struct StageParts {
+    counters: Counters,
+    reports: Vec<crate::engine::DriverReport>,
+    /// The boundary this stage fed (`None` exactly where the legacy path
+    /// passed no handoff — derived and direct stats must match).
+    handoff: Option<HandoffStats>,
+    finished_secs: f64,
+    /// The stage run's own log, still scoped to job 0.
+    trace: TraceLog,
+}
+
+/// Tears a handoff-sinked run into the parts a [`StageParts`] needs,
 /// dropping the sinks (and with them their borrows of the shared stats).
 fn into_stage_parts<X: Application, S>(
     run: SinkedRun<X, S>,
-) -> (Counters, Vec<crate::engine::DriverReport>) {
-    (run.counters, run.reports)
+) -> (Counters, Vec<crate::engine::DriverReport>, TraceLog) {
+    (run.counters, run.reports, run.trace)
+}
+
+/// Appends stage `job`'s chain-boundary events to the chain log: the
+/// charged `chain.handoff.*` counter totals (zeros included, mirroring
+/// the legacy charge), a handoff mark at the boundary's first-record
+/// instant, and the stage-done mark.
+fn push_stage_marks(log: &mut TraceLog, job: u32, handoff: Option<&HandoffStats>, finished: f64) {
+    let scope = Scope::job(job);
+    if let Some(h) = handoff {
+        let mut charged = Counters::new();
+        h.charge(&mut charged);
+        for (name, value) in charged.iter() {
+            log.push(
+                scope,
+                TraceEvent::Counter {
+                    label: name.to_string().into(),
+                    delta: value,
+                },
+            );
+        }
+        if let Some(at) = h.first_secs {
+            log.push(
+                scope,
+                TraceEvent::HandoffMark {
+                    at: TraceInstant::Wall { secs: at },
+                    downstream_map: 0,
+                    records: h.records,
+                    bytes: h.bytes,
+                },
+            );
+        }
+    }
+    log.push(
+        scope,
+        TraceEvent::StageDone {
+            at: TraceInstant::Wall { secs: finished },
+        },
+    );
+}
+
+/// Whether the whole chain records traces: every stage must opt in — the
+/// chain log merges the stage logs, so one disabled stage would leave a
+/// hole the derived [`StageStats`] views can't paper over.
+fn chain_tracing(spec: &ChainSpec) -> bool {
+    spec.stages.iter().all(|c| c.trace.is_enabled())
+}
+
+/// Assembles the chain result from the finished stages. With tracing on,
+/// the per-stage logs are merged into one chain log (stage `j`'s events
+/// re-scoped to job `j`, boundary marks appended) and every
+/// [`StageStats`] is *derived back out of that log*; with tracing off,
+/// the legacy direct path builds the same values from the parts.
+fn assemble_chain<B: Application>(
+    trace_on: bool,
+    parts: Vec<StageParts>,
+    mut output: JobOutput<B>,
+) -> ChainOutput<B> {
+    let mut trace = TraceLog::new();
+    let mut stages = Vec::with_capacity(parts.len());
+    if trace_on {
+        let mut reports_per_stage = Vec::with_capacity(parts.len());
+        for (j, p) in parts.into_iter().enumerate() {
+            let job = j as u32;
+            for mut e in p.trace.entries {
+                e.scope.job = job;
+                trace.push(e.scope, e.event);
+            }
+            push_stage_marks(&mut trace, job, p.handoff.as_ref(), p.finished_secs);
+            reports_per_stage.push(p.reports);
+        }
+        for (j, reports) in reports_per_stage.into_iter().enumerate() {
+            stages.push(StageStats::from_log(&trace, j as u32, reports));
+        }
+    } else {
+        for p in parts {
+            stages.push(stage_stats(
+                p.counters,
+                p.reports,
+                p.handoff.as_ref(),
+                p.finished_secs,
+            ));
+        }
+    }
+    // The final stage's log now lives (re-scoped) in the chain log.
+    output.trace = TraceLog::new();
+    ChainOutput {
+        output,
+        stages,
+        trace,
+    }
 }
 
 /// The barrier-handoff boundary shared by every chain driver: adapts
@@ -536,18 +704,26 @@ impl LocalRunner {
         let mut stats = HandoffStats::default();
         let mut splits2: Vec<Vec<(B::InKey, B::InValue)>> = Vec::new();
         adapt_partitions(second, out1.partitions, &mut splits2, &mut stats);
-        let stage1 = stage_stats(out1.counters, out1.reports, Some(&stats), stage1_secs);
-        let out2 = self.run_with_partitioner(second, splits2, &spec.stages[1], pb)?;
-        let stage2 = StageStats {
+        let part1 = StageParts {
+            counters: out1.counters,
+            reports: out1.reports,
+            handoff: Some(stats),
+            finished_secs: stage1_secs,
+            trace: out1.trace,
+        };
+        let mut out2 = self.run_with_partitioner(second, splits2, &spec.stages[1], pb)?;
+        let part2 = StageParts {
             counters: out2.counters.clone(),
             reports: out2.reports.clone(),
+            handoff: None,
             finished_secs: started.elapsed().as_secs_f64(),
-            ..StageStats::default()
+            trace: std::mem::take(&mut out2.trace),
         };
-        Ok(ChainOutput {
-            output: out2,
-            stages: vec![stage1, stage2],
-        })
+        Ok(assemble_chain(
+            chain_tracing(spec),
+            vec![part1, part2],
+            out2,
+        ))
     }
 
     fn chain2_streaming<A, B, PA, PB>(
@@ -602,15 +778,28 @@ impl LocalRunner {
             Ok::<_, MrError>((run1, secs1, run2, secs2))
         })?;
 
-        let (counters1, reports1) = into_stage_parts(run1?);
-        let run2 = run2?;
+        let (counters1, reports1, trace1) = into_stage_parts(run1?);
+        let mut run2 = run2?;
         let stats = stats.into_inner().unwrap();
-        let stage1 = stage_stats(counters1, reports1, Some(&stats), secs1);
-        let stage2 = stage_stats(run2.counters.clone(), run2.reports.clone(), None, secs2);
-        Ok(ChainOutput {
-            output: run2.into_job_output(),
-            stages: vec![stage1, stage2],
-        })
+        let part1 = StageParts {
+            counters: counters1,
+            reports: reports1,
+            handoff: Some(stats),
+            finished_secs: secs1,
+            trace: trace1,
+        };
+        let part2 = StageParts {
+            counters: run2.counters.clone(),
+            reports: run2.reports.clone(),
+            handoff: None,
+            finished_secs: secs2,
+            trace: std::mem::take(&mut run2.trace),
+        };
+        Ok(assemble_chain(
+            chain_tracing(spec),
+            vec![part1, part2],
+            run2.into_job_output(),
+        ))
     }
 
     /// Runs a simple fan-in chain: several upstream jobs of the same
@@ -656,31 +845,30 @@ impl LocalRunner {
         if spec.chain.handoff == HandoffMode::Barrier {
             // Sequential baseline: run every branch, then concatenate
             // adapted partition i across branches into intake split i.
-            let mut stages = Vec::with_capacity(branches + 1);
+            let mut parts = Vec::with_capacity(branches + 1);
             let mut splits2: Vec<Vec<(B::InKey, B::InValue)>> =
                 (0..r1).map(|_| Vec::new()).collect();
             for (b, (app, splits)) in firsts.iter().zip(branch_splits).enumerate() {
                 let out = self.run_with_partitioner(*app, splits, &spec.stages[b], pa)?;
                 let mut stats = HandoffStats::default();
                 adapt_partitions(second, out.partitions, &mut splits2, &mut stats);
-                stages.push(stage_stats(
-                    out.counters,
-                    out.reports,
-                    Some(&stats),
-                    started.elapsed().as_secs_f64(),
-                ));
+                parts.push(StageParts {
+                    counters: out.counters,
+                    reports: out.reports,
+                    handoff: Some(stats),
+                    finished_secs: started.elapsed().as_secs_f64(),
+                    trace: out.trace,
+                });
             }
-            let out2 = self.run_with_partitioner(second, splits2, cfg2, pb)?;
-            stages.push(StageStats {
+            let mut out2 = self.run_with_partitioner(second, splits2, cfg2, pb)?;
+            parts.push(StageParts {
                 counters: out2.counters.clone(),
                 reports: out2.reports.clone(),
+                handoff: None,
                 finished_secs: started.elapsed().as_secs_f64(),
-                ..StageStats::default()
+                trace: std::mem::take(&mut out2.trace),
             });
-            return Ok(ChainOutput {
-                output: out2,
-                stages,
-            });
+            return Ok(assemble_chain(chain_tracing(spec), parts, out2));
         }
 
         // Streaming fan-in: every branch's reducer i ships into the
@@ -736,23 +924,30 @@ impl LocalRunner {
             Ok::<_, MrError>((branch_runs, run2, secs2))
         })?;
 
-        let mut stages = Vec::with_capacity(branches + 1);
-        for (b, (run, secs)) in branch_runs.into_iter().enumerate() {
-            let (counters, reports) = into_stage_parts(run?);
-            let stats = branch_stats[b].lock().unwrap();
-            stages.push(stage_stats(counters, reports, Some(&stats), secs));
+        let mut parts = Vec::with_capacity(branches + 1);
+        for ((run, secs), stats) in branch_runs.into_iter().zip(&branch_stats) {
+            let (counters, reports, trace) = into_stage_parts(run?);
+            parts.push(StageParts {
+                counters,
+                reports,
+                handoff: Some(std::mem::take(&mut *stats.lock().unwrap())),
+                finished_secs: secs,
+                trace,
+            });
         }
-        let run2 = run2?;
-        stages.push(stage_stats(
-            run2.counters.clone(),
-            run2.reports.clone(),
-            None,
-            secs2,
-        ));
-        Ok(ChainOutput {
-            output: run2.into_job_output(),
-            stages,
-        })
+        let mut run2 = run2?;
+        parts.push(StageParts {
+            counters: run2.counters.clone(),
+            reports: run2.reports.clone(),
+            handoff: None,
+            finished_secs: secs2,
+            trace: std::mem::take(&mut run2.trace),
+        });
+        Ok(assemble_chain(
+            chain_tracing(spec),
+            parts,
+            run2.into_job_output(),
+        ))
     }
 
     /// Runs a homogeneous K-stage chain: the same application `app` runs
@@ -782,7 +977,7 @@ impl LocalRunner {
         if k == 1 || spec.chain.handoff == HandoffMode::Barrier {
             // Sequential fold: run each stage, adapt, feed the next.
             let started = Instant::now();
-            let mut stages = Vec::with_capacity(k);
+            let mut parts = Vec::with_capacity(k);
             let mut current = splits;
             let mut out = None;
             for (j, cfg) in spec.stages.iter().enumerate() {
@@ -808,18 +1003,20 @@ impl LocalRunner {
                         std::mem::take(&mut run.reports),
                     )
                 };
-                stages.push(stage_stats(
+                parts.push(StageParts {
                     counters,
                     reports,
-                    Some(&stats),
-                    started.elapsed().as_secs_f64(),
-                ));
+                    handoff: Some(stats),
+                    finished_secs: started.elapsed().as_secs_f64(),
+                    trace: std::mem::take(&mut run.trace),
+                });
                 out = Some(run);
             }
-            return Ok(ChainOutput {
-                output: out.expect("k >= 1 stages ran"),
-                stages,
-            });
+            return Ok(assemble_chain(
+                chain_tracing(spec),
+                parts,
+                out.expect("k >= 1 stages ran"),
+            ));
         }
 
         // Streaming: all K stages live, connected by K-1 channel
@@ -903,35 +1100,42 @@ impl LocalRunner {
             Ok::<_, MrError>((run0, secs0, middles, last))
         })?;
 
-        let mut stages = Vec::with_capacity(k);
-        let (counters0, reports0) = into_stage_parts(run0?);
-        stages.push(stage_stats(
-            counters0,
-            reports0,
-            Some(&*stats[0].lock().unwrap()),
-            secs0,
-        ));
-        for (j, (run, secs)) in middles.into_iter().enumerate() {
-            let (counters, reports) = into_stage_parts(run?);
-            stages.push(stage_stats(
+        let mut parts = Vec::with_capacity(k);
+        let mut handoffs = stats
+            .iter()
+            .map(|m| std::mem::take(&mut *m.lock().unwrap()));
+        let (counters0, reports0, trace0) = into_stage_parts(run0?);
+        parts.push(StageParts {
+            counters: counters0,
+            reports: reports0,
+            handoff: handoffs.next(),
+            finished_secs: secs0,
+            trace: trace0,
+        });
+        for (run, secs) in middles {
+            let (counters, reports, trace) = into_stage_parts(run?);
+            parts.push(StageParts {
                 counters,
                 reports,
-                Some(&*stats[j + 1].lock().unwrap()),
-                secs,
-            ));
+                handoff: handoffs.next(),
+                finished_secs: secs,
+                trace,
+            });
         }
         let (run_last, secs_last) = last;
-        let run_last = run_last?;
-        stages.push(stage_stats(
-            run_last.counters.clone(),
-            run_last.reports.clone(),
-            None,
-            secs_last,
-        ));
-        Ok(ChainOutput {
-            output: run_last.into_job_output(),
-            stages,
-        })
+        let mut run_last = run_last?;
+        parts.push(StageParts {
+            counters: run_last.counters.clone(),
+            reports: run_last.reports.clone(),
+            handoff: None,
+            finished_secs: secs_last,
+            trace: std::mem::take(&mut run_last.trace),
+        });
+        Ok(assemble_chain(
+            chain_tracing(spec),
+            parts,
+            run_last.into_job_output(),
+        ))
     }
 }
 

@@ -33,10 +33,11 @@
 
 pub mod local;
 
-use crate::counters::Counters;
+use crate::counters::{names, Counters};
 use crate::engine::DriverReport;
 use crate::output::JobOutput;
 use crate::traits::{Application, Emit};
+use mr_trace::{TraceEvent, TraceLog};
 use std::cmp::Ordering;
 
 /// An [`Application`] that can sit downstream of a job emitting
@@ -244,6 +245,40 @@ pub struct StageStats {
     pub finished_secs: f64,
 }
 
+impl StageStats {
+    /// Derives one stage's stats from a chain's unified trace log — the
+    /// compatibility view over the stage's job-scoped events: counters
+    /// come from the stage's counter totals (the chain boundary's
+    /// `chain.handoff.*` charges included), handoff volume from those
+    /// same counters, and the instants from the stage's handoff and
+    /// stage-done marks. `reports` are the one part the trace does not
+    /// carry (they summarize whole partial-result stores), so the caller
+    /// passes them through.
+    pub fn from_log(log: &TraceLog, job: u32, reports: Vec<DriverReport>) -> StageStats {
+        let counters = Counters::from_trace_job(log, job);
+        let mut first_handoff_secs = None;
+        let mut finished_secs = 0.0;
+        for e in log.iter().filter(|e| e.scope.job == job) {
+            match &e.event {
+                TraceEvent::HandoffMark { at, .. } if first_handoff_secs.is_none() => {
+                    first_handoff_secs = Some(at.as_secs_f64());
+                }
+                TraceEvent::StageDone { at } => finished_secs = at.as_secs_f64(),
+                _ => {}
+            }
+        }
+        StageStats {
+            handoff_records: counters.get(names::CHAIN_HANDOFF_RECORDS),
+            handoff_batches: counters.get(names::CHAIN_HANDOFF_BATCHES),
+            handoff_bytes: counters.get(names::CHAIN_HANDOFF_BYTES),
+            first_handoff_secs,
+            finished_secs,
+            counters,
+            reports,
+        }
+    }
+}
+
 /// A finished chain run: the final stage's [`JobOutput`] plus per-stage
 /// statistics. Intermediate stage output is *not* materialized — it was
 /// handed to the next stage as a record stream — so only the last
@@ -254,6 +289,15 @@ pub struct ChainOutput<B: Application> {
     /// One entry per stage, in execution order (for fan-in chains: one
     /// per upstream branch, then the downstream stage).
     pub stages: Vec<StageStats>,
+    /// The chain's unified trace: stage `j`'s events re-scoped to job
+    /// `j`, followed by each boundary's handoff charges and stage-done
+    /// marks. `stages` is derived from this log when tracing is on.
+    /// Empty unless *every* stage config enables
+    /// [`TracePolicy`](crate::TracePolicy) (the merged log would
+    /// otherwise have holes the derived views can't paper over). The
+    /// final stage's `output.trace` is drained into this log rather than
+    /// duplicated.
+    pub trace: TraceLog,
 }
 
 impl<B: Application> ChainOutput<B> {

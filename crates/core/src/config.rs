@@ -205,6 +205,33 @@ impl DeadlinePolicy {
     }
 }
 
+/// Whether a run records the unified structured trace (`mr-trace`): the
+/// one event stream from which the legacy `Counters`, timeline and
+/// per-stage views are derived.
+///
+/// Tracing is on by default: recording is allocation-light (per-task
+/// buffered batches, merged exactly like task counters) and under the
+/// simulator it costs zero *virtual* time. Disabling it yields an empty
+/// [`TraceLog`](mr_trace::TraceLog) and empty derived views while the
+/// job's actual output stays byte-identical — the trace is observability
+/// only and can never change what a job computes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TracePolicy {
+    /// Record every event into the run's `TraceLog` (the default).
+    #[default]
+    Enabled,
+    /// Record nothing; reports carry an empty log and empty derived
+    /// views. The local executor skips event emission entirely.
+    Disabled,
+}
+
+impl TracePolicy {
+    /// True unless the policy is [`TracePolicy::Disabled`].
+    pub fn is_enabled(&self) -> bool {
+        matches!(self, TracePolicy::Enabled)
+    }
+}
+
 /// Default handoff batch budget between chained jobs: how many buffered
 /// bytes an upstream reduce task accumulates before handing a record
 /// batch to the downstream stage's map intake.
@@ -452,6 +479,23 @@ impl Engine {
 }
 
 /// Everything the runner needs besides the application itself.
+///
+/// # Policy knobs at a glance
+///
+/// Every policy knob follows the same pattern: a field with a safe
+/// default, a chainable builder method, and — for runs under the cluster
+/// simulator — a `ClusterParams` override that wins over the job's own
+/// setting (`Some`/enabled wins; `None`/disabled leaves the job's choice
+/// in force). `ClusterParams::effective_config` resolves the whole set.
+///
+/// | Knob | Builder | `ClusterParams` override | Default |
+/// |------|---------|--------------------------|---------|
+/// | `combiner` | [`combiner`](JobConfig::combiner) | `combiner` (enabled wins) | `Disabled` |
+/// | `store_index` | [`store_index`](JobConfig::store_index) | `store_index` (`Some` wins) | `Hashed` |
+/// | `snapshots` | [`snapshots`](JobConfig::snapshots) | `snapshots` (`Some` wins) | `Disabled` |
+/// | `speculation` | [`speculation`](JobConfig::speculation) | `speculation` (`Some` wins) | `Disabled` |
+/// | `deadline` | [`deadline`](JobConfig::deadline) | `deadline` (`Some` wins) | `Disabled` |
+/// | `trace` | [`trace`](JobConfig::trace) | `trace` (`Some` wins) | `Enabled` |
 #[derive(Debug, Clone)]
 pub struct JobConfig {
     /// Number of reduce tasks (partitions).
@@ -495,6 +539,10 @@ pub struct JobConfig {
     /// latest published snapshots. [`DeadlinePolicy::Disabled`] by
     /// default; requires an enabled snapshot policy when set.
     pub deadline: DeadlinePolicy,
+    /// Whether the run records the unified structured trace.
+    /// [`TracePolicy::Enabled`] by default; disabling yields empty
+    /// trace/derived views but byte-identical job output.
+    pub trace: TracePolicy,
     /// Seed for anything stochastic inside the engines (none today, but
     /// carried so runs stay reproducible end to end).
     pub seed: u64,
@@ -516,6 +564,7 @@ impl JobConfig {
             snapshots: SnapshotPolicy::Disabled,
             speculation: SpeculationPolicy::Disabled,
             deadline: DeadlinePolicy::Disabled,
+            trace: TracePolicy::Enabled,
             seed: 0,
         }
     }
@@ -579,6 +628,12 @@ impl JobConfig {
     /// Sets the deadline policy.
     pub fn deadline(mut self, policy: DeadlinePolicy) -> Self {
         self.deadline = policy;
+        self
+    }
+
+    /// Sets the trace policy.
+    pub fn trace(mut self, policy: TracePolicy) -> Self {
+        self.trace = policy;
         self
     }
 
@@ -944,6 +999,16 @@ mod tests {
             ChainSpec::new(vec![JobConfig::new(1)]).validate_fan_in(0),
             Err(MrError::InvalidConfig(_))
         ));
+    }
+
+    #[test]
+    fn tracing_is_on_by_default_and_builder_disables_it() {
+        let cfg = JobConfig::new(1);
+        assert_eq!(cfg.trace, TracePolicy::Enabled);
+        assert!(cfg.trace.is_enabled());
+        let cfg = cfg.trace(TracePolicy::Disabled);
+        assert!(!cfg.trace.is_enabled());
+        cfg.validate().unwrap();
     }
 
     #[test]

@@ -1,80 +1,198 @@
 //! Named job counters, Hadoop-style.
 
+use mr_trace::{Label, TraceLog, TraceQuery};
 use std::collections::BTreeMap;
+use std::fmt;
 
-/// A set of named monotonically increasing counters.
-///
-/// Engines create one per task and merge them into the job result, so no
-/// locking is needed on the hot path.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
-pub struct Counters {
-    values: BTreeMap<&'static str, u64>,
-}
-
-/// Well-known counter names used by the engines.
-pub mod names {
+/// A typed counter name: every well-known counter the engines maintain,
+/// as an enum instead of a loose `&'static str`. A typo'd name is now a
+/// compile error rather than a silently separate counter, while
+/// [`as_str`](CounterName::as_str) keeps the wire/report strings
+/// byte-identical to what the string constants always were.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[non_exhaustive]
+pub enum CounterName {
     /// Records produced by map functions.
-    pub const MAP_OUTPUT_RECORDS: &str = "map.output.records";
+    MapOutputRecords,
     /// Records consumed by the reduce side.
-    pub const REDUCE_INPUT_RECORDS: &str = "reduce.input.records";
+    ReduceInputRecords,
     /// Raw map-output records fed into map-side combiners.
-    pub const COMBINE_INPUT_RECORDS: &str = "combine.input.records";
+    CombineInputRecords,
     /// Combined records the combiners emitted into the shuffle.
-    pub const COMBINE_OUTPUT_RECORDS: &str = "combine.output.records";
+    CombineOutputRecords,
     /// Record batches handed to the shuffle transport (local executor).
-    pub const SHUFFLE_BATCHES: &str = "shuffle.batches";
+    ShuffleBatches,
     /// Shuffle batches built on a recycled buffer from the free-list
     /// (drained by a reducer, handed back to the mappers) instead of a
     /// fresh allocation.
-    pub const SHUFFLE_BATCH_REUSE: &str = "shuffle.batch_reuse";
+    ShuffleBatchReuse,
     /// Records that actually crossed the shuffle (post-combine).
-    pub const SHUFFLE_RECORDS: &str = "shuffle.records";
+    ShuffleRecords,
     /// Records written to job output.
-    pub const REDUCE_OUTPUT_RECORDS: &str = "reduce.output.records";
+    ReduceOutputRecords,
     /// Distinct key groups reduced (barrier engine).
-    pub const REDUCE_GROUPS: &str = "reduce.groups";
+    ReduceGroups,
     /// Spill files written by the spill-and-merge store.
-    pub const SPILL_FILES: &str = "spill.files";
+    SpillFiles,
     /// Bytes written to spill files.
-    pub const SPILL_BYTES: &str = "spill.bytes";
+    SpillBytes,
     /// Partial results merged during the merge phase.
-    pub const SPILL_MERGED_STATES: &str = "spill.merged.states";
+    SpillMergedStates,
     /// KV-store cache hits during absorb.
-    pub const KV_CACHE_HITS: &str = "kv.cache.hits";
+    KvCacheHits,
     /// KV-store cache misses during absorb.
-    pub const KV_CACHE_MISSES: &str = "kv.cache.misses";
+    KvCacheMisses,
     /// Partial-result snapshots published by reduce tasks. Like
     /// Hadoop's counters, this reflects *surviving* task attempts: in
     /// the cluster simulator a reducer killed by a node failure keeps
     /// its published snapshots in `JobOutput::snapshots` (the stream an
     /// observer saw), so after fault recovery that stream can exceed
     /// this counter.
-    pub const SNAPSHOT_COUNT: &str = "snapshot.count";
+    SnapshotCount,
     /// Estimated output records emitted across all snapshots.
-    pub const SNAPSHOT_RECORDS: &str = "snapshot.records";
+    SnapshotRecords,
     /// Estimated partial-state bytes (keys + states) covered by
     /// snapshots (zero under the barrier engine, which has no partial
     /// state to cover).
-    pub const SNAPSHOT_BYTES: &str = "snapshot.bytes";
+    SnapshotBytes,
     /// Records handed from one chained job's reduce side to the next
     /// job's map intake (both handoff modes).
-    pub const CHAIN_HANDOFF_RECORDS: &str = "chain.handoff.records";
+    ChainHandoffRecords,
     /// Record batches handed across a chain stage boundary (streaming
     /// handoff; the barrier handoff moves one materialized batch per
     /// upstream partition).
-    pub const CHAIN_HANDOFF_BATCHES: &str = "chain.handoff.batches";
+    ChainHandoffBatches,
     /// Modelled bytes handed across chain stage boundaries, as estimated
     /// by `ChainableApplication::handoff_bytes`.
-    pub const CHAIN_HANDOFF_BYTES: &str = "chain.handoff.bytes";
+    ChainHandoffBytes,
     /// Speculative backup attempts launched for straggling tasks
     /// (cluster simulator only).
-    pub const SPECULATION_LAUNCHED: &str = "speculation.launched";
+    SpeculationLaunched,
     /// Speculative backup attempts that finished before the original
     /// attempt and supplied the task's output.
-    pub const SPECULATION_WON: &str = "speculation.won";
+    SpeculationWon,
     /// Attempts (original or backup) cancelled because the other attempt
     /// of the same task won the race.
-    pub const SPECULATION_CANCELLED: &str = "speculation.cancelled";
+    SpeculationCancelled,
+}
+
+impl CounterName {
+    /// The counter's report string — byte-identical to the historical
+    /// `&'static str` constants, so serialized output never changes.
+    pub const fn as_str(self) -> &'static str {
+        match self {
+            CounterName::MapOutputRecords => "map.output.records",
+            CounterName::ReduceInputRecords => "reduce.input.records",
+            CounterName::CombineInputRecords => "combine.input.records",
+            CounterName::CombineOutputRecords => "combine.output.records",
+            CounterName::ShuffleBatches => "shuffle.batches",
+            CounterName::ShuffleBatchReuse => "shuffle.batch_reuse",
+            CounterName::ShuffleRecords => "shuffle.records",
+            CounterName::ReduceOutputRecords => "reduce.output.records",
+            CounterName::ReduceGroups => "reduce.groups",
+            CounterName::SpillFiles => "spill.files",
+            CounterName::SpillBytes => "spill.bytes",
+            CounterName::SpillMergedStates => "spill.merged.states",
+            CounterName::KvCacheHits => "kv.cache.hits",
+            CounterName::KvCacheMisses => "kv.cache.misses",
+            CounterName::SnapshotCount => "snapshot.count",
+            CounterName::SnapshotRecords => "snapshot.records",
+            CounterName::SnapshotBytes => "snapshot.bytes",
+            CounterName::ChainHandoffRecords => "chain.handoff.records",
+            CounterName::ChainHandoffBatches => "chain.handoff.batches",
+            CounterName::ChainHandoffBytes => "chain.handoff.bytes",
+            CounterName::SpeculationLaunched => "speculation.launched",
+            CounterName::SpeculationWon => "speculation.won",
+            CounterName::SpeculationCancelled => "speculation.cancelled",
+        }
+    }
+}
+
+impl AsRef<str> for CounterName {
+    fn as_ref(&self) -> &str {
+        self.as_str()
+    }
+}
+
+impl fmt::Display for CounterName {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl From<CounterName> for Label {
+    fn from(n: CounterName) -> Label {
+        Label::Static(n.as_str())
+    }
+}
+
+/// Well-known counter names used by the engines.
+///
+/// These are the historical constants, now typed: each is a
+/// [`CounterName`] variant rather than a bare string, so existing call
+/// sites (`counters.add(names::MAP_OUTPUT_RECORDS, n)`) compile
+/// unchanged while misspellings no longer type-check.
+pub mod names {
+    use super::CounterName;
+
+    /// Records produced by map functions.
+    pub const MAP_OUTPUT_RECORDS: CounterName = CounterName::MapOutputRecords;
+    /// Records consumed by the reduce side.
+    pub const REDUCE_INPUT_RECORDS: CounterName = CounterName::ReduceInputRecords;
+    /// Raw map-output records fed into map-side combiners.
+    pub const COMBINE_INPUT_RECORDS: CounterName = CounterName::CombineInputRecords;
+    /// Combined records the combiners emitted into the shuffle.
+    pub const COMBINE_OUTPUT_RECORDS: CounterName = CounterName::CombineOutputRecords;
+    /// Record batches handed to the shuffle transport (local executor).
+    pub const SHUFFLE_BATCHES: CounterName = CounterName::ShuffleBatches;
+    /// Shuffle batches built on a recycled buffer from the free-list.
+    pub const SHUFFLE_BATCH_REUSE: CounterName = CounterName::ShuffleBatchReuse;
+    /// Records that actually crossed the shuffle (post-combine).
+    pub const SHUFFLE_RECORDS: CounterName = CounterName::ShuffleRecords;
+    /// Records written to job output.
+    pub const REDUCE_OUTPUT_RECORDS: CounterName = CounterName::ReduceOutputRecords;
+    /// Distinct key groups reduced (barrier engine).
+    pub const REDUCE_GROUPS: CounterName = CounterName::ReduceGroups;
+    /// Spill files written by the spill-and-merge store.
+    pub const SPILL_FILES: CounterName = CounterName::SpillFiles;
+    /// Bytes written to spill files.
+    pub const SPILL_BYTES: CounterName = CounterName::SpillBytes;
+    /// Partial results merged during the merge phase.
+    pub const SPILL_MERGED_STATES: CounterName = CounterName::SpillMergedStates;
+    /// KV-store cache hits during absorb.
+    pub const KV_CACHE_HITS: CounterName = CounterName::KvCacheHits;
+    /// KV-store cache misses during absorb.
+    pub const KV_CACHE_MISSES: CounterName = CounterName::KvCacheMisses;
+    /// Partial-result snapshots published by reduce tasks.
+    pub const SNAPSHOT_COUNT: CounterName = CounterName::SnapshotCount;
+    /// Estimated output records emitted across all snapshots.
+    pub const SNAPSHOT_RECORDS: CounterName = CounterName::SnapshotRecords;
+    /// Estimated partial-state bytes covered by snapshots.
+    pub const SNAPSHOT_BYTES: CounterName = CounterName::SnapshotBytes;
+    /// Records handed from one chained job's reduce side to the next
+    /// job's map intake (both handoff modes).
+    pub const CHAIN_HANDOFF_RECORDS: CounterName = CounterName::ChainHandoffRecords;
+    /// Record batches handed across a chain stage boundary.
+    pub const CHAIN_HANDOFF_BATCHES: CounterName = CounterName::ChainHandoffBatches;
+    /// Modelled bytes handed across chain stage boundaries.
+    pub const CHAIN_HANDOFF_BYTES: CounterName = CounterName::ChainHandoffBytes;
+    /// Speculative backup attempts launched for straggling tasks.
+    pub const SPECULATION_LAUNCHED: CounterName = CounterName::SpeculationLaunched;
+    /// Speculative backup attempts that won the race.
+    pub const SPECULATION_WON: CounterName = CounterName::SpeculationWon;
+    /// Attempts cancelled because the other attempt won.
+    pub const SPECULATION_CANCELLED: CounterName = CounterName::SpeculationCancelled;
+}
+
+/// A set of named monotonically increasing counters.
+///
+/// Engines create one per task and merge them into the job result, so no
+/// locking is needed on the hot path. Keys are [`Label`]s: the typed
+/// [`CounterName`]s cost nothing (static strings), and dynamic
+/// runtime-built names are supported for ad-hoc instrumentation.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Counters {
+    values: BTreeMap<Label, u64>,
 }
 
 impl Counters {
@@ -84,36 +202,57 @@ impl Counters {
     }
 
     /// Adds `delta` to `name`.
-    pub fn add(&mut self, name: &'static str, delta: u64) {
-        *self.values.entry(name).or_insert(0) += delta;
+    pub fn add(&mut self, name: impl Into<Label>, delta: u64) {
+        *self.values.entry(name.into()).or_insert(0) += delta;
     }
 
     /// Increments `name` by one.
-    pub fn incr(&mut self, name: &'static str) {
+    pub fn incr(&mut self, name: impl Into<Label>) {
         self.add(name, 1);
     }
 
     /// Current value of `name` (zero if never touched).
-    pub fn get(&self, name: &str) -> u64 {
-        self.values.get(name).copied().unwrap_or(0)
+    pub fn get(&self, name: impl AsRef<str>) -> u64 {
+        self.values.get(name.as_ref()).copied().unwrap_or(0)
     }
 
     /// Folds another counter set into this one.
     pub fn merge(&mut self, other: &Counters) {
         for (name, v) in &other.values {
-            *self.values.entry(name).or_insert(0) += v;
+            *self.values.entry(name.clone()).or_insert(0) += v;
         }
     }
 
     /// Iterates `(name, value)` in name order.
-    pub fn iter(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
-        self.values.iter().map(|(k, v)| (*k, *v))
+    pub fn iter(&self) -> impl Iterator<Item = (&str, u64)> + '_ {
+        self.values.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+
+    /// Rebuilds job counters from a trace log — the legacy `Counters`
+    /// view derived from the unified event stream: every
+    /// `TraceEvent::Counter` delta summed by label across all scopes.
+    pub fn from_trace(log: &TraceLog) -> Self {
+        let mut c = Counters::new();
+        for (label, v) in TraceQuery::new(log).counter_totals() {
+            c.add(label, v);
+        }
+        c
+    }
+
+    /// Rebuilds one job's (chain stage's) counters from a trace log.
+    pub fn from_trace_job(log: &TraceLog, job: u32) -> Self {
+        let mut c = Counters::new();
+        for (label, v) in TraceQuery::new(log).job_counter_totals(job) {
+            c.add(label, v);
+        }
+        c
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use mr_trace::{Scope, TraceEvent};
 
     #[test]
     fn add_and_get() {
@@ -145,5 +284,58 @@ mod tests {
         c.add("a", 1);
         let items: Vec<_> = c.iter().collect();
         assert_eq!(items, vec![("a", 1), ("b", 2)]);
+    }
+
+    #[test]
+    fn typed_names_keep_historical_strings() {
+        // The report strings must never drift: external tooling parses
+        // them (bench_json, figure outputs).
+        assert_eq!(names::MAP_OUTPUT_RECORDS.as_str(), "map.output.records");
+        assert_eq!(names::SHUFFLE_BATCH_REUSE.as_str(), "shuffle.batch_reuse");
+        assert_eq!(names::SPILL_MERGED_STATES.as_str(), "spill.merged.states");
+        assert_eq!(
+            names::CHAIN_HANDOFF_RECORDS.as_str(),
+            "chain.handoff.records"
+        );
+        assert_eq!(
+            names::SPECULATION_CANCELLED.as_str(),
+            "speculation.cancelled"
+        );
+        // Typed and string keys address the same counter.
+        let mut c = Counters::new();
+        c.add(names::REDUCE_GROUPS, 3);
+        assert_eq!(c.get("reduce.groups"), 3);
+    }
+
+    #[test]
+    fn dynamic_string_labels_work() {
+        let mut c = Counters::new();
+        let dynamic = format!("app.{}.emitted", "topk");
+        c.add(dynamic.clone(), 5);
+        c.add("app.topk.emitted", 2);
+        assert_eq!(c.get(&dynamic), 7);
+    }
+
+    #[test]
+    fn from_trace_sums_deltas_across_scopes() {
+        let mut log = TraceLog::new();
+        log.push(
+            Scope::job(0),
+            TraceEvent::Counter {
+                label: names::MAP_OUTPUT_RECORDS.into(),
+                delta: 10,
+            },
+        );
+        log.push(
+            Scope::job(1),
+            TraceEvent::Counter {
+                label: names::MAP_OUTPUT_RECORDS.into(),
+                delta: 5,
+            },
+        );
+        let all = Counters::from_trace(&log);
+        assert_eq!(all.get(names::MAP_OUTPUT_RECORDS), 15);
+        let j1 = Counters::from_trace_job(&log, 1);
+        assert_eq!(j1.get(names::MAP_OUTPUT_RECORDS), 5);
     }
 }

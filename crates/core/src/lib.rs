@@ -48,11 +48,17 @@ pub use codec::{Codec, CodecError};
 pub use combine::CombinerBuffer;
 pub use config::{
     ChainConfig, ChainSpec, CombinerPolicy, DeadlinePolicy, Engine, HandoffMode, JobConfig,
-    MemoryPolicy, SnapshotPolicy, SpeculationPolicy, StoreIndex,
+    MemoryPolicy, SnapshotPolicy, SpeculationPolicy, StoreIndex, TracePolicy,
 };
-pub use counters::Counters;
+pub use counters::{CounterName, Counters};
+// The unified trace pipeline this crate's executors emit into.
 pub use error::{MrError, MrResult};
 pub use hash::{FxBuildHasher, FxHashMap, FxHasher};
+pub use mr_trace::{
+    Label, Scope, SpanKind, SpanRec, SpecEvent, SpecTaskKind, TaskKind, TraceBatch,
+    TraceDispatcher, TraceEntry, TraceEvent, TraceInstant, TraceLog, TraceQuery, TraceRecorder,
+    TraceSink,
+};
 pub use output::JobOutput;
 pub use partition::{HashPartitioner, Partitioner};
 pub use size::SizeEstimate;

@@ -46,6 +46,10 @@ use crate::size::SizeEstimate;
 use crate::snapshot::Snapshot;
 use crate::traits::{Application, Emit, FnEmit};
 use crossbeam::channel::{bounded, Receiver, Sender};
+use mr_trace::{
+    Scope, SpanKind, TaskKind, TraceBatch, TraceDispatcher, TraceEvent, TraceLog, TraceRecorder,
+    TraceSink, NO_NODE,
+};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
@@ -87,6 +91,19 @@ fn barrier_snapshot<A: Application>(
         at_secs,
         estimate: out.to_vec(),
     }]
+}
+
+/// Emits one `Counter` trace event per entry of `counters` — zeros
+/// included, bypassing [`TraceRecorder::counter`]'s zero-skip: these are
+/// *totals*, and `Counters::from_trace` must reproduce the legacy merged
+/// map exactly, keeping keys that were touched but never incremented.
+pub(crate) fn record_counter_totals(rec: &mut TraceRecorder, counters: &Counters) {
+    for (name, value) in counters.iter() {
+        rec.record(TraceEvent::Counter {
+            label: name.to_string().into(),
+            delta: value,
+        });
+    }
 }
 
 /// A batch of shuffle records bound for one reducer.
@@ -364,6 +381,7 @@ pub(crate) fn pipelined_reduce_task<A: Application, S: ReduceSink<A>>(
 /// streaming sink hands records downstream per partition, not after the
 /// whole stage). Shared by [`LocalRunner::run_barrier_sinked`] and the
 /// chain driver's barrier-engine streamed stages.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn barrier_reduce_sinked<A, S, F>(
     workers: usize,
     app: &A,
@@ -371,6 +389,7 @@ pub(crate) fn barrier_reduce_sinked<A, S, F>(
     partitions: Vec<Vec<(A::MapKey, A::MapValue)>>,
     started: Instant,
     mut counters: Counters,
+    upstream_trace: Vec<TraceBatch>,
     make_sink: F,
 ) -> MrResult<SinkedRun<A, S>>
 where
@@ -379,6 +398,13 @@ where
     F: Fn(usize) -> S,
 {
     let reducers = partitions.len();
+    let tracing = cfg.trace.is_enabled();
+    let dispatcher = TraceDispatcher::new(tracing);
+    // Batches the caller recorded before the reduce phase (map-task
+    // spans); they join the reduce batches in the one ordered log.
+    for b in upstream_trace {
+        dispatcher.submit(b);
+    }
     type ReduceSlot<A, S> = Mutex<Option<MrResult<(S, Counters, Vec<Snapshot<A>>)>>>;
     type PartitionSlot<A> =
         Mutex<Option<Vec<(<A as Application>::MapKey, <A as Application>::MapValue)>>>;
@@ -398,6 +424,7 @@ where
             let results = &results;
             let sink_slots = &sink_slots;
             let next_part = &next_part;
+            let dispatcher = &dispatcher;
             handles.push(scope.spawn(move || loop {
                 let idx = next_part.fetch_add(1, Ordering::Relaxed);
                 if idx >= reducers {
@@ -406,6 +433,7 @@ where
                 let records = partitions[idx].lock().unwrap().take().expect("one taker");
                 let mut sink = sink_slots[idx].lock().unwrap().take().expect("one taker");
                 let absorbed = records.len() as u64;
+                let t0 = started.elapsed().as_secs_f64();
                 let mut counters = Counters::new();
                 let out = reduce_partition_barrier(app, records, &mut counters).map(|out| {
                     let snaps = barrier_snapshot::<A>(
@@ -418,6 +446,23 @@ where
                     );
                     sink.absorb_batch(out);
                     sink.done();
+                    if tracing {
+                        let mut rec = TraceRecorder::new(
+                            Scope::task(0, TaskKind::Reduce, idx as u32, 0, NO_NODE),
+                            true,
+                        );
+                        rec.span_wall(SpanKind::SortReduce, t0, started.elapsed().as_secs_f64());
+                        for s in &snaps {
+                            rec.snapshot_wall(
+                                s.at_secs,
+                                s.seq,
+                                s.records_absorbed,
+                                s.live_entries as u64,
+                            );
+                        }
+                        record_counter_totals(&mut rec, &counters);
+                        rec.flush_into(dispatcher);
+                    }
                     (sink, counters, snaps)
                 });
                 *results[idx].lock().unwrap() = Some(out);
@@ -430,6 +475,15 @@ where
         Ok::<(), MrError>(())
     })?;
 
+    // The non-reduce counters (map phase or chain intake) are attributed
+    // to the job scope as one pre-merged batch: per-worker attribution
+    // would depend on which worker claimed which split, and the log's
+    // byte layout must not.
+    if tracing {
+        let mut rec = TraceRecorder::new(Scope::job(0), true);
+        record_counter_totals(&mut rec, &counters);
+        rec.flush_into(&dispatcher);
+    }
     let mut sinks = Vec::with_capacity(reducers);
     let mut snapshots = Vec::with_capacity(reducers);
     for slot in results {
@@ -441,11 +495,21 @@ where
         snapshots.push(snaps);
         sinks.push(sink);
     }
+    let trace = dispatcher.finish();
+    // Eat our own dogfood: with tracing on, the counters the caller sees
+    // are *derived from the log* (equal to the direct merge by
+    // construction — the trace carries every task's totals).
+    let counters = if tracing {
+        Counters::from_trace(&trace)
+    } else {
+        counters
+    };
     Ok(SinkedRun {
         sinks,
         counters,
         reports: Vec::new(),
         snapshots,
+        trace,
     })
 }
 
@@ -459,6 +523,8 @@ pub(crate) struct SinkedRun<A: Application, S> {
     pub reports: Vec<DriverReport>,
     /// Per-reducer published snapshots.
     pub snapshots: Vec<Vec<Snapshot<A>>>,
+    /// The run's structured trace (empty when tracing is disabled).
+    pub trace: TraceLog,
 }
 
 impl<A: Application, S: ReduceSink<A>> SinkedRun<A, S> {
@@ -472,6 +538,7 @@ impl<A: Application, S: ReduceSink<A>> SinkedRun<A, S> {
             counters: self.counters,
             reports: self.reports,
             snapshots: self.snapshots,
+            trace: self.trace,
         }
     }
 }
@@ -536,6 +603,8 @@ impl LocalRunner {
         cfg.validate()?;
         let started = Instant::now();
         let reducers = cfg.reducers;
+        let tracing = cfg.trace.is_enabled();
+        let dispatcher = TraceDispatcher::new(tracing);
         let mut counters = Counters::new();
         let mut partitions: Vec<Vec<(A::MapKey, A::MapValue)>> =
             (0..reducers).map(|_| Vec::new()).collect();
@@ -568,6 +637,11 @@ impl LocalRunner {
         let mut reports = Vec::new();
         let mut snapshots: Vec<Vec<Snapshot<A>>> = Vec::with_capacity(reducers);
         for (r, records) in partitions.into_iter().enumerate() {
+            let t0 = started.elapsed().as_secs_f64();
+            let span_kind = match &cfg.engine {
+                Engine::Barrier => SpanKind::SortReduce,
+                Engine::BarrierLess { .. } => SpanKind::ShuffleReduce,
+            };
             match &cfg.engine {
                 Engine::Barrier => {
                     let absorbed = records.len() as u64;
@@ -590,12 +664,37 @@ impl LocalRunner {
                     snapshots.push(snaps);
                 }
             }
+            if tracing {
+                let mut rec = TraceRecorder::new(
+                    Scope::task(0, TaskKind::Reduce, r as u32, 0, NO_NODE),
+                    true,
+                );
+                rec.span_wall(span_kind, t0, started.elapsed().as_secs_f64());
+                for s in snapshots.last().into_iter().flatten() {
+                    rec.snapshot_wall(s.at_secs, s.seq, s.records_absorbed, s.live_entries as u64);
+                }
+                rec.flush_into(&dispatcher);
+            }
         }
+        // Single-threaded path: every counter (map and reduce alike) is
+        // already merged, so the whole total is one job-scope batch.
+        if tracing {
+            let mut rec = TraceRecorder::new(Scope::job(0), true);
+            record_counter_totals(&mut rec, &counters);
+            rec.flush_into(&dispatcher);
+        }
+        let trace = dispatcher.finish();
+        let counters = if tracing {
+            Counters::from_trace(&trace)
+        } else {
+            counters
+        };
         Ok(JobOutput {
             partitions: outputs,
             counters,
             reports,
             snapshots,
+            trace,
         })
     }
 
@@ -632,6 +731,8 @@ impl LocalRunner {
         let started = Instant::now();
         let reducers = cfg.reducers;
         let n_splits = splits.len();
+        let tracing = cfg.trace.is_enabled();
+        let map_trace: Mutex<Vec<TraceBatch>> = Mutex::new(Vec::new());
         let combining = combining_active(app, cfg);
         let combine_budget = cfg.combiner.budget_bytes().unwrap_or(0) as usize;
         // Map phase: workers claim splits by index so per-split output
@@ -652,6 +753,7 @@ impl LocalRunner {
                 let slots = &slots;
                 let next = &next;
                 let map_counters = &map_counters;
+                let map_trace = &map_trace;
                 handles.push(scope.spawn(move || {
                     let mut local_counters = Counters::new();
                     loop {
@@ -659,6 +761,7 @@ impl LocalRunner {
                         if idx >= n_splits {
                             break;
                         }
+                        let t0 = started.elapsed().as_secs_f64();
                         let mut parts: Vec<Vec<(A::MapKey, A::MapValue)>> =
                             (0..reducers).map(|_| Vec::new()).collect();
                         if combining {
@@ -694,6 +797,14 @@ impl LocalRunner {
                             }
                         }
                         *slots[idx].lock().unwrap() = Some(parts);
+                        if tracing {
+                            let mut rec = TraceRecorder::new(
+                                Scope::task(0, TaskKind::Map, idx as u32, 0, NO_NODE),
+                                true,
+                            );
+                            rec.span_wall(SpanKind::Map, t0, started.elapsed().as_secs_f64());
+                            map_trace.lock().unwrap().push(rec.into_batch());
+                        }
                     }
                     map_counters.lock().unwrap().merge(&local_counters);
                 }));
@@ -722,6 +833,7 @@ impl LocalRunner {
             partitions,
             started,
             map_counters.into_inner().unwrap(),
+            map_trace.into_inner().unwrap(),
             make_sink,
         )
     }
@@ -761,6 +873,8 @@ impl LocalRunner {
         let started = Instant::now();
         let reducers = cfg.reducers;
         let n_splits = splits.len();
+        let tracing = cfg.trace.is_enabled();
+        let dispatcher = TraceDispatcher::new(tracing);
         let mut senders: Vec<Sender<Batch<A>>> = Vec::with_capacity(reducers);
         let mut receivers: Vec<Receiver<Batch<A>>> = Vec::with_capacity(reducers);
         for _ in 0..reducers {
@@ -789,7 +903,9 @@ impl LocalRunner {
                 let batch_pool = &batch_pool;
                 let cfg_ref = cfg;
                 let sink = make_sink(r);
+                let dispatcher = &dispatcher;
                 reduce_handles.push(scope.spawn(move || {
+                    let t0 = started.elapsed().as_secs_f64();
                     let result = pipelined_reduce_task(
                         app,
                         cfg_ref,
@@ -805,6 +921,29 @@ impl LocalRunner {
                     // mappers get a send error instead of waiting on a
                     // consumer that's gone, and a streaming sink's
                     // downstream sees EOF.
+                    if tracing {
+                        if let Ok((_, _, task_counters, snaps)) = &result {
+                            let mut rec = TraceRecorder::new(
+                                Scope::task(0, TaskKind::Reduce, r as u32, 0, NO_NODE),
+                                true,
+                            );
+                            rec.span_wall(
+                                SpanKind::ShuffleReduce,
+                                t0,
+                                started.elapsed().as_secs_f64(),
+                            );
+                            for s in snaps {
+                                rec.snapshot_wall(
+                                    s.at_secs,
+                                    s.seq,
+                                    s.records_absorbed,
+                                    s.live_entries as u64,
+                                );
+                            }
+                            record_counter_totals(&mut rec, task_counters);
+                            rec.flush_into(dispatcher);
+                        }
+                    }
                     *reduce_slots[r].lock().unwrap() = Some(result);
                 }));
             }
@@ -818,6 +957,7 @@ impl LocalRunner {
                 let next = &next;
                 let map_counters = &map_counters;
                 let batch_pool = &batch_pool;
+                let dispatcher = &dispatcher;
                 map_handles.push(scope.spawn(move || {
                     let mut emitter =
                         ShuffleEmitter::new(app, cfg, partitioner, senders, batch_pool);
@@ -826,6 +966,7 @@ impl LocalRunner {
                         if idx >= n_splits {
                             break;
                         }
+                        let t0 = started.elapsed().as_secs_f64();
                         {
                             let emitter = &mut emitter;
                             let mut emit =
@@ -833,6 +974,14 @@ impl LocalRunner {
                             for (k, v) in &splits[idx] {
                                 app.map(k, v, &mut emit);
                             }
+                        }
+                        if tracing {
+                            let mut rec = TraceRecorder::new(
+                                Scope::task(0, TaskKind::Map, idx as u32, 0, NO_NODE),
+                                true,
+                            );
+                            rec.span_wall(SpanKind::Map, t0, started.elapsed().as_secs_f64());
+                            rec.flush_into(dispatcher);
                         }
                         if emitter.is_dead() {
                             break;
@@ -857,6 +1006,14 @@ impl LocalRunner {
         })?;
 
         let mut counters = map_counters.into_inner().unwrap();
+        // Map counters are attributed to the job scope pre-merged: which
+        // worker mapped which split is scheduling-dependent, and the
+        // log's byte layout must not be.
+        if tracing {
+            let mut rec = TraceRecorder::new(Scope::job(0), true);
+            record_counter_totals(&mut rec, &counters);
+            rec.flush_into(&dispatcher);
+        }
         let mut sinks = Vec::with_capacity(reducers);
         let mut reports = Vec::with_capacity(reducers);
         let mut snapshots = Vec::with_capacity(reducers);
@@ -868,11 +1025,18 @@ impl LocalRunner {
             reports.push(report);
             snapshots.push(snaps);
         }
+        let trace = dispatcher.finish();
+        let counters = if tracing {
+            Counters::from_trace(&trace)
+        } else {
+            counters
+        };
         Ok(SinkedRun {
             sinks,
             counters,
             reports,
             snapshots,
+            trace,
         })
     }
 }

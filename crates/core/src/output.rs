@@ -4,6 +4,7 @@ use crate::counters::Counters;
 use crate::engine::DriverReport;
 use crate::snapshot::Snapshot;
 use crate::traits::Application;
+use mr_trace::TraceLog;
 
 /// Everything a finished job hands back: per-partition output plus
 /// counters, per-reducer store reports, and any published snapshots.
@@ -23,6 +24,12 @@ pub struct JobOutput<A: Application> {
     /// so at most one appears per partition — which is the paper's
     /// point: a barrier job has nothing observable before the barrier.
     pub snapshots: Vec<Vec<Snapshot<A>>>,
+    /// The run's structured trace, when the effective
+    /// [`TracePolicy`](crate::TracePolicy) enables it (empty otherwise).
+    /// Populated by [`LocalRunner`](crate::local::LocalRunner); the
+    /// simulated executors surface their trace on the sim report instead
+    /// and leave this empty. Query with [`TraceQuery`](crate::TraceQuery).
+    pub trace: TraceLog,
 }
 
 impl<A: Application> JobOutput<A> {

@@ -1,0 +1,113 @@
+//! Counter labels: static for the well-known names, interned-owned for
+//! dynamic ones.
+
+use std::borrow::Borrow;
+use std::cmp::Ordering;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
+
+/// A counter label. The engines' well-known names stay `&'static str`
+/// (zero-cost, exactly as `Counters` always keyed them); dynamic labels
+/// — per-tenant, per-stage — carry a cheaply clonable interned string.
+/// Equality, ordering and hashing all go through the string content, so
+/// a dynamic `"map.output.records"` and the static constant are the same
+/// key.
+#[derive(Debug, Clone)]
+pub enum Label {
+    /// A well-known compile-time name.
+    Static(&'static str),
+    /// A runtime-built name (shared, so clones are pointer bumps).
+    Owned(Arc<str>),
+}
+
+impl Label {
+    /// The label text.
+    pub fn as_str(&self) -> &str {
+        match self {
+            Label::Static(s) => s,
+            Label::Owned(s) => s,
+        }
+    }
+
+    /// Builds an owned (dynamic) label.
+    pub fn owned(s: impl Into<Arc<str>>) -> Self {
+        Label::Owned(s.into())
+    }
+}
+
+impl PartialEq for Label {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_str() == other.as_str()
+    }
+}
+
+impl Eq for Label {}
+
+impl PartialOrd for Label {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Label {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.as_str().cmp(other.as_str())
+    }
+}
+
+impl Hash for Label {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.as_str().hash(state);
+    }
+}
+
+impl Borrow<str> for Label {
+    fn borrow(&self) -> &str {
+        self.as_str()
+    }
+}
+
+impl fmt::Display for Label {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl From<&'static str> for Label {
+    fn from(s: &'static str) -> Self {
+        Label::Static(s)
+    }
+}
+
+impl From<String> for Label {
+    fn from(s: String) -> Self {
+        Label::Owned(s.into())
+    }
+}
+
+impl From<Arc<str>> for Label {
+    fn from(s: Arc<str>) -> Self {
+        Label::Owned(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+
+    #[test]
+    fn static_and_owned_compare_by_content() {
+        let a = Label::Static("x.y");
+        let b = Label::owned(String::from("x.y"));
+        assert_eq!(a, b);
+        assert_eq!(a.cmp(&b), Ordering::Equal);
+        let mut m: BTreeMap<Label, u64> = BTreeMap::new();
+        m.insert(a, 1);
+        *m.entry(b).or_insert(0) += 2;
+        assert_eq!(m.len(), 1);
+        // Borrow<str> allows str-keyed lookup.
+        assert_eq!(m.get("x.y"), Some(&3));
+    }
+}
