@@ -98,10 +98,19 @@ fn barrierless() -> Engine {
     }
 }
 
+/// Config shared by the many-jobs pool bench and its thread-per-task
+/// baseline: 2 reducers, 4 pool workers, barrier-less in-memory engine.
+fn many_jobs_cfg() -> JobConfig {
+    JobConfig::new(2)
+        .engine(barrierless())
+        .pool_workers(4)
+        .scratch_dir(std::env::temp_dir().join(format!("mr-bench-json-{}", std::process::id())))
+}
+
 fn main() {
     let out_path = std::env::args()
         .nth(1)
-        .unwrap_or_else(|| "BENCH_7.json".to_string());
+        .unwrap_or_else(|| "BENCH_8.json".to_string());
     let splits = wc_splits(12);
     let mut results = Vec::new();
 
@@ -116,6 +125,68 @@ fn main() {
             .expect("barrier run");
         out.counters.get(names::MAP_OUTPUT_RECORDS)
     }));
+
+    // The same job pinned to a 4-thread worker pool: the single-job
+    // cost of running task state machines instead of thread-per-task.
+    results.push(bench("local_wordcount_pool", || {
+        let cfg = local_cfg(barrierless(), CombinerPolicy::Disabled).pool_workers(4);
+        let out = LocalRunner::new(4)
+            .run(&mr_apps::WordCount, splits.clone(), &cfg)
+            .expect("pooled run");
+        out.counters.get(names::MAP_OUTPUT_RECORDS)
+    }));
+
+    // The pool runtime's headline: 256 small jobs multiplexed onto one
+    // 4-worker pool, against a thread-per-task-style baseline (each job
+    // run alone with a pool wide enough to give every task its own
+    // thread, jobs back to back — the pre-pool runtime's costs
+    // reproduced on today's API). records/sec is total map-output
+    // records across the batch.
+    let many_jobs_inputs: Vec<Vec<Vec<(u64, String)>>> = (0..256u64)
+        .map(|j| {
+            let w = TextWorkload {
+                seed: j,
+                vocab: 200,
+                zipf_s: 1.0,
+                lines_per_chunk: 10,
+                words_per_line: 6,
+            };
+            (0..2).map(|c| w.chunk(c)).collect()
+        })
+        .collect();
+    {
+        let jobs = many_jobs_inputs.clone();
+        results.push(bench("local_many_jobs_pool", move || {
+            let cfg = many_jobs_cfg();
+            let batch = LocalRunner::new(2)
+                .run_many(&mr_apps::WordCount, jobs.clone(), &cfg, &HashPartitioner)
+                .expect("batch");
+            batch
+                .jobs
+                .iter()
+                .map(|j| {
+                    j.as_ref()
+                        .expect("job")
+                        .counters
+                        .get(names::MAP_OUTPUT_RECORDS)
+                })
+                .sum()
+        }));
+    }
+    {
+        let jobs = many_jobs_inputs;
+        results.push(bench("local_many_jobs_thread_per_task", move || {
+            let mut total = 0;
+            for job in &jobs {
+                let cfg = many_jobs_cfg();
+                let out = LocalRunner::new(2)
+                    .run(&mr_apps::WordCount, job.clone(), &cfg)
+                    .expect("job");
+                total += out.counters.get(names::MAP_OUTPUT_RECORDS);
+            }
+            total
+        }));
+    }
 
     // The shuffle hot path: batched transport, records/sec is the
     // headline number the batching work moves.

@@ -68,6 +68,12 @@ pub struct ClusterParams {
     /// force. Sweeps that only need final numbers can switch trace
     /// export off cluster-wide.
     pub trace: Option<TracePolicy>,
+    /// Worker-pool width override for jobs replayed on the *local*
+    /// executor (`JobConfig::pool_workers`). `Some` wins over the job's
+    /// own knob; `None` leaves the job's choice in force. The simulator
+    /// itself schedules by slots, not OS threads, so this only matters
+    /// when a cluster-configured job is handed to [`mr_core::LocalRunner`].
+    pub pool_workers: Option<usize>,
     /// Master seed for placement, heterogeneity and noise.
     pub seed: u64,
 }
@@ -92,6 +98,7 @@ impl ClusterParams {
             speculation: None,
             deadline: None,
             trace: None,
+            pool_workers: None,
             seed,
         }
     }
@@ -121,6 +128,9 @@ impl ClusterParams {
         }
         if let Some(policy) = self.trace {
             cfg.trace = policy;
+        }
+        if let Some(workers) = self.pool_workers {
+            cfg.pool_workers = workers;
         }
         cfg
     }
@@ -183,9 +193,12 @@ mod tests {
             .deadline(DeadlinePolicy::At { secs: 50.0 })
             .trace(TracePolicy::Disabled);
 
+        let job = job.pool_workers(3);
+
         // No overrides set: the job's own knobs pass through untouched.
         let p = ClusterParams::paper_testbed(1);
         let eff = p.effective_config(&job);
+        assert_eq!(eff.pool_workers, 3);
         assert_eq!(eff.combiner, job.combiner);
         assert_eq!(eff.store_index, StoreIndex::Ordered);
         assert_eq!(eff.snapshots, SnapshotPolicy::EveryRecords { records: 7 });
@@ -201,7 +214,9 @@ mod tests {
         p.speculation = Some(SpeculationPolicy::Disabled);
         p.deadline = Some(DeadlinePolicy::Disabled);
         p.trace = Some(TracePolicy::Enabled);
+        p.pool_workers = Some(8);
         let eff = p.effective_config(&job);
+        assert_eq!(eff.pool_workers, 8);
         assert_eq!(eff.combiner, CombinerPolicy::Enabled { budget_bytes: 999 });
         assert_eq!(eff.store_index, StoreIndex::Hashed);
         assert_eq!(eff.snapshots, SnapshotPolicy::Disabled);

@@ -93,27 +93,55 @@ fn same_seed_sim_trace_is_byte_identical() {
 
 #[test]
 fn same_seed_local_trace_is_byte_identical() {
-    // One worker thread: with more, the pipelined engine's shuffle
-    // batching counters depend on OS scheduling (legacy behaviour the
-    // trace faithfully reproduces), so the determinism claim is
-    // per-schedule there.
+    // Determinism across *pool widths*, not just across repeat runs:
+    // task state machines claim splits from a shared queue, but every
+    // span is scoped by split/reducer index and shuffle batch
+    // boundaries are cut by byte budget, so which OS thread ran what
+    // leaves no fingerprint in the canonical stream.
     for engine in [Engine::Barrier, Engine::barrierless()] {
-        let cfg = JobConfig::new(4)
-            .engine(engine.clone())
-            .scratch_dir(scratch("local-det"));
-        let run = || {
-            LocalRunner::new(1)
-                .run(&WordCount, local_splits(), &cfg)
-                .expect("local run")
-        };
-        let (a, b) = (run(), run());
-        let sa = a.trace.to_canonical_string();
-        assert!(sa.lines().count() > 10, "{engine:?}: trace too small");
-        assert_eq!(
-            sa,
-            b.trace.to_canonical_string(),
-            "{engine:?}: same input produced different local traces"
-        );
+        let mut traces = Vec::new();
+        for workers in [1usize, 2, 4] {
+            let cfg = JobConfig::new(4)
+                .engine(engine.clone())
+                .pool_workers(workers)
+                .scratch_dir(scratch("local-det"));
+            let run = || {
+                LocalRunner::new(4)
+                    .run(&WordCount, local_splits(), &cfg)
+                    .expect("local run")
+            };
+            let (a, b) = (run(), run());
+            let sa = a.trace.to_canonical_string();
+            assert!(sa.lines().count() > 10, "{engine:?}: trace too small");
+            assert_eq!(
+                sa,
+                b.trace.to_canonical_string(),
+                "{engine:?}/{workers}w: same input produced different local traces"
+            );
+            // Batch accounting is part of the determinism claim now
+            // that boundaries are cut by byte budget rather than
+            // channel timing: pinned, identical at every width.
+            if matches!(engine, Engine::BarrierLess { .. }) {
+                assert_eq!(
+                    a.counters.get(names::SHUFFLE_BATCHES),
+                    24,
+                    "{engine:?}/{workers}w: batch count moved"
+                );
+                assert_eq!(
+                    a.counters.get(names::SHUFFLE_BATCH_REUSE),
+                    0,
+                    "{engine:?}/{workers}w: modelled reuse moved"
+                );
+            }
+            traces.push((workers, sa));
+        }
+        let (_, ref one_worker) = traces[0];
+        for (workers, trace) in &traces[1..] {
+            assert_eq!(
+                trace, one_worker,
+                "{engine:?}: {workers}-worker trace differs from 1-worker trace"
+            );
+        }
     }
 }
 
@@ -142,10 +170,11 @@ fn sim_tracing_off_is_pure_observation() {
 fn local_tracing_off_preserves_output_and_spill_cadence() {
     // A spill threshold low enough to trip on every reducer, so the
     // spill cadence (files written, bytes, merge passes) is a live
-    // signal and not trivially zero. One worker thread: spill instants
-    // depend on record-arrival interleaving, so with more workers the
-    // cadence varies run to run (with or without tracing) and an
-    // on-vs-off comparison would measure scheduling, not observation.
+    // signal and not trivially zero. Pinned to a one-worker pool: spill
+    // instants depend on record-arrival interleaving, so with wider
+    // pools the cadence varies run to run (with or without tracing)
+    // and an on-vs-off comparison would measure scheduling, not
+    // observation.
     let engine = Engine::BarrierLess {
         memory: MemoryPolicy::SpillMerge {
             threshold_bytes: 4 << 10,
@@ -155,6 +184,7 @@ fn local_tracing_off_preserves_output_and_spill_cadence() {
         let cfg = JobConfig::new(4)
             .engine(engine.clone())
             .trace(policy)
+            .pool_workers(1)
             .scratch_dir(scratch("local-spill"));
         LocalRunner::new(1)
             .run(&WordCount, local_splits(), &cfg)

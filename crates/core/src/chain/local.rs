@@ -1,5 +1,5 @@
 //! The chain driver for [`LocalRunner`]: runs a [`ChainSpec`] for real
-//! on OS threads.
+//! on the shared worker pool.
 //!
 //! Under [`HandoffMode::Barrier`] each stage runs to completion and its
 //! materialized output is adapted into the next stage's input splits —
@@ -9,11 +9,14 @@
 //! emits is adapted and pushed into a bounded batched channel (one per
 //! upstream partition — the same transport shape the shuffle uses), and
 //! a downstream *map intake* task per channel runs the next stage's map
-//! function on records as they arrive. Downstream map work therefore
-//! overlaps upstream reduce work; back-pressure is preserved end to end
-//! (a slow downstream reducer stalls its intake, which fills the handoff
-//! channel, which stalls the upstream reducer, which stalls the upstream
-//! mappers).
+//! function on records as they arrive. All stages' task state machines
+//! are spawned onto **one** `Pool` and driven by a fixed number of OS
+//! threads (the max of the stages' `pool_workers` knobs), so a K-stage
+//! chain no longer costs K stages' worth of threads. Back-pressure is
+//! preserved end to end without holding a thread anywhere: a slow
+//! downstream reducer stalls its intake, which fills the handoff
+//! channel, which *parks* the upstream reduce task until the channel
+//! drains.
 //!
 //! # Determinism
 //!
@@ -28,22 +31,19 @@
 //! partition follows the stream interleaving.
 
 use crate::chain::{ChainOutput, ChainableApplication, StageStats};
-use crate::combine::CombinerBuffer;
-use crate::config::{ChainSpec, Engine, HandoffMode, JobConfig};
+use crate::config::{ChainSpec, HandoffMode};
 use crate::counters::{names, Counters};
 use crate::error::{MrError, MrResult};
+use crate::local::pool::{Ctx, Pool, PoolSender, TrySend};
 use crate::local::{
-    barrier_reduce_sinked, combining_active, pipelined_reduce_task, record_counter_totals, Batch,
-    LocalRunner, ReduceSink, ShuffleEmitter, SinkedRun, BATCH_CHANNEL_DEPTH,
+    build_stage, collect_stage, LocalRunner, ReduceSink, SinkedRun, StageInput, StageState,
+    BATCH_CHANNEL_DEPTH,
 };
 use crate::output::JobOutput;
 use crate::partition::Partitioner;
-use crate::traits::{Application, Emit, FnEmit};
-use crossbeam::channel::{bounded, Receiver, Sender};
-use mr_trace::{
-    Scope, SpanKind, TaskKind, TraceBatch, TraceDispatcher, TraceEvent, TraceInstant, TraceLog,
-    TraceRecorder, NO_NODE,
-};
+use crate::traits::{Application, Emit};
+use mr_trace::{Scope, TraceEvent, TraceInstant, TraceLog};
+use std::collections::VecDeque;
 use std::sync::Mutex;
 use std::time::Instant;
 
@@ -51,9 +51,12 @@ use std::time::Instant;
 /// types.
 type Handoff<B> = Vec<(<B as Application>::InKey, <B as Application>::InValue)>;
 
-/// One stage's map-intake channel: the stream of record batches arriving
-/// from one upstream reduce partition.
-type Intake<X> = Receiver<Handoff<X>>;
+/// A materialized output partition of stage `X`.
+type StageOut<X> = Vec<(<X as Application>::OutKey, <X as Application>::OutValue)>;
+
+/// The sink a middle stage of a homogeneous chain reduces into: a
+/// handoff to another stage of the same application type.
+type MidSink<'a, A> = HandoffSink<'a, A, <A as Application>::OutKey, <A as Application>::OutValue>;
 
 /// Per-boundary handoff bookkeeping, merged from every upstream sink.
 #[derive(Debug, Default)]
@@ -74,15 +77,22 @@ impl HandoffStats {
 
 /// The streaming reduce-output sink: adapts each upstream output record
 /// to the downstream input type and ships byte-budgeted batches into the
-/// downstream map intake channel. One sink per upstream reduce task;
-/// dropping the sender on [`done`](ReduceSink::done) is the per-partition
-/// EOF.
+/// downstream map intake channel. One sink per upstream reduce task.
+///
+/// Sends never block the worker thread: a full channel moves the staged
+/// batch to a local pending queue that the owning reduce task drains via
+/// [`pump`](ReduceSink::pump), parking until the intake makes room.
+/// Batch accounting happens at staging time — a pure function of the
+/// emission stream — so handoff counters are schedule-independent.
+/// Dropping the sender on [`close`](ReduceSink::close) is the
+/// per-partition EOF.
 struct HandoffSink<'a, B, UK, UV>
 where
     B: ChainableApplication<UK, UV>,
 {
     downstream: &'a B,
-    tx: Option<Sender<Handoff<B>>>,
+    tx: Option<PoolSender<Handoff<B>>>,
+    pending: VecDeque<Handoff<B>>,
     buf: Handoff<B>,
     buf_bytes: usize,
     batch_bytes: usize,
@@ -101,7 +111,7 @@ where
 {
     fn new(
         downstream: &'a B,
-        tx: Sender<Handoff<B>>,
+        tx: PoolSender<Handoff<B>>,
         batch_bytes: usize,
         stats: &'a Mutex<HandoffStats>,
         started: Instant,
@@ -109,6 +119,7 @@ where
         HandoffSink {
             downstream,
             tx: Some(tx),
+            pending: VecDeque::new(),
             buf: Vec::new(),
             buf_bytes: 0,
             batch_bytes,
@@ -122,20 +133,55 @@ where
         }
     }
 
-    fn flush(&mut self) {
+    /// Cuts the current buffer into a staged batch and tries an
+    /// opportunistic non-blocking send; a full channel queues the batch
+    /// for [`pump_pending`]. A disconnected channel means the downstream
+    /// stage died (the job is failing): stop shipping.
+    fn stage(&mut self) {
         self.buf_bytes = 0;
         if self.buf.is_empty() {
             return;
         }
         let batch = std::mem::take(&mut self.buf);
         self.batches += 1;
+        if !self.pending.is_empty() {
+            self.pending.push_back(batch);
+            return;
+        }
         if let Some(tx) = &self.tx {
-            // A send error means the downstream stage died (the job is
-            // failing); stop shipping.
-            if tx.send(batch).is_err() {
-                self.tx = None;
+            match tx.try_send_now(batch) {
+                Ok(()) => {}
+                Err(TrySend::Full(batch)) => self.pending.push_back(batch),
+                Err(TrySend::Disconnected(_)) => {
+                    self.tx = None;
+                    self.pending.clear();
+                }
             }
         }
+    }
+
+    /// Drains queued batches toward the intake; `false` means the
+    /// channel is full and the owning task should park.
+    fn pump_pending(&mut self, cx: &Ctx) -> bool {
+        let Some(tx) = &self.tx else {
+            self.pending.clear();
+            return true;
+        };
+        while let Some(batch) = self.pending.pop_front() {
+            match tx.try_send(cx, batch) {
+                Ok(()) => {}
+                Err(TrySend::Full(batch)) => {
+                    self.pending.push_front(batch);
+                    return false;
+                }
+                Err(TrySend::Disconnected(_)) => {
+                    self.tx = None;
+                    self.pending.clear();
+                    return true;
+                }
+            }
+        }
+        true
     }
 }
 
@@ -153,7 +199,7 @@ where
         self.bytes += rec_bytes as u64;
         self.buf.push(self.downstream.adapt_input(key, value));
         if self.buf_bytes >= self.batch_bytes {
-            self.flush();
+            self.stage();
         }
     }
 }
@@ -169,8 +215,15 @@ where
         self.emitted
     }
 
-    fn done(&mut self) {
-        self.flush();
+    fn pump(&mut self, cx: &Ctx) -> bool {
+        self.pump_pending(cx)
+    }
+
+    fn seal(&mut self) {
+        self.stage();
+    }
+
+    fn close(&mut self) {
         self.tx = None; // EOF for this upstream partition
         let mut stats = self.stats.lock().unwrap();
         stats.records += self.emitted;
@@ -185,307 +238,6 @@ where
     fn into_partition(self) -> Vec<(A::OutKey, A::OutValue)> {
         Vec::new() // the records are downstream already
     }
-}
-
-/// Runs one *streamed* stage: map intake tasks (one per upstream
-/// partition) consume adapted record batches from `intakes` as they
-/// arrive and feed the stage's own engine — the pipelined shuffle with
-/// concurrent reducers, or per-intake collection followed by the barrier
-/// reduce. The stage's reduce output goes to `make_sink` sinks, so
-/// streamed stages compose into chains of any length.
-fn run_streamed_stage<X, P, S, F>(
-    app: &X,
-    cfg: &JobConfig,
-    intakes: Vec<Intake<X>>,
-    partitioner: &P,
-    make_sink: F,
-    started: Instant,
-) -> MrResult<SinkedRun<X, S>>
-where
-    X: Application,
-    P: Partitioner<X::MapKey>,
-    S: ReduceSink<X>,
-    F: Fn(usize) -> S,
-{
-    match &cfg.engine {
-        Engine::BarrierLess { .. } => {
-            streamed_stage_pipelined(app, cfg, intakes, partitioner, make_sink, started)
-        }
-        Engine::Barrier => {
-            streamed_stage_barrier(app, cfg, intakes, partitioner, make_sink, started)
-        }
-    }
-}
-
-fn streamed_stage_pipelined<X, P, S, F>(
-    app: &X,
-    cfg: &JobConfig,
-    intakes: Vec<Intake<X>>,
-    partitioner: &P,
-    make_sink: F,
-    started: Instant,
-) -> MrResult<SinkedRun<X, S>>
-where
-    X: Application,
-    P: Partitioner<X::MapKey>,
-    S: ReduceSink<X>,
-    F: Fn(usize) -> S,
-{
-    let reducers = cfg.reducers;
-    let tracing = cfg.trace.is_enabled();
-    let dispatcher = TraceDispatcher::new(tracing);
-    let mut senders: Vec<Sender<Batch<X>>> = Vec::with_capacity(reducers);
-    let mut receivers: Vec<Receiver<Batch<X>>> = Vec::with_capacity(reducers);
-    for _ in 0..reducers {
-        let (tx, rx) = bounded(BATCH_CHANNEL_DEPTH);
-        senders.push(tx);
-        receivers.push(rx);
-    }
-    let batch_pool: Mutex<Vec<Batch<X>>> = Mutex::new(Vec::new());
-    let batch_pool_cap = reducers * BATCH_CHANNEL_DEPTH;
-    let intake_counters = Mutex::new(Counters::new());
-    type ReduceResult<X, S> = MrResult<(
-        S,
-        crate::engine::DriverReport,
-        Counters,
-        Vec<crate::snapshot::Snapshot<X>>,
-    )>;
-    let reduce_slots: Vec<Mutex<Option<ReduceResult<X, S>>>> =
-        (0..reducers).map(|_| Mutex::new(None)).collect();
-
-    std::thread::scope(|scope| {
-        let mut reduce_handles = Vec::new();
-        for (r, rx) in receivers.into_iter().enumerate() {
-            let reduce_slots = &reduce_slots;
-            let batch_pool = &batch_pool;
-            let sink = make_sink(r);
-            let dispatcher = &dispatcher;
-            reduce_handles.push(scope.spawn(move || {
-                let t0 = started.elapsed().as_secs_f64();
-                let result = pipelined_reduce_task(
-                    app,
-                    cfg,
-                    r,
-                    rx,
-                    batch_pool,
-                    batch_pool_cap,
-                    started,
-                    sink,
-                );
-                if tracing {
-                    if let Ok((_, _, task_counters, snaps)) = &result {
-                        let mut rec = TraceRecorder::new(
-                            Scope::task(0, TaskKind::Reduce, r as u32, 0, NO_NODE),
-                            true,
-                        );
-                        rec.span_wall(SpanKind::ShuffleReduce, t0, started.elapsed().as_secs_f64());
-                        for s in snaps {
-                            rec.snapshot_wall(
-                                s.at_secs,
-                                s.seq,
-                                s.records_absorbed,
-                                s.live_entries as u64,
-                            );
-                        }
-                        record_counter_totals(&mut rec, task_counters);
-                        rec.flush_into(dispatcher);
-                    }
-                }
-                *reduce_slots[r].lock().unwrap() = Some(result);
-            }));
-        }
-
-        // Map intake tasks: one per upstream partition, consuming record
-        // batches as the upstream reducer emits them.
-        let mut intake_handles = Vec::new();
-        for (i, rx) in intakes.into_iter().enumerate() {
-            let senders = senders.clone();
-            let batch_pool = &batch_pool;
-            let intake_counters = &intake_counters;
-            let dispatcher = &dispatcher;
-            intake_handles.push(scope.spawn(move || {
-                let t0 = started.elapsed().as_secs_f64();
-                let mut emitter = ShuffleEmitter::new(app, cfg, partitioner, senders, batch_pool);
-                for batch in rx.iter() {
-                    // A dead emitter means a reducer died (the job is
-                    // failing): keep draining the intake so the upstream
-                    // stage never blocks on a full handoff channel, but
-                    // stop mapping.
-                    if emitter.is_dead() {
-                        continue;
-                    }
-                    for (k, v) in batch {
-                        let emitter = &mut emitter;
-                        let mut emit = FnEmit(|mk: X::MapKey, mv: X::MapValue| {
-                            emitter.push(mk, mv);
-                        });
-                        app.map(&k, &v, &mut emit);
-                    }
-                }
-                emitter.flush();
-                if tracing {
-                    let mut rec = TraceRecorder::new(
-                        Scope::task(0, TaskKind::Map, i as u32, 0, NO_NODE),
-                        true,
-                    );
-                    rec.span_wall(SpanKind::Map, t0, started.elapsed().as_secs_f64());
-                    rec.flush_into(dispatcher);
-                }
-                intake_counters
-                    .lock()
-                    .unwrap()
-                    .merge(&emitter.into_counters());
-            }));
-        }
-        drop(senders); // reducers see EOF once all intakes finish
-
-        for h in intake_handles {
-            h.join()
-                .map_err(|_| MrError::WorkerPanic("chain map intake panicked".to_string()))?;
-        }
-        for h in reduce_handles {
-            h.join()
-                .map_err(|_| MrError::WorkerPanic("reduce worker panicked".to_string()))?;
-        }
-        Ok::<(), MrError>(())
-    })?;
-
-    let mut counters = intake_counters.into_inner().unwrap();
-    // Intake counters are attributed to the job scope pre-merged: which
-    // intake drained which records is upstream-timing-dependent.
-    if tracing {
-        let mut rec = TraceRecorder::new(Scope::job(0), true);
-        record_counter_totals(&mut rec, &counters);
-        rec.flush_into(&dispatcher);
-    }
-    let mut sinks = Vec::with_capacity(reducers);
-    let mut reports = Vec::with_capacity(reducers);
-    let mut snapshots = Vec::with_capacity(reducers);
-    for slot in reduce_slots {
-        let (sink, report, task_counters, snaps) =
-            slot.into_inner().unwrap().expect("every reducer ran")?;
-        counters.merge(&task_counters);
-        sinks.push(sink);
-        reports.push(report);
-        snapshots.push(snaps);
-    }
-    let trace = dispatcher.finish();
-    let counters = if tracing {
-        Counters::from_trace(&trace)
-    } else {
-        counters
-    };
-    Ok(SinkedRun {
-        sinks,
-        counters,
-        reports,
-        snapshots,
-        trace,
-    })
-}
-
-fn streamed_stage_barrier<X, P, S, F>(
-    app: &X,
-    cfg: &JobConfig,
-    intakes: Vec<Intake<X>>,
-    partitioner: &P,
-    make_sink: F,
-    started: Instant,
-) -> MrResult<SinkedRun<X, S>>
-where
-    X: Application,
-    P: Partitioner<X::MapKey>,
-    S: ReduceSink<X>,
-    F: Fn(usize) -> S,
-{
-    let reducers = cfg.reducers;
-    let n_intakes = intakes.len();
-    // Map intakes run concurrently with the upstream stage (map-side
-    // overlap); the stage's own barrier holds its *reduce* side until
-    // every intake has drained. Per-intake partition buffers are
-    // concatenated in intake order, so the reduce input is a
-    // deterministic function of the upstream emission streams.
-    let slots: Vec<Mutex<Option<Vec<Batch<X>>>>> =
-        (0..n_intakes).map(|_| Mutex::new(None)).collect();
-    let intake_counters = Mutex::new(Counters::new());
-    let tracing = cfg.trace.is_enabled();
-    let intake_trace: Mutex<Vec<TraceBatch>> = Mutex::new(Vec::new());
-    std::thread::scope(|scope| {
-        let mut handles = Vec::new();
-        for (i, rx) in intakes.into_iter().enumerate() {
-            let slots = &slots;
-            let intake_counters = &intake_counters;
-            let intake_trace = &intake_trace;
-            handles.push(scope.spawn(move || {
-                let t0 = started.elapsed().as_secs_f64();
-                let combining = combining_active(app, cfg);
-                let budget = cfg.combiner.budget_bytes().unwrap_or(0) as usize;
-                let mut counters = Counters::new();
-                let mut parts: Vec<Batch<X>> = (0..reducers).map(|_| Vec::new()).collect();
-                let mut combs: Vec<CombinerBuffer<X>> = if combining {
-                    (0..reducers)
-                        .map(|_| CombinerBuffer::new(app, budget, cfg.store_index))
-                        .collect()
-                } else {
-                    Vec::new()
-                };
-                for batch in rx.iter() {
-                    for (k, v) in batch {
-                        let mut emit = FnEmit(|mk: X::MapKey, mv: X::MapValue| {
-                            counters.incr(names::MAP_OUTPUT_RECORDS);
-                            let p = partitioner.partition(&mk, reducers);
-                            if combining {
-                                let sink = &mut parts[p];
-                                combs[p].push(app, mk, mv, &mut |k2, v2| sink.push((k2, v2)));
-                            } else {
-                                parts[p].push((mk, mv));
-                            }
-                        });
-                        app.map(&k, &v, &mut emit);
-                    }
-                }
-                for (p, comb) in combs.iter_mut().enumerate() {
-                    let sink = &mut parts[p];
-                    comb.drain(app, &mut |k2, v2| sink.push((k2, v2)));
-                    counters.add(names::COMBINE_INPUT_RECORDS, comb.records_in());
-                    counters.add(names::COMBINE_OUTPUT_RECORDS, comb.records_out());
-                }
-                *slots[i].lock().unwrap() = Some(parts);
-                if tracing {
-                    let mut rec = TraceRecorder::new(
-                        Scope::task(0, TaskKind::Map, i as u32, 0, NO_NODE),
-                        true,
-                    );
-                    rec.span_wall(SpanKind::Map, t0, started.elapsed().as_secs_f64());
-                    intake_trace.lock().unwrap().push(rec.into_batch());
-                }
-                intake_counters.lock().unwrap().merge(&counters);
-            }));
-        }
-        for h in handles {
-            h.join()
-                .map_err(|_| MrError::WorkerPanic("chain map intake panicked".to_string()))?;
-        }
-        Ok::<(), MrError>(())
-    })?;
-
-    let mut partitions: Vec<Batch<X>> = (0..reducers).map(|_| Vec::new()).collect();
-    for slot in slots {
-        let parts = slot.into_inner().unwrap().expect("every intake drained");
-        for (p, mut records) in parts.into_iter().enumerate() {
-            partitions[p].append(&mut records);
-        }
-    }
-    barrier_reduce_sinked(
-        reducers,
-        app,
-        cfg,
-        partitions,
-        started,
-        intake_counters.into_inner().unwrap(),
-        intake_trace.into_inner().unwrap(),
-        make_sink,
-    )
 }
 
 /// Builds one stage's [`StageStats`] from its finished run's parts —
@@ -526,8 +278,8 @@ struct StageParts {
 /// dropping the sinks (and with them their borrows of the shared stats).
 fn into_stage_parts<X: Application, S>(
     run: SinkedRun<X, S>,
-) -> (Counters, Vec<crate::engine::DriverReport>, TraceLog) {
-    (run.counters, run.reports, run.trace)
+) -> (Counters, Vec<crate::engine::DriverReport>, TraceLog, f64) {
+    (run.counters, run.reports, run.trace, run.finished_secs)
 }
 
 /// Appends stage `job`'s chain-boundary events to the chain log: the
@@ -654,7 +406,8 @@ impl LocalRunner {
     ///
     /// Under the barrier handoff this is literally the sequential
     /// baseline (run job 1, materialize, run job 2); under the streaming
-    /// handoff job 2's map intake overlaps job 1's reduce stage.
+    /// handoff both stages' task graphs share one worker pool and job
+    /// 2's map intake overlaps job 1's reduce stage.
     pub fn run_chain2<A, B, PA, PB>(
         &self,
         first: &A,
@@ -667,8 +420,8 @@ impl LocalRunner {
     where
         A: Application,
         B: ChainableApplication<A::OutKey, A::OutValue>,
-        PA: Partitioner<A::MapKey>,
-        PB: Partitioner<B::MapKey>,
+        PA: Partitioner<A::MapKey> + Sync,
+        PB: Partitioner<B::MapKey> + Sync,
     {
         spec.validate()?;
         if spec.len() != 2 {
@@ -695,8 +448,8 @@ impl LocalRunner {
     where
         A: Application,
         B: ChainableApplication<A::OutKey, A::OutValue>,
-        PA: Partitioner<A::MapKey>,
-        PB: Partitioner<B::MapKey>,
+        PA: Partitioner<A::MapKey> + Sync,
+        PB: Partitioner<B::MapKey> + Sync,
     {
         let started = Instant::now();
         let out1 = self.run_with_partitioner(first, splits, &spec.stages[0], pa)?;
@@ -738,53 +491,62 @@ impl LocalRunner {
     where
         A: Application,
         B: ChainableApplication<A::OutKey, A::OutValue>,
-        PA: Partitioner<A::MapKey>,
-        PB: Partitioner<B::MapKey>,
+        PA: Partitioner<A::MapKey> + Sync,
+        PB: Partitioner<B::MapKey> + Sync,
     {
         let started = Instant::now();
         let cfg1 = &spec.stages[0];
         let cfg2 = &spec.stages[1];
-        let r1 = cfg1.reducers;
-        let mut txs: Vec<Sender<Handoff<B>>> = Vec::with_capacity(r1);
-        let mut rxs: Vec<Receiver<Handoff<B>>> = Vec::with_capacity(r1);
-        for _ in 0..r1 {
-            let (tx, rx) = bounded(BATCH_CHANNEL_DEPTH);
+        let batch_bytes = spec.chain.handoff_batch_bytes;
+        // Declared before the stage states: stage 1's sinks borrow it.
+        let stats = Mutex::new(HandoffStats::default());
+        let state1: StageState<A, HandoffSink<'_, B, A::OutKey, A::OutValue>> =
+            StageState::new(cfg1, splits.len());
+        let state2: StageState<B, StageOut<B>> = StageState::new(cfg2, cfg1.reducers);
+        let mut pool = Pool::new();
+        let mut txs: Vec<PoolSender<Handoff<B>>> = Vec::with_capacity(cfg1.reducers);
+        let mut rxs = Vec::with_capacity(cfg1.reducers);
+        for _ in 0..cfg1.reducers {
+            let (tx, rx) = pool.channel::<Handoff<B>>(BATCH_CHANNEL_DEPTH);
             txs.push(tx);
             rxs.push(rx);
         }
-        let stats = Mutex::new(HandoffStats::default());
-        let batch_bytes = spec.chain.handoff_batch_bytes;
-
-        let (run1, secs1, run2, secs2) = std::thread::scope(|scope| {
-            // Downstream first: its intakes must be draining before the
-            // upstream stage can fill the bounded handoff channels.
-            let stage2 = scope.spawn(|| {
-                let run = run_streamed_stage(second, cfg2, rxs, pb, |_| Vec::new(), started);
-                (run, started.elapsed().as_secs_f64())
-            });
-            let make_sink =
-                |r: usize| HandoffSink::new(second, txs[r].clone(), batch_bytes, &stats, started);
-            let run1 = match &cfg1.engine {
-                Engine::Barrier => self.run_barrier_sinked(first, splits, cfg1, pa, make_sink),
-                Engine::BarrierLess { .. } => {
-                    self.run_pipelined_sinked(first, splits, cfg1, pa, make_sink)
-                }
+        build_stage(
+            &mut pool,
+            &state2,
+            second,
+            cfg2,
+            pb,
+            StageInput::Intakes(rxs),
+            self.map_threads,
+            |_| Vec::new(),
+        )?;
+        {
+            let txs = &txs;
+            let stats = &stats;
+            let make_sink = move |r: usize| {
+                HandoffSink::new(second, txs[r].clone(), batch_bytes, stats, started)
             };
-            let secs1 = started.elapsed().as_secs_f64();
-            drop(txs); // the last EOF: stage 2 intakes drain out
-            let (run2, secs2) = stage2
-                .join()
-                .map_err(|_| MrError::WorkerPanic("chain stage thread panicked".to_string()))?;
-            Ok::<_, MrError>((run1, secs1, run2, secs2))
-        })?;
+            build_stage(
+                &mut pool,
+                &state1,
+                first,
+                cfg1,
+                pa,
+                StageInput::Splits(&splits),
+                self.map_threads,
+                make_sink,
+            )?;
+        }
+        drop(txs); // sinks hold the only senders: EOF when they close
+        pool.run(cfg1.pool_workers.max(cfg2.pool_workers))?;
 
-        let (counters1, reports1, trace1) = into_stage_parts(run1?);
-        let mut run2 = run2?;
-        let stats = stats.into_inner().unwrap();
+        let (counters1, reports1, trace1, secs1) = into_stage_parts(collect_stage(state1)?);
+        let mut run2 = collect_stage(state2)?;
         let part1 = StageParts {
             counters: counters1,
             reports: reports1,
-            handoff: Some(stats),
+            handoff: Some(stats.into_inner().unwrap()),
             finished_secs: secs1,
             trace: trace1,
         };
@@ -792,7 +554,7 @@ impl LocalRunner {
             counters: run2.counters.clone(),
             reports: run2.reports.clone(),
             handoff: None,
-            finished_secs: secs2,
+            finished_secs: run2.finished_secs,
             trace: std::mem::take(&mut run2.trace),
         };
         Ok(assemble_chain(
@@ -808,11 +570,12 @@ impl LocalRunner {
     /// branch must use the same partition count (upstream partition `i`
     /// of every branch feeds downstream map intake `i`).
     ///
-    /// Under the streaming handoff the branches run concurrently and
-    /// their emissions interleave into the shared intake channels; under
-    /// the barrier handoff the branches run sequentially and intake `i`
-    /// is the branch-ordered concatenation of every branch's partition
-    /// `i` output.
+    /// Under the streaming handoff every branch's task graph and the
+    /// downstream stage share one worker pool, and branch emissions
+    /// interleave into the shared intake channels; under the barrier
+    /// handoff the branches run sequentially and intake `i` is the
+    /// branch-ordered concatenation of every branch's partition `i`
+    /// output.
     #[allow(clippy::too_many_arguments, clippy::type_complexity)]
     pub fn run_chain_fanin2<A, B, PA, PB>(
         &self,
@@ -826,8 +589,8 @@ impl LocalRunner {
     where
         A: Application,
         B: ChainableApplication<A::OutKey, A::OutValue>,
-        PA: Partitioner<A::MapKey>,
-        PB: Partitioner<B::MapKey>,
+        PA: Partitioner<A::MapKey> + Sync,
+        PB: Partitioner<B::MapKey> + Sync,
     {
         spec.validate_fan_in(firsts.len())?;
         if branch_splits.len() != firsts.len() {
@@ -874,73 +637,78 @@ impl LocalRunner {
         // Streaming fan-in: every branch's reducer i ships into the
         // shared intake channel i; EOF when the last branch's sink (and
         // the originals held here) drop.
-        let mut txs: Vec<Sender<Handoff<B>>> = Vec::with_capacity(r1);
-        let mut rxs: Vec<Receiver<Handoff<B>>> = Vec::with_capacity(r1);
-        for _ in 0..r1 {
-            let (tx, rx) = bounded(BATCH_CHANNEL_DEPTH);
-            txs.push(tx);
-            rxs.push(rx);
-        }
+        let batch_bytes = spec.chain.handoff_batch_bytes;
         let branch_stats: Vec<Mutex<HandoffStats>> = (0..branches)
             .map(|_| Mutex::new(HandoffStats::default()))
             .collect();
-        let batch_bytes = spec.chain.handoff_batch_bytes;
-
-        let (branch_runs, run2, secs2) = std::thread::scope(|scope| {
-            let stage2 = scope.spawn(|| {
-                let run = run_streamed_stage(second, cfg2, rxs, pb, |_| Vec::new(), started);
-                (run, started.elapsed().as_secs_f64())
-            });
-            let mut branch_handles = Vec::with_capacity(branches);
-            for (b, (app, splits)) in firsts.iter().zip(branch_splits).enumerate() {
-                let cfg = &spec.stages[b];
-                let txs_b: Vec<Sender<Handoff<B>>> = txs.clone();
-                let stats = &branch_stats[b];
-                branch_handles.push(scope.spawn(move || {
-                    let make_sink = |r: usize| {
-                        HandoffSink::new(second, txs_b[r].clone(), batch_bytes, stats, started)
-                    };
-                    let run = match &cfg.engine {
-                        Engine::Barrier => {
-                            self.run_barrier_sinked(*app, splits, cfg, pa, make_sink)
-                        }
-                        Engine::BarrierLess { .. } => {
-                            self.run_pipelined_sinked(*app, splits, cfg, pa, make_sink)
-                        }
-                    };
-                    (run, started.elapsed().as_secs_f64())
-                }));
-            }
-            let mut branch_runs = Vec::with_capacity(branches);
-            for h in branch_handles {
-                branch_runs.push(h.join().map_err(|_| {
-                    MrError::WorkerPanic("chain branch thread panicked".to_string())
-                })?);
-            }
-            drop(txs);
-            let (run2, secs2) = stage2
-                .join()
-                .map_err(|_| MrError::WorkerPanic("chain stage thread panicked".to_string()))?;
-            Ok::<_, MrError>((branch_runs, run2, secs2))
-        })?;
+        let branch_states: Vec<StageState<A, HandoffSink<'_, B, A::OutKey, A::OutValue>>> =
+            branch_splits
+                .iter()
+                .enumerate()
+                .map(|(b, splits)| StageState::new(&spec.stages[b], splits.len()))
+                .collect();
+        let state2: StageState<B, Vec<(B::OutKey, B::OutValue)>> = StageState::new(cfg2, r1);
+        let mut pool = Pool::new();
+        let mut txs: Vec<PoolSender<Handoff<B>>> = Vec::with_capacity(r1);
+        let mut rxs = Vec::with_capacity(r1);
+        for _ in 0..r1 {
+            let (tx, rx) = pool.channel::<Handoff<B>>(BATCH_CHANNEL_DEPTH);
+            txs.push(tx);
+            rxs.push(rx);
+        }
+        build_stage(
+            &mut pool,
+            &state2,
+            second,
+            cfg2,
+            pb,
+            StageInput::Intakes(rxs),
+            self.map_threads,
+            |_| Vec::new(),
+        )?;
+        for (b, (app, splits)) in firsts.iter().zip(&branch_splits).enumerate() {
+            let txs = &txs;
+            let stats = &branch_stats[b];
+            let make_sink = move |r: usize| {
+                HandoffSink::new(second, txs[r].clone(), batch_bytes, stats, started)
+            };
+            build_stage(
+                &mut pool,
+                &branch_states[b],
+                *app,
+                &spec.stages[b],
+                pa,
+                StageInput::Splits(splits),
+                self.map_threads,
+                make_sink,
+            )?;
+        }
+        drop(txs);
+        let workers = spec
+            .stages
+            .iter()
+            .map(|c| c.pool_workers)
+            .max()
+            .unwrap_or(1);
+        pool.run(workers)?;
 
         let mut parts = Vec::with_capacity(branches + 1);
-        for ((run, secs), stats) in branch_runs.into_iter().zip(&branch_stats) {
-            let (counters, reports, trace) = into_stage_parts(run?);
+        for (state, stats) in branch_states.into_iter().zip(&branch_stats) {
+            let (counters, reports, trace, finished_secs) = into_stage_parts(collect_stage(state)?);
             parts.push(StageParts {
                 counters,
                 reports,
                 handoff: Some(std::mem::take(&mut *stats.lock().unwrap())),
-                finished_secs: secs,
+                finished_secs,
                 trace,
             });
         }
-        let mut run2 = run2?;
+        let mut run2 = collect_stage(state2)?;
         parts.push(StageParts {
             counters: run2.counters.clone(),
             reports: run2.reports.clone(),
             handoff: None,
-            finished_secs: secs2,
+            finished_secs: run2.finished_secs,
             trace: std::mem::take(&mut run2.trace),
         });
         Ok(assemble_chain(
@@ -957,10 +725,11 @@ impl LocalRunner {
     /// iterative-job driver (e.g. one genetic-algorithm generation per
     /// stage).
     ///
-    /// Under the streaming handoff all K stages are live at once: stage
-    /// `j + 1`'s map intake absorbs stage `j`'s reducer emissions as they
-    /// happen, so an entire iterative pipeline runs with no inter-job
-    /// barrier anywhere.
+    /// Under the streaming handoff all K stages are live at once on one
+    /// worker pool: stage `j + 1`'s map intake absorbs stage `j`'s
+    /// reducer emissions as they happen, so an entire iterative pipeline
+    /// runs with no inter-job barrier anywhere — and no per-stage thread
+    /// tree either.
     pub fn run_chain_iter<A, P>(
         &self,
         app: &A,
@@ -970,7 +739,7 @@ impl LocalRunner {
     ) -> MrResult<ChainOutput<A>>
     where
         A: ChainableApplication<<A as Application>::OutKey, <A as Application>::OutValue>,
-        P: Partitioner<A::MapKey>,
+        P: Partitioner<A::MapKey> + Sync,
     {
         spec.validate()?;
         let k = spec.len();
@@ -1019,116 +788,116 @@ impl LocalRunner {
             ));
         }
 
-        // Streaming: all K stages live, connected by K-1 channel
-        // boundaries (boundary j carries stage j's output into stage
-        // j+1's intake; its channel count is stage j's reducer count).
+        // Streaming: all K stages live on one pool, connected by K-1
+        // channel boundaries (boundary j carries stage j's output into
+        // stage j+1's intake; its channel count is stage j's reducer
+        // count).
         let started = Instant::now();
         let batch_bytes = spec.chain.handoff_batch_bytes;
-        let mut boundary_txs: Vec<Option<Vec<Sender<Handoff<A>>>>> = Vec::with_capacity(k - 1);
-        let mut boundary_rxs: Vec<Option<Vec<Receiver<Handoff<A>>>>> = Vec::with_capacity(k - 1);
+        // Declared before the states: the middle stages' sinks borrow it.
+        let stats: Vec<Mutex<HandoffStats>> = (0..k - 1)
+            .map(|_| Mutex::new(HandoffStats::default()))
+            .collect();
+        let mid_states: Vec<StageState<A, MidSink<'_, A>>> = (0..k - 1)
+            .map(|j| {
+                let n_map_slots = if j == 0 {
+                    splits.len()
+                } else {
+                    spec.stages[j - 1].reducers
+                };
+                StageState::new(&spec.stages[j], n_map_slots)
+            })
+            .collect();
+        let last_state: StageState<A, StageOut<A>> =
+            StageState::new(&spec.stages[k - 1], spec.stages[k - 2].reducers);
+        let mut pool = Pool::new();
+        let mut boundary_txs: Vec<Vec<PoolSender<Handoff<A>>>> = Vec::with_capacity(k - 1);
+        let mut boundary_rxs: Vec<Option<Vec<_>>> = Vec::with_capacity(k - 1);
         for j in 0..k - 1 {
             let n = spec.stages[j].reducers;
             let mut txs = Vec::with_capacity(n);
             let mut rxs = Vec::with_capacity(n);
             for _ in 0..n {
-                let (tx, rx) = bounded(BATCH_CHANNEL_DEPTH);
+                let (tx, rx) = pool.channel::<Handoff<A>>(BATCH_CHANNEL_DEPTH);
                 txs.push(tx);
                 rxs.push(rx);
             }
-            boundary_txs.push(Some(txs));
+            boundary_txs.push(txs);
             boundary_rxs.push(Some(rxs));
         }
-        let stats: Vec<Mutex<HandoffStats>> = (0..k - 1)
-            .map(|_| Mutex::new(HandoffStats::default()))
-            .collect();
-
-        let (run0, secs0, middles, last) = std::thread::scope(|scope| {
-            // Final stage first, then the middle stages, then stage 0 on
-            // this thread — consumers exist before producers fill their
-            // bounded channels.
-            let final_intakes = boundary_rxs[k - 2].take().expect("one taker");
-            let cfg_last = &spec.stages[k - 1];
-            let final_handle = scope.spawn(move || {
-                let run = run_streamed_stage(
-                    app,
-                    cfg_last,
-                    final_intakes,
-                    partitioner,
-                    |_| Vec::new(),
-                    started,
-                );
-                (run, started.elapsed().as_secs_f64())
-            });
-            let mut middle_handles = Vec::with_capacity(k.saturating_sub(2));
-            for j in 1..k - 1 {
-                let intakes = boundary_rxs[j - 1].take().expect("one taker");
-                let txs_j = boundary_txs[j].take().expect("one taker");
-                let cfg = &spec.stages[j];
-                let stats_j = &stats[j];
-                middle_handles.push(scope.spawn(move || {
-                    let make_sink = |r: usize| {
-                        HandoffSink::new(app, txs_j[r].clone(), batch_bytes, stats_j, started)
-                    };
-                    let run =
-                        run_streamed_stage(app, cfg, intakes, partitioner, make_sink, started);
-                    (run, started.elapsed().as_secs_f64())
-                }));
-            }
-            let txs0 = boundary_txs[0].take().expect("one taker");
-            let make_sink =
-                |r: usize| HandoffSink::new(app, txs0[r].clone(), batch_bytes, &stats[0], started);
-            let cfg0 = &spec.stages[0];
-            let run0 = match &cfg0.engine {
-                Engine::Barrier => {
-                    self.run_barrier_sinked(app, splits, cfg0, partitioner, make_sink)
-                }
-                Engine::BarrierLess { .. } => {
-                    self.run_pipelined_sinked(app, splits, cfg0, partitioner, make_sink)
-                }
+        build_stage(
+            &mut pool,
+            &last_state,
+            app,
+            &spec.stages[k - 1],
+            partitioner,
+            StageInput::Intakes(boundary_rxs[k - 2].take().expect("one taker")),
+            self.map_threads,
+            |_| Vec::new(),
+        )?;
+        for j in 1..k - 1 {
+            let txs_j = &boundary_txs[j];
+            let stats_j = &stats[j];
+            let make_sink = move |r: usize| {
+                HandoffSink::new(app, txs_j[r].clone(), batch_bytes, stats_j, started)
             };
-            let secs0 = started.elapsed().as_secs_f64();
-            drop(txs0);
-            let mut middles = Vec::with_capacity(middle_handles.len());
-            for h in middle_handles {
-                middles.push(h.join().map_err(|_| {
-                    MrError::WorkerPanic("chain stage thread panicked".to_string())
-                })?);
-            }
-            let last = final_handle
-                .join()
-                .map_err(|_| MrError::WorkerPanic("chain stage thread panicked".to_string()))?;
-            Ok::<_, MrError>((run0, secs0, middles, last))
-        })?;
+            build_stage(
+                &mut pool,
+                &mid_states[j],
+                app,
+                &spec.stages[j],
+                partitioner,
+                StageInput::Intakes(boundary_rxs[j - 1].take().expect("one taker")),
+                self.map_threads,
+                make_sink,
+            )?;
+        }
+        {
+            let txs_0 = &boundary_txs[0];
+            let stats_0 = &stats[0];
+            let make_sink = move |r: usize| {
+                HandoffSink::new(app, txs_0[r].clone(), batch_bytes, stats_0, started)
+            };
+            build_stage(
+                &mut pool,
+                &mid_states[0],
+                app,
+                &spec.stages[0],
+                partitioner,
+                StageInput::Splits(&splits),
+                self.map_threads,
+                make_sink,
+            )?;
+        }
+        drop(boundary_txs);
+        let workers = spec
+            .stages
+            .iter()
+            .map(|c| c.pool_workers)
+            .max()
+            .unwrap_or(1);
+        pool.run(workers)?;
 
         let mut parts = Vec::with_capacity(k);
         let mut handoffs = stats
             .iter()
             .map(|m| std::mem::take(&mut *m.lock().unwrap()));
-        let (counters0, reports0, trace0) = into_stage_parts(run0?);
-        parts.push(StageParts {
-            counters: counters0,
-            reports: reports0,
-            handoff: handoffs.next(),
-            finished_secs: secs0,
-            trace: trace0,
-        });
-        for (run, secs) in middles {
-            let (counters, reports, trace) = into_stage_parts(run?);
+        for state in mid_states {
+            let (counters, reports, trace, finished_secs) = into_stage_parts(collect_stage(state)?);
             parts.push(StageParts {
                 counters,
                 reports,
                 handoff: handoffs.next(),
-                finished_secs: secs,
+                finished_secs,
                 trace,
             });
         }
-        let (run_last, secs_last) = last;
-        let mut run_last = run_last?;
+        let mut run_last = collect_stage(last_state)?;
         parts.push(StageParts {
             counters: run_last.counters.clone(),
             reports: run_last.reports.clone(),
             handoff: None,
-            finished_secs: secs_last,
+            finished_secs: run_last.finished_secs,
             trace: std::mem::take(&mut run_last.trace),
         });
         Ok(assemble_chain(
@@ -1143,7 +912,7 @@ impl LocalRunner {
 mod tests {
     use super::*;
     use crate::chain::InputAdapter;
-    use crate::config::{ChainConfig, MemoryPolicy, StoreIndex};
+    use crate::config::{ChainConfig, Engine, JobConfig, MemoryPolicy, StoreIndex};
     use crate::partition::HashPartitioner;
     use crate::testutil::{scratch_dir, WordCountApp};
 
@@ -1365,44 +1134,59 @@ mod tests {
 
     #[test]
     fn downstream_oom_fails_the_chain_without_hanging() {
-        let splits = text_splits(6, 40);
-        let cfg1 = JobConfig::new(2).engine(Engine::barrierless());
-        let mut cfg2 = JobConfig::new(1).engine(Engine::barrierless());
-        cfg2.heap_cap_bytes = Some(16); // dies on the first few records
-        let err = LocalRunner::new(4).run_chain2(
-            &WordCountApp,
-            &histogram(),
-            splits,
-            &spec2(cfg1, cfg2, HandoffMode::Streaming),
-            &HashPartitioner,
-            &HashPartitioner,
-        );
-        assert!(
-            matches!(err, Err(MrError::OutOfMemory { .. })),
-            "expected downstream OOM, got {:?}",
-            err.err().map(|e| e.to_string())
-        );
+        // Swept across pool widths: a dead downstream intake must
+        // unblock parked upstream senders whether they share one
+        // worker thread or spread over several.
+        for workers in [1usize, 2, 4] {
+            let splits = text_splits(6, 40);
+            let cfg1 = JobConfig::new(2)
+                .engine(Engine::barrierless())
+                .pool_workers(workers);
+            let mut cfg2 = JobConfig::new(1)
+                .engine(Engine::barrierless())
+                .pool_workers(workers);
+            cfg2.heap_cap_bytes = Some(16); // dies on the first few records
+            let err = LocalRunner::new(4).run_chain2(
+                &WordCountApp,
+                &histogram(),
+                splits,
+                &spec2(cfg1, cfg2, HandoffMode::Streaming),
+                &HashPartitioner,
+                &HashPartitioner,
+            );
+            assert!(
+                matches!(err, Err(MrError::OutOfMemory { .. })),
+                "{workers}w: expected downstream OOM, got {:?}",
+                err.err().map(|e| e.to_string())
+            );
+        }
     }
 
     #[test]
     fn upstream_oom_fails_the_chain_without_hanging() {
-        let splits = text_splits(6, 40);
-        let mut cfg1 = JobConfig::new(2).engine(Engine::barrierless());
-        cfg1.heap_cap_bytes = Some(16);
-        let cfg2 = JobConfig::new(2).engine(Engine::barrierless());
-        let err = LocalRunner::new(4).run_chain2(
-            &WordCountApp,
-            &histogram(),
-            splits,
-            &spec2(cfg1, cfg2, HandoffMode::Streaming),
-            &HashPartitioner,
-            &HashPartitioner,
-        );
-        assert!(
-            matches!(err, Err(MrError::OutOfMemory { .. })),
-            "expected upstream OOM, got {:?}",
-            err.err().map(|e| e.to_string())
-        );
+        for workers in [1usize, 2, 4] {
+            let splits = text_splits(6, 40);
+            let mut cfg1 = JobConfig::new(2)
+                .engine(Engine::barrierless())
+                .pool_workers(workers);
+            cfg1.heap_cap_bytes = Some(16);
+            let cfg2 = JobConfig::new(2)
+                .engine(Engine::barrierless())
+                .pool_workers(workers);
+            let err = LocalRunner::new(4).run_chain2(
+                &WordCountApp,
+                &histogram(),
+                splits,
+                &spec2(cfg1, cfg2, HandoffMode::Streaming),
+                &HashPartitioner,
+                &HashPartitioner,
+            );
+            assert!(
+                matches!(err, Err(MrError::OutOfMemory { .. })),
+                "{workers}w: expected upstream OOM, got {:?}",
+                err.err().map(|e| e.to_string())
+            );
+        }
     }
 
     #[test]

@@ -496,6 +496,7 @@ impl Engine {
 /// | `speculation` | [`speculation`](JobConfig::speculation) | `speculation` (`Some` wins) | `Disabled` |
 /// | `deadline` | [`deadline`](JobConfig::deadline) | `deadline` (`Some` wins) | `Disabled` |
 /// | `trace` | [`trace`](JobConfig::trace) | `trace` (`Some` wins) | `Enabled` |
+/// | `pool_workers` | [`pool_workers`](JobConfig::pool_workers) | `pool_workers` (`Some` wins) | available parallelism |
 #[derive(Debug, Clone)]
 pub struct JobConfig {
     /// Number of reduce tasks (partitions).
@@ -543,6 +544,13 @@ pub struct JobConfig {
     /// [`TracePolicy::Enabled`] by default; disabling yields empty
     /// trace/derived views but byte-identical job output.
     pub trace: TracePolicy,
+    /// Number of OS threads in the local executor's worker pool. Every
+    /// task (map, reduce, chain intake, handoff) is a state machine
+    /// multiplexed over this many threads, so the thread count is bounded
+    /// by the pool — not by splits × reducers × chain stages. Defaults to
+    /// the machine's available parallelism. Output is byte-identical at
+    /// any width; `1` additionally makes task interleaving deterministic.
+    pub pool_workers: usize,
     /// Seed for anything stochastic inside the engines (none today, but
     /// carried so runs stay reproducible end to end).
     pub seed: u64,
@@ -565,6 +573,9 @@ impl JobConfig {
             speculation: SpeculationPolicy::Disabled,
             deadline: DeadlinePolicy::Disabled,
             trace: TracePolicy::Enabled,
+            pool_workers: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
             seed: 0,
         }
     }
@@ -637,6 +648,13 @@ impl JobConfig {
         self
     }
 
+    /// Sets the worker-pool width for the local executor.
+    pub fn pool_workers(mut self, workers: usize) -> Self {
+        assert!(workers >= 1);
+        self.pool_workers = workers;
+        self
+    }
+
     /// Sets the seed.
     pub fn seed(mut self, seed: u64) -> Self {
         self.seed = seed;
@@ -658,6 +676,9 @@ impl JobConfig {
         }
         if self.shuffle_batch_bytes == 0 {
             return bad("shuffle_batch_bytes must be >= 1 (0 would never flush a batch)");
+        }
+        if self.pool_workers == 0 {
+            return bad("pool_workers must be >= 1 (a zero-width pool never runs a task)");
         }
         if !(self.heap_scale.is_finite() && self.heap_scale > 0.0) {
             return bad(format!(
@@ -826,6 +847,10 @@ mod tests {
         let mut cfg = JobConfig::new(1);
         cfg.shuffle_batch_bytes = 0;
         check(cfg, "shuffle_batch_bytes");
+
+        let mut cfg = JobConfig::new(1);
+        cfg.pool_workers = 0;
+        check(cfg, "pool_workers");
 
         let mut cfg = JobConfig::new(1);
         cfg.heap_scale = 0.0;

@@ -22,9 +22,11 @@ pub enum CounterName {
     CombineOutputRecords,
     /// Record batches handed to the shuffle transport (local executor).
     ShuffleBatches,
-    /// Shuffle batches built on a recycled buffer from the free-list
-    /// (drained by a reducer, handed back to the mappers) instead of a
-    /// fresh allocation.
+    /// Shuffle batches that ran past the transport channel's depth and
+    /// so were built on a recycled buffer rather than a fresh
+    /// allocation. Modelled deterministically from batch counts (per
+    /// channel, `batches.saturating_sub(depth)`), not sampled from
+    /// free-list timing, so the value is schedule-independent.
     ShuffleBatchReuse,
     /// Records that actually crossed the shuffle (post-combine).
     ShuffleRecords,
@@ -145,7 +147,7 @@ pub mod names {
     pub const COMBINE_OUTPUT_RECORDS: CounterName = CounterName::CombineOutputRecords;
     /// Record batches handed to the shuffle transport (local executor).
     pub const SHUFFLE_BATCHES: CounterName = CounterName::ShuffleBatches;
-    /// Shuffle batches built on a recycled buffer from the free-list.
+    /// Shuffle batches past channel depth, modelled as buffer reuse.
     pub const SHUFFLE_BATCH_REUSE: CounterName = CounterName::ShuffleBatchReuse;
     /// Records that actually crossed the shuffle (post-combine).
     pub const SHUFFLE_RECORDS: CounterName = CounterName::ShuffleRecords;

@@ -19,8 +19,11 @@
 //! in-tree FxHash map ([`hash`]) whose key ordering is recovered by one
 //! amortized sort at drain time — byte-identical output either way.
 //!
-//! [`local::LocalRunner`] executes jobs for real on OS threads with true
-//! map→reduce pipelining; the `mr-cluster` crate executes the same
+//! [`local::LocalRunner`] executes jobs for real on a fixed-size worker
+//! pool ([`local::pool`]) with true map→reduce pipelining: task state
+//! machines multiplex onto [`JobConfig::pool_workers`] OS threads, so
+//! hundreds of concurrent jobs ([`local::LocalRunner::run_many`]) run
+//! with a bounded thread count. The `mr-cluster` crate executes the same
 //! [`Application`]s on a simulated 16-node cluster to regenerate the
 //! paper's figures.
 
@@ -54,6 +57,8 @@ pub use counters::{CounterName, Counters};
 // The unified trace pipeline this crate's executors emit into.
 pub use error::{MrError, MrResult};
 pub use hash::{FxBuildHasher, FxHashMap, FxHasher};
+pub use local::pool::{pool_thread_high_water, PoolReport};
+pub use local::{LocalRunner, ManyJobsOutput, PoolStats};
 pub use mr_trace::{
     Label, Scope, SpanKind, SpanRec, SpecEvent, SpecTaskKind, TaskKind, TraceBatch,
     TraceDispatcher, TraceEntry, TraceEvent, TraceInstant, TraceLog, TraceQuery, TraceRecorder,

@@ -1,37 +1,51 @@
 //! The real multi-threaded local executor.
 //!
-//! Runs a job for real on OS threads — not a simulation. Under the
-//! barrier engine, the map phase completes, per-partition record vectors
-//! are handed to parallel reduce tasks, and each reduce sorts-then-groups.
-//! Under the barrier-less engine, mappers stream records into bounded
-//! per-reducer channels while reducer threads absorb them concurrently —
-//! genuine map/reduce pipelining on multicore, the local analogue of the
-//! paper's overlapped shuffle.
+//! Runs a job for real on OS threads — not a simulation. Since PR 8 the
+//! executor is a **fixed-size worker pool** ([`pool`]): every mapper,
+//! reducer, chain intake and handoff is a cooperative *task state
+//! machine* driven from a ready queue by `JobConfig::pool_workers` OS
+//! threads. A task blocked on a full or empty shuffle channel parks
+//! (holding no thread) and is re-enqueued when the channel has room or
+//! data, so hundreds of small concurrent jobs multiplex on N cores with
+//! a bounded thread count — see [`LocalRunner::run_many`].
 //!
-//! The shuffle transport is **batched**: each map worker buffers records
+//! Under the barrier engine, map tasks claim splits from a shared
+//! cursor, per-split partitioned output lands in deterministic slots, an
+//! assembly task concatenates them in split order behind a gate, and one
+//! grouped sort-reduce task per partition runs after the barrier. Under
+//! the barrier-less engine, map tasks stream records into bounded
+//! per-reducer channels while reduce tasks absorb them concurrently —
+//! genuine map/reduce pipelining, the local analogue of the paper's
+//! overlapped shuffle.
+//!
+//! The shuffle transport is **batched**: each map task buffers records
 //! per reducer under [`JobConfig::shuffle_batch_bytes`] and hands whole
 //! batches to the channel, so the per-record cost of the hot path is one
 //! `Vec` push instead of one channel rendezvous. Back-pressure is
-//! preserved — the batch channels are bounded, and a full reducer still
-//! stalls its mappers. Batch buffers are **recycled**: reducers drain a
-//! batch in place and hand the empty `Vec` (capacity intact) back to the
-//! mappers through a shared free-list, so steady-state shuffling does no
-//! per-batch allocation (`shuffle.batch_reuse` counts the round trips).
-//! When the application opts into map-side combining
-//! ([`Application::combine_enabled`]), those per-reducer buffers become
-//! [`CombinerBuffer`]s: records are pre-aggregated under the combiner
-//! byte budget and the shuffle carries combined partials instead of raw
-//! records.
+//! preserved — the batch channels are bounded, and a full reducer parks
+//! its mappers. Batch boundaries are decided **per split by byte
+//! budget**, never by channel timing, so `shuffle.batches` and
+//! `shuffle.records` are deterministic at any pool width.
+//! `shuffle.batch_reuse` is likewise *modelled* from those deterministic
+//! batch counts (every batch beyond a channel's depth must reuse a
+//! drained buffer); the physical free-list that recycles buffers still
+//! runs, it just no longer drives the counter. When the application opts
+//! into map-side combining ([`Application::combine_enabled`]), the
+//! per-reducer buffers become [`CombinerBuffer`]s: records are
+//! pre-aggregated under the combiner byte budget and the shuffle carries
+//! combined partials instead of raw records (combiners drain at each
+//! split boundary, keeping their batch cuts deterministic too).
 //!
 //! With a [`SnapshotPolicy`](crate::SnapshotPolicy) enabled, pipelined
-//! reducer threads additionally publish consistent point-in-time
-//! snapshots of their partial results — early estimates of the final
-//! answer — between batches, over a frozen view of the store (absorb is
-//! never stalled by a lock and final output is untouched). The barrier
-//! engine has no partial state to observe, so its reducers publish
-//! exactly one snapshot each: their finished output.
+//! reduce tasks additionally publish consistent point-in-time snapshots
+//! of their partial results — early estimates of the final answer —
+//! between batches, over a frozen view of the store (absorb is never
+//! stalled by a lock and final output is untouched). The barrier engine
+//! has no partial state to observe, so its reducers publish exactly one
+//! snapshot each: their finished output.
 
 pub mod memo;
+pub mod pool;
 
 use crate::combine::CombinerBuffer;
 use crate::config::{Engine, JobConfig};
@@ -45,11 +59,11 @@ use crate::partition::{HashPartitioner, Partitioner};
 use crate::size::SizeEstimate;
 use crate::snapshot::Snapshot;
 use crate::traits::{Application, Emit, FnEmit};
-use crossbeam::channel::{bounded, Receiver, Sender};
 use mr_trace::{
-    Scope, SpanKind, TaskKind, TraceBatch, TraceDispatcher, TraceEvent, TraceLog, TraceRecorder,
-    TraceSink, NO_NODE,
+    Scope, SpanKind, TaskKind, TraceDispatcher, TraceEvent, TraceLog, TraceRecorder, NO_NODE,
 };
+use pool::{Ctx, Gate, Pool, PoolReceiver, PoolSender, Step, TryRecv, TrySend};
+use std::collections::VecDeque;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
@@ -59,6 +73,13 @@ use std::time::Instant;
 /// reducer — deep enough to decouple bursts, shallow enough to exert
 /// back-pressure like a real shuffle buffer.
 pub(crate) const BATCH_CHANNEL_DEPTH: usize = 64;
+
+/// Input records a map task processes per scheduler step: big enough to
+/// amortize dispatch, small enough that one task cannot hog a worker.
+const MAP_RECORDS_PER_STEP: usize = 512;
+
+/// Shuffle batches a reduce (or intake) task absorbs per scheduler step.
+const BATCHES_PER_STEP: usize = 16;
 
 /// Whether this job should run the map-side combiner: policy says yes,
 /// the application opted in, and it keeps per-key state to combine.
@@ -109,6 +130,10 @@ pub(crate) fn record_counter_totals(rec: &mut TraceRecorder, counters: &Counters
 /// A batch of shuffle records bound for one reducer.
 pub(crate) type Batch<A> = Vec<(<A as Application>::MapKey, <A as Application>::MapValue)>;
 
+/// One input split (or one handed-off chain batch): the record shape a
+/// stage's map tasks consume.
+pub(crate) type InputSplit<A> = Vec<(<A as Application>::InKey, <A as Application>::InValue)>;
+
 /// Where a reduce task's emitted output goes.
 ///
 /// Normal jobs sink into a plain `Vec` — the materialized partition
@@ -118,6 +143,10 @@ pub(crate) type Batch<A> = Vec<(<A as Application>::MapKey, <A as Application>::
 /// never materialized. Every emission path of a reduce task goes
 /// through the sink: absorb-time emissions, finalize, shared-state
 /// flush.
+///
+/// Sinks are *non-blocking*: `emit` may buffer, and the owning pool task
+/// calls [`pump`](ReduceSink::pump) each step to drain buffered output
+/// downstream, parking when downstream is full.
 pub(crate) trait ReduceSink<A: Application>: Emit<A::OutKey, A::OutValue> + Send {
     /// Absorbs a whole already-computed output batch (the barrier
     /// engine's reduce result).
@@ -130,9 +159,22 @@ pub(crate) trait ReduceSink<A: Application>: Emit<A::OutKey, A::OutValue> + Send
     /// Records emitted so far (feeds `reduce.output.records`).
     fn emitted(&self) -> u64;
 
-    /// Called once when the reduce task finishes: flush buffered state
-    /// and release any downstream handle (EOF).
-    fn done(&mut self) {}
+    /// Drains any buffered output toward downstream without blocking.
+    /// Returns `false` if downstream is full — the registered task
+    /// should park. A `Vec` sink has nothing to drain.
+    fn pump(&mut self, cx: &Ctx) -> bool {
+        let _ = cx;
+        true
+    }
+
+    /// End of input: stage whatever remains buffered (no sends — the
+    /// task keeps pumping until [`pump`](ReduceSink::pump) reports
+    /// empty).
+    fn seal(&mut self) {}
+
+    /// Called once everything is pumped: release any downstream handle
+    /// (EOF) and merge transport stats.
+    fn close(&mut self) {}
 
     /// The materialized partition, if this sink keeps one (empty for
     /// streaming sinks — their records are downstream already).
@@ -159,24 +201,34 @@ impl<A: Application> ReduceSink<A> for Vec<(A::OutKey, A::OutValue)> {
     }
 }
 
-/// Per-worker map-output fan-out for the pipelined shuffle: per-reducer
+/// Per-map-task output fan-out for the pipelined shuffle: per-reducer
 /// buffers (plain byte-budgeted batches, or combiners when map-side
-/// combining is active), bounded batch channels, and free-list buffer
-/// recycling. Shared by the pipelined map workers and the chain
-/// driver's downstream map intake, so both transports batch, combine
-/// and recycle identically.
+/// combining is active), non-blocking sends into the pool's bounded
+/// batch channels, and free-list buffer recycling. Shared by the
+/// pipelined map tasks and the chain driver's downstream map intake, so
+/// both transports batch, combine and recycle identically.
+///
+/// Sends never block: a full channel moves the batch to a local pending
+/// queue that the owning task drains via [`pump`](ShuffleEmitter::pump),
+/// parking until the reducer makes room. Batch *accounting* happens at
+/// staging time — a pure function of split contents — so the shuffle
+/// counters are schedule-independent.
 pub(crate) struct ShuffleEmitter<'a, A: Application, P: Partitioner<A::MapKey>> {
     app: &'a A,
     partitioner: &'a P,
     reducers: usize,
-    senders: Vec<Sender<Batch<A>>>,
+    senders: Vec<PoolSender<Batch<A>>>,
     batch_pool: &'a Mutex<Vec<Batch<A>>>,
+    /// Staged batches a full channel refused; drained front-first so
+    /// per-reducer FIFO order is preserved.
+    pending: VecDeque<(usize, Batch<A>)>,
     plain: Vec<Batch<A>>,
     plain_bytes: Vec<usize>,
     combs: Vec<CombinerBuffer<A>>,
     combining: bool,
     batch_bytes: usize,
     counters: Counters,
+    batches_per_reducer: Vec<u64>,
     dead: bool,
 }
 
@@ -185,7 +237,7 @@ impl<'a, A: Application, P: Partitioner<A::MapKey>> ShuffleEmitter<'a, A, P> {
         app: &'a A,
         cfg: &JobConfig,
         partitioner: &'a P,
-        senders: Vec<Sender<Batch<A>>>,
+        senders: Vec<PoolSender<Batch<A>>>,
         batch_pool: &'a Mutex<Vec<Batch<A>>>,
     ) -> Self {
         let reducers = senders.len();
@@ -197,6 +249,7 @@ impl<'a, A: Application, P: Partitioner<A::MapKey>> ShuffleEmitter<'a, A, P> {
             reducers,
             senders,
             batch_pool,
+            pending: VecDeque::new(),
             plain: (0..reducers).map(|_| Vec::new()).collect(),
             plain_bytes: vec![0; reducers],
             combs: if combining {
@@ -209,12 +262,13 @@ impl<'a, A: Application, P: Partitioner<A::MapKey>> ShuffleEmitter<'a, A, P> {
             combining,
             batch_bytes: cfg.shuffle_batch_bytes,
             counters: Counters::new(),
+            batches_per_reducer: vec![0; reducers],
             dead: false,
         }
     }
 
     /// One map-output record: count, partition, buffer (or combine), and
-    /// hand a full batch to the transport.
+    /// stage a full batch for the transport.
     pub(crate) fn push(&mut self, key: A::MapKey, value: A::MapValue) {
         if self.dead {
             return;
@@ -229,19 +283,14 @@ impl<'a, A: Application, P: Partitioner<A::MapKey>> ShuffleEmitter<'a, A, P> {
             let app = self.app;
             let pool = self.batch_pool;
             let mut drained: Batch<A> = Vec::new();
-            let mut recycled = false;
             self.combs[p].push(app, key, value, &mut |k2, v2| {
                 if drained.capacity() == 0 {
                     if let Some(buf) = pool.lock().unwrap().pop() {
                         drained = buf;
-                        recycled = true;
                     }
                 }
                 drained.push((k2, v2));
             });
-            if recycled {
-                self.counters.incr(names::SHUFFLE_BATCH_REUSE);
-            }
             if drained.is_empty() {
                 None
             } else {
@@ -252,32 +301,60 @@ impl<'a, A: Application, P: Partitioner<A::MapKey>> ShuffleEmitter<'a, A, P> {
             self.plain[p].push((key, value));
             if self.plain_bytes[p] >= self.batch_bytes {
                 self.plain_bytes[p] = 0;
-                let fresh = match self.batch_pool.lock().unwrap().pop() {
-                    Some(recycled) => {
-                        self.counters.incr(names::SHUFFLE_BATCH_REUSE);
-                        recycled
-                    }
-                    None => Vec::new(),
-                };
+                let fresh = self.batch_pool.lock().unwrap().pop().unwrap_or_default();
                 Some(std::mem::replace(&mut self.plain[p], fresh))
             } else {
                 None
             }
         };
         if let Some(batch) = batch {
-            self.send(p, batch);
+            self.stage(p, batch);
         }
     }
 
-    fn send(&mut self, p: usize, batch: Batch<A>) {
+    /// Accounts a finished batch and hands it to the transport if there
+    /// is room, queueing it locally otherwise. The global FIFO of the
+    /// pending queue preserves per-reducer send order.
+    fn stage(&mut self, p: usize, batch: Batch<A>) {
         self.counters.incr(names::SHUFFLE_BATCHES);
         self.counters
             .add(names::SHUFFLE_RECORDS, batch.len() as u64);
-        // A send error means the reducer died (e.g. OOM): the job is
-        // failing, stop producing.
-        if self.senders[p].send(batch).is_err() {
-            self.dead = true;
+        self.batches_per_reducer[p] += 1;
+        if !self.pending.is_empty() {
+            self.pending.push_back((p, batch));
+            return;
         }
+        match self.senders[p].try_send_now(batch) {
+            Ok(()) => {}
+            Err(TrySend::Full(batch)) => self.pending.push_back((p, batch)),
+            Err(TrySend::Disconnected(_)) => {
+                // The reducer died (e.g. OOM): the job is failing, stop
+                // producing.
+                self.dead = true;
+                self.pending.clear();
+            }
+        }
+    }
+
+    /// Drains the pending queue toward the channels. Returns `false` if
+    /// a channel is still full (the task was registered for wakeup and
+    /// should park); `true` when nothing is pending.
+    pub(crate) fn pump(&mut self, cx: &Ctx) -> bool {
+        while let Some((p, batch)) = self.pending.pop_front() {
+            match self.senders[p].try_send(cx, batch) {
+                Ok(()) => {}
+                Err(TrySend::Full(batch)) => {
+                    self.pending.push_front((p, batch));
+                    return false;
+                }
+                Err(TrySend::Disconnected(_)) => {
+                    self.dead = true;
+                    self.pending.clear();
+                    return true;
+                }
+            }
+        }
+        true
     }
 
     /// Whether a downstream reducer disappeared (the job is failing);
@@ -286,216 +363,1019 @@ impl<'a, A: Application, P: Partitioner<A::MapKey>> ShuffleEmitter<'a, A, P> {
         self.dead
     }
 
-    /// End of this worker's input: flush every buffer and settle the
-    /// combiner counters.
-    pub(crate) fn flush(&mut self) {
+    /// A split boundary: stage every partial buffer and drain the
+    /// combiners. Cutting batches here — not at end-of-worker — makes
+    /// batch boundaries a pure function of split contents, so the
+    /// shuffle counters do not depend on which task mapped which split.
+    pub(crate) fn end_split(&mut self) {
+        if self.dead {
+            return;
+        }
         let app = self.app;
         for p in 0..self.reducers {
-            if self.dead {
-                break;
-            }
             let mut batch: Batch<A> = std::mem::take(&mut self.plain[p]);
+            self.plain_bytes[p] = 0;
             if self.combining && self.combs[p].entries() > 0 {
                 if batch.capacity() == 0 {
                     if let Some(buf) = self.batch_pool.lock().unwrap().pop() {
                         batch = buf;
-                        self.counters.incr(names::SHUFFLE_BATCH_REUSE);
                     }
                 }
                 let sink = &mut batch;
                 self.combs[p].drain(app, &mut |k, v| sink.push((k, v)));
             }
             if !batch.is_empty() {
-                self.send(p, batch);
+                self.stage(p, batch);
             }
         }
+    }
+
+    /// End of this task's input: settle the (monotonic) combiner totals
+    /// and surrender the accumulated counters plus per-reducer batch
+    /// counts. Dropping the emitter drops its senders — EOF for the
+    /// reducers once every map task finished.
+    pub(crate) fn finish(mut self) -> (Counters, Vec<u64>) {
         for comb in &self.combs {
             self.counters
                 .add(names::COMBINE_INPUT_RECORDS, comb.records_in());
             self.counters
                 .add(names::COMBINE_OUTPUT_RECORDS, comb.records_out());
         }
-    }
-
-    /// The worker's accumulated counters.
-    pub(crate) fn into_counters(self) -> Counters {
-        self.counters
+        (self.counters, self.batches_per_reducer)
     }
 }
 
-/// Runs one pipelined reduce task to completion: absorb batches from
-/// `rx` in arrival order through an [`IncrementalDriver`], recycle
-/// drained batch buffers through the free-list, publish snapshots per
-/// policy, then merge + finalize into `sink`.
-#[allow(clippy::type_complexity, clippy::too_many_arguments)]
-pub(crate) fn pipelined_reduce_task<A: Application, S: ReduceSink<A>>(
-    app: &A,
-    cfg: &JobConfig,
-    r: usize,
-    rx: Receiver<Batch<A>>,
-    batch_pool: &Mutex<Vec<Batch<A>>>,
-    pool_cap: usize,
+/// Map-side totals a stage accumulates: merged counters from every map
+/// task plus deterministic per-reducer batch counts (the input to the
+/// modelled `shuffle.batch_reuse`).
+pub(crate) struct MapTotals {
+    counters: Counters,
+    batches_per_reducer: Vec<u64>,
+}
+
+/// Per-split partitioned map output, parked in a deterministic slot.
+pub(crate) type MapSlot<A> =
+    Option<Vec<Vec<(<A as Application>::MapKey, <A as Application>::MapValue)>>>;
+
+/// What one finished reduce task leaves behind: its sink, the driver
+/// report (pipelined engine only), task counters and snapshots.
+pub(crate) type ReduceDone<A, S> = MrResult<(S, Option<DriverReport>, Counters, Vec<Snapshot<A>>)>;
+
+/// The shared state of one job stage running on the pool: deterministic
+/// result slots for every task, the trace dispatcher, and the shuffle
+/// free-list. Lives on the caller's stack for the pool's borrowed tasks
+/// to reference; [`collect_stage`] consumes it after [`Pool::run`].
+pub(crate) struct StageState<A: Application, S> {
+    tracing: bool,
+    dispatcher: TraceDispatcher,
+    totals: Mutex<MapTotals>,
+    batch_pool: Mutex<Vec<Batch<A>>>,
+    reduce_slots: Vec<Mutex<Option<ReduceDone<A, S>>>>,
+    map_slots: Vec<Mutex<MapSlot<A>>>,
+    partition_slots: Vec<Mutex<Option<Batch<A>>>>,
+    next: AtomicUsize,
+    finished: Mutex<f64>,
     started: Instant,
-    mut sink: S,
-) -> MrResult<(S, DriverReport, Counters, Vec<Snapshot<A>>)> {
-    let mut driver = IncrementalDriver::new(app, cfg, r)?;
-    let snapping = cfg.snapshots.is_enabled();
-    let timed = cfg.snapshots.secs_interval().is_some();
-    let mut counters = Counters::new();
-    for mut batch in rx.iter() {
-        if snapping {
-            // Stamp wall time so record-driven snapshots carry a
-            // meaningful clock.
-            driver.set_now_secs(started.elapsed().as_secs_f64());
+}
+
+impl<A: Application, S> StageState<A, S> {
+    /// `n_map_slots` is the number of deterministic map-output slots the
+    /// barrier engine needs: one per split (or one per intake for
+    /// streamed chain stages). The pipelined engine leaves them unused.
+    pub(crate) fn new(cfg: &JobConfig, n_map_slots: usize) -> Self {
+        let tracing = cfg.trace.is_enabled();
+        StageState {
+            tracing,
+            dispatcher: TraceDispatcher::new(tracing),
+            totals: Mutex::new(MapTotals {
+                counters: Counters::new(),
+                batches_per_reducer: vec![0; cfg.reducers],
+            }),
+            batch_pool: Mutex::new(Vec::new()),
+            reduce_slots: (0..cfg.reducers).map(|_| Mutex::new(None)).collect(),
+            map_slots: (0..n_map_slots).map(|_| Mutex::new(None)).collect(),
+            partition_slots: (0..cfg.reducers).map(|_| Mutex::new(None)).collect(),
+            next: AtomicUsize::new(0),
+            finished: Mutex::new(0.0),
+            started: Instant::now(),
         }
-        for (k, v) in batch.drain(..) {
-            driver.push(app, k, v, &mut sink)?;
-        }
-        // Return the drained buffer to the mappers.
-        {
-            let mut pool = batch_pool.lock().unwrap();
-            if pool.len() < pool_cap {
-                pool.push(batch);
+    }
+}
+
+/// Where a stage's map tasks read their input from.
+pub(crate) enum StageInput<'a, A: Application> {
+    /// Materialized splits — a normal job, claimed by index.
+    Splits(&'a [InputSplit<A>]),
+    /// Streaming intakes — a chain stage fed by the previous stage's
+    /// reducers, one channel per upstream reducer.
+    Intakes(Vec<PoolReceiver<InputSplit<A>>>),
+}
+
+// ---------------------------------------------------------------------
+// Pipelined-engine task state machines
+// ---------------------------------------------------------------------
+
+/// A pipelined map task: claims splits from the shared cursor, runs the
+/// map function in bounded slices, and streams batches through its
+/// emitter — parking when a reducer's channel is full.
+struct SplitMapTask<'a, A: Application, P: Partitioner<A::MapKey>> {
+    app: &'a A,
+    splits: &'a [Vec<(A::InKey, A::InValue)>],
+    next: &'a AtomicUsize,
+    emitter: Option<ShuffleEmitter<'a, A, P>>,
+    totals: &'a Mutex<MapTotals>,
+    dispatcher: &'a TraceDispatcher,
+    tracing: bool,
+    started: Instant,
+    /// (split index, record cursor, span start).
+    cur: Option<(usize, usize, f64)>,
+}
+
+impl<'a, A: Application, P: Partitioner<A::MapKey>> SplitMapTask<'a, A, P> {
+    fn finish(&mut self) -> Step {
+        if let Some(emitter) = self.emitter.take() {
+            let (counters, per_reducer) = emitter.finish();
+            let mut totals = self.totals.lock().unwrap();
+            totals.counters.merge(&counters);
+            for (p, n) in per_reducer.iter().enumerate() {
+                totals.batches_per_reducer[p] += n;
             }
         }
-        if timed {
-            driver.maybe_time_snapshot(app, started.elapsed().as_secs_f64())?;
-        }
+        Step::Done
     }
-    if cfg.snapshots.is_periodic() {
-        // End-of-input snapshot: the last estimate a periodic observer
-        // sees equals the final answer.
-        driver.set_now_secs(started.elapsed().as_secs_f64());
-        driver.snapshot_now(app)?;
-    }
-    let snapshots = driver.take_snapshots();
-    let report = driver.finish(app, &mut counters, &mut sink)?;
-    counters.add(names::REDUCE_OUTPUT_RECORDS, sink.emitted());
-    sink.done();
-    Ok((sink, report, counters, snapshots))
 }
 
-/// The barrier engine's reduce phase over already-shuffled partitions:
-/// one grouped-reduce task per partition run on `workers` threads, each
-/// feeding its sink inside the worker the moment its reduce finishes (a
-/// streaming sink hands records downstream per partition, not after the
-/// whole stage). Shared by [`LocalRunner::run_barrier_sinked`] and the
-/// chain driver's barrier-engine streamed stages.
-#[allow(clippy::too_many_arguments)]
-pub(crate) fn barrier_reduce_sinked<A, S, F>(
-    workers: usize,
-    app: &A,
-    cfg: &JobConfig,
-    partitions: Vec<Vec<(A::MapKey, A::MapValue)>>,
+impl<'a, A: Application, P: Partitioner<A::MapKey>> pool::PoolTask for SplitMapTask<'a, A, P> {
+    fn step(&mut self, cx: &mut Ctx) -> Step {
+        if !self.emitter.as_mut().unwrap().pump(cx) {
+            return Step::Park;
+        }
+        if self.emitter.as_ref().unwrap().is_dead() {
+            // The job is failing downstream; stop mapping.
+            return self.finish();
+        }
+        if self.cur.is_none() {
+            let idx = self.next.fetch_add(1, Ordering::Relaxed);
+            if idx >= self.splits.len() {
+                // Pending is empty (pump said so), so nothing is left
+                // in flight: surrender counters and drop the senders.
+                return self.finish();
+            }
+            self.cur = Some((idx, 0, self.started.elapsed().as_secs_f64()));
+        }
+        let (idx, cursor, t0) = self.cur.unwrap();
+        let app = self.app;
+        let split = &self.splits[idx];
+        let end = (cursor + MAP_RECORDS_PER_STEP).min(split.len());
+        {
+            let emitter = self.emitter.as_mut().unwrap();
+            let mut emit = FnEmit(|k: A::MapKey, v: A::MapValue| emitter.push(k, v));
+            for (k, v) in &split[cursor..end] {
+                app.map(k, v, &mut emit);
+            }
+        }
+        if end == split.len() {
+            self.emitter.as_mut().unwrap().end_split();
+            if self.tracing {
+                let mut rec =
+                    TraceRecorder::new(Scope::task(0, TaskKind::Map, idx as u32, 0, NO_NODE), true);
+                rec.span_wall(SpanKind::Map, t0, self.started.elapsed().as_secs_f64());
+                rec.flush_into(self.dispatcher);
+            }
+            self.cur = None;
+        } else {
+            self.cur = Some((idx, end, t0));
+        }
+        Step::Yield
+    }
+}
+
+/// A chain-stage map intake: drains batches of upstream reduce output
+/// from its channel, maps them, and streams the result into this
+/// stage's shuffle. The whole intake is one logical split — its batch
+/// cuts happen at EOF, deterministic because the upstream reducer's
+/// output order is.
+struct IntakeMapTask<'a, A: Application, P: Partitioner<A::MapKey>> {
+    app: &'a A,
+    rx: Option<PoolReceiver<InputSplit<A>>>,
+    idx: usize,
+    emitter: Option<ShuffleEmitter<'a, A, P>>,
+    totals: &'a Mutex<MapTotals>,
+    dispatcher: &'a TraceDispatcher,
+    tracing: bool,
     started: Instant,
-    mut counters: Counters,
-    upstream_trace: Vec<TraceBatch>,
+    cur: Option<(InputSplit<A>, usize)>,
+    t0: Option<f64>,
+    input_done: bool,
+}
+
+impl<'a, A: Application, P: Partitioner<A::MapKey>> IntakeMapTask<'a, A, P> {
+    fn finish(&mut self) -> Step {
+        self.rx = None;
+        if let Some(emitter) = self.emitter.take() {
+            let (counters, per_reducer) = emitter.finish();
+            let mut totals = self.totals.lock().unwrap();
+            totals.counters.merge(&counters);
+            for (p, n) in per_reducer.iter().enumerate() {
+                totals.batches_per_reducer[p] += n;
+            }
+        }
+        Step::Done
+    }
+}
+
+impl<'a, A: Application, P: Partitioner<A::MapKey>> pool::PoolTask for IntakeMapTask<'a, A, P> {
+    fn step(&mut self, cx: &mut Ctx) -> Step {
+        if self.t0.is_none() {
+            self.t0 = Some(self.started.elapsed().as_secs_f64());
+        }
+        if !self.emitter.as_mut().unwrap().pump(cx) {
+            return Step::Park;
+        }
+        if self.input_done {
+            // end_split's staged batches are pumped (pump said empty).
+            return self.finish();
+        }
+        if self.emitter.as_ref().unwrap().is_dead() {
+            // Downstream is failing: keep draining the intake so the
+            // upstream stage can unwind instead of parking forever.
+            self.cur = None;
+            loop {
+                match self.rx.as_ref().unwrap().try_recv(cx) {
+                    Ok(_) => {}
+                    Err(TryRecv::Empty) => return Step::Park,
+                    Err(TryRecv::Disconnected) => return self.finish(),
+                }
+            }
+        }
+        if self.cur.is_none() {
+            match self.rx.as_ref().unwrap().try_recv(cx) {
+                Ok(batch) => self.cur = Some((batch, 0)),
+                Err(TryRecv::Empty) => return Step::Park,
+                Err(TryRecv::Disconnected) => {
+                    // EOF: the intake's whole stream was one split.
+                    self.emitter.as_mut().unwrap().end_split();
+                    if self.tracing {
+                        let now = self.started.elapsed().as_secs_f64();
+                        let mut rec = TraceRecorder::new(
+                            Scope::task(0, TaskKind::Map, self.idx as u32, 0, NO_NODE),
+                            true,
+                        );
+                        rec.span_wall(SpanKind::Map, self.t0.unwrap_or(now), now);
+                        rec.flush_into(self.dispatcher);
+                    }
+                    self.input_done = true;
+                    return Step::Yield;
+                }
+            }
+        }
+        let app = self.app;
+        let mut batch_done = false;
+        if let Some((batch, cursor)) = self.cur.as_mut() {
+            let end = (*cursor + MAP_RECORDS_PER_STEP).min(batch.len());
+            {
+                let emitter = self.emitter.as_mut().unwrap();
+                let mut emit = FnEmit(|k: A::MapKey, v: A::MapValue| emitter.push(k, v));
+                for (k, v) in &batch[*cursor..end] {
+                    app.map(k, v, &mut emit);
+                }
+            }
+            batch_done = end == batch.len();
+            *cursor = end;
+        }
+        if batch_done {
+            self.cur = None;
+        }
+        Step::Yield
+    }
+}
+
+/// A pipelined reduce task: absorbs shuffle batches in arrival order
+/// through an [`IncrementalDriver`], recycles drained buffers, publishes
+/// snapshots per policy, finalizes at EOF, then pumps its sink dry and
+/// parks its result in the stage slot.
+struct PipelinedReduceTask<'a, A: Application, S: ReduceSink<A>> {
+    app: &'a A,
+    cfg: &'a JobConfig,
+    r: usize,
+    started: Instant,
+    t0: Option<f64>,
+    rx: Option<PoolReceiver<Batch<A>>>,
+    batch_pool: &'a Mutex<Vec<Batch<A>>>,
+    pool_cap: usize,
+    driver: Option<IncrementalDriver<A>>,
+    sink: Option<S>,
+    counters: Counters,
+    snapshots: Vec<Snapshot<A>>,
+    report: Option<DriverReport>,
+    slot: &'a Mutex<Option<ReduceDone<A, S>>>,
+    finished: &'a Mutex<f64>,
+    dispatcher: &'a TraceDispatcher,
+    tracing: bool,
+    drained: bool,
+}
+
+impl<'a, A: Application, S: ReduceSink<A>> PipelinedReduceTask<'a, A, S> {
+    fn try_absorb(&mut self, cx: &Ctx) -> MrResult<Step> {
+        let app = self.app;
+        let snapping = self.cfg.snapshots.is_enabled();
+        let timed = self.cfg.snapshots.secs_interval().is_some();
+        for _ in 0..BATCHES_PER_STEP {
+            match self.rx.as_ref().unwrap().try_recv(cx) {
+                Ok(mut batch) => {
+                    let driver = self.driver.as_mut().unwrap();
+                    if snapping {
+                        // Stamp wall time so record-driven snapshots
+                        // carry a meaningful clock.
+                        driver.set_now_secs(self.started.elapsed().as_secs_f64());
+                    }
+                    let sink = self.sink.as_mut().unwrap();
+                    for (k, v) in batch.drain(..) {
+                        driver.push(app, k, v, sink)?;
+                    }
+                    // Return the drained buffer to the mappers.
+                    {
+                        let mut pool = self.batch_pool.lock().unwrap();
+                        if pool.len() < self.pool_cap {
+                            pool.push(batch);
+                        }
+                    }
+                    if timed {
+                        driver.maybe_time_snapshot(app, self.started.elapsed().as_secs_f64())?;
+                    }
+                }
+                Err(TryRecv::Empty) => return Ok(Step::Park),
+                Err(TryRecv::Disconnected) => {
+                    self.finalize()?;
+                    return Ok(Step::Yield);
+                }
+            }
+        }
+        Ok(Step::Yield)
+    }
+
+    /// EOF: final snapshot per policy, drain the driver's store through
+    /// the sink, seal it. The task then pumps until the sink is empty.
+    fn finalize(&mut self) -> MrResult<()> {
+        let app = self.app;
+        if self.cfg.snapshots.is_periodic() {
+            // End-of-input snapshot: the last estimate a periodic
+            // observer sees equals the final answer.
+            let driver = self.driver.as_mut().unwrap();
+            driver.set_now_secs(self.started.elapsed().as_secs_f64());
+            driver.snapshot_now(app)?;
+        }
+        let mut driver = self.driver.take().unwrap();
+        self.snapshots = driver.take_snapshots();
+        let sink = self.sink.as_mut().unwrap();
+        let report = driver.finish(app, &mut self.counters, sink)?;
+        self.counters
+            .add(names::REDUCE_OUTPUT_RECORDS, sink.emitted());
+        sink.seal();
+        self.report = Some(report);
+        self.rx = None;
+        self.drained = true;
+        Ok(())
+    }
+
+    fn complete(&mut self) -> Step {
+        let now = self.started.elapsed().as_secs_f64();
+        let mut sink = self.sink.take().unwrap();
+        sink.close();
+        if self.tracing {
+            let mut rec = TraceRecorder::new(
+                Scope::task(0, TaskKind::Reduce, self.r as u32, 0, NO_NODE),
+                true,
+            );
+            rec.span_wall(SpanKind::ShuffleReduce, self.t0.unwrap_or(now), now);
+            for s in &self.snapshots {
+                rec.snapshot_wall(s.at_secs, s.seq, s.records_absorbed, s.live_entries as u64);
+            }
+            record_counter_totals(&mut rec, &self.counters);
+            rec.flush_into(self.dispatcher);
+        }
+        {
+            let mut f = self.finished.lock().unwrap();
+            *f = f.max(now);
+        }
+        *self.slot.lock().unwrap() = Some(Ok((
+            sink,
+            self.report.take(),
+            std::mem::replace(&mut self.counters, Counters::new()),
+            std::mem::take(&mut self.snapshots),
+        )));
+        Step::Done
+    }
+
+    fn fail(&mut self, e: MrError) -> Step {
+        // Dropping the receiver disconnects the channel: blocked mappers
+        // get a send error instead of waiting on a consumer that's gone,
+        // and dropping a streaming sink lets its downstream see EOF.
+        self.rx = None;
+        self.driver = None;
+        self.sink = None;
+        *self.slot.lock().unwrap() = Some(Err(e));
+        Step::Done
+    }
+}
+
+impl<'a, A: Application, S: ReduceSink<A>> pool::PoolTask for PipelinedReduceTask<'a, A, S> {
+    fn step(&mut self, cx: &mut Ctx) -> Step {
+        if self.t0.is_none() {
+            self.t0 = Some(self.started.elapsed().as_secs_f64());
+        }
+        if !self.sink.as_mut().unwrap().pump(cx) {
+            return Step::Park;
+        }
+        if self.drained {
+            return self.complete();
+        }
+        match self.try_absorb(cx) {
+            Ok(step) => step,
+            Err(e) => self.fail(e),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Barrier-engine task state machines
+// ---------------------------------------------------------------------
+
+/// In-flight state of one barrier map split.
+struct BarrierCur<A: Application> {
+    idx: usize,
+    cursor: usize,
+    t0: f64,
+    parts: Vec<Vec<(A::MapKey, A::MapValue)>>,
+    combs: Vec<CombinerBuffer<A>>,
+}
+
+/// A barrier map task: claims splits from the shared cursor and buffers
+/// per-split partitioned (optionally combined) output into deterministic
+/// slots. Never parks — there is no back-pressure before the barrier.
+struct BarrierSplitMapTask<'a, A: Application, P: Partitioner<A::MapKey>> {
+    app: &'a A,
+    cfg: &'a JobConfig,
+    partitioner: &'a P,
+    splits: &'a [Vec<(A::InKey, A::InValue)>],
+    next: &'a AtomicUsize,
+    reducers: usize,
+    combining: bool,
+    combine_budget: usize,
+    slots: &'a [Mutex<MapSlot<A>>],
+    totals: &'a Mutex<MapTotals>,
+    maps_done: Gate,
+    dispatcher: &'a TraceDispatcher,
+    tracing: bool,
+    started: Instant,
+    counters: Counters,
+    cur: Option<BarrierCur<A>>,
+}
+
+impl<'a, A: Application, P: Partitioner<A::MapKey>> pool::PoolTask
+    for BarrierSplitMapTask<'a, A, P>
+{
+    fn step(&mut self, _cx: &mut Ctx) -> Step {
+        let app = self.app;
+        if self.cur.is_none() {
+            let idx = self.next.fetch_add(1, Ordering::Relaxed);
+            if idx >= self.splits.len() {
+                self.totals.lock().unwrap().counters.merge(&self.counters);
+                self.maps_done.arrive();
+                return Step::Done;
+            }
+            self.cur = Some(BarrierCur {
+                idx,
+                cursor: 0,
+                t0: self.started.elapsed().as_secs_f64(),
+                parts: (0..self.reducers).map(|_| Vec::new()).collect(),
+                // Combiners are per-split so slot contents stay
+                // deterministic.
+                combs: if self.combining {
+                    (0..self.reducers)
+                        .map(|_| {
+                            CombinerBuffer::new(app, self.combine_budget, self.cfg.store_index)
+                        })
+                        .collect()
+                } else {
+                    Vec::new()
+                },
+            });
+        }
+        let partitioner = self.partitioner;
+        let reducers = self.reducers;
+        let combining = self.combining;
+        let counters = &mut self.counters;
+        let mut split_done = false;
+        if let Some(cur) = self.cur.as_mut() {
+            let split = &self.splits[cur.idx];
+            let end = (cur.cursor + MAP_RECORDS_PER_STEP).min(split.len());
+            let BarrierCur {
+                idx,
+                cursor,
+                t0,
+                parts,
+                combs,
+            } = cur;
+            {
+                let mut emit = FnEmit(|k: A::MapKey, v: A::MapValue| {
+                    counters.incr(names::MAP_OUTPUT_RECORDS);
+                    let p = partitioner.partition(&k, reducers);
+                    if combining {
+                        let sink = &mut parts[p];
+                        combs[p].push(app, k, v, &mut |k2, v2| sink.push((k2, v2)));
+                    } else {
+                        parts[p].push((k, v));
+                    }
+                });
+                for (k, v) in &split[*cursor..end] {
+                    app.map(k, v, &mut emit);
+                }
+            }
+            if end == split.len() {
+                if combining {
+                    for (p, comb) in combs.iter_mut().enumerate() {
+                        let sink = &mut parts[p];
+                        comb.drain(app, &mut |k, v| sink.push((k, v)));
+                        counters.add(names::COMBINE_INPUT_RECORDS, comb.records_in());
+                        counters.add(names::COMBINE_OUTPUT_RECORDS, comb.records_out());
+                    }
+                }
+                *self.slots[*idx].lock().unwrap() = Some(std::mem::take(parts));
+                if self.tracing {
+                    let mut rec = TraceRecorder::new(
+                        Scope::task(0, TaskKind::Map, *idx as u32, 0, NO_NODE),
+                        true,
+                    );
+                    rec.span_wall(SpanKind::Map, *t0, self.started.elapsed().as_secs_f64());
+                    rec.flush_into(self.dispatcher);
+                }
+                split_done = true;
+            } else {
+                *cursor = end;
+            }
+        }
+        if split_done {
+            self.cur = None;
+        }
+        Step::Yield
+    }
+}
+
+/// A barrier chain intake: drains its upstream channel into per-intake
+/// partitioned buffers (with per-intake combiners, drained at EOF), then
+/// parks the result in its deterministic slot and arrives at the gate.
+struct BarrierIntakeTask<'a, A: Application, P: Partitioner<A::MapKey>> {
+    app: &'a A,
+    partitioner: &'a P,
+    reducers: usize,
+    combining: bool,
+    rx: Option<PoolReceiver<InputSplit<A>>>,
+    idx: usize,
+    parts: Vec<Batch<A>>,
+    combs: Vec<CombinerBuffer<A>>,
+    counters: Counters,
+    slot: &'a Mutex<MapSlot<A>>,
+    totals: &'a Mutex<MapTotals>,
+    maps_done: Gate,
+    dispatcher: &'a TraceDispatcher,
+    tracing: bool,
+    started: Instant,
+    t0: Option<f64>,
+}
+
+impl<'a, A: Application, P: Partitioner<A::MapKey>> BarrierIntakeTask<'a, A, P> {
+    fn finish(&mut self) -> Step {
+        let app = self.app;
+        if self.combining {
+            for (p, comb) in self.combs.iter_mut().enumerate() {
+                let sink = &mut self.parts[p];
+                comb.drain(app, &mut |k, v| sink.push((k, v)));
+                self.counters
+                    .add(names::COMBINE_INPUT_RECORDS, comb.records_in());
+                self.counters
+                    .add(names::COMBINE_OUTPUT_RECORDS, comb.records_out());
+            }
+        }
+        *self.slot.lock().unwrap() = Some(std::mem::take(&mut self.parts));
+        if self.tracing {
+            let now = self.started.elapsed().as_secs_f64();
+            let mut rec = TraceRecorder::new(
+                Scope::task(0, TaskKind::Map, self.idx as u32, 0, NO_NODE),
+                true,
+            );
+            rec.span_wall(SpanKind::Map, self.t0.unwrap_or(now), now);
+            rec.flush_into(self.dispatcher);
+        }
+        self.totals.lock().unwrap().counters.merge(&self.counters);
+        self.rx = None;
+        self.maps_done.arrive();
+        Step::Done
+    }
+}
+
+impl<'a, A: Application, P: Partitioner<A::MapKey>> pool::PoolTask for BarrierIntakeTask<'a, A, P> {
+    fn step(&mut self, cx: &mut Ctx) -> Step {
+        if self.t0.is_none() {
+            self.t0 = Some(self.started.elapsed().as_secs_f64());
+        }
+        let app = self.app;
+        let partitioner = self.partitioner;
+        let reducers = self.reducers;
+        let combining = self.combining;
+        for _ in 0..BATCHES_PER_STEP {
+            let got = self.rx.as_ref().unwrap().try_recv(cx);
+            match got {
+                Ok(batch) => {
+                    let counters = &mut self.counters;
+                    let parts = &mut self.parts;
+                    let combs = &mut self.combs;
+                    let mut emit = FnEmit(|k: A::MapKey, v: A::MapValue| {
+                        counters.incr(names::MAP_OUTPUT_RECORDS);
+                        let p = partitioner.partition(&k, reducers);
+                        if combining {
+                            let sink = &mut parts[p];
+                            combs[p].push(app, k, v, &mut |k2, v2| sink.push((k2, v2)));
+                        } else {
+                            parts[p].push((k, v));
+                        }
+                    });
+                    for (k, v) in &batch {
+                        app.map(k, v, &mut emit);
+                    }
+                }
+                Err(TryRecv::Empty) => return Step::Park,
+                Err(TryRecv::Disconnected) => return self.finish(),
+            }
+        }
+        Step::Yield
+    }
+}
+
+/// The stage-barrier join: waits (parked) for every map task, then
+/// concatenates per-split partitions in split order — determinism — and
+/// releases the reduce tasks.
+struct AssembleTask<'a, A: Application> {
+    maps_done: Gate,
+    assembled: Gate,
+    map_slots: &'a [Mutex<MapSlot<A>>],
+    partition_slots: &'a [Mutex<Option<Batch<A>>>],
+}
+
+impl<'a, A: Application> pool::PoolTask for AssembleTask<'a, A> {
+    fn step(&mut self, cx: &mut Ctx) -> Step {
+        if !self.maps_done.open(cx) {
+            return Step::Park;
+        }
+        let reducers = self.partition_slots.len();
+        let mut partitions: Vec<Vec<(A::MapKey, A::MapValue)>> =
+            (0..reducers).map(|_| Vec::new()).collect();
+        for slot in self.map_slots {
+            let parts = slot.lock().unwrap().take().expect("every split was mapped");
+            for (p, mut records) in parts.into_iter().enumerate() {
+                partitions[p].append(&mut records);
+            }
+        }
+        for (p, records) in partitions.into_iter().enumerate() {
+            *self.partition_slots[p].lock().unwrap() = Some(records);
+        }
+        self.assembled.arrive();
+        Step::Done
+    }
+}
+
+/// A barrier reduce task: parks until assembly, runs the grouped
+/// sort-reduce over its partition, then pumps its sink dry.
+struct BarrierReduceTask<'a, A: Application, S: ReduceSink<A>> {
+    app: &'a A,
+    cfg: &'a JobConfig,
+    r: usize,
+    assembled: Gate,
+    partition: &'a Mutex<Option<Batch<A>>>,
+    sink: Option<S>,
+    counters: Counters,
+    snapshots: Vec<Snapshot<A>>,
+    slot: &'a Mutex<Option<ReduceDone<A, S>>>,
+    finished: &'a Mutex<f64>,
+    dispatcher: &'a TraceDispatcher,
+    tracing: bool,
+    started: Instant,
+    t0: f64,
+    reduced: bool,
+}
+
+impl<'a, A: Application, S: ReduceSink<A>> pool::PoolTask for BarrierReduceTask<'a, A, S> {
+    fn step(&mut self, cx: &mut Ctx) -> Step {
+        if !self.reduced {
+            if !self.assembled.open(cx) {
+                return Step::Park;
+            }
+            let records = self.partition.lock().unwrap().take().expect("one taker");
+            let absorbed = records.len() as u64;
+            self.t0 = self.started.elapsed().as_secs_f64();
+            let out = match reduce_partition_barrier(self.app, records, &mut self.counters) {
+                Ok(out) => out,
+                Err(e) => {
+                    self.sink = None;
+                    *self.slot.lock().unwrap() = Some(Err(e));
+                    return Step::Done;
+                }
+            };
+            self.snapshots = barrier_snapshot::<A>(
+                self.cfg,
+                self.r,
+                absorbed,
+                self.started.elapsed().as_secs_f64(),
+                &out,
+                &mut self.counters,
+            );
+            let sink = self.sink.as_mut().unwrap();
+            sink.absorb_batch(out);
+            sink.seal();
+            self.reduced = true;
+            return Step::Yield;
+        }
+        if !self.sink.as_mut().unwrap().pump(cx) {
+            return Step::Park;
+        }
+        let now = self.started.elapsed().as_secs_f64();
+        let mut sink = self.sink.take().unwrap();
+        sink.close();
+        if self.tracing {
+            let mut rec = TraceRecorder::new(
+                Scope::task(0, TaskKind::Reduce, self.r as u32, 0, NO_NODE),
+                true,
+            );
+            rec.span_wall(SpanKind::SortReduce, self.t0, now);
+            for s in &self.snapshots {
+                rec.snapshot_wall(s.at_secs, s.seq, s.records_absorbed, s.live_entries as u64);
+            }
+            record_counter_totals(&mut rec, &self.counters);
+            rec.flush_into(self.dispatcher);
+        }
+        {
+            let mut f = self.finished.lock().unwrap();
+            *f = f.max(now);
+        }
+        *self.slot.lock().unwrap() = Some(Ok((
+            sink,
+            None,
+            std::mem::replace(&mut self.counters, Counters::new()),
+            std::mem::take(&mut self.snapshots),
+        )));
+        Step::Done
+    }
+}
+
+// ---------------------------------------------------------------------
+// Stage builder + collector
+// ---------------------------------------------------------------------
+
+/// Spawns one job stage's full task graph onto `pool` — reduce tasks
+/// first (they consume as mappers produce), then map (or intake) tasks —
+/// for whichever engine `cfg` selects. `map_tasks` bounds concurrent map
+/// *tasks* (the legacy `LocalRunner::map_threads` meaning, preserving
+/// trace/counter shape); OS threads are bounded separately by
+/// `JobConfig::pool_workers` at [`Pool::run`].
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn build_stage<'a, A, P, S, F>(
+    pool: &mut Pool<'a>,
+    state: &'a StageState<A, S>,
+    app: &'a A,
+    cfg: &'a JobConfig,
+    partitioner: &'a P,
+    input: StageInput<'a, A>,
+    map_tasks: usize,
     make_sink: F,
-) -> MrResult<SinkedRun<A, S>>
+) -> MrResult<()>
+where
+    A: Application,
+    P: Partitioner<A::MapKey> + Sync,
+    S: ReduceSink<A> + 'a,
+    F: Fn(usize) -> S,
+{
+    let reducers = cfg.reducers;
+    match &cfg.engine {
+        Engine::BarrierLess { .. } => {
+            let mut txs: Vec<PoolSender<Batch<A>>> = Vec::with_capacity(reducers);
+            let mut rxs: Vec<PoolReceiver<Batch<A>>> = Vec::with_capacity(reducers);
+            for _ in 0..reducers {
+                let (tx, rx) = pool.channel::<Batch<A>>(BATCH_CHANNEL_DEPTH);
+                txs.push(tx);
+                rxs.push(rx);
+            }
+            for (r, rx) in rxs.into_iter().enumerate() {
+                // Config errors surface here, before the pool runs.
+                let driver = IncrementalDriver::new(app, cfg, r)?;
+                pool.spawn(PipelinedReduceTask {
+                    app,
+                    cfg,
+                    r,
+                    started: state.started,
+                    t0: None,
+                    rx: Some(rx),
+                    batch_pool: &state.batch_pool,
+                    pool_cap: reducers * BATCH_CHANNEL_DEPTH,
+                    driver: Some(driver),
+                    sink: Some(make_sink(r)),
+                    counters: Counters::new(),
+                    snapshots: Vec::new(),
+                    report: None,
+                    slot: &state.reduce_slots[r],
+                    finished: &state.finished,
+                    dispatcher: &state.dispatcher,
+                    tracing: state.tracing,
+                    drained: false,
+                });
+            }
+            match input {
+                StageInput::Splits(splits) => {
+                    let n = map_tasks.max(1).min(splits.len().max(1));
+                    for _ in 0..n {
+                        pool.spawn(SplitMapTask {
+                            app,
+                            splits,
+                            next: &state.next,
+                            emitter: Some(ShuffleEmitter::new(
+                                app,
+                                cfg,
+                                partitioner,
+                                txs.clone(),
+                                &state.batch_pool,
+                            )),
+                            totals: &state.totals,
+                            dispatcher: &state.dispatcher,
+                            tracing: state.tracing,
+                            started: state.started,
+                            cur: None,
+                        });
+                    }
+                }
+                StageInput::Intakes(intakes) => {
+                    for (i, rx) in intakes.into_iter().enumerate() {
+                        pool.spawn(IntakeMapTask {
+                            app,
+                            rx: Some(rx),
+                            idx: i,
+                            emitter: Some(ShuffleEmitter::new(
+                                app,
+                                cfg,
+                                partitioner,
+                                txs.clone(),
+                                &state.batch_pool,
+                            )),
+                            totals: &state.totals,
+                            dispatcher: &state.dispatcher,
+                            tracing: state.tracing,
+                            started: state.started,
+                            cur: None,
+                            t0: None,
+                            input_done: false,
+                        });
+                    }
+                }
+            }
+        }
+        Engine::Barrier => {
+            let combining = combining_active(app, cfg);
+            let combine_budget = cfg.combiner.budget_bytes().unwrap_or(0) as usize;
+            let assembled = pool.gate(1);
+            let maps_done;
+            match input {
+                StageInput::Splits(splits) => {
+                    let n = map_tasks.max(1).min(splits.len().max(1));
+                    maps_done = pool.gate(n);
+                    for _ in 0..n {
+                        pool.spawn(BarrierSplitMapTask {
+                            app,
+                            cfg,
+                            partitioner,
+                            splits,
+                            next: &state.next,
+                            reducers,
+                            combining,
+                            combine_budget,
+                            slots: &state.map_slots,
+                            totals: &state.totals,
+                            maps_done: maps_done.clone(),
+                            dispatcher: &state.dispatcher,
+                            tracing: state.tracing,
+                            started: state.started,
+                            counters: Counters::new(),
+                            cur: None,
+                        });
+                    }
+                }
+                StageInput::Intakes(intakes) => {
+                    maps_done = pool.gate(intakes.len());
+                    for (i, rx) in intakes.into_iter().enumerate() {
+                        pool.spawn(BarrierIntakeTask {
+                            app,
+                            partitioner,
+                            reducers,
+                            combining,
+                            rx: Some(rx),
+                            idx: i,
+                            parts: (0..reducers).map(|_| Vec::new()).collect(),
+                            combs: if combining {
+                                (0..reducers)
+                                    .map(|_| {
+                                        CombinerBuffer::new(app, combine_budget, cfg.store_index)
+                                    })
+                                    .collect()
+                            } else {
+                                Vec::new()
+                            },
+                            counters: Counters::new(),
+                            slot: &state.map_slots[i],
+                            totals: &state.totals,
+                            maps_done: maps_done.clone(),
+                            dispatcher: &state.dispatcher,
+                            tracing: state.tracing,
+                            started: state.started,
+                            t0: None,
+                        });
+                    }
+                }
+            }
+            pool.spawn(AssembleTask::<A> {
+                maps_done,
+                assembled: assembled.clone(),
+                map_slots: &state.map_slots,
+                partition_slots: &state.partition_slots,
+            });
+            for r in 0..reducers {
+                pool.spawn(BarrierReduceTask {
+                    app,
+                    cfg,
+                    r,
+                    assembled: assembled.clone(),
+                    partition: &state.partition_slots[r],
+                    sink: Some(make_sink(r)),
+                    counters: Counters::new(),
+                    snapshots: Vec::new(),
+                    slot: &state.reduce_slots[r],
+                    finished: &state.finished,
+                    dispatcher: &state.dispatcher,
+                    tracing: state.tracing,
+                    started: state.started,
+                    t0: 0.0,
+                    reduced: false,
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Consumes a run stage's state after the pool finished: merges task
+/// counters (map totals to the job scope, reduce totals per task —
+/// preserving the legacy trace layout), models `shuffle.batch_reuse`
+/// from the deterministic batch counts, and assembles the [`SinkedRun`].
+pub(crate) fn collect_stage<A, S>(state: StageState<A, S>) -> MrResult<SinkedRun<A, S>>
 where
     A: Application,
     S: ReduceSink<A>,
-    F: Fn(usize) -> S,
 {
-    let reducers = partitions.len();
-    let tracing = cfg.trace.is_enabled();
-    let dispatcher = TraceDispatcher::new(tracing);
-    // Batches the caller recorded before the reduce phase (map-task
-    // spans); they join the reduce batches in the one ordered log.
-    for b in upstream_trace {
-        dispatcher.submit(b);
+    let tracing = state.tracing;
+    let totals = state.totals.into_inner().unwrap();
+    let mut counters = totals.counters;
+    // Modelled buffer reuse: a channel holds at most `BATCH_CHANNEL_DEPTH`
+    // batches, so every batch a reducer received beyond that depth must
+    // have ridden a recycled buffer in the steady state. Derived from
+    // deterministic batch counts — unlike observed free-list pops, it
+    // does not depend on thread timing.
+    let reuse: u64 = totals
+        .batches_per_reducer
+        .iter()
+        .map(|&b| b.saturating_sub(BATCH_CHANNEL_DEPTH as u64))
+        .sum();
+    if reuse > 0 {
+        counters.add(names::SHUFFLE_BATCH_REUSE, reuse);
     }
-    type ReduceSlot<A, S> = Mutex<Option<MrResult<(S, Counters, Vec<Snapshot<A>>)>>>;
-    type PartitionSlot<A> =
-        Mutex<Option<Vec<(<A as Application>::MapKey, <A as Application>::MapValue)>>>;
-    let results: Vec<ReduceSlot<A, S>> = (0..reducers).map(|_| Mutex::new(None)).collect();
-    let sink_slots: Vec<Mutex<Option<S>>> = (0..reducers)
-        .map(|r| Mutex::new(Some(make_sink(r))))
-        .collect();
-    let partitions: Vec<PartitionSlot<A>> = partitions
-        .into_iter()
-        .map(|p| Mutex::new(Some(p)))
-        .collect();
-    let next_part = AtomicUsize::new(0);
-    std::thread::scope(|scope| {
-        let mut handles = Vec::new();
-        for _ in 0..workers.max(1).min(reducers.max(1)) {
-            let partitions = &partitions;
-            let results = &results;
-            let sink_slots = &sink_slots;
-            let next_part = &next_part;
-            let dispatcher = &dispatcher;
-            handles.push(scope.spawn(move || loop {
-                let idx = next_part.fetch_add(1, Ordering::Relaxed);
-                if idx >= reducers {
-                    break;
-                }
-                let records = partitions[idx].lock().unwrap().take().expect("one taker");
-                let mut sink = sink_slots[idx].lock().unwrap().take().expect("one taker");
-                let absorbed = records.len() as u64;
-                let t0 = started.elapsed().as_secs_f64();
-                let mut counters = Counters::new();
-                let out = reduce_partition_barrier(app, records, &mut counters).map(|out| {
-                    let snaps = barrier_snapshot::<A>(
-                        cfg,
-                        idx,
-                        absorbed,
-                        started.elapsed().as_secs_f64(),
-                        &out,
-                        &mut counters,
-                    );
-                    sink.absorb_batch(out);
-                    sink.done();
-                    if tracing {
-                        let mut rec = TraceRecorder::new(
-                            Scope::task(0, TaskKind::Reduce, idx as u32, 0, NO_NODE),
-                            true,
-                        );
-                        rec.span_wall(SpanKind::SortReduce, t0, started.elapsed().as_secs_f64());
-                        for s in &snaps {
-                            rec.snapshot_wall(
-                                s.at_secs,
-                                s.seq,
-                                s.records_absorbed,
-                                s.live_entries as u64,
-                            );
-                        }
-                        record_counter_totals(&mut rec, &counters);
-                        rec.flush_into(dispatcher);
-                    }
-                    (sink, counters, snaps)
-                });
-                *results[idx].lock().unwrap() = Some(out);
-            }));
-        }
-        for h in handles {
-            h.join()
-                .map_err(|_| MrError::WorkerPanic("reduce worker panicked".to_string()))?;
-        }
-        Ok::<(), MrError>(())
-    })?;
-
     // The non-reduce counters (map phase or chain intake) are attributed
-    // to the job scope as one pre-merged batch: per-worker attribution
-    // would depend on which worker claimed which split, and the log's
+    // to the job scope as one pre-merged batch: per-task attribution
+    // would depend on which task claimed which split, and the log's
     // byte layout must not.
     if tracing {
         let mut rec = TraceRecorder::new(Scope::job(0), true);
         record_counter_totals(&mut rec, &counters);
-        rec.flush_into(&dispatcher);
+        rec.flush_into(&state.dispatcher);
     }
-    let mut sinks = Vec::with_capacity(reducers);
-    let mut snapshots = Vec::with_capacity(reducers);
-    for slot in results {
-        let (sink, task_counters, snaps) = slot
-            .into_inner()
-            .unwrap()
-            .expect("every partition was reduced")?;
+    let mut sinks = Vec::with_capacity(state.reduce_slots.len());
+    let mut reports = Vec::new();
+    let mut snapshots = Vec::with_capacity(state.reduce_slots.len());
+    for slot in state.reduce_slots {
+        let (sink, report, task_counters, snaps) =
+            slot.into_inner().unwrap().expect("every reducer ran")?;
         counters.merge(&task_counters);
+        if let Some(report) = report {
+            reports.push(report);
+        }
         snapshots.push(snaps);
         sinks.push(sink);
     }
-    let trace = dispatcher.finish();
+    let trace = state.dispatcher.finish();
     // Eat our own dogfood: with tracing on, the counters the caller sees
     // are *derived from the log* (equal to the direct merge by
     // construction — the trace carries every task's totals).
@@ -504,12 +1384,14 @@ where
     } else {
         counters
     };
+    let finished_secs = *state.finished.lock().unwrap();
     Ok(SinkedRun {
         sinks,
         counters,
-        reports: Vec::new(),
+        reports,
         snapshots,
         trace,
+        finished_secs,
     })
 }
 
@@ -525,6 +1407,9 @@ pub(crate) struct SinkedRun<A: Application, S> {
     pub snapshots: Vec<Vec<Snapshot<A>>>,
     /// The run's structured trace (empty when tracing is disabled).
     pub trace: TraceLog,
+    /// When the last reduce task of this stage finished, seconds since
+    /// the stage started — chain drivers use it for stage marks.
+    pub finished_secs: f64,
 }
 
 impl<A: Application, S: ReduceSink<A>> SinkedRun<A, S> {
@@ -543,16 +1428,38 @@ impl<A: Application, S: ReduceSink<A>> SinkedRun<A, S> {
     }
 }
 
+/// Worker-pool evidence for one [`LocalRunner::run_many`] call.
+#[derive(Debug, Clone, Copy)]
+pub struct PoolStats {
+    /// Worker threads the pool ran.
+    pub workers: usize,
+    /// Peak concurrently-live pool threads — at most `workers`.
+    pub peak_threads: usize,
+}
+
+/// Every job of a [`LocalRunner::run_many`] batch, with per-job results
+/// (a failing job does not poison its neighbours) and the shared pool's
+/// thread evidence.
+pub struct ManyJobsOutput<A: Application> {
+    /// Per-job outcome, in submission order.
+    pub jobs: Vec<MrResult<JobOutput<A>>>,
+    /// The shared pool's thread accounting.
+    pub pool: PoolStats,
+}
+
 /// Executes jobs on local OS threads.
 #[derive(Debug, Clone)]
 pub struct LocalRunner {
-    /// Concurrent map workers.
+    /// Concurrent map *tasks* per job (the reduce side always runs one
+    /// task per partition). OS threads are a separate, global knob:
+    /// [`JobConfig::pool_workers`].
     pub map_threads: usize,
 }
 
 impl LocalRunner {
-    /// A runner with `map_threads` map workers. Reduce-side parallelism
-    /// equals the partition count.
+    /// A runner with `map_threads` concurrent map tasks. Reduce-side
+    /// parallelism equals the partition count; both multiplex onto the
+    /// `JobConfig::pool_workers` pool threads.
     pub fn new(map_threads: usize) -> Self {
         assert!(map_threads >= 1);
         LocalRunner { map_threads }
@@ -569,7 +1476,7 @@ impl LocalRunner {
     }
 
     /// Runs `app` over `splits` with a custom partitioner.
-    pub fn run_with_partitioner<A: Application, P: Partitioner<A::MapKey>>(
+    pub fn run_with_partitioner<A: Application, P: Partitioner<A::MapKey> + Sync>(
         &self,
         app: &A,
         splits: Vec<Vec<(A::InKey, A::InValue)>>,
@@ -577,10 +1484,95 @@ impl LocalRunner {
         partitioner: &P,
     ) -> MrResult<JobOutput<A>> {
         cfg.validate()?;
-        match &cfg.engine {
-            Engine::Barrier => self.run_barrier(app, splits, cfg, partitioner),
-            Engine::BarrierLess { .. } => self.run_pipelined(app, splits, cfg, partitioner),
+        Ok(self
+            .run_sinked(app, splits, cfg, partitioner, |_| Vec::new())?
+            .into_job_output())
+    }
+
+    /// Runs many independent jobs of the same application on **one**
+    /// shared worker pool: every job's task graph is spawned up front
+    /// and `cfg.pool_workers` OS threads drive them all concurrently —
+    /// the multi-tenant shape from the ROADMAP, with thread count
+    /// bounded by the pool instead of growing with the job count.
+    ///
+    /// Jobs fail independently: one job's OOM surfaces as its own `Err`
+    /// entry while the others complete (only a task *panic* poisons the
+    /// whole pool).
+    #[allow(clippy::type_complexity)]
+    pub fn run_many<A, P>(
+        &self,
+        app: &A,
+        jobs: Vec<Vec<Vec<(A::InKey, A::InValue)>>>,
+        cfg: &JobConfig,
+        partitioner: &P,
+    ) -> MrResult<ManyJobsOutput<A>>
+    where
+        A: Application,
+        P: Partitioner<A::MapKey> + Sync,
+    {
+        cfg.validate()?;
+        let states: Vec<StageState<A, Vec<(A::OutKey, A::OutValue)>>> = jobs
+            .iter()
+            .map(|splits| StageState::new(cfg, splits.len()))
+            .collect();
+        let mut pool = Pool::new();
+        for (state, splits) in states.iter().zip(jobs.iter()) {
+            build_stage(
+                &mut pool,
+                state,
+                app,
+                cfg,
+                partitioner,
+                StageInput::Splits(splits),
+                self.map_threads,
+                |_| Vec::new(),
+            )?;
         }
+        let report = pool.run(cfg.pool_workers)?;
+        let outs = states
+            .into_iter()
+            .map(|state| collect_stage(state).map(SinkedRun::into_job_output))
+            .collect();
+        Ok(ManyJobsOutput {
+            jobs: outs,
+            pool: PoolStats {
+                workers: report.workers,
+                peak_threads: report.peak_threads,
+            },
+        })
+    }
+
+    /// One job with caller-chosen reduce-output sinks: builds the stage
+    /// graph on a fresh pool and drives it with `cfg.pool_workers`
+    /// threads. The hook the chain driver builds on.
+    pub(crate) fn run_sinked<A, P, S, F>(
+        &self,
+        app: &A,
+        splits: Vec<Vec<(A::InKey, A::InValue)>>,
+        cfg: &JobConfig,
+        partitioner: &P,
+        make_sink: F,
+    ) -> MrResult<SinkedRun<A, S>>
+    where
+        A: Application,
+        P: Partitioner<A::MapKey> + Sync,
+        S: ReduceSink<A>,
+        F: Fn(usize) -> S,
+    {
+        let state = StageState::new(cfg, splits.len());
+        let mut pool = Pool::new();
+        build_stage(
+            &mut pool,
+            &state,
+            app,
+            cfg,
+            partitioner,
+            StageInput::Splits(&splits),
+            self.map_threads,
+            make_sink,
+        )?;
+        pool.run(cfg.pool_workers)?;
+        collect_stage(state)
     }
 
     /// Runs `app` with DryadInc-style map-output memoization (§8 of the
@@ -697,348 +1689,6 @@ impl LocalRunner {
             trace,
         })
     }
-
-    fn run_barrier<A: Application, P: Partitioner<A::MapKey>>(
-        &self,
-        app: &A,
-        splits: Vec<Vec<(A::InKey, A::InValue)>>,
-        cfg: &JobConfig,
-        partitioner: &P,
-    ) -> MrResult<JobOutput<A>> {
-        Ok(self
-            .run_barrier_sinked(app, splits, cfg, partitioner, |_| Vec::new())?
-            .into_job_output())
-    }
-
-    /// Barrier run with caller-chosen reduce-output sinks (one per
-    /// partition). The sink is fed *inside* the reduce worker thread the
-    /// moment the partition's grouped reduce finishes, so a streaming
-    /// sink overlaps downstream work with the other partitions' reduces.
-    pub(crate) fn run_barrier_sinked<A, P, S, F>(
-        &self,
-        app: &A,
-        splits: Vec<Vec<(A::InKey, A::InValue)>>,
-        cfg: &JobConfig,
-        partitioner: &P,
-        make_sink: F,
-    ) -> MrResult<SinkedRun<A, S>>
-    where
-        A: Application,
-        P: Partitioner<A::MapKey>,
-        S: ReduceSink<A>,
-        F: Fn(usize) -> S,
-    {
-        let started = Instant::now();
-        let reducers = cfg.reducers;
-        let n_splits = splits.len();
-        let tracing = cfg.trace.is_enabled();
-        let map_trace: Mutex<Vec<TraceBatch>> = Mutex::new(Vec::new());
-        let combining = combining_active(app, cfg);
-        let combine_budget = cfg.combiner.budget_bytes().unwrap_or(0) as usize;
-        // Map phase: workers claim splits by index so per-split output
-        // lands in a deterministic slot regardless of scheduling. With
-        // combining, each split's output is pre-aggregated per reducer
-        // before landing in its slot (combiners are per-split so slot
-        // contents stay deterministic).
-        type MapSlot<A> =
-            Option<Vec<Vec<(<A as Application>::MapKey, <A as Application>::MapValue)>>>;
-        let slots: Vec<Mutex<MapSlot<A>>> = (0..n_splits).map(|_| Mutex::new(None)).collect();
-        let next = AtomicUsize::new(0);
-        let map_counters = Mutex::new(Counters::new());
-
-        std::thread::scope(|scope| {
-            let mut handles = Vec::new();
-            for _ in 0..self.map_threads.min(n_splits.max(1)) {
-                let splits = &splits;
-                let slots = &slots;
-                let next = &next;
-                let map_counters = &map_counters;
-                let map_trace = &map_trace;
-                handles.push(scope.spawn(move || {
-                    let mut local_counters = Counters::new();
-                    loop {
-                        let idx = next.fetch_add(1, Ordering::Relaxed);
-                        if idx >= n_splits {
-                            break;
-                        }
-                        let t0 = started.elapsed().as_secs_f64();
-                        let mut parts: Vec<Vec<(A::MapKey, A::MapValue)>> =
-                            (0..reducers).map(|_| Vec::new()).collect();
-                        if combining {
-                            let mut combs: Vec<CombinerBuffer<A>> = (0..reducers)
-                                .map(|_| CombinerBuffer::new(app, combine_budget, cfg.store_index))
-                                .collect();
-                            {
-                                let mut emit = FnEmit(|k: A::MapKey, v: A::MapValue| {
-                                    local_counters.incr(names::MAP_OUTPUT_RECORDS);
-                                    let p = partitioner.partition(&k, reducers);
-                                    let sink = &mut parts[p];
-                                    combs[p].push(app, k, v, &mut |k2, v2| sink.push((k2, v2)));
-                                });
-                                for (k, v) in &splits[idx] {
-                                    app.map(k, v, &mut emit);
-                                }
-                            }
-                            for (p, comb) in combs.iter_mut().enumerate() {
-                                let sink = &mut parts[p];
-                                comb.drain(app, &mut |k, v| sink.push((k, v)));
-                                local_counters.add(names::COMBINE_INPUT_RECORDS, comb.records_in());
-                                local_counters
-                                    .add(names::COMBINE_OUTPUT_RECORDS, comb.records_out());
-                            }
-                        } else {
-                            let mut emit = FnEmit(|k: A::MapKey, v: A::MapValue| {
-                                local_counters.incr(names::MAP_OUTPUT_RECORDS);
-                                let p = partitioner.partition(&k, reducers);
-                                parts[p].push((k, v));
-                            });
-                            for (k, v) in &splits[idx] {
-                                app.map(k, v, &mut emit);
-                            }
-                        }
-                        *slots[idx].lock().unwrap() = Some(parts);
-                        if tracing {
-                            let mut rec = TraceRecorder::new(
-                                Scope::task(0, TaskKind::Map, idx as u32, 0, NO_NODE),
-                                true,
-                            );
-                            rec.span_wall(SpanKind::Map, t0, started.elapsed().as_secs_f64());
-                            map_trace.lock().unwrap().push(rec.into_batch());
-                        }
-                    }
-                    map_counters.lock().unwrap().merge(&local_counters);
-                }));
-            }
-            for h in handles {
-                h.join()
-                    .map_err(|_| MrError::WorkerPanic("map worker panicked".to_string()))?;
-            }
-            Ok::<(), MrError>(())
-        })?;
-
-        // Concatenate per-split partitions in split order (determinism).
-        let mut partitions: Vec<Vec<(A::MapKey, A::MapValue)>> =
-            (0..reducers).map(|_| Vec::new()).collect();
-        for slot in slots {
-            let parts = slot.into_inner().unwrap().expect("every split was mapped");
-            for (p, mut records) in parts.into_iter().enumerate() {
-                partitions[p].append(&mut records);
-            }
-        }
-
-        barrier_reduce_sinked(
-            self.map_threads.min(reducers),
-            app,
-            cfg,
-            partitions,
-            started,
-            map_counters.into_inner().unwrap(),
-            map_trace.into_inner().unwrap(),
-            make_sink,
-        )
-    }
-
-    fn run_pipelined<A: Application, P: Partitioner<A::MapKey>>(
-        &self,
-        app: &A,
-        splits: Vec<Vec<(A::InKey, A::InValue)>>,
-        cfg: &JobConfig,
-        partitioner: &P,
-    ) -> MrResult<JobOutput<A>> {
-        Ok(self
-            .run_pipelined_sinked(app, splits, cfg, partitioner, |_| Vec::new())?
-            .into_job_output())
-    }
-
-    /// Pipelined run with caller-chosen reduce-output sinks: mappers
-    /// stream batches into bounded per-reducer channels while reducer
-    /// threads absorb concurrently, and every record a reducer emits
-    /// (absorb-time, finalize, shared flush) goes straight to its sink —
-    /// the hook the chain driver uses to stream one job's output into
-    /// the next job's map intake.
-    pub(crate) fn run_pipelined_sinked<A, P, S, F>(
-        &self,
-        app: &A,
-        splits: Vec<Vec<(A::InKey, A::InValue)>>,
-        cfg: &JobConfig,
-        partitioner: &P,
-        make_sink: F,
-    ) -> MrResult<SinkedRun<A, S>>
-    where
-        A: Application,
-        P: Partitioner<A::MapKey>,
-        S: ReduceSink<A>,
-        F: Fn(usize) -> S,
-    {
-        let started = Instant::now();
-        let reducers = cfg.reducers;
-        let n_splits = splits.len();
-        let tracing = cfg.trace.is_enabled();
-        let dispatcher = TraceDispatcher::new(tracing);
-        let mut senders: Vec<Sender<Batch<A>>> = Vec::with_capacity(reducers);
-        let mut receivers: Vec<Receiver<Batch<A>>> = Vec::with_capacity(reducers);
-        for _ in 0..reducers {
-            let (tx, rx) = bounded(BATCH_CHANNEL_DEPTH);
-            senders.push(tx);
-            receivers.push(rx);
-        }
-
-        // Free-list of drained batch buffers: reducers hand emptied
-        // `Vec`s (capacity intact) back, mappers pop them instead of
-        // allocating a fresh buffer per batch. Capped at the channel
-        // capacity — anything beyond that could never be in flight.
-        let batch_pool: Mutex<Vec<Batch<A>>> = Mutex::new(Vec::new());
-        let batch_pool_cap = reducers * BATCH_CHANNEL_DEPTH;
-        let next = AtomicUsize::new(0);
-        let map_counters = Mutex::new(Counters::new());
-        type ReduceResult<A, S> = MrResult<(S, DriverReport, Counters, Vec<Snapshot<A>>)>;
-        let reduce_slots: Vec<Mutex<Option<ReduceResult<A, S>>>> =
-            (0..reducers).map(|_| Mutex::new(None)).collect();
-
-        std::thread::scope(|scope| {
-            // Reducers first: they consume as mappers produce (pipelining).
-            let mut reduce_handles = Vec::new();
-            for (r, rx) in receivers.into_iter().enumerate() {
-                let reduce_slots = &reduce_slots;
-                let batch_pool = &batch_pool;
-                let cfg_ref = cfg;
-                let sink = make_sink(r);
-                let dispatcher = &dispatcher;
-                reduce_handles.push(scope.spawn(move || {
-                    let t0 = started.elapsed().as_secs_f64();
-                    let result = pipelined_reduce_task(
-                        app,
-                        cfg_ref,
-                        r,
-                        rx,
-                        batch_pool,
-                        batch_pool_cap,
-                        started,
-                        sink,
-                    );
-                    // On failure the receiver (and the sink) are dropped
-                    // here, which disconnects the channel: blocked
-                    // mappers get a send error instead of waiting on a
-                    // consumer that's gone, and a streaming sink's
-                    // downstream sees EOF.
-                    if tracing {
-                        if let Ok((_, _, task_counters, snaps)) = &result {
-                            let mut rec = TraceRecorder::new(
-                                Scope::task(0, TaskKind::Reduce, r as u32, 0, NO_NODE),
-                                true,
-                            );
-                            rec.span_wall(
-                                SpanKind::ShuffleReduce,
-                                t0,
-                                started.elapsed().as_secs_f64(),
-                            );
-                            for s in snaps {
-                                rec.snapshot_wall(
-                                    s.at_secs,
-                                    s.seq,
-                                    s.records_absorbed,
-                                    s.live_entries as u64,
-                                );
-                            }
-                            record_counter_totals(&mut rec, task_counters);
-                            rec.flush_into(dispatcher);
-                        }
-                    }
-                    *reduce_slots[r].lock().unwrap() = Some(result);
-                }));
-            }
-
-            // Mappers fold records into per-reducer shuffle buffers and
-            // hand full batches to the channels.
-            let mut map_handles = Vec::new();
-            for _ in 0..self.map_threads.min(n_splits.max(1)) {
-                let splits = &splits;
-                let senders = senders.clone();
-                let next = &next;
-                let map_counters = &map_counters;
-                let batch_pool = &batch_pool;
-                let dispatcher = &dispatcher;
-                map_handles.push(scope.spawn(move || {
-                    let mut emitter =
-                        ShuffleEmitter::new(app, cfg, partitioner, senders, batch_pool);
-                    loop {
-                        let idx = next.fetch_add(1, Ordering::Relaxed);
-                        if idx >= n_splits {
-                            break;
-                        }
-                        let t0 = started.elapsed().as_secs_f64();
-                        {
-                            let emitter = &mut emitter;
-                            let mut emit =
-                                FnEmit(|k: A::MapKey, v: A::MapValue| emitter.push(k, v));
-                            for (k, v) in &splits[idx] {
-                                app.map(k, v, &mut emit);
-                            }
-                        }
-                        if tracing {
-                            let mut rec = TraceRecorder::new(
-                                Scope::task(0, TaskKind::Map, idx as u32, 0, NO_NODE),
-                                true,
-                            );
-                            rec.span_wall(SpanKind::Map, t0, started.elapsed().as_secs_f64());
-                            rec.flush_into(dispatcher);
-                        }
-                        if emitter.is_dead() {
-                            break;
-                        }
-                    }
-                    // End of this worker's splits: flush every buffer.
-                    emitter.flush();
-                    map_counters.lock().unwrap().merge(&emitter.into_counters());
-                }));
-            }
-            drop(senders); // reducers see EOF once all mappers finish
-
-            for h in map_handles {
-                h.join()
-                    .map_err(|_| MrError::WorkerPanic("map worker panicked".to_string()))?;
-            }
-            for h in reduce_handles {
-                h.join()
-                    .map_err(|_| MrError::WorkerPanic("reduce worker panicked".to_string()))?;
-            }
-            Ok::<(), MrError>(())
-        })?;
-
-        let mut counters = map_counters.into_inner().unwrap();
-        // Map counters are attributed to the job scope pre-merged: which
-        // worker mapped which split is scheduling-dependent, and the
-        // log's byte layout must not be.
-        if tracing {
-            let mut rec = TraceRecorder::new(Scope::job(0), true);
-            record_counter_totals(&mut rec, &counters);
-            rec.flush_into(&dispatcher);
-        }
-        let mut sinks = Vec::with_capacity(reducers);
-        let mut reports = Vec::with_capacity(reducers);
-        let mut snapshots = Vec::with_capacity(reducers);
-        for slot in reduce_slots {
-            let (sink, report, task_counters, snaps) =
-                slot.into_inner().unwrap().expect("every reducer ran")?;
-            counters.merge(&task_counters);
-            sinks.push(sink);
-            reports.push(report);
-            snapshots.push(snaps);
-        }
-        let trace = dispatcher.finish();
-        let counters = if tracing {
-            Counters::from_trace(&trace)
-        } else {
-            counters
-        };
-        Ok(SinkedRun {
-            sinks,
-            counters,
-            reports,
-            snapshots,
-            trace,
-        })
-    }
 }
 
 #[cfg(test)]
@@ -1146,6 +1796,28 @@ mod tests {
     }
 
     #[test]
+    fn oom_never_hangs_at_any_pool_width() {
+        // The failing reducer drops its channel; mappers must unwind via
+        // send errors at every pool width, including the degenerate
+        // 1-byte batch budget where every record is its own batch.
+        for pool_workers in [1, 2, 4] {
+            let splits = text_splits(4, 100);
+            let cfg = JobConfig::new(2)
+                .engine(Engine::barrierless())
+                .heap_cap(200)
+                .shuffle_batch_bytes(1)
+                .pool_workers(pool_workers)
+                .scratch_dir(scratch_dir("local-oom-pool"));
+            let err = LocalRunner::new(4).run(&WordCountApp, splits, &cfg);
+            assert!(
+                matches!(err, Err(MrError::OutOfMemory { .. })),
+                "workers {pool_workers}: expected OOM, got {:?}",
+                err.err().map(|e| e.to_string())
+            );
+        }
+    }
+
+    #[test]
     fn single_split_single_reducer() {
         let splits = vec![vec![(0u64, "a a b".to_string())]];
         let cfg = JobConfig::new(1).engine(Engine::barrierless());
@@ -1193,7 +1865,7 @@ mod tests {
             assert_eq!(got, expect, "engine {engine:?} with combiner diverged");
             // The combiner really ran and really pre-aggregated: raw map
             // output (10-word vocab × many lines) collapses to ~vocab
-            // records per map worker × reducer.
+            // records per split × reducer.
             assert_eq!(
                 combined.counters.get(names::COMBINE_INPUT_RECORDS),
                 plain.counters.get(names::MAP_OUTPUT_RECORDS)
@@ -1256,9 +1928,9 @@ mod tests {
 
     #[test]
     fn pipelined_recycles_batch_buffers() {
-        // One-record batches produce thousands of batches; drained
-        // buffers must flow back from the reducers through the
-        // free-list and get reused by the mappers.
+        // One-record batches produce thousands of batches; every batch
+        // beyond the channel depth must ride a recycled buffer, which is
+        // exactly what the modelled reuse counter accounts.
         let splits = text_splits(8, 80);
         let expect = expected_counts(&splits);
         let cfg = JobConfig::new(2)
@@ -1270,13 +1942,147 @@ mod tests {
         let batches = out.counters.get(names::SHUFFLE_BATCHES);
         let reused = out.counters.get(names::SHUFFLE_BATCH_REUSE);
         assert!(batches > 100);
-        assert!(reused > 0, "free-list never reused a drained buffer");
+        assert!(reused > 0, "reuse model never charged a buffer round trip");
         assert!(
             reused <= batches,
             "reuse {reused} exceeds batches {batches}"
         );
         let got: BTreeMap<String, u64> = out.into_sorted_output().into_iter().collect();
         assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn shuffle_counters_are_schedule_independent() {
+        // Batch boundaries are cut per split by byte budget, so the
+        // shuffle accounting must be byte-identical at every pool width
+        // — including the reuse counter, which is modelled from batch
+        // counts rather than observed free-list traffic.
+        let splits = text_splits(6, 40);
+        let run = |pool_workers: usize, combine: bool| {
+            let mut cfg = JobConfig::new(3)
+                .engine(Engine::barrierless())
+                .pool_workers(pool_workers);
+            if combine {
+                cfg = cfg.combiner(crate::config::CombinerPolicy::enabled());
+            }
+            LocalRunner::new(4)
+                .run(&WordCountApp, splits.clone(), &cfg)
+                .unwrap()
+        };
+        for combine in [false, true] {
+            let base = run(1, combine);
+            for workers in [2, 4] {
+                let other = run(workers, combine);
+                assert_eq!(
+                    base.partitions, other.partitions,
+                    "combine {combine}: output changed at {workers} workers"
+                );
+                let m = |c: &Counters| -> BTreeMap<String, u64> {
+                    c.iter().map(|(k, v)| (k.to_string(), v)).collect()
+                };
+                assert_eq!(
+                    m(&base.counters),
+                    m(&other.counters),
+                    "combine {combine}: counters changed at {workers} workers"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn many_jobs_share_a_bounded_pool() {
+        // The ROADMAP bar: hundreds of small concurrent jobs on a
+        // fixed-size pool, outputs byte-identical to one-job-at-a-time
+        // runs, thread count bounded by the pool — not the job count.
+        let n_jobs = 256;
+        let jobs: Vec<Vec<Vec<(u64, String)>>> = (0..n_jobs)
+            .map(|j| {
+                let mut split = text_splits(1, 6).remove(0);
+                for (id, line) in &mut split {
+                    *id += j as u64 * 1000;
+                    line.push_str(if j % 2 == 0 { " even" } else { " odd" });
+                }
+                vec![split]
+            })
+            .collect();
+        for engine in [Engine::Barrier, Engine::barrierless()] {
+            let cfg = JobConfig::new(2).engine(engine.clone()).pool_workers(4);
+            let many = LocalRunner::new(2)
+                .run_many(&WordCountApp, jobs.clone(), &cfg, &HashPartitioner)
+                .unwrap();
+            assert_eq!(many.pool.workers, 4);
+            assert!(
+                many.pool.peak_threads <= 4,
+                "{engine:?}: {} threads for a 4-worker pool",
+                many.pool.peak_threads
+            );
+            assert_eq!(many.jobs.len(), n_jobs);
+            for (j, (result, splits)) in many.jobs.into_iter().zip(jobs.iter()).enumerate() {
+                let got = result.unwrap_or_else(|e| panic!("{engine:?}: job {j} failed: {e}"));
+                let solo = LocalRunner::new(2)
+                    .run(&WordCountApp, splits.clone(), &cfg)
+                    .unwrap();
+                assert_eq!(
+                    got.partitions, solo.partitions,
+                    "{engine:?}: job {j} diverged from its solo run"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn many_jobs_survive_one_byte_batches_on_a_tiny_pool() {
+        // Worst-case interleaving pressure: every record is its own
+        // batch, channels fill constantly, dozens of jobs share two
+        // workers — and nothing hangs or drops a record.
+        let jobs: Vec<Vec<Vec<(u64, String)>>> = (0..32).map(|_| text_splits(2, 8)).collect();
+        let cfg = JobConfig::new(2)
+            .engine(Engine::barrierless())
+            .shuffle_batch_bytes(1)
+            .pool_workers(2);
+        let many = LocalRunner::new(2)
+            .run_many(&WordCountApp, jobs.clone(), &cfg, &HashPartitioner)
+            .unwrap();
+        let expect = expected_counts(&jobs[0]);
+        for result in many.jobs {
+            let got: BTreeMap<String, u64> =
+                result.unwrap().into_sorted_output().into_iter().collect();
+            assert_eq!(got, expect);
+        }
+    }
+
+    #[test]
+    fn many_jobs_isolate_a_failing_job() {
+        // Job 1 OOMs; its neighbours still finish with correct output.
+        // The neighbours' keyed state is bounded by the tiny shared
+        // vocabulary; job 1's all-unique words blow through the cap.
+        let mut jobs: Vec<Vec<Vec<(u64, String)>>> = (0..4).map(|_| text_splits(1, 10)).collect();
+        jobs[1] = vec![(0..400u64).map(|i| (i, format!("uniq{i:04}"))).collect()];
+        let cfg = JobConfig::new(2)
+            .engine(Engine::barrierless())
+            .heap_cap(2000)
+            .pool_workers(2)
+            .scratch_dir(scratch_dir("many-oom"));
+        let many = LocalRunner::new(2)
+            .run_many(&WordCountApp, jobs.clone(), &cfg, &HashPartitioner)
+            .unwrap();
+        assert!(
+            matches!(many.jobs[1], Err(MrError::OutOfMemory { .. })),
+            "job 1 should OOM, got {:?}",
+            many.jobs[1].as_ref().err().map(|e| e.to_string())
+        );
+        let expect = expected_counts(&jobs[0]);
+        for (j, result) in many.jobs.into_iter().enumerate() {
+            if j == 1 {
+                continue;
+            }
+            let got: BTreeMap<String, u64> = result
+                .unwrap_or_else(|e| panic!("job {j} should survive, got {e}"))
+                .into_sorted_output()
+                .into_iter()
+                .collect();
+            assert_eq!(got, expect, "job {j} output corrupted by job 1's OOM");
+        }
     }
 
     #[test]
@@ -1337,6 +2143,12 @@ mod tests {
         );
         let mut cfg = JobConfig::new(2);
         cfg.reducers = 0;
+        assert!(matches!(
+            LocalRunner::new(2).run(&WordCountApp, splits.clone(), &cfg),
+            Err(MrError::InvalidConfig(_))
+        ));
+        let mut cfg = JobConfig::new(2);
+        cfg.pool_workers = 0;
         assert!(matches!(
             LocalRunner::new(2).run(&WordCountApp, splits, &cfg),
             Err(MrError::InvalidConfig(_))

@@ -1,0 +1,66 @@
+//! Many small jobs on one fixed-size worker pool.
+//!
+//! ```sh
+//! cargo run --release --example many_jobs
+//! ```
+//!
+//! Thread-per-task execution would need hundreds of OS threads to run
+//! this batch concurrently; the pool runtime multiplexes every job's
+//! task state machines onto [`JobConfig::pool_workers`] threads and
+//! reports the peak thread count as evidence.
+
+use barrier_mapreduce::apps::WordCount;
+use barrier_mapreduce::core::local::LocalRunner;
+use barrier_mapreduce::core::{Engine, HashPartitioner, JobConfig};
+
+fn main() {
+    const JOBS: usize = 64;
+
+    // Each job: two splits of synthetic text, seeded by job id so the
+    // answers differ.
+    let jobs: Vec<Vec<Vec<(u64, String)>>> = (0..JOBS)
+        .map(|j| {
+            (0..2)
+                .map(|s| {
+                    (0..8)
+                        .map(|line| {
+                            let text = format!(
+                                "job {j} split {s} line word{} word{} barrier",
+                                (j + line) % 5,
+                                (j * 3 + line) % 7
+                            );
+                            (line as u64, text)
+                        })
+                        .collect()
+                })
+                .collect()
+        })
+        .collect();
+
+    let cfg = JobConfig::new(2)
+        .engine(Engine::barrierless())
+        .pool_workers(4);
+    let batch = LocalRunner::new(2)
+        .run_many(&WordCount, jobs, &cfg, &HashPartitioner)
+        .expect("batch");
+
+    let ok = batch.jobs.iter().filter(|j| j.is_ok()).count();
+    println!(
+        "{ok}/{JOBS} jobs completed on {} pool workers (peak live pool threads: {})",
+        batch.pool.workers, batch.pool.peak_threads
+    );
+    assert_eq!(ok, JOBS);
+    assert!(batch.pool.peak_threads <= batch.pool.workers);
+
+    // Spot-check one job's answer.
+    let first = batch.jobs[0].as_ref().expect("job 0");
+    let count = first
+        .partitions
+        .iter()
+        .flatten()
+        .find(|(w, _)| w == "barrier")
+        .map(|(_, c)| *c)
+        .expect("'barrier' appears in every line");
+    println!("job 0 counted 'barrier' {count} times");
+    assert_eq!(count, 16);
+}

@@ -80,20 +80,28 @@ proptest! {
                 *reference.entry(w.clone()).or_insert(0) += 1;
             }
         }
+        // The pool axis: every width must agree with every other (the
+        // worker pool multiplexes task state machines without touching
+        // what they compute).
         for engine in all_engines() {
             for combiner in combiner_settings() {
                 for index in INDEXES {
-                    let cfg = JobConfig::new(reducers)
-                        .engine(engine.clone())
-                        .combiner(combiner)
-                        .store_index(index)
-                        .scratch_dir(scratch());
-                    let out = LocalRunner::new(2).run(&WordCount, splits.clone(), &cfg).unwrap();
-                    let got: BTreeMap<String, u64> = out.into_sorted_output().into_iter().collect();
-                    prop_assert_eq!(
-                        &got, &reference,
-                        "engine {:?} combiner {:?} index {:?}", engine, combiner, index
-                    );
+                    for workers in [1usize, 2, 4] {
+                        let cfg = JobConfig::new(reducers)
+                            .engine(engine.clone())
+                            .combiner(combiner)
+                            .store_index(index)
+                            .pool_workers(workers)
+                            .scratch_dir(scratch());
+                        let out = LocalRunner::new(2).run(&WordCount, splits.clone(), &cfg).unwrap();
+                        let got: BTreeMap<String, u64> =
+                            out.into_sorted_output().into_iter().collect();
+                        prop_assert_eq!(
+                            &got, &reference,
+                            "engine {:?} combiner {:?} index {:?} workers {}",
+                            engine, combiner, index, workers
+                        );
+                    }
                 }
             }
         }
@@ -275,24 +283,32 @@ proptest! {
                         .run(&topk, splits2, &cfg2)
                         .unwrap()
                         .partitions;
+                    // Pool widths sweep with the handoff mode: streaming
+                    // chains share one pool across both stages, so the
+                    // width axis exercises cross-stage multiplexing.
                     for handoff in [HandoffMode::Barrier, HandoffMode::Streaming] {
-                        let spec = ChainSpec::new(vec![cfg1.clone(), cfg2.clone()])
+                        for workers in [1usize, 3] {
+                            let spec = ChainSpec::new(vec![
+                                cfg1.clone().pool_workers(workers),
+                                cfg2.clone().pool_workers(workers),
+                            ])
                             .handoff(handoff);
-                        let got = LocalRunner::new(2)
-                            .run_chain2(
-                                &WordCount,
-                                &topk,
-                                splits.clone(),
-                                &spec,
-                                &HashPartitioner,
-                                &HashPartitioner,
-                            )
-                            .unwrap();
-                        prop_assert_eq!(
-                            &got.output.partitions, &expect,
-                            "chain {:?} diverged from sequential under {:?} {:?} {:?}",
-                            handoff, engine, index, combiner
-                        );
+                            let got = LocalRunner::new(2)
+                                .run_chain2(
+                                    &WordCount,
+                                    &topk,
+                                    splits.clone(),
+                                    &spec,
+                                    &HashPartitioner,
+                                    &HashPartitioner,
+                                )
+                                .unwrap();
+                            prop_assert_eq!(
+                                &got.output.partitions, &expect,
+                                "chain {:?}/{}w diverged from sequential under {:?} {:?} {:?}",
+                                handoff, workers, engine, index, combiner
+                            );
+                        }
                     }
                 }
             }
