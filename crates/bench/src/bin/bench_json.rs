@@ -32,9 +32,9 @@ use mr_core::engine::pipeline::{
 };
 use mr_core::local::LocalRunner;
 use mr_core::{
-    ChainSpec, CombinerBuffer, CombinerPolicy, Counters, DeadlinePolicy, Engine, HandoffMode,
-    HashPartitioner, JobConfig, MemoryPolicy, SnapshotPolicy, SpeculationPolicy, StoreIndex,
-    TracePolicy,
+    serve, ChainSpec, CombinerBuffer, CombinerPolicy, Counters, DeadlinePolicy, Engine,
+    HandoffMode, HashPartitioner, JobConfig, MemoryPolicy, ServiceConfig, SnapshotPolicy,
+    SpeculationPolicy, StoreIndex, TracePolicy,
 };
 use mr_workloads::TextWorkload;
 use std::time::Instant;
@@ -110,7 +110,7 @@ fn many_jobs_cfg() -> JobConfig {
 fn main() {
     let out_path = std::env::args()
         .nth(1)
-        .unwrap_or_else(|| "BENCH_8.json".to_string());
+        .unwrap_or_else(|| "BENCH_9.json".to_string());
     let splits = wc_splits(12);
     let mut results = Vec::new();
 
@@ -174,7 +174,7 @@ fn main() {
         }));
     }
     {
-        let jobs = many_jobs_inputs;
+        let jobs = many_jobs_inputs.clone();
         results.push(bench("local_many_jobs_thread_per_task", move || {
             let mut total = 0;
             for job in &jobs {
@@ -183,6 +183,75 @@ fn main() {
                     .run(&mr_apps::WordCount, job.clone(), &cfg)
                     .expect("job");
                 total += out.counters.get(names::MAP_OUTPUT_RECORDS);
+            }
+            total
+        }));
+    }
+
+    // The service layer's headline: the same 256 jobs, now from 4
+    // tenants through one long-lived `serve` pool (admission + fair
+    // scheduling in the submit path), against running them as 4
+    // per-tenant `run_many` batches that each spin up and tear down
+    // their own pool. The gap tracks what the admission/fair-pick
+    // machinery costs — and what the batch baseline pays in repeated
+    // pool setup and lost cross-batch overlap.
+    {
+        let jobs = many_jobs_inputs.clone();
+        results.push(bench("job_service_contended", move || {
+            let svc_cfg = ServiceConfig::new(4).pool_workers(4);
+            let (total, report) = serve(
+                &mr_apps::WordCount,
+                &HashPartitioner,
+                &svc_cfg,
+                |svc| -> u64 {
+                    let handles: Vec<_> = jobs
+                        .iter()
+                        .enumerate()
+                        .map(|(j, splits)| {
+                            svc.submit(j % 4, splits.clone(), &many_jobs_cfg())
+                                .expect("admission")
+                        })
+                        .collect();
+                    handles
+                        .into_iter()
+                        .map(|h| {
+                            h.wait()
+                                .expect("job")
+                                .counters
+                                .get(names::MAP_OUTPUT_RECORDS)
+                        })
+                        .sum()
+                },
+            )
+            .expect("service run");
+            assert_eq!(report.completed, 256);
+            total
+        }));
+    }
+    {
+        let jobs = many_jobs_inputs;
+        results.push(bench("job_service_per_batch_pools", move || {
+            let mut total = 0;
+            for tenant in 0..4usize {
+                let batch: Vec<_> = jobs.iter().skip(tenant).step_by(4).cloned().collect();
+                let out = LocalRunner::new(2)
+                    .run_many(
+                        &mr_apps::WordCount,
+                        batch,
+                        &many_jobs_cfg(),
+                        &HashPartitioner,
+                    )
+                    .expect("batch");
+                total += out
+                    .jobs
+                    .iter()
+                    .map(|j| {
+                        j.as_ref()
+                            .expect("job")
+                            .counters
+                            .get(names::MAP_OUTPUT_RECORDS)
+                    })
+                    .sum::<u64>();
             }
             total
         }));

@@ -58,6 +58,7 @@ use crate::costs::CostModel;
 use crate::executor::Fault;
 use crate::input::SimInput;
 use crate::params::ClusterParams;
+use crate::placement::{SlotLedger, TieBreak};
 use crate::report::Outcome;
 use crate::timeline::{SpanKind, SpecEvent, SpecTaskKind, Timeline};
 use crate::trace::SimTracer;
@@ -516,10 +517,8 @@ struct ChainSim<'a, A: Application, B: Application, I, PA, PB> {
     net: Network<Tag>,
     disks: Vec<FifoResource>,
     dfs: Dfs,
-    node_alive: Vec<bool>,
+    slots: SlotLedger,
     node_factor: Vec<f64>,
-    map_slots_used: Vec<usize>,
-    red_slots_used: Vec<usize>,
     maps1: Vec<Map1<A>>,
     reds1: Vec<RedTask<A>>,
     /// Live speculative backup attempts, one at most per stage-1 reducer.
@@ -645,9 +644,7 @@ where
             disks: (0..p.nodes)
                 .map(|_| FifoResource::new(p.disk_bytes_per_sec))
                 .collect(),
-            node_alive: vec![true; p.nodes],
-            map_slots_used: vec![0; p.nodes],
-            red_slots_used: vec![0; p.nodes],
+            slots: SlotLedger::new(p.nodes, p.map_slots, p.reduce_slots),
             noise_rng: StdRng::seed_from_u64(p.seed ^ 0x5EED_0F0F),
             streaming: spec.chain.handoff == HandoffMode::Streaming,
             p,
@@ -722,14 +719,7 @@ where
     /// tasks spread away from the stage-1 tasks feeding them instead of
     /// stacking onto the same nodes.
     fn free_slot_node(&self, is_map: bool) -> Option<usize> {
-        let (used, cap) = if is_map {
-            (&self.map_slots_used, self.p.map_slots)
-        } else {
-            (&self.red_slots_used, self.p.reduce_slots)
-        };
-        (0..self.p.nodes)
-            .filter(|&n| self.node_alive[n] && used[n] < cap)
-            .min_by_key(|&n| (used[n], std::cmp::Reverse(n)))
+        self.slots.least_loaded(is_map, TieBreak::HighIndex)
     }
 
     /// Which live stage-1 reduce attempt carries `attempt`:
@@ -982,8 +972,8 @@ where
                 }
             }
             Ev::SpecSlotFree(n) => {
-                if self.node_alive[n] {
-                    self.red_slots_used[n] = self.red_slots_used[n].saturating_sub(1);
+                if self.slots.alive[n] {
+                    self.slots.red_used[n] = self.slots.red_used[n].saturating_sub(1);
                     self.queue.schedule(at, Ev::Schedule);
                 }
             }
@@ -998,9 +988,7 @@ where
         // holds (see module docs).
         self.evict_for_stage1(at);
         // Stage-1 maps: chunk-local placement onto map slots.
-        while let Some(node) = (0..self.p.nodes)
-            .find(|&n| self.node_alive[n] && self.map_slots_used[n] < self.p.map_slots)
-        {
+        while let Some(node) = self.slots.first_free_map() {
             let local = self.maps1.iter().position(|m| {
                 m.state == MState::Pending && self.dfs.is_local(m.chunk, NodeId(node as u32))
             });
@@ -1010,10 +998,7 @@ where
         }
         // Stage-1 reducers: id order onto reduce slots.
         while let Some(r) = self.reds1.iter().position(|r| r.state == RState::Pending) {
-            let Some(node) = (0..self.p.nodes)
-                .filter(|&n| self.node_alive[n] && self.red_slots_used[n] < self.p.reduce_slots)
-                .min_by_key(|&n| self.red_slots_used[n])
-            else {
+            let Some(node) = self.slots.least_loaded(false, TieBreak::LowIndex) else {
                 break;
             };
             self.start_reduce1(at, r, node);
@@ -1095,20 +1080,12 @@ where
     }
 
     fn free_slots(&self, is_map: bool) -> usize {
-        let (used, cap) = if is_map {
-            (&self.map_slots_used, self.p.map_slots)
-        } else {
-            (&self.red_slots_used, self.p.reduce_slots)
-        };
-        (0..self.p.nodes)
-            .filter(|&n| self.node_alive[n])
-            .map(|n| cap - used[n])
-            .sum()
+        self.slots.free_slots(is_map)
     }
 
     fn evict_map2(&mut self, at: SimTime, m: usize) {
         let old = self.maps2[m].attempt;
-        self.map_slots_used[self.maps2[m].node] -= 1;
+        self.slots.map_used[self.maps2[m].node] -= 1;
         self.maps2[m].restart(self.cfg2.reducers);
         self.net.cancel_where(at, |t| match *t {
             Tag::Handoff {
@@ -1121,7 +1098,7 @@ where
 
     fn evict_red2(&mut self, at: SimTime, r: usize) {
         let old = self.reds2[r].attempt;
-        self.red_slots_used[self.reds2[r].node] -= 1;
+        self.slots.red_used[self.reds2[r].node] -= 1;
         self.reds2[r].restart();
         self.net.cancel_where(at, |t| match *t {
             Tag::Shuffle2 {
@@ -1135,7 +1112,7 @@ where
     // --------------------------------------------------------- stage 1 map
 
     fn start_map1(&mut self, at: SimTime, m: usize, node: usize) {
-        self.map_slots_used[node] += 1;
+        self.slots.map_used[node] += 1;
         self.map1_tasks_run += 1;
         let task = &mut self.maps1[m];
         task.state = MState::Fetching;
@@ -1207,7 +1184,7 @@ where
         let node = self.maps1[m].node;
         self.maps1[m].state = MState::Done;
         self.maps1_done += 1;
-        self.map_slots_used[node] -= 1;
+        self.slots.map_used[node] -= 1;
         self.tracer.span(
             0,
             SpanKind::Map,
@@ -1246,7 +1223,7 @@ where
     // ------------------------------------------------------ stage 1 reduce
 
     fn start_reduce1(&mut self, at: SimTime, r: usize, node: usize) {
-        self.red_slots_used[node] += 1;
+        self.slots.red_used[node] += 1;
         self.red1_tasks_run += 1;
         let n_maps = self.maps1.len();
         let task = &mut self.reds1[r];
@@ -1549,7 +1526,7 @@ where
 
     fn red1_done(&mut self, at: SimTime, r: usize) {
         self.reds1_done += 1;
-        self.red_slots_used[self.reds1[r].node] -= 1;
+        self.slots.red_used[self.reds1[r].node] -= 1;
         if self.reds1_done == self.reds1.len() && self.stage1_complete.is_none() {
             self.stage1_complete = Some(at);
             self.tracer.stage_done(0, at);
@@ -1643,8 +1620,8 @@ where
         }
         if was == M2State::Done {
             self.maps2_done -= 1;
-        } else if self.node_alive[self.maps2[m].node] {
-            self.map_slots_used[self.maps2[m].node] -= 1;
+        } else if self.slots.alive[self.maps2[m].node] {
+            self.slots.map_used[self.maps2[m].node] -= 1;
         }
         self.downstream_map_restarts += 1;
         let old = self.maps2[m].attempt;
@@ -1681,7 +1658,7 @@ where
             return;
         };
         let mut facs: Vec<f64> = (0..self.p.nodes)
-            .filter(|&n| self.node_alive[n])
+            .filter(|&n| self.slots.alive[n])
             .map(|n| self.node_factor[n])
             .collect();
         facs.sort_by(|a, b| a.partial_cmp(b).expect("factors are finite"));
@@ -1712,18 +1689,16 @@ where
         // Fastest free node away from the straggler wins (LATE-style):
         // a backup on another slow node would just burn a slot.
         let Some(node) = (0..self.p.nodes)
-            .filter(|&n| {
-                self.node_alive[n] && n != avoid && self.red_slots_used[n] < self.p.reduce_slots
-            })
+            .filter(|&n| n != avoid && self.slots.has_free(false, n))
             .min_by(|&a, &b| {
-                let key = |n: usize| (self.node_factor[n], self.red_slots_used[n], n);
+                let key = |n: usize| (self.node_factor[n], self.slots.red_used[n], n);
                 key(a).partial_cmp(&key(b)).expect("factors are finite")
             })
         else {
             return; // no slot free away from the straggler: retry next tick
         };
         self.red1_speculated[r] = true;
-        self.red_slots_used[node] += 1;
+        self.slots.red_used[node] += 1;
         self.red1_tasks_run += 1;
         self.red1_seq[r] += 1;
         let attempt = self.red1_seq[r];
@@ -1844,7 +1819,7 @@ where
     // --------------------------------------------------------- stage 2 map
 
     fn start_map2(&mut self, at: SimTime, m: usize, node: usize) {
-        self.map_slots_used[node] += 1;
+        self.slots.map_used[node] += 1;
         self.map2_tasks_run += 1;
         let task = &mut self.maps2[m];
         task.state = M2State::Consuming;
@@ -1879,13 +1854,13 @@ where
     fn start_fetch2(&mut self, at: SimTime, m: usize) {
         let r = m;
         debug_assert_eq!(self.reds1[r].state, RState::Done);
-        let src = if self.node_alive[self.reds1[r].node] {
+        let src = if self.slots.alive[self.reds1[r].node] {
             self.reds1[r].node
         } else {
             // The writer died after materializing; the replicated block
             // is served from a surviving node.
             (0..self.p.nodes)
-                .find(|&n| self.node_alive[n])
+                .find(|&n| self.slots.alive[n])
                 .expect("at least one node alive")
         };
         let len = self.reds1[r].out.len();
@@ -1955,7 +1930,7 @@ where
     fn map2_done(&mut self, at: SimTime, m: usize) {
         self.maps2[m].state = M2State::Done;
         self.maps2_done += 1;
-        self.map_slots_used[self.maps2[m].node] -= 1;
+        self.slots.map_used[self.maps2[m].node] -= 1;
         self.tracer.span(
             1,
             SpanKind::Map,
@@ -1981,7 +1956,7 @@ where
     // ------------------------------------------------------ stage 2 reduce
 
     fn start_reduce2(&mut self, at: SimTime, r: usize, node: usize) {
-        self.red_slots_used[node] += 1;
+        self.slots.red_used[node] += 1;
         self.red2_tasks_run += 1;
         let n_maps = self.maps2.len();
         let task = &mut self.reds2[r];
@@ -2227,8 +2202,8 @@ where
         task.state = RState::Done;
         self.reds2_done += 1;
         let (node, attempt, write_started) = (task.node, task.attempt, task.write_started);
-        if self.node_alive[node] {
-            self.red_slots_used[node] -= 1;
+        if self.slots.alive[node] {
+            self.slots.red_used[node] -= 1;
         }
         self.tracer
             .span(1, SpanKind::Output, r, attempt, node, write_started, at);
@@ -2321,13 +2296,11 @@ where
     // ------------------------------------------------------------- faults
 
     fn fail_node(&mut self, at: SimTime, n: usize) {
-        if !self.node_alive[n] {
+        if !self.slots.alive[n] {
             return;
         }
-        self.node_alive[n] = false;
-        self.map_slots_used[n] = 0;
-        self.red_slots_used[n] = 0;
-        if !self.node_alive.iter().any(|&alive| alive) {
+        self.slots.fail_node(n);
+        if !self.slots.any_alive() {
             self.failure = Some((at, "every node has failed; chain lost".to_string()));
             return;
         }
@@ -2394,7 +2367,7 @@ where
         // stage-2 reducer still needs their shuffle output.
         for (m, task) in self.maps2.iter().enumerate() {
             if task.state == M2State::Done
-                && !self.node_alive[task.node]
+                && !self.slots.alive[task.node]
                 && self.reds2.iter().enumerate().any(|(r, red)| {
                     red.state != RState::Done
                         && (reds2_restart[r] || red.fetched_from.len() <= m || !red.fetched_from[m])
@@ -2417,7 +2390,7 @@ where
                     // A restarting downstream map needs the stream again;
                     // if it was never materialized and its producer's
                     // node is gone, the producer re-runs.
-                    if up.state == RState::Done && !self.node_alive[up.node] {
+                    if up.state == RState::Done && !self.slots.alive[up.node] {
                         reds1_restart[r] = true;
                         changed = true;
                     }
@@ -2429,7 +2402,7 @@ where
                     let up = &self.reds1[r];
                     let down = &self.maps2[r];
                     if up.state == RState::Done
-                        && !self.node_alive[up.node]
+                        && !self.slots.alive[up.node]
                         && down.state == M2State::Consuming
                         && down.received < up.out.len()
                     {
@@ -2446,8 +2419,8 @@ where
         // Apply stage-2 reducer restarts (rescheduled by `Schedule`).
         for (r, restart) in reds2_restart.iter().enumerate() {
             if *restart {
-                if self.node_alive[self.reds2[r].node] {
-                    self.red_slots_used[self.reds2[r].node] -= 1;
+                if self.slots.alive[self.reds2[r].node] {
+                    self.slots.red_used[self.reds2[r].node] -= 1;
                 }
                 self.reds2[r].restart();
             }
@@ -2463,8 +2436,8 @@ where
                     if was == M2State::Done {
                         // Its map slot was released at completion.
                         self.maps2_done -= 1;
-                    } else if self.node_alive[self.maps2[m].node] {
-                        self.map_slots_used[self.maps2[m].node] -= 1;
+                    } else if self.slots.alive[self.maps2[m].node] {
+                        self.slots.map_used[self.maps2[m].node] -= 1;
                         self.downstream_map_restarts += 1;
                     }
                     self.maps2[m].restart(reducers);
@@ -2505,7 +2478,7 @@ where
             let needs_rerun = match self.maps1[m].state {
                 MState::Fetching | MState::Computing | MState::Writing => self.maps1[m].node == n,
                 MState::Done => {
-                    !self.node_alive[self.maps1[m].node]
+                    !self.slots.alive[self.maps1[m].node]
                         && self
                             .reds1
                             .iter()
@@ -2568,7 +2541,7 @@ where
                     if self.reds1[red].attempt == red_attempt
                         && self.maps2[map].attempt == map_attempt
                         && self.maps2[map].state == M2State::Consuming
-                        && self.node_alive[self.reds1[red].node]
+                        && self.slots.alive[self.reds1[red].node]
                     {
                         self.reds1[red].handed = self.reds1[red].handed.min(start);
                         self.ship_handoff(at, red);

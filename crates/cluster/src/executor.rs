@@ -7,6 +7,7 @@
 use crate::costs::CostModel;
 use crate::input::SimInput;
 use crate::params::ClusterParams;
+use crate::placement::{SlotLedger, TieBreak};
 use crate::report::{Outcome, SimReport};
 use crate::timeline::{SpanKind, SpecEvent, SpecTaskKind, Timeline};
 use crate::trace::SimTracer;
@@ -279,10 +280,8 @@ struct Sim<'a, A: Application, I, P> {
     net: Network<Tag>,
     disks: Vec<FifoResource>,
     dfs: Dfs,
-    node_alive: Vec<bool>,
+    slots: SlotLedger,
     node_factor: Vec<f64>,
-    map_slots_used: Vec<usize>,
-    red_slots_used: Vec<usize>,
     maps: Vec<MapTask<A>>,
     reds: Vec<ReduceTask<A>>,
     /// Speculative backup attempts, one slot per task. `Some` while a
@@ -421,9 +420,7 @@ where
             disks: (0..p.nodes)
                 .map(|_| FifoResource::new(p.disk_bytes_per_sec))
                 .collect(),
-            node_alive: vec![true; p.nodes],
-            map_slots_used: vec![0; p.nodes],
-            red_slots_used: vec![0; p.nodes],
+            slots: SlotLedger::new(p.nodes, p.map_slots, p.reduce_slots),
             noise_rng: StdRng::seed_from_u64(p.seed ^ 0x5EED_0F0F),
             p,
             app,
@@ -755,11 +752,11 @@ where
                 }
             }
             Ev::SpecSlotFree(n, is_map) => {
-                if self.node_alive[n] {
+                if self.slots.alive[n] {
                     let slots = if is_map {
-                        &mut self.map_slots_used[n]
+                        &mut self.slots.map_used[n]
                     } else {
-                        &mut self.red_slots_used[n]
+                        &mut self.slots.red_used[n]
                     };
                     *slots = slots.saturating_sub(1);
                     self.queue.schedule(at, Ev::Schedule);
@@ -876,9 +873,7 @@ where
 
     fn schedule_tasks(&mut self, at: SimTime) {
         // Map tasks: prefer chunk-local placement, like Hadoop's scheduler.
-        while let Some(node) = (0..self.p.nodes)
-            .find(|&n| self.node_alive[n] && self.map_slots_used[n] < self.p.map_slots)
-        {
+        while let Some(node) = self.slots.first_free_map() {
             // First pass: a pending map with a replica on this node.
             let local = self.maps.iter().position(|m| {
                 m.state == MapState::Pending && self.dfs.is_local(m.chunk, NodeId(node as u32))
@@ -890,10 +885,7 @@ where
         }
         // Reduce tasks: id order onto free reduce slots.
         while let Some(r) = self.reds.iter().position(|r| r.state == RedState::Pending) {
-            let Some(node) = (0..self.p.nodes)
-                .filter(|&n| self.node_alive[n] && self.red_slots_used[n] < self.p.reduce_slots)
-                .min_by_key(|&n| self.red_slots_used[n])
-            else {
+            let Some(node) = self.slots.least_loaded(false, TieBreak::LowIndex) else {
                 break;
             };
             self.start_reduce(at, r, node);
@@ -936,7 +928,7 @@ where
             return;
         };
         let mut facs: Vec<f64> = (0..self.p.nodes)
-            .filter(|&n| self.node_alive[n])
+            .filter(|&n| self.slots.alive[n])
             .map(|n| self.node_factor[n])
             .collect();
         facs.sort_by(|a, b| a.partial_cmp(b).expect("factors are finite"));
@@ -1066,22 +1058,10 @@ where
     /// just burn a slot. Ties prefer chunk locality for maps, then the
     /// lightest load.
     fn backup_node(&self, avoid: usize, is_map: bool, chunk: Option<ChunkId>) -> Option<usize> {
-        let free = |n: usize| {
-            self.node_alive[n]
-                && n != avoid
-                && if is_map {
-                    self.map_slots_used[n] < self.p.map_slots
-                } else {
-                    self.red_slots_used[n] < self.p.reduce_slots
-                }
-        };
+        let free = |n: usize| n != avoid && self.slots.has_free(is_map, n);
         let key = |n: usize| {
             let local = chunk.is_some_and(|c| self.dfs.is_local(c, NodeId(n as u32)));
-            let load = if is_map {
-                self.map_slots_used[n]
-            } else {
-                self.red_slots_used[n]
-            };
+            let load = self.slots.used(is_map, n);
             (self.node_factor[n], !local, load, n)
         };
         (0..self.p.nodes)
@@ -1096,7 +1076,7 @@ where
             return;
         };
         self.map_speculated[m] = true;
-        self.map_slots_used[node] += 1;
+        self.slots.map_used[node] += 1;
         self.map_tasks_run += 1;
         self.map_seq[m] += 1;
         let attempt = self.map_seq[m];
@@ -1131,7 +1111,7 @@ where
         };
         let launch = at + SimDuration::from_secs_f64(self.costs.speculation_launch_overhead_secs);
         self.red_speculated[r] = true;
-        self.red_slots_used[node] += 1;
+        self.slots.red_used[node] += 1;
         self.reduce_tasks_run += 1;
         self.red_seq[r] += 1;
         let attempt = self.red_seq[r];
@@ -1191,7 +1171,7 @@ where
     // ---------------------------------------------------------- map side
 
     fn start_map(&mut self, at: SimTime, m: usize, node: usize) {
-        self.map_slots_used[node] += 1;
+        self.slots.map_used[node] += 1;
         self.map_tasks_run += 1;
         let task = &mut self.maps[m];
         task.state = MapState::Fetching;
@@ -1326,7 +1306,7 @@ where
         let node = self.maps[m].node;
         self.maps[m].state = MapState::Done;
         self.maps_done += 1;
-        self.map_slots_used[node] -= 1;
+        self.slots.map_used[node] -= 1;
         self.tracer.span(
             0,
             SpanKind::Map,
@@ -1401,7 +1381,7 @@ where
     // -------------------------------------------------------- reduce side
 
     fn start_reduce(&mut self, at: SimTime, r: usize, node: usize) {
-        self.red_slots_used[node] += 1;
+        self.slots.red_used[node] += 1;
         self.reduce_tasks_run += 1;
         let n_maps = self.maps.len();
         let task = &mut self.reds[r];
@@ -1882,7 +1862,7 @@ where
         let task = &mut self.reds[r];
         task.state = RedState::Done;
         self.reds_done += 1;
-        self.red_slots_used[task.node] -= 1;
+        self.slots.red_used[task.node] -= 1;
         let wrote_from = task.reduce_phase_started.expect("write started");
         let (attempt, node) = (task.attempt, task.node);
         self.tracer
@@ -1893,16 +1873,14 @@ where
     // ------------------------------------------------------------- faults
 
     fn fail_node(&mut self, at: SimTime, n: usize) {
-        if !self.node_alive[n] {
+        if !self.slots.alive[n] {
             return;
         }
-        self.node_alive[n] = false;
-        self.map_slots_used[n] = 0;
-        self.red_slots_used[n] = 0;
+        self.slots.fail_node(n);
         // With every node dead there is nothing to recover onto — the
         // job is gone. Report that loudly rather than letting the event
         // queue drain into a bogus "completed with empty output".
-        if !self.node_alive.iter().any(|&alive| alive) {
+        if !self.slots.any_alive() {
             self.failure = Some((at, "every node has failed; job lost".to_string()));
             return;
         }
@@ -1997,7 +1975,7 @@ where
             }
             let needs_rerun = running_here
                 || (self.maps[m].state == MapState::Done
-                    && !self.node_alive[self.maps[m].node]
+                    && !self.slots.alive[self.maps[m].node]
                     && self
                         .reds
                         .iter()

@@ -33,7 +33,9 @@ mod costs;
 mod executor;
 mod input;
 mod params;
+mod placement;
 mod report;
+mod service;
 mod timeline;
 mod trace;
 
@@ -42,7 +44,11 @@ pub use costs::CostModel;
 pub use executor::{Fault, SimExecutor};
 pub use input::{FnInput, SimInput};
 pub use params::ClusterParams;
+pub use placement::{SlotLedger, TieBreak};
 pub use report::{Outcome, SimReport};
+pub use service::{
+    analytic_output, ServiceParams, ServiceSimExecutor, ServiceSimReport, SimJobOutcome, SimJobSpec,
+};
 pub use timeline::{
     HandoffMark, HeapSample, SnapshotMark, SpanKind, SpecEvent, SpecTaskKind, SpeculationMark,
     TaskSpan, Timeline,

@@ -1,0 +1,194 @@
+//! Per-node slot accounting and placement policy, shared by every
+//! executor in this crate.
+//!
+//! The single-job executor ([`crate::executor`]), the chain executor
+//! ([`crate::chain`]) and the multi-tenant service simulator
+//! ([`crate::service`]) all schedule tasks onto the same abstraction: a
+//! cluster of nodes, each with a fixed number of map slots and reduce
+//! slots, where a node's death frees its slots and removes it from
+//! placement. Before this module each executor carried its own
+//! `node_alive`/`map_slots_used`/`red_slots_used` triple and its own
+//! copy of the placement loops — and the chain executor's stage-2 tasks
+//! briefly ran *slotless*, which is exactly how the cross-job
+//! slot-contention deadlock of the fault-torture suite slipped in.
+//! [`SlotLedger`] is now the one place slots are taken, released and
+//! surveyed.
+//!
+//! Placement policies are deliberately tiny and deterministic, because
+//! pinned traces diff them byte-for-byte:
+//!
+//! * [`SlotLedger::first_free_map`] — lowest-index alive node with a
+//!   free map slot; the caller then prefers chunk-local pending maps on
+//!   that node (Hadoop's scheduler order).
+//! * [`SlotLedger::least_loaded`] — alive node with the fewest used
+//!   slots of a kind. Ties break by [`TieBreak`]: the single-job
+//!   executor takes the lowest index; the chain executor's stage-2
+//!   placement takes the *highest*, spreading dependent-stage tasks away
+//!   from the low indexes the stage-1 loops fill first.
+
+/// How [`SlotLedger::least_loaded`] breaks a load tie.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TieBreak {
+    /// Prefer the lowest node index (single-job executor reducers).
+    LowIndex,
+    /// Prefer the highest node index (chain stage-2 tasks, which spread
+    /// away from the stage-1 tasks packed onto low indexes).
+    HighIndex,
+}
+
+/// Which nodes are alive and how many slots of each kind they have in
+/// use — the executors' shared placement substrate.
+#[derive(Debug, Clone)]
+pub struct SlotLedger {
+    /// Liveness per node; a dead node never places and holds no slots.
+    pub alive: Vec<bool>,
+    /// Map slots in use per node.
+    pub map_used: Vec<usize>,
+    /// Reduce slots in use per node.
+    pub red_used: Vec<usize>,
+    /// Map slots per node.
+    pub map_cap: usize,
+    /// Reduce slots per node.
+    pub red_cap: usize,
+}
+
+impl SlotLedger {
+    /// A ledger for `nodes` alive nodes with `map_cap`/`red_cap` slots
+    /// each and nothing running.
+    pub fn new(nodes: usize, map_cap: usize, red_cap: usize) -> Self {
+        SlotLedger {
+            alive: vec![true; nodes],
+            map_used: vec![0; nodes],
+            red_used: vec![0; nodes],
+            map_cap,
+            red_cap,
+        }
+    }
+
+    /// Cluster size, dead nodes included.
+    pub fn nodes(&self) -> usize {
+        self.alive.len()
+    }
+
+    /// Whether any node is still alive.
+    pub fn any_alive(&self) -> bool {
+        self.alive.iter().any(|&a| a)
+    }
+
+    /// Used slots of one kind on one node.
+    pub fn used(&self, is_map: bool, n: usize) -> usize {
+        if is_map {
+            self.map_used[n]
+        } else {
+            self.red_used[n]
+        }
+    }
+
+    /// Per-node slot capacity of one kind.
+    pub fn cap(&self, is_map: bool) -> usize {
+        if is_map {
+            self.map_cap
+        } else {
+            self.red_cap
+        }
+    }
+
+    /// Whether node `n` is alive with a free slot of the given kind.
+    pub fn has_free(&self, is_map: bool, n: usize) -> bool {
+        self.alive[n] && self.used(is_map, n) < self.cap(is_map)
+    }
+
+    /// Free slots of one kind across all alive nodes.
+    pub fn free_slots(&self, is_map: bool) -> usize {
+        (0..self.nodes())
+            .filter(|&n| self.alive[n])
+            .map(|n| self.cap(is_map) - self.used(is_map, n))
+            .sum()
+    }
+
+    /// Lowest-index alive node with a free map slot (the map-placement
+    /// scan order every executor uses).
+    pub fn first_free_map(&self) -> Option<usize> {
+        (0..self.nodes()).find(|&n| self.has_free(true, n))
+    }
+
+    /// Alive node with the fewest used slots of a kind, `None` when
+    /// every slot is occupied. Load ties break per `tie`.
+    pub fn least_loaded(&self, is_map: bool, tie: TieBreak) -> Option<usize> {
+        let candidates = (0..self.nodes()).filter(|&n| self.has_free(is_map, n));
+        match tie {
+            TieBreak::LowIndex => candidates.min_by_key(|&n| (self.used(is_map, n), n)),
+            TieBreak::HighIndex => {
+                candidates.min_by_key(|&n| (self.used(is_map, n), std::cmp::Reverse(n)))
+            }
+        }
+    }
+
+    /// Takes one slot of the given kind on node `n`.
+    pub fn take(&mut self, is_map: bool, n: usize) {
+        if is_map {
+            self.map_used[n] += 1;
+        } else {
+            self.red_used[n] += 1;
+        }
+    }
+
+    /// Releases one slot of the given kind on node `n`.
+    pub fn release(&mut self, is_map: bool, n: usize) {
+        if is_map {
+            self.map_used[n] -= 1;
+        } else {
+            self.red_used[n] -= 1;
+        }
+    }
+
+    /// Kills node `n`: removes it from placement and zeroes its slot
+    /// counters (everything it ran is gone with it). Idempotent.
+    pub fn fail_node(&mut self, n: usize) {
+        self.alive[n] = false;
+        self.map_used[n] = 0;
+        self.red_used[n] = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn placement_policies_and_tie_breaks() {
+        let mut s = SlotLedger::new(3, 2, 1);
+        assert_eq!(s.first_free_map(), Some(0));
+        // Equal load everywhere: the tie break decides.
+        assert_eq!(s.least_loaded(false, TieBreak::LowIndex), Some(0));
+        assert_eq!(s.least_loaded(false, TieBreak::HighIndex), Some(2));
+        s.take(true, 0);
+        s.take(true, 0);
+        assert_eq!(s.first_free_map(), Some(1));
+        s.take(false, 0);
+        s.take(false, 2);
+        assert_eq!(s.least_loaded(false, TieBreak::LowIndex), Some(1));
+        s.take(false, 1);
+        assert_eq!(s.least_loaded(false, TieBreak::LowIndex), None);
+        assert_eq!(s.free_slots(true), 4);
+        s.release(false, 1);
+        assert!(s.has_free(false, 1));
+    }
+
+    #[test]
+    fn fail_node_zeroes_and_removes() {
+        let mut s = SlotLedger::new(2, 1, 1);
+        s.take(true, 0);
+        s.take(false, 0);
+        s.fail_node(0);
+        assert!(!s.alive[0]);
+        assert_eq!(s.map_used[0], 0);
+        assert_eq!(s.red_used[0], 0);
+        assert_eq!(s.first_free_map(), Some(1));
+        assert!(s.any_alive());
+        s.fail_node(1);
+        assert!(!s.any_alive());
+        assert_eq!(s.first_free_map(), None);
+        assert_eq!(s.least_loaded(false, TieBreak::LowIndex), None);
+    }
+}

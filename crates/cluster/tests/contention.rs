@@ -1,0 +1,334 @@
+//! Contention and fairness suite for the multi-tenant service
+//! simulator: N tenants × M jobs on a deliberately small K-slot
+//! cluster, so every scheduling decision is contested.
+//!
+//! What is pinned here, per the service-layer contract:
+//!
+//! * **Weighted-fair slot shares** — while every tenant still has work
+//!   (the "all-saturated window"), each tenant's busy slot-seconds are
+//!   proportional to its weight, within tolerance, across three
+//!   different tenant-weight configurations.
+//! * **No starvation** — a weight-1 tenant sharing the cluster with a
+//!   weight-1000 tenant still finishes its work before the heavy
+//!   tenant's backlog drains.
+//! * **Priority preemption** — a higher-priority tenant arriving at a
+//!   saturated cluster evicts running lower-priority work and finishes
+//!   long before the batch tenant's tail.
+//! * **Determinism** — the same seed gives the same schedule, eviction
+//!   count and trace, and every completed job's output bytes are
+//!   identical to running the job alone (`analytic_output`), whatever
+//!   the weights did to the schedule.
+
+use mr_cluster::{
+    analytic_output, ServiceParams, ServiceSimExecutor, ServiceSimReport, SimJobSpec,
+};
+use mr_core::{Application, Emit, HashPartitioner, TenantSpec, TraceQuery};
+
+/// Word count over synthetic lines — the same app shape the in-crate
+/// service tests use, small enough that analytic outputs are cheap.
+struct CountApp;
+
+impl Application for CountApp {
+    type InKey = u64;
+    type InValue = String;
+    type MapKey = String;
+    type MapValue = u64;
+    type OutKey = String;
+    type OutValue = u64;
+    type State = u64;
+    type Shared = ();
+
+    fn map(&self, _: &u64, value: &String, out: &mut dyn Emit<String, u64>) {
+        for w in value.split_whitespace() {
+            out.emit(w.to_string(), 1);
+        }
+    }
+
+    fn new_shared(&self) {}
+
+    fn reduce_grouped(
+        &self,
+        key: &String,
+        values: Vec<u64>,
+        _: &mut (),
+        out: &mut dyn Emit<String, u64>,
+    ) {
+        out.emit(key.clone(), values.iter().sum());
+    }
+
+    fn init(&self, _: &String) -> u64 {
+        0
+    }
+
+    fn absorb(
+        &self,
+        _: &String,
+        state: &mut u64,
+        v: u64,
+        _: &mut (),
+        _: &mut dyn Emit<String, u64>,
+    ) {
+        *state += v;
+    }
+
+    fn merge(&self, _: &String, a: u64, b: u64) -> u64 {
+        a + b
+    }
+
+    fn finalize(&self, key: String, state: u64, _: &mut (), out: &mut dyn Emit<String, u64>) {
+        out.emit(key, state);
+    }
+}
+
+fn splits(tag: usize, n: usize) -> Vec<Vec<(u64, String)>> {
+    let vocab = ["alpha", "beta", "gamma", "delta", "epsilon"];
+    (0..n)
+        .map(|s| {
+            (0..6)
+                .map(|l| {
+                    (
+                        (s * 6 + l) as u64,
+                        format!("{} {}", vocab[(tag + s + l) % 5], vocab[(tag * 2 + l) % 5]),
+                    )
+                })
+                .collect()
+        })
+        .collect()
+}
+
+fn spec(tenant: usize, at: f64, tag: usize, chained: bool) -> SimJobSpec<CountApp> {
+    SimJobSpec {
+        tenant,
+        submit_at_secs: at,
+        splits: splits(tag, 4),
+        reducers: 3,
+        chained,
+    }
+}
+
+/// A small contested cluster: 4 nodes × (2 map + 2 reduce) slots.
+fn small_cluster(tenants: usize, seed: u64) -> ServiceParams {
+    let mut params = ServiceParams::new(tenants);
+    params.cluster.seed = seed;
+    params.cluster.nodes = 4;
+    params.cluster.map_slots = 2;
+    params.cluster.reduce_slots = 2;
+    params
+}
+
+/// Per-tenant busy slot-seconds clipped to the all-saturated window
+/// `[0, T]`, where `T` is the earliest time any tenant *last started*
+/// a task. After `T` some tenant may have run out of work, so slot
+/// shares legitimately stop tracking weights; before it, every tenant
+/// is contending and the deficit-fair pick is what decides.
+fn clipped_busy_secs(report: &ServiceSimReport<CountApp>, tenants: usize) -> Vec<f64> {
+    let q = TraceQuery::new(&report.trace);
+    let window_end = (0..tenants)
+        .map(|t| {
+            q.tenant_spans(t as u32)
+                .iter()
+                .map(|s| s.start.as_secs_f64())
+                .fold(0.0_f64, f64::max)
+        })
+        .fold(f64::INFINITY, f64::min);
+    assert!(
+        window_end.is_finite() && window_end > 0.0,
+        "every tenant must have started work: window end {window_end}"
+    );
+    (0..tenants)
+        .map(|t| {
+            q.tenant_spans(t as u32)
+                .iter()
+                .map(|s| {
+                    let start = s.start.as_secs_f64();
+                    let end = s.end.as_secs_f64().min(window_end);
+                    (end - start).max(0.0)
+                })
+                .sum()
+        })
+        .collect()
+}
+
+/// Runs one weight configuration to completion: 3 tenants × 8 jobs,
+/// all submitted at t=0, all expected to complete with solo bytes.
+fn run_weight_config(weights: [u32; 3], seed: u64) -> ServiceSimReport<CountApp> {
+    let mut params = small_cluster(3, seed);
+    for (t, &w) in weights.iter().enumerate() {
+        params = params.tenant(t, TenantSpec::default().weight(w));
+    }
+    let jobs: Vec<SimJobSpec<CountApp>> = (0..24).map(|i| spec(i % 3, 0.0, i, false)).collect();
+    let report = ServiceSimExecutor::run(&CountApp, &HashPartitioner, &params, jobs, &[]).unwrap();
+    assert!(report.failure.is_none(), "weights {weights:?}: run failed");
+    for (i, job) in report.jobs.iter().enumerate() {
+        assert!(
+            job.rejected.is_none(),
+            "weights {weights:?}: job {i} rejected"
+        );
+        assert!(
+            job.completed_at.is_some(),
+            "weights {weights:?}: job {i} never completed (starved?)"
+        );
+        let solo =
+            analytic_output(&CountApp, &HashPartitioner, &spec(i % 3, 0.0, i, false)).unwrap();
+        assert_eq!(
+            job.output, solo,
+            "weights {weights:?}: job {i} bytes drifted from its solo run"
+        );
+    }
+    report
+}
+
+/// Asserts each tenant's share of clipped busy seconds tracks its
+/// weight share within a relative tolerance.
+fn assert_shares_track_weights(report: &ServiceSimReport<CountApp>, weights: [u32; 3], tol: f64) {
+    let busy = clipped_busy_secs(report, weights.len());
+    let total: f64 = busy.iter().sum();
+    let weight_sum: u32 = weights.iter().sum();
+    assert!(total > 0.0, "no busy time recorded at all");
+    for (t, &w) in weights.iter().enumerate() {
+        let share = busy[t] / total;
+        let expect = w as f64 / weight_sum as f64;
+        assert!(
+            (share - expect).abs() <= tol * expect,
+            "weights {weights:?}: tenant {t} got share {share:.3}, expected {expect:.3} \
+             (±{:.0}%); busy={busy:?}",
+            tol * 100.0
+        );
+    }
+}
+
+#[test]
+fn equal_weights_share_equally() {
+    let report = run_weight_config([1, 1, 1], 7);
+    assert_shares_track_weights(&report, [1, 1, 1], 0.35);
+}
+
+#[test]
+fn skewed_weights_share_proportionally() {
+    let report = run_weight_config([1, 2, 4], 7);
+    assert_shares_track_weights(&report, [1, 2, 4], 0.35);
+}
+
+#[test]
+fn one_heavy_tenant_gets_its_multiple() {
+    let report = run_weight_config([3, 1, 1], 7);
+    assert_shares_track_weights(&report, [3, 1, 1], 0.35);
+}
+
+#[test]
+fn outputs_are_identical_across_weight_configs() {
+    // Fairness knobs reshape the *schedule*, never the *bytes*: the
+    // same 24 jobs produce identical outputs under every weighting.
+    let a = run_weight_config([1, 1, 1], 7);
+    let b = run_weight_config([1, 2, 4], 7);
+    let c = run_weight_config([3, 1, 1], 7);
+    for i in 0..a.jobs.len() {
+        assert_eq!(
+            a.jobs[i].output, b.jobs[i].output,
+            "job {i}: [1,1,1] vs [1,2,4]"
+        );
+        assert_eq!(
+            a.jobs[i].output, c.jobs[i].output,
+            "job {i}: [1,1,1] vs [3,1,1]"
+        );
+    }
+}
+
+#[test]
+fn light_tenant_is_not_starved_by_heavy_one() {
+    // Tenant 0 has weight 1 against a weight-1000 flood. Deficit
+    // fairness still owes it ~1/1001 of the slots, which on this small
+    // cluster means its two jobs run long before the flood drains.
+    let params = small_cluster(2, 11)
+        .tenant(0, TenantSpec::default().weight(1))
+        .tenant(1, TenantSpec::default().weight(1000));
+    let mut jobs: Vec<SimJobSpec<CountApp>> = vec![spec(0, 0.0, 0, false), spec(0, 0.0, 1, false)];
+    jobs.extend((0..16).map(|i| spec(1, 0.0, 2 + i, false)));
+    let report = ServiceSimExecutor::run(&CountApp, &HashPartitioner, &params, jobs, &[]).unwrap();
+    assert!(report.failure.is_none());
+    let light_last = report.jobs[..2]
+        .iter()
+        .map(|j| j.completed_at.expect("light tenant job must complete"))
+        .fold(0.0_f64, f64::max);
+    let heavy_last = report.jobs[2..]
+        .iter()
+        .map(|j| j.completed_at.expect("heavy tenant job must complete"))
+        .fold(0.0_f64, f64::max);
+    assert!(
+        light_last < heavy_last,
+        "light tenant finished at {light_last} only after the heavy flood's {heavy_last}"
+    );
+}
+
+#[test]
+fn priority_tenant_preempts_saturated_batch_work() {
+    // Tenant 0 saturates the cluster with batch work at t=0; tenant 1
+    // (strictly higher priority) submits one small job at t=10, when no
+    // slot is free. Preemption must evict batch tasks to run it, and
+    // the priority job must finish well inside the batch tail.
+    let params = small_cluster(2, 13)
+        .tenant(0, TenantSpec::default().priority(0))
+        .tenant(1, TenantSpec::default().priority(1));
+    let mut jobs: Vec<SimJobSpec<CountApp>> = (0..16).map(|i| spec(0, 0.0, i, false)).collect();
+    jobs.push(spec(1, 10.0, 99, false));
+    let report = ServiceSimExecutor::run(&CountApp, &HashPartitioner, &params, jobs, &[]).unwrap();
+    assert!(report.failure.is_none());
+    assert!(
+        report.evictions > 0,
+        "a saturated cluster plus a higher-priority arrival must evict"
+    );
+    let priority_done = report.jobs[16]
+        .completed_at
+        .expect("priority job must complete");
+    let batch_last = report.jobs[..16]
+        .iter()
+        .map(|j| j.completed_at.expect("batch job must complete"))
+        .fold(0.0_f64, f64::max);
+    assert!(
+        priority_done < batch_last,
+        "priority job at {priority_done} did not beat the batch tail at {batch_last}"
+    );
+    // The evicted batch work still produces its exact bytes.
+    for (i, job) in report.jobs.iter().enumerate().take(16) {
+        let solo = analytic_output(&CountApp, &HashPartitioner, &spec(0, 0.0, i, false)).unwrap();
+        assert_eq!(
+            job.output, solo,
+            "evicted-and-retried job {i} bytes drifted"
+        );
+    }
+}
+
+#[test]
+fn same_seed_is_byte_and_schedule_deterministic() {
+    // Chained and unchained jobs, staggered submissions, a mid-run node
+    // kill and skewed weights: the same seed must reproduce the exact
+    // schedule, trace and bytes.
+    let mk = || {
+        let params = small_cluster(3, 17)
+            .tenant(1, TenantSpec::default().weight(3))
+            .tenant(2, TenantSpec::default().priority(1));
+        let jobs: Vec<SimJobSpec<CountApp>> = (0..9)
+            .map(|i| spec(i % 3, i as f64, i, i % 4 == 0))
+            .collect();
+        ServiceSimExecutor::run(&CountApp, &HashPartitioner, &params, jobs, &[(25.0, 2)]).unwrap()
+    };
+    let (a, b) = (mk(), mk());
+    assert_eq!(a.evictions, b.evictions);
+    assert_eq!(a.trace.len(), b.trace.len());
+    for i in 0..a.jobs.len() {
+        assert_eq!(
+            a.jobs[i].completed_at, b.jobs[i].completed_at,
+            "job {i} schedule"
+        );
+        assert_eq!(a.jobs[i].output, b.jobs[i].output, "job {i} bytes");
+        if a.jobs[i].completed_at.is_some() {
+            let solo = analytic_output(
+                &CountApp,
+                &HashPartitioner,
+                &spec(i % 3, 0.0, i, i % 4 == 0),
+            )
+            .unwrap();
+            assert_eq!(a.jobs[i].output, solo, "job {i} bytes vs solo");
+        }
+    }
+}

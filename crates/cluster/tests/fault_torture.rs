@@ -549,3 +549,79 @@ fn chain_node_death_mid_stage2_is_byte_exact_and_restarts_downstream_maps() {
         "no scenario restarted a downstream map task — the chain recovery path was never exercised"
     );
 }
+
+#[test]
+fn contending_chained_and_unchained_jobs_survive_node_kills() {
+    // The regression the unified SlotLedger placement fixed: chained
+    // stage-2 tasks used to run *slotless*, so a chained job and an
+    // unchained job contending for the same (tiny) slot pool could
+    // wedge under recovery — the chained job's restarted stage-1
+    // reducer needed a slot the unchained job held, while the unchained
+    // job's reducer waited behind phantom stage-2 work that never
+    // released anything. With every task drawing from the shared
+    // ledger, the scenario must complete under a kill at any phase,
+    // byte-exact for both jobs.
+    use mr_cluster::{analytic_output, ServiceParams, ServiceSimExecutor, SimJobSpec};
+    let seed = 5u64;
+    let w = workload(seed);
+    let splits_for = |base: u64, n: u64| -> Vec<Vec<(u64, String)>> {
+        let w = w.clone();
+        (0..n).map(|c| w.chunk(base + c)).collect()
+    };
+    let jobs = || -> Vec<SimJobSpec<WordCount>> {
+        vec![
+            // A chained two-stage pipeline and a plain job, different
+            // tenants, fighting over 2 map + 2 reduce slots total.
+            SimJobSpec {
+                tenant: 0,
+                submit_at_secs: 0.0,
+                splits: splits_for(0, 4),
+                reducers: 2,
+                chained: true,
+            },
+            SimJobSpec {
+                tenant: 1,
+                submit_at_secs: 0.0,
+                splits: splits_for(4, 4),
+                reducers: 2,
+                chained: false,
+            },
+        ]
+    };
+    let expect: Vec<_> = jobs()
+        .iter()
+        .map(|s| analytic_output(&WordCount, &HashPartitioner, s).unwrap())
+        .collect();
+    // Kill node 1 at instants spanning map work, the stage-1/stage-2
+    // overlap, and the tail — the survivor node must absorb everything.
+    for kill_at in [3.0, 10.0, 25.0, 60.0] {
+        let mut params = ServiceParams::new(2);
+        params.cluster = cluster(seed);
+        params.cluster.nodes = 2;
+        params.cluster.map_slots = 1;
+        params.cluster.reduce_slots = 1;
+        let report = ServiceSimExecutor::run(
+            &WordCount,
+            &HashPartitioner,
+            &params,
+            jobs(),
+            &[(kill_at, 1)],
+        )
+        .unwrap();
+        assert!(
+            report.failure.is_none(),
+            "kill at {kill_at}s wedged the contending pair: {:?}",
+            report.failure
+        );
+        for (i, job) in report.jobs.iter().enumerate() {
+            assert!(
+                job.completed_at.is_some(),
+                "kill at {kill_at}s: job {i} never completed (deadlock regression)"
+            );
+            assert_eq!(
+                job.output, expect[i],
+                "kill at {kill_at}s: job {i} output corrupted by recovery"
+            );
+        }
+    }
+}

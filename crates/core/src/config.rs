@@ -753,6 +753,165 @@ impl JobConfig {
     }
 }
 
+/// One tenant's scheduling identity under the job service: its
+/// weighted-fair share, its preemption priority, and its overload
+/// quotas. All fields have permissive defaults; quotas are opt-in caps.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TenantSpec {
+    /// Deficit-round weight: a tenant with weight 2 gets twice the slot
+    /// share of a weight-1 tenant when both have work queued. Must be
+    /// >= 1.
+    pub weight: u32,
+    /// Preemption priority; a strictly higher-priority tenant's pending
+    /// work may evict a lower-priority tenant's running task in the
+    /// simulator. Equal priorities share fairly and never preempt.
+    pub priority: u32,
+    /// Cap on the tenant's concurrently held slots. Must be >= 1: a
+    /// zero-slot tenant could accept jobs it can never run.
+    pub max_concurrent_slots: usize,
+    /// Cap on the tenant's jobs waiting in the admission queue; a
+    /// submission beyond it is rejected, not queued.
+    pub max_queued_jobs: usize,
+}
+
+impl Default for TenantSpec {
+    fn default() -> Self {
+        TenantSpec {
+            weight: 1,
+            priority: 0,
+            max_concurrent_slots: usize::MAX,
+            max_queued_jobs: usize::MAX,
+        }
+    }
+}
+
+impl TenantSpec {
+    /// An unweighted, unprioritised, uncapped tenant.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the deficit-round weight.
+    pub fn weight(mut self, weight: u32) -> Self {
+        self.weight = weight;
+        self
+    }
+
+    /// Sets the preemption priority.
+    pub fn priority(mut self, priority: u32) -> Self {
+        self.priority = priority;
+        self
+    }
+
+    /// Caps the tenant's concurrently held slots.
+    pub fn max_concurrent_slots(mut self, slots: usize) -> Self {
+        self.max_concurrent_slots = slots;
+        self
+    }
+
+    /// Caps the tenant's queued (admitted but not yet running) jobs.
+    pub fn max_queued_jobs(mut self, jobs: usize) -> Self {
+        self.max_queued_jobs = jobs;
+        self
+    }
+}
+
+/// Configuration for a [`JobService`](crate::local::service::JobService): the
+/// tenant table, the admission-queue bound, and the width of the one
+/// long-lived worker pool every admitted job runs on.
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// The tenant table; a submission names a tenant by index.
+    pub tenants: Vec<TenantSpec>,
+    /// Bound on jobs waiting for a slot across all tenants. A submission
+    /// that would exceed it is rejected with `QueueFull`, not blocked.
+    pub queue_cap: usize,
+    /// Worker threads in the service's long-lived pool — also the number
+    /// of job slots the scheduler hands out (one admitted job occupies
+    /// one slot for its whole run).
+    pub pool_workers: usize,
+    /// Seed carried into per-job configs for reproducibility.
+    pub seed: u64,
+}
+
+impl ServiceConfig {
+    /// A service with `tenants` default-spec tenants, a generous queue,
+    /// and one slot per available core.
+    pub fn new(tenants: usize) -> Self {
+        ServiceConfig {
+            tenants: vec![TenantSpec::default(); tenants],
+            queue_cap: 1024,
+            pool_workers: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+            seed: 0,
+        }
+    }
+
+    /// Replaces tenant `index`'s spec.
+    pub fn tenant(mut self, index: usize, spec: TenantSpec) -> Self {
+        self.tenants[index] = spec;
+        self
+    }
+
+    /// Sets the global admission-queue bound.
+    pub fn queue_cap(mut self, cap: usize) -> Self {
+        self.queue_cap = cap;
+        self
+    }
+
+    /// Sets the pool width (= concurrent job slots).
+    pub fn pool_workers(mut self, workers: usize) -> Self {
+        self.pool_workers = workers;
+        self
+    }
+
+    /// Sets the seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Checks the tenant table and service knobs up front, returning
+    /// [`MrError::InvalidConfig`] before any pool thread starts. Same
+    /// contract as [`JobConfig::validate`]: nonsense never reaches a
+    /// worker.
+    pub fn validate(&self) -> MrResult<()> {
+        fn bad(what: impl Into<String>) -> MrResult<()> {
+            Err(MrError::InvalidConfig(what.into()))
+        }
+        if self.tenants.is_empty() {
+            return bad("a service needs at least one tenant");
+        }
+        if self.queue_cap == 0 {
+            return bad("queue_cap must be >= 1 (a zero-length queue rejects every submission)");
+        }
+        if self.pool_workers == 0 {
+            return bad("pool_workers must be >= 1 (a zero-width pool never runs a job)");
+        }
+        for (i, t) in self.tenants.iter().enumerate() {
+            if t.weight == 0 {
+                return bad(format!(
+                    "tenant {i} weight must be >= 1 (weight 0 would starve the tenant by \
+                     construction)"
+                ));
+            }
+            if t.max_concurrent_slots == 0 {
+                return bad(format!(
+                    "tenant {i} max_concurrent_slots must be >= 1 (a zero-slot tenant can \
+                     queue jobs it can never run)"
+                ));
+            }
+            if t.max_queued_jobs == 0 {
+                return bad(format!(
+                    "tenant {i} max_queued_jobs must be >= 1 (the tenant could never submit)"
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -51,13 +51,15 @@ pub use codec::{Codec, CodecError};
 pub use combine::CombinerBuffer;
 pub use config::{
     ChainConfig, ChainSpec, CombinerPolicy, DeadlinePolicy, Engine, HandoffMode, JobConfig,
-    MemoryPolicy, SnapshotPolicy, SpeculationPolicy, StoreIndex, TracePolicy,
+    MemoryPolicy, ServiceConfig, SnapshotPolicy, SpeculationPolicy, StoreIndex, TenantSpec,
+    TracePolicy,
 };
 pub use counters::{CounterName, Counters};
 // The unified trace pipeline this crate's executors emit into.
 pub use error::{MrError, MrResult};
 pub use hash::{FxBuildHasher, FxHashMap, FxHasher};
 pub use local::pool::{pool_thread_high_water, PoolReport};
+pub use local::service::{serve, JobHandle, JobService, RejectReason, ServiceReport, SubmitError};
 pub use local::{LocalRunner, ManyJobsOutput, PoolStats};
 pub use mr_trace::{
     Label, Scope, SpanKind, SpanRec, SpecEvent, SpecTaskKind, TaskKind, TraceBatch,

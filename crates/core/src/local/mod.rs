@@ -46,6 +46,7 @@
 
 pub mod memo;
 pub mod pool;
+pub mod service;
 
 use crate::combine::CombinerBuffer;
 use crate::config::{Engine, JobConfig};
@@ -91,7 +92,7 @@ pub(crate) fn combining_active<A: Application>(app: &A, cfg: &JobConfig) -> bool
 /// output (there is no partial state to observe before the barrier).
 /// Returns the singleton list when snapshots are enabled, empty
 /// otherwise, and charges the snapshot counters.
-fn barrier_snapshot<A: Application>(
+pub(crate) fn barrier_snapshot<A: Application>(
     cfg: &JobConfig,
     reducer: usize,
     records_absorbed: u64,

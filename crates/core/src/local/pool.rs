@@ -73,6 +73,12 @@ struct Sched {
     workers: usize,
     panicked: Option<String>,
     deadlocked: bool,
+    /// Service mode ([`Pool::run_service`]): while true, idle workers
+    /// wait for external wakeups instead of exiting or declaring a
+    /// stall — parked tasks may be woken by threads *outside* the pool
+    /// (a job-service submission). [`Pool::close`] clears it, arming the
+    /// normal drain-out and deadlock detection.
+    accepting: bool,
 }
 
 /// The shared scheduler handle: channels and gates hold an `Arc<Waker>`
@@ -93,6 +99,7 @@ impl Waker {
                 workers: 0,
                 panicked: None,
                 deadlocked: false,
+                accepting: false,
             }),
             cv: Condvar::new(),
         })
@@ -116,7 +123,8 @@ impl Waker {
         }
     }
 
-    fn wake_all_of(&self, ids: Vec<usize>) {
+    /// Wakes every task in `ids` (drained waiter lists).
+    pub(crate) fn wake_all_of(&self, ids: Vec<usize>) {
         for id in ids {
             self.wake(id);
         }
@@ -199,6 +207,12 @@ impl<'a> Pool<'a> {
         )
     }
 
+    /// The scheduler handle, for code outside the pool (a job service's
+    /// submit path) that needs to wake parked tasks.
+    pub(crate) fn waker(&self) -> Arc<Waker> {
+        Arc::clone(&self.waker)
+    }
+
     /// A countdown latch: tasks [`arrive`](Gate::arrive) to count it
     /// down and [`open`](Gate::open) to wait (parked) until it hits
     /// zero. The local analogue of a phase barrier.
@@ -266,12 +280,82 @@ impl<'a> Pool<'a> {
         })
     }
 
+    /// Runs the pool in **service mode**: `body` executes on the calling
+    /// thread while `workers` threads drive the task graph, and idle
+    /// workers wait for external wakeups (a submission thread waking a
+    /// parked task through [`Pool::waker`]) instead of declaring a
+    /// stall. When `body` returns the pool is [`close`](Pool::close)d:
+    /// remaining live tasks drain out under the normal rules (including
+    /// deadlock detection, re-armed by the close) and the workers exit.
+    ///
+    /// `body` must wake any task it expects to observe the shutdown
+    /// *before* returning — a task still parked at close time with no
+    /// wake pending is exactly the stall the detector exists to catch.
+    pub(crate) fn run_service<R>(
+        self,
+        workers: usize,
+        body: impl FnOnce() -> R,
+    ) -> MrResult<(R, PoolReport)> {
+        let tasks = self.slots.len();
+        let workers = workers.max(1);
+        {
+            let mut s = self.waker.sched.lock().unwrap();
+            s.live = tasks;
+            s.workers = workers;
+            s.accepting = true;
+        }
+        let live = AtomicUsize::new(0);
+        let peak = AtomicUsize::new(0);
+        let out = std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| {
+                    let now = live.fetch_add(1, Ordering::SeqCst) + 1;
+                    peak.fetch_max(now, Ordering::SeqCst);
+                    let global = LIVE_POOL_THREADS.fetch_add(1, Ordering::SeqCst) + 1;
+                    PEAK_POOL_THREADS.fetch_max(global, Ordering::SeqCst);
+                    self.worker_loop();
+                    live.fetch_sub(1, Ordering::SeqCst);
+                    LIVE_POOL_THREADS.fetch_sub(1, Ordering::SeqCst);
+                });
+            }
+            let out = body();
+            self.close();
+            out
+        });
+        let s = self.waker.sched.lock().unwrap();
+        if let Some(what) = &s.panicked {
+            return Err(MrError::WorkerPanic(what.clone()));
+        }
+        if s.deadlocked {
+            return Err(MrError::WorkerPanic(
+                "worker pool stalled: every live task parked with no wake pending".to_string(),
+            ));
+        }
+        Ok((
+            out,
+            PoolReport {
+                workers,
+                peak_threads: peak.load(Ordering::SeqCst),
+                tasks,
+            },
+        ))
+    }
+
+    /// Ends service mode: workers stop waiting for new work and drain
+    /// the remaining live tasks, then exit.
+    pub(crate) fn close(&self) {
+        let mut s = self.waker.sched.lock().unwrap();
+        s.accepting = false;
+        drop(s);
+        self.waker.cv.notify_all();
+    }
+
     fn worker_loop(&self) {
         loop {
             let id = {
                 let mut s = self.waker.sched.lock().unwrap();
                 loop {
-                    if s.live == 0 || s.panicked.is_some() || s.deadlocked {
+                    if s.panicked.is_some() || s.deadlocked || (s.live == 0 && !s.accepting) {
                         drop(s);
                         self.waker.cv.notify_all();
                         return;
@@ -280,10 +364,11 @@ impl<'a> Pool<'a> {
                         s.state[id] = TaskState::Running;
                         break id;
                     }
-                    if s.idle_workers + 1 == s.workers {
-                        // Nothing ready, nothing running anywhere: the
-                        // remaining tasks are parked forever. Fail loudly
-                        // instead of hanging.
+                    if !s.accepting && s.idle_workers + 1 == s.workers {
+                        // Nothing ready, nothing running anywhere, and no
+                        // external submitter left who could wake a parked
+                        // task: the remaining tasks are parked forever.
+                        // Fail loudly instead of hanging.
                         s.deadlocked = true;
                         drop(s);
                         self.waker.cv.notify_all();
@@ -350,7 +435,7 @@ impl<'a> Pool<'a> {
     }
 }
 
-fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
         (*s).to_string()
     } else if let Some(s) = payload.downcast_ref::<String>() {
@@ -719,6 +804,80 @@ mod tests {
         pool.run(1).expect("pool run");
         let order = order.into_inner().unwrap();
         assert_eq!(order, vec!["arrive", "arrive", "arrive", "open"]);
+    }
+
+    /// Service mode: tasks park on an empty work queue, an *external*
+    /// thread (the `run_service` body) feeds work and wakes them through
+    /// the pool's waker handle, and close drains everything out — no
+    /// stall report, every item processed.
+    #[test]
+    fn service_mode_accepts_external_work_and_drains_on_close() {
+        struct Shared {
+            queue: VecDeque<u64>,
+            closed: bool,
+            parked: Vec<usize>,
+        }
+        let shared = Arc::new(Mutex::new(Shared {
+            queue: VecDeque::new(),
+            closed: false,
+            parked: Vec::new(),
+        }));
+        let seen = Arc::new(Mutex::new(Vec::new()));
+        struct Runner {
+            shared: Arc<Mutex<Shared>>,
+            seen: Arc<Mutex<Vec<u64>>>,
+        }
+        impl PoolTask for Runner {
+            fn step(&mut self, cx: &mut Ctx) -> Step {
+                let mut s = self.shared.lock().unwrap();
+                if let Some(v) = s.queue.pop_front() {
+                    drop(s);
+                    self.seen.lock().unwrap().push(v);
+                    return Step::Yield;
+                }
+                if s.closed {
+                    return Step::Done;
+                }
+                if !s.parked.contains(&cx.task) {
+                    s.parked.push(cx.task);
+                }
+                Step::Park
+            }
+        }
+        let mut pool = Pool::new();
+        let waker = pool.waker();
+        for _ in 0..2 {
+            pool.spawn(Runner {
+                shared: Arc::clone(&shared),
+                seen: Arc::clone(&seen),
+            });
+        }
+        let total = 100u64;
+        let (_, report) = pool
+            .run_service(2, || {
+                for v in 0..total {
+                    let woken = {
+                        let mut s = shared.lock().unwrap();
+                        s.queue.push_back(v);
+                        std::mem::take(&mut s.parked)
+                    };
+                    waker.wake_all_of(woken);
+                }
+                // Service-level close: wake every parked runner so it
+                // observes the flag before the pool's drain begins.
+                let woken = {
+                    let mut s = shared.lock().unwrap();
+                    s.closed = true;
+                    std::mem::take(&mut s.parked)
+                };
+                waker.wake_all_of(woken);
+            })
+            .expect("service pool run");
+        assert_eq!(report.workers, 2);
+        assert_eq!(report.tasks, 2);
+        let mut seen = seen.lock().unwrap().clone();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..total).collect::<Vec<_>>());
     }
 
     /// One worker runs the scheduler as a deterministic FIFO: two

@@ -7,6 +7,10 @@ use std::fmt;
 /// executors that have no placement notion).
 pub const NO_NODE: u32 = u32::MAX;
 
+/// Tenant index meaning "no tenant attribution" (single-job runs, the
+/// batch `run_many` path — anything outside the job service).
+pub const NO_TENANT: u32 = u32::MAX;
+
 /// What a recorded span represents. These are the simulator's historical
 /// span categories; the local executor reuses `Map` (one span per map
 /// worker) and the reducer kinds.
@@ -105,6 +109,9 @@ pub struct Scope {
     pub attempt: u32,
     /// Node the fact is attributed to ([`NO_NODE`] when not placed).
     pub node: u32,
+    /// Tenant the fact is attributed to ([`NO_TENANT`] outside the job
+    /// service; the service stamps every admitted job's scopes).
+    pub tenant: u32,
 }
 
 impl Scope {
@@ -116,6 +123,7 @@ impl Scope {
             index: 0,
             attempt: 0,
             node: NO_NODE,
+            tenant: NO_TENANT,
         }
     }
 
@@ -127,12 +135,27 @@ impl Scope {
             index,
             attempt,
             node,
+            tenant: NO_TENANT,
         }
     }
 
+    /// The same scope attributed to `tenant`.
+    pub fn with_tenant(mut self, tenant: u32) -> Self {
+        self.tenant = tenant;
+        self
+    }
+
     /// The deterministic ordering key the dispatcher sorts batches by.
-    pub fn sort_key(&self) -> (u32, TaskKind, u32, u32, u32) {
-        (self.job, self.kind, self.index, self.attempt, self.node)
+    /// Tenant sorts last so pre-service logs keep their historical order.
+    pub fn sort_key(&self) -> (u32, TaskKind, u32, u32, u32, u32) {
+        (
+            self.job,
+            self.kind,
+            self.index,
+            self.attempt,
+            self.node,
+            self.tenant,
+        )
     }
 
     fn canonical(&self) -> String {
@@ -141,8 +164,16 @@ impl Scope {
         } else {
             self.node.to_string()
         };
+        // The tenant prefix appears only when set, so canonical streams
+        // recorded before the service layer existed are byte-identical.
+        let tenant = if self.tenant == NO_TENANT {
+            String::new()
+        } else {
+            format!("t{} ", self.tenant)
+        };
         format!(
-            "j{} {}[{}]a{} n{}",
+            "{}j{} {}[{}]a{} n{}",
+            tenant,
             self.job,
             self.kind.code(),
             self.index,

@@ -38,7 +38,7 @@ mod record;
 
 pub use event::{
     Scope, SpanKind, SpecEvent, SpecTaskKind, TaskKind, TraceEntry, TraceEvent, TraceInstant,
-    NO_NODE,
+    NO_NODE, NO_TENANT,
 };
 pub use label::Label;
 pub use log::TraceLog;

@@ -2,7 +2,9 @@
 //! counter totals, per-stage and per-node time breakdowns, progress
 //! series, and critical-path extraction.
 
-use crate::event::{Scope, SpanKind, SpecEvent, TaskKind, TraceEvent, TraceInstant, NO_NODE};
+use crate::event::{
+    Scope, SpanKind, SpecEvent, TaskKind, TraceEvent, TraceInstant, NO_NODE, NO_TENANT,
+};
 use crate::label::Label;
 use crate::log::TraceLog;
 use std::collections::BTreeMap;
@@ -144,6 +146,49 @@ impl<'a> TraceQuery<'a> {
             *m.entry(s.scope.node).or_insert(0.0) += s.duration_secs();
         }
         m
+    }
+
+    /// Busy seconds per tenant across all tenant-attributed spans — the
+    /// service layer's fairness measure (slot-seconds actually consumed
+    /// by each tenant's tasks). Spans without tenant attribution are
+    /// excluded.
+    pub fn per_tenant_secs(&self) -> BTreeMap<u32, f64> {
+        let mut m = BTreeMap::new();
+        for s in self.span_iter().filter(|s| s.scope.tenant != NO_TENANT) {
+            *m.entry(s.scope.tenant).or_insert(0.0) += s.duration_secs();
+        }
+        m
+    }
+
+    /// Every span attributed to one tenant, in log order.
+    pub fn tenant_spans(&self, tenant: u32) -> Vec<SpanRec> {
+        self.span_iter()
+            .filter(|s| s.scope.tenant == tenant)
+            .collect()
+    }
+
+    /// All counters of one tenant summed across its scopes, name-sorted.
+    pub fn tenant_counter_totals(&self, tenant: u32) -> Vec<(Label, u64)> {
+        let mut m: BTreeMap<Label, u64> = BTreeMap::new();
+        for e in self.log.iter().filter(|e| e.scope.tenant == tenant) {
+            if let TraceEvent::Counter { label, delta } = &e.event {
+                *m.entry(label.clone()).or_insert(0) += delta;
+            }
+        }
+        m.into_iter().collect()
+    }
+
+    /// The tenants that appear anywhere in the log, ascending.
+    pub fn tenants(&self) -> Vec<u32> {
+        let mut t: Vec<u32> = self
+            .log
+            .iter()
+            .map(|e| e.scope.tenant)
+            .filter(|&t| t != NO_TENANT)
+            .collect();
+        t.sort_unstable();
+        t.dedup();
+        t
     }
 
     /// The chain of spans ending at job completion, each the
@@ -495,6 +540,45 @@ mod tests {
         assert_eq!(q.speculation_count(SpecEvent::Won), 0);
         assert_eq!(q.deadline_secs(0), Some(5.0));
         assert_eq!(q.stage_done_secs(0), Some(6.0));
+    }
+
+    /// Tenant-attributed spans break down by tenant; unattributed spans
+    /// stay out of the fairness measure, and the tenant prefix shows up
+    /// in the canonical stream only when set.
+    #[test]
+    fn tenant_breakdowns() {
+        let mut log = TraceLog::new();
+        let (sc, ev) = span(0, SpanKind::Map, 0, 0, 0.0, 10.0);
+        log.push(sc.with_tenant(3), ev);
+        let (sc, ev) = span(1, SpanKind::Map, 0, 1, 0.0, 4.0);
+        log.push(sc.with_tenant(3), ev);
+        let (sc, ev) = span(2, SpanKind::ShuffleReduce, 0, 1, 0.0, 6.0);
+        log.push(sc.with_tenant(1), ev);
+        let (sc, ev) = span(3, SpanKind::Map, 0, 0, 0.0, 99.0);
+        log.push(sc, ev); // no tenant
+        log.push(
+            Scope::job(2).with_tenant(1),
+            TraceEvent::Counter {
+                label: Label::Static("map.output.records"),
+                delta: 5,
+            },
+        );
+        let q = TraceQuery::new(&log);
+        let shares = q.per_tenant_secs();
+        assert_eq!(shares.len(), 2);
+        assert_eq!(shares[&3], 14.0);
+        assert_eq!(shares[&1], 6.0);
+        assert_eq!(q.tenant_spans(3).len(), 2);
+        assert_eq!(q.tenant_spans(7), vec![]);
+        assert_eq!(q.tenants(), vec![1, 3]);
+        assert_eq!(q.tenant_counter_totals(1).len(), 1);
+        assert_eq!(q.tenant_counter_totals(3), vec![]);
+        let canon = log.to_canonical_string();
+        assert!(canon.contains("t3 j0 map[0]a0 n0"));
+        assert!(
+            canon.contains("\nj3 map[0]a0 n0"),
+            "unset tenant prints no prefix"
+        );
     }
 
     /// A dynamic (runtime-built) counter label survives the full

@@ -1,0 +1,90 @@
+//! A multi-tenant job service over one long-lived worker pool.
+//!
+//! ```sh
+//! cargo run --release --example job_service
+//! ```
+//!
+//! `serve` owns a pool for the whole session: tenants submit jobs
+//! continuously, admission is bounded and typed (a full queue or a
+//! blown quota rejects instead of hanging), slots are shared by
+//! deficit-style weighted fairness, and every task span is
+//! tenant-stamped so the trace answers "who used the cluster".
+
+use barrier_mapreduce::apps::WordCount;
+use barrier_mapreduce::core::{
+    serve, Engine, HashPartitioner, JobConfig, ServiceConfig, SubmitError, TenantSpec, TraceQuery,
+};
+
+fn main() {
+    // Two tenants: "batch" (weight 1) and "analytics" (weight 3, so it
+    // gets ~3x the slot share while both have work), plus a queued-job
+    // quota on batch — large enough for the steady workload below (12
+    // jobs), tight enough that the later flood shows a typed rejection.
+    let svc_cfg = ServiceConfig::new(2)
+        .tenant(0, TenantSpec::default().weight(1).max_queued_jobs(16))
+        .tenant(1, TenantSpec::default().weight(3))
+        .pool_workers(4);
+
+    let job_cfg = JobConfig::new(2).engine(Engine::barrierless());
+    let splits_for = |j: usize| -> Vec<Vec<(u64, String)>> {
+        vec![(0..12)
+            .map(|line| {
+                (
+                    line as u64,
+                    format!(
+                        "job {j} line word{} word{} service",
+                        (j + line) % 5,
+                        line % 3
+                    ),
+                )
+            })
+            .collect()]
+    };
+
+    let (outputs, report) = serve(&WordCount, &HashPartitioner, &svc_cfg, |svc| {
+        // Both tenants flood the service; waits interleave with
+        // submissions, as a long-lived server's would.
+        let handles: Vec<_> = (0..24)
+            .map(|j| {
+                svc.submit(j % 2, splits_for(j), &job_cfg)
+                    .expect("admitted")
+            })
+            .collect();
+        let mut outputs = Vec::new();
+        for (j, h) in handles.into_iter().enumerate() {
+            let out = h.wait().expect("job result");
+            let words: u64 = out.partitions.iter().flatten().map(|(_, c)| c).sum();
+            println!("job {j:>2} (tenant {}): {words} words", j % 2);
+            outputs.push(out);
+        }
+        // Overflow batch's queued-job quota on purpose: the service
+        // answers with a typed reason, not a hang or a panic.
+        let flood: Vec<_> = (0..64)
+            .map(|j| svc.submit(0, splits_for(j), &job_cfg))
+            .collect();
+        if let Some(Err(SubmitError::Rejected { reason })) = flood.into_iter().find(|r| r.is_err())
+        {
+            println!("overload answered gracefully: {reason}");
+        }
+        outputs
+    })
+    .expect("service session");
+
+    println!(
+        "service session: {} admitted, {} rejected, {} completed",
+        report.admitted, report.rejected, report.completed
+    );
+    assert!(report.completed >= 24);
+
+    // Every job's trace is tenant-stamped; summed, they break the
+    // session's task time down by tenant.
+    let mut busy = std::collections::BTreeMap::new();
+    for out in &outputs {
+        for (tenant, secs) in TraceQuery::new(&out.trace).per_tenant_secs() {
+            *busy.entry(tenant).or_insert(0.0) += secs;
+        }
+    }
+    for (tenant, secs) in busy {
+        println!("tenant {tenant} busy {:.3}ms of task time", secs * 1e3);
+    }
+}

@@ -365,10 +365,85 @@ proptest! {
 }
 
 proptest! {
-    // Each case runs the full engine × index × combiner matrix twice on
-    // the simulated cluster, so a smaller case budget than the local
-    // sweeps above keeps this test proportionate.
+    // Each case spins a shared service pool per engine × width × tenant
+    // combination, so a smaller case budget keeps this proportionate.
     #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// The service-layer invariant: submitting arbitrary jobs through
+    /// `serve` — any interleaving, any tenant assignment, any pool
+    /// width — yields each job's output byte-identical to running that
+    /// job alone. Contention, fair scheduling and queueing reshape the
+    /// schedule, never the bytes.
+    #[test]
+    fn service_interleavings_match_solo_runs(
+        jobs in prop::collection::vec(
+            prop::collection::vec(prop::collection::vec("[a-e]{1,3}", 1..6), 1..5),
+            2..5,
+        ),
+        reducers in 1usize..4,
+    ) {
+        use barrier_mapreduce::core::{serve, ServiceConfig};
+        let job_splits: Vec<Vec<Vec<(u64, String)>>> = jobs
+            .iter()
+            .map(|lines| {
+                lines
+                    .iter()
+                    .enumerate()
+                    .map(|(i, line)| vec![(i as u64, line.join(" "))])
+                    .collect()
+            })
+            .collect();
+        for engine in all_engines() {
+            let cfg = |workers: usize| {
+                JobConfig::new(reducers)
+                    .engine(engine.clone())
+                    .pool_workers(workers)
+                    .scratch_dir(scratch())
+            };
+            // Solo baseline, one job at a time on a private runner.
+            let solo: Vec<_> = job_splits
+                .iter()
+                .map(|s| {
+                    LocalRunner::new(2)
+                        .run(&WordCount, s.clone(), &cfg(2))
+                        .unwrap()
+                        .partitions
+                })
+                .collect();
+            for workers in [1usize, 2, 4] {
+                for tenants in [1usize, 3] {
+                    let svc_cfg = ServiceConfig::new(tenants).pool_workers(workers);
+                    let (outs, report) = serve(
+                        &WordCount,
+                        &HashPartitioner,
+                        &svc_cfg,
+                        |svc| -> Vec<_> {
+                            // Submit everything up front — maximal
+                            // overlap — then wait in submission order.
+                            let handles: Vec<_> = job_splits
+                                .iter()
+                                .enumerate()
+                                .map(|(i, s)| {
+                                    svc.submit(i % tenants, s.clone(), &cfg(workers)).unwrap()
+                                })
+                                .collect();
+                            handles.into_iter().map(|h| h.wait().unwrap()).collect()
+                        },
+                    )
+                    .unwrap();
+                    prop_assert_eq!(report.admitted, job_splits.len() as u64);
+                    prop_assert_eq!(report.completed, job_splits.len() as u64);
+                    for (i, out) in outs.iter().enumerate() {
+                        prop_assert_eq!(
+                            &out.partitions, &solo[i],
+                            "job {} diverged from its solo run under {:?}, {} workers, {} tenants",
+                            i, engine, workers, tenants
+                        );
+                    }
+                }
+            }
+        }
+    }
 
     /// Straggler mitigation must be answer-invisible: on a heterogeneous
     /// simulated cluster (where the speed trigger genuinely fires), every
