@@ -32,9 +32,9 @@ use mr_core::engine::pipeline::{
 };
 use mr_core::local::LocalRunner;
 use mr_core::{
-    serve, ChainSpec, CombinerBuffer, CombinerPolicy, Counters, DeadlinePolicy, Engine,
-    HandoffMode, HashPartitioner, JobConfig, MemoryPolicy, ServiceConfig, SnapshotPolicy,
-    SpeculationPolicy, StoreIndex, TracePolicy,
+    serve, CacheBudget, ChainSpec, CombinerBuffer, CombinerPolicy, Counters, DeadlinePolicy,
+    Engine, HandoffMode, HashPartitioner, JobConfig, MemoryPolicy, ServiceConfig, SharedCache,
+    SnapshotPolicy, SpeculationPolicy, StoreIndex, TracePolicy,
 };
 use mr_workloads::TextWorkload;
 use std::time::Instant;
@@ -45,6 +45,9 @@ struct BenchResult {
     name: &'static str,
     wall_ms: f64,
     records: u64,
+    /// Result-cache hit rate over the measured path (cache benches
+    /// only); emitted as a `hit_rate` field in the JSON when present.
+    hit_rate: Option<f64>,
 }
 
 impl BenchResult {
@@ -71,6 +74,7 @@ fn bench(name: &'static str, mut f: impl FnMut() -> u64) -> BenchResult {
         name,
         wall_ms: best,
         records,
+        hit_rate: None,
     }
 }
 
@@ -110,7 +114,7 @@ fn many_jobs_cfg() -> JobConfig {
 fn main() {
     let out_path = std::env::args()
         .nth(1)
-        .unwrap_or_else(|| "BENCH_9.json".to_string());
+        .unwrap_or_else(|| "BENCH_10.json".to_string());
     let splits = wc_splits(12);
     let mut results = Vec::new();
 
@@ -627,7 +631,123 @@ fn main() {
             name: "trace_record_overhead",
             wall_ms: (on.wall_ms - off.wall_ms).max(0.0),
             records: on.records,
+            hit_rate: None,
         });
+    }
+
+    // The shared result cache: the cross-job memoization headline.
+    // cache_cold starts from an empty cache every iteration (all misses,
+    // every artifact published); cache_warm re-runs the same job against
+    // a warmed cache (a whole-job hit — the map and reduce work the
+    // cache saves); cache_warm_evicting cycles more distinct jobs than a
+    // tight budget holds, with one hot job re-run between the others, so
+    // hits are partial while the LRU churns.
+    {
+        let cache_cfg =
+            local_cfg(barrierless(), CombinerPolicy::Disabled).cache(CacheBudget::enabled());
+        let (cfg, splits2) = (cache_cfg.clone(), splits.clone());
+        let mut cold = bench("cache_cold", move || {
+            let cache = SharedCache::new(64 << 20);
+            let out = LocalRunner::new(4)
+                .run_cached(
+                    &mr_apps::WordCount,
+                    splits2.clone(),
+                    &cfg,
+                    &HashPartitioner,
+                    &cache,
+                )
+                .expect("cold cached run");
+            assert_eq!(out.counters.get(names::CACHE_HITS), 0);
+            assert!(out.counters.get(names::CACHE_MISSES) > 0);
+            out.counters.get(names::MAP_OUTPUT_RECORDS)
+        });
+        cold.hit_rate = Some(0.0);
+        let cold_records = cold.records;
+        results.push(cold);
+
+        let warm_cache = SharedCache::new(64 << 20);
+        LocalRunner::new(4)
+            .run_cached(
+                &mr_apps::WordCount,
+                splits.clone(),
+                &cache_cfg,
+                &HashPartitioner,
+                &warm_cache,
+            )
+            .expect("warm-up run");
+        let (cfg, splits2) = (cache_cfg.clone(), splits.clone());
+        let mut warm = bench("cache_warm", move || {
+            let out = LocalRunner::new(4)
+                .run_cached(
+                    &mr_apps::WordCount,
+                    splits2.clone(),
+                    &cfg,
+                    &HashPartitioner,
+                    &warm_cache,
+                )
+                .expect("warm cached run");
+            assert!(out.counters.get(names::CACHE_HITS) >= 1);
+            assert_eq!(out.counters.get(names::CACHE_MISSES), 0);
+            // records/sec reports the map work the hit *avoided*, so the
+            // cold/warm pair is comparable on both axes.
+            cold_records
+        });
+        warm.hit_rate = Some(1.0);
+        results.push(warm);
+
+        // Five distinct jobs, job 0 re-run between each of the others; a
+        // budget of ~3 jobs' artifacts keeps job 0 hot while 1..=4 churn.
+        let jobs: Vec<Vec<Vec<(u64, String)>>> = (0..5u64)
+            .map(|j| {
+                let w = TextWorkload {
+                    seed: 100 + j,
+                    vocab: 2_000,
+                    zipf_s: 1.0,
+                    lines_per_chunk: 400,
+                    words_per_line: 8,
+                };
+                (0..4).map(|c| w.chunk(c)).collect()
+            })
+            .collect();
+        let probe = SharedCache::new(1 << 30);
+        LocalRunner::new(4)
+            .run_cached(
+                &mr_apps::WordCount,
+                jobs[0].clone(),
+                &cache_cfg,
+                &HashPartitioner,
+                &probe,
+            )
+            .expect("probe run");
+        let evicting = SharedCache::new(probe.used_bytes() * 3);
+        let observed = std::rc::Rc::new(std::cell::Cell::new(0.0f64));
+        {
+            let (cfg, cache, rate) = (cache_cfg.clone(), evicting.clone(), observed.clone());
+            let mut r = bench("cache_warm_evicting", move || {
+                let (mut hits, mut misses, mut records) = (0u64, 0u64, 0u64);
+                for &j in &[0usize, 1, 0, 2, 0, 3, 0, 4] {
+                    let out = LocalRunner::new(4)
+                        .run_cached(
+                            &mr_apps::WordCount,
+                            jobs[j].clone(),
+                            &cfg,
+                            &HashPartitioner,
+                            &cache,
+                        )
+                        .expect("evicting cached run");
+                    hits += out.counters.get(names::CACHE_HITS);
+                    misses += out.counters.get(names::CACHE_MISSES);
+                    records += out.counters.get(names::MAP_OUTPUT_RECORDS);
+                }
+                rate.set(hits as f64 / (hits + misses) as f64);
+                records
+            });
+            r.hit_rate = Some(observed.get());
+            results.push(r);
+        }
+        let stats = evicting.stats();
+        assert!(stats.hits > 0, "hot job never hit under eviction pressure");
+        assert!(stats.evictions > 0, "budget never churned");
     }
 
     // One small simulated-cluster run: catches event-loop regressions.
@@ -649,12 +769,17 @@ fn main() {
     json.push_str(&format!("  \"mode\": \"quick-best-of-{ITERS}\",\n"));
     json.push_str("  \"benches\": [\n");
     for (i, r) in results.iter().enumerate() {
+        let hit_rate = r
+            .hit_rate
+            .map(|h| format!(", \"hit_rate\": {h:.3}"))
+            .unwrap_or_default();
         json.push_str(&format!(
-            "    {{\"name\": \"{}\", \"wall_ms\": {:.3}, \"records\": {}, \"records_per_sec\": {:.0}}}{}\n",
+            "    {{\"name\": \"{}\", \"wall_ms\": {:.3}, \"records\": {}, \"records_per_sec\": {:.0}{}}}{}\n",
             r.name,
             r.wall_ms,
             r.records,
             r.records_per_sec(),
+            hit_rate,
             if i + 1 < results.len() { "," } else { "" }
         ));
     }

@@ -1,0 +1,270 @@
+//! Stable content hashing for cache keys.
+//!
+//! Cache keys must be *stable*: the same logical inputs must produce the
+//! same key across runs, threads, and processes. `std::hash::Hash` gives no
+//! such guarantee (SipHash is randomly keyed per process), so keys are
+//! derived through [`KeyBuilder`], a deterministic double-lane FNV-1a
+//! accumulator, and value types opt in through [`StableHash`].
+//!
+//! Two independent 64-bit lanes give a 128-bit [`CacheKey`]; a collision
+//! requires both lanes to collide simultaneously, which for the artifact
+//! counts involved here (thousands, not billions) is negligible.
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+/// Offset perturbation for the second lane so the lanes stay independent.
+const LANE2_TWEAK: u64 = 0x9e37_79b9_7f4a_7c15;
+
+/// A 128-bit content-derived cache key.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct CacheKey {
+    /// First FNV-1a lane.
+    pub hi: u64,
+    /// Second (tweaked-offset) FNV-1a lane.
+    pub lo: u64,
+}
+
+impl std::fmt::Debug for CacheKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "CacheKey({:016x}{:016x})", self.hi, self.lo)
+    }
+}
+
+/// Deterministic hasher producing a [`CacheKey`].
+///
+/// Multi-byte writes are length-prefixed so concatenation cannot alias
+/// (`"ab" + "c"` hashes differently from `"a" + "bc"`).
+#[derive(Debug, Clone)]
+pub struct KeyBuilder {
+    hi: u64,
+    lo: u64,
+}
+
+impl KeyBuilder {
+    /// A fresh builder at the FNV offset basis.
+    pub fn new() -> Self {
+        KeyBuilder {
+            hi: FNV_OFFSET,
+            lo: FNV_OFFSET ^ LANE2_TWEAK,
+        }
+    }
+
+    fn byte(&mut self, b: u8) {
+        self.hi = (self.hi ^ u64::from(b)).wrapping_mul(FNV_PRIME);
+        self.lo = (self.lo ^ u64::from(b)).wrapping_mul(FNV_PRIME);
+    }
+
+    /// Absorbs one `u64` (little-endian bytes).
+    pub fn write_u64(&mut self, v: u64) {
+        for b in v.to_le_bytes() {
+            self.byte(b);
+        }
+    }
+
+    /// Absorbs a byte slice, length-prefixed.
+    pub fn write_bytes(&mut self, bytes: &[u8]) {
+        self.write_u64(bytes.len() as u64);
+        for &b in bytes {
+            self.byte(b);
+        }
+    }
+
+    /// Absorbs a string's UTF-8 bytes, length-prefixed.
+    pub fn write_str(&mut self, s: &str) {
+        self.write_bytes(s.as_bytes());
+    }
+
+    /// Finishes the accumulation into a key.
+    pub fn finish(&self) -> CacheKey {
+        CacheKey {
+            hi: self.hi,
+            lo: self.lo,
+        }
+    }
+}
+
+impl Default for KeyBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Types whose content can be absorbed into a [`KeyBuilder`]
+/// deterministically across processes.
+///
+/// Mirrors the menu of `SizeEstimate` in `mr-core`: the std types jobs
+/// actually move through map/reduce. Floats hash their IEEE-754 bit
+/// patterns, so `-0.0` and `0.0` are *distinct* content (they print
+/// differently, and cached output must be byte-identical).
+pub trait StableHash {
+    /// Absorbs `self` into the builder.
+    fn stable_hash(&self, k: &mut KeyBuilder);
+}
+
+macro_rules! stable_hash_int {
+    ($($t:ty),*) => {$(
+        impl StableHash for $t {
+            fn stable_hash(&self, k: &mut KeyBuilder) {
+                k.write_u64(*self as u64);
+            }
+        }
+    )*};
+}
+
+stable_hash_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl StableHash for bool {
+    fn stable_hash(&self, k: &mut KeyBuilder) {
+        k.write_u64(u64::from(*self));
+    }
+}
+
+impl StableHash for char {
+    fn stable_hash(&self, k: &mut KeyBuilder) {
+        k.write_u64(u64::from(*self));
+    }
+}
+
+impl StableHash for () {
+    fn stable_hash(&self, _k: &mut KeyBuilder) {}
+}
+
+impl StableHash for f32 {
+    fn stable_hash(&self, k: &mut KeyBuilder) {
+        k.write_u64(u64::from(self.to_bits()));
+    }
+}
+
+impl StableHash for f64 {
+    fn stable_hash(&self, k: &mut KeyBuilder) {
+        k.write_u64(self.to_bits());
+    }
+}
+
+impl StableHash for str {
+    fn stable_hash(&self, k: &mut KeyBuilder) {
+        k.write_str(self);
+    }
+}
+
+impl StableHash for String {
+    fn stable_hash(&self, k: &mut KeyBuilder) {
+        k.write_str(self);
+    }
+}
+
+impl<T: StableHash + ?Sized> StableHash for &T {
+    fn stable_hash(&self, k: &mut KeyBuilder) {
+        (**self).stable_hash(k);
+    }
+}
+
+impl<T: StableHash> StableHash for Option<T> {
+    fn stable_hash(&self, k: &mut KeyBuilder) {
+        match self {
+            None => k.write_u64(0),
+            Some(v) => {
+                k.write_u64(1);
+                v.stable_hash(k);
+            }
+        }
+    }
+}
+
+impl<T: StableHash> StableHash for [T] {
+    fn stable_hash(&self, k: &mut KeyBuilder) {
+        k.write_u64(self.len() as u64);
+        for v in self {
+            v.stable_hash(k);
+        }
+    }
+}
+
+impl<T: StableHash> StableHash for Vec<T> {
+    fn stable_hash(&self, k: &mut KeyBuilder) {
+        self.as_slice().stable_hash(k);
+    }
+}
+
+macro_rules! stable_hash_tuple {
+    ($($name:ident),+) => {
+        impl<$($name: StableHash),+> StableHash for ($($name,)+) {
+            #[allow(non_snake_case)]
+            fn stable_hash(&self, k: &mut KeyBuilder) {
+                let ($(ref $name,)+) = *self;
+                $($name.stable_hash(k);)+
+            }
+        }
+    };
+}
+
+stable_hash_tuple!(A);
+stable_hash_tuple!(A, B);
+stable_hash_tuple!(A, B, C);
+stable_hash_tuple!(A, B, C, D);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key_of(f: impl Fn(&mut KeyBuilder)) -> CacheKey {
+        let mut k = KeyBuilder::new();
+        f(&mut k);
+        k.finish()
+    }
+
+    #[test]
+    fn identical_input_identical_key() {
+        let a = key_of(|k| ("word".to_string(), 3u64).stable_hash(k));
+        let b = key_of(|k| ("word".to_string(), 3u64).stable_hash(k));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_input_different_key() {
+        let a = key_of(|k| "word".stable_hash(k));
+        let b = key_of(|k| "word!".stable_hash(k));
+        assert_ne!(a, b);
+        let c = key_of(|k| 1u64.stable_hash(k));
+        let d = key_of(|k| 2u64.stable_hash(k));
+        assert_ne!(c, d);
+    }
+
+    #[test]
+    fn length_prefix_prevents_concatenation_aliasing() {
+        let a = key_of(|k| {
+            k.write_str("ab");
+            k.write_str("c");
+        });
+        let b = key_of(|k| {
+            k.write_str("a");
+            k.write_str("bc");
+        });
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn option_and_vec_are_structure_sensitive() {
+        let some = key_of(|k| Some(0u64).stable_hash(k));
+        let none = key_of(|k| Option::<u64>::None.stable_hash(k));
+        assert_ne!(some, none);
+        let split = key_of(|k| vec![vec![1u64], vec![2u64]].stable_hash(k));
+        let flat = key_of(|k| vec![vec![1u64, 2u64]].stable_hash(k));
+        assert_ne!(split, flat);
+    }
+
+    #[test]
+    fn float_bits_distinguish_signed_zero() {
+        let pos = key_of(|k| 0.0f64.stable_hash(k));
+        let neg = key_of(|k| (-0.0f64).stable_hash(k));
+        assert_ne!(pos, neg);
+    }
+
+    #[test]
+    fn lanes_are_independent() {
+        // A 64-bit collision in one lane should not imply the other; at
+        // minimum the two lanes must not be equal for ordinary input.
+        let k = key_of(|k| "anything".stable_hash(k));
+        assert_ne!(k.hi, k.lo);
+    }
+}

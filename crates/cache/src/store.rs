@@ -1,0 +1,451 @@
+//! The shared result store: a concurrent, byte-accounted LRU over
+//! type-erased `Arc` payloads.
+//!
+//! The store is deliberately ignorant of what it holds: payloads are
+//! `Arc<dyn Any + Send + Sync>` and the *caller* supplies the byte charge
+//! (computed from `SizeEstimate` upstream). That erasure is what lets one
+//! cache serve every application type, both artifact classes (partitioned
+//! map outputs and sealed job outputs), and all tenants of a `JobService`
+//! at once. A hit clones the `Arc` — zero-copy — so eviction never
+//! invalidates a handed-out artifact; it only drops the cache's own
+//! reference.
+
+use std::any::Any;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+use crate::key::CacheKey;
+
+/// Type-erased cached artifact.
+pub type Payload = Arc<dyn Any + Send + Sync>;
+
+/// Fixed per-entry bookkeeping charge (slab node + map entry, rounded).
+pub const ENTRY_OVERHEAD: u64 = 64;
+
+const NIL: usize = usize::MAX;
+
+/// Typed rejection for an entry whose charge exceeds the whole budget.
+///
+/// Such an entry could never become resident — admitting it would evict
+/// the entire cache and still fail — so the store refuses it up front and
+/// the caller counts it (`cache.oversize.count`) instead of silently
+/// dropping it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Oversize {
+    /// Bytes the entry would have charged (including overhead).
+    pub charge: u64,
+    /// The cache's whole budget.
+    pub budget: u64,
+}
+
+impl std::fmt::Display for Oversize {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "entry of {} bytes exceeds whole cache budget of {} bytes",
+            self.charge, self.budget
+        )
+    }
+}
+
+impl std::error::Error for Oversize {}
+
+/// One evicted entry, reported back to the caller for byte accounting.
+#[derive(Debug, Clone, Copy)]
+pub struct Eviction {
+    /// Key of the evicted entry.
+    pub key: CacheKey,
+    /// Bytes the entry had charged (including overhead).
+    pub bytes: u64,
+}
+
+/// Lifetime counters, readable at any time via [`ResultCache::stats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups that found a resident entry.
+    pub hits: u64,
+    /// Payload bytes handed out by hits.
+    pub hit_bytes: u64,
+    /// Lookups that found nothing.
+    pub misses: u64,
+    /// Entries admitted.
+    pub inserts: u64,
+    /// Payload bytes admitted.
+    pub insert_bytes: u64,
+    /// Entries evicted to stay under budget.
+    pub evictions: u64,
+    /// Payload bytes evicted.
+    pub evict_bytes: u64,
+    /// Inserts refused because the entry exceeded the whole budget.
+    pub oversize: u64,
+}
+
+#[derive(Debug)]
+struct Node {
+    key: CacheKey,
+    value: Payload,
+    /// Caller-supplied payload bytes (excluding overhead).
+    bytes: u64,
+    prev: usize,
+    next: usize,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    map: HashMap<CacheKey, usize>,
+    slab: Vec<Node>,
+    free: Vec<usize>,
+    head: usize, // most recently used
+    tail: usize, // least recently used
+    used: u64,
+    stats: CacheStats,
+}
+
+/// A concurrent, byte-budgeted, content-addressed result cache.
+///
+/// Interior mutability via a single `Mutex`: operations are short
+/// (pointer splices and an `Arc` clone), so one lock is cheaper and
+/// simpler than sharding for the artifact rates involved.
+#[derive(Debug)]
+pub struct ResultCache {
+    budget: u64,
+    inner: Mutex<Inner>,
+}
+
+impl ResultCache {
+    /// A cache that will hold at most `budget_bytes` of charged entries.
+    pub fn new(budget_bytes: u64) -> Self {
+        ResultCache {
+            budget: budget_bytes,
+            inner: Mutex::new(Inner {
+                head: NIL,
+                tail: NIL,
+                ..Inner::default()
+            }),
+        }
+    }
+
+    /// The configured byte budget.
+    pub fn budget_bytes(&self) -> u64 {
+        self.budget
+    }
+
+    /// Looks up `key`, promoting it on a hit.
+    ///
+    /// Returns the payload and its charged byte size. Both hit and miss
+    /// are recorded in [`CacheStats`].
+    pub fn get(&self, key: CacheKey) -> Option<(Payload, u64)> {
+        let mut inner = self.inner.lock().expect("cache lock poisoned");
+        match inner.map.get(&key).copied() {
+            Some(idx) => {
+                inner.unlink(idx);
+                inner.push_front(idx);
+                let bytes = inner.slab[idx].bytes;
+                inner.stats.hits += 1;
+                inner.stats.hit_bytes += bytes;
+                Some((Arc::clone(&inner.slab[idx].value), bytes))
+            }
+            None => {
+                inner.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Inserts or replaces `key`, evicting cold entries as needed.
+    ///
+    /// `bytes` is the caller-computed payload size; the store adds
+    /// [`ENTRY_OVERHEAD`] on top. Returns the evicted entries (coldest
+    /// first), or [`Oversize`] if the entry could never fit — the caller
+    /// should count that rather than retry.
+    pub fn insert(
+        &self,
+        key: CacheKey,
+        value: Payload,
+        bytes: u64,
+    ) -> Result<Vec<Eviction>, Oversize> {
+        let charge = bytes + ENTRY_OVERHEAD;
+        let mut inner = self.inner.lock().expect("cache lock poisoned");
+        if charge > self.budget {
+            inner.stats.oversize += 1;
+            return Err(Oversize {
+                charge,
+                budget: self.budget,
+            });
+        }
+        if let Some(idx) = inner.map.get(&key).copied() {
+            // Replace in place, adjust charge.
+            let old_charge = inner.slab[idx].bytes + ENTRY_OVERHEAD;
+            inner.used -= old_charge;
+            inner.slab[idx].value = value;
+            inner.slab[idx].bytes = bytes;
+            inner.used += charge;
+            inner.unlink(idx);
+            inner.push_front(idx);
+        } else {
+            let idx = inner.alloc(key, value, bytes);
+            inner.map.insert(key, idx);
+            inner.push_front(idx);
+            inner.used += charge;
+            inner.stats.inserts += 1;
+            inner.stats.insert_bytes += bytes;
+        }
+        let mut evicted = Vec::new();
+        while inner.used > self.budget {
+            match inner.evict_coldest() {
+                Some(ev) => evicted.push(ev),
+                None => break,
+            }
+        }
+        Ok(evicted)
+    }
+
+    /// Number of resident entries.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("cache lock poisoned").map.len()
+    }
+
+    /// True when nothing is resident.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Bytes currently charged against the budget (including overhead).
+    pub fn used_bytes(&self) -> u64 {
+        self.inner.lock().expect("cache lock poisoned").used
+    }
+
+    /// Snapshot of the lifetime counters.
+    pub fn stats(&self) -> CacheStats {
+        self.inner.lock().expect("cache lock poisoned").stats
+    }
+
+    /// Drops every resident entry (stats are kept).
+    pub fn clear(&self) {
+        let mut inner = self.inner.lock().expect("cache lock poisoned");
+        inner.map.clear();
+        inner.slab.clear();
+        inner.free.clear();
+        inner.head = NIL;
+        inner.tail = NIL;
+        inner.used = 0;
+    }
+}
+
+impl Inner {
+    fn alloc(&mut self, key: CacheKey, value: Payload, bytes: u64) -> usize {
+        let node = Node {
+            key,
+            value,
+            bytes,
+            prev: NIL,
+            next: NIL,
+        };
+        if let Some(idx) = self.free.pop() {
+            self.slab[idx] = node;
+            idx
+        } else {
+            self.slab.push(node);
+            self.slab.len() - 1
+        }
+    }
+
+    fn evict_coldest(&mut self) -> Option<Eviction> {
+        if self.tail == NIL {
+            return None;
+        }
+        let idx = self.tail;
+        self.unlink(idx);
+        let key = self.slab[idx].key;
+        let bytes = self.slab[idx].bytes;
+        // Drop the cache's Arc; outstanding hit handles stay valid.
+        self.slab[idx].value = Arc::new(());
+        self.used -= bytes + ENTRY_OVERHEAD;
+        self.map.remove(&key);
+        self.free.push(idx);
+        self.stats.evictions += 1;
+        self.stats.evict_bytes += bytes;
+        Some(Eviction { key, bytes })
+    }
+
+    fn push_front(&mut self, idx: usize) {
+        self.slab[idx].prev = NIL;
+        self.slab[idx].next = self.head;
+        if self.head != NIL {
+            self.slab[self.head].prev = idx;
+        }
+        self.head = idx;
+        if self.tail == NIL {
+            self.tail = idx;
+        }
+    }
+
+    fn unlink(&mut self, idx: usize) {
+        let (prev, next) = (self.slab[idx].prev, self.slab[idx].next);
+        if prev != NIL {
+            self.slab[prev].next = next;
+        } else if self.head == idx {
+            self.head = next;
+        }
+        if next != NIL {
+            self.slab[next].prev = prev;
+        } else if self.tail == idx {
+            self.tail = prev;
+        }
+        self.slab[idx].prev = NIL;
+        self.slab[idx].next = NIL;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::key::KeyBuilder;
+
+    fn key(n: u64) -> CacheKey {
+        let mut k = KeyBuilder::new();
+        k.write_u64(n);
+        k.finish()
+    }
+
+    fn payload(v: Vec<u64>) -> Payload {
+        Arc::new(v)
+    }
+
+    /// Budget for `entries` payloads of `bytes` each, overhead included.
+    fn budget_for(entries: u64, bytes: u64) -> u64 {
+        entries * (bytes + ENTRY_OVERHEAD)
+    }
+
+    #[test]
+    fn hit_is_the_same_arc() {
+        let c = ResultCache::new(budget_for(4, 100));
+        let p: Arc<Vec<u64>> = Arc::new(vec![1, 2, 3]);
+        c.insert(key(1), Arc::clone(&p) as Payload, 100).unwrap();
+        let (hit, bytes) = c.get(key(1)).expect("resident");
+        assert_eq!(bytes, 100);
+        let typed = hit.downcast::<Vec<u64>>().expect("type round-trips");
+        assert!(Arc::ptr_eq(&typed, &p), "hit must be zero-copy");
+        assert_eq!(*typed, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn miss_then_hit_counts() {
+        let c = ResultCache::new(budget_for(4, 10));
+        assert!(c.get(key(7)).is_none());
+        c.insert(key(7), payload(vec![7]), 10).unwrap();
+        assert!(c.get(key(7)).is_some());
+        let s = c.stats();
+        assert_eq!((s.misses, s.hits, s.inserts), (1, 1, 1));
+        assert_eq!(s.hit_bytes, 10);
+        assert_eq!(s.insert_bytes, 10);
+    }
+
+    #[test]
+    fn evicts_least_recently_used_first() {
+        let c = ResultCache::new(budget_for(2, 10));
+        c.insert(key(1), payload(vec![1]), 10).unwrap();
+        c.insert(key(2), payload(vec![2]), 10).unwrap();
+        c.get(key(1)); // promote 1; 2 is now coldest
+        let ev = c.insert(key(3), payload(vec![3]), 10).unwrap();
+        assert_eq!(ev.len(), 1);
+        assert_eq!(ev[0].key, key(2));
+        assert_eq!(ev[0].bytes, 10);
+        assert!(c.get(key(1)).is_some());
+        assert!(c.get(key(2)).is_none());
+        assert!(c.get(key(3)).is_some());
+        assert_eq!(c.stats().evictions, 1);
+        assert_eq!(c.stats().evict_bytes, 10);
+    }
+
+    #[test]
+    fn oversize_is_a_typed_rejection() {
+        let c = ResultCache::new(128);
+        let err = c.insert(key(1), payload(vec![0; 64]), 1000).unwrap_err();
+        assert_eq!(err.charge, 1000 + ENTRY_OVERHEAD);
+        assert_eq!(err.budget, 128);
+        assert_eq!(c.len(), 0);
+        assert_eq!(c.stats().oversize, 1);
+        // The rejection did not disturb resident entries.
+        c.insert(key(2), payload(vec![2]), 10).unwrap();
+        let err = c.insert(key(3), payload(vec![3]), 1000).unwrap_err();
+        assert!(err.charge > err.budget);
+        assert!(c.get(key(2)).is_some());
+    }
+
+    #[test]
+    fn exact_budget_boundary_fits() {
+        let budget = 100 + ENTRY_OVERHEAD;
+        let c = ResultCache::new(budget);
+        // charge == budget: fits.
+        c.insert(key(1), payload(vec![1]), 100).unwrap();
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.used_bytes(), budget);
+        // charge == budget + 1: typed rejection.
+        let err = c.insert(key(2), payload(vec![2]), 101).unwrap_err();
+        assert_eq!(err.charge, budget + 1);
+        assert!(c.get(key(1)).is_some(), "resident entry undisturbed");
+    }
+
+    #[test]
+    fn replace_adjusts_charge() {
+        let c = ResultCache::new(budget_for(2, 100));
+        c.insert(key(1), payload(vec![1]), 100).unwrap();
+        let before = c.used_bytes();
+        c.insert(key(1), payload(vec![1, 1]), 150).unwrap();
+        assert_eq!(c.used_bytes(), before + 50);
+        assert_eq!(c.len(), 1);
+        // Replacement is not a new insert.
+        assert_eq!(c.stats().inserts, 1);
+    }
+
+    #[test]
+    fn eviction_does_not_invalidate_outstanding_hits() {
+        let c = ResultCache::new(budget_for(1, 10));
+        c.insert(key(1), payload(vec![42]), 10).unwrap();
+        let (held, _) = c.get(key(1)).unwrap();
+        // Evict key 1 by inserting key 2.
+        c.insert(key(2), payload(vec![2]), 10).unwrap();
+        assert!(c.get(key(1)).is_none());
+        let typed = held.downcast::<Vec<u64>>().unwrap();
+        assert_eq!(*typed, vec![42], "held Arc survives eviction");
+    }
+
+    #[test]
+    fn clear_empties_but_keeps_stats() {
+        let c = ResultCache::new(budget_for(4, 10));
+        c.insert(key(1), payload(vec![1]), 10).unwrap();
+        c.get(key(1));
+        c.clear();
+        assert!(c.is_empty());
+        assert_eq!(c.used_bytes(), 0);
+        assert_eq!(c.stats().hits, 1);
+        // Reusable after clear.
+        c.insert(key(1), payload(vec![1]), 10).unwrap();
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn concurrent_access_is_safe_and_accounted() {
+        let c = std::sync::Arc::new(ResultCache::new(budget_for(8, 8)));
+        let threads: Vec<_> = (0..4u64)
+            .map(|t| {
+                let c = std::sync::Arc::clone(&c);
+                std::thread::spawn(move || {
+                    for i in 0..50u64 {
+                        let k = key(i % 16);
+                        if c.get(k).is_none() {
+                            let _ = c.insert(k, payload(vec![t, i]), 8);
+                        }
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        let s = c.stats();
+        assert_eq!(s.hits + s.misses, 200);
+        assert!(c.used_bytes() <= c.budget_bytes());
+    }
+}

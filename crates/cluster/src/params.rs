@@ -1,8 +1,8 @@
 //! Static description of the simulated cluster.
 
 use mr_core::{
-    CombinerPolicy, DeadlinePolicy, JobConfig, SnapshotPolicy, SpeculationPolicy, StoreIndex,
-    TracePolicy,
+    CacheBudget, CombinerPolicy, DeadlinePolicy, JobConfig, SnapshotPolicy, SpeculationPolicy,
+    StoreIndex, TracePolicy,
 };
 
 /// Cluster hardware and scheduling parameters.
@@ -68,6 +68,11 @@ pub struct ClusterParams {
     /// force. Sweeps that only need final numbers can switch trace
     /// export off cluster-wide.
     pub trace: Option<TracePolicy>,
+    /// Result-cache override for jobs replayed on the *local* executor.
+    /// `Some` wins over the job's own `JobConfig::cache`; `None` leaves
+    /// the job's choice in force. Sweeps A/B cross-job memoization
+    /// cluster-wide without touching per-job configs.
+    pub cache: Option<CacheBudget>,
     /// Worker-pool width override for jobs replayed on the *local*
     /// executor (`JobConfig::pool_workers`). `Some` wins over the job's
     /// own knob; `None` leaves the job's choice in force. The simulator
@@ -98,6 +103,7 @@ impl ClusterParams {
             speculation: None,
             deadline: None,
             trace: None,
+            cache: None,
             pool_workers: None,
             seed,
         }
@@ -128,6 +134,9 @@ impl ClusterParams {
         }
         if let Some(policy) = self.trace {
             cfg.trace = policy;
+        }
+        if let Some(budget) = self.cache {
+            cfg.cache = budget;
         }
         if let Some(workers) = self.pool_workers {
             cfg.pool_workers = workers;
@@ -191,7 +200,8 @@ mod tests {
                 slowdown: 1.5,
             })
             .deadline(DeadlinePolicy::At { secs: 50.0 })
-            .trace(TracePolicy::Disabled);
+            .trace(TracePolicy::Disabled)
+            .cache(CacheBudget::Limit { bytes: 123 });
 
         let job = job.pool_workers(3);
 
@@ -205,6 +215,7 @@ mod tests {
         assert_eq!(eff.speculation, job.speculation);
         assert_eq!(eff.deadline, DeadlinePolicy::At { secs: 50.0 });
         assert_eq!(eff.trace, TracePolicy::Disabled);
+        assert_eq!(eff.cache, CacheBudget::Limit { bytes: 123 });
 
         // Every override set: the cluster's choice wins on each knob.
         let mut p = ClusterParams::paper_testbed(1);
@@ -214,6 +225,7 @@ mod tests {
         p.speculation = Some(SpeculationPolicy::Disabled);
         p.deadline = Some(DeadlinePolicy::Disabled);
         p.trace = Some(TracePolicy::Enabled);
+        p.cache = Some(CacheBudget::Disabled);
         p.pool_workers = Some(8);
         let eff = p.effective_config(&job);
         assert_eq!(eff.pool_workers, 8);
@@ -223,6 +235,11 @@ mod tests {
         assert_eq!(eff.speculation, SpeculationPolicy::Disabled);
         assert_eq!(eff.deadline, DeadlinePolicy::Disabled);
         assert_eq!(eff.trace, TracePolicy::Enabled);
+        assert_eq!(
+            eff.cache,
+            CacheBudget::Disabled,
+            "Some(Disabled) forces off"
+        );
 
         // The one asymmetric knob: a *disabled* cluster combiner is "no
         // override", not "force off" (sweeps toggle combining on, never

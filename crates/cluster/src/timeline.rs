@@ -164,6 +164,7 @@ impl Timeline {
                 }
                 TraceEvent::Counter { .. }
                 | TraceEvent::DeadlineMark { .. }
+                | TraceEvent::CacheMark { .. }
                 | TraceEvent::StageDone { .. } => {}
             }
         }

@@ -34,6 +34,7 @@ use crate::chain::{ChainOutput, ChainableApplication, StageStats};
 use crate::config::{ChainSpec, HandoffMode};
 use crate::counters::{names, Counters};
 use crate::error::{MrError, MrResult};
+use crate::local::cache::SharedCache;
 use crate::local::pool::{Ctx, Pool, PoolSender, TrySend};
 use crate::local::{
     build_stage, collect_stage, LocalRunner, ReduceSink, SinkedRun, StageInput, StageState,
@@ -41,7 +42,9 @@ use crate::local::{
 };
 use crate::output::JobOutput;
 use crate::partition::Partitioner;
+use crate::size::SizeEstimate;
 use crate::traits::{Application, Emit};
+use mr_cache::StableHash;
 use mr_trace::{Scope, TraceEvent, TraceInstant, TraceLog};
 use std::collections::VecDeque;
 use std::sync::Mutex;
@@ -436,6 +439,86 @@ impl LocalRunner {
         }
     }
 
+    /// Runs a two-job chain through the shared result cache: each stage
+    /// whose `JobConfig::cache` is enabled consults `cache` exactly like
+    /// [`LocalRunner::run_cached`] does, so a re-run of the chain over
+    /// unchanged input hits stage 1's sealed job artifact, feeds the
+    /// cached partitions across the handoff, and then hits stage 2's —
+    /// and a *partially* changed input still reuses every unchanged
+    /// split's map artifact within each stage.
+    ///
+    /// Only the [`HandoffMode::Barrier`] handoff consults the cache:
+    /// streamed intakes have no stable per-split identity to key on (the
+    /// batch boundaries depend on runtime interleaving), so a
+    /// [`HandoffMode::Streaming`] spec runs exactly as
+    /// [`LocalRunner::run_chain2`] would, uncached.
+    #[allow(clippy::too_many_arguments)]
+    pub fn run_chain2_cached<A, B, PA, PB>(
+        &self,
+        first: &A,
+        second: &B,
+        splits: Vec<Vec<(A::InKey, A::InValue)>>,
+        spec: &ChainSpec,
+        pa: &PA,
+        pb: &PB,
+        cache: &SharedCache,
+    ) -> MrResult<ChainOutput<B>>
+    where
+        A: Application,
+        B: ChainableApplication<A::OutKey, A::OutValue>,
+        PA: Partitioner<A::MapKey> + Sync,
+        PB: Partitioner<B::MapKey> + Sync,
+        A::InKey: StableHash,
+        A::InValue: StableHash,
+        A::MapKey: Sync,
+        A::MapValue: Sync,
+        A::OutKey: Sync + SizeEstimate,
+        A::OutValue: Sync + SizeEstimate,
+        B::InKey: StableHash,
+        B::InValue: StableHash,
+        B::MapKey: Sync,
+        B::MapValue: Sync,
+        B::OutKey: Sync + SizeEstimate,
+        B::OutValue: Sync + SizeEstimate,
+    {
+        spec.validate()?;
+        if spec.len() != 2 {
+            return Err(MrError::InvalidConfig(format!(
+                "run_chain2_cached needs exactly 2 stages, spec has {}",
+                spec.len()
+            )));
+        }
+        if spec.chain.handoff == HandoffMode::Streaming {
+            return self.chain2_streaming(first, second, splits, spec, pa, pb);
+        }
+        let started = Instant::now();
+        let out1 = self.run_cached(first, splits, &spec.stages[0], pa, cache)?;
+        let stage1_secs = started.elapsed().as_secs_f64();
+        let mut stats = HandoffStats::default();
+        let mut splits2: Vec<Vec<(B::InKey, B::InValue)>> = Vec::new();
+        adapt_partitions(second, out1.partitions, &mut splits2, &mut stats);
+        let part1 = StageParts {
+            counters: out1.counters,
+            reports: out1.reports,
+            handoff: Some(stats),
+            finished_secs: stage1_secs,
+            trace: out1.trace,
+        };
+        let mut out2 = self.run_cached(second, splits2, &spec.stages[1], pb, cache)?;
+        let part2 = StageParts {
+            counters: out2.counters.clone(),
+            reports: out2.reports.clone(),
+            handoff: None,
+            finished_secs: started.elapsed().as_secs_f64(),
+            trace: std::mem::take(&mut out2.trace),
+        };
+        Ok(assemble_chain(
+            chain_tracing(spec),
+            vec![part1, part2],
+            out2,
+        ))
+    }
+
     fn chain2_barrier<A, B, PA, PB>(
         &self,
         first: &A,
@@ -519,6 +602,7 @@ impl LocalRunner {
             pb,
             StageInput::Intakes(rxs),
             self.map_threads,
+            None,
             |_| Vec::new(),
         )?;
         {
@@ -535,6 +619,7 @@ impl LocalRunner {
                 pa,
                 StageInput::Splits(&splits),
                 self.map_threads,
+                None,
                 make_sink,
             )?;
         }
@@ -664,6 +749,7 @@ impl LocalRunner {
             pb,
             StageInput::Intakes(rxs),
             self.map_threads,
+            None,
             |_| Vec::new(),
         )?;
         for (b, (app, splits)) in firsts.iter().zip(&branch_splits).enumerate() {
@@ -680,6 +766,7 @@ impl LocalRunner {
                 pa,
                 StageInput::Splits(splits),
                 self.map_threads,
+                None,
                 make_sink,
             )?;
         }
@@ -833,6 +920,7 @@ impl LocalRunner {
             partitioner,
             StageInput::Intakes(boundary_rxs[k - 2].take().expect("one taker")),
             self.map_threads,
+            None,
             |_| Vec::new(),
         )?;
         for j in 1..k - 1 {
@@ -849,6 +937,7 @@ impl LocalRunner {
                 partitioner,
                 StageInput::Intakes(boundary_rxs[j - 1].take().expect("one taker")),
                 self.map_threads,
+                None,
                 make_sink,
             )?;
         }
@@ -866,6 +955,7 @@ impl LocalRunner {
                 partitioner,
                 StageInput::Splits(&splits),
                 self.map_threads,
+                None,
                 make_sink,
             )?;
         }

@@ -56,6 +56,52 @@ impl CombinerPolicy {
     }
 }
 
+/// Default shared result-cache byte budget (64 MiB).
+pub const DEFAULT_CACHE_BUDGET: u64 = 64 << 20;
+
+/// Whether (and how large) a job's shared result cache is.
+///
+/// The result cache (`mr-cache` + [`crate::local::cache`]) memoizes
+/// content-addressed artifacts — partitioned map outputs and sealed job
+/// outputs — across jobs and tenants. The paper's §8 future-work note
+/// observes memoization "becomes feasible in the barrier-less model";
+/// this knob turns it on. `Disabled` by default: caching never changes
+/// job output (that is the determinism bar), but it does add hashing
+/// work to cold runs, so jobs opt in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheBudget {
+    /// No result caching: every run computes from scratch.
+    Disabled,
+    /// Cache artifacts under an LRU byte budget; an entry larger than
+    /// the whole budget is refused (counted as `cache.oversize.count`).
+    Limit {
+        /// Whole-cache byte budget.
+        bytes: u64,
+    },
+}
+
+impl CacheBudget {
+    /// Caching with the default byte budget.
+    pub fn enabled() -> Self {
+        CacheBudget::Limit {
+            bytes: DEFAULT_CACHE_BUDGET,
+        }
+    }
+
+    /// True unless the policy is [`CacheBudget::Disabled`].
+    pub fn is_enabled(&self) -> bool {
+        matches!(self, CacheBudget::Limit { .. })
+    }
+
+    /// The byte budget, if caching is enabled.
+    pub fn bytes(&self) -> Option<u64> {
+        match self {
+            CacheBudget::Disabled => None,
+            CacheBudget::Limit { bytes } => Some(*bytes),
+        }
+    }
+}
+
 /// When a barrier-less reduce task publishes a *snapshot* — a consistent
 /// point-in-time estimate of its final output built from the live
 /// partial results (the paper's headline capability: reducers hold
@@ -496,6 +542,7 @@ impl Engine {
 /// | `speculation` | [`speculation`](JobConfig::speculation) | `speculation` (`Some` wins) | `Disabled` |
 /// | `deadline` | [`deadline`](JobConfig::deadline) | `deadline` (`Some` wins) | `Disabled` |
 /// | `trace` | [`trace`](JobConfig::trace) | `trace` (`Some` wins) | `Enabled` |
+/// | `cache` | [`cache`](JobConfig::cache) | `cache` (`Some` wins) | `Disabled` |
 /// | `pool_workers` | [`pool_workers`](JobConfig::pool_workers) | `pool_workers` (`Some` wins) | available parallelism |
 #[derive(Debug, Clone)]
 pub struct JobConfig {
@@ -544,6 +591,11 @@ pub struct JobConfig {
     /// [`TracePolicy::Enabled`] by default; disabling yields empty
     /// trace/derived views but byte-identical job output.
     pub trace: TracePolicy,
+    /// Whether this job participates in the shared result cache (the
+    /// cached entry points and the job service consult it only when
+    /// enabled). [`CacheBudget::Disabled`] by default; caching never
+    /// changes job output, only whether it is recomputed.
+    pub cache: CacheBudget,
     /// Number of OS threads in the local executor's worker pool. Every
     /// task (map, reduce, chain intake, handoff) is a state machine
     /// multiplexed over this many threads, so the thread count is bounded
@@ -573,6 +625,7 @@ impl JobConfig {
             speculation: SpeculationPolicy::Disabled,
             deadline: DeadlinePolicy::Disabled,
             trace: TracePolicy::Enabled,
+            cache: CacheBudget::Disabled,
             pool_workers: std::thread::available_parallelism()
                 .map(|n| n.get())
                 .unwrap_or(1),
@@ -648,6 +701,12 @@ impl JobConfig {
         self
     }
 
+    /// Sets the result-cache participation policy.
+    pub fn cache(mut self, budget: CacheBudget) -> Self {
+        self.cache = budget;
+        self
+    }
+
     /// Sets the worker-pool width for the local executor.
     pub fn pool_workers(mut self, workers: usize) -> Self {
         assert!(workers >= 1);
@@ -691,6 +750,11 @@ impl JobConfig {
         }
         if self.combiner.budget_bytes() == Some(0) {
             return bad("combiner budget_bytes must be >= 1 (0 drains before every record)");
+        }
+        if self.cache.bytes() == Some(0) {
+            return bad(
+                "cache budget bytes must be >= 1 (a zero-byte cache rejects every artifact)",
+            );
         }
         match &self.engine {
             Engine::Barrier => {}
@@ -832,6 +896,11 @@ pub struct ServiceConfig {
     pub pool_workers: usize,
     /// Seed carried into per-job configs for reproducibility.
     pub seed: u64,
+    /// Sizing of the one shared result cache every tenant's jobs
+    /// consult (a job still opts in per-submission via
+    /// [`JobConfig::cache`]). [`CacheBudget::Disabled`] by default: no
+    /// cache is built and every job runs cold.
+    pub cache: CacheBudget,
 }
 
 impl ServiceConfig {
@@ -845,6 +914,7 @@ impl ServiceConfig {
                 .map(|n| n.get())
                 .unwrap_or(1),
             seed: 0,
+            cache: CacheBudget::Disabled,
         }
     }
 
@@ -872,6 +942,12 @@ impl ServiceConfig {
         self
     }
 
+    /// Sizes the service's shared result cache.
+    pub fn cache(mut self, budget: CacheBudget) -> Self {
+        self.cache = budget;
+        self
+    }
+
     /// Checks the tenant table and service knobs up front, returning
     /// [`MrError::InvalidConfig`] before any pool thread starts. Same
     /// contract as [`JobConfig::validate`]: nonsense never reaches a
@@ -888,6 +964,11 @@ impl ServiceConfig {
         }
         if self.pool_workers == 0 {
             return bad("pool_workers must be >= 1 (a zero-width pool never runs a job)");
+        }
+        if self.cache.bytes() == Some(0) {
+            return bad(
+                "cache budget bytes must be >= 1 (a zero-byte cache rejects every artifact)",
+            );
         }
         for (i, t) in self.tenants.iter().enumerate() {
             if t.weight == 0 {
@@ -1025,6 +1106,10 @@ mod tests {
         let mut cfg = JobConfig::new(1);
         cfg.combiner = CombinerPolicy::Enabled { budget_bytes: 0 };
         check(cfg, "budget_bytes");
+
+        let mut cfg = JobConfig::new(1);
+        cfg.cache = CacheBudget::Limit { bytes: 0 };
+        check(cfg, "cache budget");
 
         let cfg = JobConfig::new(1).engine(Engine::BarrierLess {
             memory: MemoryPolicy::SpillMerge { threshold_bytes: 0 },
@@ -1207,5 +1292,26 @@ mod tests {
         assert!(cfg.combiner.is_enabled());
         assert_eq!(cfg.combiner.budget_bytes(), Some(DEFAULT_COMBINER_BUDGET));
         assert_eq!(cfg.shuffle_batch_bytes, 1 << 10);
+    }
+
+    #[test]
+    fn caching_is_off_by_default() {
+        let cfg = JobConfig::new(1);
+        assert_eq!(cfg.cache, CacheBudget::Disabled);
+        assert!(!cfg.cache.is_enabled());
+        assert_eq!(cfg.cache.bytes(), None);
+        let cfg = cfg.cache(CacheBudget::enabled());
+        assert!(cfg.cache.is_enabled());
+        assert_eq!(cfg.cache.bytes(), Some(DEFAULT_CACHE_BUDGET));
+        cfg.validate().unwrap();
+
+        let svc = ServiceConfig::new(1);
+        assert_eq!(svc.cache, CacheBudget::Disabled);
+        let svc = svc.cache(CacheBudget::Limit { bytes: 1 << 20 });
+        assert_eq!(svc.cache.bytes(), Some(1 << 20));
+        svc.validate().unwrap();
+        let mut svc = ServiceConfig::new(1);
+        svc.cache = CacheBudget::Limit { bytes: 0 };
+        assert!(svc.validate().is_err());
     }
 }

@@ -76,6 +76,27 @@ pub enum CounterName {
     /// Attempts (original or backup) cancelled because the other attempt
     /// of the same task won the race.
     SpeculationCancelled,
+    /// Result-cache lookups that found a resident artifact.
+    CacheHits,
+    /// Payload bytes handed out by result-cache hits.
+    CacheHitBytes,
+    /// Result-cache lookups that found nothing (the artifact was then
+    /// computed and, budget permitting, inserted).
+    CacheMisses,
+    /// Payload bytes that had to be recomputed on result-cache misses
+    /// (counted at insert time, when the artifact's size is known).
+    CacheMissBytes,
+    /// Artifacts admitted into the result cache.
+    CacheInserts,
+    /// Payload bytes admitted into the result cache.
+    CacheInsertBytes,
+    /// Artifacts evicted from the result cache to stay under budget.
+    CacheEvictions,
+    /// Payload bytes evicted from the result cache.
+    CacheEvictBytes,
+    /// Artifacts refused because one entry exceeded the whole cache
+    /// budget (the typed `Oversize` rejection).
+    CacheOversize,
 }
 
 impl CounterName {
@@ -106,6 +127,15 @@ impl CounterName {
             CounterName::SpeculationLaunched => "speculation.launched",
             CounterName::SpeculationWon => "speculation.won",
             CounterName::SpeculationCancelled => "speculation.cancelled",
+            CounterName::CacheHits => "cache.hit.count",
+            CounterName::CacheHitBytes => "cache.hit.bytes",
+            CounterName::CacheMisses => "cache.miss.count",
+            CounterName::CacheMissBytes => "cache.miss.bytes",
+            CounterName::CacheInserts => "cache.insert.count",
+            CounterName::CacheInsertBytes => "cache.insert.bytes",
+            CounterName::CacheEvictions => "cache.evict.count",
+            CounterName::CacheEvictBytes => "cache.evict.bytes",
+            CounterName::CacheOversize => "cache.oversize.count",
         }
     }
 }
@@ -184,6 +214,24 @@ pub mod names {
     pub const SPECULATION_WON: CounterName = CounterName::SpeculationWon;
     /// Attempts cancelled because the other attempt won.
     pub const SPECULATION_CANCELLED: CounterName = CounterName::SpeculationCancelled;
+    /// Result-cache lookups that found a resident artifact.
+    pub const CACHE_HITS: CounterName = CounterName::CacheHits;
+    /// Payload bytes handed out by result-cache hits.
+    pub const CACHE_HIT_BYTES: CounterName = CounterName::CacheHitBytes;
+    /// Result-cache lookups that found nothing.
+    pub const CACHE_MISSES: CounterName = CounterName::CacheMisses;
+    /// Payload bytes recomputed on result-cache misses.
+    pub const CACHE_MISS_BYTES: CounterName = CounterName::CacheMissBytes;
+    /// Artifacts admitted into the result cache.
+    pub const CACHE_INSERTS: CounterName = CounterName::CacheInserts;
+    /// Payload bytes admitted into the result cache.
+    pub const CACHE_INSERT_BYTES: CounterName = CounterName::CacheInsertBytes;
+    /// Artifacts evicted from the result cache.
+    pub const CACHE_EVICTIONS: CounterName = CounterName::CacheEvictions;
+    /// Payload bytes evicted from the result cache.
+    pub const CACHE_EVICT_BYTES: CounterName = CounterName::CacheEvictBytes;
+    /// Oversize rejections (entry larger than the whole cache budget).
+    pub const CACHE_OVERSIZE: CounterName = CounterName::CacheOversize;
 }
 
 /// A set of named monotonically increasing counters.
@@ -303,6 +351,10 @@ mod tests {
             names::SPECULATION_CANCELLED.as_str(),
             "speculation.cancelled"
         );
+        assert_eq!(names::CACHE_HITS.as_str(), "cache.hit.count");
+        assert_eq!(names::CACHE_MISS_BYTES.as_str(), "cache.miss.bytes");
+        assert_eq!(names::CACHE_EVICT_BYTES.as_str(), "cache.evict.bytes");
+        assert_eq!(names::CACHE_OVERSIZE.as_str(), "cache.oversize.count");
         // Typed and string keys address the same counter.
         let mut c = Counters::new();
         c.add(names::REDUCE_GROUPS, 3);

@@ -50,17 +50,19 @@ pub use chain::{ChainOutput, ChainableApplication, InputAdapter, StageStats};
 pub use codec::{Codec, CodecError};
 pub use combine::CombinerBuffer;
 pub use config::{
-    ChainConfig, ChainSpec, CombinerPolicy, DeadlinePolicy, Engine, HandoffMode, JobConfig,
-    MemoryPolicy, ServiceConfig, SnapshotPolicy, SpeculationPolicy, StoreIndex, TenantSpec,
-    TracePolicy,
+    CacheBudget, ChainConfig, ChainSpec, CombinerPolicy, DeadlinePolicy, Engine, HandoffMode,
+    JobConfig, MemoryPolicy, ServiceConfig, SnapshotPolicy, SpeculationPolicy, StoreIndex,
+    TenantSpec, TracePolicy,
 };
 pub use counters::{CounterName, Counters};
 // The unified trace pipeline this crate's executors emit into.
 pub use error::{MrError, MrResult};
 pub use hash::{FxBuildHasher, FxHashMap, FxHasher};
+pub use local::cache::SharedCache;
 pub use local::pool::{pool_thread_high_water, PoolReport};
 pub use local::service::{serve, JobHandle, JobService, RejectReason, ServiceReport, SubmitError};
 pub use local::{LocalRunner, ManyJobsOutput, PoolStats};
+pub use mr_cache::{CacheKey, CacheStats, KeyBuilder, ResultCache, StableHash};
 pub use mr_trace::{
     Label, Scope, SpanKind, SpanRec, SpecEvent, SpecTaskKind, TaskKind, TraceBatch,
     TraceDispatcher, TraceEntry, TraceEvent, TraceInstant, TraceLog, TraceQuery, TraceRecorder,

@@ -9,83 +9,113 @@
 //! function entirely and feed the cached partitions straight into the
 //! (pipelined or barrier) reduce side.
 //!
-//! The cache is keyed by `(fingerprint, reducers)` because partitioning
+//! Since the shared result cache landed, `MemoCache` is a thin typed
+//! adapter over the same byte-budgeted [`ResultCache`] store: entries
+//! are LRU-evicted under a byte budget instead of accumulating without
+//! bound, hits are zero-copy [`Arc`] shares, and hit/miss statistics
+//! come from the store itself. The fingerprint API is unchanged; the
+//! cache is keyed by `(fingerprint, reducers)` because partitioning
 //! depends on the reducer count.
 
+use crate::local::cache::{parts_bytes, SplitParts};
 use crate::traits::Application;
-use std::collections::HashMap;
+use mr_cache::{CacheKey, KeyBuilder, Payload, ResultCache};
+use std::marker::PhantomData;
+use std::sync::Arc;
+
+/// Default byte budget for a standalone memo cache: roomy enough that
+/// iterative jobs of the test/bench scale never evict, small enough to
+/// bound a long-lived driver process.
+const DEFAULT_MEMO_BUDGET: u64 = 256 << 20;
 
 /// Caller-supplied identity of one input split's *contents*.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Fingerprint(pub u64);
 
-/// Cached, partitioned map output for reuse across runs.
+/// Cached, partitioned map output for reuse across runs, bounded by a
+/// byte budget with LRU eviction.
 pub struct MemoCache<A: Application> {
-    #[allow(clippy::type_complexity)]
-    entries: HashMap<(Fingerprint, usize), Vec<Vec<(A::MapKey, A::MapValue)>>>,
-    hits: u64,
-    misses: u64,
+    store: ResultCache,
+    _app: PhantomData<fn() -> A>,
+}
+
+fn memo_key(fp: Fingerprint, reducers: usize) -> CacheKey {
+    let mut k = KeyBuilder::new();
+    k.write_str("mr.memo.v1");
+    k.write_u64(fp.0);
+    k.write_u64(reducers as u64);
+    k.finish()
 }
 
 impl<A: Application> MemoCache<A> {
-    /// An empty cache.
+    /// An empty cache with the default byte budget.
     pub fn new() -> Self {
+        Self::with_budget(DEFAULT_MEMO_BUDGET)
+    }
+
+    /// An empty cache bounded at `budget_bytes` of accounted payload.
+    pub fn with_budget(budget_bytes: u64) -> Self {
         MemoCache {
-            entries: HashMap::new(),
-            hits: 0,
-            misses: 0,
+            store: ResultCache::new(budget_bytes),
+            _app: PhantomData,
         }
     }
 
-    /// Looks up a split's cached partitions, counting hit/miss.
+    /// Looks up a split's cached partitions, counting hit/miss. Hits are
+    /// zero-copy shares of the stored artifact.
     #[allow(clippy::type_complexity)]
-    pub fn lookup(
-        &mut self,
-        fp: Fingerprint,
-        reducers: usize,
-    ) -> Option<&Vec<Vec<(A::MapKey, A::MapValue)>>> {
-        if self.entries.contains_key(&(fp, reducers)) {
-            self.hits += 1;
-            self.entries.get(&(fp, reducers))
-        } else {
-            self.misses += 1;
-            None
-        }
+    pub fn lookup(&self, fp: Fingerprint, reducers: usize) -> Option<Arc<SplitParts<A>>>
+    where
+        A::MapKey: Sync,
+        A::MapValue: Sync,
+    {
+        let (payload, _) = self.store.get(memo_key(fp, reducers))?;
+        payload.downcast::<SplitParts<A>>().ok()
     }
 
-    /// Stores a freshly computed split result.
-    pub fn insert(
-        &mut self,
-        fp: Fingerprint,
-        reducers: usize,
-        parts: Vec<Vec<(A::MapKey, A::MapValue)>>,
-    ) {
-        self.entries.insert((fp, reducers), parts);
+    /// Stores a freshly computed split result, evicting least-recently
+    /// used entries if the budget demands it. An artifact larger than
+    /// the whole budget is rejected (and counted in
+    /// [`stats`](MemoCache::stats) as oversize).
+    pub fn insert(&self, fp: Fingerprint, reducers: usize, parts: SplitParts<A>)
+    where
+        A::MapKey: Sync,
+        A::MapValue: Sync,
+    {
+        let bytes = parts_bytes(&parts);
+        let _ = self
+            .store
+            .insert(memo_key(fp, reducers), Arc::new(parts) as Payload, bytes);
     }
 
     /// Cache hits so far.
     pub fn hits(&self) -> u64 {
-        self.hits
+        self.store.stats().hits
     }
 
     /// Cache misses so far.
     pub fn misses(&self) -> u64 {
-        self.misses
+        self.store.stats().misses
+    }
+
+    /// Lifetime store statistics (inserts, evictions, oversize rejects).
+    pub fn stats(&self) -> mr_cache::CacheStats {
+        self.store.stats()
     }
 
     /// Number of cached splits.
     pub fn len(&self) -> usize {
-        self.entries.len()
+        self.store.len()
     }
 
     /// Whether the cache is empty.
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.store.is_empty()
     }
 
     /// Drops everything (e.g. when the map function itself changes).
-    pub fn clear(&mut self) {
-        self.entries.clear();
+    pub fn clear(&self) {
+        self.store.clear()
     }
 }
 
@@ -102,7 +132,7 @@ mod tests {
 
     #[test]
     fn lookup_miss_then_hit() {
-        let mut cache: MemoCache<WordCountApp> = MemoCache::new();
+        let cache: MemoCache<WordCountApp> = MemoCache::new();
         let fp = Fingerprint(42);
         assert!(cache.lookup(fp, 2).is_none());
         cache.insert(fp, 2, vec![vec![("a".into(), 1)], vec![]]);
@@ -113,7 +143,7 @@ mod tests {
 
     #[test]
     fn reducer_count_is_part_of_the_key() {
-        let mut cache: MemoCache<WordCountApp> = MemoCache::new();
+        let cache: MemoCache<WordCountApp> = MemoCache::new();
         let fp = Fingerprint(7);
         cache.insert(fp, 2, vec![vec![], vec![]]);
         assert!(cache.lookup(fp, 3).is_none(), "different partitioning");
@@ -122,11 +152,21 @@ mod tests {
 
     #[test]
     fn clear_empties() {
-        let mut cache: MemoCache<WordCountApp> = MemoCache::new();
+        let cache: MemoCache<WordCountApp> = MemoCache::new();
         cache.insert(Fingerprint(1), 1, vec![vec![]]);
         assert!(!cache.is_empty());
         cache.clear();
         assert!(cache.is_empty());
         assert_eq!(cache.len(), 0);
+    }
+
+    #[test]
+    fn budget_evicts_least_recent() {
+        let cache: MemoCache<WordCountApp> = MemoCache::with_budget(400);
+        let big = || vec![vec![("x".repeat(32), 1u64); 4]];
+        cache.insert(Fingerprint(1), 1, big());
+        cache.insert(Fingerprint(2), 1, big());
+        assert!(cache.len() < 2, "budget forced an eviction");
+        assert!(cache.lookup(Fingerprint(2), 1).is_some(), "newest survives");
     }
 }

@@ -44,6 +44,7 @@
 //! has no partial state to observe, so its reducers publish exactly one
 //! snapshot each: their finished output.
 
+pub mod cache;
 pub mod memo;
 pub mod pool;
 pub mod service;
@@ -60,6 +61,8 @@ use crate::partition::{HashPartitioner, Partitioner};
 use crate::size::SizeEstimate;
 use crate::snapshot::Snapshot;
 use crate::traits::{Application, Emit, FnEmit};
+use cache::{SharedCache, SplitCachePlan, SplitParts};
+use mr_cache::StableHash;
 use mr_trace::{
     Scope, SpanKind, TaskKind, TraceDispatcher, TraceEvent, TraceLog, TraceRecorder, NO_NODE,
 };
@@ -269,13 +272,35 @@ impl<'a, A: Application, P: Partitioner<A::MapKey>> ShuffleEmitter<'a, A, P> {
     }
 
     /// One map-output record: count, partition, buffer (or combine), and
-    /// stage a full batch for the transport.
-    pub(crate) fn push(&mut self, key: A::MapKey, value: A::MapValue) {
+    /// stage a full batch for the transport. Returns the partition the
+    /// record was routed to (cache-miss capture records it there).
+    pub(crate) fn push(&mut self, key: A::MapKey, value: A::MapValue) -> usize {
         if self.dead {
-            return;
+            return 0;
         }
         self.counters.incr(names::MAP_OUTPUT_RECORDS);
         let p = self.partitioner.partition(&key, self.reducers);
+        self.route(p, key, value);
+        p
+    }
+
+    /// Replays one record of a cached split artifact into partition `p`:
+    /// the same combine-or-buffer routing and batch cuts as [`push`],
+    /// minus the partition call (the artifact is already partitioned)
+    /// and the `map.output.records` count (the map function never ran) —
+    /// so a warm run's shuffle is byte-identical to the cold run's.
+    ///
+    /// [`push`]: ShuffleEmitter::push
+    pub(crate) fn replay(&mut self, p: usize, key: A::MapKey, value: A::MapValue) {
+        if self.dead {
+            return;
+        }
+        self.route(p, key, value);
+    }
+
+    /// The shared routing tail of [`push`](ShuffleEmitter::push) and
+    /// [`replay`](ShuffleEmitter::replay).
+    fn route(&mut self, p: usize, key: A::MapKey, value: A::MapValue) {
         let batch = if self.combining {
             // Fold into the combiner; it drains a combined batch when
             // over budget. The buffer for a drain comes from the
@@ -488,6 +513,11 @@ struct SplitMapTask<'a, A: Application, P: Partitioner<A::MapKey>> {
     dispatcher: &'a TraceDispatcher,
     tracing: bool,
     started: Instant,
+    /// Shared-cache consultation plan; `None` runs uncached.
+    cache: Option<&'a SplitCachePlan<A>>,
+    /// Raw partitioned output of the in-flight cache-miss split,
+    /// captured alongside the emitter for publication at end-of-split.
+    capture: Option<SplitParts<A>>,
     /// (split index, record cursor, span start).
     cur: Option<(usize, usize, f64)>,
 }
@@ -522,7 +552,35 @@ impl<'a, A: Application, P: Partitioner<A::MapKey>> pool::PoolTask for SplitMapT
                 // in flight: surrender counters and drop the senders.
                 return self.finish();
             }
-            self.cur = Some((idx, 0, self.started.elapsed().as_secs_f64()));
+            let t0 = self.started.elapsed().as_secs_f64();
+            if let Some(plan) = self.cache {
+                if let Some((cached, bytes)) = plan.lookup(idx) {
+                    // Hit: replay the artifact through the normal shuffle
+                    // routing — the map function is the only thing skipped.
+                    let emitter = self.emitter.as_mut().unwrap();
+                    emitter.counters.incr(names::CACHE_HITS);
+                    emitter.counters.add(names::CACHE_HIT_BYTES, bytes);
+                    for (p, records) in cached.iter().enumerate() {
+                        for (k, v) in records {
+                            emitter.replay(p, k.clone(), v.clone());
+                        }
+                    }
+                    emitter.end_split();
+                    if self.tracing {
+                        let mut rec = TraceRecorder::new(
+                            Scope::task(0, TaskKind::Map, idx as u32, 0, NO_NODE),
+                            true,
+                        );
+                        rec.span_wall(SpanKind::Map, t0, self.started.elapsed().as_secs_f64());
+                        rec.flush_into(self.dispatcher);
+                    }
+                    return Step::Yield;
+                }
+                let emitter = self.emitter.as_mut().unwrap();
+                emitter.counters.incr(names::CACHE_MISSES);
+                self.capture = Some((0..emitter.reducers).map(|_| Vec::new()).collect());
+            }
+            self.cur = Some((idx, 0, t0));
         }
         let (idx, cursor, t0) = self.cur.unwrap();
         let app = self.app;
@@ -530,13 +588,25 @@ impl<'a, A: Application, P: Partitioner<A::MapKey>> pool::PoolTask for SplitMapT
         let end = (cursor + MAP_RECORDS_PER_STEP).min(split.len());
         {
             let emitter = self.emitter.as_mut().unwrap();
-            let mut emit = FnEmit(|k: A::MapKey, v: A::MapValue| emitter.push(k, v));
+            let mut capture = self.capture.as_mut();
+            let mut emit = FnEmit(|k: A::MapKey, v: A::MapValue| {
+                if let Some(cap) = capture.as_deref_mut() {
+                    let p = emitter.push(k.clone(), v.clone());
+                    cap[p].push((k, v));
+                } else {
+                    emitter.push(k, v);
+                }
+            });
             for (k, v) in &split[cursor..end] {
                 app.map(k, v, &mut emit);
             }
         }
         if end == split.len() {
-            self.emitter.as_mut().unwrap().end_split();
+            let emitter = self.emitter.as_mut().unwrap();
+            emitter.end_split();
+            if let (Some(plan), Some(raw)) = (self.cache, self.capture.take()) {
+                plan.insert(idx, raw).charge(&mut emitter.counters);
+            }
             if self.tracing {
                 let mut rec =
                     TraceRecorder::new(Scope::task(0, TaskKind::Map, idx as u32, 0, NO_NODE), true);
@@ -636,7 +706,9 @@ impl<'a, A: Application, P: Partitioner<A::MapKey>> pool::PoolTask for IntakeMap
             let end = (*cursor + MAP_RECORDS_PER_STEP).min(batch.len());
             {
                 let emitter = self.emitter.as_mut().unwrap();
-                let mut emit = FnEmit(|k: A::MapKey, v: A::MapValue| emitter.push(k, v));
+                let mut emit = FnEmit(|k: A::MapKey, v: A::MapValue| {
+                    emitter.push(k, v);
+                });
                 for (k, v) in &batch[*cursor..end] {
                     app.map(k, v, &mut emit);
                 }
@@ -809,6 +881,9 @@ struct BarrierCur<A: Application> {
     t0: f64,
     parts: Vec<Vec<(A::MapKey, A::MapValue)>>,
     combs: Vec<CombinerBuffer<A>>,
+    /// Raw pre-combine partitioned output, captured on a cache miss for
+    /// publication at end-of-split (`None` when running uncached).
+    raw: Option<SplitParts<A>>,
 }
 
 /// A barrier map task: claims splits from the shared cursor and buffers
@@ -830,6 +905,8 @@ struct BarrierSplitMapTask<'a, A: Application, P: Partitioner<A::MapKey>> {
     tracing: bool,
     started: Instant,
     counters: Counters,
+    /// Shared-cache consultation plan; `None` runs uncached.
+    cache: Option<&'a SplitCachePlan<A>>,
     cur: Option<BarrierCur<A>>,
 }
 
@@ -845,10 +922,54 @@ impl<'a, A: Application, P: Partitioner<A::MapKey>> pool::PoolTask
                 self.maps_done.arrive();
                 return Step::Done;
             }
+            let t0 = self.started.elapsed().as_secs_f64();
+            if let Some(plan) = self.cache {
+                if let Some((cached, bytes)) = plan.lookup(idx) {
+                    // Hit: rebuild the slot from the raw artifact through
+                    // the same per-split combiner path a cold run takes;
+                    // only the map function is skipped.
+                    self.counters.incr(names::CACHE_HITS);
+                    self.counters.add(names::CACHE_HIT_BYTES, bytes);
+                    let mut parts: Vec<Vec<(A::MapKey, A::MapValue)>> =
+                        (0..self.reducers).map(|_| Vec::new()).collect();
+                    if self.combining {
+                        for (p, records) in cached.iter().enumerate() {
+                            let mut comb: CombinerBuffer<A> =
+                                CombinerBuffer::new(app, self.combine_budget, self.cfg.store_index);
+                            let sink = &mut parts[p];
+                            for (k, v) in records {
+                                comb.push(app, k.clone(), v.clone(), &mut |k2, v2| {
+                                    sink.push((k2, v2))
+                                });
+                            }
+                            comb.drain(app, &mut |k, v| sink.push((k, v)));
+                            self.counters
+                                .add(names::COMBINE_INPUT_RECORDS, comb.records_in());
+                            self.counters
+                                .add(names::COMBINE_OUTPUT_RECORDS, comb.records_out());
+                        }
+                    } else {
+                        for (p, records) in cached.iter().enumerate() {
+                            parts[p].extend(records.iter().cloned());
+                        }
+                    }
+                    *self.slots[idx].lock().unwrap() = Some(parts);
+                    if self.tracing {
+                        let mut rec = TraceRecorder::new(
+                            Scope::task(0, TaskKind::Map, idx as u32, 0, NO_NODE),
+                            true,
+                        );
+                        rec.span_wall(SpanKind::Map, t0, self.started.elapsed().as_secs_f64());
+                        rec.flush_into(self.dispatcher);
+                    }
+                    return Step::Yield;
+                }
+                self.counters.incr(names::CACHE_MISSES);
+            }
             self.cur = Some(BarrierCur {
                 idx,
                 cursor: 0,
-                t0: self.started.elapsed().as_secs_f64(),
+                t0,
                 parts: (0..self.reducers).map(|_| Vec::new()).collect(),
                 // Combiners are per-split so slot contents stay
                 // deterministic.
@@ -861,6 +982,9 @@ impl<'a, A: Application, P: Partitioner<A::MapKey>> pool::PoolTask
                 } else {
                     Vec::new()
                 },
+                raw: self
+                    .cache
+                    .map(|_| (0..self.reducers).map(|_| Vec::new()).collect()),
             });
         }
         let partitioner = self.partitioner;
@@ -877,11 +1001,15 @@ impl<'a, A: Application, P: Partitioner<A::MapKey>> pool::PoolTask
                 t0,
                 parts,
                 combs,
+                raw,
             } = cur;
             {
                 let mut emit = FnEmit(|k: A::MapKey, v: A::MapValue| {
                     counters.incr(names::MAP_OUTPUT_RECORDS);
                     let p = partitioner.partition(&k, reducers);
+                    if let Some(raw) = raw.as_mut() {
+                        raw[p].push((k.clone(), v.clone()));
+                    }
                     if combining {
                         let sink = &mut parts[p];
                         combs[p].push(app, k, v, &mut |k2, v2| sink.push((k2, v2)));
@@ -901,6 +1029,9 @@ impl<'a, A: Application, P: Partitioner<A::MapKey>> pool::PoolTask
                         counters.add(names::COMBINE_INPUT_RECORDS, comb.records_in());
                         counters.add(names::COMBINE_OUTPUT_RECORDS, comb.records_out());
                     }
+                }
+                if let (Some(plan), Some(raw_parts)) = (self.cache, raw.take()) {
+                    plan.insert(*idx, raw_parts).charge(counters);
                 }
                 *self.slots[*idx].lock().unwrap() = Some(std::mem::take(parts));
                 if self.tracing {
@@ -1147,6 +1278,7 @@ pub(crate) fn build_stage<'a, A, P, S, F>(
     partitioner: &'a P,
     input: StageInput<'a, A>,
     map_tasks: usize,
+    cache: Option<&'a SplitCachePlan<A>>,
     make_sink: F,
 ) -> MrResult<()>
 where
@@ -1209,6 +1341,8 @@ where
                             tracing: state.tracing,
                             started: state.started,
                             cur: None,
+                            cache,
+                            capture: None,
                         });
                     }
                 }
@@ -1264,6 +1398,7 @@ where
                             started: state.started,
                             counters: Counters::new(),
                             cur: None,
+                            cache,
                         });
                     }
                 }
@@ -1486,8 +1621,97 @@ impl LocalRunner {
     ) -> MrResult<JobOutput<A>> {
         cfg.validate()?;
         Ok(self
-            .run_sinked(app, splits, cfg, partitioner, |_| Vec::new())?
+            .run_sinked(app, splits, cfg, partitioner, None, |_| Vec::new())?
             .into_job_output())
+    }
+
+    /// Runs `app` over `splits` through the shared content-addressed
+    /// result cache: each split's partitioned map output is looked up by
+    /// a stable hash of its input bytes plus the app identity and the
+    /// output-shaping config knobs, and whole-job results are memoized
+    /// the same way. Warm runs replay cached artifacts through the
+    /// normal shuffle routing, so their output is byte-identical to a
+    /// cold run at any pool width — only the `cache.*` counters differ.
+    ///
+    /// A job whose `cfg.cache` is [`CacheBudget::Disabled`] bypasses the
+    /// cache entirely and behaves exactly like
+    /// [`LocalRunner::run_with_partitioner`].
+    ///
+    /// [`CacheBudget::Disabled`]: crate::config::CacheBudget::Disabled
+    pub fn run_cached<A, P>(
+        &self,
+        app: &A,
+        splits: Vec<Vec<(A::InKey, A::InValue)>>,
+        cfg: &JobConfig,
+        partitioner: &P,
+        cache: &SharedCache,
+    ) -> MrResult<JobOutput<A>>
+    where
+        A: Application,
+        P: Partitioner<A::MapKey> + Sync,
+        A::InKey: StableHash,
+        A::InValue: StableHash,
+        A::MapKey: Sync,
+        A::MapValue: Sync,
+        A::OutKey: Sync + SizeEstimate,
+        A::OutValue: Sync + SizeEstimate,
+    {
+        cfg.validate()?;
+        if !cfg.cache.is_enabled() {
+            return self.run_with_partitioner(app, splits, cfg, partitioner);
+        }
+        let partitioner_id = std::any::type_name::<P>();
+        let job_key = cache::job_key(app, cfg, partitioner_id, &splits);
+        if let Some((parts, bytes)) = cache.get_job::<A>(job_key) {
+            let mut counters = Counters::new();
+            counters.incr(names::CACHE_HITS);
+            counters.add(names::CACHE_HIT_BYTES, bytes);
+            let tracing = cfg.trace.is_enabled();
+            let trace = if tracing {
+                let dispatcher = TraceDispatcher::new(true);
+                let mut rec = TraceRecorder::new(Scope::job(0), true);
+                record_counter_totals(&mut rec, &counters);
+                rec.cache_mark_wall(0.0, 1, 0, bytes);
+                rec.flush_into(&dispatcher);
+                dispatcher.finish()
+            } else {
+                TraceLog::default()
+            };
+            return Ok(JobOutput {
+                partitions: (*parts).clone(),
+                counters,
+                reports: Vec::new(),
+                snapshots: Vec::new(),
+                trace,
+            });
+        }
+        let plan = SplitCachePlan::new(cache, app, cfg, partitioner_id, &splits);
+        let mut out = self
+            .run_sinked(app, splits, cfg, partitioner, Some(&plan), |_| Vec::new())?
+            .into_job_output();
+        let outcome = cache.put_job::<A>(job_key, out.partitions.clone());
+        let mut extra = Counters::new();
+        extra.incr(names::CACHE_MISSES);
+        outcome.charge(&mut extra);
+        let (hits, misses) = (
+            out.counters.get(names::CACHE_HITS) + extra.get(names::CACHE_HITS),
+            out.counters.get(names::CACHE_MISSES) + extra.get(names::CACHE_MISSES),
+        );
+        for (name, delta) in extra.iter() {
+            out.counters.add(name.to_string(), delta);
+        }
+        if cfg.trace.is_enabled() {
+            // Keep `Counters::from_trace(&out.trace)` consistent with
+            // `out.counters`: the post-run cache charges land in the
+            // trace too, as one more job-scope batch.
+            let mut rec = TraceRecorder::new(Scope::job(0), true);
+            record_counter_totals(&mut rec, &extra);
+            rec.cache_mark_wall(0.0, hits, misses, cache.used_bytes());
+            let dispatcher = TraceDispatcher::new(true);
+            rec.flush_into(&dispatcher);
+            out.trace.entries.extend(dispatcher.finish().entries);
+        }
+        Ok(out)
     }
 
     /// Runs many independent jobs of the same application on **one**
@@ -1526,6 +1750,7 @@ impl LocalRunner {
                 partitioner,
                 StageInput::Splits(splits),
                 self.map_threads,
+                None,
                 |_| Vec::new(),
             )?;
         }
@@ -1552,6 +1777,7 @@ impl LocalRunner {
         splits: Vec<Vec<(A::InKey, A::InValue)>>,
         cfg: &JobConfig,
         partitioner: &P,
+        cache: Option<&SplitCachePlan<A>>,
         make_sink: F,
     ) -> MrResult<SinkedRun<A, S>>
     where
@@ -1570,6 +1796,7 @@ impl LocalRunner {
             partitioner,
             StageInput::Splits(&splits),
             self.map_threads,
+            cache,
             make_sink,
         )?;
         pool.run(cfg.pool_workers)?;
@@ -1585,14 +1812,20 @@ impl LocalRunner {
     /// map output feeds it all at once, so this path favours iterative
     /// re-runs over first-run pipelining).
     #[allow(clippy::type_complexity)]
-    pub fn run_memoized<A: Application, P: Partitioner<A::MapKey>>(
+    pub fn run_memoized<A, P>(
         &self,
         app: &A,
         splits: Vec<(memo::Fingerprint, Vec<(A::InKey, A::InValue)>)>,
         cfg: &JobConfig,
         partitioner: &P,
         cache: &mut memo::MemoCache<A>,
-    ) -> MrResult<JobOutput<A>> {
+    ) -> MrResult<JobOutput<A>>
+    where
+        A: Application,
+        P: Partitioner<A::MapKey>,
+        A::MapKey: Sync,
+        A::MapValue: Sync,
+    {
         cfg.validate()?;
         let started = Instant::now();
         let reducers = cfg.reducers;
@@ -1603,11 +1836,13 @@ impl LocalRunner {
             (0..reducers).map(|_| Vec::new()).collect();
         for (fp, split) in &splits {
             if let Some(cached) = cache.lookup(*fp, reducers) {
+                counters.incr(names::CACHE_HITS);
                 for (p, records) in cached.iter().enumerate() {
                     partitions[p].extend(records.iter().cloned());
                 }
                 continue;
             }
+            counters.incr(names::CACHE_MISSES);
             let mut parts: Vec<Vec<(A::MapKey, A::MapValue)>> =
                 (0..reducers).map(|_| Vec::new()).collect();
             {

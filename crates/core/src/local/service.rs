@@ -30,6 +30,7 @@
 //! deterministic map → partition → reduce the engines use, and jobs
 //! share nothing but the slot scheduler.
 
+use super::cache::{self, SharedCache};
 use super::pool::{panic_message, Ctx, Pool, PoolTask, Step, Waker};
 use super::{barrier_snapshot, record_counter_totals, InputSplit, PoolStats};
 use crate::config::{Engine, JobConfig, ServiceConfig, TenantSpec};
@@ -40,8 +41,10 @@ use crate::engine::DriverReport;
 use crate::error::{MrError, MrResult};
 use crate::output::JobOutput;
 use crate::partition::Partitioner;
+use crate::size::SizeEstimate;
 use crate::snapshot::Snapshot;
 use crate::traits::{Application, FnEmit};
+use mr_cache::{CacheKey, StableHash};
 use mr_trace::{Scope, SpanKind, TaskKind, TraceDispatcher, TraceRecorder, NO_NODE};
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -249,6 +252,11 @@ struct Shared<A: Application> {
     queue_cap: usize,
     waker: Arc<Waker>,
     started: Instant,
+    /// The service-owned result cache every tenant's jobs share, when
+    /// [`ServiceConfig::cache`] enables one. Content-addressed keys are
+    /// the isolation story: a tenant can only hit artifacts it would
+    /// have computed bit-for-bit itself, so sharing leaks nothing.
+    cache: Option<SharedCache>,
 }
 
 /// The submission interface handed to [`serve`]'s body closure.
@@ -344,6 +352,10 @@ struct Active<A: Application> {
     tracing: bool,
     dispatcher: TraceDispatcher,
     phase: Phase<A>,
+    /// The job's sealed-artifact cache key — `Some` iff the service has
+    /// a cache *and* the job's own `cfg.cache` opts in. Doubles as the
+    /// participation flag for the per-split consultations.
+    cache_key: Option<CacheKey>,
 }
 
 /// One persistent slot of the service: grabs the fair pick's next job,
@@ -357,11 +369,22 @@ struct RunnerTask<'e, A: Application, P: Partitioner<A::MapKey>> {
     cur: Option<Active<A>>,
 }
 
-impl<A: Application, P: Partitioner<A::MapKey>> RunnerTask<'_, A, P> {
+impl<A, P> RunnerTask<'_, A, P>
+where
+    A: Application,
+    P: Partitioner<A::MapKey>,
+    A::InKey: StableHash,
+    A::InValue: StableHash,
+    A::MapKey: Sync,
+    A::MapValue: Sync,
+    A::OutKey: Sync + SizeEstimate,
+    A::OutValue: Sync + SizeEstimate,
+{
     /// Runs one bounded slice of the active job. `Ok(None)` = more
     /// slices left; `Ok(Some(out))` = job finished.
     fn slice(&mut self) -> MrResult<Option<JobOutput<A>>> {
         let active = self.cur.as_mut().expect("slice with an active job");
+        let shared_cache = self.shared.cache.as_ref();
         let job = &active.job;
         let tenant = job.tenant as u32;
         let reducers = job.cfg.reducers;
@@ -373,18 +396,90 @@ impl<A: Application, P: Partitioner<A::MapKey>> RunnerTask<'_, A, P> {
                 partitions,
                 counters,
             } => {
+                // Before any split runs, consult the sealed-job
+                // artifact: a whole-job hit skips map and reduce alike.
+                if *next_split == 0 {
+                    if let (Some(key), Some(c)) = (active.cache_key, shared_cache) {
+                        if let Some((parts, bytes)) = c.get_job::<A>(key) {
+                            let mut hit = Counters::new();
+                            hit.incr(names::CACHE_HITS);
+                            hit.add(names::CACHE_HIT_BYTES, bytes);
+                            let trace = if active.tracing {
+                                let mut rec = TraceRecorder::new(
+                                    Scope::job(job.id as u32).with_tenant(tenant),
+                                    true,
+                                );
+                                record_counter_totals(&mut rec, &hit);
+                                rec.cache_mark_wall(started.elapsed().as_secs_f64(), 1, 0, bytes);
+                                rec.flush_into(&active.dispatcher);
+                                std::mem::replace(
+                                    &mut active.dispatcher,
+                                    TraceDispatcher::new(false),
+                                )
+                                .finish()
+                            } else {
+                                Default::default()
+                            };
+                            let counters = if active.tracing {
+                                Counters::from_trace(&trace)
+                            } else {
+                                hit
+                            };
+                            return Ok(Some(JobOutput {
+                                partitions: (*parts).clone(),
+                                counters,
+                                reports: Vec::new(),
+                                snapshots: Vec::new(),
+                                trace,
+                            }));
+                        }
+                        counters.incr(names::CACHE_MISSES);
+                    }
+                }
                 if *next_split < job.splits.len() {
                     let idx = *next_split;
                     let t0 = started.elapsed().as_secs_f64();
-                    {
+                    let split_key = active.cache_key.map(|_| {
+                        cache::split_key(
+                            app,
+                            &job.cfg,
+                            std::any::type_name::<P>(),
+                            &job.splits[idx],
+                        )
+                    });
+                    let cached = split_key
+                        .zip(shared_cache)
+                        .and_then(|(k, c)| c.get_split::<A>(k));
+                    if let Some((parts, bytes)) = cached {
+                        // Split artifact hit: the map function is
+                        // skipped and the cached raw records take the
+                        // same partition route the emitter would have.
+                        counters.incr(names::CACHE_HITS);
+                        counters.add(names::CACHE_HIT_BYTES, bytes);
+                        for (p, records) in parts.iter().enumerate() {
+                            partitions[p].extend(records.iter().cloned());
+                        }
+                    } else {
+                        let mut raw: Option<cache::SplitParts<A>> = split_key.map(|_| {
+                            counters.incr(names::CACHE_MISSES);
+                            (0..reducers).map(|_| Vec::new()).collect()
+                        });
                         let partitioner = self.partitioner;
                         let mut emit = FnEmit(|k: A::MapKey, v: A::MapValue| {
                             counters.incr(names::MAP_OUTPUT_RECORDS);
                             let p = partitioner.partition(&k, reducers);
+                            if let Some(raw) = raw.as_mut() {
+                                raw[p].push((k.clone(), v.clone()));
+                            }
                             partitions[p].push((k, v));
                         });
                         for (k, v) in &job.splits[idx] {
                             app.map(k, v, &mut emit);
+                        }
+                        // `emit`'s borrow of `raw` ends here (NLL), freeing it
+                        // for publication.
+                        if let (Some(k), Some(c), Some(raw)) = (split_key, shared_cache, raw) {
+                            c.put_split::<A>(k, raw).charge(counters);
                         }
                     }
                     if active.tracing {
@@ -468,11 +563,24 @@ impl<A: Application, P: Partitioner<A::MapKey>> RunnerTask<'_, A, P> {
                     *next += 1;
                     return Ok(None);
                 }
-                // Finalize: totals to the job scope, then the output.
+                // Finalize: publish the sealed artifact (charged into
+                // the job's counters, so the totals below include it),
+                // then totals to the job scope, then the output.
+                if let (Some(key), Some(c)) = (active.cache_key, shared_cache) {
+                    c.put_job::<A>(key, outputs.clone()).charge(counters);
+                }
                 if active.tracing {
                     let mut rec =
                         TraceRecorder::new(Scope::job(job.id as u32).with_tenant(tenant), true);
                     record_counter_totals(&mut rec, counters);
+                    if let Some(c) = shared_cache.filter(|_| active.cache_key.is_some()) {
+                        rec.cache_mark_wall(
+                            started.elapsed().as_secs_f64(),
+                            counters.get(names::CACHE_HITS),
+                            counters.get(names::CACHE_MISSES),
+                            c.used_bytes(),
+                        );
+                    }
                     rec.flush_into(&active.dispatcher);
                 }
                 let trace =
@@ -512,7 +620,17 @@ impl<A: Application, P: Partitioner<A::MapKey>> RunnerTask<'_, A, P> {
     }
 }
 
-impl<A: Application, P: Partitioner<A::MapKey>> PoolTask for RunnerTask<'_, A, P> {
+impl<A, P> PoolTask for RunnerTask<'_, A, P>
+where
+    A: Application,
+    P: Partitioner<A::MapKey>,
+    A::InKey: StableHash,
+    A::InValue: StableHash,
+    A::MapKey: Sync,
+    A::MapValue: Sync,
+    A::OutKey: Sync + SizeEstimate,
+    A::OutValue: Sync + SizeEstimate,
+{
     fn step(&mut self, cx: &mut Ctx) -> Step {
         if self.cur.is_none() {
             let mut core = self.shared.core.lock().unwrap();
@@ -520,6 +638,16 @@ impl<A: Application, P: Partitioner<A::MapKey>> PoolTask for RunnerTask<'_, A, P
                 Some(job) => {
                     drop(core);
                     let tracing = job.cfg.trace.is_enabled();
+                    let cache_key = if self.shared.cache.is_some() && job.cfg.cache.is_enabled() {
+                        Some(cache::job_key(
+                            self.app,
+                            &job.cfg,
+                            std::any::type_name::<P>(),
+                            &job.splits,
+                        ))
+                    } else {
+                        None
+                    };
                     self.cur = Some(Active {
                         job,
                         tracing,
@@ -529,6 +657,7 @@ impl<A: Application, P: Partitioner<A::MapKey>> PoolTask for RunnerTask<'_, A, P
                             partitions: Vec::new(),
                             counters: Counters::new(),
                         },
+                        cache_key,
                     });
                     // Partition buffers need the job's reducer count.
                     let active = self.cur.as_mut().unwrap();
@@ -584,6 +713,12 @@ where
     A: Application,
     P: Partitioner<A::MapKey> + Sync,
     F: FnOnce(&JobService<A>) -> R,
+    A::InKey: StableHash,
+    A::InValue: StableHash,
+    A::MapKey: Sync,
+    A::MapValue: Sync,
+    A::OutKey: Sync + SizeEstimate,
+    A::OutValue: Sync + SizeEstimate,
 {
     cfg.validate()?;
     let mut pool = Pool::new();
@@ -593,6 +728,7 @@ where
         queue_cap: cfg.queue_cap,
         waker: pool.waker(),
         started: Instant::now(),
+        cache: SharedCache::from_budget(&cfg.cache),
     });
     for _ in 0..cfg.pool_workers {
         pool.spawn(RunnerTask {

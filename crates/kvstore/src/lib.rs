@@ -36,6 +36,6 @@ mod lru;
 mod segment;
 mod store;
 
-pub use lru::LruCache;
+pub use lru::{LruCache, OversizeEntry};
 pub use segment::{SegmentId, SegmentReader, SegmentWriter};
 pub use store::{Store, StoreConfig, StoreStats};

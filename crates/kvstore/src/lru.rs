@@ -12,6 +12,32 @@ pub const ENTRY_OVERHEAD: usize = 64;
 
 const NIL: usize = usize::MAX;
 
+/// Typed rejection for an entry whose charge exceeds the whole budget.
+///
+/// Admitting such an entry would evict everything else and still not fit,
+/// so [`LruCache::put`] refuses it up front. Returning the rejection as an
+/// error (instead of silently bypassing the cache) lets callers count the
+/// event — the result-cache layer reports it as `cache.oversize.count`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OversizeEntry {
+    /// Bytes the entry would have charged (including `ENTRY_OVERHEAD`).
+    pub charge: usize,
+    /// The cache's whole budget.
+    pub budget: usize,
+}
+
+impl std::fmt::Display for OversizeEntry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "entry of {} bytes exceeds whole cache budget of {} bytes",
+            self.charge, self.budget
+        )
+    }
+}
+
+impl std::error::Error for OversizeEntry {}
+
 #[derive(Debug)]
 struct Node {
     key: Box<[u8]>,
@@ -68,22 +94,30 @@ impl LruCache {
     /// Inserts or replaces `key`, evicting cold entries as needed.
     ///
     /// Returns the evicted entries (coldest first). An entry larger than
-    /// the whole budget is not cached at all.
+    /// the whole budget is refused with a typed [`OversizeEntry`] so the
+    /// caller can count the rejection; resident entries are undisturbed.
     #[allow(clippy::type_complexity)]
-    pub fn put(&mut self, key: &[u8], value: &[u8]) -> Vec<(Box<[u8]>, Box<[u8]>)> {
+    pub fn put(
+        &mut self,
+        key: &[u8],
+        value: &[u8],
+    ) -> Result<Vec<(Box<[u8]>, Box<[u8]>)>, OversizeEntry> {
+        let charge = Self::charge(key, value);
+        if charge > self.budget {
+            return Err(OversizeEntry {
+                charge,
+                budget: self.budget,
+            });
+        }
         let mut evicted = Vec::new();
         if let Some(&idx) = self.map.get(key) {
             // Replace in place, adjust charge.
             self.used -= Self::charge(&self.slab[idx].key, &self.slab[idx].value);
             self.slab[idx].value = value.into();
-            self.used += Self::charge(key, value);
+            self.used += charge;
             self.unlink(idx);
             self.push_front(idx);
         } else {
-            let charge = Self::charge(key, value);
-            if charge > self.budget {
-                return evicted; // would never fit: bypass the cache
-            }
             let idx = self.alloc(key.into(), value.into());
             self.map.insert(key.into(), idx);
             self.push_front(idx);
@@ -96,7 +130,7 @@ impl LruCache {
                 break;
             }
         }
-        evicted
+        Ok(evicted)
     }
 
     /// Removes `key` if present, returning its value.
@@ -221,8 +255,8 @@ mod tests {
     #[test]
     fn get_after_put() {
         let mut c = cache_for(4, 2);
-        c.put(b"a", b"1");
-        c.put(b"b", b"2");
+        c.put(b"a", b"1").unwrap();
+        c.put(b"b", b"2").unwrap();
         assert_eq!(c.get(b"a"), Some(&b"1"[..]));
         assert_eq!(c.get(b"b"), Some(&b"2"[..]));
         assert_eq!(c.get(b"z"), None);
@@ -232,10 +266,10 @@ mod tests {
     #[test]
     fn evicts_least_recently_used() {
         let mut c = cache_for(2, 2);
-        c.put(b"a", b"1");
-        c.put(b"b", b"2");
+        c.put(b"a", b"1").unwrap();
+        c.put(b"b", b"2").unwrap();
         c.get(b"a"); // promote a; b is now coldest
-        let evicted = c.put(b"c", b"3");
+        let evicted = c.put(b"c", b"3").unwrap();
         assert_eq!(evicted.len(), 1);
         assert_eq!(&*evicted[0].0, b"b");
         assert!(c.get(b"a").is_some());
@@ -247,27 +281,52 @@ mod tests {
     #[test]
     fn replace_updates_value_and_charge() {
         let mut c = cache_for(2, 16);
-        c.put(b"k", b"short");
+        c.put(b"k", b"short").unwrap();
         let before = c.used_bytes();
-        c.put(b"k", b"a-much-longer-value");
+        c.put(b"k", b"a-much-longer-value").unwrap();
         assert!(c.used_bytes() > before);
         assert_eq!(c.get(b"k"), Some(&b"a-much-longer-value"[..]));
         assert_eq!(c.len(), 1);
     }
 
     #[test]
-    fn oversized_entry_bypasses_cache() {
+    fn oversized_entry_is_a_typed_rejection() {
         let mut c = LruCache::new(32);
-        let evicted = c.put(b"big", &[0u8; 1000]);
-        assert!(evicted.is_empty());
+        let err = c.put(b"big", &[0u8; 1000]).unwrap_err();
+        assert_eq!(err.charge, 3 + 1000 + ENTRY_OVERHEAD);
+        assert_eq!(err.budget, 32);
         assert_eq!(c.len(), 0);
         assert_eq!(c.get(b"big"), None);
     }
 
     #[test]
+    fn oversized_put_leaves_residents_undisturbed() {
+        let mut c = cache_for(2, 2);
+        c.put(b"a", b"1").unwrap();
+        let err = c.put(b"big", &[0u8; 1000]).unwrap_err();
+        assert!(err.charge > err.budget);
+        assert_eq!(c.get(b"a"), Some(&b"1"[..]));
+        assert_eq!(c.evictions(), 0);
+    }
+
+    #[test]
+    fn budget_boundary_is_exact() {
+        // charge == budget: fits.
+        let mut c = LruCache::new(1 + 1 + ENTRY_OVERHEAD);
+        assert!(c.put(b"a", b"1").unwrap().is_empty());
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.used_bytes(), c.budget_bytes());
+        // charge == budget + 1: rejected, not silently dropped.
+        let mut c = LruCache::new(1 + 1 + ENTRY_OVERHEAD - 1);
+        let err = c.put(b"a", b"1").unwrap_err();
+        assert_eq!(err.charge, err.budget + 1);
+        assert!(c.is_empty());
+    }
+
+    #[test]
     fn remove_frees_budget() {
         let mut c = cache_for(2, 2);
-        c.put(b"a", b"1");
+        c.put(b"a", b"1").unwrap();
         let used = c.used_bytes();
         assert_eq!(c.remove(b"a").as_deref(), Some(&b"1"[..]));
         assert_eq!(c.used_bytes(), used - (1 + 1 + ENTRY_OVERHEAD));
@@ -279,7 +338,7 @@ mod tests {
     fn slab_reuses_freed_slots() {
         let mut c = cache_for(1, 2);
         for i in 0..100u8 {
-            c.put(&[i], b"v");
+            c.put(&[i], b"v").unwrap();
         }
         // Only one resident at a time; slab should not grow unbounded.
         assert_eq!(c.len(), 1);
@@ -289,26 +348,26 @@ mod tests {
     #[test]
     fn eviction_order_is_exact_lru() {
         let mut c = cache_for(3, 2);
-        c.put(b"a", b"1");
-        c.put(b"b", b"2");
-        c.put(b"c", b"3");
+        c.put(b"a", b"1").unwrap();
+        c.put(b"b", b"2").unwrap();
+        c.put(b"c", b"3").unwrap();
         c.get(b"a");
         c.get(b"c");
         // LRU order now: b (coldest), a, c.
-        let ev = c.put(b"d", b"4");
+        let ev = c.put(b"d", b"4").unwrap();
         assert_eq!(&*ev[0].0, b"b");
-        let ev = c.put(b"e", b"5");
+        let ev = c.put(b"e", b"5").unwrap();
         assert_eq!(&*ev[0].0, b"a");
     }
 
     #[test]
     fn peek_does_not_promote() {
         let mut c = cache_for(2, 2);
-        c.put(b"a", b"1");
-        c.put(b"b", b"2");
+        c.put(b"a", b"1").unwrap();
+        c.put(b"b", b"2").unwrap();
         assert!(c.peek_contains(b"a"));
         // a was NOT promoted, so it is still the coldest.
-        let ev = c.put(b"c", b"3");
+        let ev = c.put(b"c", b"3").unwrap();
         assert_eq!(&*ev[0].0, b"a");
     }
 }

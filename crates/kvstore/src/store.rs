@@ -140,8 +140,11 @@ impl Store {
                 offset,
             },
         );
-        let evicted = self.cache.put(key, value);
-        self.stats.evictions += evicted.len() as u64;
+        // An oversize record simply stays cold on disk; the typed
+        // rejection matters to callers that do their own accounting.
+        if let Ok(evicted) = self.cache.put(key, value) {
+            self.stats.evictions += evicted.len() as u64;
+        }
         if self.active.len() >= self.cfg.segment_bytes {
             self.roll_segment()?;
         }
@@ -161,8 +164,9 @@ impl Store {
         };
         self.stats.cache_misses += 1;
         let value = self.read_loc(loc)?;
-        let evicted = self.cache.put(key, &value);
-        self.stats.evictions += evicted.len() as u64;
+        if let Ok(evicted) = self.cache.put(key, &value) {
+            self.stats.evictions += evicted.len() as u64;
+        }
         self.stats.bytes_read += 8 + key.len() as u64 + value.len() as u64;
         Ok(Some(value))
     }

@@ -296,6 +296,18 @@ pub enum TraceEvent {
         /// The deadline instant.
         at: TraceInstant,
     },
+    /// A job finished consulting the shared result cache (the scope
+    /// names the job, and the tenant when run under the service).
+    CacheMark {
+        /// Instant the job's cache accounting was sealed.
+        at: TraceInstant,
+        /// Artifact lookups that hit.
+        hits: u64,
+        /// Artifact lookups that missed.
+        misses: u64,
+        /// Payload bytes handed out by the hits.
+        bytes: u64,
+    },
     /// A chain stage finished its last task.
     StageDone {
         /// Completion instant.
@@ -338,6 +350,12 @@ impl TraceEvent {
                 format!("speculation {} {}", at.canonical(), event.code())
             }
             TraceEvent::DeadlineMark { at } => format!("deadline {}", at.canonical()),
+            TraceEvent::CacheMark {
+                at,
+                hits,
+                misses,
+                bytes,
+            } => format!("cache {} h{hits} m{misses} b{bytes}", at.canonical()),
             TraceEvent::StageDone { at } => format!("stage_done {}", at.canonical()),
         }
     }

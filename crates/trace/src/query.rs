@@ -375,6 +375,44 @@ impl<'a> TraceQuery<'a> {
             })
     }
 
+    /// Cache marks of one job: `(seconds, hits, misses, hit bytes)` —
+    /// the sealed result-cache accounting of each run that consulted
+    /// the shared cache.
+    pub fn cache_marks(&self, job: u32) -> Vec<(f64, u64, u64, u64)> {
+        self.log
+            .iter()
+            .filter(|e| e.scope.job == job)
+            .filter_map(|e| match e.event {
+                TraceEvent::CacheMark {
+                    at,
+                    hits,
+                    misses,
+                    bytes,
+                } => Some((at.as_secs_f64(), hits, misses, bytes)),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Cache marks attributed to one tenant: `(job, hits, misses, hit
+    /// bytes)` — the per-tenant view of shared-cache behaviour under
+    /// the job service.
+    pub fn tenant_cache_marks(&self, tenant: u32) -> Vec<(u32, u64, u64, u64)> {
+        self.log
+            .iter()
+            .filter(|e| e.scope.tenant == tenant)
+            .filter_map(|e| match e.event {
+                TraceEvent::CacheMark {
+                    hits,
+                    misses,
+                    bytes,
+                    ..
+                } => Some((e.scope.job, hits, misses, bytes)),
+                _ => None,
+            })
+            .collect()
+    }
+
     /// When one chain stage finished, if its driver marked completion.
     pub fn stage_done_secs(&self, job: u32) -> Option<f64> {
         self.log
@@ -528,6 +566,15 @@ mod tests {
         );
         log.push(Scope::job(0), TraceEvent::DeadlineMark { at: vt(5.0) });
         log.push(Scope::job(0), TraceEvent::StageDone { at: vt(6.0) });
+        log.push(
+            Scope::job(0).with_tenant(2),
+            TraceEvent::CacheMark {
+                at: vt(7.0),
+                hits: 3,
+                misses: 1,
+                bytes: 640,
+            },
+        );
         let q = TraceQuery::new(&log);
         assert_eq!(q.heap_series(0, 0), vec![(1.0, 64)]);
         assert_eq!(q.heap_samples(0), vec![(0, 1.0, 64)]);
@@ -540,6 +587,10 @@ mod tests {
         assert_eq!(q.speculation_count(SpecEvent::Won), 0);
         assert_eq!(q.deadline_secs(0), Some(5.0));
         assert_eq!(q.stage_done_secs(0), Some(6.0));
+        assert_eq!(q.cache_marks(0), vec![(7.0, 3, 1, 640)]);
+        assert_eq!(q.cache_marks(1), vec![]);
+        assert_eq!(q.tenant_cache_marks(2), vec![(0, 3, 1, 640)]);
+        assert_eq!(q.tenant_cache_marks(9), vec![]);
     }
 
     /// Tenant-attributed spans break down by tenant; unattributed spans

@@ -92,6 +92,17 @@ impl TraceRecorder {
         });
     }
 
+    /// Records a wall-clock cache mark (a job's sealed result-cache
+    /// accounting: hits, misses, and hit bytes handed out).
+    pub fn cache_mark_wall(&mut self, at_secs: f64, hits: u64, misses: u64, bytes: u64) {
+        self.record(TraceEvent::CacheMark {
+            at: TraceInstant::Wall { secs: at_secs },
+            hits,
+            misses,
+            bytes,
+        });
+    }
+
     /// Finishes the task: everything recorded, as one batch.
     pub fn into_batch(self) -> TraceBatch {
         TraceBatch {

@@ -15,6 +15,8 @@
 //! * [`workloads`] — seeded input generators.
 //! * [`kvstore`] — the disk-spilling key/value store
 //!   (BerkeleyDB stand-in).
+//! * [`cache`] — the content-addressed shared result cache behind
+//!   cross-job memoization (`core::local::cache` wires it in).
 //! * [`sim`], [`net`], [`dfs`] — simulation substrates.
 //!
 //! # Quickstart
@@ -39,6 +41,7 @@
 //! ```
 
 pub use mr_apps as apps;
+pub use mr_cache as cache;
 pub use mr_cluster as cluster;
 pub use mr_core as core;
 pub use mr_dfs as dfs;

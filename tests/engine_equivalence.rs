@@ -499,3 +499,200 @@ proptest! {
         }
     }
 }
+
+proptest! {
+    // Each case runs the full engine × index × width matrix three times
+    // (cold baseline, cold cached, warm cached), so a smaller case
+    // budget keeps this proportionate.
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// The shared-result-cache determinism bar: for every engine ×
+    /// store-index × pool-width combination, a *warm* cached run (whole
+    /// job and every split already resident) produces partitions
+    /// byte-identical to the cold run, which in turn is byte-identical
+    /// to an uncached run — the cache changes `cache.*` counters and
+    /// nothing else.
+    #[test]
+    fn warm_cached_runs_are_byte_identical_to_cold(
+        words in prop::collection::vec(prop::collection::vec("[a-e]{1,3}", 1..6), 1..8),
+        reducers in 1usize..4,
+    ) {
+        use barrier_mapreduce::core::counters::names;
+        use barrier_mapreduce::core::{CacheBudget, SharedCache};
+        let splits: Vec<Vec<(u64, String)>> = words
+            .iter()
+            .enumerate()
+            .map(|(i, line)| vec![(i as u64, line.join(" "))])
+            .collect();
+        for engine in all_engines() {
+            for index in INDEXES {
+                for workers in [1usize, 2, 4] {
+                    let cfg = JobConfig::new(reducers)
+                        .engine(engine.clone())
+                        .store_index(index)
+                        .pool_workers(workers)
+                        .cache(CacheBudget::enabled())
+                        .scratch_dir(scratch());
+                    let uncached = LocalRunner::new(2)
+                        .run(&WordCount, splits.clone(), &cfg)
+                        .unwrap();
+                    let cache = SharedCache::new(64 << 20);
+                    let cold = LocalRunner::new(2)
+                        .run_cached(&WordCount, splits.clone(), &cfg, &HashPartitioner, &cache)
+                        .unwrap();
+                    let warm = LocalRunner::new(2)
+                        .run_cached(&WordCount, splits.clone(), &cfg, &HashPartitioner, &cache)
+                        .unwrap();
+                    prop_assert_eq!(
+                        &cold.partitions, &uncached.partitions,
+                        "cold cached run diverged: {:?} {:?} {}w", engine, index, workers
+                    );
+                    prop_assert_eq!(
+                        &warm.partitions, &uncached.partitions,
+                        "warm cached run diverged: {:?} {:?} {}w", engine, index, workers
+                    );
+                    prop_assert!(
+                        cold.counters.get(names::CACHE_MISSES) > 0,
+                        "cold run must miss"
+                    );
+                    prop_assert!(
+                        warm.counters.get(names::CACHE_HITS) > 0,
+                        "warm run must hit: {:?} {:?} {}w", engine, index, workers
+                    );
+                    prop_assert_eq!(warm.counters.get(names::CACHE_MISSES), 0);
+                }
+            }
+        }
+    }
+
+    /// Eviction pressure never corrupts answers: under a budget far too
+    /// small to hold every artifact, repeated runs of several distinct
+    /// jobs keep producing byte-identical output while the cache churns
+    /// (evictions observed), and split-level hits still occur whenever
+    /// an artifact happens to survive.
+    #[test]
+    fn eviction_pressure_keeps_outputs_byte_identical(
+        seed_words in prop::collection::vec(prop::collection::vec("[a-e]{1,3}", 2..6), 3..6),
+        reducers in 1usize..3,
+    ) {
+        use barrier_mapreduce::core::{CacheBudget, SharedCache};
+        // Several distinct jobs, each a rotation of the generated lines.
+        let jobs: Vec<Vec<Vec<(u64, String)>>> = (0..4)
+            .map(|rot| {
+                seed_words
+                    .iter()
+                    .cycle()
+                    .skip(rot)
+                    .take(seed_words.len())
+                    .enumerate()
+                    .map(|(i, line)| vec![(i as u64, format!("{} r{rot}", line.join(" ")))])
+                    .collect()
+            })
+            .collect();
+        let cfg = JobConfig::new(reducers)
+            .cache(CacheBudget::Limit { bytes: 600 })
+            .scratch_dir(scratch());
+        let baselines: Vec<_> = jobs
+            .iter()
+            .map(|s| {
+                LocalRunner::new(2)
+                    .run(&WordCount, s.clone(), &cfg)
+                    .unwrap()
+                    .partitions
+            })
+            .collect();
+        // A cache that cannot hold everything at once.
+        let cache = SharedCache::new(600);
+        for round in 0..3 {
+            for (i, splits) in jobs.iter().enumerate() {
+                let out = LocalRunner::new(2)
+                    .run_cached(&WordCount, splits.clone(), &cfg, &HashPartitioner, &cache)
+                    .unwrap();
+                prop_assert_eq!(
+                    &out.partitions, &baselines[i],
+                    "round {} job {} diverged under eviction pressure", round, i
+                );
+                prop_assert!(cache.used_bytes() <= cache.budget_bytes());
+            }
+        }
+        let stats = cache.stats();
+        prop_assert!(
+            stats.evictions > 0 || stats.oversize > 0,
+            "budget of 600 bytes must churn: {:?}", stats
+        );
+    }
+}
+
+/// The service-level sharing story: two tenants submitting the *same*
+/// computation share one service-owned cache — the first run publishes,
+/// the second tenant's identical job hits (whole-job artifact) and
+/// returns byte-identical output, with the hit visible both in its
+/// counters and in its tenant-stamped `CacheMark` trace events.
+#[test]
+fn tenants_share_cache_hits_through_the_service() {
+    use barrier_mapreduce::core::counters::names;
+    use barrier_mapreduce::core::{serve, CacheBudget, ServiceConfig, TraceQuery};
+    let splits: Vec<Vec<(u64, String)>> = (0..4)
+        .map(|s| {
+            (0..6)
+                .map(|l| (l as u64, format!("tok{} tok{}", (s + l) % 5, l % 3)))
+                .collect()
+        })
+        .collect();
+    let job_cfg = JobConfig::new(3).cache(CacheBudget::enabled());
+    let svc_cfg = ServiceConfig::new(2)
+        .pool_workers(2)
+        .cache(CacheBudget::Limit { bytes: 32 << 20 });
+    let (outs, _) = serve(&WordCount, &HashPartitioner, &svc_cfg, |svc| {
+        // Sequential waits pin the order: tenant 0 publishes, tenant 1 hits.
+        let first = svc
+            .submit(0, splits.clone(), &job_cfg)
+            .unwrap()
+            .wait()
+            .unwrap();
+        let second = svc
+            .submit(1, splits.clone(), &job_cfg)
+            .unwrap()
+            .wait()
+            .unwrap();
+        vec![first, second]
+    })
+    .unwrap();
+    assert_eq!(
+        outs[0].partitions, outs[1].partitions,
+        "shared hit must not change bytes"
+    );
+    assert!(
+        outs[0].counters.get(names::CACHE_MISSES) > 0,
+        "first run computes"
+    );
+    assert_eq!(outs[0].counters.get(names::CACHE_HITS), 0);
+    assert!(
+        outs[1].counters.get(names::CACHE_HITS) >= 1,
+        "second tenant hits"
+    );
+    assert_eq!(
+        outs[1].counters.get(names::CACHE_MISSES),
+        0,
+        "whole-job artifact hit"
+    );
+    assert_eq!(
+        outs[1].counters.get(names::MAP_OUTPUT_RECORDS),
+        0,
+        "a whole-job hit maps nothing"
+    );
+    // The hit is attributed to the right tenant in the trace.
+    let q = TraceQuery::new(&outs[1].trace);
+    let marks = q.tenant_cache_marks(1);
+    assert!(
+        !marks.is_empty(),
+        "hit run records a tenant-stamped CacheMark"
+    );
+    assert!(marks.iter().any(|&(_, hits, _, _)| hits >= 1));
+    let q0 = TraceQuery::new(&outs[0].trace);
+    assert!(
+        q0.tenant_cache_marks(1).is_empty(),
+        "no cross-tenant mark leakage"
+    );
+    assert!(!q0.tenant_cache_marks(0).is_empty());
+}
