@@ -10,7 +10,7 @@
 //! Table 2 reports a 0% line increase: the same window logic serves both
 //! the grouped and the incremental form.
 
-use mr_core::{Application, ChainableApplication, Emit};
+use mr_core::{Application, ChainableApplication, Emit, IdentityWriter};
 use mr_workloads::{mix, GaWorkload};
 
 /// Windowed selection + crossover over a stream of scored individuals.
@@ -131,6 +131,11 @@ impl Application for GeneticAlgorithm {
 
     fn name(&self) -> &'static str {
         "genetic-algorithm"
+    }
+
+    fn cache_identity(&self, w: &mut dyn IdentityWriter) -> bool {
+        w.write_u64(self.window_size as u64);
+        true
     }
 }
 

@@ -6,7 +6,7 @@
 //! barrier-less versions are *the same program* — which is why the paper
 //! omits Identity from its experiments.
 
-use mr_core::{Application, Emit};
+use mr_core::{Application, Emit, IdentityWriter};
 
 /// Substring-match distributed grep.
 #[derive(Debug, Clone)]
@@ -79,6 +79,11 @@ impl Application for Grep {
 
     fn name(&self) -> &'static str {
         "grep"
+    }
+
+    fn cache_identity(&self, w: &mut dyn IdentityWriter) -> bool {
+        w.write_str(&self.pattern);
+        true
     }
 }
 

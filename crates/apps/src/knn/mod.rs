@@ -13,8 +13,18 @@
 pub mod barrierless;
 pub mod original;
 
-use mr_core::{Application, Emit};
+use mr_core::{Application, Emit, IdentityWriter};
 use std::cmp::Ordering;
+
+/// Both kNN forms share their output-shaping parameters: `k` and the
+/// broadcast experimental set.
+fn write_knn_identity(w: &mut dyn IdentityWriter, k: usize, experimental: &[i64]) {
+    w.write_u64(k as u64);
+    w.write_u64(experimental.len() as u64);
+    for &e in experimental {
+        w.write_i64(e);
+    }
+}
 
 /// Original formulation: secondary sort on distance (barrier engine only).
 #[derive(Debug, Clone)]
@@ -102,6 +112,11 @@ impl Application for KnnBarrier {
 
     fn name(&self) -> &'static str {
         "knn-original"
+    }
+
+    fn cache_identity(&self, w: &mut dyn IdentityWriter) -> bool {
+        write_knn_identity(w, self.k, &self.experimental);
+        true
     }
 }
 
@@ -237,6 +252,11 @@ impl Application for KnnBarrierless {
 
     fn name(&self) -> &'static str {
         "knn-barrierless"
+    }
+
+    fn cache_identity(&self, w: &mut dyn IdentityWriter) -> bool {
+        write_knn_identity(w, self.k, &self.experimental);
+        true
     }
 }
 

@@ -16,7 +16,7 @@
 //! per-key counts — one record per key — which is exactly what a
 //! finished aggregation stage hands off.
 
-use mr_core::{Application, ChainableApplication, Emit};
+use mr_core::{Application, ChainableApplication, Emit, IdentityWriter};
 
 /// Reports the `k` keys with the largest counts.
 #[derive(Debug, Clone)]
@@ -125,6 +125,11 @@ impl Application for TopK {
 
     fn name(&self) -> &'static str {
         "top-k"
+    }
+
+    fn cache_identity(&self, w: &mut dyn IdentityWriter) -> bool {
+        w.write_u64(self.k as u64);
+        true
     }
 }
 

@@ -97,6 +97,10 @@ pub enum CounterName {
     /// Artifacts refused because one entry exceeded the whole cache
     /// budget (the typed `Oversize` rejection).
     CacheOversize,
+    /// Cache-enabled jobs that ran uncached because the application
+    /// could not vouch for a complete instance identity
+    /// (`Application::cache_identity` returned `false`).
+    CacheBypass,
 }
 
 impl CounterName {
@@ -136,6 +140,7 @@ impl CounterName {
             CounterName::CacheEvictions => "cache.evict.count",
             CounterName::CacheEvictBytes => "cache.evict.bytes",
             CounterName::CacheOversize => "cache.oversize.count",
+            CounterName::CacheBypass => "cache.bypass.count",
         }
     }
 }
@@ -232,6 +237,9 @@ pub mod names {
     pub const CACHE_EVICT_BYTES: CounterName = CounterName::CacheEvictBytes;
     /// Oversize rejections (entry larger than the whole cache budget).
     pub const CACHE_OVERSIZE: CounterName = CounterName::CacheOversize;
+    /// Cache-enabled jobs that bypassed the cache for lack of a
+    /// complete application instance identity.
+    pub const CACHE_BYPASS: CounterName = CounterName::CacheBypass;
 }
 
 /// A set of named monotonically increasing counters.

@@ -72,4 +72,4 @@ pub use output::JobOutput;
 pub use partition::{HashPartitioner, Partitioner};
 pub use size::SizeEstimate;
 pub use snapshot::Snapshot;
-pub use traits::{Application, Emit, FnEmit, Key, Value};
+pub use traits::{Application, Emit, FnEmit, IdentityWriter, Key, Value};

@@ -14,20 +14,45 @@
 //!   hit skips the whole run.
 //!
 //! Keys are stable content hashes ([`mr_cache::KeyBuilder`]) over the
-//! input-chunk bytes (via [`StableHash`]), the application identity, the
-//! partitioner type and the `JobConfig` fields that affect the artifact
-//! (reducers, combiner, store index; plus the engine for job artifacts).
-//! Identical work keys identically *across jobs, tenants and executors*;
-//! anything differing in content or config cannot alias. That content
+//! input-chunk bytes (via [`StableHash`]), the application identity —
+//! its type name **plus** its instance parameters, via
+//! [`Application::cache_identity`] — the partitioner type and the
+//! `JobConfig` fields that affect the artifact (reducers, combiner,
+//! store index; plus the engine for job artifacts). Identical work keys
+//! identically *across jobs, tenants and executors*; anything differing
+//! in content, parameters or config cannot alias. That content
 //! addressing is also the isolation story: a tenant can only ever hit an
-//! artifact it would have computed bit-for-bit itself.
+//! artifact it would have computed bit-for-bit itself. Two guard rails
+//! protect it:
+//!
+//! * An application that does not vouch for its identity (a
+//!   parameterized app without a
+//!   [`cache_identity`](Application::cache_identity) override) yields
+//!   `None` from the key derivations and **bypasses the cache**
+//!   (`cache.bypass.count`) instead of keying incompletely.
+//! * Jobs with an enabled snapshot policy never use the *job*-level
+//!   artifact (a whole-job hit skips the run and therefore cannot
+//!   reproduce the snapshot stream a cold run publishes); their split
+//!   artifacts still cache, since map output does not feed snapshots.
 
 use crate::config::{CacheBudget, CombinerPolicy, Engine, JobConfig, StoreIndex};
 use crate::counters::{names, Counters};
 use crate::size::SizeEstimate;
-use crate::traits::Application;
+use crate::traits::{Application, IdentityWriter};
 use mr_cache::{CacheKey, CacheStats, KeyBuilder, Payload, ResultCache, StableHash};
 use std::sync::Arc;
+
+impl IdentityWriter for KeyBuilder {
+    fn write_u64(&mut self, v: u64) {
+        KeyBuilder::write_u64(self, v)
+    }
+    fn write_bytes(&mut self, bytes: &[u8]) {
+        KeyBuilder::write_bytes(self, bytes)
+    }
+    fn write_str(&mut self, s: &str) {
+        KeyBuilder::write_str(self, s)
+    }
+}
 
 /// A split's cached artifact: raw (pre-combine) map output, partitioned.
 pub(crate) type SplitParts<A> =
@@ -222,55 +247,73 @@ fn write_config(k: &mut KeyBuilder, cfg: &JobConfig) {
 }
 
 /// Application + partitioner identity, the "same computation" half of
-/// the key (the other half is the input content).
-fn write_identity<A: Application>(k: &mut KeyBuilder, app: &A, partitioner_id: &str) {
+/// the key (the other half is the input content). Returns `false` — and
+/// the caller must decline caching — when the app cannot vouch for a
+/// complete instance identity ([`Application::cache_identity`]).
+fn write_identity<A: Application>(k: &mut KeyBuilder, app: &A, partitioner_id: &str) -> bool {
     k.write_str(std::any::type_name::<A>());
     k.write_str(app.name());
     k.write_str(partitioner_id);
+    app.cache_identity(k)
 }
 
-/// Content-addressed key of one input split's map-output artifact.
+/// Whether `app` vouches for a complete cache identity — parameterless
+/// (zero-sized) or carrying a faithful
+/// [`cache_identity`](Application::cache_identity) override. Apps that
+/// do not must bypass the shared cache entirely.
+pub(crate) fn identity_complete<A: Application>(app: &A) -> bool {
+    app.cache_identity(&mut KeyBuilder::new())
+}
+
+/// Content-addressed key of one input split's map-output artifact;
+/// `None` when the app's identity is incomplete (the split must then run
+/// uncached).
 pub(crate) fn split_key<A>(
     app: &A,
     cfg: &JobConfig,
     partitioner_id: &str,
     split: &[(A::InKey, A::InValue)],
-) -> CacheKey
+) -> Option<CacheKey>
 where
     A: Application,
     A::InKey: StableHash,
     A::InValue: StableHash,
 {
     let mut k = KeyBuilder::new();
-    k.write_str("mr.split.v1");
-    write_identity(&mut k, app, partitioner_id);
+    k.write_str("mr.split.v2");
+    if !write_identity(&mut k, app, partitioner_id) {
+        return None;
+    }
     write_config(&mut k, cfg);
     k.write_u64(split.len() as u64);
     for (key, value) in split {
         key.stable_hash(&mut k);
         value.stable_hash(&mut k);
     }
-    k.finish()
+    Some(k.finish())
 }
 
-/// Content-addressed key of one whole job's sealed output artifact. Adds
-/// the engine discriminant on top of the split-key ingredients: both
-/// engines produce byte-identical partitions, but keeping their sealed
+/// Content-addressed key of one whole job's sealed output artifact, or
+/// `None` when the app's identity is incomplete. Adds the engine
+/// discriminant on top of the split-key ingredients: both engines
+/// produce byte-identical partitions, but keeping their sealed
 /// artifacts distinct keeps the key an honest description of what ran.
 pub(crate) fn job_key<A>(
     app: &A,
     cfg: &JobConfig,
     partitioner_id: &str,
     splits: &[Vec<(A::InKey, A::InValue)>],
-) -> CacheKey
+) -> Option<CacheKey>
 where
     A: Application,
     A::InKey: StableHash,
     A::InValue: StableHash,
 {
     let mut k = KeyBuilder::new();
-    k.write_str("mr.job.v1");
-    write_identity(&mut k, app, partitioner_id);
+    k.write_str("mr.job.v2");
+    if !write_identity(&mut k, app, partitioner_id) {
+        return None;
+    }
     write_config(&mut k, cfg);
     k.write_u64(match cfg.engine {
         Engine::Barrier => 0,
@@ -284,7 +327,7 @@ where
             value.stable_hash(&mut k);
         }
     }
-    k.finish()
+    Some(k.finish())
 }
 
 /// A job-scoped consultation plan for per-split artifacts: keys are
@@ -299,14 +342,16 @@ pub(crate) struct SplitCachePlan<A: Application> {
 }
 
 impl<A: Application> SplitCachePlan<A> {
-    /// Derives one key per split and binds both cache directions.
+    /// Derives one key per split and binds both cache directions;
+    /// `None` when the app's instance identity is incomplete (the job
+    /// must then bypass the cache).
     pub(crate) fn new(
         cache: &SharedCache,
         app: &A,
         cfg: &JobConfig,
         partitioner_id: &str,
         splits: &[Vec<(A::InKey, A::InValue)>],
-    ) -> Self
+    ) -> Option<Self>
     where
         A::InKey: StableHash,
         A::InValue: StableHash,
@@ -316,14 +361,14 @@ impl<A: Application> SplitCachePlan<A> {
         let keys: Vec<CacheKey> = splits
             .iter()
             .map(|s| split_key(app, cfg, partitioner_id, s))
-            .collect();
+            .collect::<Option<_>>()?;
         let keys2 = keys.clone();
         let lookup_cache = cache.clone();
         let insert_cache = cache.clone();
-        SplitCachePlan {
+        Some(SplitCachePlan {
             lookup: Box::new(move |idx| lookup_cache.get_split::<A>(keys[idx])),
             insert: Box::new(move |idx, parts| insert_cache.put_split::<A>(keys2[idx], parts)),
-        }
+        })
     }
 
     /// Consults the cache for split `idx`'s artifact.
@@ -341,6 +386,7 @@ impl<A: Application> SplitCachePlan<A> {
 mod tests {
     use super::*;
     use crate::testutil::WordCountApp;
+    use crate::traits::Emit;
 
     fn split(tag: u64) -> Vec<(u64, String)> {
         (0..4).map(|i| (i, format!("word{tag} w{i}"))).collect()
@@ -349,14 +395,15 @@ mod tests {
     #[test]
     fn split_keys_are_content_addressed() {
         let cfg = JobConfig::new(2);
-        let a = split_key(&WordCountApp, &cfg, "hash", &split(1));
-        let b = split_key(&WordCountApp, &cfg, "hash", &split(1));
-        let c = split_key(&WordCountApp, &cfg, "hash", &split(2));
+        let a = split_key(&WordCountApp, &cfg, "hash", &split(1)).unwrap();
+        let b = split_key(&WordCountApp, &cfg, "hash", &split(1)).unwrap();
+        let c = split_key(&WordCountApp, &cfg, "hash", &split(2)).unwrap();
         assert_eq!(a, b, "same content, same config: same key");
         assert_ne!(a, c, "different content: different key");
-        let other_reducers = split_key(&WordCountApp, &JobConfig::new(3), "hash", &split(1));
+        let other_reducers =
+            split_key(&WordCountApp, &JobConfig::new(3), "hash", &split(1)).unwrap();
         assert_ne!(a, other_reducers, "reducer count shapes the artifact");
-        let other_partitioner = split_key(&WordCountApp, &cfg, "range", &split(1));
+        let other_partitioner = split_key(&WordCountApp, &cfg, "range", &split(1)).unwrap();
         assert_ne!(a, other_partitioner, "partitioner shapes the artifact");
     }
 
@@ -368,12 +415,131 @@ mod tests {
         assert_ne!(s, j, "artifact classes are key-separated");
     }
 
+    /// A parameterized app whose `needle` shapes map output, with a
+    /// faithful `cache_identity`.
+    struct NeedleCount {
+        needle: String,
+    }
+
+    impl Application for NeedleCount {
+        type InKey = u64;
+        type InValue = String;
+        type MapKey = String;
+        type MapValue = u64;
+        type OutKey = String;
+        type OutValue = u64;
+        type State = u64;
+        type Shared = ();
+        fn map(&self, _k: &u64, v: &String, out: &mut dyn Emit<String, u64>) {
+            if v.contains(&self.needle) {
+                out.emit(self.needle.clone(), 1);
+            }
+        }
+        fn new_shared(&self) {}
+        fn reduce_grouped(
+            &self,
+            key: &String,
+            values: Vec<u64>,
+            _s: &mut (),
+            out: &mut dyn Emit<String, u64>,
+        ) {
+            out.emit(key.clone(), values.iter().sum());
+        }
+        fn init(&self, _k: &String) -> u64 {
+            0
+        }
+        fn absorb(&self, _k: &String, st: &mut u64, v: u64, _s: &mut (), _o: &mut dyn Emit<String, u64>) {
+            *st += v;
+        }
+        fn merge(&self, _k: &String, a: u64, b: u64) -> u64 {
+            a + b
+        }
+        fn finalize(&self, k: String, st: u64, _s: &mut (), out: &mut dyn Emit<String, u64>) {
+            out.emit(k, st);
+        }
+        fn cache_identity(&self, w: &mut dyn IdentityWriter) -> bool {
+            w.write_str(&self.needle);
+            true
+        }
+    }
+
+    /// Same shape, but *without* a `cache_identity` override: the
+    /// non-zero-sized default must refuse to vouch for it.
+    struct UnkeyedNeedle {
+        needle: String,
+    }
+
+    impl Application for UnkeyedNeedle {
+        type InKey = u64;
+        type InValue = String;
+        type MapKey = String;
+        type MapValue = u64;
+        type OutKey = String;
+        type OutValue = u64;
+        type State = u64;
+        type Shared = ();
+        fn map(&self, _k: &u64, v: &String, out: &mut dyn Emit<String, u64>) {
+            if v.contains(&self.needle) {
+                out.emit(self.needle.clone(), 1);
+            }
+        }
+        fn new_shared(&self) {}
+        fn reduce_grouped(
+            &self,
+            key: &String,
+            values: Vec<u64>,
+            _s: &mut (),
+            out: &mut dyn Emit<String, u64>,
+        ) {
+            out.emit(key.clone(), values.iter().sum());
+        }
+        fn init(&self, _k: &String) -> u64 {
+            0
+        }
+        fn absorb(&self, _k: &String, st: &mut u64, v: u64, _s: &mut (), _o: &mut dyn Emit<String, u64>) {
+            *st += v;
+        }
+        fn merge(&self, _k: &String, a: u64, b: u64) -> u64 {
+            a + b
+        }
+        fn finalize(&self, k: String, st: u64, _s: &mut (), out: &mut dyn Emit<String, u64>) {
+            out.emit(k, st);
+        }
+    }
+
+    #[test]
+    fn instance_parameters_shape_the_key() {
+        let cfg = JobConfig::new(2);
+        let input = split(1);
+        let foo = NeedleCount { needle: "foo".into() };
+        let bar = NeedleCount { needle: "bar".into() };
+        let a = split_key(&foo, &cfg, "hash", &input).unwrap();
+        let b = split_key(&bar, &cfg, "hash", &input).unwrap();
+        assert_ne!(a, b, "differently parameterized instances must not alias");
+        let j1 = job_key(&foo, &cfg, "hash", std::slice::from_ref(&input)).unwrap();
+        let j2 = job_key(&bar, &cfg, "hash", std::slice::from_ref(&input)).unwrap();
+        assert_ne!(j1, j2);
+    }
+
+    #[test]
+    fn incomplete_identity_declines_every_key() {
+        let cfg = JobConfig::new(2);
+        let app = UnkeyedNeedle { needle: "foo".into() };
+        assert!(!identity_complete(&app));
+        assert!(split_key(&app, &cfg, "hash", &split(1)).is_none());
+        assert!(job_key(&app, &cfg, "hash", &[split(1)]).is_none());
+        let cache = SharedCache::new(1 << 20);
+        assert!(SplitCachePlan::new(&cache, &app, &cfg, "hash", &[split(1)]).is_none());
+        // Zero-sized apps vouch for themselves.
+        assert!(identity_complete(&WordCountApp));
+    }
+
     #[test]
     fn shared_hits_are_zero_copy_across_clones() {
         let cache = SharedCache::new(1 << 20);
         let clone = cache.clone();
         let cfg = JobConfig::new(2);
-        let key = split_key(&WordCountApp, &cfg, "hash", &split(7));
+        let key = split_key(&WordCountApp, &cfg, "hash", &split(7)).unwrap();
         let parts: SplitParts<WordCountApp> = vec![vec![("a".into(), 1)], vec![("b".into(), 2)]];
         let outcome = cache.put_split::<WordCountApp>(key, parts);
         assert!(!outcome.oversize);
@@ -388,7 +554,7 @@ mod tests {
     fn oversize_outcome_charges_the_typed_counter() {
         let cache = SharedCache::new(8);
         let cfg = JobConfig::new(1);
-        let key = split_key(&WordCountApp, &cfg, "hash", &split(3));
+        let key = split_key(&WordCountApp, &cfg, "hash", &split(3)).unwrap();
         let parts: SplitParts<WordCountApp> = vec![vec![("oversized".into(), 1); 64]];
         let outcome = cache.put_split::<WordCountApp>(key, parts);
         assert!(outcome.oversize);

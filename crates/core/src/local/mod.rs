@@ -273,15 +273,18 @@ impl<'a, A: Application, P: Partitioner<A::MapKey>> ShuffleEmitter<'a, A, P> {
 
     /// One map-output record: count, partition, buffer (or combine), and
     /// stage a full batch for the transport. Returns the partition the
-    /// record was routed to (cache-miss capture records it there).
-    pub(crate) fn push(&mut self, key: A::MapKey, value: A::MapValue) -> usize {
+    /// record was routed to (cache-miss capture records it there), or
+    /// `None` when the emitter is dead and the record was dropped —
+    /// capture must record nothing then, lest a truncated, misrouted
+    /// artifact be published for a healthy future run to hit.
+    pub(crate) fn push(&mut self, key: A::MapKey, value: A::MapValue) -> Option<usize> {
         if self.dead {
-            return 0;
+            return None;
         }
         self.counters.incr(names::MAP_OUTPUT_RECORDS);
         let p = self.partitioner.partition(&key, self.reducers);
         self.route(p, key, value);
-        p
+        Some(p)
     }
 
     /// Replays one record of a cached split artifact into partition `p`:
@@ -591,8 +594,9 @@ impl<'a, A: Application, P: Partitioner<A::MapKey>> pool::PoolTask for SplitMapT
             let mut capture = self.capture.as_mut();
             let mut emit = FnEmit(|k: A::MapKey, v: A::MapValue| {
                 if let Some(cap) = capture.as_deref_mut() {
-                    let p = emitter.push(k.clone(), v.clone());
-                    cap[p].push((k, v));
+                    if let Some(p) = emitter.push(k.clone(), v.clone()) {
+                        cap[p].push((k, v));
+                    }
                 } else {
                     emitter.push(k, v);
                 }
@@ -604,8 +608,13 @@ impl<'a, A: Application, P: Partitioner<A::MapKey>> pool::PoolTask for SplitMapT
         if end == split.len() {
             let emitter = self.emitter.as_mut().unwrap();
             emitter.end_split();
+            // A dead emitter means the job is failing and the capture is
+            // truncated: publishing it would poison the shared cache for
+            // every future warm run of this input.
             if let (Some(plan), Some(raw)) = (self.cache, self.capture.take()) {
-                plan.insert(idx, raw).charge(&mut emitter.counters);
+                if !emitter.is_dead() {
+                    plan.insert(idx, raw).charge(&mut emitter.counters);
+                }
             }
             if self.tracing {
                 let mut rec =
@@ -1627,15 +1636,31 @@ impl LocalRunner {
 
     /// Runs `app` over `splits` through the shared content-addressed
     /// result cache: each split's partitioned map output is looked up by
-    /// a stable hash of its input bytes plus the app identity and the
-    /// output-shaping config knobs, and whole-job results are memoized
-    /// the same way. Warm runs replay cached artifacts through the
-    /// normal shuffle routing, so their output is byte-identical to a
-    /// cold run at any pool width — only the `cache.*` counters differ.
+    /// a stable hash of its input bytes plus the app identity — type
+    /// *and* instance parameters, per
+    /// [`Application::cache_identity`](crate::traits::Application::cache_identity)
+    /// — and the output-shaping config knobs, and whole-job results are
+    /// memoized the same way. Warm runs replay cached artifacts through
+    /// the normal shuffle routing, so their output is byte-identical to
+    /// a cold run at any pool width — only the `cache.*` counters
+    /// differ.
     ///
-    /// A job whose `cfg.cache` is [`CacheBudget::Disabled`] bypasses the
-    /// cache entirely and behaves exactly like
-    /// [`LocalRunner::run_with_partitioner`].
+    /// Three situations degrade gracefully instead of caching wrongly:
+    ///
+    /// * `cfg.cache` is [`CacheBudget::Disabled`] — the cache is
+    ///   bypassed entirely, exactly like
+    ///   [`LocalRunner::run_with_partitioner`].
+    /// * The app cannot vouch for a complete instance identity (a
+    ///   parameterized app without a `cache_identity` override) — same
+    ///   bypass, counted as `cache.bypass.count`.
+    /// * `cfg.snapshots` is enabled — split artifacts still cache, but
+    ///   the *whole-job* artifact is skipped: a whole-job hit performs
+    ///   no run and so cannot reproduce the snapshot stream (or the
+    ///   per-reducer driver reports) a cold run publishes.
+    ///
+    /// A whole-job hit returns the sealed partitions with empty
+    /// `reports`/`snapshots` and only `cache.*` counters — it describes
+    /// a run that never happened.
     ///
     /// [`CacheBudget::Disabled`]: crate::config::CacheBudget::Disabled
     pub fn run_cached<A, P>(
@@ -1661,38 +1686,68 @@ impl LocalRunner {
             return self.run_with_partitioner(app, splits, cfg, partitioner);
         }
         let partitioner_id = std::any::type_name::<P>();
-        let job_key = cache::job_key(app, cfg, partitioner_id, &splits);
-        if let Some((parts, bytes)) = cache.get_job::<A>(job_key) {
-            let mut counters = Counters::new();
-            counters.incr(names::CACHE_HITS);
-            counters.add(names::CACHE_HIT_BYTES, bytes);
-            let tracing = cfg.trace.is_enabled();
-            let trace = if tracing {
-                let dispatcher = TraceDispatcher::new(true);
+        let Some(plan) = SplitCachePlan::new(cache, app, cfg, partitioner_id, &splits) else {
+            // The app cannot vouch for its instance identity: caching
+            // under an incomplete key would let differently-configured
+            // instances serve each other's results. Run uncached and
+            // surface the bypass as a typed counter.
+            let mut out = self.run_with_partitioner(app, splits, cfg, partitioner)?;
+            let mut extra = Counters::new();
+            extra.incr(names::CACHE_BYPASS);
+            if cfg.trace.is_enabled() {
                 let mut rec = TraceRecorder::new(Scope::job(0), true);
-                record_counter_totals(&mut rec, &counters);
-                rec.cache_mark_wall(0.0, 1, 0, bytes);
+                record_counter_totals(&mut rec, &extra);
+                let dispatcher = TraceDispatcher::new(true);
                 rec.flush_into(&dispatcher);
-                dispatcher.finish()
-            } else {
-                TraceLog::default()
-            };
-            return Ok(JobOutput {
-                partitions: (*parts).clone(),
-                counters,
-                reports: Vec::new(),
-                snapshots: Vec::new(),
-                trace,
-            });
+                out.trace.entries.extend(dispatcher.finish().entries);
+            }
+            for (name, delta) in extra.iter() {
+                out.counters.add(name.to_string(), delta);
+            }
+            return Ok(out);
+        };
+        // The whole-job artifact is only sound when a hit's fabricated
+        // output (sealed partitions, nothing else) matches what a cold
+        // run would publish — an enabled snapshot policy breaks that.
+        let job_key = if cfg.snapshots.is_enabled() {
+            None
+        } else {
+            cache::job_key(app, cfg, partitioner_id, &splits)
+        };
+        if let Some(key) = job_key {
+            if let Some((parts, bytes)) = cache.get_job::<A>(key) {
+                let mut counters = Counters::new();
+                counters.incr(names::CACHE_HITS);
+                counters.add(names::CACHE_HIT_BYTES, bytes);
+                let tracing = cfg.trace.is_enabled();
+                let trace = if tracing {
+                    let dispatcher = TraceDispatcher::new(true);
+                    let mut rec = TraceRecorder::new(Scope::job(0), true);
+                    record_counter_totals(&mut rec, &counters);
+                    rec.cache_mark_wall(0.0, 1, 0, bytes);
+                    rec.flush_into(&dispatcher);
+                    dispatcher.finish()
+                } else {
+                    TraceLog::default()
+                };
+                return Ok(JobOutput {
+                    partitions: (*parts).clone(),
+                    counters,
+                    reports: Vec::new(),
+                    snapshots: Vec::new(),
+                    trace,
+                });
+            }
         }
-        let plan = SplitCachePlan::new(cache, app, cfg, partitioner_id, &splits);
         let mut out = self
             .run_sinked(app, splits, cfg, partitioner, Some(&plan), |_| Vec::new())?
             .into_job_output();
-        let outcome = cache.put_job::<A>(job_key, out.partitions.clone());
         let mut extra = Counters::new();
-        extra.incr(names::CACHE_MISSES);
-        outcome.charge(&mut extra);
+        if let Some(key) = job_key {
+            let outcome = cache.put_job::<A>(key, out.partitions.clone());
+            extra.incr(names::CACHE_MISSES);
+            outcome.charge(&mut extra);
+        }
         let (hits, misses) = (
             out.counters.get(names::CACHE_HITS) + extra.get(names::CACHE_HITS),
             out.counters.get(names::CACHE_MISSES) + extra.get(names::CACHE_MISSES),

@@ -352,9 +352,14 @@ struct Active<A: Application> {
     tracing: bool,
     dispatcher: TraceDispatcher,
     phase: Phase<A>,
-    /// The job's sealed-artifact cache key — `Some` iff the service has
-    /// a cache *and* the job's own `cfg.cache` opts in. Doubles as the
-    /// participation flag for the per-split consultations.
+    /// Whether this job consults the shared cache at all: the service
+    /// has a cache, the job's own `cfg.cache` opts in, *and* the app
+    /// vouches for a complete instance identity.
+    cached: bool,
+    /// The job's sealed-artifact cache key — `Some` iff `cached` and
+    /// the job's snapshot policy is disabled (a whole-job hit performs
+    /// no run, so it cannot reproduce a cold run's snapshot stream;
+    /// such jobs use only the per-split artifacts).
     cache_key: Option<CacheKey>,
 }
 
@@ -399,6 +404,11 @@ where
                 // Before any split runs, consult the sealed-job
                 // artifact: a whole-job hit skips map and reduce alike.
                 if *next_split == 0 {
+                    if shared_cache.is_some() && job.cfg.cache.is_enabled() && !active.cached {
+                        // The app's instance identity is incomplete:
+                        // the job wanted caching but runs uncached.
+                        counters.incr(names::CACHE_BYPASS);
+                    }
                     if let (Some(key), Some(c)) = (active.cache_key, shared_cache) {
                         if let Some((parts, bytes)) = c.get_job::<A>(key) {
                             let mut hit = Counters::new();
@@ -439,14 +449,16 @@ where
                 if *next_split < job.splits.len() {
                     let idx = *next_split;
                     let t0 = started.elapsed().as_secs_f64();
-                    let split_key = active.cache_key.map(|_| {
+                    let split_key = if active.cached {
                         cache::split_key(
                             app,
                             &job.cfg,
                             std::any::type_name::<P>(),
                             &job.splits[idx],
                         )
-                    });
+                    } else {
+                        None
+                    };
                     let cached = split_key
                         .zip(shared_cache)
                         .and_then(|(k, c)| c.get_split::<A>(k));
@@ -573,7 +585,7 @@ where
                     let mut rec =
                         TraceRecorder::new(Scope::job(job.id as u32).with_tenant(tenant), true);
                     record_counter_totals(&mut rec, counters);
-                    if let Some(c) = shared_cache.filter(|_| active.cache_key.is_some()) {
+                    if let Some(c) = shared_cache.filter(|_| active.cached) {
                         rec.cache_mark_wall(
                             started.elapsed().as_secs_f64(),
                             counters.get(names::CACHE_HITS),
@@ -638,13 +650,18 @@ where
                 Some(job) => {
                     drop(core);
                     let tracing = job.cfg.trace.is_enabled();
-                    let cache_key = if self.shared.cache.is_some() && job.cfg.cache.is_enabled() {
-                        Some(cache::job_key(
+                    let cached = self.shared.cache.is_some()
+                        && job.cfg.cache.is_enabled()
+                        && cache::identity_complete(self.app);
+                    // No job-level artifact for snapshot jobs: a
+                    // whole-job hit cannot replay the snapshot stream.
+                    let cache_key = if cached && !job.cfg.snapshots.is_enabled() {
+                        cache::job_key(
                             self.app,
                             &job.cfg,
                             std::any::type_name::<P>(),
                             &job.splits,
-                        ))
+                        )
                     } else {
                         None
                     };
@@ -657,6 +674,7 @@ where
                             partitions: Vec::new(),
                             counters: Counters::new(),
                         },
+                        cached,
                         cache_key,
                     });
                     // Partition buffers need the job's reducer count.

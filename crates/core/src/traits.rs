@@ -33,6 +33,32 @@ impl<K, V> Emit<K, V> for Vec<(K, V)> {
     }
 }
 
+/// Sink for an application instance's *cache identity* — the parameters
+/// that shape its output. Implemented by the shared result cache's key
+/// builder; applications only ever write into it through
+/// [`Application::cache_identity`].
+///
+/// Multi-byte writes are length-prefixed by the implementation, so
+/// consecutive writes cannot alias by concatenation.
+pub trait IdentityWriter {
+    /// Absorbs one `u64`.
+    fn write_u64(&mut self, v: u64);
+    /// Absorbs a byte slice.
+    fn write_bytes(&mut self, bytes: &[u8]);
+    /// Absorbs a string's UTF-8 bytes.
+    fn write_str(&mut self, s: &str) {
+        self.write_bytes(s.as_bytes());
+    }
+    /// Absorbs an `i64` (two's-complement bits).
+    fn write_i64(&mut self, v: i64) {
+        self.write_u64(v as u64);
+    }
+    /// Absorbs an `f64`'s IEEE-754 bit pattern (`-0.0` ≠ `0.0`).
+    fn write_f64(&mut self, v: f64) {
+        self.write_u64(v.to_bits());
+    }
+}
+
 /// An `Emit` that counts records and forwards to a closure; used by
 /// engines to meter output volume.
 pub struct FnEmit<F>(pub F);
@@ -276,6 +302,34 @@ pub trait Application: Send + Sync + 'static {
     /// Human-readable name for reports.
     fn name(&self) -> &'static str {
         "application"
+    }
+
+    /// Folds this *instance's* parameters — every field that changes map
+    /// or reduce output — into the shared result cache's key, returning
+    /// `true` iff the identity is complete.
+    ///
+    /// The cache keys artifacts by input content plus application
+    /// identity; two instances whose outputs can differ must never key
+    /// identically (`Grep { pattern: "foo" }` vs `"bar"`, `TopK { k: 5 }`
+    /// vs `{ k: 10 }`). The type name alone cannot see instance fields,
+    /// so parameterized applications must write each output-shaping
+    /// field here.
+    ///
+    /// The default returns `true` only for zero-sized types — a unit
+    /// struct provably carries no parameters to omit — and `false`
+    /// otherwise, which makes every cached entry point
+    /// ([`LocalRunner::run_cached`], `serve`) **bypass the cache** for
+    /// that application (counted as `cache.bypass.count`) rather than
+    /// risk serving another configuration's results. Overriding this is
+    /// how a parameterized application opts in.
+    ///
+    /// [`LocalRunner::run_cached`]: crate::local::LocalRunner::run_cached
+    fn cache_identity(&self, w: &mut dyn IdentityWriter) -> bool
+    where
+        Self: Sized,
+    {
+        let _ = w;
+        std::mem::size_of::<Self>() == 0
     }
 }
 

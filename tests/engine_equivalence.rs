@@ -696,3 +696,280 @@ fn tenants_share_cache_hits_through_the_service() {
     );
     assert!(!q0.tenant_cache_marks(0).is_empty());
 }
+
+/// Review regression: the application *instance* is part of the cache
+/// key. Two `Grep`s with different patterns over the same input, sharing
+/// one cache, must each keep producing their own output — a warm run
+/// must never serve the other configuration's artifacts.
+#[test]
+fn parameterized_instances_never_share_artifacts() {
+    use barrier_mapreduce::apps::Grep;
+    use barrier_mapreduce::core::counters::names;
+    use barrier_mapreduce::core::{CacheBudget, SharedCache};
+    let splits: Vec<Vec<(u64, String)>> = (0..3)
+        .map(|s| {
+            (0..5)
+                .map(|l| {
+                    let tag = if (s + l) % 2 == 0 { "foo" } else { "bar" };
+                    (l as u64, format!("line{s}{l} {tag}"))
+                })
+                .collect()
+        })
+        .collect();
+    let cfg = JobConfig::new(2).cache(CacheBudget::enabled());
+    let runner = LocalRunner::new(2);
+    let foo = Grep::new("foo");
+    let bar = Grep::new("bar");
+    let foo_base = runner.run(&foo, splits.clone(), &cfg).unwrap();
+    let bar_base = runner.run(&bar, splits.clone(), &cfg).unwrap();
+    assert_ne!(
+        foo_base.partitions, bar_base.partitions,
+        "patterns must select different lines for this test to bite"
+    );
+    let cache = SharedCache::new(16 << 20);
+    let foo_cold = runner
+        .run_cached(&foo, splits.clone(), &cfg, &HashPartitioner, &cache)
+        .unwrap();
+    let bar_cold = runner
+        .run_cached(&bar, splits.clone(), &cfg, &HashPartitioner, &cache)
+        .unwrap();
+    assert_eq!(foo_cold.partitions, foo_base.partitions);
+    assert_eq!(bar_cold.partitions, bar_base.partitions);
+    assert_eq!(
+        bar_cold.counters.get(names::CACHE_HITS),
+        0,
+        "bar must not hit foo's artifacts"
+    );
+    let foo_warm = runner
+        .run_cached(&foo, splits.clone(), &cfg, &HashPartitioner, &cache)
+        .unwrap();
+    let bar_warm = runner
+        .run_cached(&bar, splits, &cfg, &HashPartitioner, &cache)
+        .unwrap();
+    assert_eq!(foo_warm.partitions, foo_base.partitions);
+    assert_eq!(bar_warm.partitions, bar_base.partitions);
+    assert!(foo_warm.counters.get(names::CACHE_HITS) > 0);
+    assert!(bar_warm.counters.get(names::CACHE_HITS) > 0);
+}
+
+/// A parameterized app *without* a `cache_identity` override cannot be
+/// keyed safely: cached entry points run it correctly but bypass the
+/// cache, surfacing the bypass as `cache.bypass.count`.
+#[test]
+fn unkeyed_parameterized_apps_bypass_the_cache() {
+    use barrier_mapreduce::core::counters::names;
+    use barrier_mapreduce::core::{Application, CacheBudget, Emit, SharedCache};
+
+    struct NeedleTally {
+        needle: String,
+    }
+    impl Application for NeedleTally {
+        type InKey = u64;
+        type InValue = String;
+        type MapKey = String;
+        type MapValue = u64;
+        type OutKey = String;
+        type OutValue = u64;
+        type State = u64;
+        type Shared = ();
+        fn map(&self, _k: &u64, v: &String, out: &mut dyn Emit<String, u64>) {
+            if v.contains(&self.needle) {
+                out.emit(self.needle.clone(), 1);
+            }
+        }
+        fn new_shared(&self) {}
+        fn reduce_grouped(
+            &self,
+            key: &String,
+            values: Vec<u64>,
+            _s: &mut (),
+            out: &mut dyn Emit<String, u64>,
+        ) {
+            out.emit(key.clone(), values.iter().sum());
+        }
+        fn init(&self, _k: &String) -> u64 {
+            0
+        }
+        fn absorb(
+            &self,
+            _k: &String,
+            st: &mut u64,
+            v: u64,
+            _s: &mut (),
+            _o: &mut dyn Emit<String, u64>,
+        ) {
+            *st += v;
+        }
+        fn merge(&self, _k: &String, a: u64, b: u64) -> u64 {
+            a + b
+        }
+        fn finalize(&self, k: String, st: u64, _s: &mut (), out: &mut dyn Emit<String, u64>) {
+            out.emit(k, st);
+        }
+        // Deliberately NO cache_identity override.
+    }
+
+    let splits: Vec<Vec<(u64, String)>> = vec![vec![
+        (0, "a foo b".into()),
+        (1, "c bar d".into()),
+        (2, "e foo f".into()),
+    ]];
+    let cfg = JobConfig::new(2).cache(CacheBudget::enabled());
+    let runner = LocalRunner::new(2);
+    let app = NeedleTally {
+        needle: "foo".into(),
+    };
+    let baseline = runner.run(&app, splits.clone(), &cfg).unwrap();
+    let cache = SharedCache::new(16 << 20);
+    for _ in 0..2 {
+        let out = runner
+            .run_cached(&app, splits.clone(), &cfg, &HashPartitioner, &cache)
+            .unwrap();
+        assert_eq!(out.partitions, baseline.partitions);
+        assert_eq!(out.counters.get(names::CACHE_BYPASS), 1, "typed bypass");
+        assert_eq!(out.counters.get(names::CACHE_HITS), 0);
+        assert_eq!(out.counters.get(names::CACHE_MISSES), 0);
+    }
+    assert!(cache.is_empty(), "nothing may be published under an incomplete key");
+}
+
+/// Review regression: a job with an enabled snapshot policy must keep
+/// publishing its snapshot stream on warm runs — the whole-job artifact
+/// (which skips the run, and with it every snapshot) is not used for
+/// such jobs, while split artifacts still hit.
+#[test]
+fn snapshot_jobs_keep_snapshots_on_warm_runs() {
+    use barrier_mapreduce::core::counters::names;
+    use barrier_mapreduce::core::{CacheBudget, SharedCache};
+    let splits: Vec<Vec<(u64, String)>> = (0..3)
+        .map(|s| {
+            (0..10)
+                .map(|l| (l as u64, format!("w{} w{} w{}", (s + l) % 7, l % 5, l % 3)))
+                .collect()
+        })
+        .collect();
+    let cfg = JobConfig::new(2)
+        .engine(Engine::BarrierLess {
+            memory: MemoryPolicy::InMemory,
+        })
+        .snapshots(SnapshotPolicy::EveryRecords { records: 4 })
+        .cache(CacheBudget::enabled());
+    let runner = LocalRunner::new(2);
+    let cache = SharedCache::new(16 << 20);
+    let cold = runner
+        .run_cached(&WordCount, splits.clone(), &cfg, &HashPartitioner, &cache)
+        .unwrap();
+    let warm = runner
+        .run_cached(&WordCount, splits, &cfg, &HashPartitioner, &cache)
+        .unwrap();
+    assert!(cold.snapshot_count() > 0, "cold run publishes snapshots");
+    assert_eq!(warm.partitions, cold.partitions, "bytes still identical");
+    assert_eq!(
+        warm.snapshot_count(),
+        cold.snapshot_count(),
+        "warm run must not lose the snapshot stream to a job-level hit"
+    );
+    assert!(
+        warm.counters.get(names::CACHE_HITS) > 0,
+        "split artifacts still hit"
+    );
+    assert!(
+        warm.counters.get(names::MAP_OUTPUT_RECORDS) == 0,
+        "split hits skip the map function"
+    );
+}
+
+/// Same gate through the service: a snapshot-enabled job submitted by a
+/// second tenant reuses split artifacts but still runs its reduce side,
+/// so its snapshot stream survives.
+#[test]
+fn service_snapshot_jobs_keep_snapshots_on_shared_hits() {
+    use barrier_mapreduce::core::counters::names;
+    use barrier_mapreduce::core::{serve, CacheBudget, ServiceConfig};
+    let splits: Vec<Vec<(u64, String)>> = (0..3)
+        .map(|s| {
+            (0..10)
+                .map(|l| (l as u64, format!("tok{} tok{}", (s + l) % 5, l % 3)))
+                .collect()
+        })
+        .collect();
+    let job_cfg = JobConfig::new(2)
+        .engine(Engine::BarrierLess {
+            memory: MemoryPolicy::InMemory,
+        })
+        .snapshots(SnapshotPolicy::EveryRecords { records: 4 })
+        .cache(CacheBudget::enabled());
+    let svc_cfg = ServiceConfig::new(2)
+        .pool_workers(2)
+        .cache(CacheBudget::Limit { bytes: 32 << 20 });
+    let (outs, _) = serve(&WordCount, &HashPartitioner, &svc_cfg, |svc| {
+        let first = svc
+            .submit(0, splits.clone(), &job_cfg)
+            .unwrap()
+            .wait()
+            .unwrap();
+        let second = svc
+            .submit(1, splits.clone(), &job_cfg)
+            .unwrap()
+            .wait()
+            .unwrap();
+        vec![first, second]
+    })
+    .unwrap();
+    assert_eq!(outs[0].partitions, outs[1].partitions);
+    assert!(outs[0].snapshot_count() > 0);
+    assert_eq!(
+        outs[1].snapshot_count(),
+        outs[0].snapshot_count(),
+        "the sharing tenant keeps its snapshot stream"
+    );
+    assert!(
+        outs[1].counters.get(names::CACHE_HITS) > 0,
+        "split artifacts shared across tenants"
+    );
+}
+
+/// Review regression: a job that dies mid-run (reducer OOM kills the
+/// shuffle) must not publish truncated or misrouted split artifacts for
+/// healthy future runs to hit.
+#[test]
+fn failed_jobs_never_poison_the_shared_cache() {
+    use barrier_mapreduce::core::{CacheBudget, SharedCache};
+    let splits: Vec<Vec<(u64, String)>> = (0..4)
+        .map(|s| {
+            (0..100)
+                .map(|l| (l as u64, format!("w{} w{} w{}", (s + l) % 7, l % 5, l % 3)))
+                .collect()
+        })
+        .collect();
+    let engine = Engine::BarrierLess {
+        memory: MemoryPolicy::InMemory,
+    };
+    // The heap cap and batch size are deliberately NOT part of the cache
+    // key (artifacts are deterministic across them), so anything a dying
+    // run publishes is visible to the healthy run below.
+    let sick = JobConfig::new(2)
+        .engine(engine.clone())
+        .heap_cap(200)
+        .shuffle_batch_bytes(1)
+        .cache(CacheBudget::enabled())
+        .scratch_dir(scratch());
+    let healthy = JobConfig::new(2)
+        .engine(engine)
+        .cache(CacheBudget::enabled())
+        .scratch_dir(scratch());
+    let runner = LocalRunner::new(4);
+    let baseline = runner.run(&WordCount, splits.clone(), &healthy).unwrap();
+    let cache = SharedCache::new(16 << 20);
+    for _ in 0..3 {
+        let err = runner.run_cached(&WordCount, splits.clone(), &sick, &HashPartitioner, &cache);
+        assert!(err.is_err(), "the 200-byte heap cap must OOM the job");
+    }
+    let warm = runner
+        .run_cached(&WordCount, splits, &healthy, &HashPartitioner, &cache)
+        .unwrap();
+    assert_eq!(
+        warm.partitions, baseline.partitions,
+        "artifacts published by a dying run must be complete and correctly partitioned"
+    );
+}
